@@ -1,0 +1,287 @@
+// Package gofi_bench benchmarks every table and figure of the paper's
+// evaluation plus the design-choice ablations called out in DESIGN.md §5.
+//
+// Benchmarks reproducing experiment *shape* (who wins, by what factor) use
+// reduced trial counts; the cmd/gofi-* binaries run the full versions.
+package gofi_bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"gofi/internal/core"
+	"gofi/internal/experiments"
+	"gofi/internal/models"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// --- Figure 3: instrumentation overhead ---------------------------------
+
+// benchInference measures one network's inference under a given worker
+// count, with or without an armed injection.
+func benchInference(b *testing.B, model string, workers int, fi bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	m, err := models.Build(model, rng, 10, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nn.SetTraining(m, false)
+	inj, err := core.New(m, core.Config{Height: 32, Width: 32, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inj.Detach()
+	// The input is drawn from its own stream so the base and FI variants
+	// time the exact same data — inference latency is mildly
+	// data-dependent (denormal-heavy draws run slower), which would
+	// otherwise masquerade as injection overhead.
+	x := tensor.RandUniform(rand.New(rand.NewSource(999)), -1, 1, 1, 3, 32, 32)
+	if fi {
+		if _, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	prev := tensor.SetWorkers(workers)
+	defer tensor.SetWorkers(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.Run(m, x)
+	}
+}
+
+func BenchmarkFig3AlexNetSerialBase(b *testing.B)   { benchInference(b, "alexnet", 1, false) }
+func BenchmarkFig3AlexNetSerialFI(b *testing.B)     { benchInference(b, "alexnet", 1, true) }
+func BenchmarkFig3AlexNetParallelBase(b *testing.B) { benchInference(b, "alexnet", 8, false) }
+func BenchmarkFig3AlexNetParallelFI(b *testing.B)   { benchInference(b, "alexnet", 8, true) }
+func BenchmarkFig3VGG19SerialBase(b *testing.B)     { benchInference(b, "vgg19", 1, false) }
+func BenchmarkFig3VGG19SerialFI(b *testing.B)       { benchInference(b, "vgg19", 1, true) }
+func BenchmarkFig3ResNet110SerialBase(b *testing.B) { benchInference(b, "resnet110", 1, false) }
+func BenchmarkFig3ResNet110SerialFI(b *testing.B)   { benchInference(b, "resnet110", 1, true) }
+
+// --- §III-C batch sweep --------------------------------------------------
+
+func benchBatch(b *testing.B, batch int, fi bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	m, err := models.Build("resnet18", rng, 10, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nn.SetTraining(m, false)
+	inj, err := core.New(m, core.Config{Batch: batch, Height: 32, Width: 32, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inj.Detach()
+	// Same-data discipline as benchInference: see the comment there.
+	x := tensor.RandUniform(rand.New(rand.NewSource(999)), -1, 1, batch, 3, 32, 32)
+	if fi {
+		if _, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.Run(m, x)
+	}
+}
+
+func BenchmarkBatchSweep1Base(b *testing.B)  { benchBatch(b, 1, false) }
+func BenchmarkBatchSweep1FI(b *testing.B)    { benchBatch(b, 1, true) }
+func BenchmarkBatchSweep8Base(b *testing.B)  { benchBatch(b, 8, false) }
+func BenchmarkBatchSweep8FI(b *testing.B)    { benchBatch(b, 8, true) }
+func BenchmarkBatchSweep32Base(b *testing.B) { benchBatch(b, 32, false) }
+func BenchmarkBatchSweep32FI(b *testing.B)   { benchBatch(b, 32, true) }
+
+// --- Figure 4: classification campaign ----------------------------------
+
+func BenchmarkFig4Campaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.RunFig4(experiments.Fig4Config{
+			Models:         []string{"alexnet"},
+			TrialsPerModel: 50,
+			Workers:        2,
+			Classes:        4,
+			InSize:         16,
+			TrainEpochs:    6,
+			Seed:           3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5: detection perturbation ------------------------------------
+
+func BenchmarkFig5Detect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.RunFig5(experiments.Fig5Config{
+			Scenes: 3, InjectionsPerScene: 2, SceneSize: 32, TrainEpochs: 8, Seed: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6: IBP vulnerability ------------------------------------------
+
+func BenchmarkFig6IBP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.RunFig6(experiments.Fig6Config{
+			Alphas: []float64{0.1}, Epsilons: []float32{0.125},
+			Trials: 40, InSize: 16, Classes: 4, TrainEpochs: 3, Seed: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table I: injection training -----------------------------------------
+
+func BenchmarkTable1Training(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.RunTable1(experiments.Table1Config{
+			Model: "resnet18", Classes: 4, InSize: 16,
+			Epochs: 2, TrainSize: 128, BatchSize: 16, EvalTrials: 40, Seed: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: Grad-CAM ----------------------------------------------------
+
+func BenchmarkFig7GradCAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.RunFig7(experiments.Fig7Config{
+			Model: "densenet", Classes: 4, InSize: 16, TrainEpochs: 3, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation 1: hooks vs. interposed perturbation layers ----------------
+//
+// §III-A rejects rebuilding the model with perturbation layers after every
+// convolution; this quantifies the disarmed-path cost of both designs.
+
+func buildPerturbLayerAlexNet(rng *rand.Rand) nn.Layer {
+	// AlexNet with a pass-through PerturbLayer after every convolution —
+	// the §III-A alternative design.
+	base, _ := models.Build("alexnet", rng, 10, 32)
+	seq := base.(*nn.Sequential)
+	var rebuilt []nn.Layer
+	for _, l := range seq.Children() {
+		rebuilt = append(rebuilt, l)
+		if _, ok := l.(*nn.Conv2d); ok {
+			rebuilt = append(rebuilt, nn.NewPerturbLayer("perturb", nil))
+		}
+	}
+	return nn.NewSequential("alexnet-perturb", rebuilt...)
+}
+
+func BenchmarkAblationHookVsLayer_Hooks(b *testing.B) {
+	benchInference(b, "alexnet", 1, false) // hooks installed, disarmed
+}
+
+func BenchmarkAblationHookVsLayer_Layers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := buildPerturbLayerAlexNet(rng)
+	nn.SetTraining(m, false)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.Run(m, x)
+	}
+}
+
+// --- Ablation 2: offline vs. in-hook weight perturbation -----------------
+//
+// The paper applies weight faults by mutating the tensor before inference
+// (zero runtime cost); the alternative re-applies them inside every
+// forward hook.
+
+func BenchmarkAblationWeightOffline(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m, _ := models.Build("alexnet", rng, 10, 32)
+	nn.SetTraining(m, false)
+	inj, err := core.New(m, core.Config{Height: 32, Width: 32, Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inj.Detach()
+	if _, err := inj.InjectRandomWeight(rng, core.DefaultRandomValue()); err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.RandUniform(rand.New(rand.NewSource(999)), -1, 1, 1, 3, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.Run(m, x)
+	}
+}
+
+func BenchmarkAblationWeightInHook(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m, _ := models.Build("alexnet", rng, 10, 32)
+	nn.SetTraining(m, false)
+	// Naive design: a hook on every conv re-applies the weight fault each
+	// forward pass.
+	nn.Walk(m, func(_ string, l nn.Layer) {
+		if c, ok := l.(*nn.Conv2d); ok {
+			w := c.Weight().Data
+			off := rng.Intn(w.Len())
+			val := rng.Float32()*2 - 1
+			c.RegisterForwardHook(func(nn.Layer, *tensor.Tensor, *tensor.Tensor) {
+				w.SetFlat(off, val)
+			})
+		}
+	})
+	x := tensor.RandUniform(rand.New(rand.NewSource(999)), -1, 1, 1, 3, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.Run(m, x)
+	}
+}
+
+// --- Ablation 3: serial vs. parallel backend -----------------------------
+
+func BenchmarkAblationBackendSerial(b *testing.B)   { benchInference(b, "resnet18", 1, false) }
+func BenchmarkAblationBackendParallel(b *testing.B) { benchInference(b, "resnet18", 8, false) }
+
+// --- Ablation 4: armed-site count scaling --------------------------------
+
+func benchSiteCount(b *testing.B, sites int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	m, _ := models.Build("alexnet", rng, 10, 32)
+	nn.SetTraining(m, false)
+	inj, err := core.New(m, core.Config{Height: 32, Width: 32, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inj.Detach()
+	for i := 0; i < sites; i++ {
+		s := inj.RandomNeuronSite(rng, true)
+		if err := inj.DeclareNeuronFI(core.Zero{}, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	x := tensor.RandUniform(rand.New(rand.NewSource(999)), -1, 1, 1, 3, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.Run(m, x)
+	}
+}
+
+func BenchmarkAblationSites0(b *testing.B)   { benchSiteCount(b, 0) }
+func BenchmarkAblationSites1(b *testing.B)   { benchSiteCount(b, 1) }
+func BenchmarkAblationSites16(b *testing.B)  { benchSiteCount(b, 16) }
+func BenchmarkAblationSites256(b *testing.B) { benchSiteCount(b, 256) }

@@ -1,0 +1,151 @@
+// Command gofi-campaign is the general-purpose injection-campaign driver:
+// pick a model, an error model, an injection scope and a trial budget, and
+// it trains the network on the synthetic dataset, runs the campaign in
+// parallel, and reports corruption statistics with confidence intervals.
+//
+// Usage:
+//
+//	gofi-campaign -model resnet18 -error bitflip -scope neuron -trials 2000
+//	gofi-campaign -model vgg19 -error random -scope per-layer -dtype fp16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gofi/internal/campaign"
+	"gofi/internal/core"
+	"gofi/internal/experiments"
+	"gofi/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gofi-campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gofi-campaign", flag.ContinueOnError)
+	model := fs.String("model", "resnet18", "architecture (see gofi-info -list)")
+	errModel := fs.String("error", "bitflip", "error model: bitflip, bitflip2, random, zero, gauss, gain")
+	scope := fs.String("scope", "neuron", "injection scope per trial: neuron, per-layer, fmap, weight")
+	dtype := fs.String("dtype", "int8", "emulated data type: fp32, fp16, int8")
+	trials := fs.Int("trials", 1000, "injection trials")
+	workers := fs.Int("workers", 4, "parallel campaign workers")
+	classes := fs.Int("classes", 10, "dataset classes")
+	size := fs.Int("size", 32, "input size")
+	epochs := fs.Int("epochs", 8, "training epochs before the campaign")
+	noise := fs.Float64("noise", 0.6, "dataset pixel-noise std")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	em, err := parseErrorModel(*errModel)
+	if err != nil {
+		return err
+	}
+	dt, err := parseDType(*dtype)
+	if err != nil {
+		return err
+	}
+	arm, err := parseScope(*scope, em)
+	if err != nil {
+		return err
+	}
+
+	res, err := experiments.RunGenericCampaign(experiments.GenericCampaignConfig{
+		Model:          *model,
+		Classes:        *classes,
+		InSize:         *size,
+		TrainEpochs:    *epochs,
+		Noise:          float32(*noise),
+		Trials:         *trials,
+		Workers:        *workers,
+		DType:          dt,
+		Arm:            arm,
+		IsolateWeights: *scope == "weight",
+		Seed:           *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("GoFI campaign — %s, %s error model, %s scope, %s\n", *model, em.Name(), *scope, dt)
+	fmt.Printf("clean accuracy: %.1f%% (%d eligible inputs)\n", 100*res.CleanAcc, res.EligibleCount)
+	agg := res.Aggregate
+	lo, hi := agg.WilsonCI(campaign.Z99)
+	tb := report.NewTable("Metric", "Value")
+	tb.AddRow("Trials", agg.Trials)
+	tb.AddRow("Top-1 misclassifications", agg.Top1Mis)
+	tb.AddRow("Rate (%)", 100*agg.Rate())
+	tb.AddRow("99% CI (%)", fmt.Sprintf("[%.3f, %.3f]", 100*lo, 100*hi))
+	tb.AddRow("Clean Top-1 out of faulty Top-5", agg.OutOfTop5)
+	tb.AddRow("Confidence drops > 0.2", agg.BigConfDrop)
+	tb.AddRow("Non-finite outputs", agg.NonFinite)
+	tb.Render(os.Stdout)
+	return nil
+}
+
+func parseErrorModel(name string) (core.ErrorModel, error) {
+	switch name {
+	case "bitflip":
+		return core.BitFlip{Bit: core.RandomBit}, nil
+	case "bitflip2":
+		return core.MultiBitFlip{N: 2}, nil
+	case "random":
+		return core.DefaultRandomValue(), nil
+	case "zero":
+		return core.Zero{}, nil
+	case "gauss":
+		return core.GaussianNoise{Std: 1}, nil
+	case "gain":
+		return core.Gain{Factor: 2}, nil
+	default:
+		return nil, fmt.Errorf("unknown error model %q", name)
+	}
+}
+
+func parseDType(name string) (core.DType, error) {
+	switch name {
+	case "fp32":
+		return core.FP32, nil
+	case "fp16":
+		return core.FP16, nil
+	case "int8":
+		return core.INT8, nil
+	default:
+		return 0, fmt.Errorf("unknown dtype %q", name)
+	}
+}
+
+func parseScope(name string, em core.ErrorModel) (experiments.ArmFunc, error) {
+	switch name {
+	case "neuron":
+		return func(inj *core.Injector, rng *rand.Rand) error {
+			_, err := inj.InjectRandomNeuron(rng, em)
+			return err
+		}, nil
+	case "per-layer":
+		return func(inj *core.Injector, rng *rand.Rand) error {
+			_, err := inj.InjectRandomNeuronPerLayer(rng, em)
+			return err
+		}, nil
+	case "fmap":
+		return func(inj *core.Injector, rng *rand.Rand) error {
+			_, _, err := inj.InjectRandomFMap(rng, em)
+			return err
+		}, nil
+	case "weight":
+		return func(inj *core.Injector, rng *rand.Rand) error {
+			_, err := inj.InjectRandomWeight(rng, em)
+			return err
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown scope %q", name)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestParseErrorModel(t *testing.T) {
+	for _, name := range []string{"bitflip", "bitflip2", "random", "zero", "gauss", "gain"} {
+		m, err := parseErrorModel(name)
+		if err != nil || m == nil {
+			t.Fatalf("parseErrorModel(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := parseErrorModel("nope"); err == nil {
+		t.Fatal("unknown error model must error")
+	}
+}
+
+func TestParseDType(t *testing.T) {
+	for _, name := range []string{"fp32", "fp16", "int8"} {
+		if _, err := parseDType(name); err != nil {
+			t.Fatalf("parseDType(%q): %v", name, err)
+		}
+	}
+	if _, err := parseDType("int4"); err == nil {
+		t.Fatal("unknown dtype must error")
+	}
+}
+
+func TestParseScope(t *testing.T) {
+	em, _ := parseErrorModel("zero")
+	for _, name := range []string{"neuron", "per-layer", "fmap", "weight"} {
+		arm, err := parseScope(name, em)
+		if err != nil || arm == nil {
+			t.Fatalf("parseScope(%q): %v", name, err)
+		}
+	}
+	if _, err := parseScope("galaxy", em); err == nil {
+		t.Fatal("unknown scope must error")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-error", "nope"}); err == nil {
+		t.Fatal("bad error model must fail")
+	}
+	if err := run([]string{"-dtype", "nope"}); err == nil {
+		t.Fatal("bad dtype must fail")
+	}
+	if err := run([]string{"-scope", "nope"}); err == nil {
+		t.Fatal("bad scope must fail")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}

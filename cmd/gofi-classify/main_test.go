@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}

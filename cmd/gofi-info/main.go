@@ -1,0 +1,85 @@
+// Command gofi-info inspects a model from the zoo: its injector layer
+// table (the geometry GoFI profiles), parameter count, and layer census —
+// the "detailed debugging messages" surface of the tool.
+//
+// Usage:
+//
+//	gofi-info [-model resnet18] [-size 32] [-classes 10]
+//	gofi-info -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gofi/internal/core"
+	"gofi/internal/models"
+	"gofi/internal/nn"
+	"gofi/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gofi-info:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gofi-info", flag.ContinueOnError)
+	model := fs.String("model", "resnet18", "model name")
+	size := fs.Int("size", 32, "input size")
+	classes := fs.Int("classes", 10, "class count")
+	list := fs.Bool("list", false, "list available models and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Println("available models:")
+		for _, n := range models.Names() {
+			fmt.Println(" ", n)
+		}
+		return nil
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	m, err := models.Build(*model, rng, *classes, *size)
+	if err != nil {
+		return err
+	}
+	inj, err := core.New(m, core.Config{Height: *size, Width: *size})
+	if err != nil {
+		return err
+	}
+	defer inj.Detach()
+
+	fmt.Print(inj.Summary())
+
+	census := map[string]int{}
+	nn.Walk(m, func(_ string, l nn.Layer) {
+		census[fmt.Sprintf("%T", l)]++
+	})
+	fmt.Printf("\nparameters: %d\n", nn.ParamCount(m))
+	tb := report.NewTable("Layer type", "Count")
+	for _, ty := range []string{"*nn.Conv2d", "*nn.Linear", "*nn.BatchNorm2d", "*nn.ReLU", "*nn.MaxPool2d", "*nn.AvgPool2d", "*nn.Residual", "*nn.Concat", "*nn.Sequential"} {
+		if census[ty] > 0 {
+			tb.AddRow(ty, census[ty])
+		}
+	}
+	tb.Render(os.Stdout)
+
+	// Total injectable neuron sites per inference.
+	total := 0
+	for _, li := range inj.Layers() {
+		n := 1
+		for _, d := range li.OutShape[1:] {
+			n *= d
+		}
+		total += n
+	}
+	fmt.Printf("\ninjectable neuron sites per inference: %d\n", total)
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunUnknownModel(t *testing.T) {
+	if err := run([]string{"-model", "nosuchnet"}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}
+
+func TestRunSmallModel(t *testing.T) {
+	if err := run([]string{"-model", "alexnet", "-size", "16", "-classes", "4"}); err != nil {
+		t.Fatalf("inspect alexnet: %v", err)
+	}
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-granularity", "atom"}); err == nil {
+		t.Fatal("unknown granularity must error")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}

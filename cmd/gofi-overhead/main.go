@@ -1,0 +1,77 @@
+// Command gofi-overhead regenerates the paper's Figure 3 (inference
+// runtime with and without GoFI instrumentation across 19 networks and
+// two execution backends) and the §III-C batch-size sweep.
+//
+// Usage:
+//
+//	gofi-overhead [-trials N] [-quick] [-batches]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gofi/internal/experiments"
+	"gofi/internal/models"
+	"gofi/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gofi-overhead:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gofi-overhead", flag.ContinueOnError)
+	trials := fs.Int("trials", 5, "inferences averaged per cell")
+	quick := fs.Bool("quick", false, "run a 4-network subset instead of all 19")
+	batches := fs.Bool("batches", false, "run the §III-C batch-size sweep instead of Figure 3")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *batches {
+		rows, err := experiments.RunBatchSweep("resnet18", 32, nil, *trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("§III-C batch-size sweep — ResNet-18, base vs. one armed injection")
+		tb := report.NewTable("Batch", "Base (s)", "GoFI (s)", "Overhead (s)", "Overhead/inf (ms)")
+		for _, r := range rows {
+			tb.AddRow(r.Batch, r.BaseSec, r.FISec, r.Overhead, 1000*r.Overhead/float64(r.Batch))
+		}
+		tb.Render(os.Stdout)
+		return nil
+	}
+
+	cfg := experiments.Fig3Config{Trials: *trials, Seed: *seed}
+	if *quick {
+		all := models.Fig3Registry()
+		cfg.Entries = []models.Fig3Entry{all[0], all[5], all[12], all[18]}
+	}
+	rows, err := experiments.RunFig3(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Figure 3 — average inference runtime with and without GoFI")
+	fmt.Println("(serial backend stands in for the paper's CPU, parallel for its GPU)")
+	tb := report.NewTable("Dataset", "Network", "Backend", "Base (s)", "GoFI (s)", "Overhead (ms)")
+	for _, r := range rows {
+		tb.AddRow(r.Dataset, r.Label, r.Backend, r.BaseSec, r.FISec, 1000*r.Overhead)
+	}
+	tb.Render(os.Stdout)
+
+	chart := &report.BarChart{Title: "\nBase runtime per network (serial backend)", Unit: "s"}
+	for _, r := range rows {
+		if r.Backend == "serial" {
+			chart.Add(r.Dataset+"/"+r.Label, r.BaseSec, fmt.Sprintf("+FI %.4gs", r.FISec))
+		}
+	}
+	chart.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,72 @@
+// Detection resiliency (use case B, §IV-B): train the YOLO-lite detector
+// on synthetic scenes, then inject one random FP32 value per layer and
+// watch phantom objects appear.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gofi/internal/core"
+	"gofi/internal/data"
+	"gofi/internal/detect"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "detection:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scenes, err := data.NewScenes(data.SceneConfig{
+		Classes: 3, Size: 32, MaxObjects: 2, MinExtent: 8, MaxExtent: 14, Noise: 0.05, Seed: 11,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("training YOLO-lite on synthetic scenes...")
+	rng := rand.New(rand.NewSource(11))
+	det, losses, err := detect.NewTrained(rng, scenes, detect.Config{}, detect.TrainConfig{
+		Epochs: 12, BatchSize: 8, Scenes: 64, LR: 0.003, Momentum: 0.9,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detector loss: %.3f → %.3f\n", losses[0], losses[len(losses)-1])
+
+	inj, err := core.New(det.Model(), core.Config{Height: 32, Width: 32, Seed: 12})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instrumented %d convolution layers\n", len(inj.Layers()))
+
+	img, gts := scenes.Scene(5000)
+	x := img.Reshape(1, 3, 32, 32)
+
+	fmt.Printf("\nscene ground truth: %d object(s)\n", len(gts))
+	clean := det.Detect(x)[0]
+	fmt.Printf("clean inference: %d detection(s)\n", len(clean))
+	for _, d := range clean {
+		fmt.Printf("  class=%d conf=%.2f box=(%.0f,%.0f,%.0fx%.0f)\n", d.Class, d.Conf, d.X, d.Y, d.W, d.H)
+	}
+
+	siteRng := rand.New(rand.NewSource(13))
+	for trial := 1; trial <= 3; trial++ {
+		inj.Reset()
+		if _, err := inj.InjectRandomNeuronPerLayer(siteRng, core.RandomValue{Lo: -1e4, Hi: 1e4}); err != nil {
+			return err
+		}
+		faulty := det.Detect(x)[0]
+		m := detect.Match(faulty, gts)
+		fmt.Printf("\ninjected inference %d: %d detection(s) — %d phantom(s), %d matched, %d missed\n",
+			trial, len(faulty), m.Phantoms, m.TruePositives+m.Misclassified, m.Missed)
+		for _, d := range faulty {
+			fmt.Printf("  class=%d conf=%.2f box=(%.0f,%.0f,%.0fx%.0f)\n", d.Class, d.Conf, d.X, d.Y, d.W, d.H)
+		}
+	}
+	inj.Reset()
+	return nil
+}

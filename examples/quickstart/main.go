@@ -1,0 +1,64 @@
+// Quickstart mirrors the paper's three-step workflow (§III-B):
+//
+//  1. import GoFI,
+//  2. initialize the injector on your model,
+//  3. declare a perturbation — then run inference as usual.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gofi/internal/core"
+	"gofi/internal/models"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A model: any nn.Layer tree works; here a scaled AlexNet.
+	rng := rand.New(rand.NewSource(42))
+	model, err := models.Build("alexnet", rng, 10, 32)
+	if err != nil {
+		return err
+	}
+
+	// Step 2 — initialize: GoFI profiles the model with a dummy inference
+	// and installs its hooks.
+	inj, err := core.New(model, core.Config{Height: 32, Width: 32})
+	if err != nil {
+		return err
+	}
+	fmt.Print(inj.Summary())
+
+	// A clean inference for reference.
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 32, 32)
+	clean := nn.Run(model, x)
+	fmt.Printf("\nclean Top-1: class %d\n", tensor.ArgMaxRows(clean)[0])
+
+	// Step 3 — declare a perturbation: one random neuron gets a uniform
+	// random value in [-1, 1) (the paper's default error model).
+	site, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("armed fault: %v in layer %q\n", site, inj.Layers()[site.Layer].Path)
+
+	faulty := nn.Run(model, x)
+	fmt.Printf("faulty Top-1: class %d (logit drift L2 = %.4g)\n",
+		tensor.ArgMaxRows(faulty)[0], tensor.L2Distance(clean, faulty))
+
+	// Reset disarms everything; the model is pristine again.
+	inj.Reset()
+	restored := nn.Run(model, x)
+	fmt.Printf("after Reset, output identical to clean: %v\n", restored.Equal(clean))
+	return nil
+}

@@ -1,0 +1,3 @@
+module gofi
+
+go 1.22

@@ -1,0 +1,271 @@
+// Package campaign runs large fault-injection campaigns: thousands of
+// independent trials, each arming a perturbation on a model replica,
+// running an inference, and classifying the outcome against the clean
+// prediction. Trials fan out across worker goroutines, each owning a
+// private model+injector replica that shares trained weight storage with
+// its siblings (models are not goroutine-safe; weights are read-only
+// during neuron-fault campaigns).
+//
+// This is the harness behind the paper's §IV-A study (107 million
+// injections on their testbed; scaled down here) and the per-layer
+// vulnerability analyses of §IV-C.
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"gofi/internal/core"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// Outcome classifies a single injection trial, using the corruption
+// criteria discussed in §IV-A.
+type Outcome struct {
+	// Top1Changed: the injected inference's Top-1 differs from the clean
+	// Top-1 — the paper's primary "output corruption" definition.
+	Top1Changed bool
+	// Top1OutOfTop5: the clean Top-1 fell out of the injected Top-5, a
+	// coarser corruption criterion.
+	Top1OutOfTop5 bool
+	// ConfidenceDrop: clean Top-1 probability minus its probability under
+	// injection (positive = the fault eroded confidence).
+	ConfidenceDrop float64
+	// NonFinite: the injected logits contain NaN or Inf.
+	NonFinite bool
+}
+
+// Aggregate accumulates outcomes.
+type Aggregate struct {
+	Trials      int
+	Top1Mis     int
+	OutOfTop5   int
+	NonFinite   int
+	ConfDropSum float64
+	BigConfDrop int // trials with ConfidenceDrop > 0.2
+}
+
+// Add folds one outcome into the aggregate.
+func (a *Aggregate) Add(o Outcome) {
+	a.Trials++
+	if o.Top1Changed {
+		a.Top1Mis++
+	}
+	if o.Top1OutOfTop5 {
+		a.OutOfTop5++
+	}
+	if o.NonFinite {
+		a.NonFinite++
+	}
+	a.ConfDropSum += o.ConfidenceDrop
+	if o.ConfidenceDrop > 0.2 {
+		a.BigConfDrop++
+	}
+}
+
+// Merge folds another aggregate into a.
+func (a *Aggregate) Merge(b Aggregate) {
+	a.Trials += b.Trials
+	a.Top1Mis += b.Top1Mis
+	a.OutOfTop5 += b.OutOfTop5
+	a.NonFinite += b.NonFinite
+	a.ConfDropSum += b.ConfDropSum
+	a.BigConfDrop += b.BigConfDrop
+}
+
+// Rate returns the Top-1 misclassification probability.
+func (a Aggregate) Rate() float64 {
+	if a.Trials == 0 {
+		return 0
+	}
+	return float64(a.Top1Mis) / float64(a.Trials)
+}
+
+// Z99 is the two-sided 99% normal quantile used by the paper's error
+// bars.
+const Z99 = 2.5758293035489004
+
+// WilsonCI returns the Wilson score interval for the Top-1
+// misclassification rate at normal quantile z.
+func (a Aggregate) WilsonCI(z float64) (lo, hi float64) {
+	return wilson(a.Top1Mis, a.Trials, z)
+}
+
+func wilson(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// SampleSource yields single samples by index (satisfied by
+// data.Classification).
+type SampleSource interface {
+	Sample(i int) (*tensor.Tensor, int)
+}
+
+// Config drives Run.
+type Config struct {
+	// Workers is the number of parallel trial runners (default 1).
+	Workers int
+	// Trials is the total number of injection trials.
+	Trials int
+	// Seed derives every worker's private RNG.
+	Seed int64
+	// NewReplica builds worker w's private injector (and instrumented
+	// model). Replicas must share trained weights but nothing else.
+	NewReplica func(worker int) (*core.Injector, error)
+	// Source provides input samples.
+	Source SampleSource
+	// Eligible lists the sample indices trials may draw from (typically
+	// the correctly-classified subset, as in §IV-A).
+	Eligible []int
+	// Arm arms this trial's fault(s) on a freshly Reset injector.
+	Arm func(inj *core.Injector, rng *rand.Rand) error
+}
+
+func (c Config) validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("campaign: negative worker count %d", c.Workers)
+	}
+	if c.Trials <= 0 {
+		return fmt.Errorf("campaign: trials must be positive, got %d", c.Trials)
+	}
+	if c.NewReplica == nil || c.Source == nil || c.Arm == nil {
+		return fmt.Errorf("campaign: NewReplica, Source and Arm are required")
+	}
+	if len(c.Eligible) == 0 {
+		return fmt.Errorf("campaign: no eligible samples (did the model classify nothing correctly?)")
+	}
+	return nil
+}
+
+type cleanPrediction struct {
+	top1 int
+	top5 []int
+	conf float64
+}
+
+// Run executes the campaign and returns the aggregated outcomes.
+func Run(cfg Config) (Aggregate, error) {
+	if err := cfg.validate(); err != nil {
+		return Aggregate{}, err
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	type result struct {
+		agg Aggregate
+		err error
+	}
+	results := make(chan result, workers)
+	// Static trial partition keeps the campaign deterministic for a fixed
+	// (Seed, Workers) pair.
+	per := cfg.Trials / workers
+	extra := cfg.Trials % workers
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		trials := per
+		if w < extra {
+			trials++
+		}
+		wg.Add(1)
+		go func(w, trials int) {
+			defer wg.Done()
+			agg, err := runWorker(cfg, w, trials)
+			results <- result{agg: agg, err: err}
+		}(w, trials)
+	}
+	wg.Wait()
+	close(results)
+
+	var total Aggregate
+	for r := range results {
+		if r.err != nil {
+			return Aggregate{}, r.err
+		}
+		total.Merge(r.agg)
+	}
+	return total, nil
+}
+
+func runWorker(cfg Config, worker, trials int) (Aggregate, error) {
+	inj, err := cfg.NewReplica(worker)
+	if err != nil {
+		return Aggregate{}, fmt.Errorf("campaign: worker %d replica: %w", worker, err)
+	}
+	model := inj.Model()
+	nn.SetTraining(model, false)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*1_000_003))
+
+	clean := make(map[int]cleanPrediction, len(cfg.Eligible))
+	var agg Aggregate
+	for t := 0; t < trials; t++ {
+		idx := cfg.Eligible[rng.Intn(len(cfg.Eligible))]
+		img, _ := cfg.Source.Sample(idx)
+		shape := img.Shape()
+		x := img.Reshape(1, shape[0], shape[1], shape[2])
+
+		cp, ok := clean[idx]
+		if !ok {
+			inj.Reset()
+			logits := nn.Run(model, x)
+			probs := tensor.SoftmaxRows(logits)
+			cp = cleanPrediction{
+				top1: tensor.ArgMaxRows(logits)[0],
+				top5: tensor.TopK(logits, 5)[0],
+			}
+			cp.conf = float64(probs.At(0, cp.top1))
+			clean[idx] = cp
+		}
+
+		inj.Reset()
+		if err := cfg.Arm(inj, rng); err != nil {
+			return Aggregate{}, fmt.Errorf("campaign: worker %d trial %d arm: %w", worker, t, err)
+		}
+		logits := nn.Run(model, x)
+		agg.Add(classify(logits, cp))
+	}
+	inj.Reset()
+	return agg, nil
+}
+
+func classify(logits *tensor.Tensor, cp cleanPrediction) Outcome {
+	var o Outcome
+	o.NonFinite = logits.CountNonFinite() > 0
+	top1 := tensor.ArgMaxRows(logits)[0]
+	o.Top1Changed = top1 != cp.top1
+	o.Top1OutOfTop5 = true
+	for _, c := range tensor.TopK(logits, 5)[0] {
+		if c == cp.top1 {
+			o.Top1OutOfTop5 = false
+			break
+		}
+	}
+	if !o.NonFinite {
+		probs := tensor.SoftmaxRows(logits)
+		o.ConfidenceDrop = cp.conf - float64(probs.At(0, cp.top1))
+	}
+	return o
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// testModel builds a small conv net with a known layer inventory:
+// 3 convolutions and 1 linear layer.
+func testModel(rng *rand.Rand) nn.Layer {
+	return nn.NewSequential("net",
+		nn.NewConv2d("conv1", rng, 3, 4, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool2d("pool1", 2, 0, 0),
+		nn.NewConv2d("conv2", rng, 4, 8, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu2"),
+		nn.NewConv2d("conv3", rng, 8, 8, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu3"),
+		nn.NewGlobalAvgPool2d("gap"),
+		nn.NewFlatten("fl"),
+		nn.NewLinear("fc", rng, 8, 5, true),
+	)
+}
+
+func newTestInjector(t *testing.T, cfg Config) (*Injector, nn.Layer) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	model := testModel(rng)
+	inj, err := New(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj, model
+}
+
+func TestNewProfilesLayers(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Batch: 2, Height: 16, Width: 16})
+	layers := inj.Layers()
+	if len(layers) != 3 {
+		t.Fatalf("profiled %d layers, want 3 convs", len(layers))
+	}
+	// conv1 runs at full resolution, conv2/conv3 after the 2× pool.
+	if got := layers[0].OutShape; got[0] != 2 || got[1] != 4 || got[2] != 16 || got[3] != 16 {
+		t.Fatalf("conv1 shape %v", got)
+	}
+	if got := layers[1].OutShape; got[1] != 8 || got[2] != 8 {
+		t.Fatalf("conv2 shape %v", got)
+	}
+	if layers[0].Path != "net.conv1" || layers[0].Kind != "conv" {
+		t.Fatalf("layer info %+v", layers[0])
+	}
+	if got := layers[2].Weight; got[0] != 8 || got[1] != 8 || got[2] != 3 {
+		t.Fatalf("conv3 weight shape %v", got)
+	}
+}
+
+func TestNewIncludeLinear(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16, IncludeLinear: true})
+	layers := inj.Layers()
+	if len(layers) != 4 {
+		t.Fatalf("profiled %d layers, want 4", len(layers))
+	}
+	last := layers[3]
+	if last.Kind != "linear" || last.OutShape[1] != 5 {
+		t.Fatalf("linear layer info %+v", last)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("nil model must error")
+	}
+	// Model with no convs.
+	noConv := nn.NewSequential("n", nn.NewFlatten("f"), nn.NewLinear("fc", rng, 12, 2, true))
+	if _, err := New(noConv, Config{Height: 2, Width: 2}); err == nil {
+		t.Fatal("conv-free model must error")
+	}
+	// Geometry the model cannot consume: linear expects a fixed input, so
+	// a wrong profiling size must surface as an error, not a panic.
+	fixed := nn.NewSequential("n",
+		nn.NewConv2d("c", rng, 3, 2, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewFlatten("f"),
+		nn.NewLinear("fc", rng, 2*8*8, 2, true),
+	)
+	if _, err := New(fixed, Config{Height: 16, Width: 16}); err == nil {
+		t.Fatal("profiling failure must surface as error")
+	}
+}
+
+func TestDisarmedInjectorPreservesOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model := testModel(rng)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	clean := nn.Run(model, x).Clone()
+	inj, err := New(model, Config{Height: 16, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instrumented but disarmed: output must be bit-identical.
+	if !nn.Run(model, x).Equal(clean) {
+		t.Fatal("disarmed instrumentation changed the output")
+	}
+	if inj.Injections != 0 {
+		t.Fatalf("Injections = %d, want 0", inj.Injections)
+	}
+}
+
+func TestNeuronInjectionSetValue(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16})
+	x := tensor.RandUniform(rand.New(rand.NewSource(4)), -1, 1, 1, 3, 16, 16)
+	clean := nn.Run(model, x).Clone()
+
+	site := NeuronSite{Layer: 1, Batch: 0, C: 3, H: 2, W: 5}
+	if err := inj.DeclareNeuronFI(SetValue{V: 500}, site); err != nil {
+		t.Fatal(err)
+	}
+	// Observe the mutated value downstream: capture conv2's output.
+	var captured float32
+	nn.Walk(model, func(_ string, l nn.Layer) {
+		if c, ok := l.(*nn.Conv2d); ok && c.Name() == "conv2" {
+			c.RegisterForwardHook(func(_ nn.Layer, _, out *tensor.Tensor) {
+				captured = out.At(0, 3, 2, 5)
+			})
+		}
+	})
+	faulty := nn.Run(model, x)
+	if captured != 500 {
+		t.Fatalf("injected neuron = %g, want 500", captured)
+	}
+	if faulty.Equal(clean) {
+		t.Fatal("fault did not propagate to logits")
+	}
+	if inj.Injections != 1 {
+		t.Fatalf("Injections = %d, want 1", inj.Injections)
+	}
+
+	// Reset restores baseline behaviour exactly.
+	inj.Reset()
+	if !nn.Run(model, x).Equal(clean) {
+		t.Fatal("Reset did not restore baseline output")
+	}
+}
+
+func TestNeuronInjectionAllBatches(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Batch: 3, Height: 16, Width: 16})
+	site := NeuronSite{Layer: 0, Batch: AllBatches, C: 0, H: 0, W: 0}
+	if err := inj.DeclareNeuronFI(SetValue{V: 9}, site); err != nil {
+		t.Fatal(err)
+	}
+	nn.Run(model, tensor.New(3, 3, 16, 16))
+	if inj.Injections != 3 {
+		t.Fatalf("Injections = %d, want 3 (one per batch element)", inj.Injections)
+	}
+}
+
+func TestNeuronInjectionSingleBatchElement(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Batch: 2, Height: 16, Width: 16})
+	x := tensor.RandUniform(rand.New(rand.NewSource(5)), -1, 1, 2, 3, 16, 16)
+	clean := nn.Run(model, x).Clone()
+	if err := inj.DeclareNeuronFI(SetValue{V: 1e4}, NeuronSite{Layer: 2, Batch: 1, C: 0, H: 1, W: 1}); err != nil {
+		t.Fatal(err)
+	}
+	faulty := nn.Run(model, x)
+	// Row 0 untouched, row 1 perturbed.
+	for c := 0; c < 5; c++ {
+		if faulty.At(0, c) != clean.At(0, c) {
+			t.Fatal("batch element 0 must be unaffected")
+		}
+	}
+	same := true
+	for c := 0; c < 5; c++ {
+		if faulty.At(1, c) != clean.At(1, c) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("batch element 1 must be perturbed")
+	}
+}
+
+func TestNeuronSiteValidation(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	tests := []struct {
+		name string
+		site NeuronSite
+		want string
+	}{
+		{"layer-high", NeuronSite{Layer: 3}, "layer index"},
+		{"layer-negative", NeuronSite{Layer: -1}, "layer index"},
+		{"fmap", NeuronSite{Layer: 0, C: 4}, "fmap"},
+		{"coord-h", NeuronSite{Layer: 0, H: 16}, "coordinate"},
+		{"coord-w", NeuronSite{Layer: 1, W: 8}, "coordinate"},
+		{"batch", NeuronSite{Layer: 0, Batch: 1}, "batch"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := inj.DeclareNeuronFI(Zero{}, tc.site)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if inj.ArmedNeuronCount() != 0 {
+				t.Fatal("failed declaration must not arm sites")
+			}
+		})
+	}
+}
+
+func TestDeclareNeuronFIAtomic(t *testing.T) {
+	// One bad site in a batch must leave the injector unchanged.
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	err := inj.DeclareNeuronFI(Zero{},
+		NeuronSite{Layer: 0, C: 0, H: 0, W: 0},
+		NeuronSite{Layer: 99, C: 0, H: 0, W: 0},
+	)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if inj.ArmedNeuronCount() != 0 {
+		t.Fatalf("armed %d sites after failed declare", inj.ArmedNeuronCount())
+	}
+}
+
+func TestDeclareEmptyAndNil(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	if err := inj.DeclareNeuronFI(Zero{}); err == nil {
+		t.Fatal("no sites must error")
+	}
+	if err := inj.DeclareNeuronFI(nil, NeuronSite{}); err == nil {
+		t.Fatal("nil model must error")
+	}
+	if err := inj.DeclareWeightFI(Zero{}); err == nil {
+		t.Fatal("no weight sites must error")
+	}
+	if err := inj.DeclareWeightFI(nil, WeightSite{}); err == nil {
+		t.Fatal("nil model must error")
+	}
+}
+
+func TestWeightInjectionOfflineAndRestore(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16})
+	x := tensor.RandUniform(rand.New(rand.NewSource(6)), -1, 1, 1, 3, 16, 16)
+	clean := nn.Run(model, x).Clone()
+
+	site := WeightSite{Layer: 0, Idx: []int{2, 1, 0, 2}}
+	var conv1 *nn.Conv2d
+	nn.Walk(model, func(_ string, l nn.Layer) {
+		if c, ok := l.(*nn.Conv2d); ok && c.Name() == "conv1" {
+			conv1 = c
+		}
+	})
+	orig := conv1.Weight().Data.At(2, 1, 0, 2)
+
+	if err := inj.DeclareWeightFI(SetValue{V: 77}, site); err != nil {
+		t.Fatal(err)
+	}
+	// Weight mutated immediately — offline, before any inference.
+	if got := conv1.Weight().Data.At(2, 1, 0, 2); got != 77 {
+		t.Fatalf("weight = %g, want 77", got)
+	}
+	if nn.Run(model, x).Equal(clean) {
+		t.Fatal("weight fault did not propagate")
+	}
+	// Weight injection adds zero runtime work: the hook counter stays 0.
+	if inj.Injections != 0 {
+		t.Fatalf("Injections = %d, want 0 for weight faults", inj.Injections)
+	}
+
+	inj.RestoreWeights()
+	if got := conv1.Weight().Data.At(2, 1, 0, 2); got != orig {
+		t.Fatalf("restored weight = %g, want %g", got, orig)
+	}
+	if !nn.Run(model, x).Equal(clean) {
+		t.Fatal("restore did not recover baseline output")
+	}
+}
+
+func TestWeightSiteValidation(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	tests := []struct {
+		name string
+		site WeightSite
+	}{
+		{"layer", WeightSite{Layer: 9, Idx: []int{0, 0, 0, 0}}},
+		{"rank", WeightSite{Layer: 0, Idx: []int{0, 0}}},
+		{"range", WeightSite{Layer: 0, Idx: []int{0, 0, 0, 3}}},
+		{"negative", WeightSite{Layer: 0, Idx: []int{0, -1, 0, 0}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := inj.DeclareWeightFI(Zero{}, tc.site); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestMultipleFaultsAccumulate(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16})
+	if err := inj.DeclareNeuronFI(Zero{}, NeuronSite{Layer: 0, C: 0, H: 0, W: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.DeclareNeuronFI(SetValue{V: 3}, NeuronSite{Layer: 1, C: 1, H: 1, W: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if inj.ArmedNeuronCount() != 2 {
+		t.Fatalf("armed = %d, want 2", inj.ArmedNeuronCount())
+	}
+	nn.Run(model, tensor.New(1, 3, 16, 16))
+	if inj.Injections != 2 {
+		t.Fatalf("Injections = %d, want 2", inj.Injections)
+	}
+}
+
+func TestDetachRemovesInstrumentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	model := testModel(rng)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	clean := nn.Run(model, x).Clone()
+	inj, err := New(model, Config{Height: 16, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.DeclareNeuronFI(SetValue{V: 100}, NeuronSite{Layer: 0, C: 0, H: 0, W: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.DeclareWeightFI(SetValue{V: 100}, WeightSite{Layer: 0, Idx: []int{0, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	inj.Detach()
+	if !nn.Run(model, x).Equal(clean) {
+		t.Fatal("Detach must restore pristine behaviour")
+	}
+	// Hooks are gone entirely.
+	hookCount := 0
+	nn.Walk(model, func(_ string, l nn.Layer) {
+		if c, ok := l.(*nn.Conv2d); ok {
+			hookCount += c.HookCount()
+		}
+	})
+	if hookCount != 0 {
+		t.Fatalf("%d hooks remain after Detach", hookCount)
+	}
+}
+
+func TestSummaryMentionsLayers(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	s := inj.Summary()
+	for _, want := range []string{"3 hookable layers", "net.conv1", "net.conv3", "fp32"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	cfg := inj.Config()
+	if cfg.Batch != 1 || cfg.Channels != 3 || cfg.DType != FP32 {
+		t.Fatalf("canonicalized config %+v", cfg)
+	}
+	if FP32.String() != "fp32" || FP16.String() != "fp16" || INT8.String() != "int8" {
+		t.Fatal("DType strings wrong")
+	}
+	if DType(99).String() == "" {
+		t.Fatal("unknown DType must still format")
+	}
+}

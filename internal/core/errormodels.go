@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/fpbits"
+	"gofi/internal/quant"
+)
+
+// PerturbContext carries the runtime state an error model may need: the
+// layer being perturbed, its calibrated INT8 scale, the emulated data
+// type, and the injector's RNG (for models with a random component).
+type PerturbContext struct {
+	Layer int
+	Scale quant.Scale
+	DType DType
+	Rand  *rand.Rand
+}
+
+// ErrorModel maps a value to its perturbed replacement. Implementations
+// must be pure given (v, ctx) and must not retain ctx.Rand.
+//
+// GoFI ships the paper's default library — random value, single bit flip
+// and zero — and users implement this interface for custom models.
+type ErrorModel interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Perturb returns the corrupted value.
+	Perturb(v float32, ctx PerturbContext) float32
+}
+
+// RandomValue replaces the value with a uniform draw from [Lo, Hi) — the
+// paper's default model with Lo, Hi = -1, 1.
+type RandomValue struct {
+	Lo, Hi float32
+}
+
+var _ ErrorModel = RandomValue{}
+
+// DefaultRandomValue is the paper's default perturbation: U[-1, 1).
+func DefaultRandomValue() RandomValue { return RandomValue{Lo: -1, Hi: 1} }
+
+// Name implements ErrorModel.
+func (m RandomValue) Name() string { return fmt.Sprintf("random[%g,%g)", m.Lo, m.Hi) }
+
+// Perturb implements ErrorModel.
+func (m RandomValue) Perturb(_ float32, ctx PerturbContext) float32 {
+	return m.Lo + (m.Hi-m.Lo)*ctx.Rand.Float32()
+}
+
+// Zero replaces the value with 0, emulating a dead neuron/weight.
+type Zero struct{}
+
+var _ ErrorModel = Zero{}
+
+// Name implements ErrorModel.
+func (Zero) Name() string { return "zero" }
+
+// Perturb implements ErrorModel.
+func (Zero) Perturb(float32, PerturbContext) float32 { return 0 }
+
+// SetValue replaces the value with the constant V (the interpretability
+// use case injects 10,000 this way).
+type SetValue struct {
+	V float32
+}
+
+var _ ErrorModel = SetValue{}
+
+// Name implements ErrorModel.
+func (m SetValue) Name() string { return fmt.Sprintf("set(%g)", m.V) }
+
+// Perturb implements ErrorModel.
+func (m SetValue) Perturb(float32, PerturbContext) float32 { return m.V }
+
+// RandomBit selects a uniformly random bit position per injection.
+const RandomBit = -1
+
+// BitFlip flips one bit of the value's representation in the injector's
+// emulated data type: IEEE-754 binary32 (FP32), emulated binary16 (FP16),
+// or calibrated symmetric INT8. Bit == RandomBit draws a fresh position
+// each injection — the single-bit-flip hardware error model of §IV-A.
+type BitFlip struct {
+	Bit int
+}
+
+var _ ErrorModel = BitFlip{}
+
+// Name implements ErrorModel.
+func (m BitFlip) Name() string {
+	if m.Bit == RandomBit {
+		return "bitflip(random)"
+	}
+	return fmt.Sprintf("bitflip(%d)", m.Bit)
+}
+
+// NeedsINT8 tells the injector to require calibration when the emulated
+// type is INT8. (FP32/FP16 flips are self-contained.)
+func (m BitFlip) NeedsINT8() bool { return true }
+
+// Perturb implements ErrorModel.
+func (m BitFlip) Perturb(v float32, ctx PerturbContext) float32 {
+	bits := bitsFor(ctx.DType)
+	bit := m.Bit
+	if bit == RandomBit {
+		bit = ctx.Rand.Intn(bits)
+	} else if bit < 0 || bit >= bits {
+		// Declared sites are validated, but a custom caller could still
+		// construct an out-of-range fixed bit; saturate deterministically.
+		bit = bits - 1
+	}
+	switch ctx.DType {
+	case FP16:
+		return fpbits.FlipBitFP16(v, bit)
+	case INT8:
+		return ctx.Scale.FlipBit(v, bit)
+	default:
+		return fpbits.FlipBitFP32(v, bit)
+	}
+}
+
+func bitsFor(d DType) int {
+	switch d {
+	case FP16:
+		return 16
+	case INT8:
+		return 8
+	default:
+		return 32
+	}
+}
+
+// GaussianNoise adds zero-mean Gaussian noise with the given standard
+// deviation — the additive-noise perturbation model used by robustness
+// studies.
+type GaussianNoise struct {
+	Std float32
+}
+
+var _ ErrorModel = GaussianNoise{}
+
+// Name implements ErrorModel.
+func (m GaussianNoise) Name() string { return fmt.Sprintf("gauss(%g)", m.Std) }
+
+// Perturb implements ErrorModel.
+func (m GaussianNoise) Perturb(v float32, ctx PerturbContext) float32 {
+	return v + m.Std*float32(ctx.Rand.NormFloat64())
+}
+
+// MultiBitFlip flips N distinct random bits of the value's representation,
+// emulating multi-bit upsets (e.g. from a single particle strike spanning
+// adjacent cells).
+type MultiBitFlip struct {
+	N int
+}
+
+var _ ErrorModel = MultiBitFlip{}
+
+// Name implements ErrorModel.
+func (m MultiBitFlip) Name() string { return fmt.Sprintf("bitflip×%d", m.N) }
+
+// NeedsINT8 mirrors BitFlip's calibration requirement.
+func (m MultiBitFlip) NeedsINT8() bool { return true }
+
+// Perturb implements ErrorModel.
+func (m MultiBitFlip) Perturb(v float32, ctx PerturbContext) float32 {
+	bits := bitsFor(ctx.DType)
+	n := m.N
+	if n < 1 {
+		n = 1
+	}
+	if n > bits {
+		n = bits
+	}
+	// Sample n distinct positions.
+	perm := ctx.Rand.Perm(bits)[:n]
+	single := BitFlip{}
+	for _, b := range perm {
+		single.Bit = b
+		v = single.Perturb(v, ctx)
+	}
+	return v
+}
+
+// Gain multiplies the value by Factor, modeling a scaling fault (e.g. a
+// shifted exponent or a miscalibrated analog MAC).
+type Gain struct {
+	Factor float32
+}
+
+var _ ErrorModel = Gain{}
+
+// Name implements ErrorModel.
+func (m Gain) Name() string { return fmt.Sprintf("gain(%g)", m.Factor) }
+
+// Perturb implements ErrorModel.
+func (m Gain) Perturb(v float32, _ PerturbContext) float32 { return v * m.Factor }
+
+// Func adapts a plain function into an ErrorModel, the lightest path for
+// user-defined perturbation models.
+type Func struct {
+	Label string
+	Fn    func(v float32, ctx PerturbContext) float32
+}
+
+var _ ErrorModel = Func{}
+
+// Name implements ErrorModel.
+func (m Func) Name() string {
+	if m.Label == "" {
+		return "custom"
+	}
+	return m.Label
+}
+
+// Perturb implements ErrorModel.
+func (m Func) Perturb(v float32, ctx PerturbContext) float32 { return m.Fn(v, ctx) }

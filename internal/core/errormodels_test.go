@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gofi/internal/nn"
+	"gofi/internal/quant"
+	"gofi/internal/tensor"
+)
+
+func ctxFP32(rng *rand.Rand) PerturbContext {
+	return PerturbContext{DType: FP32, Scale: 1, Rand: rng}
+}
+
+func TestRandomValueModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := DefaultRandomValue()
+	for i := 0; i < 1000; i++ {
+		v := m.Perturb(42, ctxFP32(rng))
+		if v < -1 || v >= 1 {
+			t.Fatalf("RandomValue out of range: %g", v)
+		}
+	}
+	if m.Name() != "random[-1,1)" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestZeroAndSetValueModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if got := (Zero{}).Perturb(3.14, ctxFP32(rng)); got != 0 {
+		t.Fatalf("Zero = %g", got)
+	}
+	if got := (SetValue{V: 10000}).Perturb(-1, ctxFP32(rng)); got != 10000 {
+		t.Fatalf("SetValue = %g", got)
+	}
+	if (SetValue{V: 2}).Name() != "set(2)" {
+		t.Fatal("SetValue name")
+	}
+	if (Zero{}).Name() != "zero" {
+		t.Fatal("Zero name")
+	}
+}
+
+func TestBitFlipFP32Fixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := BitFlip{Bit: 31} // sign
+	if got := m.Perturb(2.5, ctxFP32(rng)); got != -2.5 {
+		t.Fatalf("sign flip = %g", got)
+	}
+}
+
+func TestBitFlipFP32RandomStaysIn32(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := BitFlip{Bit: RandomBit}
+	for i := 0; i < 500; i++ {
+		// Flipping any single bit twice must restore; we indirectly verify
+		// legality by checking no panic occurs and the result is a valid
+		// float (possibly NaN/Inf — those are legitimate fault outcomes).
+		_ = m.Perturb(1.5, ctxFP32(rng))
+	}
+	if m.Name() != "bitflip(random)" || (BitFlip{Bit: 3}).Name() != "bitflip(3)" {
+		t.Fatal("BitFlip names")
+	}
+}
+
+func TestBitFlipFP16(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := BitFlip{Bit: 15}
+	got := m.Perturb(1, PerturbContext{DType: FP16, Scale: 1, Rand: rng})
+	if got != -1 {
+		t.Fatalf("FP16 sign flip = %g", got)
+	}
+}
+
+func TestBitFlipINT8UsesScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := BitFlip{Bit: 6}
+	// scale 1: value 0 → code 0 → flip bit 6 → 64.
+	got := m.Perturb(0, PerturbContext{DType: INT8, Scale: 1, Rand: rng})
+	if got != 64 {
+		t.Fatalf("INT8 flip = %g, want 64", got)
+	}
+	// scale 0.5 halves the dequantized magnitude.
+	got = m.Perturb(0, PerturbContext{DType: INT8, Scale: 0.5, Rand: rng})
+	if got != 32 {
+		t.Fatalf("INT8 flip at scale 0.5 = %g, want 32", got)
+	}
+}
+
+func TestBitFlipOutOfRangeFixedBitSaturates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := BitFlip{Bit: 77}
+	// Must not panic; saturates to the top bit of the dtype.
+	got := m.Perturb(1, ctxFP32(rng))
+	if got != -1 {
+		t.Fatalf("saturated flip = %g, want sign flip result -1", got)
+	}
+}
+
+func TestFuncModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := Func{Label: "double", Fn: func(v float32, _ PerturbContext) float32 { return 2 * v }}
+	if got := m.Perturb(21, ctxFP32(rng)); got != 42 {
+		t.Fatalf("Func = %g", got)
+	}
+	if m.Name() != "double" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	if (Func{}).Name() != "custom" {
+		t.Fatal("default Func name")
+	}
+}
+
+func TestINT8BitFlipRequiresCalibration(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16, DType: INT8})
+	err := inj.DeclareNeuronFI(BitFlip{Bit: RandomBit}, NeuronSite{Layer: 0, C: 0, H: 0, W: 0})
+	if err == nil {
+		t.Fatal("INT8 bit flip without calibration must error")
+	}
+
+	// After calibration it is accepted.
+	x := tensor.RandUniform(rand.New(rand.NewSource(9)), -1, 1, 1, 3, 16, 16)
+	if err := inj.CalibrateINT8(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.DeclareNeuronFI(BitFlip{Bit: RandomBit}, NeuronSite{Layer: 0, C: 0, H: 0, W: 0}); err != nil {
+		t.Fatal(err)
+	}
+	nn.Run(model, x)
+	if inj.Injections != 1 {
+		t.Fatalf("Injections = %d", inj.Injections)
+	}
+}
+
+func TestCalibrateINT8Scales(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16, DType: INT8})
+	x := tensor.RandUniform(rand.New(rand.NewSource(10)), -1, 1, 1, 3, 16, 16)
+	if err := inj.CalibrateINT8(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range inj.Scales() {
+		if s <= 0 {
+			t.Fatalf("layer %d scale %g not positive", i, float32(s))
+		}
+	}
+}
+
+func TestCalibrateINT8WrongDType(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	if err := inj.CalibrateINT8(tensor.New(1, 3, 16, 16)); err == nil {
+		t.Fatal("FP32 injector must reject CalibrateINT8")
+	}
+}
+
+func TestEnableActQuantRoundsActivations(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16, DType: INT8})
+	x := tensor.RandUniform(rand.New(rand.NewSource(11)), -1, 1, 1, 3, 16, 16)
+
+	if err := inj.EnableActQuant(true); err == nil {
+		t.Fatal("EnableActQuant before calibration must error")
+	}
+	if err := inj.CalibrateINT8(x); err != nil {
+		t.Fatal(err)
+	}
+	clean := nn.Run(model, x).Clone()
+	if err := inj.EnableActQuant(true); err != nil {
+		t.Fatal(err)
+	}
+	quantized := nn.Run(model, x)
+	// Quantized execution differs slightly but not wildly from FP32.
+	if quantized.Equal(clean) {
+		t.Fatal("activation quantization had no effect")
+	}
+	if d := tensor.L2Distance(quantized, clean); math.IsNaN(d) || d > float64(clean.AbsMax())*2+1 {
+		t.Fatalf("quantized output unreasonably far from clean: %g", d)
+	}
+	// Every conv output value must be on the quantization grid — verified
+	// via a capture hook on conv1.
+	scale := inj.Scales()[0]
+	var onGrid bool
+	nn.Walk(model, func(_ string, l nn.Layer) {
+		if c, ok := l.(*nn.Conv2d); ok && c.Name() == "conv1" {
+			c.RegisterForwardHook(func(_ nn.Layer, _, out *tensor.Tensor) {
+				onGrid = true
+				for i := 0; i < out.Len(); i++ {
+					v := out.AtFlat(i)
+					if q := scale.RoundTrip(v); q != v {
+						onGrid = false
+						return
+					}
+				}
+			})
+		}
+	})
+	nn.Run(model, x)
+	if !onGrid {
+		t.Fatal("conv1 activations not on the INT8 grid")
+	}
+	if err := inj.EnableActQuant(false); err != nil {
+		t.Fatal(err)
+	}
+	if !nn.Run(model, x).Equal(clean) {
+		t.Fatal("disabling quantization must restore FP32 behaviour")
+	}
+}
+
+// Property: for any neuron site and any value, a double sign-bit flip via
+// the injector's error model is the identity (FP32).
+func TestBitFlipInvolutionThroughModel_Property(t *testing.T) {
+	f := func(v float32, bit uint8) bool {
+		rng := rand.New(rand.NewSource(1))
+		b := int(bit) % 32
+		m := BitFlip{Bit: b}
+		ctx := ctxFP32(rng)
+		return math.Float32bits(m.Perturb(m.Perturb(v, ctx), ctx)) == math.Float32bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: INT8 flips always land on the quantization grid.
+func TestINT8FlipOnGrid_Property(t *testing.T) {
+	f := func(seed int64, bit uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := quant.Scale(rng.Float32() + 0.01)
+		m := BitFlip{Bit: int(bit) % 8}
+		v := (rng.Float32()*2 - 1) * 100
+		out := m.Perturb(v, PerturbContext{DType: INT8, Scale: scale, Rand: rng})
+		return scale.RoundTrip(out) == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

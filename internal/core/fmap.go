@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Coarse-grained injection helpers: the paper's §IV-A names "layer or
+// feature-map level error injections" as the follow-on study for
+// understanding why some models are more resilient; these helpers make
+// those campaigns one-liners.
+
+// FMapSites enumerates every neuron of one feature map, so an entire map
+// can be perturbed at once (batch semantics per the batch argument).
+func (inj *Injector) FMapSites(layer, fmap, batch int) ([]NeuronSite, error) {
+	if layer < 0 || layer >= len(inj.layers) {
+		return nil, fmt.Errorf("core: layer %d outside [0,%d)", layer, len(inj.layers))
+	}
+	shape := inj.layers[layer].OutShape
+	var c, h, w int
+	if len(shape) == 4 {
+		c, h, w = shape[1], shape[2], shape[3]
+	} else {
+		c, h, w = shape[1], 1, 1
+	}
+	if fmap < 0 || fmap >= c {
+		return nil, &SiteError{
+			Site:   NeuronSite{Layer: layer, C: fmap},
+			Reason: fmt.Sprintf("fmap outside [0,%d) of layer %s", c, inj.layers[layer].Path),
+		}
+	}
+	sites := make([]NeuronSite, 0, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sites = append(sites, NeuronSite{Layer: layer, Batch: batch, C: fmap, H: y, W: x})
+		}
+	}
+	return sites, nil
+}
+
+// InjectFMap perturbs every neuron of one feature map with the model.
+func (inj *Injector) InjectFMap(layer, fmap int, model ErrorModel) error {
+	sites, err := inj.FMapSites(layer, fmap, AllBatches)
+	if err != nil {
+		return err
+	}
+	return inj.DeclareNeuronFI(model, sites...)
+}
+
+// InjectRandomFMap perturbs one uniformly random feature map (uniform over
+// layers, then over that layer's maps) and returns its (layer, fmap).
+func (inj *Injector) InjectRandomFMap(rng *rand.Rand, model ErrorModel) (layer, fmap int, err error) {
+	layer = rng.Intn(len(inj.layers))
+	shape := inj.layers[layer].OutShape
+	fmap = rng.Intn(shape[1])
+	return layer, fmap, inj.InjectFMap(layer, fmap, model)
+}
+
+// LayerSites enumerates every neuron of one layer's output — whole-layer
+// injection, the coarsest granularity.
+func (inj *Injector) LayerSites(layer, batch int) ([]NeuronSite, error) {
+	if layer < 0 || layer >= len(inj.layers) {
+		return nil, fmt.Errorf("core: layer %d outside [0,%d)", layer, len(inj.layers))
+	}
+	shape := inj.layers[layer].OutShape
+	c := shape[1]
+	var all []NeuronSite
+	for f := 0; f < c; f++ {
+		sites, err := inj.FMapSites(layer, f, batch)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, sites...)
+	}
+	return all, nil
+}

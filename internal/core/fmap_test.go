@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+func TestFMapSitesEnumeration(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	// Layer 0 output is [1,4,16,16]: one fmap has 256 sites.
+	sites, err := inj.FMapSites(0, 2, AllBatches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 256 {
+		t.Fatalf("fmap sites = %d, want 256", len(sites))
+	}
+	for _, s := range sites {
+		if s.C != 2 || s.Layer != 0 || s.Batch != AllBatches {
+			t.Fatalf("bad site %v", s)
+		}
+		if err := inj.validateNeuron(s); err != nil {
+			t.Fatalf("enumerated site invalid: %v", err)
+		}
+	}
+}
+
+func TestFMapSitesErrors(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	if _, err := inj.FMapSites(9, 0, 0); err == nil {
+		t.Fatal("bad layer must error")
+	}
+	if _, err := inj.FMapSites(0, 99, 0); err == nil {
+		t.Fatal("bad fmap must error")
+	}
+}
+
+func TestInjectFMapZeroesEntireMap(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16})
+	if err := inj.InjectFMap(1, 3, Zero{}); err != nil {
+		t.Fatal(err)
+	}
+	// Capture conv2 output and verify fmap 3 is all zero.
+	var allZero bool
+	nn.Walk(model, func(_ string, l nn.Layer) {
+		if c, ok := l.(*nn.Conv2d); ok && c.Name() == "conv2" {
+			c.RegisterForwardHook(func(_ nn.Layer, _, out *tensor.Tensor) {
+				allZero = true
+				for y := 0; y < out.Dim(2); y++ {
+					for x := 0; x < out.Dim(3); x++ {
+						if out.At(0, 3, y, x) != 0 {
+							allZero = false
+							return
+						}
+					}
+				}
+			})
+		}
+	})
+	nn.Run(model, tensor.RandUniform(rand.New(rand.NewSource(1)), -1, 1, 1, 3, 16, 16))
+	if !allZero {
+		t.Fatal("InjectFMap(Zero) left non-zero neurons in the map")
+	}
+	if inj.Injections != 8*8 {
+		t.Fatalf("Injections = %d, want 64 (conv2 is 8x8)", inj.Injections)
+	}
+}
+
+func TestInjectRandomFMap(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16})
+	rng := rand.New(rand.NewSource(2))
+	layer, fmap, err := inj.InjectRandomFMap(rng, SetValue{V: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := inj.Layers()[layer].OutShape
+	if fmap < 0 || fmap >= shape[1] {
+		t.Fatalf("fmap %d outside layer %d channels", fmap, layer)
+	}
+	nn.Run(model, tensor.New(1, 3, 16, 16))
+	if inj.Injections != shape[2]*shape[3] {
+		t.Fatalf("Injections = %d, want %d", inj.Injections, shape[2]*shape[3])
+	}
+}
+
+func TestLayerSitesCoversWholeLayer(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	sites, err := inj.LayerSites(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv2 output is [1,8,8,8]: 512 sites.
+	if len(sites) != 8*8*8 {
+		t.Fatalf("layer sites = %d, want 512", len(sites))
+	}
+	seen := map[[3]int]bool{}
+	for _, s := range sites {
+		key := [3]int{s.C, s.H, s.W}
+		if seen[key] {
+			t.Fatalf("duplicate site %v", s)
+		}
+		seen[key] = true
+	}
+	if _, err := inj.LayerSites(-1, 0); err == nil {
+		t.Fatal("bad layer must error")
+	}
+}

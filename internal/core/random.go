@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Declarative helpers mirroring PyTorchFI's convenience wrappers
+// (random_neuron_inj, random_inj_per_layer, random_weight_inj, ...). Each
+// draws legal sites from the profiled geometry using the caller's RNG, so
+// campaign code stays three lines long.
+
+// RandomNeuronSite draws a uniformly random legal neuron site: uniform
+// over layers, then uniform over that layer's (fmap, y, x). Batch element
+// is drawn uniformly when perBatch is false, or AllBatches when true.
+func (inj *Injector) RandomNeuronSite(rng *rand.Rand, perBatch bool) NeuronSite {
+	l := rng.Intn(len(inj.layers))
+	return inj.randomSiteInLayer(rng, l, perBatch)
+}
+
+func (inj *Injector) randomSiteInLayer(rng *rand.Rand, l int, perBatch bool) NeuronSite {
+	shape := inj.layers[l].OutShape
+	var c, h, w int
+	if len(shape) == 4 {
+		c, h, w = shape[1], shape[2], shape[3]
+	} else {
+		c, h, w = shape[1], 1, 1
+	}
+	batch := AllBatches
+	if !perBatch {
+		batch = rng.Intn(shape[0])
+	}
+	return NeuronSite{Layer: l, Batch: batch, C: rng.Intn(c), H: rng.Intn(h), W: rng.Intn(w)}
+}
+
+// InjectRandomNeuron arms one uniformly random neuron with the model —
+// the configuration of the Figure 3 overhead study and the Figure 4
+// campaigns (there with a bit-flip model). The perturbation applies to
+// every batch element.
+func (inj *Injector) InjectRandomNeuron(rng *rand.Rand, model ErrorModel) (NeuronSite, error) {
+	s := inj.RandomNeuronSite(rng, true)
+	return s, inj.DeclareNeuronFI(model, s)
+}
+
+// InjectRandomNeuronPerLayer arms one random neuron in every hooked layer
+// — the multi-site model of the Figure 5 object-detection study and the
+// §IV-D training procedure.
+func (inj *Injector) InjectRandomNeuronPerLayer(rng *rand.Rand, model ErrorModel) ([]NeuronSite, error) {
+	sites := make([]NeuronSite, len(inj.layers))
+	for l := range inj.layers {
+		sites[l] = inj.randomSiteInLayer(rng, l, true)
+	}
+	return sites, inj.DeclareNeuronFI(model, sites...)
+}
+
+// InjectRandomNeuronPerBatchElement arms one independently drawn neuron
+// fault per batch element — PyTorchFI's "different perturbation per
+// element" batch mode.
+func (inj *Injector) InjectRandomNeuronPerBatchElement(rng *rand.Rand, model ErrorModel) ([]NeuronSite, error) {
+	batch := inj.cfg.Batch
+	sites := make([]NeuronSite, batch)
+	for b := 0; b < batch; b++ {
+		s := inj.RandomNeuronSite(rng, true)
+		s.Batch = b
+		sites[b] = s
+	}
+	return sites, inj.DeclareNeuronFI(model, sites...)
+}
+
+// RandomWeightSite draws a uniformly random legal weight coordinate:
+// uniform over layers, then uniform over that layer's weight tensor.
+func (inj *Injector) RandomWeightSite(rng *rand.Rand) WeightSite {
+	l := rng.Intn(len(inj.layers))
+	shape := inj.layers[l].Weight
+	idx := make([]int, len(shape))
+	for d, n := range shape {
+		idx[d] = rng.Intn(n)
+	}
+	return WeightSite{Layer: l, Idx: idx}
+}
+
+// InjectRandomWeight perturbs one uniformly random weight offline.
+func (inj *Injector) InjectRandomWeight(rng *rand.Rand, model ErrorModel) (WeightSite, error) {
+	s := inj.RandomWeightSite(rng)
+	return s, inj.DeclareWeightFI(model, s)
+}
+
+// SiteInLayer draws a random site constrained to one layer — per-layer
+// vulnerability studies (Figure 6) sweep this across layers.
+func (inj *Injector) SiteInLayer(rng *rand.Rand, layer int, perBatch bool) (NeuronSite, error) {
+	if layer < 0 || layer >= len(inj.layers) {
+		return NeuronSite{}, fmt.Errorf("core: layer %d outside [0,%d)", layer, len(inj.layers))
+	}
+	return inj.randomSiteInLayer(rng, layer, perBatch), nil
+}

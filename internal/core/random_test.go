@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+func TestRandomNeuronSiteAlwaysLegal(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Batch: 2, Height: 16, Width: 16})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		s := inj.RandomNeuronSite(rng, i%2 == 0)
+		if err := inj.validateNeuron(s); err != nil {
+			t.Fatalf("random site %v illegal: %v", s, err)
+		}
+	}
+}
+
+func TestRandomNeuronSiteCoversLayers(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	rng := rand.New(rand.NewSource(2))
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[inj.RandomNeuronSite(rng, true).Layer] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("random sites covered %d of 3 layers", len(seen))
+	}
+}
+
+func TestInjectRandomNeuron(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16})
+	rng := rand.New(rand.NewSource(3))
+	site, err := inj.InjectRandomNeuron(rng, DefaultRandomValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site.Batch != AllBatches {
+		t.Fatalf("site batch = %d, want AllBatches", site.Batch)
+	}
+	if inj.ArmedNeuronCount() != 1 {
+		t.Fatal("one site must be armed")
+	}
+	nn.Run(model, tensor.New(1, 3, 16, 16))
+	if inj.Injections != 1 {
+		t.Fatalf("Injections = %d", inj.Injections)
+	}
+}
+
+func TestInjectRandomNeuronPerLayer(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16})
+	rng := rand.New(rand.NewSource(4))
+	sites, err := inj.InjectRandomNeuronPerLayer(rng, DefaultRandomValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 {
+		t.Fatalf("%d sites, want one per layer", len(sites))
+	}
+	for l, s := range sites {
+		if s.Layer != l {
+			t.Fatalf("site %d targets layer %d", l, s.Layer)
+		}
+	}
+	nn.Run(model, tensor.New(1, 3, 16, 16))
+	if inj.Injections != 3 {
+		t.Fatalf("Injections = %d, want 3", inj.Injections)
+	}
+}
+
+func TestRandomWeightSiteAlwaysLegal(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		s := inj.RandomWeightSite(rng)
+		if err := inj.DeclareWeightFI(Func{Fn: func(v float32, _ PerturbContext) float32 { return v }}, s); err != nil {
+			t.Fatalf("random weight site %v illegal: %v", s, err)
+		}
+	}
+	inj.RestoreWeights()
+}
+
+func TestInjectRandomWeightAndRestore(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16})
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	clean := nn.Run(model, x).Clone()
+	if _, err := inj.InjectRandomWeight(rng, SetValue{V: 1e4}); err != nil {
+		t.Fatal(err)
+	}
+	if nn.Run(model, x).Equal(clean) {
+		t.Fatal("weight fault had no effect")
+	}
+	inj.Reset()
+	if !nn.Run(model, x).Equal(clean) {
+		t.Fatal("Reset did not restore weights")
+	}
+}
+
+func TestSiteInLayer(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	rng := rand.New(rand.NewSource(7))
+	s, err := inj.SiteInLayer(rng, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Layer != 2 {
+		t.Fatalf("site layer = %d", s.Layer)
+	}
+	if _, err := inj.SiteInLayer(rng, 5, true); err == nil {
+		t.Fatal("out-of-range layer must error")
+	}
+	if _, err := inj.SiteInLayer(rng, -1, true); err == nil {
+		t.Fatal("negative layer must error")
+	}
+}
+
+func TestDeterministicInjection(t *testing.T) {
+	// Same seeds ⇒ identical faulty outputs, the reproducibility
+	// guarantee campaigns rely on.
+	run := func() *tensor.Tensor {
+		rng := rand.New(rand.NewSource(8))
+		model := testModel(rng)
+		inj, err := New(model, Config{Height: 16, Width: 16, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		siteRng := rand.New(rand.NewSource(123))
+		if _, err := inj.InjectRandomNeuron(siteRng, DefaultRandomValue()); err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.RandUniform(rand.New(rand.NewSource(5)), -1, 1, 1, 3, 16, 16)
+		return nn.Run(model, x)
+	}
+	if !run().Equal(run()) {
+		t.Fatal("same seeds must reproduce identical injections")
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+
+	"gofi/internal/nn"
+	"gofi/internal/quant"
+	"gofi/internal/tensor"
+)
+
+// AllBatches as a NeuronSite.Batch applies the same perturbation to every
+// element of the batch (PyTorchFI's same-across-batch mode).
+const AllBatches = -1
+
+// NeuronSite addresses one neuron in one layer's output feature map:
+// (layer, feature map, row, column) plus the batch element (or AllBatches).
+type NeuronSite struct {
+	Layer int // index into Injector.Layers()
+	Batch int // batch element, or AllBatches
+	C     int // feature map (channel); for linear layers, the unit index
+	H, W  int // spatial coordinate; must be 0 for linear layers
+}
+
+// String implements fmt.Stringer.
+func (s NeuronSite) String() string {
+	return fmt.Sprintf("neuron{layer %d, batch %d, fmap %d, (%d,%d)}", s.Layer, s.Batch, s.C, s.H, s.W)
+}
+
+// WeightSite addresses one scalar in a layer's weight tensor by its
+// coordinate (conv: [out, in/groups, ky, kx]; linear: [out, in]).
+type WeightSite struct {
+	Layer int
+	Idx   []int
+}
+
+// String implements fmt.Stringer.
+func (s WeightSite) String() string {
+	return fmt.Sprintf("weight{layer %d, idx %v}", s.Layer, s.Idx)
+}
+
+// SiteError describes an illegal injection site with the profiled
+// geometry that rejected it, giving users the debugging detail the paper
+// emphasizes.
+type SiteError struct {
+	Site   fmt.Stringer
+	Reason string
+}
+
+// Error implements error.
+func (e *SiteError) Error() string {
+	return fmt.Sprintf("core: illegal site %v: %s", e.Site, e.Reason)
+}
+
+// validateNeuron checks a neuron site against profiled geometry.
+func (inj *Injector) validateNeuron(s NeuronSite) error {
+	if s.Layer < 0 || s.Layer >= len(inj.layers) {
+		return &SiteError{Site: s, Reason: fmt.Sprintf("layer index outside [0,%d)", len(inj.layers))}
+	}
+	li := inj.layers[s.Layer]
+	shape := li.OutShape
+	var c, h, w int
+	if len(shape) == 4 {
+		c, h, w = shape[1], shape[2], shape[3]
+	} else {
+		c, h, w = shape[1], 1, 1
+	}
+	if s.Batch != AllBatches && (s.Batch < 0 || s.Batch >= shape[0]) {
+		return &SiteError{Site: s, Reason: fmt.Sprintf("batch outside [0,%d) of layer %s", shape[0], li.Path)}
+	}
+	if s.C < 0 || s.C >= c {
+		return &SiteError{Site: s, Reason: fmt.Sprintf("fmap outside [0,%d) of layer %s", c, li.Path)}
+	}
+	if s.H < 0 || s.H >= h || s.W < 0 || s.W >= w {
+		return &SiteError{Site: s, Reason: fmt.Sprintf("coordinate outside %dx%d of layer %s", h, w, li.Path)}
+	}
+	return nil
+}
+
+// DeclareNeuronFI arms neuron perturbations: at every subsequent forward
+// pass, each site's current value is replaced by model.Perturb. Sites
+// accumulate until Reset. All sites are validated before any is armed, so
+// a failed call leaves the injector unchanged.
+func (inj *Injector) DeclareNeuronFI(model ErrorModel, sites ...NeuronSite) error {
+	if model == nil {
+		return fmt.Errorf("core: nil error model")
+	}
+	if len(sites) == 0 {
+		return fmt.Errorf("core: DeclareNeuronFI with no sites")
+	}
+	if err := inj.checkDType(model); err != nil {
+		return err
+	}
+	for _, s := range sites {
+		if err := inj.validateNeuron(s); err != nil {
+			return err
+		}
+	}
+	for _, s := range sites {
+		inj.neuronSites[s.Layer] = append(inj.neuronSites[s.Layer], armedNeuron{site: s, model: model})
+	}
+	return nil
+}
+
+// DeclareWeightFI applies weight perturbations immediately ("offline", off
+// the inference critical path, the paper's weight-injection optimization).
+// The original values are recorded and restored by RestoreWeights/Reset.
+// All sites are validated before any weight is touched.
+func (inj *Injector) DeclareWeightFI(model ErrorModel, sites ...WeightSite) error {
+	if model == nil {
+		return fmt.Errorf("core: nil error model")
+	}
+	if len(sites) == 0 {
+		return fmt.Errorf("core: DeclareWeightFI with no sites")
+	}
+	if err := inj.checkDType(model); err != nil {
+		return err
+	}
+	type resolved struct {
+		t      *tensor.Tensor
+		offset int
+		layer  int
+	}
+	rs := make([]resolved, 0, len(sites))
+	for _, s := range sites {
+		if s.Layer < 0 || s.Layer >= len(inj.layers) {
+			return &SiteError{Site: s, Reason: fmt.Sprintf("layer index outside [0,%d)", len(inj.layers))}
+		}
+		li := inj.layers[s.Layer]
+		if len(s.Idx) != len(li.Weight) {
+			return &SiteError{Site: s, Reason: fmt.Sprintf("index rank %d does not match weight shape %v of layer %s", len(s.Idx), li.Weight, li.Path)}
+		}
+		for d, x := range s.Idx {
+			if x < 0 || x >= li.Weight[d] {
+				return &SiteError{Site: s, Reason: fmt.Sprintf("index %v outside weight shape %v of layer %s", s.Idx, li.Weight, li.Path)}
+			}
+		}
+		wt := inj.weightTensor(s.Layer)
+		rs = append(rs, resolved{t: wt, offset: wt.Offset(s.Idx...), layer: s.Layer})
+	}
+	for i, r := range rs {
+		old := r.t.AtFlat(r.offset)
+		inj.weightUndo = append(inj.weightUndo, weightUndo{tensor: r.t, offset: r.offset, value: old})
+		nv := model.Perturb(old, PerturbContext{
+			Layer: r.layer,
+			Scale: inj.scales[r.layer],
+			DType: inj.cfg.DType,
+			Rand:  inj.rng,
+		})
+		r.t.SetFlat(r.offset, nv)
+		if inj.traceOn {
+			inj.record(InjectionRecord{
+				Kind: "weight", Layer: r.layer, LayerPath: inj.layers[r.layer].Path,
+				Batch: -1, Site: sites[i].String(), Old: old, New: nv, Model: model.Name(),
+			})
+		}
+	}
+	return nil
+}
+
+func (inj *Injector) weightTensor(layer int) *tensor.Tensor {
+	// Layer indices follow the same deterministic walk used at New.
+	idx := 0
+	var wt *tensor.Tensor
+	walkHookables(inj.model, inj.cfg.IncludeLinear, func(h hookable) {
+		if idx == layer {
+			wt = h.params.Data
+		}
+		idx++
+	})
+	return wt
+}
+
+// checkDType rejects error models that require calibration state the
+// injector does not have yet: scale-dependent models (bit flips) on an
+// INT8 injector need CalibrateINT8 before they can map values to codes.
+func (inj *Injector) checkDType(model ErrorModel) error {
+	if nd, ok := model.(interface{ NeedsINT8() bool }); ok && nd.NeedsINT8() {
+		if inj.cfg.DType == INT8 && !inj.calibrated {
+			return fmt.Errorf("core: error model %s on an INT8 injector requires CalibrateINT8 first", model.Name())
+		}
+	}
+	return nil
+}
+
+// RestoreWeights undoes all weight perturbations in reverse order.
+func (inj *Injector) RestoreWeights() {
+	for i := len(inj.weightUndo) - 1; i >= 0; i-- {
+		u := inj.weightUndo[i]
+		u.tensor.SetFlat(u.offset, u.value)
+	}
+	inj.weightUndo = nil
+}
+
+// Reset disarms all neuron faults, restores all weights and clears the
+// injection counter and trace. The instrumentation hooks stay installed
+// (their disarmed cost is a single check, per the paper's design).
+func (inj *Injector) Reset() {
+	for k := range inj.neuronSites {
+		delete(inj.neuronSites, k)
+	}
+	inj.RestoreWeights()
+	inj.Injections = 0
+	inj.trace = nil
+}
+
+// ArmedNeuronCount reports how many neuron sites are currently armed.
+func (inj *Injector) ArmedNeuronCount() int {
+	n := 0
+	for _, s := range inj.neuronSites {
+		n += len(s)
+	}
+	return n
+}
+
+// CalibrateINT8 profiles per-layer activation dynamic ranges on a
+// representative input batch and stores symmetric INT8 scales. Required
+// before INT8 bit-flip models; also enables EnableActQuant.
+func (inj *Injector) CalibrateINT8(x *tensor.Tensor) error {
+	if inj.cfg.DType != INT8 {
+		return fmt.Errorf("core: CalibrateINT8 on %s injector", inj.cfg.DType)
+	}
+	maxes := make([]float32, len(inj.layers))
+	hs := inj.withProfilingHooks(func(i int, out *tensor.Tensor) {
+		if m := out.AbsMax(); m > maxes[i] {
+			maxes[i] = m
+		}
+	})
+	defer hs.Remove()
+	if err := inj.safeRun(x); err != nil {
+		return err
+	}
+	for i, m := range maxes {
+		if m == 0 {
+			inj.scales[i] = 1
+		} else {
+			inj.scales[i] = quant.Scale(m / 127)
+		}
+	}
+	inj.calibrated = true
+	return nil
+}
+
+// EnableActQuant turns on INT8 activation emulation: every hooked layer's
+// output is round-tripped through INT8 on each forward pass.
+func (inj *Injector) EnableActQuant(on bool) error {
+	if on && !inj.calibrated {
+		return fmt.Errorf("core: EnableActQuant requires CalibrateINT8 first")
+	}
+	inj.quantizeActs = on
+	return nil
+}
+
+// Scales returns the calibrated per-layer INT8 scales.
+func (inj *Injector) Scales() []quant.Scale {
+	return append([]quant.Scale(nil), inj.scales...)
+}
+
+// HandleSet groups hook handles for bulk removal.
+type HandleSet []nn.HookHandle
+
+// Remove removes every handle in the set.
+func (hs HandleSet) Remove() {
+	for _, h := range hs {
+		h.Remove()
+	}
+}
+
+// withProfilingHooks installs a temporary observation hook on every
+// hookable layer, calling fn with the layer index and its output.
+func (inj *Injector) withProfilingHooks(fn func(i int, out *tensor.Tensor)) HandleSet {
+	var hs HandleSet
+	idx := 0
+	walkHookables(inj.model, inj.cfg.IncludeLinear, func(h hookable) {
+		i := idx
+		idx++
+		hb := h.layer.(hookRegistrar)
+		hs = append(hs, hb.RegisterForwardHook(func(_ nn.Layer, _, out *tensor.Tensor) {
+			fn(i, out)
+		}))
+	})
+	return hs
+}
+
+func (inj *Injector) safeRun(x *tensor.Tensor) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: inference failed: %v", r)
+		}
+	}()
+	nn.Run(inj.model, x)
+	return nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"gofi/internal/fpbits"
+	"gofi/internal/quant"
+	"gofi/internal/tensor"
+)
+
+// InjectionRecord documents one applied perturbation — which value, where,
+// became what. Campaign post-mortems and the tool's debugging story rely
+// on these.
+type InjectionRecord struct {
+	Seq       int    // sequence number since the last Reset
+	Kind      string // "neuron" or "weight"
+	Layer     int
+	LayerPath string
+	Batch     int // neuron faults only; -1 for weight faults
+	Site      string
+	Old, New  float32
+	Model     string // error-model name
+}
+
+// EnableTrace turns injection recording on or off. Recording every
+// injection of a large campaign costs memory; it is off by default.
+func (inj *Injector) EnableTrace(on bool) {
+	inj.traceOn = on
+	if !on {
+		inj.trace = nil
+	}
+}
+
+// Trace returns the records captured since the last Reset.
+func (inj *Injector) Trace() []InjectionRecord {
+	return append([]InjectionRecord(nil), inj.trace...)
+}
+
+func (inj *Injector) record(r InjectionRecord) {
+	r.Seq = len(inj.trace)
+	inj.trace = append(inj.trace, r)
+}
+
+// WriteTraceCSV dumps the trace as CSV with a header row.
+func (inj *Injector) WriteTraceCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "kind", "layer", "path", "batch", "site", "old", "new", "model"}); err != nil {
+		return fmt.Errorf("core: write trace header: %w", err)
+	}
+	for _, r := range inj.trace {
+		rec := []string{
+			strconv.Itoa(r.Seq), r.Kind, strconv.Itoa(r.Layer), r.LayerPath,
+			strconv.Itoa(r.Batch), r.Site,
+			strconv.FormatFloat(float64(r.Old), 'g', -1, 32),
+			strconv.FormatFloat(float64(r.New), 'g', -1, 32),
+			r.Model,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("core: write trace row %d: %w", r.Seq, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// --- Reduced-precision activation emulation ------------------------------
+
+// EnableFP16Acts round-trips every hooked layer's output through IEEE-754
+// binary16, emulating a half-precision inference pipeline (no calibration
+// needed, unlike INT8). Requires Config.DType == FP16.
+func (inj *Injector) EnableFP16Acts(on bool) error {
+	if on && inj.cfg.DType != FP16 {
+		return fmt.Errorf("core: EnableFP16Acts on %s injector (need FP16)", inj.cfg.DType)
+	}
+	inj.fp16Acts = on
+	return nil
+}
+
+// roundActivations applies the active reduced-precision emulation to a
+// layer output.
+func (inj *Injector) roundActivations(i int, out *tensor.Tensor) {
+	if inj.quantizeActs {
+		quant.QuantizeTensor(out, inj.scales[i])
+	}
+	if inj.fp16Acts {
+		d := out.Data()
+		for j, v := range d {
+			d[j] = fpbits.RoundFP16(v)
+		}
+	}
+}

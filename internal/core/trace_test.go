@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gofi/internal/fpbits"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+func TestTraceRecordsNeuronInjections(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16})
+	inj.EnableTrace(true)
+	if err := inj.DeclareNeuronFI(SetValue{V: 7}, NeuronSite{Layer: 1, C: 2, H: 3, W: 4}); err != nil {
+		t.Fatal(err)
+	}
+	nn.Run(model, tensor.New(1, 3, 16, 16))
+	recs := inj.Trace()
+	if len(recs) != 1 {
+		t.Fatalf("trace length %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Kind != "neuron" || r.Layer != 1 || r.New != 7 || r.Model != "set(7)" {
+		t.Fatalf("record %+v", r)
+	}
+	if r.LayerPath != "net.conv2" {
+		t.Fatalf("layer path %q", r.LayerPath)
+	}
+
+	// A second forward appends a second record.
+	nn.Run(model, tensor.New(1, 3, 16, 16))
+	if got := len(inj.Trace()); got != 2 {
+		t.Fatalf("trace length %d, want 2", got)
+	}
+	// Reset clears the trace.
+	inj.Reset()
+	if len(inj.Trace()) != 0 {
+		t.Fatal("Reset must clear the trace")
+	}
+}
+
+func TestTraceRecordsWeightInjections(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	inj.EnableTrace(true)
+	if err := inj.DeclareWeightFI(Zero{}, WeightSite{Layer: 0, Idx: []int{1, 0, 2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	recs := inj.Trace()
+	if len(recs) != 1 || recs[0].Kind != "weight" || recs[0].New != 0 || recs[0].Batch != -1 {
+		t.Fatalf("records %+v", recs)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16})
+	if err := inj.DeclareNeuronFI(Zero{}, NeuronSite{Layer: 0, C: 0, H: 0, W: 0}); err != nil {
+		t.Fatal(err)
+	}
+	nn.Run(model, tensor.New(1, 3, 16, 16))
+	if len(inj.Trace()) != 0 {
+		t.Fatal("trace must be empty when disabled")
+	}
+	inj.EnableTrace(true)
+	nn.Run(model, tensor.New(1, 3, 16, 16))
+	if len(inj.Trace()) != 1 {
+		t.Fatal("trace must record when enabled")
+	}
+	inj.EnableTrace(false)
+	if len(inj.Trace()) != 0 {
+		t.Fatal("disabling must drop records")
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Height: 16, Width: 16})
+	inj.EnableTrace(true)
+	if err := inj.DeclareNeuronFI(SetValue{V: 3.5}, NeuronSite{Layer: 0, C: 1, H: 1, W: 1}); err != nil {
+		t.Fatal(err)
+	}
+	nn.Run(model, tensor.New(1, 3, 16, 16))
+	var b strings.Builder
+	if err := inj.WriteTraceCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "seq,kind,layer") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "net.conv1") || !strings.Contains(lines[1], "3.5") {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestEnableFP16Acts(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	model := testModel(rng)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	clean := nn.Run(model, x).Clone()
+
+	inj, err := New(model, Config{Height: 16, Width: 16, DType: FP16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.EnableFP16Acts(true); err != nil {
+		t.Fatal(err)
+	}
+	half := nn.Run(model, x)
+	if half.Equal(clean) {
+		t.Fatal("FP16 emulation had no effect")
+	}
+	// FP16 has ~3 decimal digits: outputs stay close to FP32.
+	if !half.AllClose(clean, float32(math.Abs(float64(clean.AbsMax())))*0.05+0.05) {
+		t.Fatal("FP16 outputs unreasonably far from FP32")
+	}
+	// Conv outputs must be exactly representable in binary16.
+	var onGrid bool
+	nn.Walk(model, func(_ string, l nn.Layer) {
+		if c, ok := l.(*nn.Conv2d); ok && c.Name() == "conv1" {
+			c.RegisterForwardHook(func(_ nn.Layer, _, out *tensor.Tensor) {
+				onGrid = true
+				for i := 0; i < out.Len(); i++ {
+					if fpbits.RoundFP16(out.AtFlat(i)) != out.AtFlat(i) {
+						onGrid = false
+						return
+					}
+				}
+			})
+		}
+	})
+	nn.Run(model, x)
+	if !onGrid {
+		t.Fatal("conv1 activations not on the binary16 grid")
+	}
+	if err := inj.EnableFP16Acts(false); err != nil {
+		t.Fatal(err)
+	}
+	if !nn.Run(model, x).Equal(clean) {
+		t.Fatal("disabling FP16 emulation must restore FP32 behaviour")
+	}
+}
+
+func TestEnableFP16ActsWrongDType(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Height: 16, Width: 16})
+	if err := inj.EnableFP16Acts(true); err == nil {
+		t.Fatal("FP32 injector must reject FP16 emulation")
+	}
+}
+
+func TestGaussianNoiseModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	m := GaussianNoise{Std: 0.5}
+	var sum, sq float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		d := float64(m.Perturb(10, ctxFP32(rng)) - 10)
+		sum += d
+		sq += d * d
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean) > 0.05 || math.Abs(std-0.5) > 0.05 {
+		t.Fatalf("noise mean %g std %g, want 0 / 0.5", mean, std)
+	}
+	if m.Name() != "gauss(0.5)" {
+		t.Fatalf("name %q", m.Name())
+	}
+}
+
+func TestMultiBitFlipModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	m := MultiBitFlip{N: 2}
+	// Two distinct flips never cancel, so the value must change.
+	for i := 0; i < 100; i++ {
+		if got := m.Perturb(1.5, ctxFP32(rng)); got == 1.5 {
+			t.Fatal("2-bit flip left value unchanged")
+		}
+	}
+	// N clamps to the dtype's width; N<1 clamps to 1.
+	if got := (MultiBitFlip{N: 0}).Perturb(1.5, ctxFP32(rng)); got == 1.5 {
+		t.Fatal("clamped 1-bit flip left value unchanged")
+	}
+	if m.Name() != "bitflip×2" {
+		t.Fatalf("name %q", m.Name())
+	}
+}
+
+func TestGainModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	if got := (Gain{Factor: -2}).Perturb(3, ctxFP32(rng)); got != -6 {
+		t.Fatalf("gain = %g", got)
+	}
+}
+
+func TestInjectRandomNeuronPerBatchElement(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Batch: 4, Height: 16, Width: 16})
+	rng := rand.New(rand.NewSource(54))
+	sites, err := inj.InjectRandomNeuronPerBatchElement(rng, SetValue{V: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 4 {
+		t.Fatalf("%d sites, want 4", len(sites))
+	}
+	for b, s := range sites {
+		if s.Batch != b {
+			t.Fatalf("site %d targets batch %d", b, s.Batch)
+		}
+	}
+	nn.Run(model, tensor.New(4, 3, 16, 16))
+	if inj.Injections != 4 {
+		t.Fatalf("Injections = %d, want 4", inj.Injections)
+	}
+}

@@ -1,0 +1,89 @@
+package data
+
+import (
+	"math/rand"
+
+	"gofi/internal/tensor"
+)
+
+// Augment wraps a batch source with the standard CIFAR-style training
+// augmentations: random horizontal flips and random shifted crops (pad by
+// Shift with zeros, crop back at a random offset). It satisfies
+// train.BatchSource, so it drops into training loops unchanged; evaluation
+// code should keep using the raw dataset.
+type Augment struct {
+	Src *Classification
+	// Flip mirrors each sample horizontally with probability ½.
+	Flip bool
+	// Shift pads each side by this many pixels and crops at a random
+	// offset (0 disables).
+	Shift int
+
+	rng *rand.Rand
+}
+
+// NewAugment wraps src with augmentations driven by rng.
+func NewAugment(src *Classification, rng *rand.Rand, flip bool, shift int) *Augment {
+	return &Augment{Src: src, Flip: flip, Shift: shift, rng: rng}
+}
+
+// Batch returns augmented samples [lo, lo+n).
+func (a *Augment) Batch(lo, n int) (*tensor.Tensor, []int) {
+	batch, labels := a.Src.Batch(lo, n)
+	cfg := a.Src.Config()
+	c, s := cfg.Channels, cfg.Size
+	stride := c * s * s
+	for j := 0; j < n; j++ {
+		img := tensor.FromSlice(batch.Data()[j*stride:(j+1)*stride], c, s, s)
+		if a.Flip && a.rng.Intn(2) == 1 {
+			flipW(img)
+		}
+		if a.Shift > 0 {
+			dx := a.rng.Intn(2*a.Shift+1) - a.Shift
+			dy := a.rng.Intn(2*a.Shift+1) - a.Shift
+			shift2D(img, dx, dy)
+		}
+	}
+	return batch, labels
+}
+
+// flipW mirrors a [C,H,W] image horizontally in place.
+func flipW(img *tensor.Tensor) {
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w/2; x++ {
+				a := img.At(ch, y, x)
+				b := img.At(ch, y, w-1-x)
+				img.Set(b, ch, y, x)
+				img.Set(a, ch, y, w-1-x)
+			}
+		}
+	}
+}
+
+// shift2D translates a [C,H,W] image by (dx, dy) in place, filling the
+// vacated border with zeros — equivalent to zero-pad + crop.
+func shift2D(img *tensor.Tensor, dx, dy int) {
+	if dx == 0 && dy == 0 {
+		return
+	}
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	out := tensor.New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			sy := y - dy
+			if sy < 0 || sy >= h {
+				continue
+			}
+			for x := 0; x < w; x++ {
+				sx := x - dx
+				if sx < 0 || sx >= w {
+					continue
+				}
+				out.Set(img.At(ch, sy, sx), ch, y, x)
+			}
+		}
+	}
+	img.CopyFrom(out)
+}

@@ -1,0 +1,99 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+
+	"gofi/internal/tensor"
+)
+
+func TestFlipWMirrors(t *testing.T) {
+	img := tensor.FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+	}, 1, 2, 3)
+	flipW(img)
+	want := tensor.FromSlice([]float32{
+		3, 2, 1,
+		6, 5, 4,
+	}, 1, 2, 3)
+	if !img.Equal(want) {
+		t.Fatalf("flip = %v", img)
+	}
+	// Flipping twice restores the original.
+	flipW(img)
+	if img.At(0, 0, 0) != 1 {
+		t.Fatal("double flip not identity")
+	}
+}
+
+func TestShift2D(t *testing.T) {
+	img := tensor.FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2)
+	shift2D(img, 1, 0) // right by one: left column becomes zero
+	want := tensor.FromSlice([]float32{
+		0, 1,
+		0, 3,
+	}, 1, 2, 2)
+	if !img.Equal(want) {
+		t.Fatalf("shift = %v", img)
+	}
+	// Shifting by the full extent blanks the image.
+	img2 := tensor.Ones(1, 2, 2)
+	shift2D(img2, 2, 2)
+	if img2.Sum() != 0 {
+		t.Fatalf("full shift should blank: %v", img2)
+	}
+	// Zero shift is the identity (fast path).
+	img3 := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	shift2D(img3, 0, 0)
+	if img3.At(0, 0, 0) != 1 {
+		t.Fatal("zero shift mutated")
+	}
+}
+
+func TestAugmentPreservesShapeAndLabels(t *testing.T) {
+	ds, err := NewClassification(ClassificationConfig{Classes: 4, Channels: 3, Size: 16, Noise: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := NewAugment(ds, rand.New(rand.NewSource(2)), true, 2)
+	batch, labels := aug.Batch(3, 8)
+	if got := batch.Shape(); got[0] != 8 || got[1] != 3 || got[2] != 16 {
+		t.Fatalf("augmented shape %v", got)
+	}
+	// Labels are untouched by augmentation.
+	_, wantLabels := ds.Batch(3, 8)
+	for i := range labels {
+		if labels[i] != wantLabels[i] {
+			t.Fatalf("labels changed: %v vs %v", labels, wantLabels)
+		}
+	}
+}
+
+func TestAugmentActuallyAugments(t *testing.T) {
+	ds, _ := NewClassification(ClassificationConfig{Classes: 4, Channels: 3, Size: 16, Noise: 0.1, Seed: 3})
+	aug := NewAugment(ds, rand.New(rand.NewSource(4)), true, 2)
+	plain, _ := ds.Batch(0, 16)
+	augd, _ := aug.Batch(0, 16)
+	if plain.Equal(augd) {
+		t.Fatal("augmentation produced identical batch")
+	}
+	// Successive epochs see different augmentations.
+	augd2, _ := aug.Batch(0, 16)
+	if augd.Equal(augd2) {
+		t.Fatal("two augmented epochs identical")
+	}
+}
+
+func TestAugmentDisabled(t *testing.T) {
+	ds, _ := NewClassification(ClassificationConfig{Classes: 4, Channels: 3, Size: 16, Noise: 0.1, Seed: 5})
+	aug := NewAugment(ds, rand.New(rand.NewSource(6)), false, 0)
+	plain, _ := ds.Batch(0, 8)
+	augd, _ := aug.Batch(0, 8)
+	if !plain.Equal(augd) {
+		t.Fatal("disabled augmentation must be identity")
+	}
+}

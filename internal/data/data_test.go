@@ -1,0 +1,208 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"gofi/internal/tensor"
+)
+
+func testConfig() ClassificationConfig {
+	return ClassificationConfig{Classes: 10, Channels: 3, Size: 32, Noise: 0.2, Seed: 1}
+}
+
+func TestNewClassificationValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  ClassificationConfig
+	}{
+		{"one-class", ClassificationConfig{Classes: 1, Channels: 3, Size: 32}},
+		{"tiny-image", ClassificationConfig{Classes: 10, Channels: 3, Size: 2}},
+		{"no-channels", ClassificationConfig{Classes: 10, Channels: 0, Size: 32}},
+		{"negative-noise", ClassificationConfig{Classes: 10, Channels: 3, Size: 32, Noise: -1}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewClassification(tc.cfg); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+	if _, err := NewClassification(testConfig()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	d1, _ := NewClassification(testConfig())
+	d2, _ := NewClassification(testConfig())
+	a, la := d1.Sample(42)
+	b, lb := d2.Sample(42)
+	if la != lb || !a.Equal(b) {
+		t.Fatal("same (seed, index) must produce identical samples")
+	}
+	c, _ := d1.Sample(43)
+	if a.Equal(c) {
+		t.Fatal("different indices must produce different samples")
+	}
+}
+
+func TestLabelsBalanced(t *testing.T) {
+	d, _ := NewClassification(testConfig())
+	counts := make([]int, 10)
+	for i := 0; i < 100; i++ {
+		counts[d.Label(i)]++
+	}
+	for k, c := range counts {
+		if c != 10 {
+			t.Fatalf("class %d has %d of 100 samples, want 10", k, c)
+		}
+	}
+}
+
+func TestSampleShapeAndRange(t *testing.T) {
+	d, _ := NewClassification(testConfig())
+	img, label := d.Sample(7)
+	if got := img.Shape(); got[0] != 3 || got[1] != 32 || got[2] != 32 {
+		t.Fatalf("sample shape %v", got)
+	}
+	if label != 7 {
+		t.Fatalf("label = %d, want 7", label)
+	}
+	if img.AbsMax() > 5 {
+		t.Fatalf("sample values unexpectedly large: %g", img.AbsMax())
+	}
+}
+
+func TestTemplatesSeparated(t *testing.T) {
+	// Different classes must have well-separated templates — otherwise no
+	// classifier could learn the dataset.
+	d, _ := NewClassification(testConfig())
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			dist := tensor.L2Distance(d.Template(a), d.Template(b))
+			if dist < 1 {
+				t.Fatalf("templates %d and %d too close: L2 = %g", a, b, dist)
+			}
+		}
+	}
+}
+
+func TestSampleNearItsTemplate(t *testing.T) {
+	d, _ := NewClassification(testConfig())
+	img, label := d.Sample(3)
+	own := tensor.L2Distance(img, d.Template(label))
+	other := tensor.L2Distance(img, d.Template((label+1)%10))
+	if own >= other {
+		t.Fatalf("sample closer to foreign template: own %g vs other %g", own, other)
+	}
+	// Noise magnitude sanity: mean squared deviation ≈ noise².
+	n := float64(img.Len())
+	if got := own * own / n; math.Abs(got-0.04) > 0.02 {
+		t.Fatalf("per-pixel noise variance %g, want ~0.04", got)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	d, _ := NewClassification(testConfig())
+	batch, labels := d.Batch(5, 4)
+	if got := batch.Shape(); got[0] != 4 || got[1] != 3 {
+		t.Fatalf("batch shape %v", got)
+	}
+	if len(labels) != 4 || labels[0] != 5%10 {
+		t.Fatalf("labels = %v", labels)
+	}
+	// Batch row j equals Sample(lo+j).
+	img, _ := d.Sample(6)
+	stride := img.Len()
+	row := tensor.FromSlice(batch.Data()[stride:2*stride], img.Shape()...)
+	if !row.Equal(img) {
+		t.Fatal("batch row 1 != Sample(6)")
+	}
+}
+
+func sceneConfig() SceneConfig {
+	return SceneConfig{Classes: 4, Size: 48, MaxObjects: 3, MinExtent: 8, MaxExtent: 16, Noise: 0.1, Seed: 2}
+}
+
+func TestNewScenesValidation(t *testing.T) {
+	bad := []SceneConfig{
+		{Classes: 0, Size: 48, MaxObjects: 1, MinExtent: 8, MaxExtent: 16},
+		{Classes: 2, Size: 48, MaxObjects: 0, MinExtent: 8, MaxExtent: 16},
+		{Classes: 2, Size: 48, MaxObjects: 1, MinExtent: 1, MaxExtent: 16},
+		{Classes: 2, Size: 48, MaxObjects: 1, MinExtent: 20, MaxExtent: 16},
+		{Classes: 2, Size: 8, MaxObjects: 1, MinExtent: 4, MaxExtent: 16},
+	}
+	for i, cfg := range bad {
+		if _, err := NewScenes(cfg); err == nil {
+			t.Fatalf("config %d: expected error", i)
+		}
+	}
+	if _, err := NewScenes(sceneConfig()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestSceneDeterministicAndInBounds(t *testing.T) {
+	s, _ := NewScenes(sceneConfig())
+	img1, boxes1 := s.Scene(9)
+	img2, boxes2 := s.Scene(9)
+	if !img1.Equal(img2) || len(boxes1) != len(boxes2) {
+		t.Fatal("scenes not deterministic")
+	}
+	for _, b := range boxes1 {
+		if b.X < 0 || b.Y < 0 || b.X+b.W > 48 || b.Y+b.H > 48 {
+			t.Fatalf("box out of bounds: %+v", b)
+		}
+		if b.W < 8 || b.W > 16 || b.H < 8 || b.H > 16 {
+			t.Fatalf("box extent out of range: %+v", b)
+		}
+		if b.Class < 0 || b.Class >= 4 {
+			t.Fatalf("box class out of range: %+v", b)
+		}
+	}
+	if len(boxes1) < 1 || len(boxes1) > 3 {
+		t.Fatalf("scene has %d objects, want 1..3", len(boxes1))
+	}
+}
+
+func TestSceneObjectsBrighterThanBackground(t *testing.T) {
+	s, _ := NewScenes(sceneConfig())
+	img, boxes := s.Scene(0)
+	b := boxes[0]
+	// Mean intensity inside the box should clearly exceed the background.
+	var inside, total float64
+	var nIn, nTot int
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 48; x++ {
+			v := float64(img.At(0, y, x))
+			total += v
+			nTot++
+			if x >= b.X && x < b.X+b.W && y >= b.Y && y < b.Y+b.H {
+				inside += v
+				nIn++
+			}
+		}
+	}
+	if inside/float64(nIn) < total/float64(nTot)+0.5 {
+		t.Fatal("object region not brighter than scene average")
+	}
+}
+
+func TestSceneBatch(t *testing.T) {
+	s, _ := NewScenes(sceneConfig())
+	batch, boxes := s.SceneBatch(0, 3)
+	if got := batch.Shape(); got[0] != 3 || got[1] != 3 || got[2] != 48 {
+		t.Fatalf("scene batch shape %v", got)
+	}
+	if len(boxes) != 3 {
+		t.Fatalf("boxes for %d scenes", len(boxes))
+	}
+}
+
+func TestBoxCenter(t *testing.T) {
+	b := Box{X: 10, Y: 20, W: 4, H: 6}
+	if b.CenterX() != 12 || b.CenterY() != 23 {
+		t.Fatalf("center = (%g, %g)", b.CenterX(), b.CenterY())
+	}
+}

@@ -1,0 +1,129 @@
+package detect
+
+import (
+	"sort"
+
+	"gofi/internal/data"
+)
+
+// EvalSample pairs one image's detections with its ground truth for AP
+// evaluation.
+type EvalSample struct {
+	Detections  []Detection
+	GroundTruth []data.Box
+}
+
+// AveragePrecision computes class-mean AP@0.5 over a set of evaluated
+// samples using all-point interpolation (area under the precision-recall
+// curve), the standard detection quality metric. It returns the mean AP
+// over classes that have at least one ground-truth instance, and the
+// per-class values (NaN-free: classes without ground truth are skipped).
+func AveragePrecision(samples []EvalSample, classes int) (mean float64, perClass map[int]float64) {
+	perClass = make(map[int]float64)
+	var sum float64
+	n := 0
+	for c := 0; c < classes; c++ {
+		ap, ok := classAP(samples, c)
+		if !ok {
+			continue
+		}
+		perClass[c] = ap
+		sum += ap
+		n++
+	}
+	if n == 0 {
+		return 0, perClass
+	}
+	return sum / float64(n), perClass
+}
+
+// classAP computes AP@0.5 for one class; ok is false when the class has
+// no ground-truth instances.
+func classAP(samples []EvalSample, class int) (float64, bool) {
+	type scored struct {
+		sample int
+		det    Detection
+	}
+	var dets []scored
+	totalGT := 0
+	for si, s := range samples {
+		for _, gt := range s.GroundTruth {
+			if gt.Class == class {
+				totalGT++
+			}
+		}
+		for _, d := range s.Detections {
+			if d.Class == class {
+				dets = append(dets, scored{sample: si, det: d})
+			}
+		}
+	}
+	if totalGT == 0 {
+		return 0, false
+	}
+	sort.SliceStable(dets, func(i, j int) bool { return dets[i].det.Conf > dets[j].det.Conf })
+
+	matched := make(map[int]map[int]bool, len(samples)) // sample → gt index → used
+	tp := make([]bool, len(dets))
+	for i, sd := range dets {
+		gts := samples[sd.sample].GroundTruth
+		bestIoU, bestIdx := 0.0, -1
+		for gi, gt := range gts {
+			if gt.Class != class || matched[sd.sample][gi] {
+				continue
+			}
+			iou := IoU(sd.det.X, sd.det.Y, sd.det.W, sd.det.H,
+				float32(gt.X), float32(gt.Y), float32(gt.W), float32(gt.H))
+			if iou > bestIoU {
+				bestIoU, bestIdx = iou, gi
+			}
+		}
+		if bestIdx >= 0 && bestIoU >= 0.5 {
+			if matched[sd.sample] == nil {
+				matched[sd.sample] = make(map[int]bool)
+			}
+			matched[sd.sample][bestIdx] = true
+			tp[i] = true
+		}
+	}
+
+	// Precision-recall sweep in confidence order, all-point interpolation.
+	var ap, prevRecall float64
+	tpCount, fpCount := 0, 0
+	// Precision envelope: walk right-to-left to take the running maximum.
+	precisions := make([]float64, len(dets))
+	recalls := make([]float64, len(dets))
+	for i := range dets {
+		if tp[i] {
+			tpCount++
+		} else {
+			fpCount++
+		}
+		precisions[i] = float64(tpCount) / float64(tpCount+fpCount)
+		recalls[i] = float64(tpCount) / float64(totalGT)
+	}
+	for i := len(precisions) - 2; i >= 0; i-- {
+		if precisions[i+1] > precisions[i] {
+			precisions[i] = precisions[i+1]
+		}
+	}
+	for i := range dets {
+		ap += precisions[i] * (recalls[i] - prevRecall)
+		prevRecall = recalls[i]
+	}
+	return ap, true
+}
+
+// EvaluateAP runs the detector over scenes [lo, lo+n) and returns the
+// class-mean AP@0.5.
+func (d *Detector) EvaluateAP(scenes *data.Scenes, lo, n int) float64 {
+	samples := make([]EvalSample, 0, n)
+	size := d.cfg.ImgSize
+	for i := 0; i < n; i++ {
+		img, gts := scenes.Scene(lo + i)
+		dets := d.Detect(img.Reshape(1, 3, size, size))[0]
+		samples = append(samples, EvalSample{Detections: dets, GroundTruth: gts})
+	}
+	mean, _ := AveragePrecision(samples, d.cfg.Classes)
+	return mean
+}

@@ -1,0 +1,242 @@
+// Package detect implements a single-stage anchor-free object detector
+// ("YOLO-lite") in the spirit of YOLOv3: a convolutional backbone, a dense
+// detection head predicting per-cell box geometry, objectness and class
+// scores, sigmoid decoding, and non-maximum suppression.
+//
+// The paper's Figure 5 uses YOLOv3 on COCO; this detector on synthetic
+// scenes (package data) preserves the failure mode that study exposes —
+// multi-site random-value injections producing phantom detections with
+// arbitrary classes — because the mechanism (confidence thresholding over
+// a dense corrupted activation map, followed by NMS) is the same.
+package detect
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gofi/internal/data"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// Config sizes the detector.
+type Config struct {
+	Classes int
+	ImgSize int // square input, must be divisible by 4 (two stride-2 stages)
+	// ConfThreshold keeps decoded boxes with objectness above it
+	// (default 0.5).
+	ConfThreshold float32
+	// NMSIoU suppresses overlapping boxes above this IoU (default 0.45).
+	NMSIoU float32
+}
+
+func (c Config) canon() Config {
+	if c.ConfThreshold == 0 {
+		c.ConfThreshold = 0.5
+	}
+	if c.NMSIoU == 0 {
+		c.NMSIoU = 0.45
+	}
+	return c
+}
+
+// Detection is one decoded box in pixel coordinates (top-left + extent).
+type Detection struct {
+	X, Y, W, H float32
+	Class      int
+	Conf       float32
+}
+
+// Detector wraps the backbone+head model and its decode parameters.
+type Detector struct {
+	cfg   Config
+	model *nn.Sequential
+	grid  int
+}
+
+// New builds a detector. The backbone downsamples twice, so the grid is
+// ImgSize/4 × ImgSize/4 with one predictor per cell.
+func New(rng *rand.Rand, cfg Config) (*Detector, error) {
+	cfg = cfg.canon()
+	if cfg.Classes < 1 {
+		return nil, fmt.Errorf("detect: need at least 1 class, got %d", cfg.Classes)
+	}
+	if cfg.ImgSize < 8 || cfg.ImgSize%4 != 0 {
+		return nil, fmt.Errorf("detect: image size %d must be a positive multiple of 4", cfg.ImgSize)
+	}
+	head := 5 + cfg.Classes
+	model := nn.NewSequential("yololite",
+		nn.NewConv2d("conv1", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu1"),
+		nn.NewConv2d("conv2", rng, 16, 32, 3, nn.Conv2dConfig{Pad: 1, Stride: 2}),
+		nn.NewReLU("relu2"),
+		nn.NewConv2d("conv3", rng, 32, 32, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu3"),
+		nn.NewConv2d("conv4", rng, 32, 64, 3, nn.Conv2dConfig{Pad: 1, Stride: 2}),
+		nn.NewReLU("relu4"),
+		nn.NewConv2d("conv5", rng, 64, 64, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu5"),
+		nn.NewConv2d("head", rng, 64, head, 1, nn.Conv2dConfig{}),
+	)
+	return &Detector{cfg: cfg, model: model, grid: cfg.ImgSize / 4}, nil
+}
+
+// Model exposes the underlying nn tree (for fault injection).
+func (d *Detector) Model() nn.Layer { return d.model }
+
+// Config returns the canonicalized configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Grid returns the detection grid size per side.
+func (d *Detector) Grid() int { return d.grid }
+
+// Forward runs the backbone+head, returning the raw head tensor
+// [N, 5+classes, G, G]. Channel layout per cell: tx, ty, tw, th,
+// objectness, class logits.
+func (d *Detector) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return nn.Run(d.model, x)
+}
+
+func sigmoid32(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+// Decode converts one batch element of the raw head into thresholded,
+// NMS-filtered detections in pixel coordinates.
+func (d *Detector) Decode(head *tensor.Tensor, batch int) []Detection {
+	g := d.grid
+	cell := float32(d.cfg.ImgSize) / float32(g)
+	var dets []Detection
+	for gy := 0; gy < g; gy++ {
+		for gx := 0; gx < g; gx++ {
+			obj := sigmoid32(head.At(batch, 4, gy, gx))
+			if obj < d.cfg.ConfThreshold {
+				continue
+			}
+			cx := (float32(gx) + sigmoid32(head.At(batch, 0, gy, gx))) * cell
+			cy := (float32(gy) + sigmoid32(head.At(batch, 1, gy, gx))) * cell
+			w := sigmoid32(head.At(batch, 2, gy, gx)) * float32(d.cfg.ImgSize)
+			h := sigmoid32(head.At(batch, 3, gy, gx)) * float32(d.cfg.ImgSize)
+			bestC, bestV := 0, float32(math.Inf(-1))
+			for c := 0; c < d.cfg.Classes; c++ {
+				if v := head.At(batch, 5+c, gy, gx); v > bestV {
+					bestC, bestV = c, v
+				}
+			}
+			dets = append(dets, Detection{
+				X: cx - w/2, Y: cy - h/2, W: w, H: h,
+				Class: bestC, Conf: obj,
+			})
+		}
+	}
+	return NMS(dets, d.cfg.NMSIoU)
+}
+
+// Detect runs inference and decoding for every batch element.
+func (d *Detector) Detect(x *tensor.Tensor) [][]Detection {
+	head := d.Forward(x)
+	out := make([][]Detection, x.Dim(0))
+	for b := range out {
+		out[b] = d.Decode(head, b)
+	}
+	return out
+}
+
+// IoU returns the intersection-over-union of two boxes given as
+// (x, y, w, h) top-left + extent.
+func IoU(ax, ay, aw, ah, bx, by, bw, bh float32) float64 {
+	ix := maxf(ax, bx)
+	iy := maxf(ay, by)
+	ix2 := minf(ax+aw, bx+bw)
+	iy2 := minf(ay+ah, by+bh)
+	iw := ix2 - ix
+	ih := iy2 - iy
+	if iw <= 0 || ih <= 0 {
+		return 0
+	}
+	inter := float64(iw) * float64(ih)
+	union := float64(aw)*float64(ah) + float64(bw)*float64(bh) - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NMS performs class-agnostic greedy non-maximum suppression in
+// descending confidence order.
+func NMS(dets []Detection, iouThresh float32) []Detection {
+	sorted := append([]Detection(nil), dets...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Conf > sorted[j].Conf })
+	var kept []Detection
+	for _, d := range sorted {
+		suppressed := false
+		for _, k := range kept {
+			if IoU(d.X, d.Y, d.W, d.H, k.X, k.Y, k.W, k.H) > float64(iouThresh) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// MatchResult classifies detections against ground truth.
+type MatchResult struct {
+	TruePositives int // IoU ≥ 0.5 with a GT box of the same class
+	Phantoms      int // no GT match: the paper's "phantom objects"
+	Misclassified int // IoU ≥ 0.5 with a GT box but the wrong class
+	Missed        int // GT boxes with no matching detection
+}
+
+// Match greedily assigns detections to ground-truth boxes at IoU ≥ 0.5.
+func Match(dets []Detection, gts []data.Box) MatchResult {
+	var res MatchResult
+	used := make([]bool, len(gts))
+	for _, det := range dets {
+		bestIoU, bestIdx := 0.0, -1
+		for i, gt := range gts {
+			if used[i] {
+				continue
+			}
+			iou := IoU(det.X, det.Y, det.W, det.H, float32(gt.X), float32(gt.Y), float32(gt.W), float32(gt.H))
+			if iou > bestIoU {
+				bestIoU, bestIdx = iou, i
+			}
+		}
+		switch {
+		case bestIdx < 0 || bestIoU < 0.5:
+			res.Phantoms++
+		case gts[bestIdx].Class == det.Class:
+			used[bestIdx] = true
+			res.TruePositives++
+		default:
+			used[bestIdx] = true
+			res.Misclassified++
+		}
+	}
+	for _, u := range used {
+		if !u {
+			res.Missed++
+		}
+	}
+	return res
+}

@@ -1,0 +1,252 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gofi/internal/core"
+	"gofi/internal/data"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(rng, Config{Classes: 0, ImgSize: 48}); err == nil {
+		t.Fatal("zero classes must error")
+	}
+	if _, err := New(rng, Config{Classes: 2, ImgSize: 30}); err == nil {
+		t.Fatal("non-multiple-of-4 size must error")
+	}
+	d, err := New(rng, Config{Classes: 3, ImgSize: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Grid() != 12 {
+		t.Fatalf("grid = %d, want 12", d.Grid())
+	}
+	cfg := d.Config()
+	if cfg.ConfThreshold != 0.5 || cfg.NMSIoU != 0.45 {
+		t.Fatalf("defaults %+v", cfg)
+	}
+}
+
+func TestForwardHeadShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, _ := New(rng, Config{Classes: 4, ImgSize: 32})
+	head := d.Forward(tensor.New(2, 3, 32, 32))
+	want := []int{2, 9, 8, 8}
+	got := head.Shape()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("head shape %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIoUKnownValues(t *testing.T) {
+	tests := []struct {
+		name           string
+		ax, ay, aw, ah float32
+		bx, by, bw, bh float32
+		want           float64
+	}{
+		{"identical", 0, 0, 10, 10, 0, 0, 10, 10, 1},
+		{"disjoint", 0, 0, 5, 5, 10, 10, 5, 5, 0},
+		{"touching", 0, 0, 5, 5, 5, 0, 5, 5, 0},
+		{"half-overlap", 0, 0, 10, 10, 5, 0, 10, 10, 50.0 / 150.0},
+		{"contained", 0, 0, 10, 10, 2, 2, 5, 5, 25.0 / 100.0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := IoU(tc.ax, tc.ay, tc.aw, tc.ah, tc.bx, tc.by, tc.bw, tc.bh)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("IoU = %g, want %g", got, tc.want)
+			}
+		})
+	}
+}
+
+// Property: IoU is symmetric and bounded in [0, 1].
+func TestIoUSymmetricBounded_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := func() (float32, float32, float32, float32) {
+			return rng.Float32() * 50, rng.Float32() * 50, rng.Float32()*20 + 1, rng.Float32()*20 + 1
+		}
+		ax, ay, aw, ah := r()
+		bx, by, bw, bh := r()
+		ab := IoU(ax, ay, aw, ah, bx, by, bw, bh)
+		ba := IoU(bx, by, bw, bh, ax, ay, aw, ah)
+		return math.Abs(ab-ba) < 1e-12 && ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNMSSuppressesOverlaps(t *testing.T) {
+	dets := []Detection{
+		{X: 0, Y: 0, W: 10, H: 10, Conf: 0.9, Class: 1},
+		{X: 1, Y: 1, W: 10, H: 10, Conf: 0.8, Class: 1}, // heavy overlap: suppressed
+		{X: 30, Y: 30, W: 10, H: 10, Conf: 0.7, Class: 2},
+	}
+	kept := NMS(dets, 0.45)
+	if len(kept) != 2 {
+		t.Fatalf("NMS kept %d, want 2", len(kept))
+	}
+	if kept[0].Conf != 0.9 || kept[1].Conf != 0.7 {
+		t.Fatalf("NMS kept %+v", kept)
+	}
+}
+
+func TestNMSKeepsDistinctBoxes(t *testing.T) {
+	dets := []Detection{
+		{X: 0, Y: 0, W: 5, H: 5, Conf: 0.6},
+		{X: 20, Y: 20, W: 5, H: 5, Conf: 0.9},
+	}
+	kept := NMS(dets, 0.45)
+	if len(kept) != 2 || kept[0].Conf != 0.9 {
+		t.Fatalf("NMS = %+v", kept)
+	}
+	if got := NMS(nil, 0.45); len(got) != 0 {
+		t.Fatal("NMS of nothing must be empty")
+	}
+}
+
+func TestMatchClassification(t *testing.T) {
+	gts := []data.Box{
+		{X: 0, Y: 0, W: 10, H: 10, Class: 1},
+		{X: 30, Y: 30, W: 10, H: 10, Class: 2},
+	}
+	dets := []Detection{
+		{X: 1, Y: 0, W: 10, H: 10, Class: 1, Conf: 0.9},   // TP
+		{X: 30, Y: 31, W: 10, H: 10, Class: 0, Conf: 0.8}, // misclassified
+		{X: 60, Y: 60, W: 8, H: 8, Class: 3, Conf: 0.7},   // phantom
+	}
+	res := Match(dets, gts)
+	if res.TruePositives != 1 || res.Misclassified != 1 || res.Phantoms != 1 || res.Missed != 0 {
+		t.Fatalf("match = %+v", res)
+	}
+	// All GT missed when no detections.
+	res = Match(nil, gts)
+	if res.Missed != 2 || res.Phantoms != 0 {
+		t.Fatalf("empty match = %+v", res)
+	}
+}
+
+func TestLossGradientNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, _ := New(rng, Config{Classes: 2, ImgSize: 16})
+	head := tensor.RandUniform(rng, -1, 1, 1, 7, 4, 4)
+	gts := [][]data.Box{{{X: 2, Y: 2, W: 6, H: 6, Class: 1}}}
+
+	_, grad := d.Loss(head, gts)
+	const eps, tol = 1e-3, 1e-2
+	for i := 0; i < head.Len(); i += 3 {
+		orig := head.AtFlat(i)
+		head.SetFlat(i, orig+eps)
+		up, _ := d.Loss(head, gts)
+		head.SetFlat(i, orig-eps)
+		down, _ := d.Loss(head, gts)
+		head.SetFlat(i, orig)
+		numeric := float32((up - down) / (2 * eps))
+		diff := numeric - grad.AtFlat(i)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tol {
+			t.Fatalf("loss grad[%d]: analytic %g vs numeric %g", i, grad.AtFlat(i), numeric)
+		}
+	}
+}
+
+func TestTrainImprovesLossAndDetects(t *testing.T) {
+	scenes, err := data.NewScenes(data.SceneConfig{
+		Classes: 3, Size: 32, MaxObjects: 2, MinExtent: 8, MaxExtent: 14, Noise: 0.05, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	det, losses, err := NewTrained(rng, scenes, Config{}, TrainConfig{
+		Epochs: 8, BatchSize: 8, Scenes: 64, LR: 0.003, Momentum: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("detector loss did not improve: %v", losses)
+	}
+
+	// On held-out scenes, the detector must find most objects with few
+	// phantoms.
+	var tp, phantom, missed int
+	for i := 1000; i < 1020; i++ {
+		img, gts := scenes.Scene(i)
+		dets := det.Detect(img.Reshape(1, 3, 32, 32))[0]
+		res := Match(dets, gts)
+		tp += res.TruePositives + res.Misclassified
+		phantom += res.Phantoms
+		missed += res.Missed
+	}
+	if tp == 0 {
+		t.Fatal("trained detector found nothing")
+	}
+	if tp < missed {
+		t.Fatalf("detector misses more than it finds: tp %d missed %d", tp, missed)
+	}
+	if phantom > tp {
+		t.Fatalf("clean detector produces too many phantoms: %d vs tp %d", phantom, tp)
+	}
+}
+
+func TestInjectionProducesPhantoms(t *testing.T) {
+	// The Figure 5 reproduction in miniature: per-layer random-value
+	// injection must create detections the clean pass does not have.
+	scenes, err := data.NewScenes(data.SceneConfig{
+		Classes: 3, Size: 32, MaxObjects: 2, MinExtent: 8, MaxExtent: 14, Noise: 0.05, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	det, _, err := NewTrained(rng, scenes, Config{}, TrainConfig{
+		Epochs: 8, BatchSize: 8, Scenes: 64, LR: 0.003, Momentum: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := core.New(det.Model(), core.Config{Height: 32, Width: 32, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	img, _ := scenes.Scene(2000)
+	x := img.Reshape(1, 3, 32, 32)
+	cleanCount := len(det.Detect(x)[0])
+
+	// Sweep injection trials until one perturbs the output; enormous
+	// random values on every layer corrupt quickly.
+	siteRng := rand.New(rand.NewSource(9))
+	changed := false
+	for trial := 0; trial < 20 && !changed; trial++ {
+		inj.Reset()
+		if _, err := inj.InjectRandomNeuronPerLayer(siteRng, core.RandomValue{Lo: -1e4, Hi: 1e4}); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(det.Detect(x)[0]); got != cleanCount {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("per-layer injections never changed the detection output")
+	}
+	inj.Reset()
+	if got := len(det.Detect(x)[0]); got != cleanCount {
+		t.Fatal("Reset did not restore clean detections")
+	}
+	_ = nn.Layer(det.Model())
+}

@@ -1,0 +1,166 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gofi/internal/data"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+	"gofi/internal/train"
+)
+
+// Loss weights, following the YOLO convention of boosting box regression
+// and damping the abundant no-object cells.
+const (
+	lambdaBox   = 5.0
+	lambdaObj   = 5.0
+	lambdaNoObj = 0.5
+)
+
+// Loss computes the YOLO-style detection loss and its gradient with
+// respect to the raw head tensor [N, 5+C, G, G]:
+//
+//   - objectness: binary cross-entropy, target 1 at each ground-truth
+//     box's center cell, 0 elsewhere (weighted by lambdaNoObj);
+//   - box geometry: squared error on the sigmoid-decoded (tx, ty, tw, th)
+//     of responsible cells, weighted by lambdaBox;
+//   - class: softmax cross-entropy at responsible cells.
+func (d *Detector) Loss(head *tensor.Tensor, gts [][]data.Box) (float64, *tensor.Tensor) {
+	n := head.Dim(0)
+	if len(gts) != n {
+		panic(fmt.Sprintf("detect: %d ground-truth lists for batch %d", len(gts), n))
+	}
+	g := d.grid
+	cell := float64(d.cfg.ImgSize) / float64(g)
+	grad := tensor.New(head.Shape()...)
+	var loss float64
+
+	type target struct {
+		tx, ty, tw, th float64
+		class          int
+	}
+	for b := 0; b < n; b++ {
+		responsible := make(map[[2]int]target)
+		for _, gt := range gts[b] {
+			cx, cy := float64(gt.CenterX()), float64(gt.CenterY())
+			gx, gy := int(cx/cell), int(cy/cell)
+			if gx < 0 || gx >= g || gy < 0 || gy >= g {
+				continue
+			}
+			responsible[[2]int{gy, gx}] = target{
+				tx:    cx/cell - float64(gx),
+				ty:    cy/cell - float64(gy),
+				tw:    float64(gt.W) / float64(d.cfg.ImgSize),
+				th:    float64(gt.H) / float64(d.cfg.ImgSize),
+				class: gt.Class,
+			}
+		}
+		for gy := 0; gy < g; gy++ {
+			for gx := 0; gx < g; gx++ {
+				o := float64(head.At(b, 4, gy, gx))
+				so := 1 / (1 + math.Exp(-o))
+				tgt, isObj := responsible[[2]int{gy, gx}]
+				// Objectness BCE. dL/do = (sigmoid - target) * weight.
+				objTarget, weight := 0.0, lambdaNoObj
+				if isObj {
+					objTarget, weight = 1.0, lambdaObj
+				}
+				loss += -weight * (objTarget*math.Log(so+1e-12) + (1-objTarget)*math.Log(1-so+1e-12))
+				grad.Set(float32(weight*(so-objTarget)), b, 4, gy, gx)
+				if !isObj {
+					continue
+				}
+				// Box regression on sigmoid-decoded coordinates.
+				for ch, want := range map[int]float64{0: tgt.tx, 1: tgt.ty, 2: tgt.tw, 3: tgt.th} {
+					v := float64(head.At(b, ch, gy, gx))
+					s := 1 / (1 + math.Exp(-v))
+					diff := s - want
+					loss += lambdaBox * diff * diff
+					grad.Set(float32(lambdaBox*2*diff*s*(1-s)), b, ch, gy, gx)
+				}
+				// Class softmax cross-entropy.
+				c := d.cfg.Classes
+				logits := make([]float64, c)
+				maxL := math.Inf(-1)
+				for i := 0; i < c; i++ {
+					logits[i] = float64(head.At(b, 5+i, gy, gx))
+					if logits[i] > maxL {
+						maxL = logits[i]
+					}
+				}
+				var sum float64
+				for i := range logits {
+					logits[i] = math.Exp(logits[i] - maxL)
+					sum += logits[i]
+				}
+				for i := 0; i < c; i++ {
+					p := logits[i] / sum
+					t := 0.0
+					if i == tgt.class {
+						t = 1
+						loss += -math.Log(p + 1e-12)
+					}
+					grad.Set(float32(p-t), b, 5+i, gy, gx)
+				}
+			}
+		}
+	}
+	scale := 1 / float32(n)
+	tensor.ScaleInPlace(grad, scale)
+	return loss / float64(n), grad
+}
+
+// TrainConfig drives Train.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Scenes    int // scenes per epoch
+	LR        float32
+	Momentum  float32
+}
+
+// Train fits the detector on synthetic scenes with SGD; it returns the
+// per-epoch mean loss.
+func (d *Detector) Train(scenes *data.Scenes, cfg TrainConfig) ([]float64, error) {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.Scenes < cfg.BatchSize {
+		return nil, fmt.Errorf("detect: invalid training config %+v", cfg)
+	}
+	opt := train.NewSGD(cfg.LR, cfg.Momentum, 0)
+	params := nn.AllParams(d.model)
+	var epochLosses []float64
+	for e := 0; e < cfg.Epochs; e++ {
+		var total float64
+		batches := 0
+		for lo := 0; lo+cfg.BatchSize <= cfg.Scenes; lo += cfg.BatchSize {
+			x, gts := scenes.SceneBatch(lo, cfg.BatchSize)
+			head := d.Forward(x)
+			loss, grad := d.Loss(head, gts)
+			nn.ZeroGrads(d.model)
+			nn.RunBackward(d.model, grad)
+			opt.Step(params)
+			total += loss
+			batches++
+		}
+		epochLosses = append(epochLosses, total/float64(batches))
+	}
+	return epochLosses, nil
+}
+
+// NewTrained builds and trains a detector on the given scenes — the
+// convenience entry point used by the Figure 5 harness and examples.
+func NewTrained(rng *rand.Rand, scenes *data.Scenes, cfg Config, tc TrainConfig) (*Detector, []float64, error) {
+	sc := scenes.Config()
+	cfg.Classes = sc.Classes
+	cfg.ImgSize = sc.Size
+	det, err := New(rng, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	losses, err := det.Train(scenes, tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return det, losses, nil
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/campaign"
+	"gofi/internal/core"
+)
+
+// BitStudyConfig drives the bit-position sensitivity study: a campaign
+// per bit position, the classic analysis for deciding which bits need
+// protection (parity/ECC placement).
+type BitStudyConfig struct {
+	Model           string
+	Classes, InSize int
+	TrainEpochs     int
+	Noise           float32
+	TrialsPerBit    int
+	Workers         int
+	DType           core.DType // FP32, FP16 or INT8
+	Seed            int64
+}
+
+func (c BitStudyConfig) canon() BitStudyConfig {
+	if c.Model == "" {
+		c.Model = "alexnet"
+	}
+	if c.Classes <= 0 {
+		c.Classes = 10
+	}
+	if c.InSize <= 0 {
+		c.InSize = 32
+	}
+	if c.TrainEpochs <= 0 {
+		c.TrainEpochs = 8
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.6
+	}
+	if c.TrialsPerBit <= 0 {
+		c.TrialsPerBit = 200
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.DType == 0 {
+		c.DType = core.INT8
+	}
+	return c
+}
+
+// BitStudyRow is one bit position's measured vulnerability.
+type BitStudyRow struct {
+	Bit        int
+	Trials     int
+	Top1Mis    int
+	NonFinite  int
+	Rate       float64
+	CILo, CIHi float64
+}
+
+// RunBitStudy trains the model once, then runs one single-bit-flip
+// campaign per bit position of the emulated data type, reporting the
+// Top-1 misclassification rate by bit. The expected shape: high-order
+// (exponent/sign for floats, magnitude for INT8) bits dominate, low-order
+// mantissa bits are almost always masked.
+func RunBitStudy(cfg BitStudyConfig) ([]BitStudyRow, error) {
+	cfg = cfg.canon()
+	trained, ds, eligible, err := trainedModel(cfg.Model, cfg.Classes, cfg.InSize, cfg.Noise, cfg.Seed, cfg.TrainEpochs)
+	if err != nil {
+		return nil, fmt.Errorf("bit study: %w", err)
+	}
+	if len(eligible) == 0 {
+		return nil, fmt.Errorf("bit study: model classifies nothing correctly")
+	}
+
+	base := replicaFactory(cfg.Model, cfg.Classes, cfg.InSize, cfg.Seed, trained, core.Config{
+		Height: cfg.InSize, Width: cfg.InSize, DType: cfg.DType, Seed: cfg.Seed,
+	})
+	calib, _ := ds.Batch(0, 8)
+	newReplica := func(worker int) (*core.Injector, error) {
+		inj, err := base(worker)
+		if err != nil {
+			return nil, err
+		}
+		switch cfg.DType {
+		case core.INT8:
+			if err := inj.CalibrateINT8(calib); err != nil {
+				return nil, err
+			}
+			if err := inj.EnableActQuant(true); err != nil {
+				return nil, err
+			}
+		case core.FP16:
+			if err := inj.EnableFP16Acts(true); err != nil {
+				return nil, err
+			}
+		}
+		return inj, nil
+	}
+
+	bits := 32
+	switch cfg.DType {
+	case core.FP16:
+		bits = 16
+	case core.INT8:
+		bits = 8
+	}
+	rows := make([]BitStudyRow, 0, bits)
+	for b := 0; b < bits; b++ {
+		bit := b
+		agg, err := campaign.Run(campaign.Config{
+			Workers:    cfg.Workers,
+			Trials:     cfg.TrialsPerBit,
+			Seed:       cfg.Seed + int64(b)*37,
+			NewReplica: newReplica,
+			Source:     ds,
+			Eligible:   eligible,
+			Arm: func(inj *core.Injector, rng *rand.Rand) error {
+				_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: bit})
+				return err
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bit study bit %d: %w", b, err)
+		}
+		lo, hi := agg.WilsonCI(campaign.Z99)
+		rows = append(rows, BitStudyRow{
+			Bit: b, Trials: agg.Trials, Top1Mis: agg.Top1Mis,
+			NonFinite: agg.NonFinite, Rate: agg.Rate(), CILo: lo, CIHi: hi,
+		})
+	}
+	return rows, nil
+}

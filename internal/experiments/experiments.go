@@ -1,0 +1,90 @@
+// Package experiments implements the paper's evaluation harnesses: one
+// runner per table/figure, each returning structured results that the
+// cmd/gofi-* binaries render and EXPERIMENTS.md records. Every runner is
+// parameterized so the benchmark suite can exercise it at reduced scale.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/core"
+	"gofi/internal/data"
+	"gofi/internal/models"
+	"gofi/internal/nn"
+	"gofi/internal/train"
+)
+
+// dataset returns the synthetic stand-in for a named benchmark dataset.
+// Higher noise thins the decision margins, which controls how often a
+// single fault can flip a prediction.
+func dataset(name string, classes, size int, noise float32, seed int64) (*data.Classification, error) {
+	return data.NewClassification(data.ClassificationConfig{
+		Classes:  classes,
+		Channels: 3,
+		Size:     size,
+		Noise:    noise,
+		Seed:     seed,
+	})
+}
+
+// trainedModel builds and quickly trains a registry model on a synthetic
+// dataset, returning the model and its eligible (correctly classified)
+// sample indices from a held-out range.
+func trainedModel(name string, classes, inSize int, noise float32, seed int64, epochs int) (nn.Layer, *data.Classification, []int, error) {
+	ds, err := dataset(name, classes, inSize, noise, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	model, err := models.Build(name, rng, classes, inSize)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := train.Loop(model, ds, train.Config{
+		Epochs:    epochs,
+		BatchSize: 16,
+		TrainSize: 384,
+		LR:        0.02,
+		Momentum:  0.9,
+	}); err != nil {
+		return nil, nil, nil, fmt.Errorf("train %s: %w", name, err)
+	}
+	eligible := train.CorrectIndices(model, ds, 100_000, 128, 16)
+	return model, ds, eligible, nil
+}
+
+// replicaFactory returns a campaign NewReplica function: each worker gets
+// a private architecture instance sharing the trained weights, wrapped in
+// its own injector. Weight storage is shared (read-only during neuron
+// campaigns); use copyReplicaFactory when trials mutate weights.
+func replicaFactory(name string, classes, inSize int, seed int64, trained nn.Layer, injCfg core.Config) func(int) (*core.Injector, error) {
+	return newReplicaFactory(name, classes, inSize, seed, trained, injCfg, false)
+}
+
+// copyReplicaFactory is replicaFactory with deep-copied weights, required
+// for weight-injection campaigns where each worker mutates its own copy.
+func copyReplicaFactory(name string, classes, inSize int, seed int64, trained nn.Layer, injCfg core.Config) func(int) (*core.Injector, error) {
+	return newReplicaFactory(name, classes, inSize, seed, trained, injCfg, true)
+}
+
+func newReplicaFactory(name string, classes, inSize int, seed int64, trained nn.Layer, injCfg core.Config, copyWeights bool) func(int) (*core.Injector, error) {
+	return func(worker int) (*core.Injector, error) {
+		rng := rand.New(rand.NewSource(seed))
+		replica, err := models.Build(name, rng, classes, inSize)
+		if err != nil {
+			return nil, err
+		}
+		if copyWeights {
+			err = nn.CopyParams(replica, trained)
+		} else {
+			err = nn.ShareParams(replica, trained)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cfg := injCfg
+		cfg.Seed = injCfg.Seed + int64(worker)*7919
+		return core.New(replica, cfg)
+	}
+}

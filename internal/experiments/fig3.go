@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"gofi/internal/core"
+	"gofi/internal/models"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// Fig3Config drives the runtime-overhead study.
+type Fig3Config struct {
+	// Trials inferences are averaged per (network, backend, mode) cell.
+	Trials int
+	// Batch is the inference batch size (the paper's Figure 3 uses 1).
+	Batch int
+	// Entries restricts the study to a subset of the 19 networks (nil =
+	// all).
+	Entries []models.Fig3Entry
+	// ParallelWorkers configures the parallel backend (default: NumCPU).
+	ParallelWorkers int
+	Seed            int64
+}
+
+// Fig3Row is one cell group of Figure 3.
+type Fig3Row struct {
+	Label    string
+	Dataset  string
+	Backend  string // "serial" (CPU stand-in) or "parallel" (GPU stand-in)
+	BaseSec  float64
+	FISec    float64
+	Overhead float64 // FISec − BaseSec
+}
+
+// RunFig3 measures inference wall-clock with and without a single armed
+// random-neuron random-value injection, per network and backend. It
+// reproduces the paper's Figure 3 claim: instrumented inference runs at
+// native speed, with overhead inside measurement noise on both a slow
+// (serial) and a fast (parallel) platform.
+func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 5
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 1
+	}
+	if cfg.ParallelWorkers <= 0 {
+		cfg.ParallelWorkers = runtime.NumCPU()
+	}
+	entries := cfg.Entries
+	if entries == nil {
+		entries = models.Fig3Registry()
+	}
+
+	var rows []Fig3Row
+	for _, e := range entries {
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		model, err := models.Build(e.Model, rng, e.Classes, e.InSize)
+		if err != nil {
+			return nil, err
+		}
+		nn.SetTraining(model, false)
+		inj, err := core.New(model, core.Config{
+			Batch: cfg.Batch, Height: e.InSize, Width: e.InSize, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s/%s: %w", e.Label, e.Dataset, err)
+		}
+		for _, backend := range []struct {
+			name    string
+			workers int
+		}{
+			{"serial", 1},
+			{"parallel", cfg.ParallelWorkers},
+		} {
+			prev := tensor.SetWorkers(backend.workers)
+			base := timeInference(model, inj, e, cfg, false)
+			fi := timeInference(model, inj, e, cfg, true)
+			tensor.SetWorkers(prev)
+			rows = append(rows, Fig3Row{
+				Label:    e.Label,
+				Dataset:  e.Dataset,
+				Backend:  backend.name,
+				BaseSec:  base,
+				FISec:    fi,
+				Overhead: fi - base,
+			})
+		}
+		inj.Detach()
+	}
+	return rows, nil
+}
+
+// timeInference averages wall-clock over cfg.Trials inferences on random
+// inputs, with one random-neuron fault armed when fi is true.
+func timeInference(model nn.Layer, inj *core.Injector, e models.Fig3Entry, cfg Fig3Config, fi bool) float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	// Warm-up inference excluded from timing.
+	x := tensor.RandUniform(rng, -1, 1, cfg.Batch, 3, e.InSize, e.InSize)
+	nn.Run(model, x)
+
+	var total time.Duration
+	for t := 0; t < cfg.Trials; t++ {
+		inj.Reset()
+		if fi {
+			// Re-armed per trial, as a campaign would.
+			if _, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue()); err != nil {
+				panic(fmt.Sprintf("fig3: arming validated site failed: %v", err))
+			}
+		}
+		start := time.Now()
+		nn.Run(model, x)
+		total += time.Since(start)
+	}
+	inj.Reset()
+	return total.Seconds() / float64(cfg.Trials)
+}
+
+// BatchSweepRow is one batch-size point of the §III-C sweep.
+type BatchSweepRow struct {
+	Batch    int
+	BaseSec  float64
+	FISec    float64
+	Overhead float64
+}
+
+// RunBatchSweep reproduces the §III-C batching study on one network:
+// wall-clock with and without injection as batch size grows, expecting
+// the amortized per-model instrumentation cost the paper reports.
+func RunBatchSweep(model string, inSize int, batches []int, trials int, seed int64) ([]BatchSweepRow, error) {
+	if len(batches) == 0 {
+		batches = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	if trials <= 0 {
+		trials = 3
+	}
+	var rows []BatchSweepRow
+	for _, b := range batches {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := models.Build(model, rng, 10, inSize)
+		if err != nil {
+			return nil, err
+		}
+		nn.SetTraining(m, false)
+		inj, err := core.New(m, core.Config{Batch: b, Height: inSize, Width: inSize, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		e := models.Fig3Entry{Model: model, Label: model, InSize: inSize}
+		cfg := Fig3Config{Trials: trials, Batch: b, Seed: seed}
+		base := timeInference(m, inj, e, cfg, false)
+		fi := timeInference(m, inj, e, cfg, true)
+		inj.Detach()
+		rows = append(rows, BatchSweepRow{Batch: b, BaseSec: base, FISec: fi, Overhead: fi - base})
+	}
+	return rows, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/campaign"
+	"gofi/internal/core"
+	"gofi/internal/models"
+)
+
+// Fig4Config drives the classification-resiliency campaign.
+type Fig4Config struct {
+	// Models restricts the study (nil = the paper's six ImageNet
+	// networks).
+	Models []string
+	// TrialsPerModel is the number of injection trials per network (the
+	// paper runs ~18M per network; scale to CPU budget).
+	TrialsPerModel int
+	// Workers parallelizes each campaign.
+	Workers int
+	// Classes / InSize describe the synthetic stand-in dataset (defaults
+	// 10 / 32).
+	Classes, InSize int
+	// TrainEpochs controls how long each network trains before the
+	// campaign (must reach good accuracy so "correctly classified" is a
+	// meaningful population).
+	TrainEpochs int
+	// Noise is the synthetic dataset's pixel-noise std. The default (0.6)
+	// leaves realistic decision margins; near-zero noise produces models
+	// so over-margined that single faults almost never flip Top-1.
+	Noise float32
+	Seed  int64
+}
+
+func (c Fig4Config) canon() Fig4Config {
+	if c.Models == nil {
+		c.Models = models.Fig4Models()
+	}
+	if c.TrialsPerModel <= 0 {
+		c.TrialsPerModel = 500
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Classes <= 0 {
+		c.Classes = 10
+	}
+	if c.InSize <= 0 {
+		c.InSize = 32
+	}
+	if c.TrainEpochs <= 0 {
+		c.TrainEpochs = 8
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.6
+	}
+	return c
+}
+
+// Fig4Row is one bar of Figure 4.
+type Fig4Row struct {
+	Model      string
+	CleanAcc   float64 // accuracy of the trained INT8-emulated network
+	Trials     int
+	Top1Mis    int
+	Rate       float64
+	CILo, CIHi float64 // Wilson 99% interval
+	OutOfTop5  int
+	NonFinite  int
+}
+
+// RunFig4 reproduces Figure 4: for each network, train on the synthetic
+// dataset, emulate INT8 neuron quantization, and run a single-bit-flip
+// campaign on random neurons of correctly-classified inputs, reporting the
+// Top-1 misclassification probability with 99% confidence intervals.
+func RunFig4(cfg Fig4Config) ([]Fig4Row, error) {
+	cfg = cfg.canon()
+	var rows []Fig4Row
+	for _, name := range cfg.Models {
+		row, err := runFig4Model(name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runFig4Model(name string, cfg Fig4Config) (Fig4Row, error) {
+	trained, ds, eligible, err := trainedModel(name, cfg.Classes, cfg.InSize, cfg.Noise, cfg.Seed, cfg.TrainEpochs)
+	if err != nil {
+		return Fig4Row{}, err
+	}
+	if len(eligible) == 0 {
+		return Fig4Row{}, fmt.Errorf("model classifies nothing correctly after training")
+	}
+
+	base := replicaFactory(name, cfg.Classes, cfg.InSize, cfg.Seed, trained, core.Config{
+		Height: cfg.InSize, Width: cfg.InSize, DType: core.INT8, Seed: cfg.Seed,
+	})
+	calib, _ := ds.Batch(0, 8)
+	newReplica := func(worker int) (*core.Injector, error) {
+		inj, err := base(worker)
+		if err != nil {
+			return nil, err
+		}
+		if err := inj.CalibrateINT8(calib); err != nil {
+			return nil, err
+		}
+		if err := inj.EnableActQuant(true); err != nil {
+			return nil, err
+		}
+		return inj, nil
+	}
+
+	agg, err := campaign.Run(campaign.Config{
+		Workers:    cfg.Workers,
+		Trials:     cfg.TrialsPerModel,
+		Seed:       cfg.Seed + 17,
+		NewReplica: newReplica,
+		Source:     ds,
+		Eligible:   eligible,
+		Arm: func(inj *core.Injector, rng *rand.Rand) error {
+			_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit})
+			return err
+		},
+	})
+	if err != nil {
+		return Fig4Row{}, err
+	}
+	lo, hi := agg.WilsonCI(campaign.Z99)
+	return Fig4Row{
+		Model:     name,
+		CleanAcc:  float64(len(eligible)) / 128,
+		Trials:    agg.Trials,
+		Top1Mis:   agg.Top1Mis,
+		Rate:      agg.Rate(),
+		CILo:      lo,
+		CIHi:      hi,
+		OutOfTop5: agg.OutOfTop5,
+		NonFinite: agg.NonFinite,
+	}, nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/core"
+	"gofi/internal/data"
+	"gofi/internal/detect"
+)
+
+// Fig5Config drives the object-detection perturbation study.
+type Fig5Config struct {
+	// Scenes evaluated under clean and injected inference.
+	Scenes int
+	// InjectionsPerScene repeats the per-layer injection this many times
+	// per scene (fresh sites each time).
+	InjectionsPerScene int
+	// SceneSize and Classes size the synthetic detection dataset.
+	SceneSize, Classes int
+	// TrainEpochs for the detector before the study.
+	TrainEpochs int
+	// ValueRange is the uniform FP32 injection range ±ValueRange (the
+	// paper uses "a uniformly chosen random FP32 value"; enormous values
+	// make the corruption visible, as in their Figure 5b).
+	ValueRange float32
+	Seed       int64
+}
+
+func (c Fig5Config) canon() Fig5Config {
+	if c.Scenes <= 0 {
+		c.Scenes = 20
+	}
+	if c.InjectionsPerScene <= 0 {
+		c.InjectionsPerScene = 3
+	}
+	if c.SceneSize <= 0 {
+		c.SceneSize = 32
+	}
+	if c.Classes <= 0 {
+		c.Classes = 3
+	}
+	if c.TrainEpochs <= 0 {
+		c.TrainEpochs = 10
+	}
+	if c.ValueRange <= 0 {
+		c.ValueRange = 1e4
+	}
+	return c
+}
+
+// Fig5Result aggregates the detection study.
+type Fig5Result struct {
+	// Clean-inference quality.
+	CleanTP, CleanPhantoms, CleanMissed, CleanMisclass int
+	// Injected-inference quality (per-layer random FP32 injections).
+	FITP, FIPhantoms, FIMissed, FIMisclass int
+	// Scenes and injected runs evaluated.
+	Scenes, InjectedRuns int
+	// ExampleClean / ExampleFI are the detection lists of the first scene
+	// (the study's qualitative exhibit, standing in for Figure 5a/5b).
+	ExampleClean, ExampleFI []detect.Detection
+	ExampleGT               []data.Box
+}
+
+// RunFig5 reproduces Figure 5's finding: a clean detector localizes the
+// scene's objects, while one random-FP32 neuron injection per layer
+// produces phantom objects with arbitrary classes.
+func RunFig5(cfg Fig5Config) (Fig5Result, error) {
+	cfg = cfg.canon()
+	scenes, err := data.NewScenes(data.SceneConfig{
+		Classes:    cfg.Classes,
+		Size:       cfg.SceneSize,
+		MaxObjects: 2,
+		MinExtent:  cfg.SceneSize / 4,
+		MaxExtent:  cfg.SceneSize * 7 / 16,
+		Noise:      0.05,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	det, _, err := detect.NewTrained(rng, scenes, detect.Config{}, detect.TrainConfig{
+		Epochs: cfg.TrainEpochs, BatchSize: 8, Scenes: 64, LR: 0.003, Momentum: 0.9,
+	})
+	if err != nil {
+		return Fig5Result{}, fmt.Errorf("fig5 detector training: %w", err)
+	}
+	inj, err := core.New(det.Model(), core.Config{
+		Height: cfg.SceneSize, Width: cfg.SceneSize, Seed: cfg.Seed + 2,
+	})
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	defer inj.Detach()
+
+	siteRng := rand.New(rand.NewSource(cfg.Seed + 3))
+	var res Fig5Result
+	for s := 0; s < cfg.Scenes; s++ {
+		img, gts := scenes.Scene(10_000 + s)
+		x := img.Reshape(1, 3, cfg.SceneSize, cfg.SceneSize)
+
+		inj.Reset()
+		clean := det.Detect(x)[0]
+		cm := detect.Match(clean, gts)
+		res.CleanTP += cm.TruePositives
+		res.CleanPhantoms += cm.Phantoms
+		res.CleanMissed += cm.Missed
+		res.CleanMisclass += cm.Misclassified
+
+		for i := 0; i < cfg.InjectionsPerScene; i++ {
+			inj.Reset()
+			if _, err := inj.InjectRandomNeuronPerLayer(siteRng, core.RandomValue{Lo: -cfg.ValueRange, Hi: cfg.ValueRange}); err != nil {
+				return Fig5Result{}, err
+			}
+			faulty := det.Detect(x)[0]
+			fm := detect.Match(faulty, gts)
+			res.FITP += fm.TruePositives
+			res.FIPhantoms += fm.Phantoms
+			res.FIMissed += fm.Missed
+			res.FIMisclass += fm.Misclassified
+			res.InjectedRuns++
+			if s == 0 && i == 0 {
+				res.ExampleClean = clean
+				res.ExampleFI = faulty
+				res.ExampleGT = gts
+			}
+		}
+		res.Scenes++
+	}
+	inj.Reset()
+	return res, nil
+}

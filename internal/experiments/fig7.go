@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/core"
+	"gofi/internal/data"
+	"gofi/internal/interpret"
+	"gofi/internal/models"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+	"gofi/internal/train"
+)
+
+// Fig7Config drives the interpretability study.
+type Fig7Config struct {
+	// Model is the architecture to explain (the paper uses DenseNet).
+	Model string
+	// Classes / InSize size the synthetic dataset.
+	Classes, InSize int
+	// TrainEpochs before the study.
+	TrainEpochs int
+	// InjectValue is the egregious value injected (the paper uses 10,000).
+	InjectValue float32
+	Seed        int64
+}
+
+func (c Fig7Config) canon() Fig7Config {
+	if c.Model == "" {
+		c.Model = "densenet"
+	}
+	if c.Classes <= 0 {
+		c.Classes = 4
+	}
+	if c.InSize <= 0 {
+		c.InSize = 16
+	}
+	if c.TrainEpochs <= 0 {
+		c.TrainEpochs = 5
+	}
+	if c.InjectValue == 0 {
+		c.InjectValue = 10_000
+	}
+	return c
+}
+
+// Fig7Result mirrors the three panels of Figure 7.
+type Fig7Result struct {
+	// CleanCAM is the unperturbed Grad-CAM heatmap (panel a).
+	CleanCAM *tensor.Tensor
+	// LeastCAM / MostCAM are the heatmaps after injecting into the least
+	// and most sensitive feature maps (panels b and c).
+	LeastCAM, MostCAM *tensor.Tensor
+	// Deltas between the clean heatmap and each injected one.
+	LeastL2, MostL2         float64
+	LeastCosine, MostCosine float64
+	// Top-1 preservation under each injection.
+	LeastTop1Changed, MostTop1Changed bool
+	// LeastFmap / MostFmap are the selected feature-map indices.
+	LeastFmap, MostFmap int
+	TargetLayer         string
+}
+
+// RunFig7 reproduces Figure 7: rank the final convolutional layer's
+// feature maps by Grad-CAM gradient sensitivity, inject a huge value into
+// the least and most sensitive maps, and compare heatmaps and Top-1.
+func RunFig7(cfg Fig7Config) (Fig7Result, error) {
+	cfg = cfg.canon()
+	ds, err := data.NewClassification(data.ClassificationConfig{
+		Classes: cfg.Classes, Channels: 3, Size: cfg.InSize, Noise: 0.15, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 41))
+	model, err := models.Build(cfg.Model, rng, cfg.Classes, cfg.InSize)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	if _, err := train.Loop(model, ds, train.Config{
+		Epochs: cfg.TrainEpochs, BatchSize: 16, TrainSize: 384, LR: 0.02, Momentum: 0.9,
+	}); err != nil {
+		return Fig7Result{}, fmt.Errorf("fig7 training: %w", err)
+	}
+
+	// The target is the model's last convolution (deepest feature maps,
+	// the standard Grad-CAM choice).
+	var convs []*nn.Conv2d
+	var paths []string
+	nn.Walk(model, func(path string, l nn.Layer) {
+		if c, ok := l.(*nn.Conv2d); ok {
+			convs = append(convs, c)
+			paths = append(paths, path)
+		}
+	})
+	if len(convs) == 0 {
+		return Fig7Result{}, fmt.Errorf("fig7: model has no convolutions")
+	}
+	target := convs[len(convs)-1]
+	targetIdx := len(convs) - 1
+
+	correct := train.CorrectIndices(model, ds, 300_000, 32, 16)
+	if len(correct) == 0 {
+		return Fig7Result{}, fmt.Errorf("fig7: no correctly classified samples")
+	}
+	img, _ := ds.Sample(correct[0])
+	x := img.Reshape(1, 3, cfg.InSize, cfg.InSize)
+
+	clean, err := interpret.GradCAM(model, target, x, -1)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	// Rank by the magnitude of the Grad-CAM channel weight: a channel with
+	// weight ≈ 0 cannot move the CAM no matter how large its activation,
+	// which is exactly the paper's "least sensitive feature map".
+	absW := make([]float64, len(clean.ChannelWeights))
+	for i, w := range clean.ChannelWeights {
+		if w < 0 {
+			w = -w
+		}
+		absW[i] = w
+	}
+	ranked := interpret.RankSensitivity(absW)
+	least, most := ranked[0], ranked[len(ranked)-1]
+
+	inj, err := core.New(model, core.Config{Height: cfg.InSize, Width: cfg.InSize, Seed: cfg.Seed + 42})
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	defer inj.Detach()
+
+	shape := inj.Layers()[targetIdx].OutShape
+	camUnder := func(fmap int) (interpret.Result, error) {
+		inj.Reset()
+		site := core.NeuronSite{
+			Layer: targetIdx, Batch: core.AllBatches,
+			C: fmap, H: shape[2] / 2, W: shape[3] / 2,
+		}
+		// Push in the channel's active direction so the perturbation is
+		// not immediately removed by the CAM's ReLU.
+		v := cfg.InjectValue
+		if clean.ChannelWeights[fmap] < 0 {
+			v = -v
+		}
+		if err := inj.DeclareNeuronFI(core.SetValue{V: v}, site); err != nil {
+			return interpret.Result{}, err
+		}
+		return interpret.GradCAM(model, target, x, clean.Class)
+	}
+	leastRes, err := camUnder(least)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	mostRes, err := camUnder(most)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	inj.Reset()
+
+	res := Fig7Result{
+		CleanCAM:    clean.CAM,
+		LeastCAM:    leastRes.CAM,
+		MostCAM:     mostRes.CAM,
+		LeastFmap:   least,
+		MostFmap:    most,
+		TargetLayer: paths[targetIdx],
+	}
+	// Deltas use the unnormalized maps: max-normalization would make any
+	// injected spike look equally dominant regardless of its true mass.
+	res.LeastL2, res.LeastCosine = interpret.HeatmapDelta(clean.RawCAM, leastRes.RawCAM)
+	res.MostL2, res.MostCosine = interpret.HeatmapDelta(clean.RawCAM, mostRes.RawCAM)
+	res.LeastTop1Changed = tensor.ArgMaxRows(leastRes.Logits)[0] != clean.Class
+	res.MostTop1Changed = tensor.ArgMaxRows(mostRes.Logits)[0] != clean.Class
+	return res, nil
+}

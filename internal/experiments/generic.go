@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/campaign"
+	"gofi/internal/core"
+)
+
+// ArmFunc arms one trial's fault(s) on a freshly Reset injector.
+type ArmFunc func(inj *core.Injector, rng *rand.Rand) error
+
+// GenericCampaignConfig drives RunGenericCampaign, the configurable
+// campaign behind cmd/gofi-campaign.
+type GenericCampaignConfig struct {
+	Model           string
+	Classes, InSize int
+	TrainEpochs     int
+	Noise           float32
+	Trials          int
+	Workers         int
+	DType           core.DType
+	Arm             ArmFunc
+	// IsolateWeights deep-copies the trained weights into every worker
+	// replica instead of sharing storage. Required for campaigns whose
+	// trials perturb weights (offline mutation would otherwise race
+	// across workers).
+	IsolateWeights bool
+	Seed           int64
+}
+
+// GenericCampaignResult bundles the campaign aggregate with the trained
+// model's quality.
+type GenericCampaignResult struct {
+	CleanAcc      float64
+	EligibleCount int
+	Aggregate     campaign.Aggregate
+}
+
+// RunGenericCampaign trains the model on the synthetic dataset, prepares
+// per-worker injector replicas at the requested emulated data type (with
+// INT8 calibration / FP16 rounding when applicable), and runs the
+// campaign.
+func RunGenericCampaign(cfg GenericCampaignConfig) (GenericCampaignResult, error) {
+	if cfg.Arm == nil {
+		return GenericCampaignResult{}, fmt.Errorf("campaign: Arm function required")
+	}
+	if cfg.Model == "" {
+		cfg.Model = "resnet18"
+	}
+	if cfg.Classes <= 0 {
+		cfg.Classes = 10
+	}
+	if cfg.InSize <= 0 {
+		cfg.InSize = 32
+	}
+	if cfg.TrainEpochs <= 0 {
+		cfg.TrainEpochs = 8
+	}
+	if cfg.Noise == 0 {
+		cfg.Noise = 0.6
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.DType == 0 {
+		cfg.DType = core.FP32
+	}
+
+	trained, ds, eligible, err := trainedModel(cfg.Model, cfg.Classes, cfg.InSize, cfg.Noise, cfg.Seed, cfg.TrainEpochs)
+	if err != nil {
+		return GenericCampaignResult{}, err
+	}
+	if len(eligible) == 0 {
+		return GenericCampaignResult{}, fmt.Errorf("campaign: model classifies nothing correctly after training")
+	}
+
+	factory := replicaFactory
+	if cfg.IsolateWeights {
+		factory = copyReplicaFactory
+	}
+	base := factory(cfg.Model, cfg.Classes, cfg.InSize, cfg.Seed, trained, core.Config{
+		Height: cfg.InSize, Width: cfg.InSize, DType: cfg.DType, Seed: cfg.Seed,
+	})
+	calib, _ := ds.Batch(0, 8)
+	newReplica := func(worker int) (*core.Injector, error) {
+		inj, err := base(worker)
+		if err != nil {
+			return nil, err
+		}
+		switch cfg.DType {
+		case core.INT8:
+			if err := inj.CalibrateINT8(calib); err != nil {
+				return nil, err
+			}
+			if err := inj.EnableActQuant(true); err != nil {
+				return nil, err
+			}
+		case core.FP16:
+			if err := inj.EnableFP16Acts(true); err != nil {
+				return nil, err
+			}
+		}
+		return inj, nil
+	}
+
+	agg, err := campaign.Run(campaign.Config{
+		Workers:    cfg.Workers,
+		Trials:     cfg.Trials,
+		Seed:       cfg.Seed + 101,
+		NewReplica: newReplica,
+		Source:     ds,
+		Eligible:   eligible,
+		Arm:        cfg.Arm,
+	})
+	if err != nil {
+		return GenericCampaignResult{}, err
+	}
+	return GenericCampaignResult{
+		CleanAcc:      float64(len(eligible)) / 128,
+		EligibleCount: len(eligible),
+		Aggregate:     agg,
+	}, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/campaign"
+	"gofi/internal/core"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// Granularity selects the injection scope of the per-layer study.
+type Granularity int
+
+// Injection granularities (§IV-A proposes layer- and feature-map-level
+// studies as the follow-on to the neuron campaigns).
+const (
+	// GranNeuron flips one random bit in one random neuron of the layer.
+	GranNeuron Granularity = iota + 1
+	// GranFMap sets one entire random feature map of the layer to U[-1,1).
+	GranFMap
+)
+
+// String implements fmt.Stringer.
+func (g Granularity) String() string {
+	switch g {
+	case GranNeuron:
+		return "neuron"
+	case GranFMap:
+		return "fmap"
+	default:
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+}
+
+// LayerVulnConfig drives the per-layer vulnerability profile.
+type LayerVulnConfig struct {
+	Model           string
+	Classes, InSize int
+	TrialsPerLayer  int
+	TrainEpochs     int
+	Noise           float32
+	Granularity     Granularity
+	Seed            int64
+}
+
+func (c LayerVulnConfig) canon() LayerVulnConfig {
+	if c.Model == "" {
+		c.Model = "alexnet"
+	}
+	if c.Classes <= 0 {
+		c.Classes = 10
+	}
+	if c.InSize <= 0 {
+		c.InSize = 32
+	}
+	if c.TrialsPerLayer <= 0 {
+		c.TrialsPerLayer = 300
+	}
+	if c.TrainEpochs <= 0 {
+		c.TrainEpochs = 8
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.6
+	}
+	if c.Granularity == 0 {
+		c.Granularity = GranNeuron
+	}
+	return c
+}
+
+// LayerVulnRow is one layer's vulnerability measurement.
+type LayerVulnRow struct {
+	Layer      int
+	Path       string
+	OutShape   []int
+	Trials     int
+	Mis        int
+	Rate       float64
+	CILo, CIHi float64
+}
+
+// RunLayerVuln trains a model and measures its Top-1 misclassification
+// rate under injections confined to each hooked layer in turn, producing
+// the per-layer vulnerability profile that selective-protection studies
+// need.
+func RunLayerVuln(cfg LayerVulnConfig) ([]LayerVulnRow, error) {
+	cfg = cfg.canon()
+	model, ds, eligible, err := trainedModel(cfg.Model, cfg.Classes, cfg.InSize, cfg.Noise, cfg.Seed, cfg.TrainEpochs)
+	if err != nil {
+		return nil, fmt.Errorf("layer-vuln: %w", err)
+	}
+	if len(eligible) == 0 {
+		return nil, fmt.Errorf("layer-vuln: model classifies nothing correctly")
+	}
+	inj, err := core.New(model, core.Config{Height: cfg.InSize, Width: cfg.InSize, Seed: cfg.Seed + 61})
+	if err != nil {
+		return nil, err
+	}
+	defer inj.Detach()
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 62))
+	rows := make([]LayerVulnRow, 0, len(inj.Layers()))
+	for _, li := range inj.Layers() {
+		mis := 0
+		for t := 0; t < cfg.TrialsPerLayer; t++ {
+			idx := eligible[rng.Intn(len(eligible))]
+			img, _ := ds.Sample(idx)
+			x := img.Reshape(1, 3, cfg.InSize, cfg.InSize)
+			inj.Reset()
+			clean := tensor.ArgMaxRows(nn.Run(model, x))[0]
+			if err := armLayer(inj, rng, li.Index, cfg.Granularity); err != nil {
+				return nil, err
+			}
+			if tensor.ArgMaxRows(nn.Run(model, x))[0] != clean {
+				mis++
+			}
+		}
+		rate := float64(mis) / float64(cfg.TrialsPerLayer)
+		agg := campaign.Aggregate{Trials: cfg.TrialsPerLayer, Top1Mis: mis}
+		lo, hi := agg.WilsonCI(campaign.Z99)
+		rows = append(rows, LayerVulnRow{
+			Layer: li.Index, Path: li.Path, OutShape: li.OutShape,
+			Trials: cfg.TrialsPerLayer, Mis: mis, Rate: rate, CILo: lo, CIHi: hi,
+		})
+	}
+	inj.Reset()
+	return rows, nil
+}
+
+func armLayer(inj *core.Injector, rng *rand.Rand, layer int, gran Granularity) error {
+	switch gran {
+	case GranFMap:
+		shape := inj.Layers()[layer].OutShape
+		return inj.InjectFMap(layer, rng.Intn(shape[1]), core.DefaultRandomValue())
+	default:
+		site, err := inj.SiteInLayer(rng, layer, true)
+		if err != nil {
+			return err
+		}
+		return inj.DeclareNeuronFI(core.BitFlip{Bit: core.RandomBit}, site)
+	}
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gofi/internal/core"
+	"gofi/internal/data"
+	"gofi/internal/models"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+	"gofi/internal/train"
+)
+
+// Table1Config drives the error-injection-training comparison.
+type Table1Config struct {
+	// Model is the architecture to train (the paper uses ResNet-18).
+	Model string
+	// Classes / InSize size the synthetic CIFAR-10 stand-in.
+	Classes, InSize int
+	// Epochs / TrainSize / BatchSize for both twin trainings.
+	Epochs, TrainSize, BatchSize int
+	// EvalTrials is the post-training injection count per model (the
+	// paper runs 24M; scale to CPU budget).
+	EvalTrials int
+	// Noise is the synthetic dataset's pixel-noise std (default 0.6; see
+	// Fig4Config.Noise).
+	Noise float32
+	Seed  int64
+}
+
+func (c Table1Config) canon() Table1Config {
+	if c.Model == "" {
+		c.Model = "resnet18"
+	}
+	if c.Classes <= 0 {
+		c.Classes = 10
+	}
+	if c.InSize <= 0 {
+		c.InSize = 32
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 4
+	}
+	if c.TrainSize <= 0 {
+		c.TrainSize = 384
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.EvalTrials <= 0 {
+		c.EvalTrials = 500
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.8
+	}
+	return c
+}
+
+// Table1Result mirrors the paper's Table I.
+type Table1Result struct {
+	BaselineTrainTime, FITrainTime time.Duration
+	BaselineAcc, FIAcc             float64
+	EvalTrials                     int
+	BaselineMis, FIMis             int
+}
+
+// RunTable1 reproduces Table I: train two models from identical
+// initialization — one conventionally, one with a random neuron per layer
+// set to U[-1,1) on every training forward pass (§IV-D) — then compare
+// training time, clean test accuracy, and post-training
+// misclassifications under single-bit-flip injections (the §IV-A
+// methodology the paper's evaluation references).
+func RunTable1(cfg Table1Config) (Table1Result, error) {
+	cfg = cfg.canon()
+	ds, err := data.NewClassification(data.ClassificationConfig{
+		Classes: cfg.Classes, Channels: 3, Size: cfg.InSize, Noise: cfg.Noise, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return Table1Result{}, err
+	}
+
+	build := func() (nn.Layer, error) {
+		// Identical seed ⇒ identical initialization for both twins.
+		return models.Build(cfg.Model, rand.New(rand.NewSource(cfg.Seed+21)), cfg.Classes, cfg.InSize)
+	}
+	tc := train.Config{
+		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, TrainSize: cfg.TrainSize,
+		LR: 0.02, Momentum: 0.9,
+	}
+
+	var res Table1Result
+
+	// Baseline twin.
+	baseline, err := build()
+	if err != nil {
+		return Table1Result{}, err
+	}
+	start := time.Now()
+	if _, err := train.Loop(baseline, ds, tc); err != nil {
+		return Table1Result{}, fmt.Errorf("table1 baseline training: %w", err)
+	}
+	res.BaselineTrainTime = time.Since(start)
+	res.BaselineAcc = train.Accuracy(baseline, ds, 100_000, 128, 16)
+
+	// Injection twin: instrument with GoFI and re-arm one random neuron
+	// per layer with U[-1,1) before every forward pass (§IV-D).
+	fiModel, err := build()
+	if err != nil {
+		return Table1Result{}, err
+	}
+	inj, err := core.New(fiModel, core.Config{
+		Batch: cfg.BatchSize, Height: cfg.InSize, Width: cfg.InSize, Seed: cfg.Seed + 22,
+	})
+	if err != nil {
+		return Table1Result{}, err
+	}
+	siteRng := rand.New(rand.NewSource(cfg.Seed + 23))
+	fitc := tc
+	fitc.BeforeForward = func(step int) {
+		inj.Reset()
+		if _, err := inj.InjectRandomNeuronPerLayer(siteRng, core.DefaultRandomValue()); err != nil {
+			panic(fmt.Sprintf("table1: arming validated sites failed: %v", err))
+		}
+	}
+	start = time.Now()
+	if _, err := train.Loop(fiModel, ds, fitc); err != nil {
+		return Table1Result{}, fmt.Errorf("table1 FI training: %w", err)
+	}
+	res.FITrainTime = time.Since(start)
+	inj.Reset()
+	res.FIAcc = train.Accuracy(fiModel, ds, 100_000, 128, 16)
+
+	// Post-training resiliency evaluation under the same error model.
+	res.EvalTrials = cfg.EvalTrials
+	res.BaselineMis, err = injectionMisclassifications(baseline, ds, cfg, cfg.Seed+31)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	res.FIMis, err = postTrainingMis(inj, ds, cfg, cfg.Seed+31)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	return res, nil
+}
+
+// injectionMisclassifications instruments a fresh injector on the model
+// and counts Top-1 flips under single-neuron bit-flip injections.
+func injectionMisclassifications(model nn.Layer, ds *data.Classification, cfg Table1Config, seed int64) (int, error) {
+	inj, err := core.New(model, core.Config{Height: cfg.InSize, Width: cfg.InSize, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	defer inj.Detach()
+	return postTrainingMis(inj, ds, cfg, seed)
+}
+
+func postTrainingMis(inj *core.Injector, ds *data.Classification, cfg Table1Config, seed int64) (int, error) {
+	model := inj.Model()
+	nn.SetTraining(model, false)
+	eligible := train.CorrectIndices(model, ds, 200_000, 96, 16)
+	if len(eligible) == 0 {
+		return 0, fmt.Errorf("table1: no correctly classified samples")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mis := 0
+	for t := 0; t < cfg.EvalTrials; t++ {
+		idx := eligible[rng.Intn(len(eligible))]
+		img, _ := ds.Sample(idx)
+		x := img.Reshape(1, 3, cfg.InSize, cfg.InSize)
+		inj.Reset()
+		cleanTop1 := tensor.ArgMaxRows(nn.Run(model, x))[0]
+		if _, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit}); err != nil {
+			return 0, err
+		}
+		if tensor.ArgMaxRows(nn.Run(model, x))[0] != cleanTop1 {
+			mis++
+		}
+	}
+	inj.Reset()
+	return mis, nil
+}

@@ -1,0 +1,135 @@
+// Package fpbits provides the bit-level floating-point manipulation that
+// GoFI's hardware-fault error models are built from: single-bit flips in
+// IEEE-754 binary32 values, an emulated IEEE-754 binary16 (half precision)
+// round trip so FP16 models can be studied without hardware support, and
+// classification helpers.
+package fpbits
+
+import (
+	"fmt"
+	"math"
+)
+
+// FlipBitFP32 returns v with bit position flipped, where bit 0 is the
+// least-significant mantissa bit and bit 31 the sign bit. It panics if bit
+// is outside [0, 31]; the caller (package core) validates user input first.
+func FlipBitFP32(v float32, bit int) float32 {
+	if bit < 0 || bit > 31 {
+		panic(fmt.Sprintf("fpbits: FP32 bit %d out of range [0,31]", bit))
+	}
+	return math.Float32frombits(math.Float32bits(v) ^ (1 << uint(bit)))
+}
+
+// FP32Bits returns the raw IEEE-754 bit pattern of v.
+func FP32Bits(v float32) uint32 { return math.Float32bits(v) }
+
+// FP32FromBits reinterprets a bit pattern as a float32.
+func FP32FromBits(b uint32) float32 { return math.Float32frombits(b) }
+
+// IsNonFinite reports whether v is NaN or ±Inf.
+func IsNonFinite(v float32) bool {
+	f := float64(v)
+	return math.IsNaN(f) || math.IsInf(f, 0)
+}
+
+// --- FP16 (IEEE-754 binary16) emulation ---------------------------------
+//
+// GoFI stores all tensors as float32 but can emulate FP16 models by
+// round-tripping values through the binary16 representation. Bit flips for
+// the FP16 error model operate on the 16-bit pattern.
+
+// FP32ToFP16Bits converts a float32 to the nearest IEEE-754 binary16 bit
+// pattern using round-to-nearest-even, with overflow to ±Inf and gradual
+// underflow to subnormals.
+func FP32ToFP16Bits(v float32) uint16 {
+	b := math.Float32bits(v)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xff
+	mant := b & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if mant != 0 {
+			// Preserve NaN, set a quiet bit so the payload is non-zero.
+			return sign | 0x7e00
+		}
+		return sign | 0x7c00
+	case exp == 0 && mant == 0: // signed zero
+		return sign
+	}
+
+	// Unbias from FP32 (127) and rebias for FP16 (15).
+	e := exp - 127 + 15
+	switch {
+	case e >= 0x1f: // overflow → Inf
+		return sign | 0x7c00
+	case e <= 0: // subnormal or underflow to zero
+		if e < -10 {
+			return sign
+		}
+		// Add the implicit leading 1 and shift into subnormal position.
+		mant |= 0x800000
+		shift := uint32(14 - e)
+		half := uint32(1) << (shift - 1)
+		rounded := (mant + half) >> shift
+		// Round-to-nearest-even on ties.
+		if mant&(half<<1|(half-1)) == half {
+			rounded &^= 1
+		}
+		return sign | uint16(rounded)
+	default:
+		// Normal number: round 23-bit mantissa to 10 bits.
+		rounded := mant + 0xfff + ((mant >> 13) & 1)
+		if rounded&0x800000 != 0 { // mantissa overflowed into exponent
+			rounded = 0
+			e++
+			if e >= 0x1f {
+				return sign | 0x7c00
+			}
+		}
+		return sign | uint16(e<<10) | uint16(rounded>>13)
+	}
+}
+
+// FP16BitsToFP32 converts an IEEE-754 binary16 bit pattern to float32
+// exactly (every binary16 value is representable in binary32).
+func FP16BitsToFP32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h) & 0x3ff
+
+	switch {
+	case exp == 0x1f: // Inf / NaN
+		if mant != 0 {
+			return math.Float32frombits(sign | 0x7f800000 | mant<<13)
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		for mant&0x400 == 0 {
+			mant <<= 1
+			exp--
+		}
+		mant &= 0x3ff
+		exp++
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// RoundFP16 round-trips v through binary16, emulating FP16 storage.
+func RoundFP16(v float32) float32 { return FP16BitsToFP32(FP32ToFP16Bits(v)) }
+
+// FlipBitFP16 emulates a single-bit hardware fault in a half-precision
+// value: v is rounded to binary16, bit [0,15] is flipped, and the result is
+// widened back to float32.
+func FlipBitFP16(v float32, bit int) float32 {
+	if bit < 0 || bit > 15 {
+		panic(fmt.Sprintf("fpbits: FP16 bit %d out of range [0,15]", bit))
+	}
+	return FP16BitsToFP32(FP32ToFP16Bits(v) ^ (1 << uint(bit)))
+}

@@ -1,0 +1,213 @@
+package fpbits
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlipBitFP32KnownPatterns(t *testing.T) {
+	tests := []struct {
+		name string
+		v    float32
+		bit  int
+		want float32
+	}{
+		{"sign-bit", 1.0, 31, -1.0},
+		{"sign-bit-negative", -2.5, 31, 2.5},
+		// 1.0 = 0x3f800000; flipping exponent bit 23 gives 0x3f000000 = 0.5.
+		{"low-exponent-bit", 1.0, 23, 0.5},
+		// Flipping exponent bit 30 of 1.0 gives 0x7f800000/... 0x3f800000^0x40000000 = 0x7f800000 = +Inf.
+		{"high-exponent-bit", 1.0, 30, float32(math.Inf(1))},
+		// Mantissa LSB of 1.0: 1 + 2^-23.
+		{"mantissa-lsb", 1.0, 0, 1.0 + 1.0/(1<<23)},
+		{"zero-sign", 0.0, 31, float32(math.Copysign(0, -1))},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := FlipBitFP32(tc.v, tc.bit)
+			if math.Float32bits(got) != math.Float32bits(tc.want) {
+				t.Fatalf("FlipBitFP32(%g, %d) = %g (bits %#x), want %g", tc.v, tc.bit, got, math.Float32bits(got), tc.want)
+			}
+		})
+	}
+}
+
+func TestFlipBitFP32OutOfRangePanics(t *testing.T) {
+	for _, bit := range []int{-1, 32} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for bit %d", bit)
+				}
+			}()
+			FlipBitFP32(1, bit)
+		}()
+	}
+}
+
+func TestFP32BitsRoundTrip(t *testing.T) {
+	for _, v := range []float32{0, 1, -1, 3.14159, 1e-30, -1e30} {
+		if got := FP32FromBits(FP32Bits(v)); got != v {
+			t.Fatalf("bits round trip of %g = %g", v, got)
+		}
+	}
+}
+
+func TestIsNonFinite(t *testing.T) {
+	if IsNonFinite(1.5) || IsNonFinite(0) {
+		t.Fatal("finite values misclassified")
+	}
+	if !IsNonFinite(float32(math.NaN())) || !IsNonFinite(float32(math.Inf(-1))) {
+		t.Fatal("non-finite values missed")
+	}
+}
+
+func TestFP16KnownValues(t *testing.T) {
+	tests := []struct {
+		v    float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff}, // max finite half
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+		{5.9604645e-08, 0x0001}, // smallest positive subnormal
+	}
+	for _, tc := range tests {
+		if got := FP32ToFP16Bits(tc.v); got != tc.bits {
+			t.Fatalf("FP32ToFP16Bits(%g) = %#04x, want %#04x", tc.v, got, tc.bits)
+		}
+		if back := FP16BitsToFP32(tc.bits); back != tc.v {
+			t.Fatalf("FP16BitsToFP32(%#04x) = %g, want %g", tc.bits, back, tc.v)
+		}
+	}
+}
+
+func TestFP16NaNPreserved(t *testing.T) {
+	h := FP32ToFP16Bits(float32(math.NaN()))
+	if h&0x7c00 != 0x7c00 || h&0x3ff == 0 {
+		t.Fatalf("NaN not preserved: %#04x", h)
+	}
+	if !IsNonFinite(FP16BitsToFP32(h)) {
+		t.Fatal("NaN lost in widening")
+	}
+}
+
+func TestFP16Overflow(t *testing.T) {
+	if got := FP32ToFP16Bits(1e10); got != 0x7c00 {
+		t.Fatalf("overflow = %#04x, want +Inf", got)
+	}
+	if got := FP32ToFP16Bits(-1e10); got != 0xfc00 {
+		t.Fatalf("negative overflow = %#04x, want -Inf", got)
+	}
+}
+
+func TestFP16Underflow(t *testing.T) {
+	if got := FP32ToFP16Bits(1e-20); got != 0 {
+		t.Fatalf("underflow = %#04x, want +0", got)
+	}
+}
+
+func TestRoundFP16Precision(t *testing.T) {
+	// binary16 has 11 significand bits, so relative error ≤ 2^-11.
+	for _, v := range []float32{3.14159, 0.1, 100.7, -42.42} {
+		r := RoundFP16(v)
+		rel := math.Abs(float64(r-v)) / math.Abs(float64(v))
+		if rel > 1.0/2048 {
+			t.Fatalf("RoundFP16(%g) = %g, relative error %g too large", v, r, rel)
+		}
+	}
+}
+
+func TestFlipBitFP16(t *testing.T) {
+	// 1.0 in half is 0x3c00. Flipping bit 15 gives the sign.
+	if got := FlipBitFP16(1, 15); got != -1 {
+		t.Fatalf("FP16 sign flip = %g", got)
+	}
+	// Flipping exponent bit 10 of 1.0 (0x3c00 → 0x3800) gives 0.5.
+	if got := FlipBitFP16(1, 10); got != 0.5 {
+		t.Fatalf("FP16 exponent flip = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bit 16")
+		}
+	}()
+	FlipBitFP16(1, 16)
+}
+
+// Property: flipping the same FP32 bit twice is the identity.
+func TestFlipFP32Involution_Property(t *testing.T) {
+	f := func(v float32, bitSeed uint8) bool {
+		bit := int(bitSeed) % 32
+		return math.Float32bits(FlipBitFP32(FlipBitFP32(v, bit), bit)) == math.Float32bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every binary16 bit pattern survives the widen→narrow round
+// trip exactly (half → float32 → half is lossless).
+func TestFP16WidenNarrowExact_Property(t *testing.T) {
+	for h := 0; h <= 0xffff; h++ {
+		bits := uint16(h)
+		back := FP32ToFP16Bits(FP16BitsToFP32(bits))
+		// NaNs may canonicalize; compare as NaN-class in that case.
+		if bits&0x7c00 == 0x7c00 && bits&0x3ff != 0 {
+			if back&0x7c00 != 0x7c00 || back&0x3ff == 0 {
+				t.Fatalf("NaN %#04x widened/narrowed to non-NaN %#04x", bits, back)
+			}
+			continue
+		}
+		if back != bits {
+			t.Fatalf("half %#04x round trips to %#04x", bits, back)
+		}
+	}
+}
+
+// Property: rounding to FP16 is idempotent.
+func TestRoundFP16Idempotent_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := float32(rng.NormFloat64() * 100)
+		once := RoundFP16(v)
+		twice := RoundFP16(once)
+		return math.Float32bits(once) == math.Float32bits(twice)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: round-to-nearest — |round(v)-v| is no larger than the gap to
+// either binary16 neighbour, checked against a brute-force nearest search
+// over representable values near v.
+func TestFP16RoundNearest_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := float32((rng.Float64()*2 - 1) * 1000)
+		r := RoundFP16(v)
+		h := FP32ToFP16Bits(v)
+		// Compare against both neighbours of the chosen half value.
+		for _, nb := range []uint16{h - 1, h + 1} {
+			if nb&0x7c00 == 0x7c00 { // skip Inf/NaN neighbours
+				continue
+			}
+			alt := FP16BitsToFP32(nb)
+			if math.Abs(float64(alt-v)) < math.Abs(float64(r-v))-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package fpbits
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFP16RoundTrip drives the binary16 conversion with arbitrary bit
+// patterns: narrowing must never panic, must be idempotent, and the result
+// must either be the nearest representable half or the correct special
+// value.
+func FuzzFP16RoundTrip(f *testing.F) {
+	for _, seed := range []uint32{0, 1, 0x3f800000, 0x7f800000, 0xff800000, 0x7fc00000, 0x00000001, 0x80000001} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		v := math.Float32frombits(bits)
+		r := RoundFP16(v)
+		// Idempotence.
+		if !IsNonFinite(r) && RoundFP16(r) != r {
+			t.Fatalf("RoundFP16 not idempotent for %g: %g vs %g", v, r, RoundFP16(r))
+		}
+		// NaN maps to NaN, infinities keep their sign.
+		if math.IsNaN(float64(v)) && !math.IsNaN(float64(r)) {
+			t.Fatalf("NaN %#x lost", bits)
+		}
+		if math.IsInf(float64(v), 1) && !math.IsInf(float64(r), 1) {
+			t.Fatalf("+Inf lost: %g", r)
+		}
+		if math.IsInf(float64(v), -1) && !math.IsInf(float64(r), -1) {
+			t.Fatalf("-Inf lost: %g", r)
+		}
+		// Finite in-range values stay within half a half-precision ulp of
+		// the nearest representable neighbour (checked weakly via the
+		// relative bound 2^-11 for normal magnitudes).
+		av := math.Abs(float64(v))
+		if !IsNonFinite(v) && av >= 6.2e-5 && av <= 65504 {
+			rel := math.Abs(float64(r-v)) / av
+			if rel > 1.0/2048 {
+				t.Fatalf("RoundFP16(%g) = %g, relative error %g", v, r, rel)
+			}
+		}
+	})
+}
+
+// FuzzFlipBitFP32 checks the involution property for arbitrary values and
+// bit indices.
+func FuzzFlipBitFP32(f *testing.F) {
+	f.Add(uint32(0x3f800000), uint8(31))
+	f.Add(uint32(0), uint8(0))
+	f.Fuzz(func(t *testing.T, bits uint32, bitSeed uint8) {
+		v := math.Float32frombits(bits)
+		bit := int(bitSeed) % 32
+		got := FlipBitFP32(FlipBitFP32(v, bit), bit)
+		if math.Float32bits(got) != bits {
+			t.Fatalf("double flip of %#x bit %d gives %#x", bits, bit, math.Float32bits(got))
+		}
+	})
+}

@@ -1,0 +1,214 @@
+// Package ibp implements Interval Bound Propagation training (Gowal et
+// al., as used in the paper's §IV-C): sound per-layer interval bounds for
+// an L∞ input perturbation of radius ε, the worst-case cross-entropy of
+// Eq. 1, and the curriculum schedule that ramps α and ε during training.
+//
+// IBP layers wrap the corresponding nn layers, so the point (non-interval)
+// path is an ordinary hookable model: GoFI's injector instruments the
+// wrapped convolutions directly, which is exactly how the paper analyzes
+// the per-layer vulnerability of IBP-trained AlexNet.
+package ibp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// IntervalLayer is an nn.Layer that can additionally propagate interval
+// bounds and their gradients.
+type IntervalLayer interface {
+	nn.Layer
+	// ForwardInterval maps input bounds [lo, hi] to sound output bounds.
+	ForwardInterval(lo, hi *tensor.Tensor) (nlo, nhi *tensor.Tensor)
+	// BackwardInterval consumes dL/dlo, dL/dhi of the output bounds,
+	// accumulates parameter gradients, and returns input-bound gradients.
+	BackwardInterval(gLo, gHi *tensor.Tensor) (pgLo, pgHi *tensor.Tensor)
+}
+
+// Conv is an interval-capable convolution wrapping nn.Conv2d. The point
+// path delegates to the wrapped layer (hooks fire as usual); the interval
+// path uses the center-radius form:
+//
+//	μ_out = W·μ + b,  r_out = |W|·r,  [lo, hi] = [μ−r, μ+r]
+type Conv struct {
+	nn.Base
+	Inner *nn.Conv2d
+
+	lastMu, lastR *tensor.Tensor
+}
+
+var (
+	_ IntervalLayer = (*Conv)(nil)
+	_ nn.Container  = (*Conv)(nil)
+)
+
+// NewConv builds an interval convolution.
+func NewConv(name string, rng *rand.Rand, in, out, kernel int, cfg nn.Conv2dConfig) *Conv {
+	return &Conv{Base: nn.NewBase(name), Inner: nn.NewConv2d(name+".conv", rng, in, out, kernel, cfg)}
+}
+
+// Children implements nn.Container (exposes the wrapped conv to Walk and
+// therefore to the fault injector).
+func (l *Conv) Children() []nn.Layer { return []nn.Layer{l.Inner} }
+
+// Params implements nn.Layer (the wrapped conv owns the parameters).
+func (l *Conv) Params() []*nn.Param { return nil }
+
+// Forward implements nn.Layer (point path).
+func (l *Conv) Forward(x *tensor.Tensor) *tensor.Tensor { return nn.Run(l.Inner, x) }
+
+// Backward implements nn.Layer (point path).
+func (l *Conv) Backward(grad *tensor.Tensor) *tensor.Tensor { return nn.RunBackward(l.Inner, grad) }
+
+// ForwardInterval implements IntervalLayer.
+func (l *Conv) ForwardInterval(lo, hi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	mu := tensor.Scale(tensor.Add(lo, hi), 0.5)
+	r := tensor.Scale(tensor.Sub(hi, lo), 0.5)
+	l.lastMu, l.lastR = mu, r
+	w := l.Inner.Weight().Data
+	var b *tensor.Tensor
+	if l.Inner.Bias() != nil {
+		b = l.Inner.Bias().Data
+	}
+	absW := tensor.Apply(w, abs32)
+	outMu := tensor.Conv2d(mu, w, b, l.Inner.Spec)
+	outR := tensor.Conv2d(r, absW, nil, l.Inner.Spec)
+	return tensor.Sub(outMu, outR), tensor.Add(outMu, outR)
+}
+
+// BackwardInterval implements IntervalLayer.
+func (l *Conv) BackwardInterval(gLo, gHi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	if l.lastMu == nil {
+		panic(fmt.Sprintf("ibp: Conv %q BackwardInterval without ForwardInterval", l.Name()))
+	}
+	// out_lo = μ_out − r_out, out_hi = μ_out + r_out:
+	gMu := tensor.Add(gLo, gHi)
+	gR := tensor.Sub(gHi, gLo)
+	w := l.Inner.Weight().Data
+	absW := tensor.Apply(w, abs32)
+
+	gm := tensor.Conv2dBackward(l.lastMu, w, l.Inner.Bias() != nil, gMu, l.Inner.Spec, true)
+	tensor.AddInPlace(l.Inner.Weight().Grad, gm.Weight)
+	if l.Inner.Bias() != nil {
+		tensor.AddInPlace(l.Inner.Bias().Grad, gm.Bias)
+	}
+	gr := tensor.Conv2dBackward(l.lastR, absW, false, gR, l.Inner.Spec, true)
+	// d|W|/dW = sign(W): route the radius-path weight gradient through it.
+	signed := tensor.Mul(gr.Weight, tensor.Apply(w, sign32))
+	tensor.AddInPlace(l.Inner.Weight().Grad, signed)
+
+	// dμ/dlo = dμ/dhi = ½;  dr/dlo = −½, dr/dhi = ½.
+	inLo := tensor.Scale(tensor.Sub(gm.Input, gr.Input), 0.5)
+	inHi := tensor.Scale(tensor.Add(gm.Input, gr.Input), 0.5)
+	return inLo, inHi
+}
+
+// Linear is the interval-capable fully-connected layer.
+type Linear struct {
+	nn.Base
+	Inner *nn.Linear
+
+	lastMu, lastR *tensor.Tensor
+}
+
+var (
+	_ IntervalLayer = (*Linear)(nil)
+	_ nn.Container  = (*Linear)(nil)
+)
+
+// NewLinear builds an interval linear layer.
+func NewLinear(name string, rng *rand.Rand, in, out int) *Linear {
+	return &Linear{Base: nn.NewBase(name), Inner: nn.NewLinear(name+".fc", rng, in, out, true)}
+}
+
+// Children implements nn.Container.
+func (l *Linear) Children() []nn.Layer { return []nn.Layer{l.Inner} }
+
+// Params implements nn.Layer.
+func (l *Linear) Params() []*nn.Param { return nil }
+
+// Forward implements nn.Layer.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor { return nn.Run(l.Inner, x) }
+
+// Backward implements nn.Layer.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor { return nn.RunBackward(l.Inner, grad) }
+
+// ForwardInterval implements IntervalLayer.
+func (l *Linear) ForwardInterval(lo, hi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	mu := tensor.Scale(tensor.Add(lo, hi), 0.5)
+	r := tensor.Scale(tensor.Sub(hi, lo), 0.5)
+	l.lastMu, l.lastR = mu, r
+	w := l.Inner.Weight().Data
+	n := mu.Dim(0)
+	outMu := tensor.New(n, l.Inner.Out)
+	tensor.MatMulTransB(outMu, mu, w)
+	if l.Inner.Bias() != nil {
+		bd := l.Inner.Bias().Data.Data()
+		for row := 0; row < n; row++ {
+			o := outMu.Data()[row*l.Inner.Out : (row+1)*l.Inner.Out]
+			for i, b := range bd {
+				o[i] += b
+			}
+		}
+	}
+	outR := tensor.New(n, l.Inner.Out)
+	tensor.MatMulTransB(outR, r, tensor.Apply(w, abs32))
+	return tensor.Sub(outMu, outR), tensor.Add(outMu, outR)
+}
+
+// BackwardInterval implements IntervalLayer.
+func (l *Linear) BackwardInterval(gLo, gHi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	if l.lastMu == nil {
+		panic(fmt.Sprintf("ibp: Linear %q BackwardInterval without ForwardInterval", l.Name()))
+	}
+	gMu := tensor.Add(gLo, gHi)
+	gR := tensor.Sub(gHi, gLo)
+	w := l.Inner.Weight().Data
+	absW := tensor.Apply(w, abs32)
+	n := gMu.Dim(0)
+
+	// Parameter gradients.
+	tensor.MatMulTransAAcc(l.Inner.Weight().Grad, gMu, l.lastMu)
+	rContrib := tensor.New(w.Shape()...)
+	tensor.MatMulTransAAcc(rContrib, gR, l.lastR)
+	tensor.AddInPlace(l.Inner.Weight().Grad, tensor.Mul(rContrib, tensor.Apply(w, sign32)))
+	if l.Inner.Bias() != nil {
+		gb := l.Inner.Bias().Grad.Data()
+		for row := 0; row < n; row++ {
+			g := gMu.Data()[row*l.Inner.Out : (row+1)*l.Inner.Out]
+			for i, v := range g {
+				gb[i] += v
+			}
+		}
+	}
+
+	// Input gradients.
+	gMuIn := tensor.New(n, l.Inner.In)
+	tensor.MatMulAcc(gMuIn, gMu, w)
+	gRIn := tensor.New(n, l.Inner.In)
+	tensor.MatMulAcc(gRIn, gR, absW)
+	inLo := tensor.Scale(tensor.Sub(gMuIn, gRIn), 0.5)
+	inHi := tensor.Scale(tensor.Add(gMuIn, gRIn), 0.5)
+	return inLo, inHi
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sign32(v float32) float32 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}

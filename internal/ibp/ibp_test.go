@@ -1,0 +1,277 @@
+package ibp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gofi/internal/core"
+	"gofi/internal/data"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+	"gofi/internal/train"
+)
+
+func absf32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func tinyNet(rng *rand.Rand) *Net {
+	return NewNet("net",
+		NewConv("c1", rng, 3, 4, 3, nn.Conv2dConfig{Pad: 1}),
+		NewReLU("r1"),
+		NewMaxPool("p1", 2),
+		NewFlatten("fl"),
+		NewLinear("fc", rng, 4*8*8, 3),
+	)
+}
+
+// Soundness: for any input x' with |x'−x|∞ ≤ ε, the true forward output
+// must lie inside the propagated bounds. This is THE invariant of IBP.
+func TestIntervalSoundness_Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := tinyNet(rng)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := tensor.RandUniform(r, -1, 1, 1, 3, 16, 16)
+		eps := r.Float32() * 0.3
+		lo := tensor.Apply(x, func(v float32) float32 { return v - eps })
+		hi := tensor.Apply(x, func(v float32) float32 { return v + eps })
+		blo, bhi := net.ForwardInterval(lo, hi)
+
+		// Random perturbed input within the ball.
+		xp := tensor.Apply(x, func(v float32) float32 { return v + (r.Float32()*2-1)*eps })
+		out := net.Forward(xp)
+		for i := 0; i < out.Len(); i++ {
+			// Small numeric slack for float accumulation differences.
+			if out.AtFlat(i) < blo.AtFlat(i)-1e-3 || out.AtFlat(i) > bhi.AtFlat(i)+1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroEpsilonBoundsCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := tinyNet(rng)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	lo, hi := net.ForwardInterval(x.Clone(), x.Clone())
+	out := net.Forward(x)
+	if !lo.AllClose(out, 1e-4) || !hi.AllClose(out, 1e-4) {
+		t.Fatal("ε = 0 bounds must collapse onto the point output")
+	}
+}
+
+func TestBoundsWidenWithEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := tinyNet(rng)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	width := func(eps float32) float64 {
+		lo := tensor.Apply(x, func(v float32) float32 { return v - eps })
+		hi := tensor.Apply(x, func(v float32) float32 { return v + eps })
+		blo, bhi := net.ForwardInterval(lo, hi)
+		return tensor.Sub(bhi, blo).Sum()
+	}
+	w1, w2 := width(0.05), width(0.2)
+	if w1 <= 0 || w2 <= w1 {
+		t.Fatalf("bound widths not monotone in ε: %g vs %g", w1, w2)
+	}
+}
+
+func TestWorstCaseLogits(t *testing.T) {
+	lo := tensor.FromSlice([]float32{1, 2, 3}, 1, 3)
+	hi := tensor.FromSlice([]float32{4, 5, 6}, 1, 3)
+	z := WorstCaseLogits(lo, hi, []int{1})
+	want := tensor.FromSlice([]float32{4, 2, 6}, 1, 3)
+	if !z.Equal(want) {
+		t.Fatalf("worst-case logits %v, want %v", z, want)
+	}
+}
+
+// Gradient check for the full Eq.1 objective through point + interval
+// paths.
+func TestEq1GradientNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewNet("n",
+		NewConv("c", rng, 1, 2, 3, nn.Conv2dConfig{Pad: 1}),
+		NewReLU("r"),
+		NewFlatten("f"),
+		NewLinear("fc", rng, 2*4*4, 2),
+	)
+	x := tensor.RandUniform(rng, -1, 1, 1, 1, 4, 4)
+	labels := []int{1}
+	const eps = 0.1
+	const alpha = 0.5
+
+	loss := func() float64 {
+		point := net.Forward(x)
+		xlo := tensor.Apply(x, func(v float32) float32 { return v - eps })
+		xhi := tensor.Apply(x, func(v float32) float32 { return v + eps })
+		blo, bhi := net.ForwardInterval(xlo, xhi)
+		l, _, _, _ := Eq1Loss(point, blo, bhi, labels, alpha)
+		return l
+	}
+
+	// Analytic gradients.
+	point := net.Forward(x)
+	xlo := tensor.Apply(x, func(v float32) float32 { return v - eps })
+	xhi := tensor.Apply(x, func(v float32) float32 { return v + eps })
+	blo, bhi := net.ForwardInterval(xlo, xhi)
+	_, gP, gLo, gHi := Eq1Loss(point, blo, bhi, labels, alpha)
+	nn.ZeroGrads(net)
+	net.Backward(gP)
+	net.BackwardInterval(gLo, gHi)
+
+	// |W| and the interval ReLU are piecewise-linear, so use a small step
+	// and a tolerance with a relative component to absorb kink crossings.
+	const h = 1e-3
+	for _, p := range nn.AllParams(net) {
+		for i := 0; i < p.Data.Len(); i += 5 {
+			orig := p.Data.AtFlat(i)
+			p.Data.SetFlat(i, orig+h)
+			up := loss()
+			p.Data.SetFlat(i, orig-h)
+			down := loss()
+			p.Data.SetFlat(i, orig)
+			numeric := float32((up - down) / (2 * h))
+			analytic := p.Grad.AtFlat(i)
+			d := numeric - analytic
+			if d < 0 {
+				d = -d
+			}
+			tol := 2e-2 + 0.02*absf32(analytic)
+			if d > tol {
+				t.Fatalf("%s grad[%d]: analytic %g vs numeric %g", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestTrainConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := tinyNet(rng)
+	ds, _ := data.NewClassification(data.ClassificationConfig{Classes: 3, Channels: 3, Size: 16, Noise: 0.1, Seed: 6})
+	bad := []TrainConfig{
+		{},
+		{Epochs: 1, BatchSize: 8, TrainSize: 16, Alpha: 2},
+		{Epochs: 1, BatchSize: 8, TrainSize: 16, Eps: -1},
+		{Epochs: 1, BatchSize: 8, TrainSize: 16, RampStart: 5, RampEnd: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(net, ds, cfg); err == nil {
+			t.Fatalf("config %d must error", i)
+		}
+	}
+}
+
+func TestCurriculumRamp(t *testing.T) {
+	cfg := TrainConfig{RampStart: 10, RampEnd: 20}
+	if cfg.ramp(0) != 0 || cfg.ramp(10) != 0 {
+		t.Fatal("ramp must be 0 before start")
+	}
+	if cfg.ramp(15) != 0.5 {
+		t.Fatalf("ramp(15) = %g", cfg.ramp(15))
+	}
+	if cfg.ramp(20) != 1 || cfg.ramp(100) != 1 {
+		t.Fatal("ramp must saturate at 1")
+	}
+}
+
+func TestIBPTrainingLearnsAndVerifies(t *testing.T) {
+	ds, err := data.NewClassification(data.ClassificationConfig{Classes: 3, Channels: 3, Size: 16, Noise: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	net := TinyAlexNet(rng, 3, 16)
+	losses, err := Train(net, ds, TrainConfig{
+		Epochs: 5, BatchSize: 16, TrainSize: 192, LR: 0.02, Momentum: 0.9,
+		Alpha: 0.3, Eps: 0.05, RampStart: 12, RampEnd: 36,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("IBP loss did not improve: %v", losses)
+	}
+	acc := train.Accuracy(net, ds, 5000, 60, 12)
+	if acc < 0.7 {
+		t.Fatalf("IBP-trained accuracy %.2f too low", acc)
+	}
+	vf := VerifiedFraction(net, ds, 5000, 60, 12, 0.02)
+	if vf == 0 {
+		t.Fatal("IBP-trained net verifies nothing at small ε")
+	}
+}
+
+func TestInjectorHooksIBPNet(t *testing.T) {
+	// The per-layer vulnerability study requires the injector to see the
+	// wrapped convolutions.
+	rng := rand.New(rand.NewSource(9))
+	net := TinyAlexNet(rng, 3, 16)
+	inj, err := core.New(net, core.Config{Height: 16, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := inj.Layers()
+	if len(layers) != 2 {
+		t.Fatalf("injector found %d conv layers, want 2", len(layers))
+	}
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	clean := net.Forward(x).Clone()
+	if err := inj.DeclareNeuronFI(core.SetValue{V: 1e4}, core.NeuronSite{Layer: 0, C: 0, H: 0, W: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if nn.Run(net, x).Equal(clean) {
+		t.Fatal("injection into IBP net had no effect")
+	}
+}
+
+func TestBackwardIntervalWithoutForwardPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c := NewConv("c", rng, 1, 1, 1, nn.Conv2dConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.BackwardInterval(tensor.New(1, 1, 1, 1), tensor.New(1, 1, 1, 1))
+}
+
+func TestAvgPoolIntervalSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	net := NewNet("n",
+		NewConv("c", rng, 1, 2, 3, nn.Conv2dConfig{Pad: 1}),
+		NewReLU("r"),
+		NewAvgPool("ap", 2),
+		NewGlobalAvgPool("gap"),
+	)
+	x := tensor.RandUniform(rng, -1, 1, 1, 1, 8, 8)
+	const eps = 0.1
+	lo := tensor.Apply(x, func(v float32) float32 { return v - eps })
+	hi := tensor.Apply(x, func(v float32) float32 { return v + eps })
+	blo, bhi := net.ForwardInterval(lo, hi)
+	for trial := 0; trial < 10; trial++ {
+		xp := tensor.Apply(x, func(v float32) float32 { return v + (rng.Float32()*2-1)*eps })
+		out := net.Forward(xp)
+		for i := 0; i < out.Len(); i++ {
+			if out.AtFlat(i) < blo.AtFlat(i)-1e-4 || out.AtFlat(i) > bhi.AtFlat(i)+1e-4 {
+				t.Fatalf("pooled output escaped bounds at %d", i)
+			}
+		}
+	}
+	// Interval backward runs and returns correctly shaped gradients.
+	gLo := tensor.New(blo.Shape()...)
+	gHi := tensor.Ones(bhi.Shape()...)
+	pLo, pHi := net.BackwardInterval(gLo, gHi)
+	if !pLo.SameShape(x) || !pHi.SameShape(x) {
+		t.Fatalf("interval backward shapes %v / %v", pLo.Shape(), pHi.Shape())
+	}
+}

@@ -1,0 +1,240 @@
+package ibp
+
+import (
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// ReLU is the interval-capable rectifier: both bounds clamp at zero
+// (ReLU is monotone, so interval propagation is exact).
+type ReLU struct {
+	nn.Base
+	Inner *nn.ReLU
+
+	lastLo, lastHi *tensor.Tensor
+}
+
+var (
+	_ IntervalLayer = (*ReLU)(nil)
+	_ nn.Container  = (*ReLU)(nil)
+)
+
+// NewReLU builds an interval rectifier.
+func NewReLU(name string) *ReLU {
+	return &ReLU{Base: nn.NewBase(name), Inner: nn.NewReLU(name + ".relu")}
+}
+
+// Children implements nn.Container.
+func (l *ReLU) Children() []nn.Layer { return []nn.Layer{l.Inner} }
+
+// Params implements nn.Layer.
+func (l *ReLU) Params() []*nn.Param { return nil }
+
+// Forward implements nn.Layer.
+func (l *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor { return nn.Run(l.Inner, x) }
+
+// Backward implements nn.Layer.
+func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor { return nn.RunBackward(l.Inner, grad) }
+
+// ForwardInterval implements IntervalLayer.
+func (l *ReLU) ForwardInterval(lo, hi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	l.lastLo, l.lastHi = lo, hi
+	relu := func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return tensor.Apply(lo, relu), tensor.Apply(hi, relu)
+}
+
+// BackwardInterval implements IntervalLayer.
+func (l *ReLU) BackwardInterval(gLo, gHi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	outLo := gLo.Clone()
+	outHi := gHi.Clone()
+	lod, hid := l.lastLo.Data(), l.lastHi.Data()
+	glo, ghi := outLo.Data(), outHi.Data()
+	for i := range lod {
+		if lod[i] <= 0 {
+			glo[i] = 0
+		}
+		if hid[i] <= 0 {
+			ghi[i] = 0
+		}
+	}
+	return outLo, outHi
+}
+
+// MaxPool is the interval-capable max pooling (monotone, hence exact).
+type MaxPool struct {
+	nn.Base
+	Inner *nn.MaxPool2d
+
+	inShape      []int
+	argLo, argHi []int32
+}
+
+var (
+	_ IntervalLayer = (*MaxPool)(nil)
+	_ nn.Container  = (*MaxPool)(nil)
+)
+
+// NewMaxPool builds an interval max-pool with a square kernel.
+func NewMaxPool(name string, kernel int) *MaxPool {
+	return &MaxPool{Base: nn.NewBase(name), Inner: nn.NewMaxPool2d(name+".pool", kernel, 0, 0)}
+}
+
+// Children implements nn.Container.
+func (l *MaxPool) Children() []nn.Layer { return []nn.Layer{l.Inner} }
+
+// Params implements nn.Layer.
+func (l *MaxPool) Params() []*nn.Param { return nil }
+
+// Forward implements nn.Layer.
+func (l *MaxPool) Forward(x *tensor.Tensor) *tensor.Tensor { return nn.Run(l.Inner, x) }
+
+// Backward implements nn.Layer.
+func (l *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor { return nn.RunBackward(l.Inner, grad) }
+
+// ForwardInterval implements IntervalLayer.
+func (l *MaxPool) ForwardInterval(lo, hi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	l.inShape = lo.Shape()
+	outLo, argLo := tensor.MaxPool2d(lo, l.Inner.Spec)
+	outHi, argHi := tensor.MaxPool2d(hi, l.Inner.Spec)
+	l.argLo, l.argHi = argLo, argHi
+	return outLo, outHi
+}
+
+// BackwardInterval implements IntervalLayer.
+func (l *MaxPool) BackwardInterval(gLo, gHi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	return tensor.MaxPool2dBackward(l.inShape, l.argLo, gLo),
+		tensor.MaxPool2dBackward(l.inShape, l.argHi, gHi)
+}
+
+// Flatten is the interval-capable flattening layer.
+type Flatten struct {
+	nn.Base
+	Inner *nn.Flatten
+
+	inShape []int
+}
+
+var (
+	_ IntervalLayer = (*Flatten)(nil)
+	_ nn.Container  = (*Flatten)(nil)
+)
+
+// NewFlatten builds an interval flatten.
+func NewFlatten(name string) *Flatten {
+	return &Flatten{Base: nn.NewBase(name), Inner: nn.NewFlatten(name + ".flatten")}
+}
+
+// Children implements nn.Container.
+func (l *Flatten) Children() []nn.Layer { return []nn.Layer{l.Inner} }
+
+// Params implements nn.Layer.
+func (l *Flatten) Params() []*nn.Param { return nil }
+
+// Forward implements nn.Layer.
+func (l *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor { return nn.Run(l.Inner, x) }
+
+// Backward implements nn.Layer.
+func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor { return nn.RunBackward(l.Inner, grad) }
+
+// ForwardInterval implements IntervalLayer.
+func (l *Flatten) ForwardInterval(lo, hi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	l.inShape = lo.Shape()
+	return lo.Reshape(lo.Dim(0), -1), hi.Reshape(hi.Dim(0), -1)
+}
+
+// BackwardInterval implements IntervalLayer.
+func (l *Flatten) BackwardInterval(gLo, gHi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	return gLo.Reshape(l.inShape...), gHi.Reshape(l.inShape...)
+}
+
+// AvgPool is the interval-capable average pooling: averaging is linear
+// and monotone, so bounds propagate exactly.
+type AvgPool struct {
+	nn.Base
+	Inner *nn.AvgPool2d
+
+	inShape []int
+}
+
+var (
+	_ IntervalLayer = (*AvgPool)(nil)
+	_ nn.Container  = (*AvgPool)(nil)
+)
+
+// NewAvgPool builds an interval average-pool with a square kernel.
+func NewAvgPool(name string, kernel int) *AvgPool {
+	return &AvgPool{Base: nn.NewBase(name), Inner: nn.NewAvgPool2d(name+".pool", kernel, 0, 0)}
+}
+
+// Children implements nn.Container.
+func (l *AvgPool) Children() []nn.Layer { return []nn.Layer{l.Inner} }
+
+// Params implements nn.Layer.
+func (l *AvgPool) Params() []*nn.Param { return nil }
+
+// Forward implements nn.Layer.
+func (l *AvgPool) Forward(x *tensor.Tensor) *tensor.Tensor { return nn.Run(l.Inner, x) }
+
+// Backward implements nn.Layer.
+func (l *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor { return nn.RunBackward(l.Inner, grad) }
+
+// ForwardInterval implements IntervalLayer.
+func (l *AvgPool) ForwardInterval(lo, hi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	l.inShape = lo.Shape()
+	return tensor.AvgPool2d(lo, l.Inner.Spec), tensor.AvgPool2d(hi, l.Inner.Spec)
+}
+
+// BackwardInterval implements IntervalLayer.
+func (l *AvgPool) BackwardInterval(gLo, gHi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	return tensor.AvgPool2dBackward(l.inShape, l.Inner.Spec, gLo),
+		tensor.AvgPool2dBackward(l.inShape, l.Inner.Spec, gHi)
+}
+
+// GlobalAvgPool is the interval-capable global average pooling.
+type GlobalAvgPool struct {
+	nn.Base
+	Inner *nn.GlobalAvgPool2d
+
+	inShape []int
+}
+
+var (
+	_ IntervalLayer = (*GlobalAvgPool)(nil)
+	_ nn.Container  = (*GlobalAvgPool)(nil)
+)
+
+// NewGlobalAvgPool builds an interval global average-pool.
+func NewGlobalAvgPool(name string) *GlobalAvgPool {
+	return &GlobalAvgPool{Base: nn.NewBase(name), Inner: nn.NewGlobalAvgPool2d(name + ".gap")}
+}
+
+// Children implements nn.Container.
+func (l *GlobalAvgPool) Children() []nn.Layer { return []nn.Layer{l.Inner} }
+
+// Params implements nn.Layer.
+func (l *GlobalAvgPool) Params() []*nn.Param { return nil }
+
+// Forward implements nn.Layer.
+func (l *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor { return nn.Run(l.Inner, x) }
+
+// Backward implements nn.Layer.
+func (l *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return nn.RunBackward(l.Inner, grad)
+}
+
+// ForwardInterval implements IntervalLayer.
+func (l *GlobalAvgPool) ForwardInterval(lo, hi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	l.inShape = lo.Shape()
+	return tensor.GlobalAvgPool2d(lo), tensor.GlobalAvgPool2d(hi)
+}
+
+// BackwardInterval implements IntervalLayer.
+func (l *GlobalAvgPool) BackwardInterval(gLo, gHi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	return tensor.GlobalAvgPool2dBackward(l.inShape, gLo),
+		tensor.GlobalAvgPool2dBackward(l.inShape, gHi)
+}

@@ -1,0 +1,245 @@
+package ibp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+	"gofi/internal/train"
+)
+
+// Net is a sequential stack of interval-capable layers. It implements
+// nn.Layer (point path), so the fault injector and the train package work
+// on it unchanged, plus the interval API for IBP training.
+type Net struct {
+	nn.Base
+	Layers []IntervalLayer
+}
+
+var (
+	_ nn.Layer     = (*Net)(nil)
+	_ nn.Container = (*Net)(nil)
+)
+
+// NewNet builds a sequential interval network.
+func NewNet(name string, layers ...IntervalLayer) *Net {
+	return &Net{Base: nn.NewBase(name), Layers: layers}
+}
+
+// Children implements nn.Container.
+func (n *Net) Children() []nn.Layer {
+	out := make([]nn.Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		out[i] = l
+	}
+	return out
+}
+
+// Params implements nn.Layer.
+func (n *Net) Params() []*nn.Param { return nil }
+
+// Forward implements nn.Layer (point path).
+func (n *Net) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = nn.Run(l, x)
+	}
+	return x
+}
+
+// Backward implements nn.Layer (point path).
+func (n *Net) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = nn.RunBackward(n.Layers[i], grad)
+	}
+	return grad
+}
+
+// ForwardInterval propagates input bounds through the whole stack.
+func (n *Net) ForwardInterval(lo, hi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	for _, l := range n.Layers {
+		lo, hi = l.ForwardInterval(lo, hi)
+	}
+	return lo, hi
+}
+
+// BackwardInterval propagates bound gradients back through the stack,
+// accumulating parameter gradients.
+func (n *Net) BackwardInterval(gLo, gHi *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		gLo, gHi = n.Layers[i].BackwardInterval(gLo, gHi)
+	}
+	return gLo, gHi
+}
+
+// TinyAlexNet builds the scaled AlexNet used for the Figure 6 study:
+// two conv+pool stages and a two-layer fully-connected head, matching the
+// paper's focus on the first two convolutional layers.
+func TinyAlexNet(rng *rand.Rand, classes, inSize int) *Net {
+	final := inSize / 4
+	return NewNet("ibp-alexnet",
+		NewConv("conv1", rng, 3, 8, 3, nn.Conv2dConfig{Pad: 1}),
+		NewReLU("relu1"),
+		NewMaxPool("pool1", 2),
+		NewConv("conv2", rng, 8, 16, 3, nn.Conv2dConfig{Pad: 1}),
+		NewReLU("relu2"),
+		NewMaxPool("pool2", 2),
+		NewFlatten("flatten"),
+		NewLinear("fc1", rng, 16*final*final, 32),
+		NewReLU("relu3"),
+		NewLinear("fc2", rng, 32, classes),
+	)
+}
+
+// WorstCaseLogits builds the adversary's logit vector from output bounds:
+// the true class takes its lower bound, every other class its upper
+// bound.
+func WorstCaseLogits(lo, hi *tensor.Tensor, labels []int) *tensor.Tensor {
+	n, c := lo.Dim(0), lo.Dim(1)
+	z := hi.Clone()
+	for r := 0; r < n; r++ {
+		z.Set(lo.At(r, labels[r]), r, labels[r])
+	}
+	_ = c
+	return z
+}
+
+// Eq1Loss evaluates the paper's Eq. 1,
+//
+//	J = (1−α)·CE(point) + α·CE(worst case),
+//
+// returning the loss value plus the gradients for the point logits and the
+// two bound tensors.
+func Eq1Loss(point, lo, hi *tensor.Tensor, labels []int, alpha float64) (float64, *tensor.Tensor, *tensor.Tensor, *tensor.Tensor) {
+	ceP, gP := train.SoftmaxCrossEntropy(point, labels)
+	z := WorstCaseLogits(lo, hi, labels)
+	ceW, gZ := train.SoftmaxCrossEntropy(z, labels)
+
+	loss := (1-alpha)*ceP + alpha*ceW
+	tensor.ScaleInPlace(gP, float32(1-alpha))
+	tensor.ScaleInPlace(gZ, float32(alpha))
+
+	// Split dL/dz into bound gradients: the true-class column came from
+	// lo, every other column from hi.
+	gLo := tensor.New(lo.Shape()...)
+	gHi := gZ.Clone()
+	n := lo.Dim(0)
+	for r := 0; r < n; r++ {
+		y := labels[r]
+		gLo.Set(gZ.At(r, y), r, y)
+		gHi.Set(0, r, y)
+	}
+	return loss, gP, gLo, gHi
+}
+
+// TrainConfig drives Train. Alpha and Eps ramp linearly from 0 to their
+// configured maxima between RampStart and RampEnd (in steps), the
+// curriculum §IV-C describes for stable convergence.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	TrainSize int
+	LR        float32
+	Momentum  float32
+	Alpha     float64 // worst-case loss weight at full ramp
+	Eps       float32 // input L∞ radius at full ramp
+	RampStart int
+	RampEnd   int
+}
+
+// ramp returns the curriculum fraction for a step.
+func (c TrainConfig) ramp(step int) float64 {
+	switch {
+	case step <= c.RampStart:
+		return 0
+	case step >= c.RampEnd:
+		return 1
+	default:
+		return float64(step-c.RampStart) / float64(c.RampEnd-c.RampStart)
+	}
+}
+
+// Train fits the network with the Eq. 1 objective. Alpha == 0 degenerates
+// to standard training (the baseline model of Figure 6).
+func Train(net *Net, src train.BatchSource, cfg TrainConfig) ([]float64, error) {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.TrainSize < cfg.BatchSize {
+		return nil, fmt.Errorf("ibp: invalid training config %+v", cfg)
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("ibp: alpha %g outside [0,1]", cfg.Alpha)
+	}
+	if cfg.Eps < 0 {
+		return nil, fmt.Errorf("ibp: negative epsilon %g", cfg.Eps)
+	}
+	if cfg.RampEnd < cfg.RampStart {
+		return nil, fmt.Errorf("ibp: ramp end %d before start %d", cfg.RampEnd, cfg.RampStart)
+	}
+	opt := train.NewSGD(cfg.LR, cfg.Momentum, 0)
+	params := nn.AllParams(net)
+	step := 0
+	var epochLosses []float64
+	for e := 0; e < cfg.Epochs; e++ {
+		var total float64
+		batches := 0
+		for loIdx := 0; loIdx+cfg.BatchSize <= cfg.TrainSize; loIdx += cfg.BatchSize {
+			x, labels := src.Batch(loIdx, cfg.BatchSize)
+			frac := cfg.ramp(step)
+			alpha := cfg.Alpha * frac
+			eps := cfg.Eps * float32(frac)
+
+			point := nn.Run(net, x)
+			nn.ZeroGrads(net)
+			if alpha == 0 {
+				loss, gP := train.SoftmaxCrossEntropy(point, labels)
+				nn.RunBackward(net, gP)
+				total += loss
+			} else {
+				xlo := tensor.Apply(x, func(v float32) float32 { return v - eps })
+				xhi := tensor.Apply(x, func(v float32) float32 { return v + eps })
+				blo, bhi := net.ForwardInterval(xlo, xhi)
+				loss, gP, gLo, gHi := Eq1Loss(point, blo, bhi, labels, alpha)
+				nn.RunBackward(net, gP)
+				net.BackwardInterval(gLo, gHi)
+				total += loss
+			}
+			opt.Step(params)
+			batches++
+			step++
+		}
+		epochLosses = append(epochLosses, total/float64(batches))
+		if math.IsNaN(epochLosses[len(epochLosses)-1]) {
+			return epochLosses, fmt.Errorf("ibp: training diverged at epoch %d", e)
+		}
+	}
+	return epochLosses, nil
+}
+
+// VerifiedFraction reports the share of samples whose worst-case logits
+// under an ε input perturbation still rank the true class first — a
+// soundness-facing robustness metric.
+func VerifiedFraction(net *Net, src train.BatchSource, lo, n, batchSize int, eps float32) float64 {
+	verified, total := 0, 0
+	for off := 0; off < n; off += batchSize {
+		sz := batchSize
+		if off+sz > n {
+			sz = n - off
+		}
+		x, labels := src.Batch(lo+off, sz)
+		xlo := tensor.Apply(x, func(v float32) float32 { return v - eps })
+		xhi := tensor.Apply(x, func(v float32) float32 { return v + eps })
+		blo, bhi := net.ForwardInterval(xlo, xhi)
+		z := WorstCaseLogits(blo, bhi, labels)
+		preds := tensor.ArgMaxRows(z)
+		for i, p := range preds {
+			if p == labels[i] {
+				verified++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(verified) / float64(total)
+}

@@ -1,0 +1,157 @@
+// Package interpret implements Grad-CAM (Selvaraju et al.) on the nn
+// substrate and the paper's §IV-E interpretability study: rank a layer's
+// feature maps by gradient sensitivity, inject an egregious value into the
+// least/most sensitive map, and measure how much the explanation heatmap
+// and the Top-1 prediction move.
+package interpret
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// Result is one Grad-CAM evaluation.
+type Result struct {
+	// CAM is the class-activation map at the target layer's spatial
+	// resolution, ReLU'd and max-normalized to [0, 1].
+	CAM *tensor.Tensor // [H, W]
+	// RawCAM is the ReLU'd map before normalization. Quantitative
+	// comparisons between runs should use RawCAM: max-normalization makes
+	// every map's peak 1, hiding how much absolute mass an injection
+	// added.
+	RawCAM *tensor.Tensor // [H, W]
+	// Logits is the model output for the input.
+	Logits *tensor.Tensor // [1, classes]
+	// Class is the class the CAM explains.
+	Class int
+	// ChannelWeights are the global-average-pooled gradients per feature
+	// map (the α_k of the Grad-CAM paper).
+	ChannelWeights []float64
+	// Sensitivity is the mean |gradient| per feature map, the ranking
+	// signal for the §IV-E injection study.
+	Sensitivity []float64
+}
+
+// hookTarget is any layer that accepts forward/backward hooks (everything
+// embedding nn.Base).
+type hookTarget interface {
+	nn.Layer
+	RegisterForwardHook(nn.ForwardHook) nn.HookHandle
+	RegisterBackwardHook(nn.BackwardHook) nn.HookHandle
+}
+
+// GradCAM computes the class-activation map for x (shape [1,C,H,W]) at
+// the target layer. class == -1 explains the predicted Top-1. The model
+// must produce [1, classes] logits.
+func GradCAM(model nn.Layer, target nn.Layer, x *tensor.Tensor, class int) (Result, error) {
+	ht, ok := target.(hookTarget)
+	if !ok {
+		return Result{}, fmt.Errorf("interpret: target layer %T does not support hooks", target)
+	}
+	if x.Rank() != 4 || x.Dim(0) != 1 {
+		return Result{}, fmt.Errorf("interpret: GradCAM input must be [1,C,H,W], got %v", x.Shape())
+	}
+
+	var acts, grads *tensor.Tensor
+	fh := ht.RegisterForwardHook(func(_ nn.Layer, _, out *tensor.Tensor) {
+		acts = out.Clone()
+	})
+	bh := ht.RegisterBackwardHook(func(_ nn.Layer, g *tensor.Tensor) {
+		grads = g.Clone()
+	})
+	defer fh.Remove()
+	defer bh.Remove()
+
+	logits := nn.Run(model, x)
+	if logits.Rank() != 2 || logits.Dim(0) != 1 {
+		return Result{}, fmt.Errorf("interpret: model output %v is not [1,classes]", logits.Shape())
+	}
+	classes := logits.Dim(1)
+	if class == -1 {
+		class = tensor.ArgMaxRows(logits)[0]
+	}
+	if class < 0 || class >= classes {
+		return Result{}, fmt.Errorf("interpret: class %d outside [0,%d)", class, classes)
+	}
+
+	onehot := tensor.New(1, classes)
+	onehot.Set(1, 0, class)
+	nn.ZeroGrads(model)
+	nn.RunBackward(model, onehot)
+
+	if acts == nil || grads == nil {
+		return Result{}, fmt.Errorf("interpret: target layer never executed (is it part of the model?)")
+	}
+	if acts.Rank() != 4 {
+		return Result{}, fmt.Errorf("interpret: target layer output %v is not a feature map", acts.Shape())
+	}
+
+	c, h, w := acts.Dim(1), acts.Dim(2), acts.Dim(3)
+	plane := h * w
+	weights := make([]float64, c)
+	sens := make([]float64, c)
+	gd := grads.Data()
+	for k := 0; k < c; k++ {
+		var sum, absSum float64
+		for i := 0; i < plane; i++ {
+			g := float64(gd[k*plane+i])
+			sum += g
+			absSum += math.Abs(g)
+		}
+		weights[k] = sum / float64(plane)
+		sens[k] = absSum / float64(plane)
+	}
+
+	cam := tensor.New(h, w)
+	ad := acts.Data()
+	cd := cam.Data()
+	for k := 0; k < c; k++ {
+		wk := float32(weights[k])
+		if wk == 0 {
+			continue
+		}
+		for i := 0; i < plane; i++ {
+			cd[i] += wk * ad[k*plane+i]
+		}
+	}
+	// ReLU, keep the raw map, then max-normalize the display copy.
+	var maxV float32
+	for i := range cd {
+		if cd[i] < 0 {
+			cd[i] = 0
+		}
+		if cd[i] > maxV {
+			maxV = cd[i]
+		}
+	}
+	raw := cam.Clone()
+	if maxV > 0 {
+		inv := 1 / maxV
+		for i := range cd {
+			cd[i] *= inv
+		}
+	}
+	return Result{CAM: cam, RawCAM: raw, Logits: logits, Class: class, ChannelWeights: weights, Sensitivity: sens}, nil
+}
+
+// RankSensitivity returns feature-map indices sorted by ascending
+// sensitivity: the first entry is the least sensitive map, the last the
+// most sensitive.
+func RankSensitivity(sens []float64) []int {
+	idx := make([]int, len(sens))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sens[idx[a]] < sens[idx[b]] })
+	return idx
+}
+
+// HeatmapDelta quantifies how far two CAMs are apart: L2 distance and
+// cosine similarity over the flattened maps.
+func HeatmapDelta(a, b *tensor.Tensor) (l2 float64, cosine float64) {
+	return tensor.L2Distance(a, b), tensor.CosineSimilarity(a, b)
+}

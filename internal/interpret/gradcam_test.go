@@ -1,0 +1,176 @@
+package interpret
+
+import (
+	"math/rand"
+	"testing"
+
+	"gofi/internal/core"
+	"gofi/internal/data"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+	"gofi/internal/train"
+)
+
+func camModel(rng *rand.Rand, classes int) (nn.Layer, *nn.Conv2d) {
+	target := nn.NewConv2d("c2", rng, 8, 16, 3, nn.Conv2dConfig{Pad: 1})
+	model := nn.NewSequential("m",
+		nn.NewConv2d("c1", rng, 3, 8, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("r1"),
+		nn.NewMaxPool2d("p1", 2, 0, 0),
+		target,
+		nn.NewReLU("r2"),
+		nn.NewGlobalAvgPool2d("gap"),
+		nn.NewFlatten("fl"),
+		nn.NewLinear("fc", rng, 16, classes, true),
+	)
+	return model, target
+}
+
+func TestGradCAMShapeAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model, target := camModel(rng, 4)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	res, err := GradCAM(model, target, x, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CAM.Shape(); got[0] != 8 || got[1] != 8 {
+		t.Fatalf("CAM shape %v, want [8 8]", got)
+	}
+	if res.CAM.Min() < 0 || res.CAM.Max() > 1 {
+		t.Fatalf("CAM out of [0,1]: [%g, %g]", res.CAM.Min(), res.CAM.Max())
+	}
+	if len(res.Sensitivity) != 16 || len(res.ChannelWeights) != 16 {
+		t.Fatalf("per-channel stats length %d/%d", len(res.Sensitivity), len(res.ChannelWeights))
+	}
+	if res.Class < 0 || res.Class >= 4 {
+		t.Fatalf("explained class %d", res.Class)
+	}
+}
+
+func TestGradCAMExplicitClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model, target := camModel(rng, 4)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	res, err := GradCAM(model, target, x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != 2 {
+		t.Fatalf("class = %d, want 2", res.Class)
+	}
+}
+
+func TestGradCAMErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model, target := camModel(rng, 4)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	if _, err := GradCAM(model, target, tensor.New(2, 3, 16, 16), -1); err == nil {
+		t.Fatal("batch > 1 must error")
+	}
+	if _, err := GradCAM(model, target, x, 9); err == nil {
+		t.Fatal("class out of range must error")
+	}
+	// A layer that is not part of the model: hooks never fire.
+	stray := nn.NewConv2d("stray", rng, 3, 4, 1, nn.Conv2dConfig{})
+	if _, err := GradCAM(model, stray, x, -1); err == nil {
+		t.Fatal("stray target must error")
+	}
+}
+
+func TestGradCAMHooksCleanedUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	model, target := camModel(rng, 4)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	before := target.HookCount()
+	if _, err := GradCAM(model, target, x, -1); err != nil {
+		t.Fatal(err)
+	}
+	if target.HookCount() != before {
+		t.Fatalf("GradCAM leaked hooks: %d → %d", before, target.HookCount())
+	}
+}
+
+func TestRankSensitivity(t *testing.T) {
+	ranked := RankSensitivity([]float64{0.5, 0.1, 0.9, 0.3})
+	want := []int{1, 3, 0, 2}
+	for i := range want {
+		if ranked[i] != want[i] {
+			t.Fatalf("ranked = %v, want %v", ranked, want)
+		}
+	}
+	if got := RankSensitivity(nil); len(got) != 0 {
+		t.Fatal("empty ranking")
+	}
+}
+
+func TestHeatmapDelta(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 0, 0, 0}, 2, 2)
+	l2, cos := HeatmapDelta(a, a)
+	if l2 != 0 || cos < 0.999 {
+		t.Fatalf("self delta = %g/%g", l2, cos)
+	}
+	b := tensor.FromSlice([]float32{0, 1, 0, 0}, 2, 2)
+	l2, cos = HeatmapDelta(a, b)
+	if l2 == 0 || cos > 0.001 {
+		t.Fatalf("orthogonal delta = %g/%g", l2, cos)
+	}
+}
+
+// The Figure 7 reproduction in miniature: a huge injection into the LEAST
+// sensitive feature map should barely move the heatmap and keep the
+// Top-1, while the MOST sensitive map's injection moves it much more.
+func TestSensitivityGuidedInjection(t *testing.T) {
+	ds, err := data.NewClassification(data.ClassificationConfig{Classes: 4, Channels: 3, Size: 16, Noise: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	model, target := camModel(rng, 4)
+	if _, err := train.Loop(model, ds, train.Config{Epochs: 4, BatchSize: 16, TrainSize: 256, LR: 0.05, Momentum: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a correctly classified input.
+	correct := train.CorrectIndices(model, ds, 9000, 20, 4)
+	if len(correct) == 0 {
+		t.Fatal("no correct samples")
+	}
+	img, _ := ds.Sample(correct[0])
+	x := img.Reshape(1, 3, 16, 16)
+
+	clean, err := GradCAM(model, target, x, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := RankSensitivity(clean.Sensitivity)
+	least, most := ranked[0], ranked[len(ranked)-1]
+
+	inj, err := core.New(model, core.Config{Height: 16, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The target conv is injector layer index 1 (c1 is 0, c2 is 1).
+	camUnder := func(fmap int) (Result, error) {
+		inj.Reset()
+		if err := inj.DeclareNeuronFI(core.SetValue{V: 10000}, core.NeuronSite{Layer: 1, Batch: core.AllBatches, C: fmap, H: 4, W: 4}); err != nil {
+			return Result{}, err
+		}
+		return GradCAM(model, target, x, clean.Class)
+	}
+	leastRes, err := camUnder(least)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mostRes, err := camUnder(most)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Reset()
+
+	l2Least, _ := HeatmapDelta(clean.CAM, leastRes.CAM)
+	l2Most, _ := HeatmapDelta(clean.CAM, mostRes.CAM)
+	if l2Most <= l2Least {
+		t.Fatalf("most-sensitive injection (Δ=%g) did not move the heatmap more than least-sensitive (Δ=%g)", l2Most, l2Least)
+	}
+}

@@ -1,0 +1,146 @@
+package interpret
+
+import (
+	"fmt"
+	"math"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// GuidedBackprop computes the guided-backpropagation input saliency for x
+// (shape [1,C,H,W]) with respect to class (−1 = predicted Top-1): a
+// backward pass in which every ReLU additionally gates gradients on being
+// positive. It returns the per-pixel saliency [H,W] (abs-max over input
+// channels, max-normalized to [0,1]) and the raw input gradient [1,C,H,W].
+func GuidedBackprop(model nn.Layer, x *tensor.Tensor, class int) (*tensor.Tensor, *tensor.Tensor, error) {
+	if x.Rank() != 4 || x.Dim(0) != 1 {
+		return nil, nil, fmt.Errorf("interpret: GuidedBackprop input must be [1,C,H,W], got %v", x.Shape())
+	}
+	// Flip every ReLU into guided mode for the duration of the pass.
+	var relus []*nn.ReLU
+	nn.Walk(model, func(_ string, l nn.Layer) {
+		if r, ok := l.(*nn.ReLU); ok {
+			relus = append(relus, r)
+		}
+	})
+	for _, r := range relus {
+		r.Guided = true
+	}
+	defer func() {
+		for _, r := range relus {
+			r.Guided = false
+		}
+	}()
+
+	logits := nn.Run(model, x)
+	if logits.Rank() != 2 || logits.Dim(0) != 1 {
+		return nil, nil, fmt.Errorf("interpret: model output %v is not [1,classes]", logits.Shape())
+	}
+	classes := logits.Dim(1)
+	if class == -1 {
+		class = tensor.ArgMaxRows(logits)[0]
+	}
+	if class < 0 || class >= classes {
+		return nil, nil, fmt.Errorf("interpret: class %d outside [0,%d)", class, classes)
+	}
+	onehot := tensor.New(1, classes)
+	onehot.Set(1, 0, class)
+	nn.ZeroGrads(model)
+	grad := nn.RunBackward(model, onehot)
+	if grad == nil || grad.Rank() != 4 {
+		return nil, nil, fmt.Errorf("interpret: model did not propagate an input gradient")
+	}
+
+	c, h, w := grad.Dim(1), grad.Dim(2), grad.Dim(3)
+	sal := tensor.New(h, w)
+	var maxV float32
+	for y := 0; y < h; y++ {
+		for z := 0; z < w; z++ {
+			var m float32
+			for ch := 0; ch < c; ch++ {
+				v := grad.At(0, ch, y, z)
+				if v < 0 {
+					v = -v
+				}
+				if v > m {
+					m = v
+				}
+			}
+			sal.Set(m, y, z)
+			if m > maxV {
+				maxV = m
+			}
+		}
+	}
+	if maxV > 0 {
+		tensor.ScaleInPlace(sal, 1/maxV)
+	}
+	return sal, grad, nil
+}
+
+// GuidedGradCAM combines Grad-CAM's class-discriminative localization with
+// guided backpropagation's pixel resolution (Selvaraju et al.): the CAM is
+// bilinearly upsampled to the input resolution and multiplied into the
+// guided saliency. It returns the combined [H,W] map (normalized to
+// [0,1]) together with the plain Grad-CAM result.
+func GuidedGradCAM(model nn.Layer, target nn.Layer, x *tensor.Tensor, class int) (*tensor.Tensor, Result, error) {
+	cam, err := GradCAM(model, target, x, class)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	sal, _, err := GuidedBackprop(model, x, cam.Class)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	up := upsampleBilinear(cam.CAM, x.Dim(2), x.Dim(3))
+	combined := tensor.Mul(sal, up)
+	if m := combined.Max(); m > 0 {
+		tensor.ScaleInPlace(combined, 1/m)
+	}
+	return combined, cam, nil
+}
+
+// upsampleBilinear resizes a [h,w] map to [H,W] with bilinear
+// interpolation (align-corners-false convention).
+func upsampleBilinear(m *tensor.Tensor, outH, outW int) *tensor.Tensor {
+	h, w := m.Dim(0), m.Dim(1)
+	out := tensor.New(outH, outW)
+	if h == 0 || w == 0 {
+		return out
+	}
+	sy := float64(h) / float64(outH)
+	sx := float64(w) / float64(outW)
+	for y := 0; y < outH; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(math.Floor(fy))
+		dy := fy - float64(y0)
+		y1 := y0 + 1
+		y0 = clampIdx(y0, h)
+		y1 = clampIdx(y1, h)
+		for x := 0; x < outW; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(math.Floor(fx))
+			dx := fx - float64(x0)
+			x1 := x0 + 1
+			x0 = clampIdx(x0, w)
+			x1 = clampIdx(x1, w)
+			v := (1-dy)*(1-dx)*float64(m.At(y0, x0)) +
+				(1-dy)*dx*float64(m.At(y0, x1)) +
+				dy*(1-dx)*float64(m.At(y1, x0)) +
+				dy*dx*float64(m.At(y1, x1))
+			out.Set(float32(v), y, x)
+		}
+	}
+	return out
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -1,0 +1,108 @@
+package interpret
+
+import (
+	"math/rand"
+	"testing"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+func TestGuidedBackpropSaliency(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	model, _ := camModel(rng, 4)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	sal, grad, err := GuidedBackprop(model, x, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sal.Shape(); got[0] != 16 || got[1] != 16 {
+		t.Fatalf("saliency shape %v", got)
+	}
+	if sal.Min() < 0 || sal.Max() > 1 {
+		t.Fatalf("saliency out of [0,1]: [%g, %g]", sal.Min(), sal.Max())
+	}
+	if got := grad.Shape(); got[1] != 3 || got[2] != 16 {
+		t.Fatalf("raw gradient shape %v", got)
+	}
+	// Guided mode must be reset afterwards.
+	nn.Walk(model, func(_ string, l nn.Layer) {
+		if r, ok := l.(*nn.ReLU); ok && r.Guided {
+			t.Fatal("Guided flag leaked after GuidedBackprop")
+		}
+	})
+}
+
+func TestGuidedBackpropErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	model, _ := camModel(rng, 4)
+	if _, _, err := GuidedBackprop(model, tensor.New(2, 3, 16, 16), -1); err == nil {
+		t.Fatal("batch > 1 must error")
+	}
+	if _, _, err := GuidedBackprop(model, tensor.New(1, 3, 16, 16), 99); err == nil {
+		t.Fatal("class out of range must error")
+	}
+}
+
+func TestGuidedGradCAMCombines(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	model, target := camModel(rng, 4)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	combined, cam, err := GuidedGradCAM(model, target, x, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Combined map is at input resolution.
+	if got := combined.Shape(); got[0] != 16 || got[1] != 16 {
+		t.Fatalf("combined shape %v", got)
+	}
+	if combined.Min() < 0 || combined.Max() > 1 {
+		t.Fatalf("combined out of range [%g, %g]", combined.Min(), combined.Max())
+	}
+	if cam.CAM == nil {
+		t.Fatal("missing underlying CAM")
+	}
+}
+
+func TestUpsampleBilinear(t *testing.T) {
+	// Constant map upsamples to the same constant.
+	m := tensor.Full(0.5, 2, 2)
+	up := upsampleBilinear(m, 8, 8)
+	if got := up.Shape(); got[0] != 8 || got[1] != 8 {
+		t.Fatalf("upsample shape %v", got)
+	}
+	for i := 0; i < up.Len(); i++ {
+		if d := up.AtFlat(i) - 0.5; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("constant upsample value %g", up.AtFlat(i))
+		}
+	}
+	// A gradient map stays monotone along its axis.
+	g := tensor.FromSlice([]float32{0, 1}, 1, 2)
+	upg := upsampleBilinear(g, 1, 8)
+	for x := 1; x < 8; x++ {
+		if upg.At(0, x) < upg.At(0, x-1) {
+			t.Fatalf("upsample not monotone: %v", upg)
+		}
+	}
+	// Identity-size upsample reproduces the input.
+	id := upsampleBilinear(g, 1, 2)
+	if !id.AllClose(g, 1e-6) {
+		t.Fatalf("identity upsample %v", id)
+	}
+}
+
+func TestGuidedReLUGatesNegativeGradients(t *testing.T) {
+	l := nn.NewReLU("r")
+	x := tensor.FromSlice([]float32{1, 1}, 1, 2)
+	nn.Run(l, x)
+	grad := tensor.FromSlice([]float32{0.5, -0.5}, 1, 2)
+	plain := l.Backward(grad)
+	if plain.At(0, 1) != -0.5 {
+		t.Fatalf("plain ReLU backward = %v", plain)
+	}
+	l.Guided = true
+	guided := l.Backward(grad)
+	if guided.At(0, 0) != 0.5 || guided.At(0, 1) != 0 {
+		t.Fatalf("guided ReLU backward = %v", guided)
+	}
+}

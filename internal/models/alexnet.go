@@ -1,0 +1,35 @@
+package models
+
+import (
+	"math/rand"
+
+	"gofi/internal/nn"
+)
+
+// AlexNet is a width-scaled AlexNet: five convolutions with interleaved
+// max pooling followed by a three-layer fully-connected classifier, the
+// classic plain (non-residual) deep topology.
+func AlexNet(rng *rand.Rand, classes, inSize int) nn.Layer {
+	final := inSize / 8 // three 2× pools
+	return nn.NewSequential("alexnet",
+		nn.NewConv2d("conv1", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu1"),
+		nn.NewMaxPool2d("pool1", 2, 0, 0),
+		nn.NewConv2d("conv2", rng, 16, 32, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu2"),
+		nn.NewMaxPool2d("pool2", 2, 0, 0),
+		nn.NewConv2d("conv3", rng, 32, 48, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu3"),
+		nn.NewConv2d("conv4", rng, 48, 48, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu4"),
+		nn.NewConv2d("conv5", rng, 48, 32, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu5"),
+		nn.NewMaxPool2d("pool3", 2, 0, 0),
+		nn.NewFlatten("flatten"),
+		nn.NewLinear("fc1", rng, 32*final*final, 128, true),
+		nn.NewReLU("relu6"),
+		nn.NewLinear("fc2", rng, 128, 128, true),
+		nn.NewReLU("relu7"),
+		nn.NewLinear("fc3", rng, 128, classes, true),
+	)
+}

@@ -1,0 +1,59 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/nn"
+)
+
+// denseLayer produces one growth-rate's worth of new features from the
+// running concatenation: Concat(identity, BN-ReLU-conv3×3). Channel count
+// grows by `growth` per layer — DenseNet's defining wiring.
+func denseLayer(name string, rng *rand.Rand, in, growth int) nn.Layer {
+	branch := nn.NewSequential(name+".branch",
+		nn.NewBatchNorm2d(name+".bn", in),
+		nn.NewReLU(name+".relu"),
+		nn.NewConv2d(name+".conv", rng, in, growth, 3, nn.Conv2dConfig{Pad: 1, NoBias: true}),
+	)
+	return nn.NewConcat(name, nn.NewIdentity(name+".id"), branch)
+}
+
+// transition compresses channels with a 1×1 conv and halves the spatial
+// resolution.
+func transition(name string, rng *rand.Rand, in, out int) nn.Layer {
+	return nn.NewSequential(name,
+		nn.NewBatchNorm2d(name+".bn", in),
+		nn.NewReLU(name+".relu"),
+		nn.NewConv2d(name+".conv", rng, in, out, 1, nn.Conv2dConfig{NoBias: true}),
+		nn.NewAvgPool2d(name+".pool", 2, 0, 0),
+	)
+}
+
+// DenseNet is a scaled DenseNet-BC: three dense blocks of four layers
+// (growth 8) separated by compressing transitions.
+func DenseNet(rng *rand.Rand, classes, inSize int) nn.Layer {
+	const (
+		growth      = 8
+		layersPerBk = 4
+		blocks      = 3
+	)
+	in := 16
+	net := nn.NewSequential("densenet",
+		nn.NewConv2d("stem", rng, 3, in, 3, nn.Conv2dConfig{Pad: 1, NoBias: true}),
+	)
+	for b := 0; b < blocks; b++ {
+		for l := 0; l < layersPerBk; l++ {
+			net.Append(denseLayer(fmt.Sprintf("block%d.layer%d", b+1, l+1), rng, in, growth))
+			in += growth
+		}
+		if b < blocks-1 {
+			out := in / 2 // DenseNet-BC compression 0.5
+			net.Append(transition(fmt.Sprintf("trans%d", b+1), rng, in, out))
+			in = out
+		}
+	}
+	net.Append(nn.NewBatchNorm2d("finalbn", in), nn.NewReLU("finalrelu"))
+	net.Append(classifierHead(rng, in, classes)...)
+	return net
+}

@@ -1,0 +1,61 @@
+package models
+
+import (
+	"math/rand"
+
+	"gofi/internal/nn"
+)
+
+// inceptionSpec sizes one inception module's four branches.
+type inceptionSpec struct {
+	b1       int // 1×1 branch
+	b3r, b3  int // 1×1 reduce → 3×3 branch
+	b5r, b5  int // 1×1 reduce → 5×5 branch
+	poolProj int // 3×3 maxpool → 1×1 projection branch
+}
+
+func (s inceptionSpec) out() int { return s.b1 + s.b3 + s.b5 + s.poolProj }
+
+// inception builds a GoogLeNet inception module: four parallel branches
+// concatenated along channels.
+func inception(name string, rng *rand.Rand, in int, s inceptionSpec) nn.Layer {
+	return nn.NewConcat(name,
+		convBNReLU(name+".b1", rng, in, s.b1, 1, nn.Conv2dConfig{}),
+		nn.NewSequential(name+".b3",
+			convBNReLU(name+".b3.reduce", rng, in, s.b3r, 1, nn.Conv2dConfig{}),
+			convBNReLU(name+".b3.conv", rng, s.b3r, s.b3, 3, nn.Conv2dConfig{Pad: 1}),
+		),
+		nn.NewSequential(name+".b5",
+			convBNReLU(name+".b5.reduce", rng, in, s.b5r, 1, nn.Conv2dConfig{}),
+			convBNReLU(name+".b5.conv", rng, s.b5r, s.b5, 5, nn.Conv2dConfig{Pad: 2}),
+		),
+		nn.NewSequential(name+".pool",
+			nn.NewMaxPool2d(name+".pool.mp", 3, 1, 1),
+			convBNReLU(name+".pool.proj", rng, in, s.poolProj, 1, nn.Conv2dConfig{}),
+		),
+	)
+}
+
+// GoogLeNet is a scaled GoogLeNet: a convolutional stem followed by four
+// inception modules in two pooled stages.
+func GoogLeNet(rng *rand.Rand, classes, inSize int) nn.Layer {
+	net := nn.NewSequential("googlenet",
+		convBNReLU("stem", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewMaxPool2d("stempool", 2, 0, 0),
+	)
+	specA := inceptionSpec{b1: 8, b3r: 8, b3: 16, b5r: 4, b5: 8, poolProj: 8}   // out 40
+	specB := inceptionSpec{b1: 12, b3r: 12, b3: 24, b5r: 4, b5: 8, poolProj: 8} // out 52
+	net.Append(
+		inception("inc3a", rng, 16, specA),
+		inception("inc3b", rng, specA.out(), specB),
+		nn.NewMaxPool2d("pool3", 2, 0, 0),
+	)
+	specC := inceptionSpec{b1: 16, b3r: 12, b3: 24, b5r: 6, b5: 12, poolProj: 12} // out 64
+	specD := inceptionSpec{b1: 20, b3r: 16, b3: 32, b5r: 8, b5: 16, poolProj: 12} // out 80
+	net.Append(
+		inception("inc4a", rng, specB.out(), specC),
+		inception("inc4b", rng, specC.out(), specD),
+	)
+	net.Append(classifierHead(rng, specD.out(), classes)...)
+	return net
+}

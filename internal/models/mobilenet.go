@@ -1,0 +1,49 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/nn"
+)
+
+// dwSeparable is MobileNet-v1's depthwise-separable block: a depthwise
+// 3×3 convolution (groups = channels) followed by a pointwise 1×1
+// convolution, each with BN and ReLU6.
+func dwSeparable(name string, rng *rand.Rand, in, out, stride int) nn.Layer {
+	return nn.NewSequential(name,
+		nn.NewConv2d(name+".dw", rng, in, in, 3, nn.Conv2dConfig{Pad: 1, Stride: stride, Groups: in, NoBias: true}),
+		nn.NewBatchNorm2d(name+".dwbn", in),
+		nn.NewReLU6(name+".dwrelu"),
+		nn.NewConv2d(name+".pw", rng, in, out, 1, nn.Conv2dConfig{NoBias: true}),
+		nn.NewBatchNorm2d(name+".pwbn", out),
+		nn.NewReLU6(name+".pwrelu"),
+	)
+}
+
+// MobileNet is a width-scaled MobileNet-v1: a stem convolution and seven
+// depthwise-separable blocks with stride-2 downsampling.
+func MobileNet(rng *rand.Rand, classes, inSize int) nn.Layer {
+	net := nn.NewSequential("mobilenet",
+		nn.NewConv2d("stem", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1, NoBias: true}),
+		nn.NewBatchNorm2d("stembn", 16),
+		nn.NewReLU6("stemrelu"),
+	)
+	type blk struct{ out, stride int }
+	blocks := []blk{
+		{32, 1},
+		{64, 2},
+		{64, 1},
+		{128, 2},
+		{128, 1},
+		{256, 2},
+		{256, 1},
+	}
+	in := 16
+	for i, b := range blocks {
+		net.Append(dwSeparable(fmt.Sprintf("block%d", i+1), rng, in, b.out, b.stride))
+		in = b.out
+	}
+	net.Append(classifierHead(rng, in, classes)...)
+	return net
+}

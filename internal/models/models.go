@@ -1,0 +1,131 @@
+// Package models provides Go implementations of the DNN architectures the
+// paper evaluates: AlexNet, VGG, (Pre)ResNet, ResNeXt, DenseNet,
+// GoogLeNet, MobileNet, ShuffleNet and SqueezeNet. Widths are scaled down
+// for CPU execution, but each network keeps its defining topology — depth
+// class, residual vs. concatenative wiring, grouped/depthwise convolution,
+// branch structure — because topology is what drives the paper's
+// cross-network resiliency differences.
+//
+// All constructors are deterministic given the caller's rand.Rand, and all
+// classification models map [N,3,S,S] inputs to [N,classes] logits.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gofi/internal/nn"
+)
+
+// convBNReLU is the ubiquitous conv → batch-norm → ReLU unit.
+func convBNReLU(name string, rng *rand.Rand, in, out, kernel int, cfg nn.Conv2dConfig) *nn.Sequential {
+	cfg.NoBias = true // BN immediately re-centers, so a conv bias is dead weight
+	return nn.NewSequential(name,
+		nn.NewConv2d(name+".conv", rng, in, out, kernel, cfg),
+		nn.NewBatchNorm2d(name+".bn", out),
+		nn.NewReLU(name+".relu"),
+	)
+}
+
+// Builder constructs a model for a class count and square input size.
+type Builder func(rng *rand.Rand, classes, inSize int) nn.Layer
+
+// registry maps canonical lower-case model names to builders.
+var registry = map[string]Builder{
+	"alexnet":      AlexNet,
+	"vgg11":        VGG11,
+	"vgg19":        VGG19,
+	"resnet18":     ResNet18,
+	"resnet34":     ResNet34,
+	"resnet50":     ResNet50,
+	"resnet110":    ResNet110,
+	"preresnet110": PreResNet110,
+	"resnext":      ResNeXt,
+	"densenet":     DenseNet,
+	"googlenet":    GoogLeNet,
+	"mobilenet":    MobileNet,
+	"shufflenet":   ShuffleNet,
+	"squeezenet":   SqueezeNet,
+	"wideresnet":   WideResNet,
+}
+
+// Names returns the sorted list of registered model names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// minInSize gives per-architecture minimum input sizes: the VGG family
+// pools five times, so anything below 32 collapses to zero spatial extent.
+var minInSize = map[string]int{
+	"vgg11": 32,
+	"vgg19": 32,
+}
+
+// MinSize returns the smallest legal input size for a registered model.
+func MinSize(name string) int {
+	if m, ok := minInSize[name]; ok {
+		return m
+	}
+	return 16
+}
+
+// Build constructs a registered model by name (case-sensitive, lower
+// case).
+func Build(name string, rng *rand.Rand, classes, inSize int) (nn.Layer, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (known: %v)", name, Names())
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("models: %q needs at least 2 classes, got %d", name, classes)
+	}
+	if min := MinSize(name); inSize < min || inSize%8 != 0 {
+		return nil, fmt.Errorf("models: %q input size %d must be a multiple of 8 and ≥ %d", name, inSize, min)
+	}
+	return b(rng, classes, inSize), nil
+}
+
+// Fig3Entry is one bar group of the paper's Figure 3: a network evaluated
+// on a dataset.
+type Fig3Entry struct {
+	Model   string // registry name
+	Label   string // display label matching the paper's axis
+	Dataset string // CIFAR10 | CIFAR100 | ImageNet
+	Classes int
+	InSize  int
+}
+
+// Fig3Registry returns the 19 network/dataset pairs of Figure 3. The
+// "ImageNet" networks run at 64×64 — scaled from 224×224 for CPU budgets —
+// which preserves the paper's contrast that the ImageNet group is the most
+// expensive.
+func Fig3Registry() []Fig3Entry {
+	cifar10 := []string{"alexnet", "densenet", "preresnet110", "resnet110", "resnext", "vgg19"}
+	labels10 := []string{"AlexNet", "DenseNet", "PreResNet-110", "ResNet-110", "ResNeXt", "VGG_19"}
+	imagenet := []string{"alexnet", "googlenet", "mobilenet", "resnet50", "shufflenet", "squeezenet", "vgg19"}
+	labelsIN := []string{"AlexNet", "GoogleNet", "MobileNet", "ResNet-50", "ShuffleNet", "SqueezeNet", "VGG_19"}
+
+	var out []Fig3Entry
+	for i, m := range cifar10 {
+		out = append(out, Fig3Entry{Model: m, Label: labels10[i], Dataset: "CIFAR10", Classes: 10, InSize: 32})
+	}
+	for i, m := range cifar10 {
+		out = append(out, Fig3Entry{Model: m, Label: labels10[i], Dataset: "CIFAR100", Classes: 100, InSize: 32})
+	}
+	for i, m := range imagenet {
+		out = append(out, Fig3Entry{Model: m, Label: labelsIN[i], Dataset: "ImageNet", Classes: 100, InSize: 64})
+	}
+	return out
+}
+
+// Fig4Models returns the six ImageNet-class networks of Figure 4, run at
+// 32×32 so that the 10⁴-trial injection campaigns stay within CPU budget.
+func Fig4Models() []string {
+	return []string{"alexnet", "googlenet", "resnet50", "shufflenet", "squeezenet", "vgg19"}
+}

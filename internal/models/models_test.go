@@ -1,0 +1,235 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+func TestBuildAllModelsForwardShape(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			m, err := Build(name, rng, 10, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := tensor.RandUniform(rng, -1, 1, 2, 3, 32, 32)
+			out := nn.Run(m, x)
+			if got := out.Shape(); got[0] != 2 || got[1] != 10 {
+				t.Fatalf("output shape %v, want [2 10]", got)
+			}
+			if out.CountNonFinite() != 0 {
+				t.Fatal("non-finite logits from fresh model")
+			}
+			if nn.ParamCount(m) == 0 {
+				t.Fatal("model has no parameters")
+			}
+		})
+	}
+}
+
+func TestBuildAt64(t *testing.T) {
+	// The "ImageNet" Figure 3 group runs at 64×64.
+	for _, name := range []string{"alexnet", "googlenet", "mobilenet", "resnet50", "shufflenet", "squeezenet", "vgg19"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2))
+			m, err := Build(name, rng, 100, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := nn.Run(m, tensor.New(1, 3, 64, 64))
+			if got := out.Shape(); got[0] != 1 || got[1] != 100 {
+				t.Fatalf("output shape %v, want [1 100]", got)
+			}
+		})
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Build("nosuchnet", rng, 10, 32); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if _, err := Build("alexnet", rng, 1, 32); err == nil {
+		t.Fatal("single class must error")
+	}
+	if _, err := Build("alexnet", rng, 10, 33); err == nil {
+		t.Fatal("non-multiple-of-8 size must error")
+	}
+	if _, err := Build("alexnet", rng, 10, 8); err == nil {
+		t.Fatal("too-small size must error")
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a, _ := Build("resnet18", rand.New(rand.NewSource(7)), 10, 32)
+	b, _ := Build("resnet18", rand.New(rand.NewSource(7)), 10, 32)
+	x := tensor.RandUniform(rand.New(rand.NewSource(8)), -1, 1, 1, 3, 32, 32)
+	if !nn.Run(a, x).Equal(nn.Run(b, x)) {
+		t.Fatal("same seed must build identical models")
+	}
+}
+
+func TestModelsProduceDistinctLogits(t *testing.T) {
+	// Logit rows for different inputs should differ (no degenerate
+	// constant networks).
+	rng := rand.New(rand.NewSource(9))
+	for _, name := range []string{"alexnet", "resnet18", "densenet", "googlenet"} {
+		m, err := Build(name, rng, 10, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := nn.Run(m, tensor.RandUniform(rng, -1, 1, 1, 3, 32, 32))
+		b := nn.Run(m, tensor.RandUniform(rng, -1, 1, 1, 3, 32, 32))
+		if a.AllClose(b, 1e-6) {
+			t.Fatalf("%s: identical logits for distinct inputs", name)
+		}
+	}
+}
+
+func TestConvLayerCounts(t *testing.T) {
+	// Architectural sanity: the 110-layer ResNets must actually contain
+	// 109 convolutions + stem (36 blocks × 2 convs + stem + downsamples),
+	// DenseNet must contain its dense-layer convs, etc.
+	countConvs := func(m nn.Layer) int {
+		n := 0
+		nn.Walk(m, func(_ string, l nn.Layer) {
+			if _, ok := l.(*nn.Conv2d); ok {
+				n++
+			}
+		})
+		return n
+	}
+	rng := rand.New(rand.NewSource(10))
+
+	tests := []struct {
+		model string
+		min   int
+	}{
+		{"resnet110", 109}, // 1 stem + 108 block convs (+2 downsample projections)
+		{"preresnet110", 109},
+		{"resnet50", 48},
+		{"resnet18", 17},
+		{"vgg19", 16},
+		{"densenet", 12},
+		{"googlenet", 20},
+		{"mobilenet", 15},
+	}
+	for _, tc := range tests {
+		m, err := Build(tc.model, rng, 10, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countConvs(m); got < tc.min {
+			t.Fatalf("%s has %d convs, want ≥ %d", tc.model, got, tc.min)
+		}
+	}
+}
+
+func TestFig3RegistryComplete(t *testing.T) {
+	entries := Fig3Registry()
+	if len(entries) != 19 {
+		t.Fatalf("Fig3Registry has %d entries, want 19 (as in the paper)", len(entries))
+	}
+	datasets := map[string]int{}
+	for _, e := range entries {
+		datasets[e.Dataset]++
+		if _, ok := registry[e.Model]; !ok {
+			t.Fatalf("Fig3 entry %q references unregistered model", e.Model)
+		}
+		if e.Dataset == "ImageNet" && e.InSize != 64 {
+			t.Fatalf("ImageNet entry %q at size %d, want 64", e.Label, e.InSize)
+		}
+	}
+	if datasets["CIFAR10"] != 6 || datasets["CIFAR100"] != 6 || datasets["ImageNet"] != 7 {
+		t.Fatalf("dataset distribution %v, want 6/6/7", datasets)
+	}
+}
+
+func TestFig4ModelsRegistered(t *testing.T) {
+	models := Fig4Models()
+	if len(models) != 6 {
+		t.Fatalf("Fig4Models has %d entries, want 6", len(models))
+	}
+	for _, m := range models {
+		if _, ok := registry[m]; !ok {
+			t.Fatalf("Fig4 model %q not registered", m)
+		}
+	}
+}
+
+func TestModelsTrainEvalModes(t *testing.T) {
+	// Models with BatchNorm must produce deterministic eval-mode output.
+	rng := rand.New(rand.NewSource(11))
+	m, err := Build("resnet18", rng, 10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn.SetTraining(m, false)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 32, 32)
+	a := nn.Run(m, x)
+	b := nn.Run(m, x)
+	if !a.Equal(b) {
+		t.Fatal("eval-mode inference not deterministic")
+	}
+}
+
+func TestBackwardThroughEveryModel(t *testing.T) {
+	// Every architecture must support a full backward pass (training
+	// use case D depends on it).
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(12))
+			m, err := Build(name, rng, 4, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nn.SetTraining(m, true)
+			x := tensor.RandUniform(rng, -1, 1, 2, 3, 32, 32)
+			out := nn.Run(m, x)
+			nn.ZeroGrads(m)
+			g := nn.RunBackward(m, tensor.Ones(out.Shape()...))
+			if g == nil || g.CountNonFinite() != 0 {
+				t.Fatal("backward produced nil or non-finite input gradient")
+			}
+			// At least one parameter must have received gradient.
+			var total float64
+			for _, p := range nn.AllParams(m) {
+				total += float64(p.Grad.AbsMax())
+			}
+			if total == 0 {
+				t.Fatal("no parameter gradients accumulated")
+			}
+		})
+	}
+}
+
+func TestMinSizeGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	if _, err := Build("vgg19", rng, 10, 16); err == nil {
+		t.Fatal("vgg19 at 16px must be rejected (five pools collapse the input)")
+	}
+	if _, err := Build("vgg11", rng, 10, 24); err == nil {
+		t.Fatal("vgg11 at 24px must be rejected")
+	}
+	if MinSize("vgg19") != 32 || MinSize("alexnet") != 16 {
+		t.Fatalf("MinSize values wrong: vgg19=%d alexnet=%d", MinSize("vgg19"), MinSize("alexnet"))
+	}
+	// Every non-VGG registry model must actually run at its minimum size.
+	for _, name := range Names() {
+		m, err := Build(name, rng, 4, MinSize(name))
+		if err != nil {
+			t.Fatalf("%s at its MinSize: %v", name, err)
+		}
+		out := nn.Run(m, tensor.New(1, 3, MinSize(name), MinSize(name)))
+		if out.Dim(1) != 4 {
+			t.Fatalf("%s at MinSize: output %v", name, out.Shape())
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/nn"
+)
+
+// basicBlock is the two-conv residual block of ResNet-18/34 and the CIFAR
+// ResNets: conv-BN-ReLU-conv-BN plus a shortcut, ReLU after the sum.
+func basicBlock(name string, rng *rand.Rand, in, out, stride int) nn.Layer {
+	body := nn.NewSequential(name+".body",
+		nn.NewConv2d(name+".conv1", rng, in, out, 3, nn.Conv2dConfig{Pad: 1, Stride: stride, NoBias: true}),
+		nn.NewBatchNorm2d(name+".bn1", out),
+		nn.NewReLU(name+".relu1"),
+		nn.NewConv2d(name+".conv2", rng, out, out, 3, nn.Conv2dConfig{Pad: 1, NoBias: true}),
+		nn.NewBatchNorm2d(name+".bn2", out),
+	)
+	var shortcut nn.Layer
+	if stride != 1 || in != out {
+		shortcut = nn.NewSequential(name+".down",
+			nn.NewConv2d(name+".downconv", rng, in, out, 1, nn.Conv2dConfig{Stride: stride, NoBias: true}),
+			nn.NewBatchNorm2d(name+".downbn", out),
+		)
+	}
+	return nn.NewResidual(name, body, shortcut, nn.NewReLU(name+".post"))
+}
+
+// preActBlock is the pre-activation variant (He et al. 2016b) used by
+// PreResNet: BN-ReLU-conv-BN-ReLU-conv with a clean identity shortcut and
+// no post-activation.
+func preActBlock(name string, rng *rand.Rand, in, out, stride int) nn.Layer {
+	body := nn.NewSequential(name+".body",
+		nn.NewBatchNorm2d(name+".bn1", in),
+		nn.NewReLU(name+".relu1"),
+		nn.NewConv2d(name+".conv1", rng, in, out, 3, nn.Conv2dConfig{Pad: 1, Stride: stride, NoBias: true}),
+		nn.NewBatchNorm2d(name+".bn2", out),
+		nn.NewReLU(name+".relu2"),
+		nn.NewConv2d(name+".conv2", rng, out, out, 3, nn.Conv2dConfig{Pad: 1, NoBias: true}),
+	)
+	var shortcut nn.Layer
+	if stride != 1 || in != out {
+		shortcut = nn.NewConv2d(name+".downconv", rng, in, out, 1, nn.Conv2dConfig{Stride: stride, NoBias: true})
+	}
+	return nn.NewResidual(name, body, shortcut, nil)
+}
+
+// bottleneck is the three-conv block of ResNet-50: 1×1 reduce, 3×3, 1×1
+// expand (×4), with optional grouped middle conv for ResNeXt (cardinality
+// = groups).
+func bottleneck(name string, rng *rand.Rand, in, mid, out, stride, groups int) nn.Layer {
+	body := nn.NewSequential(name+".body",
+		nn.NewConv2d(name+".conv1", rng, in, mid, 1, nn.Conv2dConfig{NoBias: true}),
+		nn.NewBatchNorm2d(name+".bn1", mid),
+		nn.NewReLU(name+".relu1"),
+		nn.NewConv2d(name+".conv2", rng, mid, mid, 3, nn.Conv2dConfig{Pad: 1, Stride: stride, Groups: groups, NoBias: true}),
+		nn.NewBatchNorm2d(name+".bn2", mid),
+		nn.NewReLU(name+".relu2"),
+		nn.NewConv2d(name+".conv3", rng, mid, out, 1, nn.Conv2dConfig{NoBias: true}),
+		nn.NewBatchNorm2d(name+".bn3", out),
+	)
+	var shortcut nn.Layer
+	if stride != 1 || in != out {
+		shortcut = nn.NewSequential(name+".down",
+			nn.NewConv2d(name+".downconv", rng, in, out, 1, nn.Conv2dConfig{Stride: stride, NoBias: true}),
+			nn.NewBatchNorm2d(name+".downbn", out),
+		)
+	}
+	return nn.NewResidual(name, body, shortcut, nn.NewReLU(name+".post"))
+}
+
+// classifierHead is the standard GAP → flatten → linear readout.
+func classifierHead(rng *rand.Rand, in, classes int) []nn.Layer {
+	return []nn.Layer{
+		nn.NewGlobalAvgPool2d("gap"),
+		nn.NewFlatten("flatten"),
+		nn.NewLinear("fc", rng, in, classes, true),
+	}
+}
+
+// ResNet18 is a width-scaled ResNet-18: four stages of two basic blocks.
+func ResNet18(rng *rand.Rand, classes, inSize int) nn.Layer {
+	net := nn.NewSequential("resnet18",
+		convBNReLU("stem", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1}),
+	)
+	widths := []int{16, 32, 64, 128}
+	in := 16
+	for s, w := range widths {
+		for b := 0; b < 2; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			net.Append(basicBlock(fmt.Sprintf("stage%d.block%d", s+1, b+1), rng, in, w, stride))
+			in = w
+		}
+	}
+	net.Append(classifierHead(rng, in, classes)...)
+	return net
+}
+
+// ResNet50 is a width-scaled ResNet-50: stages of [3,4,6,3] bottleneck
+// blocks with 4× expansion.
+func ResNet50(rng *rand.Rand, classes, inSize int) nn.Layer {
+	net := nn.NewSequential("resnet50",
+		convBNReLU("stem", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1}),
+	)
+	mids := []int{8, 16, 32, 64}
+	depths := []int{3, 4, 6, 3}
+	in := 16
+	for s := range mids {
+		out := mids[s] * 4
+		for b := 0; b < depths[s]; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			net.Append(bottleneck(fmt.Sprintf("stage%d.block%d", s+1, b+1), rng, in, mids[s], out, stride, 1))
+			in = out
+		}
+	}
+	net.Append(classifierHead(rng, in, classes)...)
+	return net
+}
+
+// cifarResNet builds the classic CIFAR ResNet family (depth = 6n+2) with
+// three stages of n basic blocks at widths 16/32/64.
+func cifarResNet(name string, rng *rand.Rand, n, classes int, preAct bool) nn.Layer {
+	net := nn.NewSequential(name)
+	if preAct {
+		net.Append(nn.NewConv2d("stem", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1, NoBias: true}))
+	} else {
+		net.Append(convBNReLU("stem", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1}))
+	}
+	widths := []int{16, 32, 64}
+	in := 16
+	for s, w := range widths {
+		for b := 0; b < n; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			blockName := fmt.Sprintf("stage%d.block%d", s+1, b+1)
+			if preAct {
+				net.Append(preActBlock(blockName, rng, in, w, stride))
+			} else {
+				net.Append(basicBlock(blockName, rng, in, w, stride))
+			}
+			in = w
+		}
+	}
+	if preAct {
+		net.Append(nn.NewBatchNorm2d("finalbn", in), nn.NewReLU("finalrelu"))
+	}
+	net.Append(classifierHead(rng, in, classes)...)
+	return net
+}
+
+// ResNet110 is the 110-layer CIFAR ResNet (n = 18 basic blocks per stage).
+func ResNet110(rng *rand.Rand, classes, inSize int) nn.Layer {
+	return cifarResNet("resnet110", rng, 18, classes, false)
+}
+
+// PreResNet110 is the 110-layer pre-activation CIFAR ResNet.
+func PreResNet110(rng *rand.Rand, classes, inSize int) nn.Layer {
+	return cifarResNet("preresnet110", rng, 18, classes, true)
+}
+
+// ResNeXt is a width-scaled CIFAR ResNeXt: three stages of three grouped
+// bottleneck blocks with cardinality 4.
+func ResNeXt(rng *rand.Rand, classes, inSize int) nn.Layer {
+	net := nn.NewSequential("resnext",
+		convBNReLU("stem", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1}),
+	)
+	mids := []int{16, 32, 64}
+	in := 16
+	for s := range mids {
+		out := mids[s] * 2
+		for b := 0; b < 3; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			net.Append(bottleneck(fmt.Sprintf("stage%d.block%d", s+1, b+1), rng, in, mids[s], out, stride, 4))
+			in = out
+		}
+	}
+	net.Append(classifierHead(rng, in, classes)...)
+	return net
+}
+
+// ResNet34 is a width-scaled ResNet-34: four stages of [3,4,6,3] basic
+// blocks.
+func ResNet34(rng *rand.Rand, classes, inSize int) nn.Layer {
+	net := nn.NewSequential("resnet34",
+		convBNReLU("stem", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1}),
+	)
+	widths := []int{16, 32, 64, 128}
+	depths := []int{3, 4, 6, 3}
+	in := 16
+	for s, w := range widths {
+		for b := 0; b < depths[s]; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			net.Append(basicBlock(fmt.Sprintf("stage%d.block%d", s+1, b+1), rng, in, w, stride))
+			in = w
+		}
+	}
+	net.Append(classifierHead(rng, in, classes)...)
+	return net
+}
+
+// WideResNet is a WRN-16-2-style CIFAR network: three stages of two
+// basic blocks at doubled widths (32/64/128), trading depth for width.
+func WideResNet(rng *rand.Rand, classes, inSize int) nn.Layer {
+	net := nn.NewSequential("wideresnet",
+		convBNReLU("stem", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1}),
+	)
+	widths := []int{32, 64, 128}
+	in := 16
+	for s, w := range widths {
+		for b := 0; b < 2; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			net.Append(basicBlock(fmt.Sprintf("stage%d.block%d", s+1, b+1), rng, in, w, stride))
+			in = w
+		}
+	}
+	net.Append(classifierHead(rng, in, classes)...)
+	return net
+}

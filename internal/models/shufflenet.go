@@ -1,0 +1,51 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/nn"
+)
+
+// shuffleUnit is ShuffleNet's residual unit: grouped 1×1 conv → channel
+// shuffle → depthwise 3×3 → grouped 1×1 conv, with an identity shortcut
+// and ReLU after the sum.
+func shuffleUnit(name string, rng *rand.Rand, channels, groups int) nn.Layer {
+	mid := channels / 2
+	if mid%groups != 0 {
+		mid = groups // keep grouped convs legal for tiny widths
+	}
+	body := nn.NewSequential(name+".body",
+		nn.NewConv2d(name+".gconv1", rng, channels, mid, 1, nn.Conv2dConfig{Groups: groups, NoBias: true}),
+		nn.NewBatchNorm2d(name+".bn1", mid),
+		nn.NewReLU(name+".relu1"),
+		nn.NewChannelShuffle(name+".shuffle", groups),
+		nn.NewConv2d(name+".dw", rng, mid, mid, 3, nn.Conv2dConfig{Pad: 1, Groups: mid, NoBias: true}),
+		nn.NewBatchNorm2d(name+".bn2", mid),
+		nn.NewConv2d(name+".gconv2", rng, mid, channels, 1, nn.Conv2dConfig{Groups: groups, NoBias: true}),
+		nn.NewBatchNorm2d(name+".bn3", channels),
+	)
+	return nn.NewResidual(name, body, nil, nn.NewReLU(name+".post"))
+}
+
+// ShuffleNet is a width-scaled ShuffleNet: three stages, each opened by a
+// downsampling conv and followed by two grouped-shuffle residual units.
+func ShuffleNet(rng *rand.Rand, classes, inSize int) nn.Layer {
+	const groups = 2
+	net := nn.NewSequential("shufflenet",
+		convBNReLU("stem", rng, 3, 16, 3, nn.Conv2dConfig{Pad: 1}),
+	)
+	widths := []int{16, 32, 64}
+	in := 16
+	for s, w := range widths {
+		if s > 0 {
+			net.Append(convBNReLU(fmt.Sprintf("stage%d.down", s+1), rng, in, w, 3, nn.Conv2dConfig{Pad: 1, Stride: 2}))
+			in = w
+		}
+		for u := 0; u < 2; u++ {
+			net.Append(shuffleUnit(fmt.Sprintf("stage%d.unit%d", s+1, u+1), rng, in, groups))
+		}
+	}
+	net.Append(classifierHead(rng, in, classes)...)
+	return net
+}

@@ -1,0 +1,58 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/nn"
+)
+
+// fire is SqueezeNet's fire module: a 1×1 squeeze convolution feeding a
+// concatenation of 1×1 and 3×3 expand convolutions. Unlike the original,
+// each convolution is batch-normalized: at the small widths and learning
+// rates used here the raw module suffers dying ReLUs, and BN keeps the
+// topology trainable without changing its branching structure.
+func fire(name string, rng *rand.Rand, in, squeeze, expand int) nn.Layer {
+	return nn.NewSequential(name,
+		convBNReLU(name+".squeeze", rng, in, squeeze, 1, nn.Conv2dConfig{}),
+		nn.NewConcat(name+".expand",
+			convBNReLU(name+".e1", rng, squeeze, expand, 1, nn.Conv2dConfig{}),
+			convBNReLU(name+".e3", rng, squeeze, expand, 3, nn.Conv2dConfig{Pad: 1}),
+		),
+	)
+}
+
+// SqueezeNet is a width-scaled SqueezeNet: a stem, six fire modules in
+// pooled stages, and a fully-convolutional classifier head (1×1 conv to
+// class channels followed by global average pooling).
+func SqueezeNet(rng *rand.Rand, classes, inSize int) nn.Layer {
+	net := nn.NewSequential("squeezenet",
+		convBNReLU("stem", rng, 3, 24, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewMaxPool2d("pool1", 2, 0, 0),
+	)
+	type f struct{ squeeze, expand int }
+	stage1 := []f{{4, 8}, {4, 8}}   // out 16 each
+	stage2 := []f{{8, 16}, {8, 16}} // out 32 each
+	stage3 := []f{{12, 24}, {12, 24}}
+	in := 24
+	idx := 0
+	for s, stage := range [][]f{stage1, stage2, stage3} {
+		if s > 0 {
+			net.Append(nn.NewMaxPool2d(fmt.Sprintf("pool%d", s+1), 2, 0, 0))
+		}
+		for _, spec := range stage {
+			idx++
+			net.Append(fire(fmt.Sprintf("fire%d", idx), rng, in, spec.squeeze, spec.expand))
+			in = spec.expand * 2
+		}
+	}
+	// The original SqueezeNet places a ReLU after the classifier conv;
+	// that constrains logits to be non-negative and stalls cross-entropy
+	// training at small scale, so the head here emits raw logits.
+	net.Append(
+		nn.NewConv2d("classconv", rng, in, classes, 1, nn.Conv2dConfig{}),
+		nn.NewGlobalAvgPool2d("gap"),
+		nn.NewFlatten("flatten"),
+	)
+	return net
+}

@@ -1,0 +1,55 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/nn"
+)
+
+// vggPool is the sentinel for a max-pool position in a VGG configuration.
+const vggPool = -1
+
+// buildVGG assembles a VGG-style plain stack from a width configuration
+// (channel counts interleaved with vggPool markers), ending in global
+// average pooling and a linear classifier so any input size works.
+func buildVGG(name string, rng *rand.Rand, cfg []int, classes int) nn.Layer {
+	net := nn.NewSequential(name)
+	in := 3
+	conv, pool := 0, 0
+	for _, c := range cfg {
+		if c == vggPool {
+			pool++
+			net.Append(nn.NewMaxPool2d(fmt.Sprintf("pool%d", pool), 2, 0, 0))
+			continue
+		}
+		conv++
+		net.Append(convBNReLU(fmt.Sprintf("block%d", conv), rng, in, c, 3, nn.Conv2dConfig{Pad: 1}))
+		in = c
+	}
+	net.Append(
+		nn.NewGlobalAvgPool2d("gap"),
+		nn.NewFlatten("flatten"),
+		nn.NewLinear("fc", rng, in, classes, true),
+	)
+	return net
+}
+
+// VGG11 is a width-scaled VGG-11: 8 convolutions in 5 pooled stages.
+func VGG11(rng *rand.Rand, classes, inSize int) nn.Layer {
+	cfg := []int{16, vggPool, 32, vggPool, 64, 64, vggPool, 128, 128, vggPool, 128, 128, vggPool}
+	return buildVGG("vgg11", rng, cfg, classes)
+}
+
+// VGG19 is a width-scaled VGG-19: 16 convolutions in 5 pooled stages, the
+// deepest plain (non-residual) network in the paper's Figure 3/4 suites.
+func VGG19(rng *rand.Rand, classes, inSize int) nn.Layer {
+	cfg := []int{
+		16, 16, vggPool,
+		32, 32, vggPool,
+		64, 64, 64, 64, vggPool,
+		128, 128, 128, 128, vggPool,
+		128, 128, 128, 128, vggPool,
+	}
+	return buildVGG("vgg19", rng, cfg, classes)
+}

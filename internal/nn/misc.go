@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/tensor"
+)
+
+// Flatten reshapes [N, ...] to [N, rest], bridging convolutional features
+// to fully-connected heads.
+type Flatten struct {
+	Base
+
+	lastInShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten returns a flattening layer.
+func NewFlatten(name string) *Flatten { return &Flatten{Base: NewBase(name)} }
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.lastInShape = x.Shape()
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(l.lastInShape...)
+}
+
+// Identity passes its input through unchanged. It is the shortcut branch
+// of residual blocks and the pass-through branch of dense blocks.
+type Identity struct {
+	Base
+}
+
+var _ Layer = (*Identity)(nil)
+
+// NewIdentity returns an identity layer.
+func NewIdentity(name string) *Identity { return &Identity{Base: NewBase(name)} }
+
+// Params implements Layer.
+func (l *Identity) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Identity) Forward(x *tensor.Tensor) *tensor.Tensor { return x }
+
+// Backward implements Layer.
+func (l *Identity) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// Dropout zeroes elements with probability P during training, scaling the
+// survivors by 1/(1-P) (inverted dropout); in evaluation mode it is the
+// identity.
+type Dropout struct {
+	Base
+	P float32
+
+	rng      *rand.Rand
+	lastMask []bool
+}
+
+var _ Layer = (*Dropout)(nil)
+var _ TrainAware = (*Dropout)(nil)
+
+// NewDropout returns a dropout layer driven by rng.
+func NewDropout(name string, rng *rand.Rand, p float32) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: Dropout probability %g outside [0,1)", p))
+	}
+	return &Dropout{Base: NewBase(name), P: p, rng: rng}
+}
+
+// Params implements Layer.
+func (l *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if !l.Training() || l.P == 0 {
+		l.lastMask = nil
+		return x
+	}
+	out := tensor.New(x.Shape()...)
+	l.lastMask = make([]bool, x.Len())
+	scale := 1 / (1 - l.P)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if l.rng.Float32() >= l.P {
+			l.lastMask[i] = true
+			od[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.lastMask == nil {
+		return grad
+	}
+	out := tensor.New(grad.Shape()...)
+	scale := 1 / (1 - l.P)
+	gd, od := grad.Data(), out.Data()
+	for i, keep := range l.lastMask {
+		if keep {
+			od[i] = gd[i] * scale
+		}
+	}
+	return out
+}
+
+// ChannelShuffle permutes channels across groups (ShuffleNet).
+type ChannelShuffle struct {
+	Base
+	Groups int
+}
+
+var _ Layer = (*ChannelShuffle)(nil)
+
+// NewChannelShuffle returns a channel-shuffle layer.
+func NewChannelShuffle(name string, groups int) *ChannelShuffle {
+	return &ChannelShuffle{Base: NewBase(name), Groups: groups}
+}
+
+// Params implements Layer.
+func (l *ChannelShuffle) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *ChannelShuffle) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.ShuffleChannels(x, l.Groups)
+}
+
+// Backward implements Layer.
+func (l *ChannelShuffle) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.UnshuffleChannels(grad, l.Groups)
+}
+
+// PerturbFunc mutates a layer output in place; the ablation alternative to
+// hooks (see PerturbLayer).
+type PerturbFunc func(out *tensor.Tensor)
+
+// PerturbLayer is the design alternative PyTorchFI §III-A rejects: an
+// explicit pass-through layer interposed after every convolution that
+// applies perturbations. GoFI implements it for the hook-vs-layer ablation
+// benchmark. Fn == nil makes it a pure pass-through (the "no faults armed"
+// cost).
+type PerturbLayer struct {
+	Base
+	Fn PerturbFunc
+}
+
+var _ Layer = (*PerturbLayer)(nil)
+
+// NewPerturbLayer returns an interposed perturbation layer.
+func NewPerturbLayer(name string, fn PerturbFunc) *PerturbLayer {
+	return &PerturbLayer{Base: NewBase(name), Fn: fn}
+}
+
+// Params implements Layer.
+func (l *PerturbLayer) Params() []*Param { return nil }
+
+// Forward implements Layer. It clones the input so the perturbation never
+// aliases the previous layer's cached output.
+func (l *PerturbLayer) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if l.Fn == nil {
+		return x
+	}
+	out := x.Clone()
+	l.Fn(out)
+	return out
+}
+
+// Backward implements Layer (perturbations are treated as constants).
+func (l *PerturbLayer) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }

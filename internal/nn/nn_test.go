@@ -1,0 +1,365 @@
+package nn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gofi/internal/tensor"
+)
+
+func tinyCNN(t testing.TB, rng *rand.Rand) *Sequential {
+	t.Helper()
+	return NewSequential("net",
+		NewConv2d("conv1", rng, 1, 4, 3, Conv2dConfig{Pad: 1}),
+		NewReLU("relu1"),
+		NewMaxPool2d("pool1", 2, 0, 0),
+		NewConv2d("conv2", rng, 4, 8, 3, Conv2dConfig{Pad: 1}),
+		NewReLU("relu2"),
+		NewGlobalAvgPool2d("gap"),
+		NewFlatten("flatten"),
+		NewLinear("fc", rng, 8, 3, true),
+	)
+}
+
+func TestSequentialForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := tinyCNN(t, rng)
+	x := tensor.RandUniform(rng, -1, 1, 2, 1, 8, 8)
+	out := Run(net, x)
+	if got := out.Shape(); got[0] != 2 || got[1] != 3 {
+		t.Fatalf("output shape %v, want [2 3]", got)
+	}
+}
+
+func TestForwardHookObservesEveryLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := tinyCNN(t, rng)
+	var seen []string
+	Walk(net, func(path string, l Layer) {
+		if c, ok := l.(*Conv2d); ok {
+			c.RegisterForwardHook(func(l Layer, in, out *tensor.Tensor) {
+				seen = append(seen, l.Name())
+			})
+		}
+	})
+	Run(net, tensor.New(1, 1, 8, 8))
+	if len(seen) != 2 || seen[0] != "conv1" || seen[1] != "conv2" {
+		t.Fatalf("hook firing order = %v", seen)
+	}
+}
+
+func TestForwardHookMutatesOutput(t *testing.T) {
+	// The core PyTorchFI mechanism: a hook that mutates the layer output
+	// in place must change the downstream computation.
+	rng := rand.New(rand.NewSource(3))
+	net := tinyCNN(t, rng)
+	x := tensor.RandUniform(rng, -1, 1, 1, 1, 8, 8)
+	clean := Run(net, x).Clone()
+
+	var conv2 *Conv2d
+	Walk(net, func(_ string, l Layer) {
+		if c, ok := l.(*Conv2d); ok && c.Name() == "conv2" {
+			conv2 = c
+		}
+	})
+	h := conv2.RegisterForwardHook(func(_ Layer, _, out *tensor.Tensor) {
+		out.Fill(1000)
+	})
+	perturbed := Run(net, x)
+	if perturbed.AllClose(clean, 1e-6) {
+		t.Fatal("hook mutation did not propagate")
+	}
+
+	// Removing the hook restores baseline behaviour exactly.
+	h.Remove()
+	restored := Run(net, x)
+	if !restored.Equal(clean) {
+		t.Fatal("output after hook removal differs from baseline")
+	}
+}
+
+func TestHookRemoveTwiceIsNoop(t *testing.T) {
+	l := NewReLU("r")
+	h := l.RegisterForwardHook(func(Layer, *tensor.Tensor, *tensor.Tensor) {})
+	h.Remove()
+	h.Remove()
+	if l.HookCount() != 0 {
+		t.Fatalf("HookCount = %d", l.HookCount())
+	}
+	var zero HookHandle
+	zero.Remove() // zero-value handle must not panic
+}
+
+func TestMultipleHooksFireInOrder(t *testing.T) {
+	l := NewReLU("r")
+	var order []int
+	l.RegisterForwardHook(func(Layer, *tensor.Tensor, *tensor.Tensor) { order = append(order, 1) })
+	h2 := l.RegisterForwardHook(func(Layer, *tensor.Tensor, *tensor.Tensor) { order = append(order, 2) })
+	l.RegisterForwardHook(func(Layer, *tensor.Tensor, *tensor.Tensor) { order = append(order, 3) })
+	Run(l, tensor.New(1, 1, 1, 1))
+	if len(order) != 3 || order[0] != 1 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	h2.Remove()
+	order = nil
+	Run(l, tensor.New(1, 1, 1, 1))
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("after removal order = %v", order)
+	}
+}
+
+func TestBackwardHookCapturesGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewSequential("net",
+		NewConv2d("c", rng, 1, 2, 1, Conv2dConfig{}),
+		NewFlatten("f"),
+		NewLinear("fc", rng, 2*2*2, 2, true),
+	)
+	var captured *tensor.Tensor
+	Walk(net, func(_ string, l Layer) {
+		if c, ok := l.(*Conv2d); ok {
+			c.RegisterBackwardHook(func(_ Layer, g *tensor.Tensor) {
+				captured = g.Clone()
+			})
+		}
+	})
+	out := Run(net, tensor.RandUniform(rng, -1, 1, 1, 1, 2, 2))
+	RunBackward(net, tensor.Ones(out.Shape()...))
+	if captured == nil {
+		t.Fatal("backward hook never fired")
+	}
+	want := []int{1, 2, 2, 2}
+	got := captured.Shape()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("captured gradient shape %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWalkPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := tinyCNN(t, rng)
+	var paths []string
+	Walk(net, func(path string, _ Layer) { paths = append(paths, path) })
+	if paths[0] != "net" {
+		t.Fatalf("root path = %q", paths[0])
+	}
+	joined := strings.Join(paths, ",")
+	for _, want := range []string{"net.conv1", "net.relu2", "net.fc"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing path %q in %v", want, paths)
+		}
+	}
+}
+
+func TestAllParamsAndZeroGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := tinyCNN(t, rng)
+	ps := AllParams(net)
+	// conv1 w+b, conv2 w+b, fc w+b
+	if len(ps) != 6 {
+		t.Fatalf("param count = %d, want 6", len(ps))
+	}
+	ps[0].Grad.Fill(5)
+	ZeroGrads(net)
+	if ps[0].Grad.Sum() != 0 {
+		t.Fatal("ZeroGrads did not zero")
+	}
+	if ParamCount(net) == 0 {
+		t.Fatal("ParamCount = 0")
+	}
+}
+
+func TestShareParams(t *testing.T) {
+	rngA := rand.New(rand.NewSource(7))
+	rngB := rand.New(rand.NewSource(8))
+	a := tinyCNN(t, rngA)
+	b := tinyCNN(t, rngB)
+	x := tensor.RandUniform(rand.New(rand.NewSource(9)), -1, 1, 1, 1, 8, 8)
+	if Run(a, x).AllClose(Run(b, x), 1e-6) {
+		t.Fatal("differently-initialized nets should differ")
+	}
+	if err := ShareParams(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if !Run(a, x).Equal(Run(b, x)) {
+		t.Fatal("shared-parameter nets must agree")
+	}
+	// Mutating a's weights must affect b (shared storage).
+	AllParams(a)[0].Data.Fill(0.1)
+	if !Run(a, x).Equal(Run(b, x)) {
+		t.Fatal("parameter mutation did not propagate to sharing net")
+	}
+}
+
+func TestShareParamsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := tinyCNN(t, rng)
+	b := NewSequential("other", NewLinear("fc", rng, 4, 2, true))
+	if err := ShareParams(b, a); err == nil {
+		t.Fatal("expected error for architecture mismatch")
+	}
+}
+
+func TestCopyParams(t *testing.T) {
+	rngA := rand.New(rand.NewSource(11))
+	rngB := rand.New(rand.NewSource(12))
+	a := tinyCNN(t, rngA)
+	b := tinyCNN(t, rngB)
+	if err := CopyParams(b, a); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandUniform(rand.New(rand.NewSource(13)), -1, 1, 1, 1, 8, 8)
+	if !Run(a, x).Equal(Run(b, x)) {
+		t.Fatal("copied nets must agree")
+	}
+	// Copy is deep: mutating a must NOT affect b.
+	AllParams(a)[0].Data.Fill(9)
+	if Run(a, x).Equal(Run(b, x)) {
+		t.Fatal("CopyParams must not share storage")
+	}
+}
+
+func TestSetTrainingPropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	net := NewSequential("net",
+		NewConv2d("c", rng, 1, 2, 3, Conv2dConfig{Pad: 1}),
+		NewBatchNorm2d("bn", 2),
+		NewDropout("drop", rng, 0.5),
+	)
+	SetTraining(net, true)
+	found := 0
+	Walk(net, func(_ string, l Layer) {
+		switch v := l.(type) {
+		case *BatchNorm2d:
+			if !v.Training() {
+				t.Fatal("BatchNorm2d not in training mode")
+			}
+			found++
+		case *Dropout:
+			if !v.Training() {
+				t.Fatal("Dropout not in training mode")
+			}
+			found++
+		}
+	})
+	if found != 2 {
+		t.Fatalf("found %d train-aware layers, want 2", found)
+	}
+	SetTraining(net, false)
+	Walk(net, func(_ string, l Layer) {
+		if v, ok := l.(*Dropout); ok && v.Training() {
+			t.Fatal("SetTraining(false) did not propagate")
+		}
+	})
+}
+
+func TestShareParamsCarriesBatchNormStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	build := func(r *rand.Rand) *Sequential {
+		return NewSequential("bnnet",
+			NewConv2d("c", r, 3, 4, 3, Conv2dConfig{Pad: 1, NoBias: true}),
+			NewBatchNorm2d("bn", 4),
+			NewReLU("r"),
+		)
+	}
+	a := build(rng)
+	// Populate a's running stats with training batches.
+	SetTraining(a, true)
+	for i := 0; i < 10; i++ {
+		Run(a, tensor.RandNormal(rand.New(rand.NewSource(int64(i))), 3, 2, 4, 3, 8, 8))
+	}
+	SetTraining(a, false)
+
+	b := build(rand.New(rand.NewSource(21)))
+	if err := ShareParams(b, a); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandUniform(rand.New(rand.NewSource(22)), -1, 1, 1, 3, 8, 8)
+	if !Run(a, x).Equal(Run(b, x)) {
+		t.Fatal("replica with shared params+stats must match exactly in eval mode")
+	}
+
+	c := build(rand.New(rand.NewSource(23)))
+	if err := CopyParams(c, a); err != nil {
+		t.Fatal(err)
+	}
+	if !Run(a, x).Equal(Run(c, x)) {
+		t.Fatal("copied replica must match in eval mode")
+	}
+}
+
+func TestJoinPathCollapsesContext(t *testing.T) {
+	tests := []struct {
+		parent, child, want string
+	}{
+		{"net", "conv1", "net.conv1"},
+		{"a.b.c", "b.c.d", "a.b.c.d"},
+		{"a.b.c.x", "b.c.d", "a.b.c.x.d"},
+		{"densenet.block1.layer1.branch", "block1.layer1.conv", "densenet.block1.layer1.branch.conv"},
+		{"net", "net.fc", "net.fc"},
+		{"a", "b.c", "a.b.c"},
+	}
+	for _, tc := range tests {
+		if got := joinPath(tc.parent, tc.child); got != tc.want {
+			t.Fatalf("joinPath(%q, %q) = %q, want %q", tc.parent, tc.child, got, tc.want)
+		}
+	}
+}
+
+func TestWalkSynthesizesNamesForAnonymousLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	net := NewSequential("", // anonymous root
+		NewReLU(""), // anonymous child
+		NewConv2d("named", rng, 1, 1, 1, Conv2dConfig{}),
+	)
+	var paths []string
+	Walk(net, func(p string, _ Layer) { paths = append(paths, p) })
+	if len(paths) != 3 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if !strings.Contains(paths[1], "#0") {
+		t.Fatalf("anonymous child path %q lacks positional name", paths[1])
+	}
+	if !strings.HasSuffix(paths[2], ".named") {
+		t.Fatalf("named child path %q", paths[2])
+	}
+}
+
+func TestForwardPreHookFiresBeforeLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	l := NewConv2d("c", rng, 1, 1, 1, Conv2dConfig{})
+	l.Weight().Data.Fill(1)
+	l.Bias().Data.Fill(0)
+
+	var order []string
+	l.RegisterForwardPreHook(func(_ Layer, in *tensor.Tensor) {
+		order = append(order, "pre")
+		in.Fill(3) // mutate the input before the layer computes
+	})
+	l.RegisterForwardHook(func(_ Layer, _, out *tensor.Tensor) {
+		order = append(order, "post")
+	})
+	out := Run(l, tensor.Ones(1, 1, 2, 2))
+	if len(order) != 2 || order[0] != "pre" || order[1] != "post" {
+		t.Fatalf("hook order %v", order)
+	}
+	// 1x1 conv of all-3 input with unit weight: output is 3 everywhere.
+	if out.At(0, 0, 0, 0) != 3 {
+		t.Fatalf("pre-hook input mutation not visible: %g", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestForwardPreHookRemoval(t *testing.T) {
+	l := NewReLU("r")
+	calls := 0
+	h := l.RegisterForwardPreHook(func(Layer, *tensor.Tensor) { calls++ })
+	Run(l, tensor.New(1, 1))
+	h.Remove()
+	Run(l, tensor.New(1, 1))
+	if calls != 1 {
+		t.Fatalf("pre-hook calls = %d, want 1", calls)
+	}
+}

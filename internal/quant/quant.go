@@ -1,0 +1,88 @@
+// Package quant implements the symmetric INT8 neuron quantization used by
+// the paper's Figure 4 study: activations are mapped to signed 8-bit
+// integers with a per-layer scale calibrated from observed dynamic range,
+// and the single-bit-flip error model operates in the INT8 domain before
+// dequantizing back to float32.
+package quant
+
+import (
+	"fmt"
+
+	"gofi/internal/tensor"
+)
+
+// Scale is a symmetric INT8 quantization scale: real = q * Scale with q in
+// [-127, 127] (the -128 code is unused so the range is symmetric, the
+// common convention for accelerator inference).
+type Scale float32
+
+// CalibrateAbsMax returns the scale that maps the tensor's maximum
+// absolute value to code 127. A zero tensor calibrates to scale 1 so
+// quantization stays well-defined.
+func CalibrateAbsMax(t *tensor.Tensor) Scale {
+	m := t.AbsMax()
+	if m == 0 {
+		return 1
+	}
+	return Scale(m / 127)
+}
+
+// Quantize maps a real value to its INT8 code with round-to-nearest and
+// saturation.
+func (s Scale) Quantize(v float32) int8 {
+	if s <= 0 {
+		panic(fmt.Sprintf("quant: non-positive scale %g", float32(s)))
+	}
+	q := v / float32(s)
+	// Round half away from zero, then saturate.
+	var r int32
+	if q >= 0 {
+		r = int32(q + 0.5)
+	} else {
+		r = int32(q - 0.5)
+	}
+	if r > 127 {
+		r = 127
+	}
+	if r < -127 {
+		r = -127
+	}
+	return int8(r)
+}
+
+// Dequantize maps an INT8 code back to a real value.
+func (s Scale) Dequantize(q int8) float32 { return float32(q) * float32(s) }
+
+// RoundTrip quantizes and dequantizes v, emulating INT8 storage of an
+// activation.
+func (s Scale) RoundTrip(v float32) float32 { return s.Dequantize(s.Quantize(v)) }
+
+// FlipBit emulates a single-bit hardware fault in an INT8 activation:
+// v is quantized, bit [0,7] of the two's-complement code is flipped, and
+// the corrupted code is dequantized. Bit 7 is the sign bit. A flip that
+// produces the -128 code saturates to -127, keeping results on the
+// symmetric quantization grid.
+func (s Scale) FlipBit(v float32, bit int) float32 {
+	if bit < 0 || bit > 7 {
+		panic(fmt.Sprintf("quant: INT8 bit %d out of range [0,7]", bit))
+	}
+	q := s.Quantize(v)
+	q = int8(uint8(q) ^ (1 << uint(bit)))
+	if q == -128 {
+		q = -127
+	}
+	return s.Dequantize(q)
+}
+
+// QuantizeTensor round-trips every element of t in place, emulating a
+// layer whose activations are stored in INT8.
+func QuantizeTensor(t *tensor.Tensor, s Scale) {
+	d := t.Data()
+	for i, v := range d {
+		d[i] = s.RoundTrip(v)
+	}
+}
+
+// MaxError returns the worst-case absolute quantization error for scale s
+// within the representable range: half a quantization step.
+func (s Scale) MaxError() float32 { return float32(s) / 2 }

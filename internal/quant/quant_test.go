@@ -1,0 +1,175 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gofi/internal/tensor"
+)
+
+func TestCalibrateAbsMax(t *testing.T) {
+	x := tensor.FromSlice([]float32{-3, 1, 2}, 3)
+	s := CalibrateAbsMax(x)
+	if math.Abs(float64(s)-3.0/127) > 1e-7 {
+		t.Fatalf("scale = %g, want %g", float32(s), 3.0/127)
+	}
+	// Extremes map to ±127.
+	if q := s.Quantize(-3); q != -127 {
+		t.Fatalf("Quantize(-3) = %d, want -127", q)
+	}
+	if q := s.Quantize(3); q != 127 {
+		t.Fatalf("Quantize(3) = %d, want 127", q)
+	}
+}
+
+func TestCalibrateZeroTensor(t *testing.T) {
+	s := CalibrateAbsMax(tensor.New(4))
+	if s != 1 {
+		t.Fatalf("zero-tensor scale = %g, want 1", float32(s))
+	}
+	if s.Quantize(0) != 0 {
+		t.Fatal("Quantize(0) != 0")
+	}
+}
+
+func TestQuantizeKnownValues(t *testing.T) {
+	s := Scale(0.5)
+	tests := []struct {
+		v float32
+		q int8
+	}{
+		{0, 0},
+		{0.5, 1},
+		{-0.5, -1},
+		{0.24, 0},
+		{0.26, 1}, // rounds to nearest
+		{1000, 127},
+		{-1000, -127}, // saturation
+	}
+	for _, tc := range tests {
+		if got := s.Quantize(tc.v); got != tc.q {
+			t.Fatalf("Quantize(%g) = %d, want %d", tc.v, got, tc.q)
+		}
+	}
+}
+
+func TestQuantizeNonPositiveScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Scale(0).Quantize(1)
+}
+
+func TestFlipBitSign(t *testing.T) {
+	s := Scale(1)
+	// value 3 = code 3 = 0b00000011; flipping sign bit (7) gives
+	// 0b10000011 = -125 in two's complement.
+	if got := s.FlipBit(3, 7); got != -125 {
+		t.Fatalf("sign flip = %g, want -125", got)
+	}
+	// Flipping bit 0 of code 3 gives 2.
+	if got := s.FlipBit(3, 0); got != 2 {
+		t.Fatalf("bit0 flip = %g, want 2", got)
+	}
+	// Flipping bit 6 (the largest magnitude bit) of 0 gives 64.
+	if got := s.FlipBit(0, 6); got != 64 {
+		t.Fatalf("bit6 flip of 0 = %g, want 64", got)
+	}
+}
+
+func TestFlipBitOutOfRangePanics(t *testing.T) {
+	for _, bit := range []int{-1, 8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for bit %d", bit)
+				}
+			}()
+			Scale(1).FlipBit(1, bit)
+		}()
+	}
+}
+
+func TestQuantizeTensorBoundsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandUniform(rng, -5, 5, 1000)
+	s := CalibrateAbsMax(x)
+	orig := x.Clone()
+	QuantizeTensor(x, s)
+	maxErr := float64(s.MaxError())
+	for i := 0; i < x.Len(); i++ {
+		d := math.Abs(float64(x.AtFlat(i) - orig.AtFlat(i)))
+		if d > maxErr+1e-6 {
+			t.Fatalf("element %d: quantization error %g exceeds bound %g", i, d, maxErr)
+		}
+	}
+}
+
+// Property: quantize→dequantize error is bounded by half a step for any
+// in-range value.
+func TestRoundTripErrorBound_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := Scale(rng.Float32()*2 + 0.001)
+		v := (rng.Float32()*2 - 1) * float32(scale) * 127
+		r := scale.RoundTrip(v)
+		return math.Abs(float64(r-v)) <= float64(scale.MaxError())+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: round-trip is idempotent — quantizing an already-quantized
+// value changes nothing.
+func TestRoundTripIdempotent_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := Scale(rng.Float32() + 0.001)
+		v := (rng.Float32()*2 - 1) * 300
+		once := scale.RoundTrip(v)
+		return scale.RoundTrip(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FlipBit twice with the same bit restores the quantized value,
+// except when the first flip lands on the unrepresentable -128 code (which
+// saturates to -127 by design).
+func TestFlipBitInvolutionOnCodes_Property(t *testing.T) {
+	f := func(seed int64, bitSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := Scale(rng.Float32() + 0.001)
+		bit := int(bitSeed) % 8
+		v := scale.RoundTrip((rng.Float32()*2 - 1) * float32(scale) * 127)
+		if int8(uint8(scale.Quantize(v))^(1<<uint(bit))) == -128 {
+			// Saturated corner: flip produces -127 instead.
+			return scale.FlipBit(v, bit) == scale.Dequantize(-127)
+		}
+		flipped := scale.FlipBit(v, bit)
+		return scale.FlipBit(flipped, bit) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FlipBit output is always on the quantization grid.
+func TestFlipBitOnGrid_Property(t *testing.T) {
+	f := func(seed int64, bitSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := Scale(rng.Float32() + 0.001)
+		v := (rng.Float32()*2 - 1) * 500
+		out := scale.FlipBit(v, int(bitSeed)%8)
+		return scale.RoundTrip(out) == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

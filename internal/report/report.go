@@ -1,0 +1,176 @@
+// Package report renders experiment results as aligned text tables and
+// ASCII bar charts — the output format of every cmd/gofi-* harness, stand-
+// ins for the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	writeRow := func(row []string) {
+		var b strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	writeRow(t.header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Bar is one labelled value in a BarChart.
+type Bar struct {
+	Label string
+	Value float64
+	// Note is appended after the bar (e.g. a confidence interval).
+	Note string
+}
+
+// BarChart renders labelled horizontal ASCII bars scaled to the maximum
+// value, the text analogue of the paper's bar figures.
+type BarChart struct {
+	Title string
+	Unit  string
+	Width int // bar width in characters (default 40)
+	Bars  []Bar
+}
+
+// Add appends a bar.
+func (c *BarChart) Add(label string, value float64, note string) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value, Note: note})
+}
+
+// Render writes the chart to w.
+func (c *BarChart) Render(w io.Writer) {
+	width := c.Width
+	if width == 0 {
+		width = 40
+	}
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for _, b := range c.Bars {
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	for _, b := range c.Bars {
+		n := 0
+		if maxV > 0 {
+			n = int(b.Value / maxV * float64(width))
+		}
+		if n > width {
+			n = width
+		}
+		line := fmt.Sprintf("%-*s |%s%s %.4g%s", maxLabel, b.Label,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), b.Value, c.Unit)
+		if b.Note != "" {
+			line += "  " + b.Note
+		}
+		fmt.Fprintln(w, strings.TrimRight(line, " "))
+	}
+}
+
+// String renders the chart to a string.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}
+
+// Heatmap renders a [H,W]-shaped 2-D slice of values in [0,1] as ASCII
+// shading, used to visualize Grad-CAM maps in the terminal.
+func Heatmap(values [][]float64) string {
+	const shades = " .:-=+*#%@"
+	var b strings.Builder
+	for _, row := range values {
+		for _, v := range row {
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			idx := int(v * float64(len(shades)-1))
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Network", "Rate", "CI")
+	tb.AddRow("AlexNet", 0.0123456, "[0.01, 0.02]")
+	tb.AddRow("VGG", 0.5, "[0.4, 0.6]")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Network") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "0.01235") {
+		t.Fatalf("float formatting: %q", lines[2])
+	}
+	// Columns align: "Rate" column starts at the same offset in all rows.
+	col := strings.Index(lines[0], "Rate")
+	if !strings.HasPrefix(lines[2][col:], "0.01235") {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("A", "B")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "z") // extra cell beyond the header
+	out := tb.String()
+	if !strings.Contains(out, "only-one") || !strings.Contains(out, "z") {
+		t.Fatalf("ragged rows mishandled:\n%s", out)
+	}
+}
+
+func TestBarChartScaling(t *testing.T) {
+	c := &BarChart{Title: "demo", Unit: "s", Width: 10}
+	c.Add("full", 2.0, "")
+	c.Add("half", 1.0, "note")
+	out := c.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	fullHashes := strings.Count(lines[1], "#")
+	halfHashes := strings.Count(lines[2], "#")
+	if fullHashes != 10 || halfHashes != 5 {
+		t.Fatalf("bar scaling %d/%d, want 10/5:\n%s", fullHashes, halfHashes, out)
+	}
+	if !strings.Contains(lines[2], "note") {
+		t.Fatalf("missing note:\n%s", out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := &BarChart{}
+	c.Add("zero", 0, "")
+	out := c.String()
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero bar must be empty:\n%s", out)
+	}
+}
+
+func TestHeatmapShading(t *testing.T) {
+	out := Heatmap([][]float64{
+		{0, 0.5, 1},
+		{1.5, -0.2, 0.9}, // out-of-range values clamp
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 3 {
+		t.Fatalf("heatmap geometry:\n%q", out)
+	}
+	if lines[0][0] != ' ' || lines[0][2] != '@' {
+		t.Fatalf("shading endpoints: %q", lines[0])
+	}
+	if lines[1][0] != '@' || lines[1][1] != ' ' {
+		t.Fatalf("clamping: %q", lines[1])
+	}
+}

@@ -1,0 +1,144 @@
+// Package serialize persists model state — trained parameters and
+// batch-norm running statistics — so expensive trainings (the campaigns'
+// prerequisite) can be saved and reloaded across runs. The format is a
+// versioned gob stream keyed by parameter names and walk order, with shape
+// checking on load.
+package serialize
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"gofi/internal/nn"
+)
+
+// formatVersion guards against loading checkpoints written by an
+// incompatible release.
+const formatVersion = 1
+
+type checkpoint struct {
+	Version int
+	Params  []savedTensor
+	BNStats []savedBN
+}
+
+type savedTensor struct {
+	Name  string
+	Shape []int
+	Data  []float32
+}
+
+type savedBN struct {
+	Name                    string
+	RunningMean, RunningVar []float32
+}
+
+// Save writes the model's parameters and batch-norm statistics to w.
+func Save(w io.Writer, model nn.Layer) error {
+	ck := checkpoint{Version: formatVersion}
+	for _, p := range nn.AllParams(model) {
+		ck.Params = append(ck.Params, savedTensor{
+			Name:  p.Name,
+			Shape: p.Data.Shape(),
+			Data:  append([]float32(nil), p.Data.Data()...),
+		})
+	}
+	nn.Walk(model, func(path string, l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm2d); ok {
+			ck.BNStats = append(ck.BNStats, savedBN{
+				Name:        path,
+				RunningMean: append([]float32(nil), bn.RunningMean.Data()...),
+				RunningVar:  append([]float32(nil), bn.RunningVar.Data()...),
+			})
+		}
+	})
+	if err := gob.NewEncoder(w).Encode(ck); err != nil {
+		return fmt.Errorf("serialize: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint from r into the model. The model must have the
+// same architecture (parameter count, names in order, shapes) as the one
+// that was saved.
+func Load(r io.Reader, model nn.Layer) error {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("serialize: decode: %w", err)
+	}
+	if ck.Version != formatVersion {
+		return fmt.Errorf("serialize: checkpoint version %d, this build reads %d", ck.Version, formatVersion)
+	}
+	params := nn.AllParams(model)
+	if len(params) != len(ck.Params) {
+		return fmt.Errorf("serialize: checkpoint has %d parameters, model has %d", len(ck.Params), len(params))
+	}
+	for i, p := range params {
+		s := ck.Params[i]
+		if p.Name != s.Name {
+			return fmt.Errorf("serialize: parameter %d is %q in checkpoint but %q in model", i, s.Name, p.Name)
+		}
+		if !sameInts(p.Data.Shape(), s.Shape) {
+			return fmt.Errorf("serialize: parameter %q shape %v in checkpoint but %v in model", s.Name, s.Shape, p.Data.Shape())
+		}
+		copy(p.Data.Data(), s.Data)
+	}
+	var bns []*nn.BatchNorm2d
+	nn.Walk(model, func(_ string, l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm2d); ok {
+			bns = append(bns, bn)
+		}
+	})
+	if len(bns) != len(ck.BNStats) {
+		return fmt.Errorf("serialize: checkpoint has %d batch-norm layers, model has %d", len(ck.BNStats), len(bns))
+	}
+	for i, bn := range bns {
+		s := ck.BNStats[i]
+		if len(s.RunningMean) != bn.RunningMean.Len() || len(s.RunningVar) != bn.RunningVar.Len() {
+			return fmt.Errorf("serialize: batch-norm %q statistics length mismatch", s.Name)
+		}
+		copy(bn.RunningMean.Data(), s.RunningMean)
+		copy(bn.RunningVar.Data(), s.RunningVar)
+	}
+	return nil
+}
+
+// SaveFile writes a checkpoint to path (created or truncated).
+func SaveFile(path string, model nn.Layer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	defer f.Close()
+	if err := Save(f, model); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serialize: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a checkpoint from path into the model.
+func LoadFile(path string, model nn.Layer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("serialize: %w", err)
+	}
+	defer f.Close()
+	return Load(f, model)
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

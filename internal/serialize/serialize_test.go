@@ -1,0 +1,114 @@
+package serialize
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"gofi/internal/data"
+	"gofi/internal/models"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+	"gofi/internal/train"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rngA := rand.New(rand.NewSource(1))
+	a, err := models.Build("resnet18", rngA, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give a non-trivial state: a couple of training steps populate
+	// weights and batch-norm running statistics.
+	ds, _ := data.NewClassification(data.ClassificationConfig{Classes: 4, Channels: 3, Size: 16, Noise: 0.2, Seed: 2})
+	if _, err := train.Loop(a, ds, train.Config{Epochs: 1, BatchSize: 8, TrainSize: 32, LR: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := models.Build("resnet18", rand.New(rand.NewSource(99)), 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandUniform(rand.New(rand.NewSource(3)), -1, 1, 1, 3, 16, 16)
+	if nn.Run(a, x).Equal(nn.Run(b, x)) {
+		t.Fatal("fresh model should differ before load")
+	}
+	if err := Load(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	if !nn.Run(a, x).Equal(nn.Run(b, x)) {
+		t.Fatal("loaded model must reproduce the saved model exactly (incl. BN stats)")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	a, _ := models.Build("alexnet", rand.New(rand.NewSource(4)), 4, 16)
+	if err := SaveFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := models.Build("alexnet", rand.New(rand.NewSource(5)), 4, 16)
+	if err := LoadFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandUniform(rand.New(rand.NewSource(6)), -1, 1, 1, 3, 16, 16)
+	if !nn.Run(a, x).Equal(nn.Run(b, x)) {
+		t.Fatal("file round trip mismatch")
+	}
+	if err := LoadFile(filepath.Join(dir, "missing.ckpt"), b); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadArchitectureMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	a, _ := models.Build("alexnet", rand.New(rand.NewSource(7)), 4, 16)
+	if err := Save(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	// Different architecture: parameter count differs.
+	b, _ := models.Build("squeezenet", rand.New(rand.NewSource(8)), 4, 16)
+	if err := Load(&buf, b); err == nil {
+		t.Fatal("architecture mismatch must error")
+	}
+}
+
+func TestLoadShapeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	rng := rand.New(rand.NewSource(9))
+	a := nn.NewSequential("n", nn.NewLinear("fc", rng, 4, 2, true))
+	if err := Save(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b := nn.NewSequential("n", nn.NewLinear("fc", rng, 8, 2, true))
+	if err := Load(&buf, b); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestLoadNameMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	rng := rand.New(rand.NewSource(10))
+	a := nn.NewSequential("n", nn.NewLinear("fc", rng, 4, 2, true))
+	if err := Save(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b := nn.NewSequential("n", nn.NewLinear("head", rng, 4, 2, true))
+	if err := Load(&buf, b); err == nil {
+		t.Fatal("name mismatch must error")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	b, _ := models.Build("alexnet", rand.New(rand.NewSource(11)), 4, 16)
+	if err := Load(bytes.NewBufferString("not a checkpoint"), b); err == nil {
+		t.Fatal("garbage input must error")
+	}
+}

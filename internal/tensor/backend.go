@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers holds the number of goroutines heavy kernels (matmul, conv,
+// pooling) may fan out to. 1 means strictly serial execution. The value is
+// process-global because it models the execution platform (the paper's
+// CPU-vs-GPU axis), not a per-call option.
+var workers atomic.Int64
+
+func init() {
+	workers.Store(int64(runtime.NumCPU()))
+}
+
+// SetWorkers configures the kernel parallelism degree. n < 1 is clamped
+// to 1 (serial). It returns the previous setting so callers (benchmarks,
+// the Figure 3 harness) can restore it.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// Workers returns the current kernel parallelism degree.
+func Workers() int { return int(workers.Load()) }
+
+// parallelFor runs fn(i) for i in [0, n) using up to Workers() goroutines.
+// With Workers()==1 (or small n) it degrades to a plain loop, keeping the
+// serial backend free of goroutine overhead.
+func parallelFor(n int, fn func(i int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelForChunks splits [0, n) into contiguous chunks and runs
+// fn(lo, hi) per chunk. Preferred for kernels whose per-index work is tiny,
+// where per-index dispatch overhead would dominate.
+func parallelForChunks(n int, fn func(lo, hi int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

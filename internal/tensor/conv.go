@@ -1,0 +1,234 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes the geometry of a 2-D convolution.
+type ConvSpec struct {
+	StrideH, StrideW int
+	PadH, PadW       int
+	Groups           int
+}
+
+// Canon returns the spec with zero values replaced by their defaults
+// (stride 1, pad 0, groups 1).
+func (s ConvSpec) Canon() ConvSpec {
+	if s.StrideH == 0 {
+		s.StrideH = 1
+	}
+	if s.StrideW == 0 {
+		s.StrideW = 1
+	}
+	if s.Groups == 0 {
+		s.Groups = 1
+	}
+	return s
+}
+
+// OutSize returns the output spatial size for an input of size in with
+// kernel k under this spec (per dimension).
+func convOutSize(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}
+
+// ConvOutShape returns the output shape [N, Cout, OH, OW] for an input of
+// shape [N, C, H, W] and weight of shape [Cout, C/groups, KH, KW].
+func ConvOutShape(inShape, wShape []int, spec ConvSpec) []int {
+	spec = spec.Canon()
+	oh := convOutSize(inShape[2], wShape[2], spec.StrideH, spec.PadH)
+	ow := convOutSize(inShape[3], wShape[3], spec.StrideW, spec.PadW)
+	return []int{inShape[0], wShape[0], oh, ow}
+}
+
+func checkConvShapes(x, w, bias *Tensor, spec ConvSpec) ConvSpec {
+	spec = spec.Canon()
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2d input must be [N,C,H,W], got %v", x.shape))
+	}
+	if w.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2d weight must be [Cout,Cin/g,KH,KW], got %v", w.shape))
+	}
+	c := x.shape[1]
+	cout, cg := w.shape[0], w.shape[1]
+	if c%spec.Groups != 0 || cout%spec.Groups != 0 {
+		panic(fmt.Sprintf("tensor: Conv2d channels C=%d Cout=%d not divisible by groups=%d", c, cout, spec.Groups))
+	}
+	if cg != c/spec.Groups {
+		panic(fmt.Sprintf("tensor: Conv2d weight per-group channels %d != C/groups = %d", cg, c/spec.Groups))
+	}
+	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != cout) {
+		panic(fmt.Sprintf("tensor: Conv2d bias shape %v does not match Cout=%d", bias.shape, cout))
+	}
+	oh := convOutSize(x.shape[2], w.shape[2], spec.StrideH, spec.PadH)
+	ow := convOutSize(x.shape[3], w.shape[3], spec.StrideW, spec.PadW)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2d output size %dx%d not positive for input %v kernel %v spec %+v", oh, ow, x.shape, w.shape, spec))
+	}
+	return spec
+}
+
+// im2colInto unrolls one sample's group slice into col [Cg*KH*KW, OH*OW].
+// img is the [C, H, W] sample slice, cLo the first channel of the group.
+func im2colInto(col []float32, img []float32, c0, cg, h, wd, kh, kw, oh, ow int, spec ConvSpec) {
+	l := oh * ow
+	for c := 0; c < cg; c++ {
+		chImg := img[(c0+c)*h*wd : (c0+c+1)*h*wd]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := col[((c*kh+ky)*kw+kx)*l : ((c*kh+ky)*kw+kx+1)*l]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.StrideH - spec.PadH + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							row[oy*ow+ox] = 0
+						}
+						continue
+					}
+					base := iy * wd
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*spec.StrideW - spec.PadW + kx
+						if ix < 0 || ix >= wd {
+							row[oy*ow+ox] = 0
+						} else {
+							row[oy*ow+ox] = chImg[base+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2imAccInto scatter-adds a col gradient [Cg*KH*KW, OH*OW] back into
+// the img gradient slice [C, H, W] for one sample's group.
+func col2imAccInto(imgGrad []float32, col []float32, c0, cg, h, wd, kh, kw, oh, ow int, spec ConvSpec) {
+	l := oh * ow
+	for c := 0; c < cg; c++ {
+		chGrad := imgGrad[(c0+c)*h*wd : (c0+c+1)*h*wd]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := col[((c*kh+ky)*kw+kx)*l : ((c*kh+ky)*kw+kx+1)*l]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.StrideH - spec.PadH + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					base := iy * wd
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*spec.StrideW - spec.PadW + kx
+						if ix < 0 || ix >= wd {
+							continue
+						}
+						chGrad[base+ix] += row[oy*ow+ox]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2d computes a 2-D convolution (technically cross-correlation, as in
+// every deep-learning framework) of x [N,C,H,W] with weight
+// [Cout,C/groups,KH,KW] and optional bias [Cout], using im2col + GEMM.
+func Conv2d(x, w, bias *Tensor, spec ConvSpec) *Tensor {
+	spec = checkConvShapes(x, w, bias, spec)
+	n, c, h, wd := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	cout, cg, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+	oh := convOutSize(h, kh, spec.StrideH, spec.PadH)
+	ow := convOutSize(wd, kw, spec.StrideW, spec.PadW)
+	g := spec.Groups
+	coutG := cout / g
+	l := oh * ow
+	kdim := cg * kh * kw
+
+	out := New(n, cout, oh, ow)
+	col := make([]float32, kdim*l)
+	for s := 0; s < n; s++ {
+		img := x.data[s*c*h*wd : (s+1)*c*h*wd]
+		outImg := out.data[s*cout*l : (s+1)*cout*l]
+		for gi := 0; gi < g; gi++ {
+			im2colInto(col, img, gi*cg, cg, h, wd, kh, kw, oh, ow, spec)
+			wg := w.data[gi*coutG*kdim : (gi+1)*coutG*kdim]
+			og := outImg[gi*coutG*l : (gi+1)*coutG*l]
+			matMulInto(og, wg, col, coutG, kdim, l)
+		}
+		if bias != nil {
+			for oc := 0; oc < cout; oc++ {
+				b := bias.data[oc]
+				row := outImg[oc*l : (oc+1)*l]
+				for i := range row {
+					row[i] += b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2dGrads holds the result of Conv2dBackward.
+type Conv2dGrads struct {
+	Input  *Tensor // dL/dx, shape of x
+	Weight *Tensor // dL/dW, shape of w
+	Bias   *Tensor // dL/db, shape [Cout]; nil when bias was nil
+}
+
+// Conv2dBackward computes the gradients of a convolution given the
+// upstream gradient gradOut (shape of the forward output). Pass
+// needInput=false to skip the input-gradient computation for the first
+// layer of a network.
+func Conv2dBackward(x, w *Tensor, hasBias bool, gradOut *Tensor, spec ConvSpec, needInput bool) Conv2dGrads {
+	spec = checkConvShapes(x, w, nil, spec)
+	n, c, h, wd := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	cout, cg, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+	oh := convOutSize(h, kh, spec.StrideH, spec.PadH)
+	ow := convOutSize(wd, kw, spec.StrideW, spec.PadW)
+	if !sameShape(gradOut.shape, []int{n, cout, oh, ow}) {
+		panic(fmt.Sprintf("tensor: Conv2dBackward gradOut shape %v != expected %v", gradOut.shape, []int{n, cout, oh, ow}))
+	}
+	g := spec.Groups
+	coutG := cout / g
+	l := oh * ow
+	kdim := cg * kh * kw
+
+	grads := Conv2dGrads{Weight: New(w.shape...)}
+	if hasBias {
+		grads.Bias = New(cout)
+		for s := 0; s < n; s++ {
+			for oc := 0; oc < cout; oc++ {
+				row := gradOut.data[(s*cout+oc)*l : (s*cout+oc+1)*l]
+				var acc float32
+				for _, v := range row {
+					acc += v
+				}
+				grads.Bias.data[oc] += acc
+			}
+		}
+	}
+	if needInput {
+		grads.Input = New(x.shape...)
+	}
+
+	col := make([]float32, kdim*l)
+	colGrad := make([]float32, kdim*l)
+	for s := 0; s < n; s++ {
+		img := x.data[s*c*h*wd : (s+1)*c*h*wd]
+		gOutImg := gradOut.data[s*cout*l : (s+1)*cout*l]
+		for gi := 0; gi < g; gi++ {
+			im2colInto(col, img, gi*cg, cg, h, wd, kh, kw, oh, ow, spec)
+			wg := w.data[gi*coutG*kdim : (gi+1)*coutG*kdim]
+			gwg := grads.Weight.data[gi*coutG*kdim : (gi+1)*coutG*kdim]
+			gog := gOutImg[gi*coutG*l : (gi+1)*coutG*l]
+			// dW_g += gOut_g [coutG, l] × colᵀ [l, kdim]
+			matMulTransBInto(gwg, gog, col, coutG, l, kdim)
+			if needInput {
+				// colGrad = W_gᵀ [kdim, coutG] × gOut_g [coutG, l]
+				for i := range colGrad {
+					colGrad[i] = 0
+				}
+				matMulTransAInto(colGrad, wg, gog, coutG, kdim, l)
+				imgGrad := grads.Input.data[s*c*h*wd : (s+1)*c*h*wd]
+				col2imAccInto(imgGrad, colGrad, gi*cg, cg, h, wd, kh, kw, oh, ow, spec)
+			}
+		}
+	}
+	return grads
+}

@@ -1,0 +1,290 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveConv2d is a direct-loop reference convolution used to validate the
+// im2col+GEMM kernel.
+func naiveConv2d(x, w, bias *Tensor, spec ConvSpec) *Tensor {
+	spec = spec.Canon()
+	n, c, h, wd := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	cout, cg, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	g := spec.Groups
+	coutG := cout / g
+	oh := (h+2*spec.PadH-kh)/spec.StrideH + 1
+	ow := (wd+2*spec.PadW-kw)/spec.StrideW + 1
+	out := New(n, cout, oh, ow)
+	for s := 0; s < n; s++ {
+		for oc := 0; oc < cout; oc++ {
+			gi := oc / coutG
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var acc float32
+					for ic := 0; ic < cg; ic++ {
+						for ky := 0; ky < kh; ky++ {
+							for kx := 0; kx < kw; kx++ {
+								iy := oy*spec.StrideH - spec.PadH + ky
+								ix := ox*spec.StrideW - spec.PadW + kx
+								if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+									continue
+								}
+								acc += x.At(s, gi*cg+ic, iy, ix) * w.At(oc, ic, ky, kx)
+							}
+						}
+					}
+					if bias != nil {
+						acc += bias.At(oc)
+					}
+					out.Set(acc, s, oc, oy, ox)
+				}
+			}
+		}
+	}
+	_ = c
+	return out
+}
+
+func TestConv2dIdentityKernel(t *testing.T) {
+	// A 1x1 kernel of weight 1 is the identity for a single channel.
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	w := FromSlice([]float32{1}, 1, 1, 1, 1)
+	out := Conv2d(x, w, nil, ConvSpec{})
+	if !out.Equal(x) {
+		t.Fatalf("identity conv = %v", out)
+	}
+}
+
+func TestConv2dHandComputed(t *testing.T) {
+	// 3x3 input, 2x2 kernel, stride 1, no pad.
+	x := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	w := FromSlice([]float32{
+		1, 0,
+		0, -1,
+	}, 1, 1, 2, 2)
+	out := Conv2d(x, w, nil, ConvSpec{})
+	want := FromSlice([]float32{
+		1 - 5, 2 - 6,
+		4 - 8, 5 - 9,
+	}, 1, 1, 2, 2)
+	if !out.Equal(want) {
+		t.Fatalf("conv = %v, want %v", out, want)
+	}
+}
+
+func TestConv2dBias(t *testing.T) {
+	x := FromSlice([]float32{1, 1, 1, 1}, 1, 1, 2, 2)
+	w := FromSlice([]float32{1}, 1, 1, 1, 1)
+	b := FromSlice([]float32{10}, 1)
+	out := Conv2d(x, w, b, ConvSpec{})
+	if out.At(0, 0, 1, 1) != 11 {
+		t.Fatalf("conv+bias = %v", out)
+	}
+}
+
+func TestConv2dPadding(t *testing.T) {
+	// With pad 1 and a 3x3 sum kernel, corner output = sum of the 2x2
+	// in-bounds region.
+	x := Ones(1, 1, 2, 2)
+	w := Ones(1, 1, 3, 3)
+	out := Conv2d(x, w, nil, ConvSpec{PadH: 1, PadW: 1})
+	if !sameShape(out.Shape(), []int{1, 1, 2, 2}) {
+		t.Fatalf("pad output shape %v", out.Shape())
+	}
+	if out.At(0, 0, 0, 0) != 4 {
+		t.Fatalf("corner = %g, want 4", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestConv2dStride(t *testing.T) {
+	x := Arange(0, 1, 16).Reshape(1, 1, 4, 4)
+	w := FromSlice([]float32{1}, 1, 1, 1, 1)
+	out := Conv2d(x, w, nil, ConvSpec{StrideH: 2, StrideW: 2})
+	want := FromSlice([]float32{0, 2, 8, 10}, 1, 1, 2, 2)
+	if !out.Equal(want) {
+		t.Fatalf("strided conv = %v", out)
+	}
+}
+
+func TestConv2dMatchesNaive(t *testing.T) {
+	tests := []struct {
+		name         string
+		n, c, h, w   int
+		cout, kh, kw int
+		spec         ConvSpec
+	}{
+		{"basic", 2, 3, 8, 8, 4, 3, 3, ConvSpec{PadH: 1, PadW: 1}},
+		{"stride2", 1, 3, 9, 9, 5, 3, 3, ConvSpec{StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}},
+		{"asymmetric-kernel", 1, 2, 7, 9, 3, 1, 5, ConvSpec{PadW: 2}},
+		{"grouped", 1, 4, 6, 6, 8, 3, 3, ConvSpec{PadH: 1, PadW: 1, Groups: 2}},
+		{"depthwise", 2, 6, 5, 5, 6, 3, 3, ConvSpec{PadH: 1, PadW: 1, Groups: 6}},
+		{"1x1", 2, 8, 4, 4, 16, 1, 1, ConvSpec{}},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := tc.spec.Canon()
+			x := RandUniform(rng, -1, 1, tc.n, tc.c, tc.h, tc.w)
+			w := RandUniform(rng, -1, 1, tc.cout, tc.c/spec.Groups, tc.kh, tc.kw)
+			b := RandUniform(rng, -1, 1, tc.cout)
+			got := Conv2d(x, w, b, spec)
+			want := naiveConv2d(x, w, b, spec)
+			if !got.AllClose(want, 1e-4) {
+				t.Fatalf("conv mismatch vs naive reference")
+			}
+		})
+	}
+}
+
+func TestConv2dSerialParallelAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := RandUniform(rng, -1, 1, 2, 4, 10, 10)
+	w := RandUniform(rng, -1, 1, 8, 4, 3, 3)
+	prev := SetWorkers(1)
+	serial := Conv2d(x, w, nil, ConvSpec{PadH: 1, PadW: 1})
+	SetWorkers(8)
+	parallel := Conv2d(x, w, nil, ConvSpec{PadH: 1, PadW: 1})
+	SetWorkers(prev)
+	if !serial.AllClose(parallel, 1e-6) {
+		t.Fatal("serial and parallel backends disagree")
+	}
+}
+
+func TestConvOutShape(t *testing.T) {
+	got := ConvOutShape([]int{2, 3, 32, 32}, []int{16, 3, 3, 3}, ConvSpec{PadH: 1, PadW: 1})
+	want := []int{2, 16, 32, 32}
+	if !sameShape(got, want) {
+		t.Fatalf("ConvOutShape = %v, want %v", got, want)
+	}
+}
+
+func TestConv2dShapePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"rank3-input", func() { Conv2d(New(1, 2, 3), New(1, 2, 1, 1), nil, ConvSpec{}) }},
+		{"channel-mismatch", func() { Conv2d(New(1, 3, 4, 4), New(2, 4, 1, 1), nil, ConvSpec{}) }},
+		{"bad-groups", func() { Conv2d(New(1, 3, 4, 4), New(2, 1, 1, 1), nil, ConvSpec{Groups: 2}) }},
+		{"bias-shape", func() { Conv2d(New(1, 1, 4, 4), New(2, 1, 1, 1), New(3), ConvSpec{}) }},
+		{"kernel-too-big", func() { Conv2d(New(1, 1, 2, 2), New(1, 1, 5, 5), nil, ConvSpec{}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+// numericalGradCheck validates Conv2dBackward against finite differences
+// on a small problem.
+func TestConv2dBackwardNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	spec := ConvSpec{PadH: 1, PadW: 1, StrideH: 2, StrideW: 2}.Canon()
+	x := RandUniform(rng, -1, 1, 1, 2, 5, 5)
+	w := RandUniform(rng, -1, 1, 3, 2, 3, 3)
+	b := RandUniform(rng, -1, 1, 3)
+
+	// Loss = sum of outputs; dL/dout = ones.
+	out := Conv2d(x, w, b, spec)
+	gradOut := Ones(out.Shape()...)
+	grads := Conv2dBackward(x, w, true, gradOut, spec, true)
+
+	const eps = 1e-2
+	const tol = 2e-2
+	check := func(name string, param *Tensor, grad *Tensor) {
+		for i := 0; i < param.Len(); i++ {
+			orig := param.AtFlat(i)
+			param.SetFlat(i, orig+eps)
+			up := Conv2d(x, w, b, spec).Sum()
+			param.SetFlat(i, orig-eps)
+			down := Conv2d(x, w, b, spec).Sum()
+			param.SetFlat(i, orig)
+			numeric := float32((up - down) / (2 * eps))
+			analytic := grad.AtFlat(i)
+			d := numeric - analytic
+			if d < 0 {
+				d = -d
+			}
+			if d > tol {
+				t.Fatalf("%s grad[%d]: analytic %g vs numeric %g", name, i, analytic, numeric)
+			}
+		}
+	}
+	check("weight", w, grads.Weight)
+	check("bias", b, grads.Bias)
+	check("input", x, grads.Input)
+}
+
+func TestConv2dBackwardGrouped(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	spec := ConvSpec{PadH: 1, PadW: 1, Groups: 2}.Canon()
+	x := RandUniform(rng, -1, 1, 1, 4, 4, 4)
+	w := RandUniform(rng, -1, 1, 4, 2, 3, 3)
+	out := Conv2d(x, w, nil, spec)
+	gradOut := Ones(out.Shape()...)
+	grads := Conv2dBackward(x, w, false, gradOut, spec, true)
+	if grads.Bias != nil {
+		t.Fatal("bias grad must be nil when hasBias=false")
+	}
+	const eps, tol = 1e-2, 2e-2
+	for i := 0; i < w.Len(); i += 7 { // spot-check
+		orig := w.AtFlat(i)
+		w.SetFlat(i, orig+eps)
+		up := Conv2d(x, w, nil, spec).Sum()
+		w.SetFlat(i, orig-eps)
+		down := Conv2d(x, w, nil, spec).Sum()
+		w.SetFlat(i, orig)
+		numeric := float32((up - down) / (2 * eps))
+		d := numeric - grads.Weight.AtFlat(i)
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			t.Fatalf("grouped weight grad[%d]: analytic %g vs numeric %g", i, grads.Weight.AtFlat(i), numeric)
+		}
+	}
+}
+
+func TestConv2dBackwardSkipInput(t *testing.T) {
+	x := Ones(1, 1, 3, 3)
+	w := Ones(1, 1, 2, 2)
+	out := Conv2d(x, w, nil, ConvSpec{})
+	grads := Conv2dBackward(x, w, false, Ones(out.Shape()...), ConvSpec{}, false)
+	if grads.Input != nil {
+		t.Fatal("Input grad must be nil when needInput=false")
+	}
+	if grads.Weight == nil {
+		t.Fatal("Weight grad missing")
+	}
+}
+
+// Property: convolution is linear in the input —
+// conv(a*x1 + x2) == a*conv(x1) + conv(x2) (no bias).
+func TestConvLinearity_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x1 := RandUniform(rng, -1, 1, 1, 2, 6, 6)
+		x2 := RandUniform(rng, -1, 1, 1, 2, 6, 6)
+		w := RandUniform(rng, -1, 1, 3, 2, 3, 3)
+		a := rng.Float32()*4 - 2
+		spec := ConvSpec{PadH: 1, PadW: 1}
+		lhs := Conv2d(AddInPlace(Scale(x1, a), x2), w, nil, spec)
+		rhs := AddInPlace(Scale(Conv2d(x1, w, nil, spec), a), Conv2d(x2, w, nil, spec))
+		return lhs.AllClose(rhs, 1e-3)
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandUniform returns a tensor with elements drawn from U[lo, hi) using rng.
+func RandUniform(rng *rand.Rand, lo, hi float32, shape ...int) *Tensor {
+	t := New(shape...)
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + span*rng.Float32()
+	}
+	return t
+}
+
+// RandNormal returns a tensor with elements drawn from N(mean, std^2).
+func RandNormal(rng *rand.Rand, mean, std float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = mean + std*float32(rng.NormFloat64())
+	}
+	return t
+}
+
+// HeInit returns a tensor initialized with Kaiming-He normal initialization
+// for a layer with the given fan-in, the standard initialization for
+// ReLU networks (std = sqrt(2/fanIn)).
+func HeInit(rng *rand.Rand, fanIn int, shape ...int) *Tensor {
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	return RandNormal(rng, 0, std, shape...)
+}
+
+// XavierInit returns a tensor initialized with Glorot/Xavier uniform
+// initialization (limit = sqrt(6/(fanIn+fanOut))).
+func XavierInit(rng *rand.Rand, fanIn, fanOut int, shape ...int) *Tensor {
+	if fanIn+fanOut < 1 {
+		fanIn = 1
+	}
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	return RandUniform(rng, -limit, limit, shape...)
+}
+
+// Arange returns a 1-D tensor [start, start+step, ...] of n elements.
+func Arange(start, step float32, n int) *Tensor {
+	t := New(n)
+	v := start
+	for i := 0; i < n; i++ {
+		t.data[i] = v
+		v += step
+	}
+	return t
+}

@@ -1,0 +1,156 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a×b for a of shape [m, k] and b of
+// shape [k, n]. The kernel parallelizes over rows of a according to
+// Workers() and uses a cache-friendly ikj loop order.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matMulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// MatMulAcc computes dst += a×b for a [m,k], b [k,n], dst [m,n].
+func MatMulAcc(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAcc shapes %v += %v × %v", dst.shape, a.shape, b.shape))
+	}
+	matMulAccInto(dst.data, a.data, b.data, m, k, n)
+}
+
+// MatMulTransB computes dst = a×bᵀ for a [m,k], b [n,k], dst [m,n],
+// overwriting dst.
+func MatMulTransB(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransB shapes %v = %v × %vᵀ", dst.shape, a.shape, b.shape))
+	}
+	dst.Zero()
+	matMulTransBInto(dst.data, a.data, b.data, m, k, n)
+}
+
+// MatMulTransAAcc computes dst += aᵀ×b for a [k,m], b [k,n], dst [m,n].
+func MatMulTransAAcc(dst, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAAcc shapes %v += %vᵀ × %v", dst.shape, a.shape, b.shape))
+	}
+	matMulTransAInto(dst.data, a.data, b.data, k, m, n)
+}
+
+// matMulInto computes dst = A×B for row-major A [m,k], B [k,n], dst [m,n].
+// dst must be zeroed by the caller (New does this). The kernel picks its
+// parallel axis by shape: tall results split by rows; short-and-wide
+// results (the common conv im2col shape — few output channels, many
+// pixels) split by columns so all workers stay busy.
+func matMulInto(dst, a, b []float32, m, k, n int) {
+	w := Workers()
+	if m >= 2*w || n < 4*w || w <= 1 {
+		parallelForChunks(m, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : (i+1)*k]
+				drow := dst[i*n : (i+1)*n]
+				for p, av := range arow {
+					if av == 0 {
+						continue
+					}
+					brow := b[p*n : (p+1)*n]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		})
+		return
+	}
+	parallelForChunks(n, func(jlo, jhi int) {
+		for i := 0; i < m; i++ {
+			arow := a[i*k : (i+1)*k]
+			drow := dst[i*n+jlo : i*n+jhi]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n+jlo : p*n+jhi]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// matMulAccInto computes dst += A×B (no zeroing), same layout as
+// matMulInto.
+func matMulAccInto(dst, a, b []float32, m, k, n int) {
+	parallelForChunks(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			drow := dst[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// matMulTransAInto computes dst = Aᵀ×B for A [k,m], B [k,n], dst [m,n],
+// accumulating into dst (caller zeroes when needed). Used for weight
+// gradients.
+func matMulTransAInto(dst, a, b []float32, k, m, n int) {
+	// dst[i,j] += sum_p A[p,i]*B[p,j]. Parallelize over i with a strided
+	// walk of A's column i.
+	parallelForChunks(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// matMulTransBInto computes dst = A×Bᵀ for A [m,k], B [n,k], dst [m,n],
+// accumulating into dst. Used for input gradients of linear layers.
+func matMulTransBInto(dst, a, b []float32, m, k, n int) {
+	parallelForChunks(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			drow := dst[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				drow[j] += s
+			}
+		}
+	})
+}

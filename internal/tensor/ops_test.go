@@ -1,0 +1,266 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{10, 20, 30, 40}, 2, 2)
+
+	if got := Add(a, b); !got.Equal(FromSlice([]float32{11, 22, 33, 44}, 2, 2)) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); !got.Equal(FromSlice([]float32{9, 18, 27, 36}, 2, 2)) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b); !got.Equal(FromSlice([]float32{10, 40, 90, 160}, 2, 2)) {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := Scale(a, 0.5); !got.Equal(FromSlice([]float32{0.5, 1, 1.5, 2}, 2, 2)) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := Apply(a, func(v float32) float32 { return v * v }); !got.Equal(FromSlice([]float32{1, 4, 9, 16}, 2, 2)) {
+		t.Fatalf("Apply = %v", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{3, 4}, 2)
+	AddInPlace(a, b)
+	if !a.Equal(FromSlice([]float32{4, 6}, 2)) {
+		t.Fatalf("AddInPlace = %v", a)
+	}
+	ScaleInPlace(a, 2)
+	if !a.Equal(FromSlice([]float32{8, 12}, 2)) {
+		t.Fatalf("ScaleInPlace = %v", a)
+	}
+	AddScaledInPlace(a, -1, b)
+	if !a.Equal(FromSlice([]float32{5, 8}, 2)) {
+		t.Fatalf("AddScaledInPlace = %v", a)
+	}
+	ApplyInPlace(a, func(v float32) float32 { return -v })
+	if !a.Equal(FromSlice([]float32{-5, -8}, 2)) {
+		t.Fatalf("ApplyInPlace = %v", a)
+	}
+}
+
+func TestOpsShapeMismatchPanics(t *testing.T) {
+	a := New(2, 2)
+	b := New(4)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"Add", func() { Add(a, b) }},
+		{"Sub", func() { Sub(a, b) }},
+		{"Mul", func() { Mul(a, b) }},
+		{"AddInPlace", func() { AddInPlace(a, b) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float32{3, -1, 4, 1, -5, 9}, 6)
+	if got := x.Sum(); got != 11 {
+		t.Fatalf("Sum = %g", got)
+	}
+	if got := x.Mean(); math.Abs(got-11.0/6) > 1e-9 {
+		t.Fatalf("Mean = %g", got)
+	}
+	if got := x.Max(); got != 9 {
+		t.Fatalf("Max = %g", got)
+	}
+	if got := x.Min(); got != -5 {
+		t.Fatalf("Min = %g", got)
+	}
+	if got := x.AbsMax(); got != 9 {
+		t.Fatalf("AbsMax = %g", got)
+	}
+	if got := x.ArgMax(); got != 5 {
+		t.Fatalf("ArgMax = %d", got)
+	}
+	if got := New(0).Mean(); got != 0 {
+		t.Fatalf("Mean of empty = %g, want 0", got)
+	}
+}
+
+func TestArgMaxTieBreaksLow(t *testing.T) {
+	x := FromSlice([]float32{2, 7, 7, 1}, 4)
+	if got := x.ArgMax(); got != 1 {
+		t.Fatalf("ArgMax tie = %d, want 1", got)
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	x := FromSlice([]float32{
+		0.1, 0.9, 0.0,
+		5.0, -1., 2.0,
+	}, 2, 3)
+	got := ArgMaxRows(x)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgMaxRows = %v", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	x := FromSlice([]float32{0.1, 0.9, 0.5, 0.3}, 1, 4)
+	got := TopK(x, 3)[0]
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	// k larger than cols clamps.
+	if got := TopK(x, 10)[0]; len(got) != 4 {
+		t.Fatalf("TopK clamp = %v", got)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 1000, 1000, 1000}, 2, 3)
+	p := SoftmaxRows(x)
+	// Row sums are 1 and large logits do not overflow.
+	for r := 0; r < 2; r++ {
+		var s float64
+		for c := 0; c < 3; c++ {
+			v := p.At(r, c)
+			if math.IsNaN(float64(v)) || v < 0 || v > 1 {
+				t.Fatalf("softmax[%d,%d] = %g out of range", r, c, v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sums to %g", r, s)
+		}
+	}
+	// Monotone in the logits.
+	if !(p.At(0, 2) > p.At(0, 1) && p.At(0, 1) > p.At(0, 0)) {
+		t.Fatal("softmax not monotone")
+	}
+	// Uniform logits give uniform probabilities.
+	if math.Abs(float64(p.At(1, 0))-1.0/3) > 1e-5 {
+		t.Fatalf("uniform row gives %g", p.At(1, 0))
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := FromSlice([]float32{1, 0}, 2)
+	b := FromSlice([]float32{0, 1}, 2)
+	if got := L2Distance(a, b); math.Abs(got-math.Sqrt2) > 1e-6 {
+		t.Fatalf("L2Distance = %g", got)
+	}
+	if got := CosineSimilarity(a, b); math.Abs(got) > 1e-6 {
+		t.Fatalf("CosineSimilarity orthogonal = %g", got)
+	}
+	if got := CosineSimilarity(a, a); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("CosineSimilarity self = %g", got)
+	}
+	if got := CosineSimilarity(a, New(2)); got != 0 {
+		t.Fatalf("CosineSimilarity zero vector = %g", got)
+	}
+}
+
+func TestCountNonFinite(t *testing.T) {
+	x := FromSlice([]float32{1, float32(math.NaN()), float32(math.Inf(1)), -2}, 4)
+	if got := x.CountNonFinite(); got != 2 {
+		t.Fatalf("CountNonFinite = %d, want 2", got)
+	}
+}
+
+func TestRandConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := RandUniform(rng, -1, 1, 1000)
+	if u.Max() > 1 || u.Min() < -1 {
+		t.Fatalf("RandUniform out of range [%g, %g]", u.Min(), u.Max())
+	}
+	if math.Abs(u.Mean()) > 0.1 {
+		t.Fatalf("RandUniform mean = %g, expected near 0", u.Mean())
+	}
+	n := RandNormal(rng, 5, 2, 5000)
+	if math.Abs(n.Mean()-5) > 0.2 {
+		t.Fatalf("RandNormal mean = %g, want ~5", n.Mean())
+	}
+	h := HeInit(rng, 100, 10000)
+	std := math.Sqrt(2.0 / 100)
+	var s float64
+	for i := 0; i < h.Len(); i++ {
+		s += float64(h.AtFlat(i)) * float64(h.AtFlat(i))
+	}
+	got := math.Sqrt(s / float64(h.Len()))
+	if math.Abs(got-std) > 0.02 {
+		t.Fatalf("HeInit std = %g, want ~%g", got, std)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a := RandUniform(rand.New(rand.NewSource(7)), 0, 1, 50)
+	b := RandUniform(rand.New(rand.NewSource(7)), 0, 1, 50)
+	if !a.Equal(b) {
+		t.Fatal("same seed must produce identical tensors")
+	}
+}
+
+func TestArange(t *testing.T) {
+	x := Arange(2, 0.5, 4)
+	want := FromSlice([]float32{2, 2.5, 3, 3.5}, 4)
+	if !x.Equal(want) {
+		t.Fatalf("Arange = %v", x)
+	}
+}
+
+// Property: softmax output always sums to 1 per row and lies in [0,1].
+func TestSoftmaxNormalized_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(4)
+		cols := 1 + rng.Intn(10)
+		x := RandUniform(rng, -50, 50, rows, cols)
+		p := SoftmaxRows(x)
+		for r := 0; r < rows; r++ {
+			var s float64
+			for c := 0; c < cols; c++ {
+				v := float64(p.At(r, c))
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return false
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative and Sub(Add(a,b), b) == a exactly is not
+// guaranteed in float, but within tolerance.
+func TestAddCommutative_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		a := RandUniform(rng, -100, 100, n)
+		b := RandUniform(rng, -100, 100, n)
+		return Add(a, b).Equal(Add(b, a)) && Sub(Add(a, b), b).AllClose(a, 1e-3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

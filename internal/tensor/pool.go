@@ -1,0 +1,209 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoolSpec describes the geometry of a 2-D pooling operation.
+type PoolSpec struct {
+	KernelH, KernelW int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// Canon returns the spec with zero strides defaulted to the kernel size
+// (the common non-overlapping pooling configuration).
+func (s PoolSpec) Canon() PoolSpec {
+	if s.StrideH == 0 {
+		s.StrideH = s.KernelH
+	}
+	if s.StrideW == 0 {
+		s.StrideW = s.KernelW
+	}
+	return s
+}
+
+func checkPool(x *Tensor, spec PoolSpec) (PoolSpec, int, int) {
+	spec = spec.Canon()
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: pooling input must be [N,C,H,W], got %v", x.shape))
+	}
+	if spec.KernelH <= 0 || spec.KernelW <= 0 {
+		panic(fmt.Sprintf("tensor: invalid pooling kernel %dx%d", spec.KernelH, spec.KernelW))
+	}
+	if spec.KernelH > x.shape[2]+2*spec.PadH || spec.KernelW > x.shape[3]+2*spec.PadW {
+		panic(fmt.Sprintf("tensor: pooling kernel %dx%d larger than padded input %v", spec.KernelH, spec.KernelW, x.shape))
+	}
+	oh := convOutSize(x.shape[2], spec.KernelH, spec.StrideH, spec.PadH)
+	ow := convOutSize(x.shape[3], spec.KernelW, spec.StrideW, spec.PadW)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: pooling output %dx%d not positive for input %v spec %+v", oh, ow, x.shape, spec))
+	}
+	return spec, oh, ow
+}
+
+// MaxPool2d computes max pooling over x [N,C,H,W]. It returns the pooled
+// tensor and the flat argmax index (into x's data) per output element,
+// which MaxPool2dBackward uses to route gradients. Padded positions are
+// treated as -Inf.
+func MaxPool2d(x *Tensor, spec PoolSpec) (*Tensor, []int32) {
+	spec, oh, ow := checkPool(x, spec)
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(n, c, oh, ow)
+	arg := make([]int32, n*c*oh*ow)
+	planes := n * c
+	parallelForChunks(planes, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			in := x.data[p*h*w : (p+1)*h*w]
+			o := out.data[p*oh*ow : (p+1)*oh*ow]
+			a := arg[p*oh*ow : (p+1)*oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bi := int32(-1)
+					for ky := 0; ky < spec.KernelH; ky++ {
+						iy := oy*spec.StrideH - spec.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < spec.KernelW; kx++ {
+							ix := ox*spec.StrideW - spec.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := in[iy*w+ix]
+							if v > best || bi < 0 {
+								best = v
+								bi = int32(p*h*w + iy*w + ix)
+							}
+						}
+					}
+					o[oy*ow+ox] = best
+					a[oy*ow+ox] = bi
+				}
+			}
+		}
+	})
+	return out, arg
+}
+
+// MaxPool2dBackward scatters gradOut back to the input positions recorded
+// in arg by MaxPool2d.
+func MaxPool2dBackward(inShape []int, arg []int32, gradOut *Tensor) *Tensor {
+	grad := New(inShape...)
+	if len(arg) != gradOut.Len() {
+		panic(fmt.Sprintf("tensor: MaxPool2dBackward arg length %d != gradOut length %d", len(arg), gradOut.Len()))
+	}
+	for i, src := range arg {
+		if src >= 0 {
+			grad.data[src] += gradOut.data[i]
+		}
+	}
+	return grad
+}
+
+// AvgPool2d computes average pooling over x [N,C,H,W]. The divisor is the
+// full kernel area (count_include_pad semantics, matching PyTorch's
+// default).
+func AvgPool2d(x *Tensor, spec PoolSpec) *Tensor {
+	spec, oh, ow := checkPool(x, spec)
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(n, c, oh, ow)
+	inv := 1 / float32(spec.KernelH*spec.KernelW)
+	planes := n * c
+	parallelForChunks(planes, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			in := x.data[p*h*w : (p+1)*h*w]
+			o := out.data[p*oh*ow : (p+1)*oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float32
+					for ky := 0; ky < spec.KernelH; ky++ {
+						iy := oy*spec.StrideH - spec.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < spec.KernelW; kx++ {
+							ix := ox*spec.StrideW - spec.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += in[iy*w+ix]
+						}
+					}
+					o[oy*ow+ox] = s * inv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// AvgPool2dBackward distributes gradOut uniformly over each pooling
+// window.
+func AvgPool2dBackward(inShape []int, spec PoolSpec, gradOut *Tensor) *Tensor {
+	spec = spec.Canon()
+	grad := New(inShape...)
+	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	oh, ow := gradOut.shape[2], gradOut.shape[3]
+	inv := 1 / float32(spec.KernelH*spec.KernelW)
+	for p := 0; p < n*c; p++ {
+		g := grad.data[p*h*w : (p+1)*h*w]
+		go_ := gradOut.data[p*oh*ow : (p+1)*oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				v := go_[oy*ow+ox] * inv
+				for ky := 0; ky < spec.KernelH; ky++ {
+					iy := oy*spec.StrideH - spec.PadH + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < spec.KernelW; kx++ {
+						ix := ox*spec.StrideW - spec.PadW + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						g[iy*w+ix] += v
+					}
+				}
+			}
+		}
+	}
+	return grad
+}
+
+// GlobalAvgPool2d averages each [H,W] plane, producing [N,C,1,1].
+func GlobalAvgPool2d(x *Tensor) *Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: GlobalAvgPool2d input must be [N,C,H,W], got %v", x.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(n, c, 1, 1)
+	inv := 1 / float32(h*w)
+	for p := 0; p < n*c; p++ {
+		in := x.data[p*h*w : (p+1)*h*w]
+		var s float32
+		for _, v := range in {
+			s += v
+		}
+		out.data[p] = s * inv
+	}
+	return out
+}
+
+// GlobalAvgPool2dBackward distributes each pooled gradient uniformly over
+// its plane.
+func GlobalAvgPool2dBackward(inShape []int, gradOut *Tensor) *Tensor {
+	grad := New(inShape...)
+	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	inv := 1 / float32(h*w)
+	for p := 0; p < n*c; p++ {
+		v := gradOut.data[p] * inv
+		g := grad.data[p*h*w : (p+1)*h*w]
+		for i := range g {
+			g[i] = v
+		}
+	}
+	return grad
+}

@@ -1,0 +1,151 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxPool2dHandComputed(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 3, 2, 4,
+		5, 6, 7, 8,
+		9, 2, 1, 0,
+		3, 4, 5, 6,
+	}, 1, 1, 4, 4)
+	out, arg := MaxPool2d(x, PoolSpec{KernelH: 2, KernelW: 2})
+	want := FromSlice([]float32{6, 8, 9, 6}, 1, 1, 2, 2)
+	if !out.Equal(want) {
+		t.Fatalf("MaxPool2d = %v, want %v", out, want)
+	}
+	// The argmax of the top-left window (value 6) is flat index 5.
+	if arg[0] != 5 {
+		t.Fatalf("arg[0] = %d, want 5", arg[0])
+	}
+}
+
+func TestMaxPool2dOverlappingStride(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	out, _ := MaxPool2d(x, PoolSpec{KernelH: 2, KernelW: 2, StrideH: 1, StrideW: 1})
+	want := FromSlice([]float32{5, 6, 8, 9}, 1, 1, 2, 2)
+	if !out.Equal(want) {
+		t.Fatalf("overlapping MaxPool2d = %v, want %v", out, want)
+	}
+}
+
+func TestMaxPool2dPadding(t *testing.T) {
+	x := FromSlice([]float32{-5, -6, -7, -8}, 1, 1, 2, 2)
+	// Padded positions are -Inf, so max of all-negative input stays the
+	// input value, never 0.
+	out, _ := MaxPool2d(x, PoolSpec{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1})
+	if out.Max() != -5 {
+		t.Fatalf("padded MaxPool max = %g, want -5", out.Max())
+	}
+}
+
+func TestMaxPool2dBackwardRoutesToArgmax(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 3,
+		2, 4,
+	}, 1, 1, 2, 2)
+	out, arg := MaxPool2d(x, PoolSpec{KernelH: 2, KernelW: 2})
+	if out.At(0, 0, 0, 0) != 4 {
+		t.Fatalf("max = %g", out.At(0, 0, 0, 0))
+	}
+	grad := MaxPool2dBackward(x.Shape(), arg, FromSlice([]float32{10}, 1, 1, 1, 1))
+	want := FromSlice([]float32{0, 0, 0, 10}, 1, 1, 2, 2)
+	if !grad.Equal(want) {
+		t.Fatalf("MaxPool2dBackward = %v, want %v", grad, want)
+	}
+}
+
+func TestAvgPool2dHandComputed(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 3, 2, 4,
+		5, 7, 6, 8,
+		1, 1, 1, 1,
+		1, 1, 1, 1,
+	}, 1, 1, 4, 4)
+	out := AvgPool2d(x, PoolSpec{KernelH: 2, KernelW: 2})
+	want := FromSlice([]float32{4, 5, 1, 1}, 1, 1, 2, 2)
+	if !out.Equal(want) {
+		t.Fatalf("AvgPool2d = %v, want %v", out, want)
+	}
+}
+
+func TestAvgPool2dBackwardDistributes(t *testing.T) {
+	inShape := []int{1, 1, 2, 2}
+	gradOut := FromSlice([]float32{8}, 1, 1, 1, 1)
+	grad := AvgPool2dBackward(inShape, PoolSpec{KernelH: 2, KernelW: 2}, gradOut)
+	want := Full(2, 1, 1, 2, 2)
+	if !grad.Equal(want) {
+		t.Fatalf("AvgPool2dBackward = %v, want %v", grad, want)
+	}
+}
+
+func TestGlobalAvgPool2d(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2, 3, 4, // channel 0: mean 2.5
+		10, 10, 10, 10, // channel 1: mean 10
+	}, 1, 2, 2, 2)
+	out := GlobalAvgPool2d(x)
+	if out.At(0, 0, 0, 0) != 2.5 || out.At(0, 1, 0, 0) != 10 {
+		t.Fatalf("GlobalAvgPool2d = %v", out)
+	}
+	grad := GlobalAvgPool2dBackward(x.Shape(), FromSlice([]float32{4, 8}, 1, 2, 1, 1))
+	if grad.At(0, 0, 1, 1) != 1 || grad.At(0, 1, 0, 0) != 2 {
+		t.Fatalf("GlobalAvgPool2dBackward = %v", grad)
+	}
+}
+
+func TestPoolGradientSumConservation(t *testing.T) {
+	// Sum of max-pool input gradients equals sum of output gradients
+	// (each output routes exactly once).
+	rng := rand.New(rand.NewSource(5))
+	x := RandUniform(rng, -1, 1, 2, 3, 8, 8)
+	out, arg := MaxPool2d(x, PoolSpec{KernelH: 2, KernelW: 2})
+	gradOut := RandUniform(rng, -1, 1, out.Shape()...)
+	grad := MaxPool2dBackward(x.Shape(), arg, gradOut)
+	if d := grad.Sum() - gradOut.Sum(); d > 1e-3 || d < -1e-3 {
+		t.Fatalf("gradient mass not conserved: %g vs %g", grad.Sum(), gradOut.Sum())
+	}
+}
+
+func TestPoolPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"rank3", func() { MaxPool2d(New(1, 2, 3), PoolSpec{KernelH: 1, KernelW: 1}) }},
+		{"zero-kernel", func() { AvgPool2d(New(1, 1, 4, 4), PoolSpec{}) }},
+		{"kernel-too-big", func() { MaxPool2d(New(1, 1, 2, 2), PoolSpec{KernelH: 5, KernelW: 5}) }},
+		{"gap-rank3", func() { GlobalAvgPool2d(New(2, 3, 4)) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestPoolSerialParallelAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := RandUniform(rng, -1, 1, 4, 8, 16, 16)
+	prev := SetWorkers(1)
+	s1, _ := MaxPool2d(x, PoolSpec{KernelH: 2, KernelW: 2})
+	a1 := AvgPool2d(x, PoolSpec{KernelH: 2, KernelW: 2})
+	SetWorkers(8)
+	s2, _ := MaxPool2d(x, PoolSpec{KernelH: 2, KernelW: 2})
+	a2 := AvgPool2d(x, PoolSpec{KernelH: 2, KernelW: 2})
+	SetWorkers(prev)
+	if !s1.Equal(s2) || !a1.Equal(a2) {
+		t.Fatal("pool backends disagree")
+	}
+}

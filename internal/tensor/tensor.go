@@ -1,0 +1,249 @@
+// Package tensor implements the dense N-dimensional float32 tensor that
+// underpins the GoFI neural-network substrate. It provides constructors,
+// element access, shape manipulation, element-wise arithmetic, reductions,
+// matrix multiplication, 2-D convolution (forward and backward, with
+// stride, padding and groups), and pooling.
+//
+// Convention: following gonum, operations panic on shape mismatch. A shape
+// mismatch is a programming error in the calling model definition, not a
+// runtime condition a caller can meaningfully recover from. All user-facing
+// validation (e.g. fault-injection site legality) happens in package core,
+// which returns errors.
+//
+// Tensors are always contiguous in row-major order. A Tensor may be a
+// reshape view of another tensor (sharing the same backing slice), which
+// keeps zero-copy flattening cheap for fully-connected heads.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tensor is a dense, contiguous, row-major N-dimensional array of float32.
+// The zero value is an empty tensor with no elements.
+type Tensor struct {
+	data  []float32
+	shape []int
+}
+
+// New returns a zero-filled tensor with the given shape.
+// New() with no arguments returns a scalar-shaped tensor of one element.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{
+		data:  make([]float32, n),
+		shape: append([]int(nil), shape...),
+	}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); the caller must not alias it unintentionally.
+// It panics if len(data) does not match the shape's element count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (=%d elements)", len(data), shape, n))
+	}
+	return &Tensor{data: data, shape: append([]int(nil), shape...)}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor of ones.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// checkShape validates a shape and returns its element count.
+func checkShape(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the backing slice. Mutating it mutates the tensor; this is
+// the documented mechanism for offline weight perturbation (see package
+// core), mirroring PyTorchFI's direct weight-tensor modification.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// offset computes the flat index for a multi-index, panicking on
+// out-of-range coordinates.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at a multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set assigns the element at a multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+// AtFlat returns the i-th element in row-major order.
+func (t *Tensor) AtFlat(i int) float32 { return t.data[i] }
+
+// SetFlat assigns the i-th element in row-major order.
+func (t *Tensor) SetFlat(i int, v float32) { t.data[i] = v }
+
+// Offset exposes the flat offset of a multi-index (used by the fault
+// injector to pre-resolve injection sites once instead of per-forward).
+func (t *Tensor) Offset(idx ...int) int { return t.offset(idx) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies src's elements into t. Shapes must have equal element
+// counts (shape itself may differ, e.g. copying into a reshaped view).
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.data) != len(src.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom length mismatch %d vs %d", len(t.data), len(src.data)))
+	}
+	copy(t.data, src.data)
+}
+
+// Reshape returns a view with a new shape sharing the same backing data.
+// One dimension may be -1, in which case it is inferred.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = append([]int(nil), shape...)
+	infer := -1
+	known := 1
+	for i, d := range shape {
+		switch {
+		case d == -1:
+			if infer >= 0 {
+				panic("tensor: Reshape with more than one -1 dimension")
+			}
+			infer = i
+		case d < 0:
+			panic(fmt.Sprintf("tensor: invalid dimension %d in Reshape", d))
+		default:
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || len(t.data)%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension for Reshape(%v) of %d elements", shape, len(t.data)))
+		}
+		shape[infer] = len(t.data) / known
+		known *= shape[infer]
+	}
+	if known != len(t.data) {
+		panic(fmt.Sprintf("tensor: Reshape(%v) incompatible with %d elements", shape, len(t.data)))
+	}
+	return &Tensor{data: t.data, shape: shape}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Equal reports whether two tensors have identical shape and elements.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !sameShape(t.shape, o.shape) {
+		return false
+	}
+	for i, v := range t.data {
+		if v != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether two tensors have identical shape and elements
+// within absolute tolerance tol.
+func (t *Tensor) AllClose(o *Tensor, tol float32) bool {
+	if !sameShape(t.shape, o.shape) {
+		return false
+	}
+	for i, v := range t.data {
+		d := v - o.data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description (shape plus leading elements); full
+// element dumps are rarely useful for the tensor sizes GoFI works with.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.shape)
+	n := len(t.data)
+	show := n
+	if show > 8 {
+		show = 8
+	}
+	for i := 0; i < show; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%g", t.data[i])
+	}
+	if n > show {
+		fmt.Fprintf(&b, " ... (%d total)", n)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool { return sameShape(t.shape, o.shape) }

@@ -1,0 +1,288 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapes(t *testing.T) {
+	tests := []struct {
+		name  string
+		shape []int
+		n     int
+	}{
+		{"scalar", nil, 1},
+		{"vector", []int{5}, 5},
+		{"matrix", []int{3, 4}, 12},
+		{"rank4", []int{2, 3, 4, 5}, 120},
+		{"zero-dim", []int{3, 0, 4}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			x := New(tc.shape...)
+			if x.Len() != tc.n {
+				t.Fatalf("Len = %d, want %d", x.Len(), tc.n)
+			}
+			if x.Rank() != len(tc.shape) {
+				t.Fatalf("Rank = %d, want %d", x.Rank(), len(tc.shape))
+			}
+			for i := 0; i < x.Len(); i++ {
+				if x.AtFlat(i) != 0 {
+					t.Fatalf("element %d not zero-initialized", i)
+				}
+			}
+		})
+	}
+}
+
+func TestNewNegativeDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(3, -1)
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	x := FromSlice(d, 2, 3)
+	if got := x.At(1, 2); got != 6 {
+		t.Fatalf("At(1,2) = %g, want 6", got)
+	}
+	// FromSlice wraps without copying.
+	d[0] = 42
+	if x.At(0, 0) != 42 {
+		t.Fatal("FromSlice must share backing data")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	want := float32(0)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 4; k++ {
+				x.Set(want, i, j, k)
+				if got := x.At(i, j, k); got != want {
+					t.Fatalf("At(%d,%d,%d) = %g, want %g", i, j, k, got, want)
+				}
+				want++
+			}
+		}
+	}
+	// Row-major flat order must match the write order above.
+	for i := 0; i < x.Len(); i++ {
+		if x.AtFlat(i) != float32(i) {
+			t.Fatalf("AtFlat(%d) = %g, want %d", i, x.AtFlat(i), i)
+		}
+	}
+}
+
+func TestOffsetMatchesRowMajor(t *testing.T) {
+	x := New(3, 5, 7)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			for k := 0; k < 7; k++ {
+				want := (i*5+j)*7 + k
+				if got := x.Offset(i, j, k); got != want {
+					t.Fatalf("Offset(%d,%d,%d) = %d, want %d", i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	tests := []struct {
+		name string
+		idx  []int
+	}{
+		{"negative", []int{-1, 0}},
+		{"too-big", []int{0, 3}},
+		{"wrong-rank", []int{0}},
+	}
+	x := New(2, 3)
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			x.At(tc.idx...)
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	c := x.Clone()
+	c.Set(99, 0, 0)
+	if x.At(0, 0) != 1 {
+		t.Fatal("Clone must not share backing data")
+	}
+	if !c.SameShape(x) {
+		t.Fatal("Clone must preserve shape")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := x.Reshape(3, 2)
+	if r.At(2, 1) != 6 {
+		t.Fatalf("Reshape wrong layout: At(2,1) = %g", r.At(2, 1))
+	}
+	// Views share data.
+	r.Set(42, 0, 0)
+	if x.At(0, 0) != 42 {
+		t.Fatal("Reshape must be a view")
+	}
+	// Inferred dimension.
+	inf := x.Reshape(-1, 2)
+	if inf.Dim(0) != 3 {
+		t.Fatalf("inferred dim = %d, want 3", inf.Dim(0))
+	}
+	if got := x.Reshape(6).Rank(); got != 1 {
+		t.Fatalf("flatten rank = %d, want 1", got)
+	}
+}
+
+func TestReshapeErrors(t *testing.T) {
+	x := New(2, 3)
+	for _, tc := range []struct {
+		name  string
+		shape []int
+	}{
+		{"wrong-count", []int{4, 2}},
+		{"double-infer", []int{-1, -1}},
+		{"non-divisible", []int{-1, 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			x.Reshape(tc.shape...)
+		})
+	}
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{1, 2, 3}, 3)
+	c := FromSlice([]float32{1, 2, 3.05}, 3)
+	d := FromSlice([]float32{1, 2, 3}, 1, 3)
+	if !a.Equal(b) {
+		t.Fatal("identical tensors must be Equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("different tensors must not be Equal")
+	}
+	if a.Equal(d) {
+		t.Fatal("different shapes must not be Equal")
+	}
+	if !a.AllClose(c, 0.1) {
+		t.Fatal("AllClose within tolerance must hold")
+	}
+	if a.AllClose(c, 0.01) {
+		t.Fatal("AllClose outside tolerance must fail")
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	x := New(4)
+	x.Fill(7)
+	for i := 0; i < 4; i++ {
+		if x.AtFlat(i) != 7 {
+			t.Fatal("Fill failed")
+		}
+	}
+	x.Zero()
+	if x.Sum() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	dst := New(4)
+	dst.CopyFrom(src) // same element count, different shape: allowed
+	if dst.AtFlat(3) != 4 {
+		t.Fatal("CopyFrom failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for element-count mismatch")
+		}
+	}()
+	New(3).CopyFrom(src)
+}
+
+func TestStringTruncates(t *testing.T) {
+	s := New(100).String()
+	if len(s) == 0 || len(s) > 200 {
+		t.Fatalf("String() length %d unreasonable: %q", len(s), s)
+	}
+}
+
+// Property: Reshape never changes flat contents, for any valid
+// factorization of the element count.
+func TestReshapePreservesData_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 1 + rng.Intn(6)
+		b := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		x := RandUniform(rng, -10, 10, a, b, c)
+		r := x.Reshape(c, -1)
+		for i := 0; i < x.Len(); i++ {
+			if r.AtFlat(i) != x.AtFlat(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Offset is a bijection onto [0, Len) — every multi-index maps
+// to a distinct flat offset.
+func TestOffsetBijection_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 1 + rng.Intn(4)
+		b := 1 + rng.Intn(4)
+		c := 1 + rng.Intn(4)
+		x := New(a, b, c)
+		seen := make(map[int]bool, x.Len())
+		for i := 0; i < a; i++ {
+			for j := 0; j < b; j++ {
+				for k := 0; k < c; k++ {
+					off := x.Offset(i, j, k)
+					if off < 0 || off >= x.Len() || seen[off] {
+						return false
+					}
+					seen[off] = true
+				}
+			}
+		}
+		return len(seen) == x.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package train implements supervised training for GoFI models: softmax
+// cross-entropy loss, SGD with momentum and weight decay, accuracy
+// evaluation, and a training loop that can invoke a fault injector every
+// forward pass — the paper's §IV-D "training for inherently error-resilient
+// models" use case.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// [N, classes] against integer labels, and the gradient dL/dlogits
+// (softmax(p) - onehot)/N. The fused formulation is numerically stable.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("train: logits must be [N,classes], got %v", logits.Shape()))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("train: %d labels for %d rows", len(labels), n))
+	}
+	probs := tensor.SoftmaxRows(logits)
+	grad := probs.Clone()
+	var loss float64
+	inv := 1 / float32(n)
+	for r, y := range labels {
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("train: label %d out of range [0,%d)", y, c))
+		}
+		p := float64(probs.At(r, y))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		grad.Set(grad.At(r, y)-1, r, y)
+	}
+	tensor.ScaleInPlace(grad, inv)
+	return loss / float64(n), grad
+}
+
+// SGD is stochastic gradient descent with classical momentum and decoupled
+// L2 weight decay, PyTorch-compatible semantics:
+//
+//	v ← momentum·v + (grad + wd·w);  w ← w − lr·v
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+	velocity    map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: make(map[*nn.Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter and leaves gradients intact
+// (call nn.ZeroGrads before the next backward).
+func (o *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		w, g := p.Data.Data(), p.Grad.Data()
+		if o.Momentum == 0 {
+			for i := range w {
+				upd := g[i] + o.WeightDecay*w[i]
+				w[i] -= o.LR * upd
+			}
+			continue
+		}
+		v, ok := o.velocity[p]
+		if !ok {
+			v = tensor.New(p.Data.Shape()...)
+			o.velocity[p] = v
+		}
+		vd := v.Data()
+		for i := range w {
+			upd := g[i] + o.WeightDecay*w[i]
+			vd[i] = o.Momentum*vd[i] + upd
+			w[i] -= o.LR * vd[i]
+		}
+	}
+}
+
+// BatchSource yields labelled training batches by index; the data package
+// satisfies it.
+type BatchSource interface {
+	Batch(lo, n int) (*tensor.Tensor, []int)
+}
+
+// Config drives Loop.
+type Config struct {
+	Epochs      int
+	BatchSize   int
+	TrainSize   int // samples per epoch, drawn as [0, TrainSize)
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+	// LRDropEvery halves the learning rate every this many epochs
+	// (0 disables the schedule).
+	LRDropEvery int
+	// BeforeForward, when non-nil, runs right before every forward pass
+	// with the batch about to be consumed. The §IV-D resilient-training
+	// procedure uses it to re-arm random fault-injection sites each step.
+	BeforeForward func(step int)
+	// AfterEpoch, when non-nil, observes per-epoch training loss.
+	AfterEpoch func(epoch int, meanLoss float64)
+}
+
+// Result summarizes a training run.
+type Result struct {
+	Steps       int
+	FinalLoss   float64
+	LossByEpoch []float64
+}
+
+// Loop trains the model with SGD over the batch source.
+func Loop(model nn.Layer, src BatchSource, cfg Config) (Result, error) {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.TrainSize <= 0 {
+		return Result{}, fmt.Errorf("train: invalid config %+v", cfg)
+	}
+	if cfg.TrainSize < cfg.BatchSize {
+		return Result{}, fmt.Errorf("train: TrainSize %d smaller than BatchSize %d", cfg.TrainSize, cfg.BatchSize)
+	}
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	params := nn.AllParams(model)
+	nn.SetTraining(model, true)
+	defer nn.SetTraining(model, false)
+
+	var res Result
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRDropEvery > 0 && epoch > 0 && epoch%cfg.LRDropEvery == 0 {
+			opt.LR /= 2
+		}
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo+cfg.BatchSize <= cfg.TrainSize; lo += cfg.BatchSize {
+			x, labels := src.Batch(lo, cfg.BatchSize)
+			if cfg.BeforeForward != nil {
+				cfg.BeforeForward(step)
+			}
+			logits := nn.Run(model, x)
+			loss, grad := SoftmaxCrossEntropy(logits, labels)
+			nn.ZeroGrads(model)
+			nn.RunBackward(model, grad)
+			opt.Step(params)
+			epochLoss += loss
+			batches++
+			step++
+		}
+		mean := epochLoss / float64(batches)
+		res.LossByEpoch = append(res.LossByEpoch, mean)
+		res.FinalLoss = mean
+		if cfg.AfterEpoch != nil {
+			cfg.AfterEpoch(epoch, mean)
+		}
+	}
+	res.Steps = step
+	return res, nil
+}
+
+// Accuracy evaluates Top-1 accuracy over samples [lo, lo+n) in eval mode,
+// batching internally.
+func Accuracy(model nn.Layer, src BatchSource, lo, n, batchSize int) float64 {
+	nn.SetTraining(model, false)
+	correct := 0
+	total := 0
+	for off := 0; off < n; off += batchSize {
+		sz := batchSize
+		if off+sz > n {
+			sz = n - off
+		}
+		x, labels := src.Batch(lo+off, sz)
+		logits := nn.Run(model, x)
+		preds := tensor.ArgMaxRows(logits)
+		for i, p := range preds {
+			if p == labels[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// CorrectIndices returns the sample indices in [lo, lo+n) that the model
+// classifies correctly in eval mode — the paper's campaigns inject faults
+// only on correctly-classified inputs.
+func CorrectIndices(model nn.Layer, src BatchSource, lo, n, batchSize int) []int {
+	nn.SetTraining(model, false)
+	var out []int
+	for off := 0; off < n; off += batchSize {
+		sz := batchSize
+		if off+sz > n {
+			sz = n - off
+		}
+		x, labels := src.Batch(lo+off, sz)
+		preds := tensor.ArgMaxRows(nn.Run(model, x))
+		for i, p := range preds {
+			if p == labels[i] {
+				out = append(out, lo+off+i)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gofi/internal/data"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+func TestSoftmaxCrossEntropyKnownValues(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := tensor.New(2, 4)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("uniform loss = %g, want ln4 = %g", loss, math.Log(4))
+	}
+	// Gradient: (0.25 - onehot)/N.
+	if math.Abs(float64(grad.At(0, 0))-(0.25-1)/2) > 1e-6 {
+		t.Fatalf("grad[0,0] = %g", grad.At(0, 0))
+	}
+	if math.Abs(float64(grad.At(0, 1))-0.25/2) > 1e-6 {
+		t.Fatalf("grad[0,1] = %g", grad.At(0, 1))
+	}
+	// Gradient rows sum to ~0.
+	var s float64
+	for c := 0; c < 4; c++ {
+		s += float64(grad.At(1, c))
+	}
+	if math.Abs(s) > 1e-6 {
+		t.Fatalf("grad row sum = %g", s)
+	}
+}
+
+func TestSoftmaxCrossEntropyConfidentCorrect(t *testing.T) {
+	logits := tensor.FromSlice([]float32{10, -10, -10}, 1, 3)
+	loss, _ := SoftmaxCrossEntropy(logits, []int{0})
+	if loss > 1e-6 {
+		t.Fatalf("confident correct loss = %g, want ~0", loss)
+	}
+	lossWrong, _ := SoftmaxCrossEntropy(logits, []int{1})
+	if lossWrong < 10 {
+		t.Fatalf("confident wrong loss = %g, want ≥ 10", lossWrong)
+	}
+}
+
+func TestSoftmaxCrossEntropyPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"rank1", func() { SoftmaxCrossEntropy(tensor.New(3), []int{0}) }},
+		{"label-count", func() { SoftmaxCrossEntropy(tensor.New(2, 3), []int{0}) }},
+		{"label-range", func() { SoftmaxCrossEntropy(tensor.New(1, 3), []int{5}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestSGDPlainStep(t *testing.T) {
+	p := &nn.Param{
+		Data: tensor.FromSlice([]float32{1, 2}, 2),
+		Grad: tensor.FromSlice([]float32{0.5, -0.5}, 2),
+	}
+	NewSGD(0.1, 0, 0).Step([]*nn.Param{p})
+	want := tensor.FromSlice([]float32{0.95, 2.05}, 2)
+	if !p.Data.AllClose(want, 1e-6) {
+		t.Fatalf("SGD step = %v, want %v", p.Data, want)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := &nn.Param{
+		Data: tensor.FromSlice([]float32{0}, 1),
+		Grad: tensor.FromSlice([]float32{1}, 1),
+	}
+	opt := NewSGD(1, 0.9, 0)
+	opt.Step([]*nn.Param{p}) // v=1, w=-1
+	opt.Step([]*nn.Param{p}) // v=1.9, w=-2.9
+	if math.Abs(float64(p.Data.AtFlat(0))+2.9) > 1e-6 {
+		t.Fatalf("momentum step w = %g, want -2.9", p.Data.AtFlat(0))
+	}
+}
+
+func TestSGDWeightDecayPullsTowardZero(t *testing.T) {
+	p := &nn.Param{
+		Data: tensor.FromSlice([]float32{10}, 1),
+		Grad: tensor.New(1), // zero gradient
+	}
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*nn.Param{p})
+	// w -= lr * wd * w = 10 - 0.1*0.5*10 = 9.5
+	if math.Abs(float64(p.Data.AtFlat(0))-9.5) > 1e-6 {
+		t.Fatalf("weight decay w = %g, want 9.5", p.Data.AtFlat(0))
+	}
+}
+
+// smallNet is a compact CNN that can learn the synthetic dataset quickly.
+func smallNet(rng *rand.Rand, classes int) nn.Layer {
+	return nn.NewSequential("small",
+		nn.NewConv2d("c1", rng, 3, 8, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("r1"),
+		nn.NewMaxPool2d("p1", 2, 0, 0),
+		nn.NewConv2d("c2", rng, 8, 16, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("r2"),
+		nn.NewGlobalAvgPool2d("gap"),
+		nn.NewFlatten("fl"),
+		nn.NewLinear("fc", rng, 16, classes, true),
+	)
+}
+
+func TestLoopLearnsSyntheticData(t *testing.T) {
+	ds, err := data.NewClassification(data.ClassificationConfig{
+		Classes: 4, Channels: 3, Size: 16, Noise: 0.1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	model := smallNet(rng, 4)
+
+	before := Accuracy(model, ds, 10000, 80, 16)
+	res, err := Loop(model, ds, Config{
+		Epochs: 4, BatchSize: 16, TrainSize: 256, LR: 0.05, Momentum: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Accuracy(model, ds, 10000, 80, 16)
+
+	if res.Steps != 4*16 {
+		t.Fatalf("steps = %d, want 64", res.Steps)
+	}
+	if len(res.LossByEpoch) != 4 {
+		t.Fatalf("epoch losses = %v", res.LossByEpoch)
+	}
+	if res.LossByEpoch[3] >= res.LossByEpoch[0] {
+		t.Fatalf("loss did not decrease: %v", res.LossByEpoch)
+	}
+	if after < before+0.3 || after < 0.8 {
+		t.Fatalf("accuracy before %.2f after %.2f; expected clear learning", before, after)
+	}
+}
+
+func TestLoopBeforeForwardRuns(t *testing.T) {
+	ds, _ := data.NewClassification(data.ClassificationConfig{
+		Classes: 2, Channels: 3, Size: 16, Noise: 0.1, Seed: 6,
+	})
+	model := smallNet(rand.New(rand.NewSource(2)), 2)
+	calls := 0
+	_, err := Loop(model, ds, Config{
+		Epochs: 1, BatchSize: 8, TrainSize: 32, LR: 0.01,
+		BeforeForward: func(step int) {
+			if step != calls {
+				t.Fatalf("step %d on call %d", step, calls)
+			}
+			calls++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("BeforeForward ran %d times, want 4", calls)
+	}
+}
+
+func TestLoopConfigValidation(t *testing.T) {
+	ds, _ := data.NewClassification(data.ClassificationConfig{
+		Classes: 2, Channels: 3, Size: 16, Noise: 0.1, Seed: 7,
+	})
+	model := smallNet(rand.New(rand.NewSource(3)), 2)
+	bad := []Config{
+		{},
+		{Epochs: 1, BatchSize: 0, TrainSize: 10},
+		{Epochs: 1, BatchSize: 32, TrainSize: 16},
+	}
+	for i, cfg := range bad {
+		if _, err := Loop(model, ds, cfg); err == nil {
+			t.Fatalf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestLoopLRSchedule(t *testing.T) {
+	ds, _ := data.NewClassification(data.ClassificationConfig{
+		Classes: 2, Channels: 3, Size: 16, Noise: 0.1, Seed: 8,
+	})
+	model := smallNet(rand.New(rand.NewSource(4)), 2)
+	var losses []float64
+	_, err := Loop(model, ds, Config{
+		Epochs: 3, BatchSize: 8, TrainSize: 16, LR: 0.01, LRDropEvery: 1,
+		AfterEpoch: func(_ int, l float64) { losses = append(losses, l) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 3 {
+		t.Fatalf("AfterEpoch ran %d times", len(losses))
+	}
+}
+
+func TestCorrectIndicesSubset(t *testing.T) {
+	ds, _ := data.NewClassification(data.ClassificationConfig{
+		Classes: 4, Channels: 3, Size: 16, Noise: 0.1, Seed: 9,
+	})
+	model := smallNet(rand.New(rand.NewSource(5)), 4)
+	if _, err := Loop(model, ds, Config{Epochs: 3, BatchSize: 16, TrainSize: 256, LR: 0.05, Momentum: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	idx := CorrectIndices(model, ds, 5000, 40, 8)
+	if len(idx) < 20 {
+		t.Fatalf("only %d of 40 correctly classified", len(idx))
+	}
+	// Every returned index must indeed classify correctly.
+	for _, i := range idx[:5] {
+		img, label := ds.Sample(i)
+		logits := nn.Run(model, img.Reshape(1, 3, 16, 16))
+		if tensor.ArgMaxRows(logits)[0] != label {
+			t.Fatalf("index %d reported correct but misclassifies", i)
+		}
+	}
+	// Accuracy computed two ways agrees.
+	acc := Accuracy(model, ds, 5000, 40, 8)
+	if math.Abs(acc-float64(len(idx))/40) > 1e-9 {
+		t.Fatalf("Accuracy %.3f vs CorrectIndices fraction %.3f", acc, float64(len(idx))/40)
+	}
+}
+
+func TestSGDVelocityIsolatedPerParam(t *testing.T) {
+	a := &nn.Param{Data: tensor.FromSlice([]float32{0}, 1), Grad: tensor.FromSlice([]float32{1}, 1)}
+	b := &nn.Param{Data: tensor.FromSlice([]float32{0}, 1), Grad: tensor.FromSlice([]float32{-1}, 1)}
+	opt := NewSGD(1, 0.9, 0)
+	opt.Step([]*nn.Param{a, b})
+	opt.Step([]*nn.Param{a, b})
+	// Velocities must not cross-contaminate: a moves down, b up, by the
+	// same magnitude.
+	if a.Data.AtFlat(0) != -b.Data.AtFlat(0) {
+		t.Fatalf("velocity leak: a=%g b=%g", a.Data.AtFlat(0), b.Data.AtFlat(0))
+	}
+}
+
+func TestAccuracyEmptyRange(t *testing.T) {
+	ds, _ := data.NewClassification(data.ClassificationConfig{Classes: 2, Channels: 3, Size: 16, Noise: 0.1, Seed: 30})
+	model := smallNet(rand.New(rand.NewSource(31)), 2)
+	if got := Accuracy(model, ds, 0, 0, 8); got != 0 {
+		t.Fatalf("empty accuracy = %g", got)
+	}
+}
+
+func TestLoopWithAugmentation(t *testing.T) {
+	// The augmenting wrapper satisfies BatchSource and still converges.
+	ds, _ := data.NewClassification(data.ClassificationConfig{Classes: 4, Channels: 3, Size: 16, Noise: 0.1, Seed: 32})
+	aug := data.NewAugment(ds, rand.New(rand.NewSource(33)), true, 2)
+	model := smallNet(rand.New(rand.NewSource(34)), 4)
+	res, err := Loop(model, aug, Config{Epochs: 4, BatchSize: 16, TrainSize: 256, LR: 0.05, Momentum: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossByEpoch[len(res.LossByEpoch)-1] >= res.LossByEpoch[0] {
+		t.Fatalf("augmented training did not improve: %v", res.LossByEpoch)
+	}
+	// Evaluation on the un-augmented set still works well.
+	if acc := Accuracy(model, ds, 9000, 60, 12); acc < 0.7 {
+		t.Fatalf("augmented-trained accuracy %.2f", acc)
+	}
+}
