@@ -6,14 +6,19 @@
 package gofi_bench
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 	"testing"
 
+	"gofi/internal/campaign"
 	"gofi/internal/core"
+	"gofi/internal/data"
 	"gofi/internal/experiments"
 	"gofi/internal/models"
 	"gofi/internal/nn"
 	"gofi/internal/tensor"
+	"gofi/internal/train"
 )
 
 // --- Figure 3: instrumentation overhead ---------------------------------
@@ -99,7 +104,7 @@ func BenchmarkBatchSweep32FI(b *testing.B)   { benchBatch(b, 32, true) }
 
 func BenchmarkFig4Campaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, err := experiments.RunFig4(experiments.Fig4Config{
+		_, err := experiments.RunFig4(context.Background(), experiments.Fig4Config{
 			Models:         []string{"alexnet"},
 			TrialsPerModel: 50,
 			Workers:        2,
@@ -118,7 +123,7 @@ func BenchmarkFig4Campaign(b *testing.B) {
 
 func BenchmarkFig5Detect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, err := experiments.RunFig5(experiments.Fig5Config{
+		_, err := experiments.RunFig5(context.Background(), experiments.Fig5Config{
 			Scenes: 3, InjectionsPerScene: 2, SceneSize: 32, TrainEpochs: 8, Seed: 4,
 		})
 		if err != nil {
@@ -131,7 +136,7 @@ func BenchmarkFig5Detect(b *testing.B) {
 
 func BenchmarkFig6IBP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, err := experiments.RunFig6(experiments.Fig6Config{
+		_, err := experiments.RunFig6(context.Background(), experiments.Fig6Config{
 			Alphas: []float64{0.1}, Epsilons: []float32{0.125},
 			Trials: 40, InSize: 16, Classes: 4, TrainEpochs: 3, Seed: 5,
 		})
@@ -145,7 +150,7 @@ func BenchmarkFig6IBP(b *testing.B) {
 
 func BenchmarkTable1Training(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, err := experiments.RunTable1(experiments.Table1Config{
+		_, err := experiments.RunTable1(context.Background(), experiments.Table1Config{
 			Model: "resnet18", Classes: 4, InSize: 16,
 			Epochs: 2, TrainSize: 128, BatchSize: 16, EvalTrials: 40, Seed: 6,
 		})
@@ -159,7 +164,7 @@ func BenchmarkTable1Training(b *testing.B) {
 
 func BenchmarkFig7GradCAM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, err := experiments.RunFig7(experiments.Fig7Config{
+		_, err := experiments.RunFig7(context.Background(), experiments.Fig7Config{
 			Model: "densenet", Classes: 4, InSize: 16, TrainEpochs: 3, Seed: 7,
 		})
 		if err != nil {
@@ -285,3 +290,92 @@ func BenchmarkAblationSites0(b *testing.B)   { benchSiteCount(b, 0) }
 func BenchmarkAblationSites1(b *testing.B)   { benchSiteCount(b, 1) }
 func BenchmarkAblationSites16(b *testing.B)  { benchSiteCount(b, 16) }
 func BenchmarkAblationSites256(b *testing.B) { benchSiteCount(b, 256) }
+
+// --- Campaign engine throughput ------------------------------------------
+//
+// Worker-count scaling of the trial engine over one shared trained model.
+// The engine's contract makes the Aggregate identical across these three
+// benchmarks; only the wall clock may differ.
+
+var campaignBench struct {
+	once     sync.Once
+	ds       *data.Classification
+	model    nn.Layer
+	eligible []int
+	err      error
+}
+
+func campaignBenchSetup(b *testing.B) (*data.Classification, nn.Layer, []int) {
+	b.Helper()
+	s := &campaignBench
+	s.once.Do(func() {
+		s.ds, s.err = data.NewClassification(data.ClassificationConfig{
+			Classes: 4, Channels: 3, Size: 16, Noise: 0.2, Seed: 31,
+		})
+		if s.err != nil {
+			return
+		}
+		s.model, s.err = models.Build("alexnet", rand.New(rand.NewSource(31)), 4, 16)
+		if s.err != nil {
+			return
+		}
+		if _, s.err = train.Loop(s.model, s.ds, train.Config{
+			Epochs: 6, BatchSize: 16, TrainSize: 256, LR: 0.05, Momentum: 0.9,
+		}); s.err != nil {
+			return
+		}
+		s.eligible = train.CorrectIndices(s.model, s.ds, 5000, 60, 12)
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	if len(s.eligible) == 0 {
+		b.Fatal("trained model classifies nothing correctly")
+	}
+	return s.ds, s.model, s.eligible
+}
+
+func benchCampaignWorkers(b *testing.B, workers int) {
+	b.Helper()
+	ds, model, eligible := campaignBenchSetup(b)
+	// Serial conv backend: otherwise intra-trial parallelism saturates the
+	// CPU on its own and masks the engine-level scaling being measured.
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	const trials = 200
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := campaign.Run(context.Background(), campaign.Config{
+			Workers:  workers,
+			Trials:   trials,
+			Seed:     32,
+			Source:   ds,
+			Eligible: eligible,
+			NewReplica: func(worker int) (*core.Injector, error) {
+				replica, err := models.Build("alexnet", rand.New(rand.NewSource(31)), 4, 16)
+				if err != nil {
+					return nil, err
+				}
+				if err := nn.ShareParams(replica, model); err != nil {
+					return nil, err
+				}
+				return core.New(replica, core.Config{Height: 16, Width: 16, Seed: int64(worker)})
+			},
+			Arm: func(inj *core.Injector, rng *rand.Rand) error {
+				_, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue())
+				return err
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Trials != trials {
+			b.Fatalf("trials = %d, want %d", agg.Trials, trials)
+		}
+	}
+	b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkCampaignWorkers1(b *testing.B) { benchCampaignWorkers(b, 1) }
+func BenchmarkCampaignWorkers4(b *testing.B) { benchCampaignWorkers(b, 4) }
+func BenchmarkCampaignWorkers8(b *testing.B) { benchCampaignWorkers(b, 8) }

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gofi/internal/core"
 	"gofi/internal/experiments"
@@ -19,13 +22,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gofi-bits:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gofi-bits", flag.ContinueOnError)
 	model := fs.String("model", "alexnet", "architecture to study")
 	dtype := fs.String("dtype", "int8", "emulated data type: fp32, fp16, int8")
@@ -48,7 +53,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown dtype %q", *dtype)
 	}
 
-	rows, err := experiments.RunBitStudy(experiments.BitStudyConfig{
+	rows, err := experiments.RunBitStudy(ctx, experiments.BitStudyConfig{
 		Model:        *model,
 		TrialsPerBit: *trials,
 		TrainEpochs:  *epochs,

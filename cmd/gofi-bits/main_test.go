@@ -1,12 +1,15 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run([]string{"-dtype", "int4"}); err == nil {
+	if err := run(context.Background(), []string{"-dtype", "int4"}); err == nil {
 		t.Fatal("unknown dtype must error")
 	}
-	if err := run([]string{"-nope"}); err == nil {
+	if err := run(context.Background(), []string{"-nope"}); err == nil {
 		t.Fatal("unknown flag must error")
 	}
 }

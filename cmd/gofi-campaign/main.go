@@ -3,17 +3,27 @@
 // it trains the network on the synthetic dataset, runs the campaign in
 // parallel, and reports corruption statistics with confidence intervals.
 //
+// Campaigns are deterministic in (seed, trials) regardless of -workers,
+// cancellable with Ctrl-C (partial statistics are still reported), and can
+// stream one JSON record per trial with -jsonl.
+//
 // Usage:
 //
 //	gofi-campaign -model resnet18 -error bitflip -scope neuron -trials 2000
 //	gofi-campaign -model vgg19 -error random -scope per-layer -dtype fp16
+//	gofi-campaign -trials 50000 -progress -jsonl trials.jsonl
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"gofi/internal/campaign"
 	"gofi/internal/core"
@@ -22,43 +32,84 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gofi-campaign:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// usageError wraps an invalid flag combination so run can print the flag
+// set's usage before failing with a non-zero exit code.
+func usageError(fs *flag.FlagSet, format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	fmt.Fprintln(os.Stderr, "gofi-campaign:", err)
+	fs.Usage()
+	return err
+}
+
+func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("gofi-campaign", flag.ContinueOnError)
 	model := fs.String("model", "resnet18", "architecture (see gofi-info -list)")
 	errModel := fs.String("error", "bitflip", "error model: bitflip, bitflip2, random, zero, gauss, gain")
 	scope := fs.String("scope", "neuron", "injection scope per trial: neuron, per-layer, fmap, weight")
 	dtype := fs.String("dtype", "int8", "emulated data type: fp32, fp16, int8")
 	trials := fs.Int("trials", 1000, "injection trials")
-	workers := fs.Int("workers", 4, "parallel campaign workers")
+	workers := fs.Int("workers", 4, "parallel campaign workers (throughput only; results depend on -seed and -trials alone)")
 	classes := fs.Int("classes", 10, "dataset classes")
 	size := fs.Int("size", 32, "input size")
 	epochs := fs.Int("epochs", 8, "training epochs before the campaign")
 	noise := fs.Float64("noise", 0.6, "dataset pixel-noise std")
 	seed := fs.Int64("seed", 1, "experiment seed")
+	progress := fs.Bool("progress", false, "print live trials/sec and ETA to stderr")
+	jsonl := fs.String("jsonl", "", "stream one JSON record per trial to this file")
+	skipErrors := fs.Bool("skip-errors", false, "count failing trials and continue instead of aborting the campaign")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	em, err := parseErrorModel(*errModel)
 	if err != nil {
-		return err
+		return usageError(fs, "%v", err)
 	}
 	dt, err := parseDType(*dtype)
 	if err != nil {
-		return err
+		return usageError(fs, "%v", err)
 	}
 	arm, err := parseScope(*scope, em)
 	if err != nil {
-		return err
+		return usageError(fs, "%v", err)
+	}
+	if *trials <= 0 {
+		return usageError(fs, "-trials must be positive, got %d", *trials)
+	}
+	if *workers < 0 {
+		return usageError(fs, "-workers must be non-negative, got %d", *workers)
 	}
 
-	res, err := experiments.RunGenericCampaign(experiments.GenericCampaignConfig{
+	var sinks []campaign.TrialSink
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sinks = append(sinks, report.NewTrialJSONL(f))
+	}
+	var progressFn func(campaign.Progress)
+	if *progress {
+		progressFn = func(p campaign.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d trials  %.1f trials/s  ETA %s   ",
+				p.Done, p.Total, p.TrialsPerSec, p.ETA.Round(time.Second))
+		}
+	}
+	policy := campaign.FailFast
+	if *skipErrors {
+		policy = campaign.SkipAndCount
+	}
+
+	res, err := experiments.RunGenericCampaign(ctx, experiments.GenericCampaignConfig{
 		Model:          *model,
 		Classes:        *classes,
 		InSize:         *size,
@@ -70,13 +121,24 @@ func run(args []string) error {
 		Arm:            arm,
 		IsolateWeights: *scope == "weight",
 		Seed:           *seed,
+		Sinks:          sinks,
+		Progress:       progressFn,
+		OnError:        policy,
 	})
-	if err != nil {
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	aborted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !aborted {
 		return err
 	}
 
-	fmt.Printf("GoFI campaign — %s, %s error model, %s scope, %s\n", *model, em.Name(), *scope, dt)
-	fmt.Printf("clean accuracy: %.1f%% (%d eligible inputs)\n", 100*res.CleanAcc, res.EligibleCount)
+	fmt.Fprintf(out, "GoFI campaign — %s, %s error model, %s scope, %s\n", *model, em.Name(), *scope, dt)
+	if aborted {
+		fmt.Fprintf(out, "campaign aborted (%v) — partial statistics over %d completed trials\n",
+			err, res.Aggregate.Trials)
+	}
+	fmt.Fprintf(out, "clean accuracy: %.1f%% (%d eligible inputs)\n", 100*res.CleanAcc, res.EligibleCount)
 	agg := res.Aggregate
 	lo, hi := agg.WilsonCI(campaign.Z99)
 	tb := report.NewTable("Metric", "Value")
@@ -87,7 +149,13 @@ func run(args []string) error {
 	tb.AddRow("Clean Top-1 out of faulty Top-5", agg.OutOfTop5)
 	tb.AddRow("Confidence drops > 0.2", agg.BigConfDrop)
 	tb.AddRow("Non-finite outputs", agg.NonFinite)
-	tb.Render(os.Stdout)
+	if agg.Skipped > 0 {
+		tb.AddRow("Skipped (trial errors)", agg.Skipped)
+	}
+	tb.Render(out)
+	if aborted {
+		return fmt.Errorf("aborted: %w", err)
+	}
 	return nil
 }
 

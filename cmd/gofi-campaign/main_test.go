@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"os"
+	"testing"
+)
 
 func TestParseErrorModel(t *testing.T) {
 	for _, name := range []string{"bitflip", "bitflip2", "random", "zero", "gauss", "gain"} {
@@ -39,16 +43,18 @@ func TestParseScope(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-error", "nope"}); err == nil {
-		t.Fatal("bad error model must fail")
-	}
-	if err := run([]string{"-dtype", "nope"}); err == nil {
-		t.Fatal("bad dtype must fail")
-	}
-	if err := run([]string{"-scope", "nope"}); err == nil {
-		t.Fatal("bad scope must fail")
-	}
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
-		t.Fatal("unknown flag must fail")
+	ctx := context.Background()
+	for _, args := range [][]string{
+		{"-error", "nope"},
+		{"-dtype", "nope"},
+		{"-scope", "nope"},
+		{"-trials", "0"},
+		{"-trials", "-5"},
+		{"-workers", "-1"},
+		{"-definitely-not-a-flag"},
+	} {
+		if err := run(ctx, args, os.Stdout); err == nil {
+			t.Fatalf("run(%v) must fail", args)
+		}
 	}
 }

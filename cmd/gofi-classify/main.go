@@ -8,23 +8,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"gofi/internal/experiments"
 	"gofi/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gofi-classify:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gofi-classify", flag.ContinueOnError)
 	trials := fs.Int("trials", 2000, "injection trials per network")
 	workers := fs.Int("workers", 4, "parallel campaign workers")
@@ -46,7 +51,7 @@ func run(args []string) error {
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")
 	}
-	rows, err := experiments.RunFig4(cfg)
+	rows, err := experiments.RunFig4(ctx, cfg)
 	if err != nil {
 		return err
 	}

@@ -8,22 +8,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gofi/internal/experiments"
 	"gofi/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gofi-detect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gofi-detect", flag.ContinueOnError)
 	scenes := fs.Int("scenes", 20, "held-out scenes to evaluate")
 	injections := fs.Int("injections", 3, "injection repeats per scene")
@@ -34,7 +39,7 @@ func run(args []string) error {
 		return err
 	}
 
-	res, err := experiments.RunFig5(experiments.Fig5Config{
+	res, err := experiments.RunFig5(ctx, experiments.Fig5Config{
 		Scenes:             *scenes,
 		InjectionsPerScene: *injections,
 		SceneSize:          *size,

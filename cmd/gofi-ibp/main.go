@@ -8,22 +8,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gofi/internal/experiments"
 	"gofi/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gofi-ibp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gofi-ibp", flag.ContinueOnError)
 	trials := fs.Int("trials", 800, "bit-flip trials per trained model")
 	epochs := fs.Int("epochs", 8, "training epochs per model")
@@ -44,7 +49,7 @@ func run(args []string) error {
 		cfg.Alphas = []float64{0.025, 0.25}
 		cfg.Epsilons = []float32{0.125, 0.5}
 	}
-	res, err := experiments.RunFig6(cfg)
+	res, err := experiments.RunFig6(ctx, cfg)
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,12 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunRejectsUnknownFlag(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("unknown flag must error")
 	}
 }

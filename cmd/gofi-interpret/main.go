@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gofi/internal/experiments"
 	"gofi/internal/report"
@@ -18,13 +21,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gofi-interpret:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gofi-interpret", flag.ContinueOnError)
 	model := fs.String("model", "densenet", "architecture to explain")
 	value := fs.Float64("value", 10000, "injected value")
@@ -35,7 +40,7 @@ func run(args []string) error {
 		return err
 	}
 
-	res, err := experiments.RunFig7(experiments.Fig7Config{
+	res, err := experiments.RunFig7(ctx, experiments.Fig7Config{
 		Model:       *model,
 		InjectValue: float32(*value),
 		TrainEpochs: *epochs,

@@ -9,22 +9,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gofi/internal/experiments"
 	"gofi/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gofi-layers:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gofi-layers", flag.ContinueOnError)
 	model := fs.String("model", "alexnet", "architecture to profile")
 	trials := fs.Int("trials", 300, "injection trials per layer")
@@ -44,7 +49,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown granularity %q (want neuron or fmap)", *gran)
 	}
 
-	rows, err := experiments.RunLayerVuln(experiments.LayerVulnConfig{
+	rows, err := experiments.RunLayerVuln(ctx, experiments.LayerVulnConfig{
 		Model:          *model,
 		TrialsPerLayer: *trials,
 		TrainEpochs:    *epochs,

@@ -1,12 +1,15 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run([]string{"-granularity", "atom"}); err == nil {
+	if err := run(context.Background(), []string{"-granularity", "atom"}); err == nil {
 		t.Fatal("unknown granularity must error")
 	}
-	if err := run([]string{"-nope"}); err == nil {
+	if err := run(context.Background(), []string{"-nope"}); err == nil {
 		t.Fatal("unknown flag must error")
 	}
 }

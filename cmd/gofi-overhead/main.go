@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gofi/internal/experiments"
 	"gofi/internal/models"
@@ -18,13 +21,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gofi-overhead:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gofi-overhead", flag.ContinueOnError)
 	trials := fs.Int("trials", 5, "inferences averaged per cell")
 	quick := fs.Bool("quick", false, "run a 4-network subset instead of all 19")
@@ -35,7 +40,7 @@ func run(args []string) error {
 	}
 
 	if *batches {
-		rows, err := experiments.RunBatchSweep("resnet18", 32, nil, *trials, *seed)
+		rows, err := experiments.RunBatchSweep(ctx, "resnet18", 32, nil, *trials, *seed)
 		if err != nil {
 			return err
 		}
@@ -53,7 +58,7 @@ func run(args []string) error {
 		all := models.Fig3Registry()
 		cfg.Entries = []models.Fig3Entry{all[0], all[5], all[12], all[18]}
 	}
-	rows, err := experiments.RunFig3(cfg)
+	rows, err := experiments.RunFig3(ctx, cfg)
 	if err != nil {
 		return err
 	}

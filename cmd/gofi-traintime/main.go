@@ -9,22 +9,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gofi/internal/experiments"
 	"gofi/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gofi-traintime:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gofi-traintime", flag.ContinueOnError)
 	model := fs.String("model", "resnet18", "architecture to train")
 	epochs := fs.Int("epochs", 6, "training epochs per twin")
@@ -37,7 +42,7 @@ func run(args []string) error {
 		return err
 	}
 
-	res, err := experiments.RunTable1(experiments.Table1Config{
+	res, err := experiments.RunTable1(ctx, experiments.Table1Config{
 		Model:      *model,
 		Epochs:     *epochs,
 		TrainSize:  *trainSize,

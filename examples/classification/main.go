@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -69,7 +70,7 @@ func run() error {
 		}
 		return inj, nil
 	}
-	agg, err := campaign.Run(campaign.Config{
+	agg, err := campaign.Run(context.Background(), campaign.Config{
 		Workers:    2,
 		Trials:     400,
 		Seed:       99,

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -20,7 +21,7 @@ func main() {
 }
 
 func run() error {
-	res, err := experiments.RunFig7(experiments.Fig7Config{
+	res, err := experiments.RunFig7(context.Background(), experiments.Fig7Config{
 		Model:       "densenet",
 		Classes:     4,
 		InSize:      16,

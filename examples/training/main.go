@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -19,7 +20,7 @@ func main() {
 }
 
 func run() error {
-	res, err := experiments.RunTable1(experiments.Table1Config{
+	res, err := experiments.RunTable1(context.Background(), experiments.Table1Config{
 		Model:      "resnet18",
 		Classes:    4,
 		InSize:     16,

@@ -6,6 +6,12 @@
 // its siblings (models are not goroutine-safe; weights are read-only
 // during neuron-fault campaigns).
 //
+// The execution engine (engine.go) guarantees a determinism contract: a
+// campaign's Aggregate is a pure function of (Seed, Trials), independent
+// of Workers and of scheduling. Runs are cancellable through
+// context.Context and stream one TrialRecord per trial to pluggable
+// sinks (sink.go).
+//
 // This is the harness behind the paper's §IV-A study (107 million
 // injections on their testbed; scaled down here) and the per-layer
 // vulnerability analyses of §IV-C.
@@ -15,10 +21,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"gofi/internal/core"
-	"gofi/internal/nn"
 	"gofi/internal/tensor"
 )
 
@@ -27,15 +31,15 @@ import (
 type Outcome struct {
 	// Top1Changed: the injected inference's Top-1 differs from the clean
 	// Top-1 — the paper's primary "output corruption" definition.
-	Top1Changed bool
+	Top1Changed bool `json:"top1_changed"`
 	// Top1OutOfTop5: the clean Top-1 fell out of the injected Top-5, a
 	// coarser corruption criterion.
-	Top1OutOfTop5 bool
+	Top1OutOfTop5 bool `json:"top1_out_of_top5"`
 	// ConfidenceDrop: clean Top-1 probability minus its probability under
 	// injection (positive = the fault eroded confidence).
-	ConfidenceDrop float64
+	ConfidenceDrop float64 `json:"confidence_drop"`
 	// NonFinite: the injected logits contain NaN or Inf.
-	NonFinite bool
+	NonFinite bool `json:"non_finite"`
 }
 
 // Aggregate accumulates outcomes.
@@ -46,6 +50,9 @@ type Aggregate struct {
 	NonFinite   int
 	ConfDropSum float64
 	BigConfDrop int // trials with ConfidenceDrop > 0.2
+	// Skipped counts trials voided by a per-trial error under the
+	// SkipAndCount policy; they are excluded from Trials and every rate.
+	Skipped int
 }
 
 // Add folds one outcome into the aggregate.
@@ -74,6 +81,7 @@ func (a *Aggregate) Merge(b Aggregate) {
 	a.NonFinite += b.NonFinite
 	a.ConfDropSum += b.ConfDropSum
 	a.BigConfDrop += b.BigConfDrop
+	a.Skipped += b.Skipped
 }
 
 // Rate returns the Top-1 misclassification probability.
@@ -119,13 +127,31 @@ type SampleSource interface {
 	Sample(i int) (*tensor.Tensor, int)
 }
 
+// ErrorPolicy decides what a per-trial failure (an Arm error or a panic
+// inside the trial) does to the rest of the campaign.
+type ErrorPolicy int
+
+const (
+	// FailFast aborts the whole campaign on the first trial error,
+	// returning the partial aggregate alongside the error. The default.
+	FailFast ErrorPolicy = iota
+	// SkipAndCount voids the failing trial, counts it in
+	// Aggregate.Skipped, and lets the campaign finish — one bad arm does
+	// not discard a million-trial run.
+	SkipAndCount
+)
+
 // Config drives Run.
 type Config struct {
-	// Workers is the number of parallel trial runners (default 1).
+	// Workers is the number of parallel trial runners (default 1). The
+	// worker count affects throughput only, never results: trials are
+	// scheduled by work stealing and every trial's randomness derives
+	// from (Seed, trial index) alone.
 	Workers int
 	// Trials is the total number of injection trials.
 	Trials int
-	// Seed derives every worker's private RNG.
+	// Seed is the campaign's single source of randomness; with Trials it
+	// fully determines the Aggregate.
 	Seed int64
 	// NewReplica builds worker w's private injector (and instrumented
 	// model). Replicas must share trained weights but nothing else.
@@ -135,8 +161,20 @@ type Config struct {
 	// Eligible lists the sample indices trials may draw from (typically
 	// the correctly-classified subset, as in §IV-A).
 	Eligible []int
-	// Arm arms this trial's fault(s) on a freshly Reset injector.
+	// Arm arms this trial's fault(s) on a freshly Reset injector. The rng
+	// is the trial's private stream.
 	Arm func(inj *core.Injector, rng *rand.Rand) error
+	// Sinks receive one TrialRecord per finished trial, in completion
+	// order, from a single collector goroutine (sinks need no locking).
+	Sinks []TrialSink
+	// Progress, if non-nil, receives periodic throughput snapshots from
+	// the collector goroutine.
+	Progress func(Progress)
+	// ProgressEvery is the record interval between Progress calls
+	// (default Trials/100, at least 1).
+	ProgressEvery int
+	// OnError selects the per-trial failure policy (default FailFast).
+	OnError ErrorPolicy
 }
 
 func (c Config) validate() error {
@@ -159,96 +197,6 @@ type cleanPrediction struct {
 	top1 int
 	top5 []int
 	conf float64
-}
-
-// Run executes the campaign and returns the aggregated outcomes.
-func Run(cfg Config) (Aggregate, error) {
-	if err := cfg.validate(); err != nil {
-		return Aggregate{}, err
-	}
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = 1
-	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
-
-	type result struct {
-		agg Aggregate
-		err error
-	}
-	results := make(chan result, workers)
-	// Static trial partition keeps the campaign deterministic for a fixed
-	// (Seed, Workers) pair.
-	per := cfg.Trials / workers
-	extra := cfg.Trials % workers
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		trials := per
-		if w < extra {
-			trials++
-		}
-		wg.Add(1)
-		go func(w, trials int) {
-			defer wg.Done()
-			agg, err := runWorker(cfg, w, trials)
-			results <- result{agg: agg, err: err}
-		}(w, trials)
-	}
-	wg.Wait()
-	close(results)
-
-	var total Aggregate
-	for r := range results {
-		if r.err != nil {
-			return Aggregate{}, r.err
-		}
-		total.Merge(r.agg)
-	}
-	return total, nil
-}
-
-func runWorker(cfg Config, worker, trials int) (Aggregate, error) {
-	inj, err := cfg.NewReplica(worker)
-	if err != nil {
-		return Aggregate{}, fmt.Errorf("campaign: worker %d replica: %w", worker, err)
-	}
-	model := inj.Model()
-	nn.SetTraining(model, false)
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*1_000_003))
-
-	clean := make(map[int]cleanPrediction, len(cfg.Eligible))
-	var agg Aggregate
-	for t := 0; t < trials; t++ {
-		idx := cfg.Eligible[rng.Intn(len(cfg.Eligible))]
-		img, _ := cfg.Source.Sample(idx)
-		shape := img.Shape()
-		x := img.Reshape(1, shape[0], shape[1], shape[2])
-
-		cp, ok := clean[idx]
-		if !ok {
-			inj.Reset()
-			logits := nn.Run(model, x)
-			probs := tensor.SoftmaxRows(logits)
-			cp = cleanPrediction{
-				top1: tensor.ArgMaxRows(logits)[0],
-				top5: tensor.TopK(logits, 5)[0],
-			}
-			cp.conf = float64(probs.At(0, cp.top1))
-			clean[idx] = cp
-		}
-
-		inj.Reset()
-		if err := cfg.Arm(inj, rng); err != nil {
-			return Aggregate{}, fmt.Errorf("campaign: worker %d trial %d arm: %w", worker, t, err)
-		}
-		logits := nn.Run(model, x)
-		agg.Add(classify(logits, cp))
-	}
-	inj.Reset()
-	return agg, nil
 }
 
 func classify(logits *tensor.Tensor, cp cleanPrediction) Outcome {

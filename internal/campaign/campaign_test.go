@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -132,7 +133,7 @@ func TestRunBenignFaultsAreMasked(t *testing.T) {
 			return err
 		},
 	}
-	agg, err := Run(cfg)
+	agg, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestRunCatastrophicFaultsCorrupt(t *testing.T) {
 			return err
 		},
 	}
-	agg, err := Run(cfg)
+	agg, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestRunCatastrophicFaultsCorrupt(t *testing.T) {
 func TestRunDeterministicAcrossRuns(t *testing.T) {
 	ds, model, eligible := trainedSetup(t)
 	mk := func() Aggregate {
-		agg, err := Run(Config{
+		agg, err := Run(context.Background(), Config{
 			Workers:    3,
 			Trials:     30,
 			Seed:       7,
@@ -218,7 +219,7 @@ func TestRunValidation(t *testing.T) {
 	} {
 		cfg := ok
 		mut(&cfg)
-		if _, err := Run(cfg); err == nil {
+		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Fatalf("%s: expected error", name)
 		}
 	}
@@ -227,7 +228,7 @@ func TestRunValidation(t *testing.T) {
 func TestRunPropagatesArmErrors(t *testing.T) {
 	ds, model, eligible := trainedSetup(t)
 	boom := errors.New("boom")
-	_, err := Run(Config{
+	_, err := Run(context.Background(), Config{
 		Trials:     4,
 		NewReplica: replicaFactory(t, model),
 		Source:     ds,
@@ -242,7 +243,7 @@ func TestRunPropagatesArmErrors(t *testing.T) {
 func TestRunPropagatesReplicaErrors(t *testing.T) {
 	ds, _, _ := trainedSetup(t)
 	boom := errors.New("replica boom")
-	_, err := Run(Config{
+	_, err := Run(context.Background(), Config{
 		Trials:     4,
 		NewReplica: func(int) (*core.Injector, error) { return nil, boom },
 		Source:     ds,
@@ -256,7 +257,7 @@ func TestRunPropagatesReplicaErrors(t *testing.T) {
 
 func TestRunMoreWorkersThanTrials(t *testing.T) {
 	ds, model, eligible := trainedSetup(t)
-	agg, err := Run(Config{
+	agg, err := Run(context.Background(), Config{
 		Workers:    16,
 		Trials:     3,
 		Seed:       8,

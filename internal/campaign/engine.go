@@ -1,0 +1,330 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gofi/internal/core"
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// Trial completion states, tracked per trial index so the final fold can
+// run in deterministic trial order over exactly the trials that finished.
+const (
+	trialPending = iota
+	trialDone
+	trialSkipped
+)
+
+// trialRNG derives trial t's private random stream from the campaign
+// seed alone, via the splitmix64 finalizer over Seed and t. This is the
+// determinism contract: everything random about a trial — its sample,
+// its fault site(s), and any stochastic error-model draws — is a pure
+// function of (Seed, t), never of the worker that executes it.
+func trialRNG(seed int64, t int) *rand.Rand {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(t+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+}
+
+// trialSample returns trial t's sample index: the first draw of its
+// private stream. The engine pre-computes this for every trial to build
+// the clean-prediction cache before any fault runs.
+func trialSample(cfg Config, t int) int {
+	return cfg.Eligible[trialRNG(cfg.Seed, t).Intn(len(cfg.Eligible))]
+}
+
+// Run executes the campaign and returns the aggregated outcomes.
+//
+// Contract: for a fixed (Seed, Trials) the returned Aggregate is
+// byte-identical regardless of Workers. Cancelling ctx stops the
+// campaign at the next trial boundary and returns the aggregate over the
+// trials that completed, alongside ctx's error. Per-trial failures
+// follow Config.OnError: FailFast aborts (partial aggregate + error),
+// SkipAndCount voids the trial into Aggregate.Skipped.
+func Run(ctx context.Context, cfg Config) (Aggregate, error) {
+	if err := cfg.validate(); err != nil {
+		return Aggregate{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	// Internal abort signal: tripped by FailFast trial errors and sink
+	// errors in addition to the caller's ctx.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var failErr error
+	var failOnce sync.Once
+	fail := func(err error) {
+		failOnce.Do(func() {
+			failErr = err
+			cancel()
+		})
+	}
+
+	// Build every worker's replica up front (model construction dominates
+	// setup cost, so do it concurrently) and fail before any trial runs
+	// if one cannot be built.
+	replicas := make([]*core.Injector, workers)
+	var buildWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		buildWG.Add(1)
+		go func(w int) {
+			defer buildWG.Done()
+			inj, err := cfg.NewReplica(w)
+			if err != nil {
+				fail(fmt.Errorf("campaign: worker %d replica: %w", w, err))
+				return
+			}
+			nn.SetTraining(inj.Model(), false)
+			// Site capture for TrialRecords rides on the injection trace.
+			if len(cfg.Sinks) > 0 {
+				inj.EnableTrace(true)
+			}
+			replicas[w] = inj
+		}(w)
+	}
+	buildWG.Wait()
+	if failErr != nil {
+		return Aggregate{}, failErr
+	}
+	defer func() {
+		for _, inj := range replicas {
+			inj.Reset()
+		}
+	}()
+
+	// Pre-pass: derive every trial's sample choice, then compute each
+	// distinct sample's clean prediction exactly once, in parallel,
+	// before fan-out. Workers previously re-ran clean inference into
+	// private caches, duplicating the work Workers times.
+	sampleOf := make([]int, cfg.Trials)
+	var order []int // distinct samples, first-use order
+	slot := make(map[int]int, len(cfg.Eligible))
+	for t := range sampleOf {
+		idx := trialSample(cfg, t)
+		sampleOf[t] = idx
+		if _, ok := slot[idx]; !ok {
+			slot[idx] = len(order)
+			order = append(order, idx)
+		}
+	}
+	cleanVals := make([]cleanPrediction, len(order))
+	var cleanNext atomic.Int64
+	var cleanWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cleanWG.Add(1)
+		go func(w int) {
+			defer cleanWG.Done()
+			for runCtx.Err() == nil {
+				i := int(cleanNext.Add(1)) - 1
+				if i >= len(order) {
+					return
+				}
+				cp, err := cleanPredict(replicas[w], cfg.Source, order[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				cleanVals[i] = cp
+			}
+		}(w)
+	}
+	cleanWG.Wait()
+	if failErr != nil {
+		return Aggregate{}, failErr
+	}
+	if err := ctx.Err(); err != nil {
+		return Aggregate{}, err
+	}
+	clean := make(map[int]cleanPrediction, len(order))
+	for i, idx := range order {
+		clean[idx] = cleanVals[i]
+	}
+
+	// Trial phase: work-stealing over trial indices. Each worker owns the
+	// slots of the trials it claims, so outcomes/state need no locks; the
+	// fold after the barrier reads them in trial order.
+	outcomes := make([]Outcome, cfg.Trials)
+	state := make([]uint8, cfg.Trials)
+	records := make(chan TrialRecord, workers*4)
+
+	var collectorWG sync.WaitGroup
+	collectorWG.Add(1)
+	go func() {
+		defer collectorWG.Done()
+		every := cfg.ProgressEvery
+		if every <= 0 {
+			every = cfg.Trials / 100
+			if every < 1 {
+				every = 1
+			}
+		}
+		done, skipped := 0, 0
+		sinksOK := true
+		start := time.Now()
+		for rec := range records {
+			if sinksOK {
+				for _, s := range cfg.Sinks {
+					if err := s.Record(rec); err != nil {
+						fail(fmt.Errorf("campaign: sink: %w", err))
+						sinksOK = false
+						break
+					}
+				}
+			}
+			done++
+			if rec.Err != "" {
+				skipped++
+			}
+			if cfg.Progress != nil && (done%every == 0 || done == cfg.Trials) {
+				elapsed := time.Since(start)
+				p := Progress{Done: done, Total: cfg.Trials, Skipped: skipped, Elapsed: elapsed}
+				if secs := elapsed.Seconds(); secs > 0 {
+					p.TrialsPerSec = float64(done) / secs
+					p.ETA = time.Duration(float64(cfg.Trials-done) / p.TrialsPerSec * float64(time.Second))
+				}
+				cfg.Progress(p)
+			}
+		}
+	}()
+
+	var next atomic.Int64
+	var trialWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		trialWG.Add(1)
+		go func(w int) {
+			defer trialWG.Done()
+			inj := replicas[w]
+			for runCtx.Err() == nil {
+				t := int(next.Add(1)) - 1
+				if t >= cfg.Trials {
+					return
+				}
+				rec, err := runTrial(cfg, inj, w, t, sampleOf[t], clean[sampleOf[t]])
+				if err != nil {
+					if cfg.OnError == SkipAndCount {
+						state[t] = trialSkipped
+					} else {
+						fail(fmt.Errorf("campaign: worker %d trial %d: %w", w, t, err))
+					}
+				} else {
+					outcomes[t] = rec.Outcome
+					state[t] = trialDone
+				}
+				records <- rec
+			}
+		}(w)
+	}
+	trialWG.Wait()
+	close(records)
+	collectorWG.Wait()
+
+	// Deterministic fold: trial order, completed trials only. Summing the
+	// float fields in index order makes the Aggregate byte-identical for
+	// any worker count.
+	var total Aggregate
+	for t := range state {
+		switch state[t] {
+		case trialDone:
+			total.Add(outcomes[t])
+		case trialSkipped:
+			total.Skipped++
+		}
+	}
+	if failErr != nil {
+		return total, failErr
+	}
+	if err := ctx.Err(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// cleanPredict runs one un-faulted inference and extracts the clean
+// Top-1/Top-5/confidence reference for a sample.
+func cleanPredict(inj *core.Injector, src SampleSource, idx int) (cp cleanPrediction, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("campaign: clean inference for sample %d: panic: %v", idx, r)
+		}
+	}()
+	img, _ := src.Sample(idx)
+	shape := img.Shape()
+	x := img.Reshape(1, shape[0], shape[1], shape[2])
+	inj.Reset()
+	logits := nn.Run(inj.Model(), x)
+	probs := tensor.SoftmaxRows(logits)
+	cp = cleanPrediction{
+		top1: tensor.ArgMaxRows(logits)[0],
+		top5: tensor.TopK(logits, 5)[0],
+	}
+	cp.conf = float64(probs.At(0, cp.top1))
+	return cp, nil
+}
+
+// runTrial executes one trial on a worker's replica: re-derive the trial
+// stream, arm, infer, classify. Panics anywhere in the trial (a buggy
+// Arm, a geometry bug in an error model) are recovered into errors so
+// one bad trial cannot void a long campaign under SkipAndCount.
+func runTrial(cfg Config, inj *core.Injector, worker, t, sample int, cp cleanPrediction) (rec TrialRecord, err error) {
+	rec = TrialRecord{Trial: t, Worker: worker, Sample: sample}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+		if err != nil {
+			rec.Err = err.Error()
+			rec.Outcome = Outcome{}
+		}
+	}()
+
+	rng := trialRNG(cfg.Seed, t)
+	rng.Intn(len(cfg.Eligible)) // consume the sample draw made in the pre-pass
+
+	img, _ := cfg.Source.Sample(sample)
+	shape := img.Shape()
+	x := img.Reshape(1, shape[0], shape[1], shape[2])
+
+	inj.Reset()
+	// Stochastic error models draw from the injector's private RNG at
+	// perturb time; point it at the trial stream so those draws are also
+	// worker-independent.
+	inj.SetRand(rng)
+	if armErr := cfg.Arm(inj, rng); armErr != nil {
+		return rec, fmt.Errorf("arm: %w", armErr)
+	}
+	logits := nn.Run(inj.Model(), x)
+	rec.Outcome = classify(logits, cp)
+	rec.Site = siteString(inj)
+	return rec, nil
+}
+
+// siteString summarizes a trial's applied perturbations from the
+// injection trace (enabled only when sinks are attached).
+func siteString(inj *core.Injector) string {
+	recs := inj.Trace()
+	if len(recs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(recs))
+	for i, r := range recs {
+		parts[i] = fmt.Sprintf("%s L%d %s %s", r.Kind, r.Layer, r.Site, r.Model)
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,56 @@
+package campaign
+
+import "time"
+
+// TrialRecord documents one finished trial: which trial, which input,
+// which fault site(s), and how the injected inference came out. Records
+// stream to sinks as trials finish (completion order, which depends on
+// scheduling); the record contents for a given trial are deterministic.
+type TrialRecord struct {
+	// Trial is the trial index in [0, Trials).
+	Trial int `json:"trial"`
+	// Worker executed the trial (diagnostic only; results never depend
+	// on it).
+	Worker int `json:"worker"`
+	// Sample is the dataset index the trial drew from Eligible.
+	Sample int `json:"sample"`
+	// Site describes the applied perturbation(s), e.g.
+	// "neuron L2 (c=5,h=3,w=7) bitflip[rand]". Populated only when sinks
+	// are attached (site capture needs the injection trace enabled).
+	Site string `json:"site,omitempty"`
+	// Outcome is the trial's classification against the clean prediction.
+	// Zero-valued when Err is set.
+	Outcome Outcome `json:"outcome"`
+	// Err is the trial's failure, if any (arm error or recovered panic).
+	Err string `json:"error,omitempty"`
+}
+
+// TrialSink consumes per-trial records. The engine calls Record from a
+// single collector goroutine, so implementations need no internal
+// locking. A non-nil error aborts the campaign (the partial aggregate is
+// still returned).
+type TrialSink interface {
+	Record(TrialRecord) error
+}
+
+// SinkFunc adapts a function to the TrialSink interface.
+type SinkFunc func(TrialRecord) error
+
+// Record implements TrialSink.
+func (f SinkFunc) Record(r TrialRecord) error { return f(r) }
+
+// Progress is a periodic throughput snapshot delivered to
+// Config.Progress while a campaign runs.
+type Progress struct {
+	// Done counts finished trials (including skipped ones); Total is the
+	// configured trial budget.
+	Done, Total int
+	// Skipped counts trials voided so far under SkipAndCount.
+	Skipped int
+	// Elapsed is the wall-clock time since the trial phase started.
+	Elapsed time.Duration
+	// TrialsPerSec is the mean completion rate so far.
+	TrialsPerSec float64
+	// ETA estimates the remaining wall-clock time at the current rate.
+	ETA time.Duration
+}

@@ -85,6 +85,17 @@ func (inj *Injector) InjectRandomWeight(rng *rand.Rand, model ErrorModel) (Weigh
 	return s, inj.DeclareWeightFI(model, s)
 }
 
+// SetRand replaces the injector's private runtime RNG, the stream
+// stochastic error models (RandomValue, BitFlip{RandomBit}, ...) draw
+// from at perturb time. Campaign engines that need trial outcomes to be
+// independent of worker scheduling point this at a per-trial stream
+// before arming; outside such engines the Config.Seed default is fine.
+func (inj *Injector) SetRand(rng *rand.Rand) {
+	if rng != nil {
+		inj.rng = rng
+	}
+}
+
 // SiteInLayer draws a random site constrained to one layer — per-layer
 // vulnerability studies (Figure 6) sweep this across layers.
 func (inj *Injector) SiteInLayer(rng *rand.Rand, layer int, perBatch bool) (NeuronSite, error) {

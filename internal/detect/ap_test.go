@@ -96,6 +96,9 @@ func TestAveragePrecisionSkipsAbsentClasses(t *testing.T) {
 }
 
 func TestEvaluateAPOnTrainedDetector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a detector; skipped in -short mode")
+	}
 	scenes, err := data.NewScenes(data.SceneConfig{
 		Classes: 3, Size: 32, MaxObjects: 2, MinExtent: 8, MaxExtent: 14, Noise: 0.05, Seed: 21,
 	})

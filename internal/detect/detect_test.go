@@ -164,6 +164,9 @@ func TestLossGradientNumerical(t *testing.T) {
 }
 
 func TestTrainImprovesLossAndDetects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a detector; skipped in -short mode")
+	}
 	scenes, err := data.NewScenes(data.SceneConfig{
 		Classes: 3, Size: 32, MaxObjects: 2, MinExtent: 8, MaxExtent: 14, Noise: 0.05, Seed: 4,
 	})
@@ -204,6 +207,9 @@ func TestTrainImprovesLossAndDetects(t *testing.T) {
 }
 
 func TestInjectionProducesPhantoms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a detector; skipped in -short mode")
+	}
 	// The Figure 5 reproduction in miniature: per-layer random-value
 	// injection must create detections the clean pass does not have.
 	scenes, err := data.NewScenes(data.SceneConfig{

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -65,7 +66,7 @@ type BitStudyRow struct {
 // Top-1 misclassification rate by bit. The expected shape: high-order
 // (exponent/sign for floats, magnitude for INT8) bits dominate, low-order
 // mantissa bits are almost always masked.
-func RunBitStudy(cfg BitStudyConfig) ([]BitStudyRow, error) {
+func RunBitStudy(ctx context.Context, cfg BitStudyConfig) ([]BitStudyRow, error) {
 	cfg = cfg.canon()
 	trained, ds, eligible, err := trainedModel(cfg.Model, cfg.Classes, cfg.InSize, cfg.Noise, cfg.Seed, cfg.TrainEpochs)
 	if err != nil {
@@ -109,8 +110,11 @@ func RunBitStudy(cfg BitStudyConfig) ([]BitStudyRow, error) {
 	}
 	rows := make([]BitStudyRow, 0, bits)
 	for b := 0; b < bits; b++ {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		bit := b
-		agg, err := campaign.Run(campaign.Config{
+		agg, err := campaign.Run(ctx, campaign.Config{
 			Workers:    cfg.Workers,
 			Trials:     cfg.TrialsPerBit,
 			Seed:       cfg.Seed + int64(b)*37,
@@ -123,7 +127,7 @@ func RunBitStudy(cfg BitStudyConfig) ([]BitStudyRow, error) {
 			},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("bit study bit %d: %w", b, err)
+			return rows, fmt.Errorf("bit study bit %d: %w", b, err)
 		}
 		lo, hi := agg.WilsonCI(campaign.Z99)
 		rows = append(rows, BitStudyRow{

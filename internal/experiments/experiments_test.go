@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -12,8 +13,19 @@ import (
 // The experiment runners are exercised end-to-end at reduced scale; the
 // cmd binaries and benchmarks run them at full scale.
 
+// skipIfShort gates the training-heavy end-to-end runners out of -short
+// runs; run_checks.sh uses -short for the race-detector pass, where
+// training is roughly an order of magnitude slower.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("training-heavy end-to-end test; skipped in -short mode")
+	}
+}
+
 func TestRunFig3Subset(t *testing.T) {
-	rows, err := RunFig3(Fig3Config{
+	skipIfShort(t)
+	rows, err := RunFig3(context.Background(), Fig3Config{
 		Trials: 2,
 		Entries: []models.Fig3Entry{
 			{Model: "alexnet", Label: "AlexNet", Dataset: "CIFAR10", Classes: 10, InSize: 32},
@@ -46,7 +58,8 @@ func TestRunFig3Subset(t *testing.T) {
 }
 
 func TestRunBatchSweep(t *testing.T) {
-	rows, err := RunBatchSweep("alexnet", 16, []int{1, 4}, 2, 2)
+	skipIfShort(t)
+	rows, err := RunBatchSweep(context.Background(), "alexnet", 16, []int{1, 4}, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +72,8 @@ func TestRunBatchSweep(t *testing.T) {
 }
 
 func TestRunFig4SingleModel(t *testing.T) {
-	rows, err := RunFig4(Fig4Config{
+	skipIfShort(t)
+	rows, err := RunFig4(context.Background(), Fig4Config{
 		Models:         []string{"alexnet"},
 		TrialsPerModel: 40,
 		Workers:        2,
@@ -85,7 +99,8 @@ func TestRunFig4SingleModel(t *testing.T) {
 }
 
 func TestRunFig5Small(t *testing.T) {
-	res, err := RunFig5(Fig5Config{
+	skipIfShort(t)
+	res, err := RunFig5(context.Background(), Fig5Config{
 		Scenes:             4,
 		InjectionsPerScene: 2,
 		SceneSize:          32,
@@ -114,7 +129,8 @@ func TestRunFig5Small(t *testing.T) {
 }
 
 func TestRunFig6SinglePoint(t *testing.T) {
-	res, err := RunFig6(Fig6Config{
+	skipIfShort(t)
+	res, err := RunFig6(context.Background(), Fig6Config{
 		Alphas:      []float64{0.1},
 		Epsilons:    []float32{0.125},
 		Trials:      60,
@@ -139,7 +155,8 @@ func TestRunFig6SinglePoint(t *testing.T) {
 }
 
 func TestRunTable1Small(t *testing.T) {
-	res, err := RunTable1(Table1Config{
+	skipIfShort(t)
+	res, err := RunTable1(context.Background(), Table1Config{
 		Model:      "resnet18",
 		Classes:    4,
 		InSize:     16,
@@ -171,7 +188,8 @@ func TestRunTable1Small(t *testing.T) {
 }
 
 func TestRunFig7Small(t *testing.T) {
-	res, err := RunFig7(Fig7Config{
+	skipIfShort(t)
+	res, err := RunFig7(context.Background(), Fig7Config{
 		Model:       "densenet",
 		Classes:     4,
 		InSize:      16,
@@ -198,7 +216,8 @@ func TestRunFig7Small(t *testing.T) {
 }
 
 func TestRunLayerVuln(t *testing.T) {
-	rows, err := RunLayerVuln(LayerVulnConfig{
+	skipIfShort(t)
+	rows, err := RunLayerVuln(context.Background(), LayerVulnConfig{
 		Model:          "alexnet",
 		Classes:        4,
 		InSize:         16,
@@ -225,7 +244,8 @@ func TestRunLayerVuln(t *testing.T) {
 }
 
 func TestRunLayerVulnFMapGranularity(t *testing.T) {
-	rows, err := RunLayerVuln(LayerVulnConfig{
+	skipIfShort(t)
+	rows, err := RunLayerVuln(context.Background(), LayerVulnConfig{
 		Model:          "alexnet",
 		Classes:        4,
 		InSize:         16,
@@ -247,6 +267,7 @@ func TestRunLayerVulnFMapGranularity(t *testing.T) {
 }
 
 func TestRunGenericCampaignScopes(t *testing.T) {
+	skipIfShort(t)
 	arm := func(inj *core.Injector, rng *rand.Rand) error {
 		_, err := inj.InjectRandomNeuron(rng, core.Zero{})
 		return err
@@ -263,7 +284,7 @@ func TestRunGenericCampaignScopes(t *testing.T) {
 		Arm:         arm,
 		Seed:        11,
 	}
-	res, err := RunGenericCampaign(base)
+	res, err := RunGenericCampaign(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +299,7 @@ func TestRunGenericCampaignScopes(t *testing.T) {
 		_, err := inj.InjectRandomWeight(rng, core.SetValue{V: 100})
 		return err
 	}
-	wres, err := RunGenericCampaign(weightCfg)
+	wres, err := RunGenericCampaign(context.Background(), weightCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,20 +310,21 @@ func TestRunGenericCampaignScopes(t *testing.T) {
 	// FP16 dtype path.
 	fp16Cfg := base
 	fp16Cfg.DType = core.FP16
-	if _, err := RunGenericCampaign(fp16Cfg); err != nil {
+	if _, err := RunGenericCampaign(context.Background(), fp16Cfg); err != nil {
 		t.Fatal(err)
 	}
 
 	// Missing Arm is rejected.
 	noArm := base
 	noArm.Arm = nil
-	if _, err := RunGenericCampaign(noArm); err == nil {
+	if _, err := RunGenericCampaign(context.Background(), noArm); err == nil {
 		t.Fatal("nil Arm must error")
 	}
 }
 
 func TestRunBitStudy(t *testing.T) {
-	rows, err := RunBitStudy(BitStudyConfig{
+	skipIfShort(t)
+	rows, err := RunBitStudy(context.Background(), BitStudyConfig{
 		Model:        "alexnet",
 		Classes:      4,
 		InSize:       16,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -41,7 +42,7 @@ type Fig3Row struct {
 // reproduces the paper's Figure 3 claim: instrumented inference runs at
 // native speed, with overhead inside measurement noise on both a slow
 // (serial) and a fast (parallel) platform.
-func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
+func RunFig3(ctx context.Context, cfg Fig3Config) ([]Fig3Row, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 5
 	}
@@ -58,6 +59,9 @@ func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
 
 	var rows []Fig3Row
 	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		rng := rand.New(rand.NewSource(cfg.Seed + 1))
 		model, err := models.Build(e.Model, rng, e.Classes, e.InSize)
 		if err != nil {
@@ -131,7 +135,7 @@ type BatchSweepRow struct {
 // RunBatchSweep reproduces the §III-C batching study on one network:
 // wall-clock with and without injection as batch size grows, expecting
 // the amortized per-model instrumentation cost the paper reports.
-func RunBatchSweep(model string, inSize int, batches []int, trials int, seed int64) ([]BatchSweepRow, error) {
+func RunBatchSweep(ctx context.Context, model string, inSize int, batches []int, trials int, seed int64) ([]BatchSweepRow, error) {
 	if len(batches) == 0 {
 		batches = []int{1, 2, 4, 8, 16, 32, 64}
 	}
@@ -140,6 +144,9 @@ func RunBatchSweep(model string, inSize int, batches []int, trials int, seed int
 	}
 	var rows []BatchSweepRow
 	for _, b := range batches {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		rng := rand.New(rand.NewSource(seed))
 		m, err := models.Build(model, rng, 10, inSize)
 		if err != nil {

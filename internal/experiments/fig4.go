@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -74,20 +75,23 @@ type Fig4Row struct {
 // dataset, emulate INT8 neuron quantization, and run a single-bit-flip
 // campaign on random neurons of correctly-classified inputs, reporting the
 // Top-1 misclassification probability with 99% confidence intervals.
-func RunFig4(cfg Fig4Config) ([]Fig4Row, error) {
+func RunFig4(ctx context.Context, cfg Fig4Config) ([]Fig4Row, error) {
 	cfg = cfg.canon()
 	var rows []Fig4Row
 	for _, name := range cfg.Models {
-		row, err := runFig4Model(name, cfg)
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		row, err := runFig4Model(ctx, name, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig4 %s: %w", name, err)
+			return rows, fmt.Errorf("fig4 %s: %w", name, err)
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-func runFig4Model(name string, cfg Fig4Config) (Fig4Row, error) {
+func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, error) {
 	trained, ds, eligible, err := trainedModel(name, cfg.Classes, cfg.InSize, cfg.Noise, cfg.Seed, cfg.TrainEpochs)
 	if err != nil {
 		return Fig4Row{}, err
@@ -114,7 +118,7 @@ func runFig4Model(name string, cfg Fig4Config) (Fig4Row, error) {
 		return inj, nil
 	}
 
-	agg, err := campaign.Run(campaign.Config{
+	agg, err := campaign.Run(ctx, campaign.Config{
 		Workers:    cfg.Workers,
 		Trials:     cfg.TrialsPerModel,
 		Seed:       cfg.Seed + 17,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -66,7 +67,7 @@ type Fig5Result struct {
 // RunFig5 reproduces Figure 5's finding: a clean detector localizes the
 // scene's objects, while one random-FP32 neuron injection per layer
 // produces phantom objects with arbitrary classes.
-func RunFig5(cfg Fig5Config) (Fig5Result, error) {
+func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 	cfg = cfg.canon()
 	scenes, err := data.NewScenes(data.SceneConfig{
 		Classes:    cfg.Classes,
@@ -98,6 +99,9 @@ func RunFig5(cfg Fig5Config) (Fig5Result, error) {
 	siteRng := rand.New(rand.NewSource(cfg.Seed + 3))
 	var res Fig5Result
 	for s := 0; s < cfg.Scenes; s++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		img, gts := scenes.Scene(10_000 + s)
 		x := img.Reshape(1, 3, cfg.SceneSize, cfg.SceneSize)
 

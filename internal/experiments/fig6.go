@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -73,7 +74,7 @@ type Fig6Result struct {
 // across the (α, ε) grid, then measure the bit-flip vulnerability of the
 // first two convolutional layers relative to a conventionally trained
 // baseline from the same initialization.
-func RunFig6(cfg Fig6Config) (Fig6Result, error) {
+func RunFig6(ctx context.Context, cfg Fig6Config) (Fig6Result, error) {
 	cfg = cfg.canon()
 	ds, err := data.NewClassification(data.ClassificationConfig{
 		Classes: cfg.Classes, Channels: 3, Size: cfg.InSize, Noise: 0.2, Seed: cfg.Seed,
@@ -101,7 +102,7 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 	if err != nil {
 		return Fig6Result{}, fmt.Errorf("fig6 baseline: %w", err)
 	}
-	baseVuln, baseAcc, err := firstTwoLayerVulnerability(baseline, ds, cfg)
+	baseVuln, baseAcc, err := firstTwoLayerVulnerability(ctx, baseline, ds, cfg)
 	if err != nil {
 		return Fig6Result{}, err
 	}
@@ -109,13 +110,16 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 
 	for _, eps := range cfg.Epsilons {
 		for _, alpha := range cfg.Alphas {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
 			net, err := trainOne(alpha, eps)
 			if err != nil {
-				return Fig6Result{}, fmt.Errorf("fig6 α=%g ε=%g: %w", alpha, eps, err)
+				return res, fmt.Errorf("fig6 α=%g ε=%g: %w", alpha, eps, err)
 			}
-			vuln, acc, err := firstTwoLayerVulnerability(net, ds, cfg)
+			vuln, acc, err := firstTwoLayerVulnerability(ctx, net, ds, cfg)
 			if err != nil {
-				return Fig6Result{}, err
+				return res, err
 			}
 			rel := 0.0
 			if baseVuln > 0 {
@@ -133,7 +137,7 @@ func RunFig6(cfg Fig6Config) (Fig6Result, error) {
 // firstTwoLayerVulnerability runs a bit-flip campaign restricted to the
 // first two convolution layers and returns the Top-1 misclassification
 // rate over correctly-classified held-out samples, plus clean accuracy.
-func firstTwoLayerVulnerability(net *ibp.Net, ds *data.Classification, cfg Fig6Config) (float64, float64, error) {
+func firstTwoLayerVulnerability(ctx context.Context, net *ibp.Net, ds *data.Classification, cfg Fig6Config) (float64, float64, error) {
 	eligible := train.CorrectIndices(net, ds, 50_000, 96, 16)
 	acc := float64(len(eligible)) / 96
 	if len(eligible) == 0 {
@@ -148,6 +152,9 @@ func firstTwoLayerVulnerability(net *ibp.Net, ds *data.Classification, cfg Fig6C
 	rng := rand.New(rand.NewSource(cfg.Seed + 11))
 	mis := 0
 	for t := 0; t < cfg.Trials; t++ {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
 		idx := eligible[rng.Intn(len(eligible))]
 		img, _ := ds.Sample(idx)
 		x := img.Reshape(1, 3, cfg.InSize, cfg.InSize)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -65,8 +66,11 @@ type Fig7Result struct {
 // RunFig7 reproduces Figure 7: rank the final convolutional layer's
 // feature maps by Grad-CAM gradient sensitivity, inject a huge value into
 // the least and most sensitive maps, and compare heatmaps and Top-1.
-func RunFig7(cfg Fig7Config) (Fig7Result, error) {
+func RunFig7(ctx context.Context, cfg Fig7Config) (Fig7Result, error) {
 	cfg = cfg.canon()
+	if err := ctx.Err(); err != nil {
+		return Fig7Result{}, err
+	}
 	ds, err := data.NewClassification(data.ClassificationConfig{
 		Classes: cfg.Classes, Channels: 3, Size: cfg.InSize, Noise: 0.15, Seed: cfg.Seed,
 	})
@@ -100,6 +104,9 @@ func RunFig7(cfg Fig7Config) (Fig7Result, error) {
 	target := convs[len(convs)-1]
 	targetIdx := len(convs) - 1
 
+	if err := ctx.Err(); err != nil {
+		return Fig7Result{}, err
+	}
 	correct := train.CorrectIndices(model, ds, 300_000, 32, 16)
 	if len(correct) == 0 {
 		return Fig7Result{}, fmt.Errorf("fig7: no correctly classified samples")

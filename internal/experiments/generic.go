@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -28,6 +29,13 @@ type GenericCampaignConfig struct {
 	// across workers).
 	IsolateWeights bool
 	Seed           int64
+	// Sinks receive one campaign.TrialRecord per trial (completion
+	// order); see campaign.Config.Sinks.
+	Sinks []campaign.TrialSink
+	// Progress, if non-nil, receives periodic throughput snapshots.
+	Progress func(campaign.Progress)
+	// OnError selects the engine's per-trial failure policy.
+	OnError campaign.ErrorPolicy
 }
 
 // GenericCampaignResult bundles the campaign aggregate with the trained
@@ -41,8 +49,12 @@ type GenericCampaignResult struct {
 // RunGenericCampaign trains the model on the synthetic dataset, prepares
 // per-worker injector replicas at the requested emulated data type (with
 // INT8 calibration / FP16 rounding when applicable), and runs the
-// campaign.
-func RunGenericCampaign(cfg GenericCampaignConfig) (GenericCampaignResult, error) {
+// campaign. Cancelling ctx mid-campaign returns the partial result
+// alongside ctx's error.
+func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (GenericCampaignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Arm == nil {
 		return GenericCampaignResult{}, fmt.Errorf("campaign: Arm function required")
 	}
@@ -71,6 +83,9 @@ func RunGenericCampaign(cfg GenericCampaignConfig) (GenericCampaignResult, error
 		cfg.DType = core.FP32
 	}
 
+	if err := ctx.Err(); err != nil {
+		return GenericCampaignResult{}, err
+	}
 	trained, ds, eligible, err := trainedModel(cfg.Model, cfg.Classes, cfg.InSize, cfg.Noise, cfg.Seed, cfg.TrainEpochs)
 	if err != nil {
 		return GenericCampaignResult{}, err
@@ -108,7 +123,7 @@ func RunGenericCampaign(cfg GenericCampaignConfig) (GenericCampaignResult, error
 		return inj, nil
 	}
 
-	agg, err := campaign.Run(campaign.Config{
+	agg, err := campaign.Run(ctx, campaign.Config{
 		Workers:    cfg.Workers,
 		Trials:     cfg.Trials,
 		Seed:       cfg.Seed + 101,
@@ -116,13 +131,15 @@ func RunGenericCampaign(cfg GenericCampaignConfig) (GenericCampaignResult, error
 		Source:     ds,
 		Eligible:   eligible,
 		Arm:        cfg.Arm,
+		Sinks:      cfg.Sinks,
+		Progress:   cfg.Progress,
+		OnError:    cfg.OnError,
 	})
-	if err != nil {
-		return GenericCampaignResult{}, err
-	}
+	// On abort the engine still hands back the partial aggregate; pass it
+	// through so callers can report what completed.
 	return GenericCampaignResult{
 		CleanAcc:      float64(len(eligible)) / 128,
 		EligibleCount: len(eligible),
 		Aggregate:     agg,
-	}, nil
+	}, err
 }

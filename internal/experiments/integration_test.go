@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 // The campaign on the reloaded model must match the campaign on the
 // original exactly.
 func TestCheckpointedCampaignIsReproducible(t *testing.T) {
+	skipIfShort(t)
 	trained, ds, eligible, err := trainedModel("alexnet", 4, 16, 0.2, 42, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -38,7 +40,7 @@ func TestCheckpointedCampaignIsReproducible(t *testing.T) {
 	}
 
 	runCampaign := func(weights nn.Layer) campaign.Aggregate {
-		agg, err := campaign.Run(campaign.Config{
+		agg, err := campaign.Run(context.Background(), campaign.Config{
 			Workers:  2,
 			Trials:   30,
 			Seed:     5,

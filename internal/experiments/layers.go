@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -85,7 +86,7 @@ type LayerVulnRow struct {
 // rate under injections confined to each hooked layer in turn, producing
 // the per-layer vulnerability profile that selective-protection studies
 // need.
-func RunLayerVuln(cfg LayerVulnConfig) ([]LayerVulnRow, error) {
+func RunLayerVuln(ctx context.Context, cfg LayerVulnConfig) ([]LayerVulnRow, error) {
 	cfg = cfg.canon()
 	model, ds, eligible, err := trainedModel(cfg.Model, cfg.Classes, cfg.InSize, cfg.Noise, cfg.Seed, cfg.TrainEpochs)
 	if err != nil {
@@ -105,6 +106,9 @@ func RunLayerVuln(cfg LayerVulnConfig) ([]LayerVulnRow, error) {
 	for _, li := range inj.Layers() {
 		mis := 0
 		for t := 0; t < cfg.TrialsPerLayer; t++ {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
 			idx := eligible[rng.Intn(len(eligible))]
 			img, _ := ds.Sample(idx)
 			x := img.Reshape(1, 3, cfg.InSize, cfg.InSize)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -72,8 +73,11 @@ type Table1Result struct {
 // training time, clean test accuracy, and post-training
 // misclassifications under single-bit-flip injections (the §IV-A
 // methodology the paper's evaluation references).
-func RunTable1(cfg Table1Config) (Table1Result, error) {
+func RunTable1(ctx context.Context, cfg Table1Config) (Table1Result, error) {
 	cfg = cfg.canon()
+	if err := ctx.Err(); err != nil {
+		return Table1Result{}, err
+	}
 	ds, err := data.NewClassification(data.ClassificationConfig{
 		Classes: cfg.Classes, Channels: 3, Size: cfg.InSize, Noise: cfg.Noise, Seed: cfg.Seed,
 	})
@@ -134,11 +138,11 @@ func RunTable1(cfg Table1Config) (Table1Result, error) {
 
 	// Post-training resiliency evaluation under the same error model.
 	res.EvalTrials = cfg.EvalTrials
-	res.BaselineMis, err = injectionMisclassifications(baseline, ds, cfg, cfg.Seed+31)
+	res.BaselineMis, err = injectionMisclassifications(ctx, baseline, ds, cfg, cfg.Seed+31)
 	if err != nil {
 		return Table1Result{}, err
 	}
-	res.FIMis, err = postTrainingMis(inj, ds, cfg, cfg.Seed+31)
+	res.FIMis, err = postTrainingMis(ctx, inj, ds, cfg, cfg.Seed+31)
 	if err != nil {
 		return Table1Result{}, err
 	}
@@ -147,16 +151,16 @@ func RunTable1(cfg Table1Config) (Table1Result, error) {
 
 // injectionMisclassifications instruments a fresh injector on the model
 // and counts Top-1 flips under single-neuron bit-flip injections.
-func injectionMisclassifications(model nn.Layer, ds *data.Classification, cfg Table1Config, seed int64) (int, error) {
+func injectionMisclassifications(ctx context.Context, model nn.Layer, ds *data.Classification, cfg Table1Config, seed int64) (int, error) {
 	inj, err := core.New(model, core.Config{Height: cfg.InSize, Width: cfg.InSize, Seed: seed})
 	if err != nil {
 		return 0, err
 	}
 	defer inj.Detach()
-	return postTrainingMis(inj, ds, cfg, seed)
+	return postTrainingMis(ctx, inj, ds, cfg, seed)
 }
 
-func postTrainingMis(inj *core.Injector, ds *data.Classification, cfg Table1Config, seed int64) (int, error) {
+func postTrainingMis(ctx context.Context, inj *core.Injector, ds *data.Classification, cfg Table1Config, seed int64) (int, error) {
 	model := inj.Model()
 	nn.SetTraining(model, false)
 	eligible := train.CorrectIndices(model, ds, 200_000, 96, 16)
@@ -166,6 +170,9 @@ func postTrainingMis(inj *core.Injector, ds *data.Classification, cfg Table1Conf
 	rng := rand.New(rand.NewSource(seed))
 	mis := 0
 	for t := 0; t < cfg.EvalTrials; t++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		idx := eligible[rng.Intn(len(eligible))]
 		img, _ := ds.Sample(idx)
 		x := img.Reshape(1, 3, cfg.InSize, cfg.InSize)

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"gofi/internal/campaign"
+)
+
+// JSONL streams values to w as JSON Lines (one compact JSON document per
+// line), the interchange format for per-trial campaign records. Safe for
+// concurrent use.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   int
+}
+
+// NewJSONL creates a JSON Lines writer on w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Write encodes one value as a single line.
+func (j *JSONL) Write(v any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.enc.Encode(v); err != nil {
+		return err
+	}
+	j.n++
+	return nil
+}
+
+// Lines reports how many records have been written.
+func (j *JSONL) Lines() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// TrialJSONL adapts JSONL to campaign.TrialSink: one JSON line per
+// campaign trial, the streaming replacement for aggregate-only output.
+type TrialJSONL struct {
+	*JSONL
+}
+
+// NewTrialJSONL creates a per-trial JSONL sink on w.
+func NewTrialJSONL(w io.Writer) *TrialJSONL {
+	return &TrialJSONL{JSONL: NewJSONL(w)}
+}
+
+// Record implements campaign.TrialSink.
+func (t *TrialJSONL) Record(r campaign.TrialRecord) error {
+	return t.Write(r)
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gofi/internal/campaign"
+)
+
+func TestJSONLWritesOneLinePerValue(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	for i := 0; i < 3; i++ {
+		if err := j.Write(map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Lines() != 3 {
+		t.Fatalf("Lines = %d", j.Lines())
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var m map[string]int
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", n, err)
+		}
+		if m["i"] != n {
+			t.Fatalf("line %d = %v", n, m)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("scanned %d lines", n)
+	}
+}
+
+func TestTrialJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewTrialJSONL(&buf)
+	rec := campaign.TrialRecord{
+		Trial:  7,
+		Worker: 2,
+		Sample: 41,
+		Site:   "neuron L1 (c=3,h=2,w=5) bitflip[rand]",
+		Outcome: campaign.Outcome{
+			Top1Changed:    true,
+			ConfidenceDrop: 0.5,
+		},
+	}
+	if err := sink.Record(rec); err != nil {
+		t.Fatal(err)
+	}
+	var got campaign.TrialRecord
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Fatalf("round trip: %+v != %+v", got, rec)
+	}
+	// Error-free records omit the error field entirely.
+	if bytes.Contains(buf.Bytes(), []byte(`"error"`)) {
+		t.Fatalf("clean record serialized an error field: %s", buf.String())
+	}
+}

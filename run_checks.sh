@@ -1,0 +1,14 @@
+#!/bin/sh
+# CI entry point.
+#
+# Two test passes: the full suite without the race detector, then a -short
+# race pass. The race pass skips the training-heavy end-to-end runners
+# (roughly 10x slower under the detector) but fully covers the campaign
+# trial engine, whose tests drive Workers>1 over replicas sharing one
+# trained parameter set — the concurrency that matters.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race -short -timeout 20m ./...
