@@ -18,6 +18,7 @@ import (
 
 	"gofi/internal/core"
 	"gofi/internal/experiments"
+	"gofi/internal/obs"
 	"gofi/internal/report"
 )
 
@@ -38,9 +39,16 @@ func run(ctx context.Context, args []string) error {
 	epochs := fs.Int("epochs", 8, "training epochs before the study")
 	size := fs.Int("size", 32, "input image size")
 	seed := fs.Int64("seed", 1, "experiment seed")
+	var mcli obs.CLI
+	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	metrics, err := mcli.Start()
+	if err != nil {
+		return err
+	}
+	defer mcli.Finish()
 	var dt core.DType
 	switch *dtype {
 	case "fp32":
@@ -60,6 +68,7 @@ func run(ctx context.Context, args []string) error {
 		InSize:       *size,
 		DType:        dt,
 		Seed:         *seed,
+		Metrics:      metrics,
 	})
 	if err != nil {
 		return err

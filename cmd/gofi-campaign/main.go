@@ -28,6 +28,7 @@ import (
 	"gofi/internal/campaign"
 	"gofi/internal/core"
 	"gofi/internal/experiments"
+	"gofi/internal/obs"
 	"gofi/internal/report"
 )
 
@@ -65,9 +66,16 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	progress := fs.Bool("progress", false, "print live trials/sec and ETA to stderr")
 	jsonl := fs.String("jsonl", "", "stream one JSON record per trial to this file")
 	skipErrors := fs.Bool("skip-errors", false, "count failing trials and continue instead of aborting the campaign")
+	var mcli obs.CLI
+	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	metrics, err := mcli.Start()
+	if err != nil {
+		return err
+	}
+	defer mcli.Finish()
 
 	em, err := parseErrorModel(*errModel)
 	if err != nil {
@@ -124,6 +132,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		Sinks:          sinks,
 		Progress:       progressFn,
 		OnError:        policy,
+		Metrics:        metrics,
 	})
 	if *progress {
 		fmt.Fprintln(os.Stderr)

@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"gofi/internal/experiments"
+	"gofi/internal/obs"
 	"gofi/internal/report"
 )
 
@@ -37,9 +38,16 @@ func run(ctx context.Context, args []string) error {
 	epochs := fs.Int("epochs", 6, "training epochs per network before the campaign")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	size := fs.Int("size", 32, "input image size")
+	var mcli obs.CLI
+	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	metrics, err := mcli.Start()
+	if err != nil {
+		return err
+	}
+	defer mcli.Finish()
 
 	cfg := experiments.Fig4Config{
 		TrialsPerModel: *trials,
@@ -47,6 +55,7 @@ func run(ctx context.Context, args []string) error {
 		TrainEpochs:    *epochs,
 		InSize:         *size,
 		Seed:           *seed,
+		Metrics:        metrics,
 	}
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")

@@ -16,6 +16,7 @@ import (
 	"syscall"
 
 	"gofi/internal/experiments"
+	"gofi/internal/obs"
 	"gofi/internal/report"
 )
 
@@ -35,9 +36,16 @@ func run(ctx context.Context, args []string) error {
 	size := fs.Int("size", 32, "scene size in pixels")
 	epochs := fs.Int("epochs", 12, "detector training epochs")
 	seed := fs.Int64("seed", 1, "experiment seed")
+	var mcli obs.CLI
+	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	metrics, err := mcli.Start()
+	if err != nil {
+		return err
+	}
+	defer mcli.Finish()
 
 	res, err := experiments.RunFig5(ctx, experiments.Fig5Config{
 		Scenes:             *scenes,
@@ -45,6 +53,7 @@ func run(ctx context.Context, args []string) error {
 		SceneSize:          *size,
 		TrainEpochs:        *epochs,
 		Seed:               *seed,
+		Metrics:            metrics,
 	})
 	if err != nil {
 		return err

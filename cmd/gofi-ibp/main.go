@@ -16,6 +16,7 @@ import (
 	"syscall"
 
 	"gofi/internal/experiments"
+	"gofi/internal/obs"
 	"gofi/internal/report"
 )
 
@@ -35,15 +36,23 @@ func run(ctx context.Context, args []string) error {
 	quick := fs.Bool("quick", false, "sweep a 2x2 grid instead of the paper's 3x4")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	size := fs.Int("size", 16, "input image size")
+	var mcli obs.CLI
+	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	metrics, err := mcli.Start()
+	if err != nil {
+		return err
+	}
+	defer mcli.Finish()
 
 	cfg := experiments.Fig6Config{
 		Trials:      *trials,
 		TrainEpochs: *epochs,
 		InSize:      *size,
 		Seed:        *seed,
+		Metrics:     metrics,
 	}
 	if *quick {
 		cfg.Alphas = []float64{0.025, 0.25}

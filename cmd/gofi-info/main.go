@@ -17,7 +17,9 @@ import (
 	"gofi/internal/core"
 	"gofi/internal/models"
 	"gofi/internal/nn"
+	"gofi/internal/obs"
 	"gofi/internal/report"
+	"gofi/internal/tensor"
 )
 
 func main() {
@@ -33,9 +35,16 @@ func run(args []string) error {
 	size := fs.Int("size", 32, "input size")
 	classes := fs.Int("classes", 10, "class count")
 	list := fs.Bool("list", false, "list available models and exit")
+	var mcli obs.CLI
+	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	metrics, err := mcli.Start()
+	if err != nil {
+		return err
+	}
+	defer mcli.Finish()
 
 	if *list {
 		fmt.Println("available models:")
@@ -55,6 +64,14 @@ func run(args []string) error {
 		return err
 	}
 	defer inj.Detach()
+	if metrics != nil {
+		// Populate the snapshot with one timed (disarmed) forward pass so
+		// the per-layer histograms carry real numbers.
+		inj.SetMetrics(metrics)
+		timing := inj.EnableLayerTiming(metrics)
+		nn.Run(m, tensor.RandUniform(rng, -1, 1, 1, 3, *size, *size))
+		timing.Remove()
+	}
 
 	fmt.Print(inj.Summary())
 

@@ -16,6 +16,7 @@ import (
 	"syscall"
 
 	"gofi/internal/experiments"
+	"gofi/internal/obs"
 	"gofi/internal/report"
 	"gofi/internal/tensor"
 )
@@ -36,9 +37,16 @@ func run(ctx context.Context, args []string) error {
 	epochs := fs.Int("epochs", 6, "training epochs")
 	size := fs.Int("size", 16, "input image size")
 	seed := fs.Int64("seed", 1, "experiment seed")
+	var mcli obs.CLI
+	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	metrics, err := mcli.Start()
+	if err != nil {
+		return err
+	}
+	defer mcli.Finish()
 
 	res, err := experiments.RunFig7(ctx, experiments.Fig7Config{
 		Model:       *model,
@@ -46,6 +54,7 @@ func run(ctx context.Context, args []string) error {
 		TrainEpochs: *epochs,
 		InSize:      *size,
 		Seed:        *seed,
+		Metrics:     metrics,
 	})
 	if err != nil {
 		return err

@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"gofi/internal/experiments"
+	"gofi/internal/obs"
 	"gofi/internal/report"
 )
 
@@ -37,9 +38,16 @@ func run(ctx context.Context, args []string) error {
 	size := fs.Int("size", 32, "input image size")
 	gran := fs.String("granularity", "neuron", "injection granularity: neuron (single bit flip) or fmap (whole map to U[-1,1))")
 	seed := fs.Int64("seed", 1, "experiment seed")
+	var mcli obs.CLI
+	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	metrics, err := mcli.Start()
+	if err != nil {
+		return err
+	}
+	defer mcli.Finish()
 	g := experiments.GranNeuron
 	switch *gran {
 	case "neuron":
@@ -56,6 +64,7 @@ func run(ctx context.Context, args []string) error {
 		InSize:         *size,
 		Granularity:    g,
 		Seed:           *seed,
+		Metrics:        metrics,
 	})
 	if err != nil {
 		return err

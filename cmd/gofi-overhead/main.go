@@ -1,14 +1,18 @@
 // Command gofi-overhead regenerates the paper's Figure 3 (inference
 // runtime with and without GoFI instrumentation across 19 networks and
-// two execution backends) and the §III-C batch-size sweep.
+// two execution backends), the §III-C batch-size sweep, and a
+// per-layer hook-overhead breakdown. Timings are reported as
+// min/p50/p99 over repeated runs, and -json emits the whole study as a
+// machine-readable benchmark file.
 //
 // Usage:
 //
-//	gofi-overhead [-trials N] [-quick] [-batches]
+//	gofi-overhead [-trials N] [-quick] [-batches] [-per-layer] [-json FILE]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +21,7 @@ import (
 
 	"gofi/internal/experiments"
 	"gofi/internal/models"
+	"gofi/internal/obs"
 	"gofi/internal/report"
 )
 
@@ -29,28 +34,88 @@ func main() {
 	}
 }
 
+// benchOutput is the -json document. Exactly one of the mode sections
+// is populated per invocation.
+type benchOutput struct {
+	Kind     string                           `json:"kind"` // "fig3", "batch-sweep" or "per-layer"
+	Trials   int                              `json:"trials"`
+	Seed     int64                            `json:"seed"`
+	Fig3     []experiments.Fig3Row            `json:"fig3,omitempty"`
+	Batches  []experiments.BatchSweepRow      `json:"batch_sweep,omitempty"`
+	PerLayer *experiments.LayerOverheadResult `json:"per_layer,omitempty"`
+}
+
+func writeBench(path string, out benchOutput) error {
+	if path == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gofi-overhead: wrote %s\n", path)
+	return nil
+}
+
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gofi-overhead", flag.ContinueOnError)
-	trials := fs.Int("trials", 5, "inferences averaged per cell")
+	trials := fs.Int("trials", 5, "timed inferences per cell (percentiles need several)")
 	quick := fs.Bool("quick", false, "run a 4-network subset instead of all 19")
 	batches := fs.Bool("batches", false, "run the §III-C batch-size sweep instead of Figure 3")
+	perLayer := fs.Bool("per-layer", false, "break hook overhead down per hooked layer instead of whole-network Figure 3")
+	model := fs.String("model", "resnet18", "architecture for -batches / -per-layer")
+	jsonOut := fs.String("json", "", "also write the results as machine-readable JSON to this file")
 	seed := fs.Int64("seed", 1, "experiment seed")
+	var mcli obs.CLI
+	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reg, err := mcli.Start()
+	if err != nil {
+		return err
+	}
+	defer mcli.Finish()
 
-	if *batches {
-		rows, err := experiments.RunBatchSweep(ctx, "resnet18", 32, nil, *trials, *seed)
+	ms := func(sec float64) float64 { return 1000 * sec }
+
+	if *perLayer {
+		res, err := experiments.RunLayerOverhead(ctx, experiments.LayerOverheadConfig{
+			Model:   *model,
+			Trials:  *trials,
+			Seed:    *seed,
+			Metrics: reg,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Println("§III-C batch-size sweep — ResNet-18, base vs. one armed injection")
-		tb := report.NewTable("Batch", "Base (s)", "GoFI (s)", "Overhead (s)", "Overhead/inf (ms)")
-		for _, r := range rows {
-			tb.AddRow(r.Batch, r.BaseSec, r.FISec, r.Overhead, 1000*r.Overhead/float64(r.Batch))
+		fmt.Printf("Per-layer hook overhead — %s, %d timed forwards per mode\n", res.Model, res.Trials)
+		fmt.Println("(bare = timing hooks only; FI = timing + disarmed injection hooks)")
+		tb := report.NewTable("Layer", "Path", "Bare p50 (µs)", "FI p50 (µs)", "Δp50 (µs)", "FI p99 (µs)")
+		for _, r := range res.Rows {
+			tb.AddRow(r.Layer, r.Path, r.BareP50Us, r.FIP50Us, r.DeltaP50Us, r.FIP99Us)
 		}
 		tb.Render(os.Stdout)
-		return nil
+		fmt.Printf("\nwhole network: bare p50 %.6fs (min %.6fs), FI p50 %.6fs — overhead %.3fms at p50\n",
+			res.Bare.P50Sec, res.Bare.MinSec, res.FI.P50Sec, ms(res.OverheadP50Sec))
+		return writeBench(*jsonOut, benchOutput{Kind: "per-layer", Trials: *trials, Seed: *seed, PerLayer: &res})
+	}
+
+	if *batches {
+		rows, err := experiments.RunBatchSweep(ctx, *model, 32, nil, *trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("§III-C batch-size sweep — %s, base vs. one armed injection\n", *model)
+		tb := report.NewTable("Batch", "Base p50 (s)", "GoFI p50 (s)", "Δmean (s)", "Overhead/inf (ms)")
+		for _, r := range rows {
+			tb.AddRow(r.Batch, r.Base.P50Sec, r.FI.P50Sec, r.Overhead, 1000*r.Overhead/float64(r.Batch))
+		}
+		tb.Render(os.Stdout)
+		return writeBench(*jsonOut, benchOutput{Kind: "batch-sweep", Trials: *trials, Seed: *seed, Batches: rows})
 	}
 
 	cfg := experiments.Fig3Config{Trials: *trials, Seed: *seed}
@@ -63,20 +128,22 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	fmt.Println("Figure 3 — average inference runtime with and without GoFI")
+	fmt.Println("Figure 3 — inference runtime with and without GoFI (min/p50/p99 over repeated runs)")
 	fmt.Println("(serial backend stands in for the paper's CPU, parallel for its GPU)")
-	tb := report.NewTable("Dataset", "Network", "Backend", "Base (s)", "GoFI (s)", "Overhead (ms)")
+	tb := report.NewTable("Dataset", "Network", "Backend",
+		"Base min (s)", "Base p50 (s)", "GoFI p50 (s)", "GoFI p99 (s)", "Δp50 (ms)")
 	for _, r := range rows {
-		tb.AddRow(r.Dataset, r.Label, r.Backend, r.BaseSec, r.FISec, 1000*r.Overhead)
+		tb.AddRow(r.Dataset, r.Label, r.Backend,
+			r.Base.MinSec, r.Base.P50Sec, r.FI.P50Sec, r.FI.P99Sec, ms(r.FI.P50Sec-r.Base.P50Sec))
 	}
 	tb.Render(os.Stdout)
 
-	chart := &report.BarChart{Title: "\nBase runtime per network (serial backend)", Unit: "s"}
+	chart := &report.BarChart{Title: "\nBase p50 runtime per network (serial backend)", Unit: "s"}
 	for _, r := range rows {
 		if r.Backend == "serial" {
-			chart.Add(r.Dataset+"/"+r.Label, r.BaseSec, fmt.Sprintf("+FI %.4gs", r.FISec))
+			chart.Add(r.Dataset+"/"+r.Label, r.Base.P50Sec, fmt.Sprintf("+FI %.4gs", r.FI.P50Sec))
 		}
 	}
 	chart.Render(os.Stdout)
-	return nil
+	return writeBench(*jsonOut, benchOutput{Kind: "fig3", Trials: *trials, Seed: *seed, Fig3: rows})
 }

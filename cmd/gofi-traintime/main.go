@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"gofi/internal/experiments"
+	"gofi/internal/obs"
 	"gofi/internal/report"
 )
 
@@ -38,9 +39,16 @@ func run(ctx context.Context, args []string) error {
 	size := fs.Int("size", 32, "input image size")
 	noise := fs.Float64("noise", 0.8, "dataset pixel-noise std (controls decision margins)")
 	seed := fs.Int64("seed", 1, "experiment seed")
+	var mcli obs.CLI
+	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	metrics, err := mcli.Start()
+	if err != nil {
+		return err
+	}
+	defer mcli.Finish()
 
 	res, err := experiments.RunTable1(ctx, experiments.Table1Config{
 		Model:      *model,
@@ -50,6 +58,7 @@ func run(ctx context.Context, args []string) error {
 		InSize:     *size,
 		Noise:      float32(*noise),
 		Seed:       *seed,
+		Metrics:    metrics,
 	})
 	if err != nil {
 		return err

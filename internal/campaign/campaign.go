@@ -23,7 +23,36 @@ import (
 	"math/rand"
 
 	"gofi/internal/core"
+	"gofi/internal/obs"
 	"gofi/internal/tensor"
+)
+
+// Metric names recorded by the engine when Config.Metrics is set. The
+// counters and histogram counts are exact and — like the Aggregate —
+// deterministic in (Seed, Trials) regardless of Workers; the gauges and
+// histogram timings describe this particular run.
+const (
+	// MetricTrialTime is the per-trial latency histogram (nanoseconds).
+	MetricTrialTime = "campaign.trial_ns"
+	// MetricTrials counts finished trials, including skipped ones.
+	MetricTrials = "campaign.trials"
+	// MetricSkipped counts trials voided under SkipAndCount.
+	MetricSkipped = "campaign.skipped"
+	// MetricTop1Changed / MetricOutOfTop5 / MetricNonFinite count trial
+	// outcomes, mirroring the Aggregate fields.
+	MetricTop1Changed = "campaign.outcome.top1_changed"
+	MetricOutOfTop5   = "campaign.outcome.top1_out_of_top5"
+	MetricNonFinite   = "campaign.outcome.non_finite"
+	// MetricSinkRecords counts records delivered to the sinks.
+	MetricSinkRecords = "campaign.sink.records"
+	// MetricSinkQueue is the collector's backlog when each record is
+	// dequeued; MetricSinkQueueMax is its high-water mark. A queue that
+	// rides near its capacity (4 per worker) means the sinks are the
+	// bottleneck, not the trial workers.
+	MetricSinkQueue    = "campaign.sink.queue"
+	MetricSinkQueueMax = "campaign.sink.queue_max"
+	// MetricWorkers is the effective worker count for the run.
+	MetricWorkers = "campaign.workers"
 )
 
 // Outcome classifies a single injection trial, using the corruption
@@ -175,6 +204,11 @@ type Config struct {
 	ProgressEvery int
 	// OnError selects the per-trial failure policy (default FailFast).
 	OnError ErrorPolicy
+	// Metrics, when non-nil, receives the engine's counters, trial
+	// latency histogram and sink gauges (see the Metric* constants), and
+	// is attached to every replica injector for perturbation accounting.
+	// Nil keeps the hot path free of instrumentation.
+	Metrics *obs.Registry
 }
 
 func (c Config) validate() error {

@@ -11,8 +11,65 @@ import (
 
 	"gofi/internal/core"
 	"gofi/internal/nn"
+	"gofi/internal/obs"
 	"gofi/internal/tensor"
 )
+
+// engineMetrics pre-resolves the engine's metric handles so the trial
+// loop and collector record through atomics only.
+type engineMetrics struct {
+	trialTimer  obs.Timer
+	trials      *obs.Counter
+	skipped     *obs.Counter
+	top1        *obs.Counter
+	top5        *obs.Counter
+	nonFinite   *obs.Counter
+	sinkRecords *obs.Counter
+	queue       *obs.Gauge
+	queueMax    *obs.Gauge
+}
+
+func newEngineMetrics(reg *obs.Registry, workers int) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.Gauge(MetricWorkers).Set(float64(workers))
+	return &engineMetrics{
+		trialTimer:  reg.Timer(MetricTrialTime),
+		trials:      reg.Counter(MetricTrials),
+		skipped:     reg.Counter(MetricSkipped),
+		top1:        reg.Counter(MetricTop1Changed),
+		top5:        reg.Counter(MetricOutOfTop5),
+		nonFinite:   reg.Counter(MetricNonFinite),
+		sinkRecords: reg.Counter(MetricSinkRecords),
+		queue:       reg.Gauge(MetricSinkQueue),
+		queueMax:    reg.Gauge(MetricSinkQueueMax),
+	}
+}
+
+// observe folds one finished trial's record into the exact counters.
+// Called from the single collector goroutine.
+func (m *engineMetrics) observe(rec TrialRecord, backlog int, sank bool) {
+	m.queue.Set(float64(backlog))
+	m.queueMax.Max(float64(backlog))
+	m.trials.Inc()
+	if sank {
+		m.sinkRecords.Inc()
+	}
+	if rec.Err != "" {
+		m.skipped.Inc()
+		return
+	}
+	if rec.Outcome.Top1Changed {
+		m.top1.Inc()
+	}
+	if rec.Outcome.Top1OutOfTop5 {
+		m.top5.Inc()
+	}
+	if rec.Outcome.NonFinite {
+		m.nonFinite.Inc()
+	}
+}
 
 // Trial completion states, tracked per trial index so the final fold can
 // run in deterministic trial order over exactly the trials that finished.
@@ -96,6 +153,9 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 			if len(cfg.Sinks) > 0 {
 				inj.EnableTrace(true)
 			}
+			// Replicas share one registry: perturbation counters are
+			// atomic, so campaign-wide totals stay exact.
+			inj.SetMetrics(cfg.Metrics)
 			replicas[w] = inj
 		}(w)
 	}
@@ -163,6 +223,7 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 	outcomes := make([]Outcome, cfg.Trials)
 	state := make([]uint8, cfg.Trials)
 	records := make(chan TrialRecord, workers*4)
+	met := newEngineMetrics(cfg.Metrics, workers)
 
 	var collectorWG sync.WaitGroup
 	collectorWG.Add(1)
@@ -179,6 +240,7 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		sinksOK := true
 		start := time.Now()
 		for rec := range records {
+			backlog := len(records)
 			if sinksOK {
 				for _, s := range cfg.Sinks {
 					if err := s.Record(rec); err != nil {
@@ -187,6 +249,9 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 						break
 					}
 				}
+			}
+			if met != nil {
+				met.observe(rec, backlog, sinksOK && len(cfg.Sinks) > 0)
 			}
 			done++
 			if rec.Err != "" {
@@ -216,7 +281,14 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 				if t >= cfg.Trials {
 					return
 				}
+				var trialStart time.Time
+				if met != nil {
+					trialStart = time.Now()
+				}
 				rec, err := runTrial(cfg, inj, w, t, sampleOf[t], clean[sampleOf[t]])
+				if met != nil {
+					met.trialTimer.Since(trialStart)
+				}
 				if err != nil {
 					if cfg.OnError == SkipAndCount {
 						state[t] = trialSkipped

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"gofi/internal/nn"
+	"gofi/internal/obs"
 	"gofi/internal/quant"
 	"gofi/internal/tensor"
 )
@@ -125,6 +126,10 @@ type Injector struct {
 	traceOn bool
 	trace   []InjectionRecord
 
+	// Optional metrics wiring (see SetMetrics); nil keeps the armed path
+	// free of accounting.
+	met *injMetrics
+
 	// Injections counts neuron perturbations actually applied at runtime
 	// since the last Reset (diagnostics and tests).
 	Injections int
@@ -133,6 +138,9 @@ type Injector struct {
 type armedNeuron struct {
 	site  NeuronSite
 	model ErrorModel
+	// tally is the per-error-model applied counter, resolved at
+	// declaration time (nil when no registry was attached).
+	tally *obs.Counter
 }
 
 type weightUndo struct {
@@ -281,6 +289,12 @@ func (inj *Injector) applyNeuron(out *tensor.Tensor, shape []int, layer int, a a
 		})
 		out.SetFlat(off, nv)
 		inj.Injections++
+		if m := inj.met; m != nil {
+			m.neuron.Inc()
+			if a.tally != nil {
+				a.tally.Inc()
+			}
+		}
 		if inj.traceOn {
 			inj.record(InjectionRecord{
 				Kind: "neuron", Layer: layer, LayerPath: inj.layers[layer].Path,

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gofi/internal/nn"
+	"gofi/internal/obs"
+	"gofi/internal/tensor"
+)
+
+// buildTwin returns two architecturally and numerically identical copies
+// of the seed CNN (same construction RNG seed ⇒ same weights).
+func buildTwin() (bare, hooked nn.Layer) {
+	return testModel(rand.New(rand.NewSource(7))), testModel(rand.New(rand.NewSource(7)))
+}
+
+// TestDisarmedForwardBitIdentical turns the paper's Table 2 / Figure 3
+// premise into an executable assertion: a hooked-but-disarmed model —
+// even with metrics accounting AND per-layer timing enabled — must
+// produce output byte-for-byte identical to a bare model with the same
+// weights.
+func TestDisarmedForwardBitIdentical(t *testing.T) {
+	bare, hooked := buildTwin()
+	inj, err := New(hooked, Config{Batch: 2, Height: 16, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Detach()
+	reg := obs.NewRegistry()
+	inj.SetMetrics(reg)
+	timing := inj.EnableLayerTiming(reg)
+	defer timing.Remove()
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		x := tensor.RandUniform(rng, -1, 1, 2, 3, 16, 16)
+		want := nn.Run(bare, x).Data()
+		got := nn.Run(hooked, x).Data()
+		if len(want) != len(got) {
+			t.Fatalf("output length %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+				t.Fatalf("trial %d: logit %d differs bitwise: bare %x hooked %x",
+					trial, i, math.Float32bits(want[i]), math.Float32bits(got[i]))
+			}
+		}
+	}
+	// The disarmed path must not count anything.
+	if n := reg.Counter(MetricNeuronPerturbations).Value(); n != 0 {
+		t.Fatalf("disarmed run recorded %d perturbations", n)
+	}
+	// Layer timing observed every hooked layer on every forward pass.
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != len(inj.Layers()) {
+		t.Fatalf("timing histograms: %d, want one per hooked layer (%d)", len(snap.Histograms), len(inj.Layers()))
+	}
+	for name, st := range snap.Histograms {
+		if st.Count != 5 {
+			t.Fatalf("%s observed %d forwards, want 5", name, st.Count)
+		}
+	}
+}
+
+// TestDisarmedHookOverheadRatio asserts the near-zero-overhead claim as
+// a (generous) timing bound: the median hooked-but-disarmed forward must
+// stay within 2.5x of the bare forward. The real overhead is a few
+// hundred nanoseconds per layer against ~10^5 ns of conv arithmetic;
+// the slack absorbs scheduler noise on loaded CI machines. Skipped in
+// -short so the race pass stays fast and timing-free.
+func TestDisarmedHookOverheadRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short")
+	}
+	bare, hooked := buildTwin()
+	inj, err := New(hooked, Config{Height: 16, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Detach()
+
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	nn.Run(bare, x) // warm-up both graphs (pool, caches)
+	nn.Run(hooked, x)
+
+	const runs = 60
+	medianForward := func(m nn.Layer) time.Duration {
+		times := make([]time.Duration, runs)
+		for i := range times {
+			start := time.Now()
+			nn.Run(m, x)
+			times[i] = time.Since(start)
+		}
+		// Insertion sort; runs is tiny.
+		for i := 1; i < len(times); i++ {
+			for j := i; j > 0 && times[j] < times[j-1]; j-- {
+				times[j], times[j-1] = times[j-1], times[j]
+			}
+		}
+		return times[runs/2]
+	}
+	// Interleave to share thermal/scheduling conditions.
+	bareT := medianForward(bare)
+	hookedT := medianForward(hooked)
+	bare2 := medianForward(bare)
+	if bare2 < bareT {
+		bareT = bare2
+	}
+	if bareT <= 0 {
+		t.Skipf("bare forward too fast to time (%v)", bareT)
+	}
+	ratio := float64(hookedT) / float64(bareT)
+	t.Logf("bare %v, hooked %v, ratio %.3f", bareT, hookedT, ratio)
+	if ratio > 2.5 {
+		t.Fatalf("disarmed instrumentation overhead ratio %.2f exceeds 2.5x (bare %v, hooked %v)",
+			ratio, bareT, hookedT)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gofi/internal/nn"
+	"gofi/internal/obs"
 	"gofi/internal/quant"
 	"gofi/internal/tensor"
 )
@@ -95,8 +96,12 @@ func (inj *Injector) DeclareNeuronFI(model ErrorModel, sites ...NeuronSite) erro
 			return err
 		}
 	}
+	var tally *obs.Counter
+	if inj.met != nil {
+		tally = inj.met.modelCounter(model.Name())
+	}
 	for _, s := range sites {
-		inj.neuronSites[s.Layer] = append(inj.neuronSites[s.Layer], armedNeuron{site: s, model: model})
+		inj.neuronSites[s.Layer] = append(inj.neuronSites[s.Layer], armedNeuron{site: s, model: model, tally: tally})
 	}
 	return nil
 }
@@ -137,6 +142,10 @@ func (inj *Injector) DeclareWeightFI(model ErrorModel, sites ...WeightSite) erro
 		wt := inj.weightTensor(s.Layer)
 		rs = append(rs, resolved{t: wt, offset: wt.Offset(s.Idx...), layer: s.Layer})
 	}
+	var tally *obs.Counter
+	if inj.met != nil {
+		tally = inj.met.modelCounter(model.Name())
+	}
 	for i, r := range rs {
 		old := r.t.AtFlat(r.offset)
 		inj.weightUndo = append(inj.weightUndo, weightUndo{tensor: r.t, offset: r.offset, value: old})
@@ -147,6 +156,10 @@ func (inj *Injector) DeclareWeightFI(model ErrorModel, sites ...WeightSite) erro
 			Rand:  inj.rng,
 		})
 		r.t.SetFlat(r.offset, nv)
+		if inj.met != nil {
+			inj.met.weight.Inc()
+			tally.Inc()
+		}
 		if inj.traceOn {
 			inj.record(InjectionRecord{
 				Kind: "weight", Layer: r.layer, LayerPath: inj.layers[r.layer].Path,

@@ -7,6 +7,7 @@ import (
 
 	"gofi/internal/campaign"
 	"gofi/internal/core"
+	"gofi/internal/obs"
 )
 
 // BitStudyConfig drives the bit-position sensitivity study: a campaign
@@ -21,6 +22,9 @@ type BitStudyConfig struct {
 	Workers         int
 	DType           core.DType // FP32, FP16 or INT8
 	Seed            int64
+	// Metrics, when non-nil, receives the engines' counters and
+	// histograms; all per-bit campaigns share the one registry.
+	Metrics *obs.Registry
 }
 
 func (c BitStudyConfig) canon() BitStudyConfig {
@@ -125,6 +129,7 @@ func RunBitStudy(ctx context.Context, cfg BitStudyConfig) ([]BitStudyRow, error)
 				_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: bit})
 				return err
 			},
+			Metrics: cfg.Metrics,
 		})
 		if err != nil {
 			return rows, fmt.Errorf("bit study bit %d: %w", b, err)

@@ -27,14 +27,20 @@ type Fig3Config struct {
 	Seed            int64
 }
 
-// Fig3Row is one cell group of Figure 3.
+// Fig3Row is one cell group of Figure 3. BaseSec/FISec/Overhead keep
+// the paper's mean-wall-clock framing; Base/FI carry the full
+// repeated-run distribution (min/p50/p95/p99), since a mean alone
+// cannot distinguish constant instrumentation cost from scheduler
+// noise.
 type Fig3Row struct {
-	Label    string
-	Dataset  string
-	Backend  string // "serial" (CPU stand-in) or "parallel" (GPU stand-in)
-	BaseSec  float64
-	FISec    float64
-	Overhead float64 // FISec − BaseSec
+	Label    string  `json:"label"`
+	Dataset  string  `json:"dataset"`
+	Backend  string  `json:"backend"` // "serial" (CPU stand-in) or "parallel" (GPU stand-in)
+	BaseSec  float64 `json:"base_sec"`
+	FISec    float64 `json:"fi_sec"`
+	Overhead float64 `json:"overhead_sec"` // FISec − BaseSec (means)
+	Base     DurStat `json:"base_stat"`
+	FI       DurStat `json:"fi_stat"`
 }
 
 // RunFig3 measures inference wall-clock with and without a single armed
@@ -89,9 +95,11 @@ func RunFig3(ctx context.Context, cfg Fig3Config) ([]Fig3Row, error) {
 				Label:    e.Label,
 				Dataset:  e.Dataset,
 				Backend:  backend.name,
-				BaseSec:  base,
-				FISec:    fi,
-				Overhead: fi - base,
+				BaseSec:  base.MeanSec,
+				FISec:    fi.MeanSec,
+				Overhead: fi.MeanSec - base.MeanSec,
+				Base:     base,
+				FI:       fi,
 			})
 		}
 		inj.Detach()
@@ -99,16 +107,17 @@ func RunFig3(ctx context.Context, cfg Fig3Config) ([]Fig3Row, error) {
 	return rows, nil
 }
 
-// timeInference averages wall-clock over cfg.Trials inferences on random
-// inputs, with one random-neuron fault armed when fi is true.
-func timeInference(model nn.Layer, inj *core.Injector, e models.Fig3Entry, cfg Fig3Config, fi bool) float64 {
+// timeInference times cfg.Trials inferences on random inputs, with one
+// random-neuron fault armed when fi is true, and folds the per-run
+// samples into a DurStat.
+func timeInference(model nn.Layer, inj *core.Injector, e models.Fig3Entry, cfg Fig3Config, fi bool) DurStat {
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
 	// Warm-up inference excluded from timing.
 	x := tensor.RandUniform(rng, -1, 1, cfg.Batch, 3, e.InSize, e.InSize)
 	nn.Run(model, x)
 
-	var total time.Duration
-	for t := 0; t < cfg.Trials; t++ {
+	samples := make([]time.Duration, cfg.Trials)
+	for t := range samples {
 		inj.Reset()
 		if fi {
 			// Re-armed per trial, as a campaign would.
@@ -118,18 +127,20 @@ func timeInference(model nn.Layer, inj *core.Injector, e models.Fig3Entry, cfg F
 		}
 		start := time.Now()
 		nn.Run(model, x)
-		total += time.Since(start)
+		samples[t] = time.Since(start)
 	}
 	inj.Reset()
-	return total.Seconds() / float64(cfg.Trials)
+	return durStat(samples)
 }
 
 // BatchSweepRow is one batch-size point of the §III-C sweep.
 type BatchSweepRow struct {
-	Batch    int
-	BaseSec  float64
-	FISec    float64
-	Overhead float64
+	Batch    int     `json:"batch"`
+	BaseSec  float64 `json:"base_sec"`
+	FISec    float64 `json:"fi_sec"`
+	Overhead float64 `json:"overhead_sec"`
+	Base     DurStat `json:"base_stat"`
+	FI       DurStat `json:"fi_stat"`
 }
 
 // RunBatchSweep reproduces the §III-C batching study on one network:
@@ -162,7 +173,10 @@ func RunBatchSweep(ctx context.Context, model string, inSize int, batches []int,
 		base := timeInference(m, inj, e, cfg, false)
 		fi := timeInference(m, inj, e, cfg, true)
 		inj.Detach()
-		rows = append(rows, BatchSweepRow{Batch: b, BaseSec: base, FISec: fi, Overhead: fi - base})
+		rows = append(rows, BatchSweepRow{
+			Batch: b, BaseSec: base.MeanSec, FISec: fi.MeanSec,
+			Overhead: fi.MeanSec - base.MeanSec, Base: base, FI: fi,
+		})
 	}
 	return rows, nil
 }

@@ -8,6 +8,7 @@ import (
 	"gofi/internal/campaign"
 	"gofi/internal/core"
 	"gofi/internal/models"
+	"gofi/internal/obs"
 )
 
 // Fig4Config drives the classification-resiliency campaign.
@@ -32,6 +33,9 @@ type Fig4Config struct {
 	// so over-margined that single faults almost never flip Top-1.
 	Noise float32
 	Seed  int64
+	// Metrics, when non-nil, receives the engines' counters and
+	// histograms; all per-model campaigns share the one registry.
+	Metrics *obs.Registry
 }
 
 func (c Fig4Config) canon() Fig4Config {
@@ -129,6 +133,7 @@ func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, er
 			_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit})
 			return err
 		},
+		Metrics: cfg.Metrics,
 	})
 	if err != nil {
 		return Fig4Row{}, err

@@ -8,6 +8,7 @@ import (
 	"gofi/internal/core"
 	"gofi/internal/data"
 	"gofi/internal/detect"
+	"gofi/internal/obs"
 )
 
 // Fig5Config drives the object-detection perturbation study.
@@ -26,6 +27,9 @@ type Fig5Config struct {
 	// make the corruption visible, as in their Figure 5b).
 	ValueRange float32
 	Seed       int64
+	// Metrics, when non-nil, is attached to the study's injector so
+	// perturbation tallies accumulate (see core.Metric*).
+	Metrics *obs.Registry
 }
 
 func (c Fig5Config) canon() Fig5Config {
@@ -95,6 +99,7 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 		return Fig5Result{}, err
 	}
 	defer inj.Detach()
+	inj.SetMetrics(cfg.Metrics)
 
 	siteRng := rand.New(rand.NewSource(cfg.Seed + 3))
 	var res Fig5Result

@@ -9,6 +9,7 @@ import (
 	"gofi/internal/data"
 	"gofi/internal/ibp"
 	"gofi/internal/nn"
+	"gofi/internal/obs"
 	"gofi/internal/tensor"
 	"gofi/internal/train"
 )
@@ -26,6 +27,9 @@ type Fig6Config struct {
 	// TrainEpochs per model.
 	TrainEpochs int
 	Seed        int64
+	// Metrics, when non-nil, is attached to each evaluation injector so
+	// perturbation tallies accumulate (see core.Metric*).
+	Metrics *obs.Registry
 }
 
 func (c Fig6Config) canon() Fig6Config {
@@ -147,6 +151,7 @@ func firstTwoLayerVulnerability(ctx context.Context, net *ibp.Net, ds *data.Clas
 	if err != nil {
 		return 0, 0, err
 	}
+	inj.SetMetrics(cfg.Metrics)
 	defer inj.Detach()
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 11))

@@ -10,6 +10,7 @@ import (
 	"gofi/internal/interpret"
 	"gofi/internal/models"
 	"gofi/internal/nn"
+	"gofi/internal/obs"
 	"gofi/internal/tensor"
 	"gofi/internal/train"
 )
@@ -25,6 +26,9 @@ type Fig7Config struct {
 	// InjectValue is the egregious value injected (the paper uses 10,000).
 	InjectValue float32
 	Seed        int64
+	// Metrics, when non-nil, is attached to the study's injector so
+	// perturbation tallies accumulate (see core.Metric*).
+	Metrics *obs.Registry
 }
 
 func (c Fig7Config) canon() Fig7Config {
@@ -135,6 +139,7 @@ func RunFig7(ctx context.Context, cfg Fig7Config) (Fig7Result, error) {
 	if err != nil {
 		return Fig7Result{}, err
 	}
+	inj.SetMetrics(cfg.Metrics)
 	defer inj.Detach()
 
 	shape := inj.Layers()[targetIdx].OutShape

@@ -7,6 +7,7 @@ import (
 
 	"gofi/internal/campaign"
 	"gofi/internal/core"
+	"gofi/internal/obs"
 )
 
 // ArmFunc arms one trial's fault(s) on a freshly Reset injector.
@@ -36,6 +37,9 @@ type GenericCampaignConfig struct {
 	Progress func(campaign.Progress)
 	// OnError selects the engine's per-trial failure policy.
 	OnError campaign.ErrorPolicy
+	// Metrics, when non-nil, receives the engine's counters, trial
+	// latency histogram and sink gauges (see campaign.Metric*).
+	Metrics *obs.Registry
 }
 
 // GenericCampaignResult bundles the campaign aggregate with the trained
@@ -134,6 +138,7 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 		Sinks:      cfg.Sinks,
 		Progress:   cfg.Progress,
 		OnError:    cfg.OnError,
+		Metrics:    cfg.Metrics,
 	})
 	// On abort the engine still hands back the partial aggregate; pass it
 	// through so callers can report what completed.

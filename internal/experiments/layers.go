@@ -8,6 +8,7 @@ import (
 	"gofi/internal/campaign"
 	"gofi/internal/core"
 	"gofi/internal/nn"
+	"gofi/internal/obs"
 	"gofi/internal/tensor"
 )
 
@@ -44,6 +45,9 @@ type LayerVulnConfig struct {
 	Noise           float32
 	Granularity     Granularity
 	Seed            int64
+	// Metrics, when non-nil, is attached to the study's injector so
+	// per-model perturbation tallies accumulate (see core.Metric*).
+	Metrics *obs.Registry
 }
 
 func (c LayerVulnConfig) canon() LayerVulnConfig {
@@ -100,6 +104,7 @@ func RunLayerVuln(ctx context.Context, cfg LayerVulnConfig) ([]LayerVulnRow, err
 		return nil, err
 	}
 	defer inj.Detach()
+	inj.SetMetrics(cfg.Metrics)
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 62))
 	rows := make([]LayerVulnRow, 0, len(inj.Layers()))

@@ -10,6 +10,7 @@ import (
 	"gofi/internal/data"
 	"gofi/internal/models"
 	"gofi/internal/nn"
+	"gofi/internal/obs"
 	"gofi/internal/tensor"
 	"gofi/internal/train"
 )
@@ -29,6 +30,9 @@ type Table1Config struct {
 	// Fig4Config.Noise).
 	Noise float32
 	Seed  int64
+	// Metrics, when non-nil, is attached to the train-time and
+	// evaluation injectors so perturbation tallies accumulate.
+	Metrics *obs.Registry
 }
 
 func (c Table1Config) canon() Table1Config {
@@ -120,6 +124,7 @@ func RunTable1(ctx context.Context, cfg Table1Config) (Table1Result, error) {
 	if err != nil {
 		return Table1Result{}, err
 	}
+	inj.SetMetrics(cfg.Metrics)
 	siteRng := rand.New(rand.NewSource(cfg.Seed + 23))
 	fitc := tc
 	fitc.BeforeForward = func(step int) {
@@ -157,6 +162,7 @@ func injectionMisclassifications(ctx context.Context, model nn.Layer, ds *data.C
 		return 0, err
 	}
 	defer inj.Detach()
+	inj.SetMetrics(cfg.Metrics)
 	return postTrainingMis(ctx, inj, ds, cfg, seed)
 }
 

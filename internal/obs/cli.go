@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLI is the shared -metrics / -metrics-addr flag pair every gofi
+// command exposes. Typical wiring:
+//
+//	var mcli obs.CLI
+//	mcli.AddFlags(fs)
+//	...
+//	reg, err := mcli.Start()   // nil registry when metrics are off
+//	defer mcli.Finish()
+//
+// The registry is nil unless one of the flags was set, so commands pass
+// it straight into the experiment configs and the disarmed path stays
+// instrumentation-free by default.
+type CLI struct {
+	// Out selects the exit snapshot destination: "" disables it, "-"
+	// writes JSON to stderr, anything else is a file path.
+	Out string
+	// Addr, when non-empty, serves /metrics, /debug/vars and
+	// /debug/pprof over HTTP for the lifetime of the process.
+	Addr string
+
+	reg    *Registry
+	server *Server
+}
+
+// AddFlags registers the shared metrics flags on fs.
+func (c *CLI) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Out, "metrics", "",
+		`write a metrics snapshot as JSON on exit ("-" for stderr, else a file path)`)
+	fs.StringVar(&c.Addr, "metrics-addr", "",
+		"serve the metrics snapshot, expvar and pprof over HTTP at this address (e.g. localhost:6060)")
+}
+
+// Enabled reports whether either flag requested metrics.
+func (c *CLI) Enabled() bool { return c.Out != "" || c.Addr != "" }
+
+// Registry returns the registry created by Start (nil before Start or
+// when metrics are disabled).
+func (c *CLI) Registry() *Registry { return c.reg }
+
+// Start creates the registry and, if requested, binds the HTTP
+// endpoint. It returns nil (and no error) when metrics are disabled.
+func (c *CLI) Start() (*Registry, error) {
+	if !c.Enabled() {
+		return nil, nil
+	}
+	c.reg = NewRegistry()
+	if c.Addr != "" {
+		srv, err := c.reg.Serve(c.Addr)
+		if err != nil {
+			return nil, err
+		}
+		c.server = srv
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof)\n", srv.Addr)
+	}
+	return c.reg, nil
+}
+
+// Finish writes the exit snapshot and stops the HTTP endpoint. Safe to
+// call when metrics are disabled.
+func (c *CLI) Finish() error {
+	if c.server != nil {
+		_ = c.server.Close()
+		c.server = nil
+	}
+	if c.reg == nil || c.Out == "" {
+		return nil
+	}
+	if c.Out == "-" {
+		return c.reg.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(c.Out)
+	if err != nil {
+		return err
+	}
+	if err := c.reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

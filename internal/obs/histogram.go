@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucketing: values 0..2^subBuckets-1 get exact unit buckets;
+// above that, each power of two is split into 2^subBits linear
+// sub-buckets, HDR-histogram style. Recording is a handful of atomic
+// ops and never allocates; quantiles are computed at snapshot time by a
+// cumulative walk and are accurate to half a bucket width (≤ 6.25%
+// relative error for subBits = 3).
+const (
+	subBits    = 3
+	subBuckets = 1 << subBits // sub-buckets per power of two
+	// Non-negative int64 samples span exponents 0..62; exponents up to
+	// subBits-1 collapse into the exact low range.
+	numBuckets = (63 - subBits + 1) * subBuckets
+)
+
+// Histogram is a streaming distribution of non-negative int64 samples
+// (timers record nanoseconds). Negative samples are clamped to zero.
+// Safe for concurrent use; Observe is lock-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketIndex maps a sample to its bucket. The mapping is continuous:
+// the first sub-bucket of exponent e starts exactly where exponent e-1
+// ended.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // floor(log2(u)), ≥ subBits
+	mantissa := (u >> (uint(e) - subBits)) & (subBuckets - 1)
+	return (e-subBits+1)*subBuckets + int(mantissa)
+}
+
+// bucketLow returns the smallest sample value mapping to bucket i.
+func bucketLow(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	e := i/subBuckets + subBits - 1
+	m := uint64(i % subBuckets)
+	return int64(uint64(1)<<uint(e) | m<<(uint(e)-subBits))
+}
+
+// bucketMid returns bucket i's representative value (its midpoint),
+// used for quantile estimates.
+func bucketMid(i int) int64 {
+	lo := bucketLow(i)
+	if i < subBuckets {
+		return lo
+	}
+	e := i/subBuckets + subBits - 1
+	return lo + int64(uint64(1)<<(uint(e)-subBits))/2
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if v >= old || h.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Count returns the exact number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the exact sum of recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts:
+// the representative value of the bucket containing the ceil(q·count)-th
+// smallest sample. Concurrent Observe calls may skew an in-flight
+// estimate; snapshots taken after recording quiesces are stable.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			mid := bucketMid(i)
+			// Clamp to the observed extremes so single-sample and
+			// narrow distributions report exact values.
+			if mn := h.min.Load(); mid < mn {
+				mid = mn
+			}
+			if mx := h.max.Load(); mid > mx {
+				mid = mx
+			}
+			return mid
+		}
+	}
+	return h.max.Load()
+}
+
+// Stat summarizes the histogram. Count and Sum are exact; quantiles are
+// bucket-resolution estimates clamped to [Min, Max].
+func (h *Histogram) Stat() HistogramStat {
+	n := h.count.Load()
+	st := HistogramStat{Count: n, Sum: h.sum.Load()}
+	if n == 0 {
+		return st
+	}
+	st.Min = h.min.Load()
+	st.Max = h.max.Load()
+	st.Mean = float64(st.Sum) / float64(n)
+	st.P50 = h.Quantile(0.50)
+	st.P95 = h.Quantile(0.95)
+	st.P99 = h.Quantile(0.99)
+	return st
+}
+
+// HistogramStat is the exported summary of one histogram.
+type HistogramStat struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}

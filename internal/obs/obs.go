@@ -1,0 +1,172 @@
+// Package obs is GoFI's observability substrate: concurrency-safe
+// counters, gauges, streaming histograms and named timers behind a
+// string-keyed Registry, with a point-in-time Snapshot that serializes to
+// JSON and can be served over expvar+pprof HTTP.
+//
+// The package exists to make the paper's central tool claim — hook-based
+// injection adds near-zero overhead when no faults are armed — measurable
+// and assertable, and to give the campaign engine the per-layer /
+// per-site accounting that large-scale fault-injection studies
+// (PyTorchFI-at-scale, MRFI) are built on.
+//
+// Design constraints, in order:
+//
+//   - Zero allocation on the hot path. Callers resolve a *Counter /
+//     *Gauge / *Histogram once (registration takes a lock) and then
+//     record through atomic operations only. Recording never allocates,
+//     never locks, and never formats a string.
+//   - Exact counts. Counters are plain atomic adds — totals are exact,
+//     not sampled or approximated, so tests can assert equality against
+//     ground truth even under 8-way hammering (the race-detector suite
+//     does exactly that).
+//   - Approximate distributions. Histograms bucket values on a
+//     log-ish scale (8 sub-buckets per power of two, ≤ 6.25% relative
+//     width) — quantile estimates are approximate but bucket counts and
+//     totals are exact.
+//
+// A nil *Registry is inert: the wiring helpers in core and campaign
+// treat "no registry" as "metrics off", so the disarmed fast path stays
+// bare.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing exact count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative; negative
+// deltas belong in a Gauge).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value (queue depths, worker counts,
+// ratios). Unlike Counter it may move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Max raises the gauge to v if v is greater than the current value.
+func (g *Gauge) Max(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Timer records durations into a Histogram in nanoseconds.
+type Timer struct {
+	h *Histogram
+}
+
+// Observe records one duration.
+func (t Timer) Observe(d time.Duration) { t.h.Observe(int64(d)) }
+
+// Since records the time elapsed from start, and returns it.
+func (t Timer) Since(start time.Time) time.Duration {
+	d := time.Since(start)
+	t.h.Observe(int64(d))
+	return d
+}
+
+// Histogram returns the underlying nanosecond histogram.
+func (t Timer) Histogram() *Histogram { return t.h }
+
+// Registry holds named metrics. Get-or-create methods take a mutex;
+// recording through the returned handles is lock-free. The zero value is
+// not usable — call NewRegistry. A nil *Registry is accepted by every
+// method that does not return a handle (Snapshot, WriteJSON) and means
+// "metrics disabled".
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer returns a nanosecond timer over the histogram registered under
+// name.
+func (r *Registry) Timer(name string) Timer {
+	return Timer{h: r.Histogram(name)}
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterExactUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	const goroutines, perG = 16, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want exactly %d", got, goroutines*perG)
+	}
+	// Get-or-create must hand back the same counter.
+	if r.Counter("hits") != c {
+		t.Fatal("Counter(name) returned a different instance")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	g.Max(7)
+	g.Max(3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after Max = %g, want 7", got)
+	}
+}
+
+func TestBucketMappingIsContinuousAndMonotonic(t *testing.T) {
+	// Every bucket's low bound must map back to that bucket, and bounds
+	// must be strictly increasing.
+	prev := int64(-1)
+	for i := 0; i < numBuckets; i++ {
+		lo := bucketLow(i)
+		if lo <= prev && i > 0 {
+			t.Fatalf("bucket %d low %d not increasing (prev %d)", i, lo, prev)
+		}
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(bucketLow(%d)=%d) = %d", i, lo, got)
+		}
+		prev = lo
+	}
+	// Exhaustive continuity over the exact + first log range.
+	for v := int64(0); v < 4096; v++ {
+		i, j := bucketIndex(v), bucketIndex(v+1)
+		if j != i && j != i+1 {
+			t.Fatalf("bucketIndex jumps from %d to %d between %d and %d", i, j, v, v+1)
+		}
+	}
+	if bucketIndex(math.MaxInt64) >= numBuckets {
+		t.Fatalf("MaxInt64 bucket %d out of range %d", bucketIndex(math.MaxInt64), numBuckets)
+	}
+}
+
+func TestHistogramExactCountsApproximateQuantiles(t *testing.T) {
+	h := newHistogram()
+	const n = 100_000
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := g; i < n; i += 8 {
+				h.Observe(int64(i + 1)) // 1..n uniformly
+			}
+		}()
+	}
+	wg.Wait()
+	st := h.Stat()
+	if st.Count != n {
+		t.Fatalf("count = %d, want exactly %d", st.Count, n)
+	}
+	if st.Sum != int64(n)*(n+1)/2 {
+		t.Fatalf("sum = %d, want exactly %d", st.Sum, int64(n)*(n+1)/2)
+	}
+	if st.Min != 1 || st.Max != n {
+		t.Fatalf("min/max = %d/%d, want 1/%d", st.Min, st.Max, n)
+	}
+	for _, q := range []struct {
+		q    float64
+		want float64
+	}{{0.50, n / 2}, {0.95, 0.95 * n}, {0.99, 0.99 * n}} {
+		got := float64(h.Quantile(q.q))
+		if rel := math.Abs(got-q.want) / q.want; rel > 0.07 {
+			t.Fatalf("q%.2f = %g, want within 7%% of %g", q.q, got, q.want)
+		}
+	}
+}
+
+func TestHistogramSingleSampleIsExact(t *testing.T) {
+	h := newHistogram()
+	h.Observe(1_234_567)
+	st := h.Stat()
+	if st.P50 != 1_234_567 || st.P99 != 1_234_567 || st.Min != 1_234_567 || st.Max != 1_234_567 {
+		t.Fatalf("single-sample stat not exact: %+v", st)
+	}
+	// Negative samples clamp to zero rather than corrupting a bucket.
+	h.Observe(-5)
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("min quantile after negative sample = %d, want 0", got)
+	}
+}
+
+func TestObserveDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	g := r.Gauge("g")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(12345)
+		g.Set(1)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %.1f objects per record, want 0", n)
+	}
+}
+
+func TestSnapshotJSONStableAndSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Gauge("depth").Set(3)
+	r.Timer("t").Observe(5 * time.Millisecond)
+
+	var buf1, buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatal("snapshot JSON not stable across writes")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf1.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a.count"] != 1 || s.Counters["b.count"] != 2 {
+		t.Fatalf("counters round-trip: %+v", s.Counters)
+	}
+	if s.Gauges["depth"] != 3 {
+		t.Fatalf("gauges round-trip: %+v", s.Gauges)
+	}
+	if st := s.Histograms["t"]; st.Count != 1 || st.Sum != int64(5*time.Millisecond) {
+		t.Fatalf("histogram round-trip: %+v", st)
+	}
+	// Nil registry snapshots are empty, not panics.
+	var nilReg *Registry
+	if snap := nilReg.Snapshot(); len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestServeExposesMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served").Add(7)
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	var s Snapshot
+	if err := json.Unmarshal(get("/metrics"), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["served"] != 7 {
+		t.Fatalf("served snapshot %+v", s)
+	}
+	if b := get("/debug/pprof/cmdline"); len(b) == 0 {
+		t.Fatal("pprof cmdline empty")
+	}
+	if b := get("/debug/vars"); !bytes.Contains(b, []byte("cmdline")) {
+		t.Fatal("expvar page missing standard vars")
+	}
+}
+
+func TestCLIFlagLifecycle(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	var c CLI
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c.AddFlags(fs)
+	if err := fs.Parse([]string{"-metrics", out, "-metrics-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg == nil {
+		t.Fatal("Start returned nil registry with flags set")
+	}
+	reg.Counter("done").Inc()
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["done"] != 1 {
+		t.Fatalf("snapshot file %+v", s)
+	}
+
+	// Disabled CLI: no registry, Finish is a no-op.
+	var off CLI
+	reg, err = off.Start()
+	if err != nil || reg != nil {
+		t.Fatalf("disabled Start = (%v, %v), want (nil, nil)", reg, err)
+	}
+	if err := off.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"unicode/utf8"
+
+	"gofi/internal/campaign"
+)
+
+// FuzzTrialRecordJSONLRoundTrip drives the per-trial streaming format
+// with arbitrary field values: every record must either encode to one
+// decodable JSON line that round-trips, or fail cleanly (non-finite
+// floats, which encoding/json rejects by design).
+func FuzzTrialRecordJSONLRoundTrip(f *testing.F) {
+	f.Add(0, 0, 0, "", "", true, false, false, 0.0)
+	f.Add(41, 3, 17, "neuron L2 (c=5,h=3,w=7) bitflip[rand]", "", false, true, true, 0.25)
+	f.Add(-1, -8, 1<<30, "weird \x00 site", "arm failed", false, false, false, -1.5)
+	f.Fuzz(func(t *testing.T, trial, worker, sample int, site, errStr string,
+		top1, top5, nonFinite bool, confDrop float64) {
+		rec := campaign.TrialRecord{
+			Trial:  trial,
+			Worker: worker,
+			Sample: sample,
+			Site:   site,
+			Outcome: campaign.Outcome{
+				Top1Changed:    top1,
+				Top1OutOfTop5:  top5,
+				NonFinite:      nonFinite,
+				ConfidenceDrop: confDrop,
+			},
+			Err: errStr,
+		}
+
+		var buf bytes.Buffer
+		sink := NewTrialJSONL(&buf)
+		err := sink.Record(rec)
+		if math.IsNaN(confDrop) || math.IsInf(confDrop, 0) {
+			if err == nil {
+				t.Fatalf("non-finite confidence %v encoded without error", confDrop)
+			}
+			if sink.Lines() != 0 {
+				t.Fatalf("failed record still counted: %d lines", sink.Lines())
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("record: %v", err)
+		}
+		if sink.Lines() != 1 {
+			t.Fatalf("lines = %d, want 1", sink.Lines())
+		}
+
+		line := buf.Bytes()
+		if n := bytes.Count(line, []byte{'\n'}); n != 1 || line[len(line)-1] != '\n' {
+			t.Fatalf("record is not exactly one newline-terminated line: %q", line)
+		}
+		var got campaign.TrialRecord
+		if err := json.Unmarshal(line, &got); err != nil {
+			t.Fatalf("own output does not decode: %v (%q)", err, line)
+		}
+		if got.Trial != rec.Trial || got.Worker != rec.Worker || got.Sample != rec.Sample {
+			t.Fatalf("indices mangled: wrote %+v, read %+v", rec, got)
+		}
+		if got.Outcome != rec.Outcome {
+			t.Fatalf("outcome mangled: wrote %+v, read %+v", rec.Outcome, got.Outcome)
+		}
+		// encoding/json replaces invalid UTF-8 with U+FFFD, so string
+		// fields round-trip exactly only when they were valid to start.
+		if utf8.ValidString(site) && got.Site != rec.Site {
+			t.Fatalf("site mangled: wrote %q, read %q", rec.Site, got.Site)
+		}
+		if utf8.ValidString(errStr) && got.Err != rec.Err {
+			t.Fatalf("error mangled: wrote %q, read %q", rec.Err, got.Err)
+		}
+	})
+}

@@ -5,10 +5,21 @@
 # race pass. The race pass skips the training-heavy end-to-end runners
 # (roughly 10x slower under the detector) but fully covers the campaign
 # trial engine, whose tests drive Workers>1 over replicas sharing one
-# trained parameter set — the concurrency that matters.
+# trained parameter set — the concurrency that matters (including the
+# shared obs metrics registry under eight workers).
+#
+# The fuzz smoke lines give each coverage-guided target a 10-second
+# budget: enough to exercise the mutation engine against the seed corpus
+# on every CI run without turning CI into a fuzzing farm.
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race -short -timeout 20m ./...
+
+go test -run='^$' -fuzz='^FuzzFP16RoundTrip$' -fuzztime=10s ./internal/fpbits
+go test -run='^$' -fuzz='^FuzzFlipBitFP32$' -fuzztime=10s ./internal/fpbits
+go test -run='^$' -fuzz='^FuzzLoadCorrupt$' -fuzztime=10s ./internal/serialize
+go test -run='^$' -fuzz='^FuzzSaveLoadRoundTrip$' -fuzztime=10s ./internal/serialize
+go test -run='^$' -fuzz='^FuzzTrialRecordJSONLRoundTrip$' -fuzztime=10s ./internal/report
