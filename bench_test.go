@@ -65,6 +65,39 @@ func BenchmarkFig3VGG19SerialFI(b *testing.B)       { benchInference(b, "vgg19",
 func BenchmarkFig3ResNet110SerialBase(b *testing.B) { benchInference(b, "resnet110", 1, false) }
 func BenchmarkFig3ResNet110SerialFI(b *testing.B)   { benchInference(b, "resnet110", 1, true) }
 
+// BenchmarkModelForwardAlloc tracks allocation churn of a full-model
+// forward pass (the per-trial cost every campaign pays); the kernel
+// backend's scratch arena is measured against this.
+func BenchmarkModelForwardAlloc(b *testing.B) {
+	benchModelForwardAlloc(b, false)
+}
+
+// BenchmarkModelForwardAllocReuse is the same forward pass in the
+// campaign-replica configuration (nn.SetOutputReuse on): layer outputs
+// are recycled across runs, so steady-state heap traffic collapses to
+// the few layers that still allocate.
+func BenchmarkModelForwardAllocReuse(b *testing.B) {
+	benchModelForwardAlloc(b, true)
+}
+
+func benchModelForwardAlloc(b *testing.B, reuse bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	m, err := models.Build("alexnet", rng, 10, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nn.SetTraining(m, false)
+	nn.SetOutputReuse(m, reuse)
+	x := tensor.RandUniform(rand.New(rand.NewSource(999)), -1, 1, 1, 3, 32, 32)
+	nn.Run(m, x) // warm-up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.Run(m, x)
+	}
+}
+
 // --- §III-C batch sweep --------------------------------------------------
 
 func benchBatch(b *testing.B, batch int, fi bool) {

@@ -101,6 +101,9 @@ func run(ctx context.Context, args []string) error {
 		tb.Render(os.Stdout)
 		fmt.Printf("\nwhole network: bare p50 %.6fs (min %.6fs), FI p50 %.6fs — overhead %.3fms at p50\n",
 			res.Bare.P50Sec, res.Bare.MinSec, res.FI.P50Sec, ms(res.OverheadP50Sec))
+		fmt.Printf("heap traffic per forward: bare %d B/op (%d allocs/op), FI %d B/op (%d allocs/op)\n",
+			res.BareAlloc.BytesPerOp, res.BareAlloc.AllocsPerOp,
+			res.FIAlloc.BytesPerOp, res.FIAlloc.AllocsPerOp)
 		return writeBench(*jsonOut, benchOutput{Kind: "per-layer", Trials: *trials, Seed: *seed, PerLayer: &res})
 	}
 
@@ -110,9 +113,10 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Printf("§III-C batch-size sweep — %s, base vs. one armed injection\n", *model)
-		tb := report.NewTable("Batch", "Base p50 (s)", "GoFI p50 (s)", "Δmean (s)", "Overhead/inf (ms)")
+		tb := report.NewTable("Batch", "Base p50 (s)", "GoFI p50 (s)", "Δmean (s)", "Overhead/inf (ms)", "Base B/op", "GoFI B/op", "GoFI allocs/op")
 		for _, r := range rows {
-			tb.AddRow(r.Batch, r.Base.P50Sec, r.FI.P50Sec, r.Overhead, 1000*r.Overhead/float64(r.Batch))
+			tb.AddRow(r.Batch, r.Base.P50Sec, r.FI.P50Sec, r.Overhead, 1000*r.Overhead/float64(r.Batch),
+				r.BaseAlloc.BytesPerOp, r.FIAlloc.BytesPerOp, r.FIAlloc.AllocsPerOp)
 		}
 		tb.Render(os.Stdout)
 		return writeBench(*jsonOut, benchOutput{Kind: "batch-sweep", Trials: *trials, Seed: *seed, Batches: rows})
@@ -131,10 +135,12 @@ func run(ctx context.Context, args []string) error {
 	fmt.Println("Figure 3 — inference runtime with and without GoFI (min/p50/p99 over repeated runs)")
 	fmt.Println("(serial backend stands in for the paper's CPU, parallel for its GPU)")
 	tb := report.NewTable("Dataset", "Network", "Backend",
-		"Base min (s)", "Base p50 (s)", "GoFI p50 (s)", "GoFI p99 (s)", "Δp50 (ms)")
+		"Base min (s)", "Base p50 (s)", "GoFI p50 (s)", "GoFI p99 (s)", "Δp50 (ms)",
+		"Base B/op", "GoFI B/op", "Allocs/op")
 	for _, r := range rows {
 		tb.AddRow(r.Dataset, r.Label, r.Backend,
-			r.Base.MinSec, r.Base.P50Sec, r.FI.P50Sec, r.FI.P99Sec, ms(r.FI.P50Sec-r.Base.P50Sec))
+			r.Base.MinSec, r.Base.P50Sec, r.FI.P50Sec, r.FI.P99Sec, ms(r.FI.P50Sec-r.Base.P50Sec),
+			r.BaseAlloc.BytesPerOp, r.FIAlloc.BytesPerOp, r.FIAlloc.AllocsPerOp)
 	}
 	tb.Render(os.Stdout)
 

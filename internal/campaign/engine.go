@@ -149,6 +149,10 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 				return
 			}
 			nn.SetTraining(inj.Model(), false)
+			// Each trial reduces its logits to a classification before the
+			// next trial touches the replica, so worker models can reuse
+			// per-layer output buffers instead of allocating every forward.
+			nn.SetOutputReuse(inj.Model(), true)
 			// Site capture for TrialRecords rides on the injection trace.
 			if len(cfg.Sinks) > 0 {
 				inj.EnableTrace(true)

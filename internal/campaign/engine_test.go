@@ -37,7 +37,7 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		return agg
 	}
 	serial := mk(1)
-	for _, workers := range []int{2, 8} {
+	for _, workers := range []int{2, 4, 8} {
 		if got := mk(workers); got != serial {
 			t.Fatalf("Workers=%d diverged: %+v vs Workers=1 %+v", workers, got, serial)
 		}

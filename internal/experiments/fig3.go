@@ -41,6 +41,9 @@ type Fig3Row struct {
 	Overhead float64 `json:"overhead_sec"` // FISec − BaseSec (means)
 	Base     DurStat `json:"base_stat"`
 	FI       DurStat `json:"fi_stat"`
+	// Heap traffic per inference with and without the armed fault.
+	BaseAlloc AllocStat `json:"base_alloc"`
+	FIAlloc   AllocStat `json:"fi_alloc"`
 }
 
 // RunFig3 measures inference wall-clock with and without a single armed
@@ -88,18 +91,20 @@ func RunFig3(ctx context.Context, cfg Fig3Config) ([]Fig3Row, error) {
 			{"parallel", cfg.ParallelWorkers},
 		} {
 			prev := tensor.SetWorkers(backend.workers)
-			base := timeInference(model, inj, e, cfg, false)
-			fi := timeInference(model, inj, e, cfg, true)
+			base, baseAlloc := timeInference(model, inj, e, cfg, false)
+			fi, fiAlloc := timeInference(model, inj, e, cfg, true)
 			tensor.SetWorkers(prev)
 			rows = append(rows, Fig3Row{
-				Label:    e.Label,
-				Dataset:  e.Dataset,
-				Backend:  backend.name,
-				BaseSec:  base.MeanSec,
-				FISec:    fi.MeanSec,
-				Overhead: fi.MeanSec - base.MeanSec,
-				Base:     base,
-				FI:       fi,
+				Label:     e.Label,
+				Dataset:   e.Dataset,
+				Backend:   backend.name,
+				BaseSec:   base.MeanSec,
+				FISec:     fi.MeanSec,
+				Overhead:  fi.MeanSec - base.MeanSec,
+				Base:      base,
+				FI:        fi,
+				BaseAlloc: baseAlloc,
+				FIAlloc:   fiAlloc,
 			})
 		}
 		inj.Detach()
@@ -108,29 +113,31 @@ func RunFig3(ctx context.Context, cfg Fig3Config) ([]Fig3Row, error) {
 }
 
 // timeInference times cfg.Trials inferences on random inputs, with one
-// random-neuron fault armed when fi is true, and folds the per-run
-// samples into a DurStat.
-func timeInference(model nn.Layer, inj *core.Injector, e models.Fig3Entry, cfg Fig3Config, fi bool) DurStat {
+// random-neuron fault armed when fi is true, folding the per-run samples
+// into a DurStat and the heap-traffic delta into an AllocStat.
+func timeInference(model nn.Layer, inj *core.Injector, e models.Fig3Entry, cfg Fig3Config, fi bool) (DurStat, AllocStat) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
 	// Warm-up inference excluded from timing.
 	x := tensor.RandUniform(rng, -1, 1, cfg.Batch, 3, e.InSize, e.InSize)
 	nn.Run(model, x)
 
 	samples := make([]time.Duration, cfg.Trials)
-	for t := range samples {
-		inj.Reset()
-		if fi {
-			// Re-armed per trial, as a campaign would.
-			if _, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue()); err != nil {
-				panic(fmt.Sprintf("fig3: arming validated site failed: %v", err))
+	alloc := measureAllocs(cfg.Trials, func() {
+		for t := range samples {
+			inj.Reset()
+			if fi {
+				// Re-armed per trial, as a campaign would.
+				if _, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue()); err != nil {
+					panic(fmt.Sprintf("fig3: arming validated site failed: %v", err))
+				}
 			}
+			start := time.Now()
+			nn.Run(model, x)
+			samples[t] = time.Since(start)
 		}
-		start := time.Now()
-		nn.Run(model, x)
-		samples[t] = time.Since(start)
-	}
+	})
 	inj.Reset()
-	return durStat(samples)
+	return durStat(samples), alloc
 }
 
 // BatchSweepRow is one batch-size point of the §III-C sweep.
@@ -141,6 +148,9 @@ type BatchSweepRow struct {
 	Overhead float64 `json:"overhead_sec"`
 	Base     DurStat `json:"base_stat"`
 	FI       DurStat `json:"fi_stat"`
+	// Heap traffic per inference with and without the armed fault.
+	BaseAlloc AllocStat `json:"base_alloc"`
+	FIAlloc   AllocStat `json:"fi_alloc"`
 }
 
 // RunBatchSweep reproduces the §III-C batching study on one network:
@@ -170,12 +180,13 @@ func RunBatchSweep(ctx context.Context, model string, inSize int, batches []int,
 		}
 		e := models.Fig3Entry{Model: model, Label: model, InSize: inSize}
 		cfg := Fig3Config{Trials: trials, Batch: b, Seed: seed}
-		base := timeInference(m, inj, e, cfg, false)
-		fi := timeInference(m, inj, e, cfg, true)
+		base, baseAlloc := timeInference(m, inj, e, cfg, false)
+		fi, fiAlloc := timeInference(m, inj, e, cfg, true)
 		inj.Detach()
 		rows = append(rows, BatchSweepRow{
 			Batch: b, BaseSec: base.MeanSec, FISec: fi.MeanSec,
 			Overhead: fi.MeanSec - base.MeanSec, Base: base, FI: fi,
+			BaseAlloc: baseAlloc, FIAlloc: fiAlloc,
 		})
 	}
 	return rows, nil

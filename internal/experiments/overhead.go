@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -50,6 +51,32 @@ func durStat(samples []time.Duration) DurStat {
 		P95Sec:  pick(0.95),
 		P99Sec:  pick(0.99),
 		MeanSec: total.Seconds() / float64(len(s)),
+	}
+}
+
+// AllocStat reports heap traffic per timed operation: how many bytes and
+// how many distinct allocations one inference costs. Measured from the
+// runtime.MemStats TotalAlloc/Mallocs deltas around the timed region —
+// both counters are cumulative, so the numbers are exact regardless of
+// when the garbage collector runs.
+type AllocStat struct {
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+}
+
+// measureAllocs runs fn (which performs ops operations) between two
+// MemStats reads and averages the allocation deltas per operation.
+func measureAllocs(ops int, fn func()) AllocStat {
+	if ops <= 0 {
+		return AllocStat{}
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return AllocStat{
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(ops),
+		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(ops),
 	}
 }
 
@@ -111,6 +138,10 @@ type LayerOverheadResult struct {
 	Rows   []LayerOverheadRow `json:"rows"`
 	Bare   DurStat            `json:"bare"`
 	FI     DurStat            `json:"fi"`
+	// Heap traffic per forward pass in each mode; the FI-minus-bare gap
+	// shows what the instrumentation itself allocates.
+	BareAlloc AllocStat `json:"bare_alloc"`
+	FIAlloc   AllocStat `json:"fi_alloc"`
 	// OverheadP50Sec is the whole-network p50 delta (FI − bare); the
 	// paper's near-zero-overhead claim says this stays within noise.
 	OverheadP50Sec float64 `json:"overhead_p50_sec"`
@@ -134,23 +165,30 @@ func RunLayerOverhead(ctx context.Context, cfg LayerOverheadConfig) (LayerOverhe
 	x := tensor.RandUniform(rand.New(rand.NewSource(cfg.Seed+2)), -1, 1, cfg.Batch, 3, cfg.InSize, cfg.InSize)
 	nn.Run(model, x) // warm-up, untimed and unhooked
 
-	timed := func(reg *obs.Registry, prefix string) ([]time.Duration, error) {
+	timed := func(reg *obs.Registry, prefix string) ([]time.Duration, AllocStat, error) {
 		hs := core.TimeLayers(model, false, reg, prefix)
 		defer hs.Remove()
 		samples := make([]time.Duration, cfg.Trials)
-		for i := range samples {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		var loopErr error
+		alloc := measureAllocs(cfg.Trials, func() {
+			for i := range samples {
+				if err := ctx.Err(); err != nil {
+					loopErr = err
+					return
+				}
+				start := time.Now()
+				nn.Run(model, x)
+				samples[i] = time.Since(start)
 			}
-			start := time.Now()
-			nn.Run(model, x)
-			samples[i] = time.Since(start)
+		})
+		if loopErr != nil {
+			return nil, AllocStat{}, loopErr
 		}
-		return samples, nil
+		return samples, alloc, nil
 	}
 
 	bareReg := obs.NewRegistry()
-	bareSamples, err := timed(bareReg, "bare.")
+	bareSamples, bareAlloc, err := timed(bareReg, "bare.")
 	if err != nil {
 		return res, err
 	}
@@ -166,10 +204,11 @@ func RunLayerOverhead(ctx context.Context, cfg LayerOverheadConfig) (LayerOverhe
 	if fiReg == nil {
 		fiReg = obs.NewRegistry()
 	}
-	fiSamples, err := timed(fiReg, "fi.")
+	fiSamples, fiAlloc, err := timed(fiReg, "fi.")
 	if err != nil {
 		return res, err
 	}
+	res.BareAlloc, res.FIAlloc = bareAlloc, fiAlloc
 
 	bareSnap, fiSnap := bareReg.Snapshot(), fiReg.Snapshot()
 	us := func(ns int64) float64 { return float64(ns) / 1e3 }

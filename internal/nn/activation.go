@@ -35,16 +35,19 @@ func (l *ReLU) Params() []*Param { return nil }
 // Forward implements Layer.
 func (l *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.lastInput = x
+	out := l.output(x.Shape()...)
+	in := x.Data()
+	o := out.Data()
 	cap := l.Cap
-	return tensor.Apply(x, func(v float32) float32 {
+	for i, v := range in {
 		if v < 0 {
-			return 0
+			v = 0
+		} else if cap > 0 && v > cap {
+			v = cap
 		}
-		if cap > 0 && v > cap {
-			return cap
-		}
-		return v
-	})
+		o[i] = v
+	}
+	return out
 }
 
 // Backward implements Layer.

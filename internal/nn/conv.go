@@ -86,7 +86,9 @@ func (l *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if l.bias != nil {
 		b = l.bias.Data
 	}
-	return tensor.Conv2d(x, l.weight.Data, b, l.Spec)
+	out := l.output(l.OutShape(x.Shape())...)
+	tensor.Conv2dInto(out, x, l.weight.Data, b, l.Spec)
+	return out
 }
 
 // Backward implements Layer.

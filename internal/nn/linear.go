@@ -61,8 +61,9 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	l.lastInput = x
 	n := x.Dim(0)
-	out := tensor.New(n, l.Out)
-	// out = x [n,in] × Wᵀ [in,out] with W stored [out,in].
+	out := l.output(n, l.Out)
+	// out = x [n,in] × Wᵀ [in,out] with W stored [out,in]; the GEMM
+	// overwrites out, so a stale reused buffer is fine.
 	tensor.MatMulTransB(out, x, l.weight.Data)
 	if l.bias != nil {
 		for r := 0; r < n; r++ {

@@ -106,6 +106,10 @@ type Base struct {
 	training bool
 	hooks    []registeredHook
 	nextID   int
+
+	// Output-buffer reuse (see SetOutputReuse).
+	reuseOutput bool
+	outBuf      *tensor.Tensor
 }
 
 // NewBase returns a Base with the given name.
@@ -122,6 +126,54 @@ func (b *Base) SetTraining(training bool) { b.training = training }
 
 // Training reports whether the layer is in training mode.
 func (b *Base) Training() bool { return b.training }
+
+// SetOutputReuse opts the layer in to (or out of) reusing one cached
+// output buffer across forward passes instead of allocating per call.
+//
+// Reuse changes the aliasing contract: the tensor a forward pass returns
+// is overwritten by the next forward pass of the same layer. That is safe
+// exactly when each output is fully consumed before the next call —
+// which holds for campaign worker replicas, where every trial's logits
+// are reduced to a classification before the next trial runs — and is
+// unsafe whenever outputs are retained (Grad-CAM feature-map captures,
+// code comparing outputs of two runs, training graphs). It is therefore
+// strictly opt-in, per layer; use nn.SetOutputReuse to flip a whole tree.
+func (b *Base) SetOutputReuse(on bool) {
+	b.reuseOutput = on
+	if !on {
+		b.outBuf = nil
+	}
+}
+
+// OutputReuse reports whether output-buffer reuse is enabled.
+func (b *Base) OutputReuse() bool { return b.reuseOutput }
+
+// output returns the buffer a forward pass should write into: the cached
+// one when reuse is on and the shape still matches, a fresh tensor
+// otherwise. With reuse on the contents are stale — callers must fully
+// overwrite every element (Conv2d, Linear and ReLU forwards do).
+func (b *Base) output(shape ...int) *tensor.Tensor {
+	if b.reuseOutput {
+		if b.outBuf != nil && shapeEq(b.outBuf.Shape(), shape) {
+			return b.outBuf
+		}
+		b.outBuf = tensor.New(shape...)
+		return b.outBuf
+	}
+	return tensor.New(shape...)
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // RegisterForwardHook attaches fn to this layer and returns a removable
 // handle. Hooks run in registration order after the layer computes its
@@ -299,6 +351,18 @@ func SetTraining(root Layer, training bool) {
 	Walk(root, func(_ string, l Layer) {
 		if ta, ok := l.(TrainAware); ok {
 			ta.SetTraining(training)
+		}
+	})
+}
+
+// SetOutputReuse flips output-buffer reuse on every layer in the tree.
+// See Base.SetOutputReuse for the aliasing contract; enable it only on
+// models whose outputs are consumed before the next forward pass, such as
+// campaign worker replicas.
+func SetOutputReuse(root Layer, on bool) {
+	Walk(root, func(_ string, l Layer) {
+		if s, ok := l.(interface{ SetOutputReuse(bool) }); ok {
+			s.SetOutputReuse(on)
 		}
 	})
 }

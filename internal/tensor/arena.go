@@ -1,0 +1,88 @@
+package tensor
+
+import "sync"
+
+// arena is a bump-allocated float32 scratch buffer reused across kernel
+// calls via a sync.Pool. Kernels take() slices for im2col columns and
+// GEMM pack panels instead of calling make, which removes the dominant
+// allocation churn from campaign trials (every conv layer used to
+// allocate a fresh col buffer per forward).
+//
+// Ownership rules (documented in DESIGN.md §10):
+//
+//   - getArena/arena.release bracket one kernel invocation on one
+//     goroutine; arenas are never shared between goroutines.
+//   - take returns UNINITIALIZED memory; the caller must fully overwrite
+//     every element it reads (im2col and the pack routines do).
+//   - taken slices are dead once the arena is released or restored past
+//     their mark; nothing may retain them.
+//   - reserve sizes the backing buffer up front so nested take calls
+//     (conv column buffer + GEMM pack panels) never reallocate
+//     mid-kernel.
+type arena struct {
+	buf []float32
+	off int
+	gen int // bumped when buf is reallocated; guards restore()
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// getArena returns an empty arena from the pool.
+func getArena() *arena {
+	a := arenaPool.Get().(*arena)
+	a.off = 0
+	return a
+}
+
+// release resets the arena and returns it to the pool. The backing buffer
+// is kept, so steady-state kernels allocate nothing.
+func (a *arena) release() {
+	a.off = 0
+	arenaPool.Put(a)
+}
+
+// reserve ensures the backing buffer can serve at least n floats of
+// take() without growing. Must be called before the first take (it may
+// discard the current backing array).
+func (a *arena) reserve(n int) {
+	if len(a.buf) < n {
+		a.buf = make([]float32, n)
+		a.off = 0
+		a.gen++
+	}
+}
+
+// take returns an uninitialized scratch slice of length n. If the backing
+// buffer is exhausted it grows; previously taken slices stay valid (they
+// alias the old array) but restore() to marks taken before the growth
+// becomes a no-op.
+func (a *arena) take(n int) []float32 {
+	if len(a.buf)-a.off < n {
+		grown := 2 * len(a.buf)
+		if grown < a.off+n {
+			grown = a.off + n
+		}
+		a.buf = make([]float32, grown)
+		a.off = 0
+		a.gen++
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// arenaMark is a position in the arena to roll back to with restore.
+type arenaMark struct{ off, gen int }
+
+// mark records the current allocation point.
+func (a *arena) mark() arenaMark { return arenaMark{off: a.off, gen: a.gen} }
+
+// restore rolls the arena back to m, freeing everything taken since. If
+// the buffer grew after the mark the rollback is skipped (the marked
+// offset refers to the discarded array); the arena stays correct, merely
+// larger.
+func (a *arena) restore(m arenaMark) {
+	if a.gen == m.gen {
+		a.off = m.off
+	}
+}

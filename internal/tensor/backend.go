@@ -29,9 +29,110 @@ func SetWorkers(n int) int {
 // Workers returns the current kernel parallelism degree.
 func Workers() int { return int(workers.Load()) }
 
-// parallelFor runs fn(i) for i in [0, n) using up to Workers() goroutines.
-// With Workers()==1 (or small n) it degrades to a plain loop, keeping the
-// serial backend free of goroutine overhead.
+// --- persistent worker pool ---------------------------------------------
+//
+// Kernels used to spawn fresh goroutines on every parallelFor call, so a
+// small conv layer paid goroutine spawn+join per layer per trial. The
+// pool below keeps long-lived workers parked on a channel; a parallel
+// region enqueues one job and the submitter plus any woken workers claim
+// chunks from it via an atomic cursor.
+//
+// Deadlock freedom under nesting (a conv parallelized over samples whose
+// inner GEMM parallelizes again): nobody ever blocks on an *unclaimed*
+// chunk. The submitter runs claimChunks itself before waiting, so chunks
+// that no pool worker picked up are executed inline; the final wait only
+// covers chunks some worker is actively executing, and workers never
+// block except to park on the empty queue. By induction over nesting
+// depth every claimed chunk terminates, hence every wait does.
+
+// parJob is one parallel region: fn over [0,n) in nchunk chunks of size
+// chunk (the last one short).
+type parJob struct {
+	fn     func(lo, hi int)
+	n      int
+	chunk  int
+	nchunk int64
+	next   atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// claimChunks executes chunks of j until none are left unclaimed.
+func (j *parJob) claimChunks() {
+	for {
+		i := j.next.Add(1) - 1
+		if i >= j.nchunk {
+			return
+		}
+		lo := int(i) * j.chunk
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+		j.wg.Done()
+	}
+}
+
+// poolQueue wakes parked workers. The buffer lets a submitter enqueue
+// without blocking even when every worker is busy; a worker that drains
+// a stale (already finished) job just parks again.
+var poolQueue = make(chan *parJob, 256)
+
+// poolWorkers counts live pool goroutines; they are spawned on demand
+// (up to the requested fan-out) and never exit.
+var poolWorkers atomic.Int64
+
+// maxPoolWorkers caps the pool size; SetWorkers values beyond it still
+// work, the extra chunks are simply claimed by the submitter.
+const maxPoolWorkers = 64
+
+func poolWorker() {
+	for j := range poolQueue {
+		j.claimChunks()
+	}
+}
+
+// ensurePoolWorkers grows the pool to at least n goroutines.
+func ensurePoolWorkers(n int) {
+	if n > maxPoolWorkers {
+		n = maxPoolWorkers
+	}
+	for {
+		cur := poolWorkers.Load()
+		if cur >= int64(n) {
+			return
+		}
+		if poolWorkers.CompareAndSwap(cur, cur+1) {
+			go poolWorker()
+		}
+	}
+}
+
+// runParallel splits [0, n) into chunks of the given size and executes
+// fn(lo, hi) across the submitter plus up to w-1 pool workers.
+func runParallel(n, chunk, w int, fn func(lo, hi int)) {
+	j := &parJob{fn: fn, n: n, chunk: chunk}
+	j.nchunk = int64((n + chunk - 1) / chunk)
+	j.wg.Add(int(j.nchunk))
+	ensurePoolWorkers(w - 1)
+	// Wake up to w-1 workers. Non-blocking: if the queue is full the
+	// submitter (and whichever workers drain the queue) still make
+	// progress by claiming chunks directly.
+	for i := 0; i < w-1; i++ {
+		select {
+		case poolQueue <- j:
+		default:
+			i = w // queue full; stop enqueueing
+		}
+	}
+	j.claimChunks()
+	j.wg.Wait()
+}
+
+// parallelFor runs fn(i) for i in [0, n) using up to Workers() goroutines
+// with per-index (work-stealing) dispatch. With Workers()==1 (or n<=1) it
+// degrades to a plain loop, keeping the serial backend free of dispatch
+// overhead.
 func parallelFor(n int, fn func(i int)) {
 	w := Workers()
 	if w > n {
@@ -43,22 +144,11 @@ func parallelFor(n int, fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	runParallel(n, 1, w, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
 }
 
 // parallelForChunks splits [0, n) into contiguous chunks and runs
@@ -73,18 +163,5 @@ func parallelForChunks(n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	runParallel(n, (n+w-1)/w, w, fn)
 }

@@ -1,0 +1,111 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel benchmarks across paper-relevant shapes. The conv shapes mirror
+// the AlexNet-style stacks the Figure 3/4 studies run at 32×32: an early
+// layer (few input channels, large spatial extent) and a late layer (many
+// channels, small extent). BENCH_kernels.json records these before and
+// after the blocked-GEMM backend landed.
+
+func benchGEMM(b *testing.B, m, k, n int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	a := RandUniform(rng, -1, 1, m, k)
+	bb := RandUniform(rng, -1, 1, k, n)
+	b.SetBytes(int64(2 * m * k * n * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, bb)
+	}
+}
+
+func BenchmarkGEMM_Square256(b *testing.B)  { benchGEMM(b, 256, 256, 256) }
+func BenchmarkGEMM_ConvEarly(b *testing.B)  { benchGEMM(b, 16, 27, 1024) }
+func BenchmarkGEMM_ConvMid(b *testing.B)    { benchGEMM(b, 32, 144, 256) }
+func BenchmarkGEMM_ConvLate(b *testing.B)   { benchGEMM(b, 48, 432, 64) }
+func BenchmarkGEMM_LinearHead(b *testing.B) { benchGEMM(b, 32, 512, 10) }
+
+// The weight-gradient kernel walks Aᵀ; before the packed backend this was
+// a strided (cache-hostile) column walk.
+func BenchmarkGEMM_TransA_WeightGrad(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	k, m, n := 32, 432, 256 // dW = gOutᵀ-shaped: A [coutG, l]ᵀ × B [coutG, kdim]
+	a := RandUniform(rng, -1, 1, k, m)
+	bb := RandUniform(rng, -1, 1, k, n)
+	dst := New(m, n)
+	b.SetBytes(int64(2 * m * k * n * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Zero()
+		MatMulTransAAcc(dst, a, bb)
+	}
+}
+
+func BenchmarkGEMM_TransB_InputGrad(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m, k, n := 32, 256, 432
+	a := RandUniform(rng, -1, 1, m, k)
+	bb := RandUniform(rng, -1, 1, n, k)
+	dst := New(m, n)
+	b.SetBytes(int64(2 * m * k * n * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransB(dst, a, bb)
+	}
+}
+
+func benchConvForward(b *testing.B, batch, cin, cout, size, kernel, stride, pad, groups int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(4))
+	x := RandUniform(rng, -1, 1, batch, cin, size, size)
+	w := RandUniform(rng, -1, 1, cout, cin/max1(groups), kernel, kernel)
+	bias := RandUniform(rng, -1, 1, cout)
+	spec := ConvSpec{StrideH: stride, StrideW: stride, PadH: pad, PadW: pad, Groups: groups}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2d(x, w, bias, spec)
+	}
+}
+
+func max1(g int) int {
+	if g < 1 {
+		return 1
+	}
+	return g
+}
+
+// AlexNet-style early layer: 3→16 channels over 32×32.
+func BenchmarkConvForward_AlexEarly(b *testing.B) { benchConvForward(b, 1, 3, 16, 32, 3, 1, 1, 1) }
+
+// AlexNet-style late layer: 48→48 channels over 8×8.
+func BenchmarkConvForward_AlexLate(b *testing.B) { benchConvForward(b, 1, 48, 48, 8, 3, 1, 1, 1) }
+
+// The large-GEMM conv case: per-sample GEMM is 64×576×256.
+func BenchmarkConvForward_Large(b *testing.B) { benchConvForward(b, 2, 64, 64, 16, 3, 1, 1, 1) }
+
+// Grouped/depthwise shape (MobileNet-style): many tiny GEMMs.
+func BenchmarkConvForward_Depthwise(b *testing.B) { benchConvForward(b, 1, 32, 32, 16, 3, 1, 1, 32) }
+
+// Batched early layer: the N×groups parallel axis has 8 units of work.
+func BenchmarkConvForward_Batch8(b *testing.B) { benchConvForward(b, 8, 16, 32, 16, 3, 1, 1, 1) }
+
+func BenchmarkConvBackward_AlexLate(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := RandUniform(rng, -1, 1, 1, 48, 8, 8)
+	w := RandUniform(rng, -1, 1, 48, 48, 3, 3)
+	spec := ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 1}
+	gradOut := RandUniform(rng, -1, 1, ConvOutShape(x.Shape(), w.Shape(), spec)...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2dBackward(x, w, true, gradOut, spec, true)
+	}
+}

@@ -131,6 +131,32 @@ func col2imAccInto(imgGrad []float32, col []float32, c0, cg, h, wd, kh, kw, oh, 
 // [Cout,C/groups,KH,KW] and optional bias [Cout], using im2col + GEMM.
 func Conv2d(x, w, bias *Tensor, spec ConvSpec) *Tensor {
 	spec = checkConvShapes(x, w, bias, spec)
+	out := New(ConvOutShape(x.shape, w.shape, spec)...)
+	conv2dInto(out, x, w, bias, spec)
+	return out
+}
+
+// Conv2dInto is Conv2d writing into a caller-provided dst of shape
+// ConvOutShape(x, w, spec). It lets layers reuse an output buffer across
+// forward passes instead of allocating one per call.
+func Conv2dInto(dst, x, w, bias *Tensor, spec ConvSpec) {
+	spec = checkConvShapes(x, w, bias, spec)
+	want := ConvOutShape(x.shape, w.shape, spec)
+	if !sameShape(dst.shape, want) {
+		panic(fmt.Sprintf("tensor: Conv2dInto dst shape %v != expected %v", dst.shape, want))
+	}
+	conv2dInto(dst, x, w, bias, spec)
+}
+
+// conv2dInto is the forward kernel; spec must be canonical and shapes
+// checked. Work is parallelized over the N×groups axis — each (sample,
+// group) unit owns a disjoint slab of out, its own im2col scratch, and a
+// strictly serial GEMM, so the per-element accumulation chains (and hence
+// the bits of the result) never depend on the worker count. When there are
+// fewer units than workers (single small image), the unit loop runs serial
+// and the parallelism moves inside the GEMM instead, which partitions
+// output columns without touching the chains either.
+func conv2dInto(out, x, w, bias *Tensor, spec ConvSpec) {
 	n, c, h, wd := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	cout, cg, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
 	oh := convOutSize(h, kh, spec.StrideH, spec.PadH)
@@ -140,28 +166,49 @@ func Conv2d(x, w, bias *Tensor, spec ConvSpec) *Tensor {
 	l := oh * ow
 	kdim := cg * kh * kw
 
-	out := New(n, cout, oh, ow)
-	col := make([]float32, kdim*l)
-	for s := 0; s < n; s++ {
+	unit := func(u int, col []float32, ar *arena) {
+		s, gi := u/g, u%g
 		img := x.data[s*c*h*wd : (s+1)*c*h*wd]
 		outImg := out.data[s*cout*l : (s+1)*cout*l]
-		for gi := 0; gi < g; gi++ {
-			im2colInto(col, img, gi*cg, cg, h, wd, kh, kw, oh, ow, spec)
-			wg := w.data[gi*coutG*kdim : (gi+1)*coutG*kdim]
-			og := outImg[gi*coutG*l : (gi+1)*coutG*l]
-			matMulInto(og, wg, col, coutG, kdim, l)
+		im2colInto(col, img, gi*cg, cg, h, wd, kh, kw, oh, ow, spec)
+		wg := w.data[gi*coutG*kdim : (gi+1)*coutG*kdim]
+		og := outImg[gi*coutG*l : (gi+1)*coutG*l]
+		if ar != nil {
+			gemmSerial(og, l, wg, kdim, false, col, l, false, coutG, kdim, l, false, ar)
+		} else {
+			gemmParallel(og, l, wg, kdim, false, col, l, false, coutG, kdim, l, false)
 		}
 		if bias != nil {
-			for oc := 0; oc < cout; oc++ {
-				b := bias.data[oc]
+			for oc := gi * coutG; oc < (gi+1)*coutG; oc++ {
+				bv := bias.data[oc]
 				row := outImg[oc*l : (oc+1)*l]
 				for i := range row {
-					row[i] += b
+					row[i] += bv
 				}
 			}
 		}
 	}
-	return out
+
+	units := n * g
+	if Workers() > 1 && units >= Workers() {
+		parallelForChunks(units, func(lo, hi int) {
+			ar := getArena()
+			ar.reserve(kdim*l + gemmPackBound(coutG, kdim, l))
+			col := ar.take(kdim * l)
+			for u := lo; u < hi; u++ {
+				unit(u, col, ar)
+			}
+			ar.release()
+		})
+		return
+	}
+	ar := getArena()
+	ar.reserve(kdim * l)
+	col := ar.take(kdim * l)
+	for u := 0; u < units; u++ {
+		unit(u, col, nil)
+	}
+	ar.release()
 }
 
 // Conv2dGrads holds the result of Conv2dBackward.
@@ -175,6 +222,12 @@ type Conv2dGrads struct {
 // upstream gradient gradOut (shape of the forward output). Pass
 // needInput=false to skip the input-gradient computation for the first
 // layer of a network.
+//
+// Parallelism: the weight gradient accumulates over samples, so its sample
+// loop stays sequential and only the groups axis (disjoint dW slabs) fans
+// out; the input gradient has no cross-unit accumulation and parallelizes
+// over the full N×groups axis. Both choices keep every accumulation chain
+// independent of the worker count.
 func Conv2dBackward(x, w *Tensor, hasBias bool, gradOut *Tensor, spec ConvSpec, needInput bool) Conv2dGrads {
 	spec = checkConvShapes(x, w, nil, spec)
 	n, c, h, wd := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
@@ -203,32 +256,81 @@ func Conv2dBackward(x, w *Tensor, hasBias bool, gradOut *Tensor, spec ConvSpec, 
 			}
 		}
 	}
-	if needInput {
-		grads.Input = New(x.shape...)
-	}
 
-	col := make([]float32, kdim*l)
-	colGrad := make([]float32, kdim*l)
-	for s := 0; s < n; s++ {
-		img := x.data[s*c*h*wd : (s+1)*c*h*wd]
-		gOutImg := gradOut.data[s*cout*l : (s+1)*cout*l]
-		for gi := 0; gi < g; gi++ {
+	// dW pass: per group, sequential over samples.
+	// dW_g += gOut_g [coutG, l] × colᵀ (col is [kdim, l]).
+	dwGroup := func(gi int, col []float32, ar *arena) {
+		gwg := grads.Weight.data[gi*coutG*kdim : (gi+1)*coutG*kdim]
+		for s := 0; s < n; s++ {
+			img := x.data[s*c*h*wd : (s+1)*c*h*wd]
 			im2colInto(col, img, gi*cg, cg, h, wd, kh, kw, oh, ow, spec)
-			wg := w.data[gi*coutG*kdim : (gi+1)*coutG*kdim]
-			gwg := grads.Weight.data[gi*coutG*kdim : (gi+1)*coutG*kdim]
-			gog := gOutImg[gi*coutG*l : (gi+1)*coutG*l]
-			// dW_g += gOut_g [coutG, l] × colᵀ [l, kdim]
-			matMulTransBInto(gwg, gog, col, coutG, l, kdim)
-			if needInput {
-				// colGrad = W_gᵀ [kdim, coutG] × gOut_g [coutG, l]
-				for i := range colGrad {
-					colGrad[i] = 0
-				}
-				matMulTransAInto(colGrad, wg, gog, coutG, kdim, l)
-				imgGrad := grads.Input.data[s*c*h*wd : (s+1)*c*h*wd]
-				col2imAccInto(imgGrad, colGrad, gi*cg, cg, h, wd, kh, kw, oh, ow, spec)
+			gog := gradOut.data[s*cout*l+gi*coutG*l : s*cout*l+(gi+1)*coutG*l]
+			if ar != nil {
+				gemmSerial(gwg, kdim, gog, l, false, col, l, true, coutG, l, kdim, true, ar)
+			} else {
+				gemmParallel(gwg, kdim, gog, l, false, col, l, true, coutG, l, kdim, true)
 			}
 		}
+	}
+	if Workers() > 1 && g >= Workers() {
+		parallelForChunks(g, func(lo, hi int) {
+			ar := getArena()
+			ar.reserve(kdim*l + gemmPackBound(coutG, l, kdim))
+			col := ar.take(kdim * l)
+			for gi := lo; gi < hi; gi++ {
+				dwGroup(gi, col, ar)
+			}
+			ar.release()
+		})
+	} else {
+		ar := getArena()
+		ar.reserve(kdim * l)
+		col := ar.take(kdim * l)
+		for gi := 0; gi < g; gi++ {
+			dwGroup(gi, col, nil)
+		}
+		ar.release()
+	}
+
+	if !needInput {
+		return grads
+	}
+
+	// dX pass: colGrad = W_gᵀ [kdim, coutG] × gOut_g [coutG, l], scattered
+	// back by col2im. Units (s, gi) touch disjoint regions of grads.Input.
+	// The GEMM overwrites colGrad, so the scratch needs no zeroing.
+	grads.Input = New(x.shape...)
+	dxUnit := func(u int, colGrad []float32, ar *arena) {
+		s, gi := u/g, u%g
+		wg := w.data[gi*coutG*kdim : (gi+1)*coutG*kdim]
+		gog := gradOut.data[s*cout*l+gi*coutG*l : s*cout*l+(gi+1)*coutG*l]
+		if ar != nil {
+			gemmSerial(colGrad, l, wg, kdim, true, gog, l, false, kdim, coutG, l, false, ar)
+		} else {
+			gemmParallel(colGrad, l, wg, kdim, true, gog, l, false, kdim, coutG, l, false)
+		}
+		imgGrad := grads.Input.data[s*c*h*wd : (s+1)*c*h*wd]
+		col2imAccInto(imgGrad, colGrad, gi*cg, cg, h, wd, kh, kw, oh, ow, spec)
+	}
+	units := n * g
+	if Workers() > 1 && units >= Workers() {
+		parallelForChunks(units, func(lo, hi int) {
+			ar := getArena()
+			ar.reserve(kdim*l + gemmPackBound(kdim, coutG, l))
+			colGrad := ar.take(kdim * l)
+			for u := lo; u < hi; u++ {
+				dxUnit(u, colGrad, ar)
+			}
+			ar.release()
+		})
+	} else {
+		ar := getArena()
+		ar.reserve(kdim * l)
+		colGrad := ar.take(kdim * l)
+		for u := 0; u < units; u++ {
+			dxUnit(u, colGrad, nil)
+		}
+		ar.release()
 	}
 	return grads
 }

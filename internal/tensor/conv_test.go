@@ -288,3 +288,58 @@ func TestConvLinearity_Property(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestConvWorkerCountBitIdentical is the conv half of the determinism
+// contract: forward and backward must produce bit-for-bit identical
+// results at every worker count, not merely AllClose. The kernel
+// backend may only change WHICH goroutine computes an output element,
+// never the order of its k-chain.
+func TestConvWorkerCountBitIdentical(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, c, h, w int
+		cout, k    int
+		spec       ConvSpec
+	}{
+		{"alex-early", 2, 3, 32, 32, 16, 3, ConvSpec{PadH: 1, PadW: 1}},
+		{"strided", 1, 4, 17, 17, 8, 5, ConvSpec{PadH: 2, PadW: 2, StrideH: 2, StrideW: 2}},
+		{"grouped", 3, 8, 9, 9, 8, 3, ConvSpec{PadH: 1, PadW: 1, Groups: 4}},
+		{"batch-heavy", 8, 2, 7, 7, 4, 3, ConvSpec{PadH: 1, PadW: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(29))
+			x := RandUniform(rng, -1, 1, tc.n, tc.c, tc.h, tc.w)
+			wt := RandUniform(rng, -1, 1, tc.cout, tc.c/tc.spec.Canon().Groups, tc.k, tc.k)
+			b := RandUniform(rng, -1, 1, tc.cout)
+
+			prev := SetWorkers(1)
+			defer SetWorkers(prev)
+			ref := Conv2d(x, wt, b, tc.spec)
+			gradOut := RandUniform(rng, -1, 1, ref.Shape()...)
+			refG := Conv2dBackward(x, wt, true, gradOut, tc.spec, true)
+
+			for _, workers := range []int{4, 8} {
+				SetWorkers(workers)
+				got := Conv2d(x, wt, b, tc.spec)
+				for i, v := range got.Data() {
+					if v != ref.Data()[i] {
+						t.Fatalf("Workers=%d forward[%d] = %g, Workers=1 %g", workers, i, v, ref.Data()[i])
+					}
+				}
+				gotG := Conv2dBackward(x, wt, true, gradOut, tc.spec, true)
+				for pair, gw := range map[string][2]*Tensor{
+					"weight": {gotG.Weight, refG.Weight},
+					"bias":   {gotG.Bias, refG.Bias},
+					"input":  {gotG.Input, refG.Input},
+				} {
+					for i, v := range gw[0].Data() {
+						if v != gw[1].Data()[i] {
+							t.Fatalf("Workers=%d %s grad[%d] = %g, Workers=1 %g", workers, pair, i, v, gw[1].Data()[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}

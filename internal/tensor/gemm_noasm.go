@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package tensor
+
+func kern4x16(c []float32, ldc int, ap, bp []float32, kb int, first bool) {
+	kern4x16scalar(c, ldc, ap, bp, kb, first)
+}
+
+func kern1x16(c []float32, ap []float32, astride int, bp []float32, kb int, first bool) {
+	kern1x16scalar(c, ap, astride, bp, kb, first)
+}
+
+// KernelBackend names the active micro-kernel implementation.
+func KernelBackend() string { return "scalar" }

@@ -3,8 +3,8 @@ package tensor
 import "fmt"
 
 // MatMul returns the matrix product a×b for a of shape [m, k] and b of
-// shape [k, n]. The kernel parallelizes over rows of a according to
-// Workers() and uses a cache-friendly ikj loop order.
+// shape [k, n], computed by the blocked GEMM backend (gemm.go) and
+// parallelized over the output according to Workers().
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.shape, b.shape))
@@ -15,7 +15,7 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	matMulInto(out.data, a.data, b.data, m, k, n)
+	gemmParallel(out.data, n, a.data, k, false, b.data, n, false, m, k, n, false)
 	return out
 }
 
@@ -26,7 +26,7 @@ func MatMulAcc(dst, a, b *Tensor) {
 	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulAcc shapes %v += %v × %v", dst.shape, a.shape, b.shape))
 	}
-	matMulAccInto(dst.data, a.data, b.data, m, k, n)
+	gemmParallel(dst.data, n, a.data, k, false, b.data, n, false, m, k, n, true)
 }
 
 // MatMulTransB computes dst = a×bᵀ for a [m,k], b [n,k], dst [m,n],
@@ -37,8 +37,7 @@ func MatMulTransB(dst, a, b *Tensor) {
 	if b.shape[1] != k || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransB shapes %v = %v × %vᵀ", dst.shape, a.shape, b.shape))
 	}
-	dst.Zero()
-	matMulTransBInto(dst.data, a.data, b.data, m, k, n)
+	gemmParallel(dst.data, n, a.data, k, false, b.data, k, true, m, k, n, false)
 }
 
 // MatMulTransAAcc computes dst += aᵀ×b for a [k,m], b [k,n], dst [m,n].
@@ -48,109 +47,79 @@ func MatMulTransAAcc(dst, a, b *Tensor) {
 	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransAAcc shapes %v += %vᵀ × %v", dst.shape, a.shape, b.shape))
 	}
-	matMulTransAInto(dst.data, a.data, b.data, k, m, n)
+	gemmParallel(dst.data, n, a.data, m, true, b.data, n, false, m, k, n, true)
 }
 
-// matMulInto computes dst = A×B for row-major A [m,k], B [k,n], dst [m,n].
-// dst must be zeroed by the caller (New does this). The kernel picks its
-// parallel axis by shape: tall results split by rows; short-and-wide
-// results (the common conv im2col shape — few output channels, many
-// pixels) split by columns so all workers stay busy.
-func matMulInto(dst, a, b []float32, m, k, n int) {
-	w := Workers()
-	if m >= 2*w || n < 4*w || w <= 1 {
+// gemmParallel computes dst = A×B (or dst += A×B when acc) with the
+// blocked kernel, splitting the output across Workers(). The split only
+// selects which goroutine computes which output element — every element's
+// accumulation chain is fixed by the determinism contract in gemm.go — so
+// results are bit-identical for any worker count, and identical to
+// gemmNaive. Tall outputs split by rows; short-and-wide outputs (the conv
+// im2col shape: few output channels, many pixels) split by columns so all
+// workers stay busy.
+func gemmParallel(dst []float32, ldc int, a []float32, lda int, transA bool, b []float32, ldb int, transB bool, m, k, n int, acc bool) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if Workers() <= 1 || m*k*n < 32768 {
+		ar := getArena()
+		gemmReserve(ar, m, k, n)
+		gemmSerial(dst, ldc, a, lda, transA, b, ldb, transB, m, k, n, acc, ar)
+		ar.release()
+		return
+	}
+	if m >= n {
 		parallelForChunks(m, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				arow := a[i*k : (i+1)*k]
-				drow := dst[i*n : (i+1)*n]
-				for p, av := range arow {
-					if av == 0 {
-						continue
-					}
-					brow := b[p*n : (p+1)*n]
-					for j, bv := range brow {
-						drow[j] += av * bv
-					}
-				}
+			// A stored [k,m] under transA: advancing by output row means
+			// advancing by stored column, and lo*lda could exceed len(a).
+			as := a[lo:]
+			if !transA {
+				as = a[lo*lda:]
 			}
+			ar := getArena()
+			gemmReserve(ar, hi-lo, k, n)
+			gemmSerial(dst[lo*ldc:], ldc, as, lda, transA, b, ldb, transB, hi-lo, k, n, acc, ar)
+			ar.release()
 		})
 		return
 	}
 	parallelForChunks(n, func(jlo, jhi int) {
-		for i := 0; i < m; i++ {
-			arow := a[i*k : (i+1)*k]
-			drow := dst[i*n+jlo : i*n+jhi]
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b[p*n+jlo : p*n+jhi]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
-			}
+		bs := b[jlo:]
+		if transB {
+			bs = b[jlo*ldb:]
 		}
+		ar := getArena()
+		gemmReserve(ar, m, k, jhi-jlo)
+		gemmSerial(dst[jlo:], ldc, a, lda, transA, bs, ldb, transB, m, k, jhi-jlo, acc, ar)
+		ar.release()
 	})
 }
 
-// matMulAccInto computes dst += A×B (no zeroing), same layout as
-// matMulInto.
+// The matMul*Into helpers below keep the historical entry points (and
+// their accumulate-into-dst semantics) used by tests and older callers;
+// they are thin shims over gemmParallel.
+
+// matMulInto computes dst = A×B for row-major A [m,k], B [k,n], dst [m,n].
+func matMulInto(dst, a, b []float32, m, k, n int) {
+	gemmParallel(dst, n, a, k, false, b, n, false, m, k, n, false)
+}
+
+// matMulAccInto computes dst += A×B, same layout as matMulInto.
 func matMulAccInto(dst, a, b []float32, m, k, n int) {
-	parallelForChunks(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : (i+1)*k]
-			drow := dst[i*n : (i+1)*n]
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b[p*n : (p+1)*n]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
-			}
-		}
-	})
+	gemmParallel(dst, n, a, k, false, b, n, false, m, k, n, true)
 }
 
-// matMulTransAInto computes dst = Aᵀ×B for A [k,m], B [k,n], dst [m,n],
-// accumulating into dst (caller zeroes when needed). Used for weight
-// gradients.
+// matMulTransAInto computes dst += Aᵀ×B for A [k,m], B [k,n], dst [m,n].
+// Used for weight gradients. The transposed operand is packed into
+// contiguous panels before the inner loop (gemm.go packA), replacing the
+// strided column walk the old kernel paid per k step.
 func matMulTransAInto(dst, a, b []float32, k, m, n int) {
-	// dst[i,j] += sum_p A[p,i]*B[p,j]. Parallelize over i with a strided
-	// walk of A's column i.
-	parallelForChunks(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			drow := dst[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := a[p*m+i]
-				if av == 0 {
-					continue
-				}
-				brow := b[p*n : (p+1)*n]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
-			}
-		}
-	})
+	gemmParallel(dst, n, a, m, true, b, n, false, m, k, n, true)
 }
 
-// matMulTransBInto computes dst = A×Bᵀ for A [m,k], B [n,k], dst [m,n],
-// accumulating into dst. Used for input gradients of linear layers.
+// matMulTransBInto computes dst += A×Bᵀ for A [m,k], B [n,k], dst [m,n].
+// Used for input gradients of linear layers.
 func matMulTransBInto(dst, a, b []float32, m, k, n int) {
-	parallelForChunks(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : (i+1)*k]
-			drow := dst[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b[j*k : (j+1)*k]
-				var s float32
-				for p, av := range arow {
-					s += av * brow[p]
-				}
-				drow[j] += s
-			}
-		}
-	})
+	gemmParallel(dst, n, a, k, false, b, k, true, m, k, n, true)
 }

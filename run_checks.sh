@@ -18,6 +18,14 @@ go build ./...
 go test ./...
 go test -race -short -timeout 20m ./...
 
+# The kernel backend promises bit-identical results at every worker
+# count; -cpu varies GOMAXPROCS so the persistent pool actually runs
+# multi-threaded (the container may default to 1 CPU), and the bench
+# smoke compiles + executes every benchmark once so kernel-path rot
+# can't hide behind "benchmarks aren't tests".
+go test -cpu 1,4 ./internal/tensor ./internal/nn ./internal/campaign
+go test -run='^$' -bench . -benchtime 1x ./internal/tensor
+
 go test -run='^$' -fuzz='^FuzzFP16RoundTrip$' -fuzztime=10s ./internal/fpbits
 go test -run='^$' -fuzz='^FuzzFlipBitFP32$' -fuzztime=10s ./internal/fpbits
 go test -run='^$' -fuzz='^FuzzLoadCorrupt$' -fuzztime=10s ./internal/serialize
