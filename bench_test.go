@@ -412,3 +412,83 @@ func benchCampaignWorkers(b *testing.B, workers int) {
 func BenchmarkCampaignWorkers1(b *testing.B) { benchCampaignWorkers(b, 1) }
 func BenchmarkCampaignWorkers4(b *testing.B) { benchCampaignWorkers(b, 4) }
 func BenchmarkCampaignWorkers8(b *testing.B) { benchCampaignWorkers(b, 8) }
+
+// --- Clean-prefix activation reuse --------------------------------------
+//
+// Single-site neuron campaigns on a deep network are the checkpoint
+// store's home turf: the clean-prediction pass snapshots every chain
+// boundary per sample, so each armed trial resumes from a direct hit and
+// pays only the suffix below its fault site. DenseNet's cost concentrates
+// in the early high-resolution dense blocks (mean suffix ≈ 39% of the
+// forward pass over its conv sites), so uniform single-site campaigns
+// recover well over half of every trial. The engine contract makes the
+// reuse and full-forward aggregates identical; only the wall clock may
+// differ (BENCH_prefix.json records the measured ratio).
+
+var prefixBench struct {
+	once  sync.Once
+	ds    *data.Classification
+	model nn.Layer
+	err   error
+}
+
+func benchCampaignPrefix(b *testing.B, reuse bool) {
+	b.Helper()
+	s := &prefixBench
+	s.once.Do(func() {
+		s.ds, s.err = data.NewClassification(data.ClassificationConfig{
+			Classes: 4, Channels: 3, Size: 32, Noise: 0.2, Seed: 51,
+		})
+		if s.err != nil {
+			return
+		}
+		// Untrained weights: a throughput benchmark needs forward-pass cost,
+		// not accuracy, and skipping training keeps setup seconds long.
+		s.model, s.err = models.Build("densenet", rand.New(rand.NewSource(51)), 4, 32)
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	eligible := make([]int, 8)
+	for i := range eligible {
+		eligible[i] = i
+	}
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	const trials = 96
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := campaign.Run(context.Background(), campaign.Config{
+			Workers:     1,
+			Trials:      trials,
+			Seed:        52,
+			Source:      prefixBench.ds,
+			Eligible:    eligible,
+			PrefixReuse: reuse,
+			NewReplica: func(worker int) (*core.Injector, error) {
+				replica, err := models.Build("densenet", rand.New(rand.NewSource(51)), 4, 32)
+				if err != nil {
+					return nil, err
+				}
+				if err := nn.ShareParams(replica, prefixBench.model); err != nil {
+					return nil, err
+				}
+				return core.New(replica, core.Config{Height: 32, Width: 32, Seed: int64(worker)})
+			},
+			Arm: func(inj *core.Injector, rng *rand.Rand) error {
+				_, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue())
+				return err
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Trials != trials {
+			b.Fatalf("trials = %d, want %d", agg.Trials, trials)
+		}
+	}
+	b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkCampaignPrefixFull(b *testing.B)  { benchCampaignPrefix(b, false) }
+func BenchmarkCampaignPrefixReuse(b *testing.B) { benchCampaignPrefix(b, true) }

@@ -66,6 +66,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	progress := fs.Bool("progress", false, "print live trials/sec and ETA to stderr")
 	jsonl := fs.String("jsonl", "", "stream one JSON record per trial to this file")
 	skipErrors := fs.Bool("skip-errors", false, "count failing trials and continue instead of aborting the campaign")
+	prefixReuse := fs.Bool("prefix-reuse", true, "resume trial forwards from checkpointed clean-prefix activations (throughput only; results are byte-identical)")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -133,6 +134,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		Progress:       progressFn,
 		OnError:        policy,
 		Metrics:        metrics,
+		PrefixReuse:    *prefixReuse,
 	})
 	if *progress {
 		fmt.Fprintln(os.Stderr)

@@ -38,6 +38,7 @@ func run(ctx context.Context, args []string) error {
 	epochs := fs.Int("epochs", 6, "training epochs per network before the campaign")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	size := fs.Int("size", 32, "input image size")
+	prefixReuse := fs.Bool("prefix-reuse", true, "resume trial forwards from checkpointed clean-prefix activations (throughput only; results are byte-identical)")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +57,7 @@ func run(ctx context.Context, args []string) error {
 		InSize:         *size,
 		Seed:           *seed,
 		Metrics:        metrics,
+		PrefixReuse:    *prefixReuse,
 	}
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")

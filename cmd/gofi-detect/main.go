@@ -36,6 +36,7 @@ func run(ctx context.Context, args []string) error {
 	size := fs.Int("size", 32, "scene size in pixels")
 	epochs := fs.Int("epochs", 12, "detector training epochs")
 	seed := fs.Int64("seed", 1, "experiment seed")
+	prefixReuse := fs.Bool("prefix-reuse", true, "route injected forwards through the clean-prefix checkpoint runner (per-layer injections always fall back to the full forward, so this is a no-op for throughput here)")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +55,7 @@ func run(ctx context.Context, args []string) error {
 		TrainEpochs:        *epochs,
 		Seed:               *seed,
 		Metrics:            metrics,
+		PrefixReuse:        *prefixReuse,
 	})
 	if err != nil {
 		return err

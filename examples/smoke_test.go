@@ -1,0 +1,64 @@
+// Package examples holds no library code — each subdirectory is a
+// standalone main. This test-only package keeps every example compiling
+// and vet-clean: examples are documentation, and documentation that does
+// not build is worse than none.
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// goTool runs a go subcommand against every example package.
+func goTool(t *testing.T, args ...string) {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Dir = wd
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %v failed: %v\n%s", args, err, out)
+	}
+}
+
+func TestExamplesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example compilation in -short mode")
+	}
+	goTool(t, "build", "-o", os.DevNull, "./...")
+}
+
+func TestExamplesVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example vet in -short mode")
+	}
+	goTool(t, "vet", "./...")
+}
+
+// TestEveryExampleDirHasMain guards against a half-added example: any
+// subdirectory here must contain a main.go, or the build smoke silently
+// covers nothing for it.
+func TestEveryExampleDirHasMain(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dirs++
+		if _, err := os.Stat(filepath.Join(e.Name(), "main.go")); err != nil {
+			t.Errorf("example %s has no main.go: %v", e.Name(), err)
+		}
+	}
+	if dirs == 0 {
+		t.Fatal("no example directories found")
+	}
+}

@@ -53,6 +53,19 @@ const (
 	MetricSinkQueueMax = "campaign.sink.queue_max"
 	// MetricWorkers is the effective worker count for the run.
 	MetricWorkers = "campaign.workers"
+	// MetricPrefixHits / MetricPrefixMisses count clean-prefix checkpoint
+	// lookups during armed trial forwards (PrefixReuse on);
+	// MetricPrefixFallbacks counts trials that ran the full forward
+	// because reuse was unsound (weight faults, earliest site in the
+	// first chain node). Hit/miss splits depend on worker scheduling and
+	// store pressure, so — unlike the outcome counters — they describe
+	// this particular run.
+	MetricPrefixHits      = "campaign.prefix.hits"
+	MetricPrefixMisses    = "campaign.prefix.misses"
+	MetricPrefixFallbacks = "campaign.prefix.fallbacks"
+	// MetricPrefixSaved is a histogram of nanoseconds saved per cache
+	// hit: the recorded cost of the prefix computation the hit avoided.
+	MetricPrefixSaved = "campaign.prefix_reuse_ns_saved"
 )
 
 // Outcome classifies a single injection trial, using the corruption
@@ -204,6 +217,16 @@ type Config struct {
 	ProgressEvery int
 	// OnError selects the per-trial failure policy (default FailFast).
 	OnError ErrorPolicy
+	// PrefixReuse resumes each trial's forward pass from a checkpointed
+	// clean-prefix activation instead of recomputing the layers below the
+	// earliest fault site (Gräfe et al.'s checkpoint-and-resume
+	// optimization). Results are byte-identical with reuse on or off —
+	// the checkpoint is a bitwise copy of what the full pass would feed
+	// the suffix — so this is a throughput knob only. Trials for which
+	// reuse is unsound (weight faults, earliest site in the model's first
+	// chain node) fall back to the full forward automatically, as do
+	// models whose structure defeats chain planning.
+	PrefixReuse bool
 	// Metrics, when non-nil, receives the engine's counters, trial
 	// latency histogram and sink gauges (see the Metric* constants), and
 	// is attached to every replica injector for perturbation accounting.

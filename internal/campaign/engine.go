@@ -47,6 +47,26 @@ func newEngineMetrics(reg *obs.Registry, workers int) *engineMetrics {
 	}
 }
 
+// prefixMetrics resolves the shared prefix-reuse handles (counters are
+// atomic, so per-worker runners record into one set).
+func prefixMetrics(reg *obs.Registry) core.PrefixMetrics {
+	if reg == nil {
+		return core.PrefixMetrics{}
+	}
+	return core.PrefixMetrics{
+		Hits:      reg.Counter(MetricPrefixHits),
+		Misses:    reg.Counter(MetricPrefixMisses),
+		Fallbacks: reg.Counter(MetricPrefixFallbacks),
+		SavedNS:   reg.Histogram(MetricPrefixSaved),
+	}
+}
+
+// prefixStoreBudget bounds each worker's checkpoint store. Boundary
+// activations for 32×32-class models run tens to hundreds of KiB, so the
+// budget holds a few hundred (sample, cut) snapshots per worker; LRU
+// eviction keeps memory flat on larger sweeps.
+const prefixStoreBudget int64 = 64 << 20
+
 // observe folds one finished trial's record into the exact counters.
 // Called from the single collector goroutine.
 func (m *engineMetrics) observe(rec TrialRecord, backlog int, sank bool) {
@@ -138,6 +158,8 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 	// setup cost, so do it concurrently) and fail before any trial runs
 	// if one cannot be built.
 	replicas := make([]*core.Injector, workers)
+	runners := make([]*core.PrefixRunner, workers)
+	pmet := prefixMetrics(cfg.Metrics)
 	var buildWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		buildWG.Add(1)
@@ -160,6 +182,15 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 			// Replicas share one registry: perturbation counters are
 			// atomic, so campaign-wide totals stay exact.
 			inj.SetMetrics(cfg.Metrics)
+			if cfg.PrefixReuse {
+				// A model whose chain cannot be planned simply runs every
+				// trial full-length; reuse is a throughput optimization,
+				// never a correctness requirement.
+				if runner, err := core.NewPrefixRunner(inj, prefixStoreBudget); err == nil {
+					runner.SetMetrics(pmet)
+					runners[w] = runner
+				}
+			}
 			replicas[w] = inj
 		}(w)
 	}
@@ -200,7 +231,7 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 				if i >= len(order) {
 					return
 				}
-				cp, err := cleanPredict(replicas[w], cfg.Source, order[i])
+				cp, err := cleanPredict(replicas[w], runners[w], cfg.Source, order[i])
 				if err != nil {
 					fail(err)
 					return
@@ -289,7 +320,7 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 				if met != nil {
 					trialStart = time.Now()
 				}
-				rec, err := runTrial(cfg, inj, w, t, sampleOf[t], clean[sampleOf[t]])
+				rec, err := runTrial(cfg, inj, runners[w], w, t, sampleOf[t], clean[sampleOf[t]])
 				if met != nil {
 					met.trialTimer.Since(trialStart)
 				}
@@ -333,8 +364,11 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 }
 
 // cleanPredict runs one un-faulted inference and extracts the clean
-// Top-1/Top-5/confidence reference for a sample.
-func cleanPredict(inj *core.Injector, src SampleSource, idx int) (cp cleanPrediction, err error) {
+// Top-1/Top-5/confidence reference for a sample. When a prefix runner is
+// attached, the clean pass doubles as the checkpoint walk: it snapshots
+// every chain-node boundary for the sample, so the armed trials that
+// follow resume from direct hits instead of paying a first-miss prefix.
+func cleanPredict(inj *core.Injector, runner *core.PrefixRunner, src SampleSource, idx int) (cp cleanPrediction, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("campaign: clean inference for sample %d: panic: %v", idx, r)
@@ -344,7 +378,14 @@ func cleanPredict(inj *core.Injector, src SampleSource, idx int) (cp cleanPredic
 	shape := img.Shape()
 	x := img.Reshape(1, shape[0], shape[1], shape[2])
 	inj.Reset()
-	logits := nn.Run(inj.Model(), x)
+	var logits *tensor.Tensor
+	if runner != nil {
+		if logits, err = runner.Warm(idx, x); err != nil {
+			return cp, err
+		}
+	} else {
+		logits = nn.Run(inj.Model(), x)
+	}
 	probs := tensor.SoftmaxRows(logits)
 	cp = cleanPrediction{
 		top1: tensor.ArgMaxRows(logits)[0],
@@ -358,7 +399,13 @@ func cleanPredict(inj *core.Injector, src SampleSource, idx int) (cp cleanPredic
 // stream, arm, infer, classify. Panics anywhere in the trial (a buggy
 // Arm, a geometry bug in an error model) are recovered into errors so
 // one bad trial cannot void a long campaign under SkipAndCount.
-func runTrial(cfg Config, inj *core.Injector, worker, t, sample int, cp cleanPrediction) (rec TrialRecord, err error) {
+//
+// When runner is non-nil the forward pass resumes from a checkpointed
+// clean-prefix activation whenever that is sound for the armed sites;
+// the logits are bit-identical to the full pass either way (the
+// differential suite in prefix_test.go asserts this per layer, per error
+// model), so the trial's Outcome never depends on PrefixReuse.
+func runTrial(cfg Config, inj *core.Injector, runner *core.PrefixRunner, worker, t, sample int, cp cleanPrediction) (rec TrialRecord, err error) {
 	rec = TrialRecord{Trial: t, Worker: worker, Sample: sample}
 	defer func() {
 		if r := recover(); r != nil {
@@ -385,7 +432,15 @@ func runTrial(cfg Config, inj *core.Injector, worker, t, sample int, cp cleanPre
 	if armErr := cfg.Arm(inj, rng); armErr != nil {
 		return rec, fmt.Errorf("arm: %w", armErr)
 	}
-	logits := nn.Run(inj.Model(), x)
+	var logits *tensor.Tensor
+	if runner != nil {
+		logits, err = runner.Forward(sample, x)
+		if err != nil {
+			return rec, err
+		}
+	} else {
+		logits = nn.Run(inj.Model(), x)
+	}
 	rec.Outcome = classify(logits, cp)
 	rec.Site = siteString(inj)
 	return rec, nil

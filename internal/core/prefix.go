@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gofi/internal/nn"
+	"gofi/internal/obs"
+	"gofi/internal/tensor"
+)
+
+// Clean-prefix activation reuse. In a perturbation campaign nearly every
+// trial re-executes the identical clean forward pass up to the injected
+// layer; for uniformly drawn single-site faults that wasted prefix
+// averages about half the network. The pieces here let a campaign run
+// the clean prefix once per (input, boundary), checkpoint the boundary
+// activation, and resume each injected trial there — with bit-identical
+// results, because the checkpoint is a bitwise copy of exactly what the
+// full forward would have fed the suffix.
+
+// MinArmedLayer reports the lowest hooked-layer index carrying an armed
+// neuron fault, and whether resuming a forward pass below that layer is
+// sound. When nothing is armed it returns (len(Layers()), true): every
+// hooked layer is clean and any boundary is reusable. It returns
+// (0, false) when weight perturbations are armed — those mutate weight
+// tensors that prefix layers may read, so only a full forward pass
+// observes them.
+func (inj *Injector) MinArmedLayer() (minLayer int, ok bool) {
+	if len(inj.weightUndo) > 0 {
+		return 0, false
+	}
+	minLayer = len(inj.layers)
+	for l, sites := range inj.neuronSites {
+		if len(sites) > 0 && l < minLayer {
+			minLayer = l
+		}
+	}
+	return minLayer, true
+}
+
+// PrefixPlan maps the injector's hooked-layer indices onto the model's
+// pure-chain decomposition (nn.PlanChain). cutOf[i] is the chain node
+// containing hooked layer i; the clean prefix for a trial whose earliest
+// armed layer is i is chain nodes [0, cutOf[i]).
+type PrefixPlan struct {
+	chain *nn.Chain
+	cutOf []int
+}
+
+// BuildPrefixPlan plans the instrumented model's chain and locates every
+// hooked layer in it. It fails only if the model's hookable layers cannot
+// be re-discovered from the chain nodes — a structurally changed model,
+// which also invalidates the injector itself.
+func (inj *Injector) BuildPrefixPlan() (*PrefixPlan, error) {
+	chain := nn.PlanChain(inj.model)
+	cutOf := make([]int, 0, len(inj.layers))
+	for node := 0; node < chain.Len(); node++ {
+		n := node
+		walkHookables(chain.Node(n), inj.cfg.IncludeLinear, func(hookable) {
+			cutOf = append(cutOf, n)
+		})
+	}
+	if len(cutOf) != len(inj.layers) {
+		return nil, fmt.Errorf("core: prefix plan found %d hookable layers in the chain, injector profiled %d (model changed since New?)", len(cutOf), len(inj.layers))
+	}
+	return &PrefixPlan{chain: chain, cutOf: cutOf}, nil
+}
+
+// Chain returns the underlying chain decomposition.
+func (p *PrefixPlan) Chain() *nn.Chain { return p.chain }
+
+// CutFor returns the deepest sound chain cut for a trial whose earliest
+// armed hooked layer is minLayer: every armed site lies at or after the
+// returned node, so nodes [0, cut) compute clean activations even on an
+// armed injector. minLayer == len(cutOf) (nothing armed) cuts at the
+// chain end — the boundary is the model output itself. A cut of 0 means
+// no reusable prefix exists (the fault sits in the first node).
+func (p *PrefixPlan) CutFor(minLayer int) int {
+	if minLayer >= len(p.cutOf) {
+		return p.chain.Len()
+	}
+	if minLayer < 0 {
+		return 0
+	}
+	return p.cutOf[minLayer]
+}
+
+// PrefixMetrics carries the optional observability handles a
+// PrefixRunner records through. Any field may be nil. Hit/miss counts
+// depend on scheduling and store pressure, so — like the engine's gauges
+// — they describe a particular run, not the (Seed, Trials) contract.
+type PrefixMetrics struct {
+	// Hits / Misses count checkpoint-store lookups during armed forwards.
+	Hits, Misses *obs.Counter
+	// Fallbacks counts armed forwards that ran the full model because
+	// reuse was unsound (weight faults, earliest site in node 0).
+	Fallbacks *obs.Counter
+	// SavedNS observes, on every hit, the nanoseconds the checkpointed
+	// prefix originally cost — the recomputation the hit avoided.
+	SavedNS *obs.Histogram
+}
+
+// PrefixRunner executes armed inferences for one injector, resuming from
+// checkpointed clean-prefix activations whenever that is sound and
+// falling back to the full forward pass automatically otherwise (weight
+// faults, multi-site trials whose earliest site is in the first chain
+// node, prefix/suffix geometry errors). Like the injector and model it
+// wraps, a PrefixRunner is confined to one goroutine.
+type PrefixRunner struct {
+	inj   *Injector
+	plan  *PrefixPlan
+	store *tensor.CheckpointStore
+	met   PrefixMetrics
+}
+
+// NewPrefixRunner builds a runner over inj with a checkpoint store of
+// budgetBytes (see tensor.NewCheckpointStore).
+func NewPrefixRunner(inj *Injector, budgetBytes int64) (*PrefixRunner, error) {
+	plan, err := inj.BuildPrefixPlan()
+	if err != nil {
+		return nil, err
+	}
+	return &PrefixRunner{inj: inj, plan: plan, store: tensor.NewCheckpointStore(budgetBytes)}, nil
+}
+
+// SetMetrics attaches observability handles; a zero PrefixMetrics (or
+// nil fields) keeps the paths unaccounted.
+func (r *PrefixRunner) SetMetrics(m PrefixMetrics) { r.met = m }
+
+// Plan returns the runner's prefix plan.
+func (r *PrefixRunner) Plan() *PrefixPlan { return r.plan }
+
+// Store returns the runner's checkpoint store (diagnostics and tests).
+func (r *PrefixRunner) Store() *tensor.CheckpointStore { return r.store }
+
+// Warm runs one clean (disarmed) inference for item, checkpointing every
+// chain-node boundary along the way, and returns the model output. A
+// campaign that must run a clean pass per input anyway (for reference
+// predictions) warms the store for free: afterwards every armed trial on
+// the item resumes from a direct hit, whatever its cut. Warm records no
+// hit/miss metrics — those describe armed trial forwards. If anything is
+// armed on the injector, Warm refuses the checkpoint walk and behaves as
+// nn.Run.
+func (r *PrefixRunner) Warm(item int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if minLayer, ok := r.inj.MinArmedLayer(); !ok || minLayer < len(r.inj.layers) {
+		return nn.Run(r.inj.Model(), x), nil
+	}
+	cur, elapsed := x, int64(0)
+	for n := 0; n < r.plan.chain.Len(); n++ {
+		t0 := time.Now()
+		next, err := r.plan.chain.Step(n, cur)
+		if err != nil {
+			return nil, err
+		}
+		elapsed += time.Since(t0).Nanoseconds()
+		cur = r.store.Put(item, n+1, next, elapsed)
+	}
+	return cur, nil
+}
+
+// Forward runs one inference with whatever faults are currently armed on
+// the injector. item keys the checkpoint store and must identify the
+// model input x (campaigns use the sample index). The result is
+// bit-identical to nn.Run(inj.Model(), x): the reused prefix is a bitwise
+// snapshot of the clean activations the full pass would recompute, and
+// every armed hook fires in the suffix exactly as it would in the full
+// pass. Geometry panics in the full-forward path propagate (as they do
+// for nn.Run); the caller's trial recovery owns them.
+func (r *PrefixRunner) Forward(item int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	minLayer, ok := r.inj.MinArmedLayer()
+	if ok {
+		if cut := r.plan.CutFor(minLayer); cut > 0 {
+			boundary, savedNs, hit := r.store.Get(item, cut)
+			if hit {
+				if r.met.Hits != nil {
+					r.met.Hits.Inc()
+				}
+				if r.met.SavedNS != nil {
+					r.met.SavedNS.Observe(savedNs)
+				}
+			} else {
+				// Miss. Cuts vary trial to trial (the fault site moves), so a
+				// store keyed only on the exact cut would miss almost always.
+				// Instead, resume from the deepest earlier checkpoint of this
+				// item and snapshot every node boundary walked on the way to
+				// the cut: after one deep prefix, any future cut for the item
+				// is a direct hit. Each boundary's recorded cost accumulates
+				// the walk below it, approximating the full [0, node) prefix
+				// cost a later hit avoids.
+				start, cur, elapsed := 0, x, int64(0)
+				for j := cut - 1; j > 0; j-- {
+					if b, ns, ok := r.store.Get(item, j); ok {
+						start, cur, elapsed = j, b, ns
+						break
+					}
+				}
+				for n := start; n < cut; n++ {
+					t0 := time.Now()
+					next, err := r.plan.chain.Step(n, cur)
+					if err != nil {
+						return nil, err
+					}
+					elapsed += time.Since(t0).Nanoseconds()
+					cur = r.store.Put(item, n+1, next, elapsed)
+				}
+				boundary = cur
+				if r.met.Misses != nil {
+					r.met.Misses.Inc()
+				}
+			}
+			return r.plan.chain.ForwardFrom(cut, boundary)
+		}
+	}
+	if r.met.Fallbacks != nil {
+		r.met.Fallbacks.Inc()
+	}
+	return nn.Run(r.inj.Model(), x), nil
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// residualTestModel puts two of its convs inside a Residual so the chain
+// planner must treat the whole block as one atomic node.
+func residualTestModel(rng *rand.Rand) nn.Layer {
+	return nn.NewSequential("resnet",
+		nn.NewConv2d("stem", rng, 3, 4, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewReLU("relu0"),
+		nn.NewResidual("block",
+			nn.NewSequential("body",
+				nn.NewConv2d("c1", rng, 4, 4, 3, nn.Conv2dConfig{Pad: 1}),
+				nn.NewReLU("r1"),
+				nn.NewConv2d("c2", rng, 4, 4, 3, nn.Conv2dConfig{Pad: 1}),
+			),
+			nil,
+			nn.NewReLU("post"),
+		),
+		nn.NewConv2d("head", rng, 4, 4, 3, nn.Conv2dConfig{Pad: 1}),
+		nn.NewGlobalAvgPool2d("gap"),
+		nn.NewFlatten("fl"),
+		nn.NewLinear("fc", rng, 4, 5, true),
+	)
+}
+
+// allErrorModels is one instance of every error model, stochastic and
+// deterministic; SetRand with equal seeds keeps stochastic draws aligned
+// between the compared passes.
+func allErrorModels() map[string]ErrorModel {
+	return map[string]ErrorModel{
+		"random":   DefaultRandomValue(),
+		"zero":     Zero{},
+		"set":      SetValue{V: 42.5},
+		"bitflip":  BitFlip{Bit: RandomBit},
+		"bitflip7": BitFlip{Bit: 7},
+		"multibit": MultiBitFlip{N: 2},
+		"gauss":    GaussianNoise{Std: 1},
+		"gain":     Gain{Factor: 2},
+		"func":     Func{Label: "negate", Fn: func(v float32, _ PerturbContext) float32 { return -v }},
+	}
+}
+
+func requireBitIdentical(t *testing.T, got, want *tensor.Tensor, ctx string) {
+	t.Helper()
+	if got == nil || got.Len() != want.Len() {
+		t.Fatalf("%s: got %v, want %d elements", ctx, got, want.Len())
+	}
+	for i := range want.Data() {
+		if math.Float32bits(got.Data()[i]) != math.Float32bits(want.Data()[i]) {
+			t.Fatalf("%s: element %d = %x, full forward %x (not bit-identical)",
+				ctx, i, math.Float32bits(got.Data()[i]), math.Float32bits(want.Data()[i]))
+		}
+	}
+}
+
+// TestPrefixForwardBitIdentical is the differential soundness test: for
+// both test topologies, every hooked layer, and every error model, an
+// armed forward through the PrefixRunner — cold store (miss) and warm
+// store (hit) — must be bit-identical to the full forward pass.
+func TestPrefixForwardBitIdentical(t *testing.T) {
+	topologies := map[string]func(*rand.Rand) nn.Layer{
+		"lenet":    testModel,
+		"residual": residualTestModel,
+	}
+	for topoName, build := range topologies {
+		t.Run(topoName, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			model := build(rng)
+			inj, err := New(model, Config{Height: 16, Width: 16, IncludeLinear: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner, err := NewPrefixRunner(inj, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+			for emName, em := range allErrorModels() {
+				for layer := range inj.Layers() {
+					site := NeuronSite{Layer: layer, Batch: AllBatches, C: 0, H: 0, W: 0}
+					arm := func(seed int64) {
+						inj.Reset()
+						inj.SetRand(rand.New(rand.NewSource(seed)))
+						if err := inj.DeclareNeuronFI(em, site); err != nil {
+							t.Fatal(err)
+						}
+					}
+					arm(99)
+					want := nn.Run(model, x).Clone()
+					// Cold pass: the store may or may not hold this cut yet.
+					arm(99)
+					got, err := runner.Forward(0, x)
+					if err != nil {
+						t.Fatalf("%s layer %d: %v", emName, layer, err)
+					}
+					requireBitIdentical(t, got, want, emName+" cold")
+					// Warm pass: same cut again, now guaranteed through Get.
+					arm(99)
+					got, err = runner.Forward(0, x)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireBitIdentical(t, got, want, emName+" warm")
+				}
+			}
+		})
+	}
+}
+
+// TestPrefixForwardDisarmed checks the nothing-armed path: the cut is the
+// chain end, so the "boundary" is the cached model output itself.
+func TestPrefixForwardDisarmed(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	model := testModel(rng)
+	inj, err := New(model, Config{Height: 16, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewPrefixRunner(inj, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	inj.Reset()
+	want := nn.Run(model, x).Clone()
+	for pass := 0; pass < 2; pass++ {
+		got, err := runner.Forward(0, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitIdentical(t, got, want, "disarmed")
+	}
+	if runner.Store().Len() == 0 {
+		t.Fatal("disarmed forward should checkpoint the full output")
+	}
+}
+
+// TestPrefixForwardWeightFallback checks that weight faults force the full
+// forward (which observes the offline weight mutation) rather than a
+// stale-prefix resume.
+func TestPrefixForwardWeightFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	model := testModel(rng)
+	inj, err := New(model, Config{Height: 16, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewPrefixRunner(inj, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+
+	// Warm the store with a clean run so a broken fallback would have a
+	// stale checkpoint to wrongly reuse.
+	inj.Reset()
+	if _, err := runner.Forward(0, x); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Reset()
+	if err := inj.DeclareWeightFI(SetValue{V: 3}, WeightSite{Layer: 1, Idx: []int{0, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := inj.MinArmedLayer(); ok {
+		t.Fatal("MinArmedLayer must refuse reuse under weight faults")
+	}
+	want := nn.Run(model, x).Clone()
+	got, err := runner.Forward(0, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, got, want, "weight fallback")
+	inj.Reset()
+}
+
+func TestMinArmedLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	model := testModel(rng)
+	inj, err := New(model, Config{Height: 16, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := inj.MinArmedLayer(); !ok || got != len(inj.Layers()) {
+		t.Fatalf("disarmed MinArmedLayer = (%d,%v), want (%d,true)", got, ok, len(inj.Layers()))
+	}
+	if err := inj.DeclareNeuronFI(Zero{}, NeuronSite{Layer: 2, Batch: AllBatches}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := inj.MinArmedLayer(); !ok || got != 2 {
+		t.Fatalf("MinArmedLayer = (%d,%v), want (2,true)", got, ok)
+	}
+	if err := inj.DeclareNeuronFI(Zero{}, NeuronSite{Layer: 1, Batch: AllBatches}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := inj.MinArmedLayer(); got != 1 {
+		t.Fatalf("multi-site MinArmedLayer = %d, want the earliest (1)", got)
+	}
+	inj.Reset()
+}
+
+func TestPrefixPlanCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	model := residualTestModel(rng)
+	inj, err := New(model, Config{Height: 16, Width: 16, IncludeLinear: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := inj.BuildPrefixPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hooked layers: stem, c1, c2 (both inside the residual node), head, fc.
+	// Chain: stem relu0 block head gap fl fc = 7 nodes.
+	if plan.Chain().Len() != 7 {
+		t.Fatalf("chain len %d, want 7", plan.Chain().Len())
+	}
+	wantCuts := []int{0, 2, 2, 3, 6}
+	for l, want := range wantCuts {
+		if got := plan.CutFor(l); got != want {
+			t.Fatalf("CutFor(%d) = %d, want %d", l, got, want)
+		}
+	}
+	if got := plan.CutFor(len(wantCuts)); got != plan.Chain().Len() {
+		t.Fatalf("CutFor(len) = %d, want chain end %d", got, plan.Chain().Len())
+	}
+	if got := plan.CutFor(-1); got != 0 {
+		t.Fatalf("CutFor(-1) = %d, want 0", got)
+	}
+}

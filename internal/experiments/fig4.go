@@ -36,6 +36,10 @@ type Fig4Config struct {
 	// Metrics, when non-nil, receives the engines' counters and
 	// histograms; all per-model campaigns share the one registry.
 	Metrics *obs.Registry
+	// PrefixReuse resumes trial forwards from checkpointed clean-prefix
+	// activations (see campaign.Config.PrefixReuse). Throughput only;
+	// results are byte-identical either way.
+	PrefixReuse bool
 }
 
 func (c Fig4Config) canon() Fig4Config {
@@ -133,7 +137,8 @@ func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, er
 			_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit})
 			return err
 		},
-		Metrics: cfg.Metrics,
+		Metrics:     cfg.Metrics,
+		PrefixReuse: cfg.PrefixReuse,
 	})
 	if err != nil {
 		return Fig4Row{}, err

@@ -40,6 +40,10 @@ type GenericCampaignConfig struct {
 	// Metrics, when non-nil, receives the engine's counters, trial
 	// latency histogram and sink gauges (see campaign.Metric*).
 	Metrics *obs.Registry
+	// PrefixReuse resumes trial forwards from checkpointed clean-prefix
+	// activations (see campaign.Config.PrefixReuse). Throughput only;
+	// results are byte-identical either way.
+	PrefixReuse bool
 }
 
 // GenericCampaignResult bundles the campaign aggregate with the trained
@@ -135,10 +139,11 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 		Source:     ds,
 		Eligible:   eligible,
 		Arm:        cfg.Arm,
-		Sinks:      cfg.Sinks,
-		Progress:   cfg.Progress,
-		OnError:    cfg.OnError,
-		Metrics:    cfg.Metrics,
+		Sinks:       cfg.Sinks,
+		Progress:    cfg.Progress,
+		OnError:     cfg.OnError,
+		Metrics:     cfg.Metrics,
+		PrefixReuse: cfg.PrefixReuse,
 	})
 	// On abort the engine still hands back the partial aggregate; pass it
 	// through so callers can report what completed.

@@ -1,0 +1,225 @@
+package ibp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// TestWorstCaseLogitsTable pins the adversarial logit assembly: true class
+// from the lower bound, everything else from the upper bound.
+func TestWorstCaseLogitsTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi []float32
+		shape  []int
+		labels []int
+		want   []float32
+	}{
+		{
+			name: "single-row",
+			lo:   []float32{1, 2, 3}, hi: []float32{4, 5, 6},
+			shape: []int{1, 3}, labels: []int{0},
+			want: []float32{1, 5, 6},
+		},
+		{
+			name: "last-class",
+			lo:   []float32{1, 2, 3}, hi: []float32{4, 5, 6},
+			shape: []int{1, 3}, labels: []int{2},
+			want: []float32{4, 5, 3},
+		},
+		{
+			name: "two-rows",
+			lo:   []float32{0, 0, 10, 10}, hi: []float32{1, 1, 20, 20},
+			shape: []int{2, 2}, labels: []int{1, 0},
+			want: []float32{1, 0, 10, 20},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			z := WorstCaseLogits(
+				tensor.FromSlice(tc.lo, tc.shape...),
+				tensor.FromSlice(tc.hi, tc.shape...),
+				tc.labels)
+			for i, want := range tc.want {
+				if got := z.Data()[i]; got != want {
+					t.Fatalf("z[%d] = %g, want %g (full %v)", i, got, want, z.Data())
+				}
+			}
+		})
+	}
+}
+
+// TestEq1LossAlphaTable checks the Eq. 1 mixture at its defining corner
+// cases: α=0 is the pure point loss with zero bound gradients, α=1 is the
+// pure worst-case loss with a zero point gradient.
+func TestEq1LossAlphaTable(t *testing.T) {
+	point := tensor.FromSlice([]float32{2, 0}, 1, 2)
+	lo := tensor.FromSlice([]float32{1, -1}, 1, 2)
+	hi := tensor.FromSlice([]float32{3, 1}, 1, 2)
+	labels := []int{0}
+
+	sum := func(t *tensor.Tensor) float64 {
+		var s float64
+		for _, v := range t.Data() {
+			s += math.Abs(float64(v))
+		}
+		return s
+	}
+
+	loss0, gP0, gLo0, gHi0 := Eq1Loss(point, lo, hi, labels, 0)
+	if sum(gLo0) != 0 || sum(gHi0) != 0 {
+		t.Fatal("alpha=0 must produce zero bound gradients")
+	}
+	if sum(gP0) == 0 {
+		t.Fatal("alpha=0 must keep the point gradient")
+	}
+
+	loss1, gP1, gLo1, gHi1 := Eq1Loss(point, lo, hi, labels, 1)
+	if sum(gP1) != 0 {
+		t.Fatal("alpha=1 must zero the point gradient")
+	}
+	if sum(gLo1) == 0 || sum(gHi1) == 0 {
+		t.Fatal("alpha=1 must produce bound gradients")
+	}
+	// The worst-case loss is strictly larger here: worst-case logits (1, 1)
+	// are less separable than the point logits (2, 0).
+	if loss1 <= loss0 {
+		t.Fatalf("worst-case loss %g must exceed point loss %g", loss1, loss0)
+	}
+
+	// Interior α must interpolate linearly between the corners.
+	lossHalf, _, _, _ := Eq1Loss(point, lo, hi, labels, 0.5)
+	if math.Abs(lossHalf-(loss0+loss1)/2) > 1e-9 {
+		t.Fatalf("alpha=0.5 loss %g, want midpoint %g", lossHalf, (loss0+loss1)/2)
+	}
+}
+
+// TestTrainValidationTable drives every Train config rejection through one
+// table.
+func TestTrainValidationTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewNet("n",
+		NewFlatten("fl"),
+		NewLinear("fc", rng, 4, 2),
+	)
+	ok := TrainConfig{Epochs: 1, BatchSize: 2, TrainSize: 4, LR: 0.1}
+	cases := []struct {
+		name string
+		mut  func(*TrainConfig)
+	}{
+		{"zero-epochs", func(c *TrainConfig) { c.Epochs = 0 }},
+		{"zero-batch", func(c *TrainConfig) { c.BatchSize = 0 }},
+		{"train-lt-batch", func(c *TrainConfig) { c.TrainSize = 1 }},
+		{"alpha-negative", func(c *TrainConfig) { c.Alpha = -0.1 }},
+		{"alpha-above-one", func(c *TrainConfig) { c.Alpha = 1.1 }},
+		{"eps-negative", func(c *TrainConfig) { c.Eps = -1 }},
+		{"ramp-inverted", func(c *TrainConfig) { c.RampStart = 5; c.RampEnd = 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ok
+			tc.mut(&cfg)
+			if _, err := Train(net, ibpTableSource{}, cfg); err == nil {
+				t.Fatal("want config error")
+			}
+		})
+	}
+	if _, err := Train(net, ibpTableSource{}, ok); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// ibpTableSource is a deterministic separable toy source: class 0 is all
+// +1 pixels, class 1 all −1, as 1×2×2 images.
+type ibpTableSource struct{}
+
+func (ibpTableSource) Batch(lo, n int) (*tensor.Tensor, []int) {
+	x := tensor.New(n, 1, 2, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := (lo + i) % 2
+		labels[i] = cls
+		v := float32(1)
+		if cls == 1 {
+			v = -1
+		}
+		for j := 0; j < 4; j++ {
+			x.Data()[i*4+j] = v
+		}
+	}
+	return x, labels
+}
+
+// TestVerifiedFractionEpsTable checks monotonicity of verification in ε on
+// a trained toy net: larger radii can only verify fewer samples, ε=0
+// verifies everything a clean pass classifies correctly.
+func TestVerifiedFractionEpsTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewNet("n",
+		NewFlatten("fl"),
+		NewLinear("fc", rng, 4, 2),
+	)
+	if _, err := Train(net, ibpTableSource{}, TrainConfig{
+		Epochs: 25, BatchSize: 4, TrainSize: 16, LR: 0.2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fracs := make([]float64, 0, 4)
+	for _, eps := range []float32{0, 0.1, 0.5, 5} {
+		fracs = append(fracs, VerifiedFraction(net, ibpTableSource{}, 0, 16, 4, eps))
+	}
+	if fracs[0] != 1 {
+		t.Fatalf("eps=0 verified fraction %g, want 1 on a separable toy", fracs[0])
+	}
+	for i := 1; i < len(fracs); i++ {
+		if fracs[i] > fracs[i-1] {
+			t.Fatalf("verified fraction rose with eps: %v", fracs)
+		}
+	}
+	if VerifiedFraction(net, ibpTableSource{}, 0, 0, 4, 0) != 0 {
+		t.Fatal("empty range must verify 0")
+	}
+}
+
+// TestNetImplementsLayerTable checks the nn.Layer facade of Net against
+// per-layer manual execution for several stack shapes.
+func TestNetImplementsLayerTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	builds := map[string]func() *Net{
+		"linear-only": func() *Net {
+			return NewNet("a", NewFlatten("fl"), NewLinear("fc", rng, 16, 3))
+		},
+		"conv-pool": func() *Net {
+			return NewNet("b",
+				NewConv("c", rng, 1, 2, 3, nn.Conv2dConfig{Pad: 1}),
+				NewReLU("r"),
+				NewMaxPool("p", 2),
+				NewFlatten("fl"),
+				NewLinear("fc", rng, 2*2*2, 3),
+			)
+		},
+	}
+	x := tensor.RandUniform(rng, -1, 1, 2, 1, 4, 4)
+	for name, build := range builds {
+		t.Run(name, func(t *testing.T) {
+			net := build()
+			want := x
+			for _, l := range net.Layers {
+				want = nn.Run(l, want)
+			}
+			got := nn.Run(net, x)
+			for i := range want.Data() {
+				if math.Float32bits(got.Data()[i]) != math.Float32bits(want.Data()[i]) {
+					t.Fatalf("Net facade diverges from manual stack at %d", i)
+				}
+			}
+			if len(net.Children()) != len(net.Layers) {
+				t.Fatal("Children() must mirror Layers")
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+
+	"gofi/internal/tensor"
+)
+
+// Chain is the maximal pure-chain decomposition of a model: the longest
+// sequence of nodes n0, n1, ... such that the model's full forward pass
+// equals running each node on the previous node's output. Nested
+// Sequential containers are flattened into the chain; every other layer —
+// leaves, Residual, Concat, custom containers — is an atomic chain node,
+// because its internal branches fan out from a single input and cannot be
+// split. A model whose root is not a Sequential is a one-node chain.
+//
+// The chain is what makes clean-prefix activation reuse sound: the output
+// of nodes [0, k) depends only on the model input, so a fault-injection
+// trial whose earliest perturbed layer lives in node k (or later) can
+// resume from a checkpoint of node k-1's output instead of recomputing
+// the whole prefix. Planning walks the static layer tree, so a Chain is
+// valid as long as the model's structure does not change (parameter
+// updates are fine; Append on a planned Sequential is not).
+type Chain struct {
+	root  Layer
+	nodes []Layer
+}
+
+// PlanChain decomposes root into its maximal pure chain.
+func PlanChain(root Layer) *Chain {
+	c := &Chain{root: root}
+	c.nodes = appendChainNodes(c.nodes, root)
+	return c
+}
+
+// appendChainNodes flattens nested Sequentials; any other layer is one
+// node.
+func appendChainNodes(nodes []Layer, l Layer) []Layer {
+	if s, ok := l.(*Sequential); ok {
+		for _, child := range s.Children() {
+			nodes = appendChainNodes(nodes, child)
+		}
+		return nodes
+	}
+	return append(nodes, l)
+}
+
+// Len returns the number of chain nodes.
+func (c *Chain) Len() int { return len(c.nodes) }
+
+// Node returns chain node i.
+func (c *Chain) Node(i int) Layer { return c.nodes[i] }
+
+// Root returns the planned model.
+func (c *Chain) Root() Layer { return c.root }
+
+// rangeErr builds the out-of-range error, naming the model so campaign
+// logs stay attributable when several replicas run at once.
+func (c *Chain) rangeErr(what string, i int) error {
+	return fmt.Errorf("nn: %s index %d outside chain [0,%d] of layer %q",
+		what, i, len(c.nodes), pathName(c.root, 0, true))
+}
+
+// forwardRange runs chain nodes [start, end) on x through Run, so every
+// executed node's hooks (and its subtree's hooks) fire exactly as they
+// would in a full forward pass. Hooks of the root and of flattened
+// intermediate Sequentials do not fire — the fault injector only hooks
+// leaf conv/linear layers, which always live inside nodes. Panics from
+// layer geometry mismatches are recovered into errors so partial
+// execution can never take down a campaign worker.
+func (c *Chain) forwardRange(start, end int, x *tensor.Tensor) (out *tensor.Tensor, err error) {
+	if x == nil {
+		return nil, fmt.Errorf("nn: chain forward of %q with nil input", pathName(c.root, 0, true))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nn: chain forward [%d,%d) of layer %q: %v", start, end, pathName(c.root, 0, true), r)
+			out = nil
+		}
+	}()
+	for i := start; i < end; i++ {
+		x = Run(c.nodes[i], x)
+	}
+	return x, nil
+}
+
+// ForwardFrom resumes the forward pass at chain node start, treating x as
+// the checkpointed output of node start-1 (for start == 0, the model
+// input). start == Len() returns x unchanged: the checkpoint already is
+// the model output. An out-of-range start returns an error naming the
+// model; it never panics.
+func (c *Chain) ForwardFrom(start int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if start < 0 || start > len(c.nodes) {
+		return nil, c.rangeErr("ForwardFrom", start)
+	}
+	return c.forwardRange(start, len(c.nodes), x)
+}
+
+// ForwardTo runs the clean prefix: chain nodes [0, end) on the model
+// input x, returning the boundary activation that ForwardFrom(end, ...)
+// resumes from. end == 0 returns x unchanged.
+func (c *Chain) ForwardTo(end int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if end < 0 || end > len(c.nodes) {
+		return nil, c.rangeErr("ForwardTo", end)
+	}
+	return c.forwardRange(0, end, x)
+}
+
+// Step executes the single chain node i on x, with the same panic
+// recovery as the range runners. Checkpoint stores use it to snapshot
+// every intermediate boundary while walking a prefix.
+func (c *Chain) Step(i int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if i < 0 || i >= len(c.nodes) {
+		return nil, c.rangeErr("Step", i)
+	}
+	return c.forwardRange(i, i+1, x)
+}
+
+// ForwardFrom plans root's chain and resumes its forward pass at chain
+// node layerIdx with input x. Callers running many partial passes should
+// plan once with PlanChain and reuse the Chain.
+func ForwardFrom(root Layer, layerIdx int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if root == nil {
+		return nil, fmt.Errorf("nn: ForwardFrom on nil layer")
+	}
+	return PlanChain(root).ForwardFrom(layerIdx, x)
+}

@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gofi/internal/tensor"
+)
+
+// chainTestModel is a nested Sequential with a Residual in the middle, so
+// the chain planner must both flatten containers and keep branchy nodes
+// atomic.
+func chainTestModel(rng *rand.Rand) *Sequential {
+	return NewSequential("net",
+		NewConv2d("c1", rng, 3, 4, 3, Conv2dConfig{Pad: 1}),
+		NewSequential("stage",
+			NewReLU("r1"),
+			NewConv2d("c2", rng, 4, 4, 3, Conv2dConfig{Pad: 1}),
+		),
+		NewResidual("res",
+			NewSequential("body",
+				NewConv2d("c3", rng, 4, 4, 3, Conv2dConfig{Pad: 1}),
+				NewBatchNorm2d("bn", 4),
+			),
+			nil,
+			NewReLU("post"),
+		),
+		NewGlobalAvgPool2d("gap"),
+		NewFlatten("fl"),
+		NewLinear("fc", rng, 4, 3, true),
+	)
+}
+
+func TestPlanChainFlattensSequentials(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := PlanChain(chainTestModel(rng))
+	// c1, r1, c2, res (atomic), gap, fl, fc = 7 nodes.
+	if c.Len() != 7 {
+		var names []string
+		for i := 0; i < c.Len(); i++ {
+			names = append(names, c.Node(i).Name())
+		}
+		t.Fatalf("chain has %d nodes (%v), want 7", c.Len(), names)
+	}
+	if _, ok := c.Node(3).(*Residual); !ok {
+		t.Fatalf("node 3 is %T, want atomic *Residual", c.Node(3))
+	}
+}
+
+func TestPlanChainNonSequentialRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	conv := NewConv2d("solo", rng, 3, 2, 3, Conv2dConfig{Pad: 1})
+	c := PlanChain(conv)
+	if c.Len() != 1 || c.Node(0) != Layer(conv) {
+		t.Fatalf("non-Sequential root must be a one-node chain, got len %d", c.Len())
+	}
+}
+
+// TestChainSplitMatchesFullForward checks the defining chain property at
+// every cut: ForwardTo(k) + ForwardFrom(k) is bit-identical to Run.
+func TestChainSplitMatchesFullForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model := chainTestModel(rng)
+	SetTraining(model, false)
+	x := tensor.RandUniform(rng, -1, 1, 2, 3, 8, 8)
+	want := Run(model, x).Clone()
+	c := PlanChain(model)
+	for k := 0; k <= c.Len(); k++ {
+		boundary, err := c.ForwardTo(k, x)
+		if err != nil {
+			t.Fatalf("ForwardTo(%d): %v", k, err)
+		}
+		got, err := c.ForwardFrom(k, boundary)
+		if err != nil {
+			t.Fatalf("ForwardFrom(%d): %v", k, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("cut %d: output has %d elements, want %d", k, got.Len(), want.Len())
+		}
+		for i, v := range got.Data() {
+			if math.Float32bits(v) != math.Float32bits(want.Data()[i]) {
+				t.Fatalf("cut %d: element %d = %v, clean forward %v (not bit-identical)", k, i, v, want.Data()[i])
+			}
+		}
+	}
+}
+
+func TestChainForwardHooksFire(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	model := chainTestModel(rng)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 8, 8)
+	var fired []string
+	Walk(model, func(path string, l Layer) {
+		if c, ok := l.(*Conv2d); ok {
+			p := path
+			c.RegisterForwardHook(func(Layer, *tensor.Tensor, *tensor.Tensor) {
+				fired = append(fired, p)
+			})
+		}
+	})
+	c := PlanChain(model)
+	// Resuming at node 2 (c2) must fire c2's and c3's hooks but not c1's.
+	boundary, err := c.ForwardTo(2, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired = fired[:0]
+	if _, err := c.ForwardFrom(2, boundary); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || !strings.HasSuffix(fired[0], "c2") || !strings.HasSuffix(fired[1], "c3") {
+		t.Fatalf("suffix hooks fired %v, want [...c2 ...c3]", fired)
+	}
+}
+
+func TestChainRangeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := PlanChain(chainTestModel(rng))
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 8, 8)
+	for _, start := range []int{-1, c.Len() + 1, 99} {
+		if _, err := c.ForwardFrom(start, x); err == nil {
+			t.Fatalf("ForwardFrom(%d) must error", start)
+		} else if !strings.Contains(err.Error(), "net") {
+			t.Fatalf("error %q does not name the model", err)
+		}
+	}
+	if _, err := c.ForwardTo(-2, x); err == nil {
+		t.Fatal("ForwardTo(-2) must error")
+	}
+	if _, err := c.ForwardFrom(0, nil); err == nil {
+		t.Fatal("nil input must error, not panic")
+	}
+}
+
+func TestChainGeometryPanicBecomesError(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := PlanChain(chainTestModel(rng))
+	// A 1-channel input cannot feed the 3-channel conv: the layer panics,
+	// the chain must return an error instead.
+	bad := tensor.RandUniform(rng, -1, 1, 1, 1, 8, 8)
+	if _, err := c.ForwardFrom(0, bad); err == nil {
+		t.Fatal("geometry mismatch must surface as error")
+	}
+}
+
+func TestPackageForwardFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	model := chainTestModel(rng)
+	SetTraining(model, false)
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 8, 8)
+	want := Run(model, x).Clone()
+	got, err := ForwardFrom(model, 0, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Data() {
+		if math.Float32bits(got.Data()[i]) != math.Float32bits(want.Data()[i]) {
+			t.Fatalf("element %d differs", i)
+		}
+	}
+	if _, err := ForwardFrom(nil, 0, x); err == nil {
+		t.Fatal("nil root must error")
+	}
+}

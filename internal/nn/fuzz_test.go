@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gofi/internal/tensor"
+)
+
+// FuzzForwardFrom feeds arbitrary resume indices, input geometries and
+// input values to the partial-execution entry point. The contract under
+// fuzz: ForwardFrom never panics — out-of-range indices return an error
+// naming the model, geometry mismatches surface as errors, and in-range
+// resumes from the true boundary activation are bit-identical to the full
+// forward pass.
+func FuzzForwardFrom(f *testing.F) {
+	f.Add(0, 2, 8, int64(1), float32(0.5))
+	f.Add(-1, 1, 8, int64(2), float32(-1))
+	f.Add(99, 3, 16, int64(3), float32(1e30))
+	f.Add(3, 1, 1, int64(4), float32(0))
+	f.Add(7, 1, 4, int64(5), float32(-1e-30))
+
+	f.Fuzz(func(t *testing.T, start, channels, hw int, seed int64, fill float32) {
+		rng := rand.New(rand.NewSource(seed))
+		model := chainTestModel(rng)
+		SetTraining(model, false)
+		chain := PlanChain(model)
+
+		// Clamp the fuzzed geometry to something allocatable, but NOT to
+		// something valid: wrong channel counts and sizes are the point.
+		if channels < 1 {
+			channels = 1
+		}
+		channels = channels%8 + 1
+		if hw < 1 {
+			hw = 1
+		}
+		hw = hw%24 + 1
+		x := tensor.New(1, channels, hw, hw)
+		for i := range x.Data() {
+			x.Data()[i] = fill
+		}
+
+		out, err := ForwardFrom(model, start, x)
+		if start < 0 || start > chain.Len() {
+			if err == nil {
+				t.Fatalf("ForwardFrom(%d) out of range must error", start)
+			}
+			if !strings.Contains(err.Error(), "net") {
+				t.Fatalf("out-of-range error %q does not name the model", err)
+			}
+			return
+		}
+		if err != nil {
+			// In-range but geometrically impossible input: an error is the
+			// correct outcome; a panic would have failed the fuzz run.
+			return
+		}
+		if out == nil {
+			t.Fatalf("ForwardFrom(%d) returned nil output and nil error", start)
+		}
+
+		// If the input happened to be a valid model input, resuming from
+		// the genuine boundary must reproduce the full pass bit for bit.
+		if channels == 3 {
+			full := Run(model, x).Clone()
+			boundary, err := chain.ForwardTo(start, x)
+			if err != nil {
+				return
+			}
+			resumed, err := chain.ForwardFrom(start, boundary)
+			if err != nil {
+				t.Fatalf("resume at %d failed after prefix succeeded: %v", start, err)
+			}
+			if resumed.Len() != full.Len() {
+				t.Fatalf("resume at %d: %d elements, full pass %d", start, resumed.Len(), full.Len())
+			}
+			for i := range full.Data() {
+				if math.Float32bits(resumed.Data()[i]) != math.Float32bits(full.Data()[i]) {
+					t.Fatalf("resume at %d diverges from full pass at element %d", start, i)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"gofi/internal/tensor"
+)
+
+// TestQuantizeTable drives the full public scalar surface — Quantize,
+// Dequantize, RoundTrip, FlipBit, MaxError — through one table of known
+// input/output pairs at a unit scale and a fractional scale.
+func TestQuantizeTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		scale Scale
+		v     float32
+		code  int8
+		back  float32
+	}{
+		{"zero", 1, 0, 0, 0},
+		{"exact-positive", 1, 5, 5, 5},
+		{"exact-negative", 1, -5, -5, -5},
+		{"round-half-up", 1, 2.5, 3, 3},
+		{"round-half-down", 1, -2.5, -3, -3},
+		{"saturate-high", 1, 300, 127, 127},
+		{"saturate-low", 1, -300, -127, -127},
+		{"fractional-scale", 0.5, 3.2, 6, 3},
+		{"fractional-negative", 0.5, -3.2, -6, -3},
+		{"tiny-scale-saturates", 0.01, 50, 127, 1.27},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.scale.Quantize(tc.v); got != tc.code {
+				t.Fatalf("Quantize(%g) = %d, want %d", tc.v, got, tc.code)
+			}
+			if got := tc.scale.Dequantize(tc.code); math.Abs(float64(got-tc.back)) > 1e-6 {
+				t.Fatalf("Dequantize(%d) = %g, want %g", tc.code, got, tc.back)
+			}
+			if got := tc.scale.RoundTrip(tc.v); math.Abs(float64(got-tc.back)) > 1e-6 {
+				t.Fatalf("RoundTrip(%g) = %g, want %g", tc.v, got, tc.back)
+			}
+		})
+	}
+}
+
+// TestFlipBitTable pins the INT8 bit-flip semantics bit by bit on a unit
+// scale: code 5 = 0b00000101.
+func TestFlipBitTable(t *testing.T) {
+	cases := []struct {
+		bit  int
+		want float32
+	}{
+		{0, 4},    // 0b100 -> 4
+		{1, 7},    // 0b111 -> 7
+		{2, 1},    // 0b001 -> 1
+		{3, 13},   // +8
+		{4, 21},   // +16
+		{5, 37},   // +32
+		{6, 69},   // +64
+		{7, -123}, // sign bit: 5-128
+	}
+	s := Scale(1)
+	for _, tc := range cases {
+		if got := s.FlipBit(5, tc.bit); got != tc.want {
+			t.Errorf("FlipBit(5, %d) = %g, want %g", tc.bit, got, tc.want)
+		}
+	}
+	// The -128 escape: flipping the sign bit of 0 lands on -128, which must
+	// saturate back to the symmetric grid edge -127.
+	if got := s.FlipBit(0, 7); got != -127 {
+		t.Fatalf("FlipBit(0,7) = %g, want -127 (symmetric grid)", got)
+	}
+}
+
+// TestCalibrateAbsMaxTable exercises calibration over tensors with known
+// dynamic ranges, including the degenerate all-zero case.
+func TestCalibrateAbsMaxTable(t *testing.T) {
+	cases := []struct {
+		name string
+		data []float32
+		want Scale
+	}{
+		{"unit-range", []float32{-1, 0.5, 1}, Scale(1.0 / 127)},
+		{"asymmetric", []float32{-254, 10}, Scale(2)},
+		{"zeros", []float32{0, 0, 0}, 1},
+		{"single", []float32{63.5}, Scale(0.5)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CalibrateAbsMax(tensor.FromSlice(tc.data, 1, len(tc.data)))
+			if math.Abs(float64(got-tc.want)) > 1e-7 {
+				t.Fatalf("CalibrateAbsMax = %g, want %g", float32(got), float32(tc.want))
+			}
+		})
+	}
+}
+
+func TestMaxErrorHalfStep(t *testing.T) {
+	for _, s := range []Scale{1, 0.5, 2, 1.0 / 127} {
+		if got := s.MaxError(); got != float32(s)/2 {
+			t.Fatalf("MaxError(%g) = %g", float32(s), got)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package tensor
+
+import "container/list"
+
+// CheckpointStore holds deep-copied activation snapshots keyed by
+// (item, point) — for campaigns, (sample index, chain cut index) — under
+// a byte budget. It is the backing store for clean-prefix activation
+// reuse: each trial checkpoints the boundary activation its injected
+// suffix resumes from, and later trials on the same (item, point) skip
+// the prefix entirely.
+//
+// The store is arena-style: snapshot buffers are recycled through a
+// per-size free list when entries are evicted, so a steady-state campaign
+// (a handful of distinct boundary shapes, cycling samples) stops
+// allocating after warm-up. Eviction is least-recently-used, driven by
+// the byte budget.
+//
+// A CheckpointStore is confined to one goroutine — campaign workers each
+// own one, mirroring how they own their model replica and injector.
+type CheckpointStore struct {
+	budget int64
+	used   int64
+
+	entries map[ckKey]*list.Element
+	lru     *list.List // front = most recently used
+	free    map[int][][]float32
+
+	evictions int64
+}
+
+type ckKey struct{ item, point int }
+
+type ckEntry struct {
+	key ckKey
+	t   *Tensor
+	// costNs is the time the snapshotted prefix took to compute; cache
+	// hits report it as the time saved by not recomputing.
+	costNs int64
+}
+
+// NewCheckpointStore returns a store that holds at most budgetBytes of
+// snapshot data (4 bytes per float32 element). A non-positive budget
+// stores nothing, turning Put into a pass-through.
+func NewCheckpointStore(budgetBytes int64) *CheckpointStore {
+	return &CheckpointStore{
+		budget:  budgetBytes,
+		entries: make(map[ckKey]*list.Element),
+		lru:     list.New(),
+		free:    make(map[int][][]float32),
+	}
+}
+
+// Get returns the snapshot for (item, point), the nanoseconds its
+// original computation cost, and whether it was present. A hit marks the
+// entry most-recently-used. The returned tensor is owned by the store:
+// callers may read it and feed it to forward passes, but must not mutate
+// it or retain it across a Put.
+func (s *CheckpointStore) Get(item, point int) (*Tensor, int64, bool) {
+	el, ok := s.entries[ckKey{item, point}]
+	if !ok {
+		return nil, 0, false
+	}
+	s.lru.MoveToFront(el)
+	e := el.Value.(*ckEntry)
+	return e.t, e.costNs, true
+}
+
+// Put snapshots src (a deep copy) under (item, point) and returns the
+// stored tensor. When src does not fit the budget — even after evicting
+// everything else — it is returned as-is without being stored, which is
+// always safe for the caller's current trial: src stays valid until the
+// model's next forward pass. Re-putting an existing key refreshes its
+// snapshot in place.
+func (s *CheckpointStore) Put(item, point int, src *Tensor, costNs int64) *Tensor {
+	size := int64(src.Len()) * 4
+	if size > s.budget {
+		return src
+	}
+	key := ckKey{item, point}
+	if el, ok := s.entries[key]; ok {
+		e := el.Value.(*ckEntry)
+		if e.t.Len() == src.Len() {
+			copy(e.t.Data(), src.Data())
+			e.t.shape = append(e.t.shape[:0], src.shape...)
+			e.costNs = costNs
+			s.lru.MoveToFront(el)
+			return e.t
+		}
+		s.remove(el)
+	}
+	for s.used+size > s.budget {
+		s.remove(s.lru.Back())
+		s.evictions++
+	}
+	buf := s.takeBuf(src.Len())
+	copy(buf, src.Data())
+	e := &ckEntry{key: key, t: FromSlice(buf, src.Shape()...), costNs: costNs}
+	s.entries[key] = s.lru.PushFront(e)
+	s.used += size
+	return e.t
+}
+
+// remove evicts one entry, recycling its buffer into the free list.
+func (s *CheckpointStore) remove(el *list.Element) {
+	e := el.Value.(*ckEntry)
+	s.lru.Remove(el)
+	delete(s.entries, e.key)
+	s.used -= int64(e.t.Len()) * 4
+	n := e.t.Len()
+	s.free[n] = append(s.free[n], e.t.Data())
+}
+
+// takeBuf reuses a recycled buffer of exactly n floats, or allocates one.
+func (s *CheckpointStore) takeBuf(n int) []float32 {
+	if bufs := s.free[n]; len(bufs) > 0 {
+		buf := bufs[len(bufs)-1]
+		s.free[n] = bufs[:len(bufs)-1]
+		return buf
+	}
+	return make([]float32, n)
+}
+
+// Len returns the number of stored snapshots.
+func (s *CheckpointStore) Len() int { return len(s.entries) }
+
+// UsedBytes returns the bytes currently held by live snapshots.
+func (s *CheckpointStore) UsedBytes() int64 { return s.used }
+
+// Evictions returns how many snapshots the budget has pushed out.
+func (s *CheckpointStore) Evictions() int64 { return s.evictions }

@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func ckTensor(n int, base float32) *Tensor {
+	t := New(1, n)
+	for i := range t.Data() {
+		t.Data()[i] = base + float32(i)
+	}
+	return t
+}
+
+func TestCheckpointStorePutGet(t *testing.T) {
+	s := NewCheckpointStore(1 << 20)
+	src := ckTensor(8, 1)
+	stored := s.Put(3, 2, src, 500)
+	if stored == src {
+		t.Fatal("Put must deep-copy, not alias the source")
+	}
+	// Mutating the source must not leak into the snapshot.
+	src.Data()[0] = -99
+	got, cost, ok := s.Get(3, 2)
+	if !ok || cost != 500 {
+		t.Fatalf("Get = (%v, %d, %v), want hit with cost 500", got, cost, ok)
+	}
+	if math.Float32bits(got.Data()[0]) != math.Float32bits(float32(1)) {
+		t.Fatalf("snapshot[0] = %v, want 1 (deep copy)", got.Data()[0])
+	}
+	if got.Dim(0) != 1 || got.Dim(1) != 8 {
+		t.Fatalf("snapshot shape %v, want [1 8]", got.Shape())
+	}
+	if _, _, ok := s.Get(3, 5); ok {
+		t.Fatal("unknown point must miss")
+	}
+	if s.Len() != 1 || s.UsedBytes() != 32 {
+		t.Fatalf("Len=%d Used=%d, want 1/32", s.Len(), s.UsedBytes())
+	}
+}
+
+func TestCheckpointStoreRefreshInPlace(t *testing.T) {
+	s := NewCheckpointStore(1 << 20)
+	first := s.Put(1, 1, ckTensor(6, 0), 10)
+	second := s.Put(1, 1, ckTensor(6, 100), 20)
+	if first != second {
+		t.Fatal("same-size re-put must refresh the snapshot in place")
+	}
+	got, cost, _ := s.Get(1, 1)
+	if got.Data()[0] != 100 || cost != 20 {
+		t.Fatalf("refreshed snapshot = %v cost %d, want 100/20", got.Data()[0], cost)
+	}
+	// Different-size re-put replaces the entry without doubling the budget.
+	s.Put(1, 1, ckTensor(12, 0), 30)
+	if s.Len() != 1 || s.UsedBytes() != 48 {
+		t.Fatalf("Len=%d Used=%d after resize, want 1/48", s.Len(), s.UsedBytes())
+	}
+}
+
+func TestCheckpointStoreLRUEviction(t *testing.T) {
+	// Budget fits exactly two 8-float snapshots.
+	s := NewCheckpointStore(64)
+	s.Put(1, 1, ckTensor(8, 0), 1)
+	s.Put(2, 1, ckTensor(8, 0), 2)
+	s.Get(1, 1) // touch 1 so 2 becomes the LRU victim
+	s.Put(3, 1, ckTensor(8, 0), 3)
+	if _, _, ok := s.Get(2, 1); ok {
+		t.Fatal("LRU entry (2,1) should have been evicted")
+	}
+	if _, _, ok := s.Get(1, 1); !ok {
+		t.Fatal("recently used entry (1,1) must survive")
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions())
+	}
+}
+
+func TestCheckpointStoreOverBudgetPassThrough(t *testing.T) {
+	s := NewCheckpointStore(16)
+	src := ckTensor(8, 0) // 32 bytes > 16-byte budget
+	if got := s.Put(1, 1, src, 1); got != src {
+		t.Fatal("over-budget Put must return the source unstored")
+	}
+	if s.Len() != 0 || s.UsedBytes() != 0 {
+		t.Fatal("over-budget Put must store nothing")
+	}
+	// Non-positive budget: everything passes through.
+	empty := NewCheckpointStore(0)
+	if got := empty.Put(1, 1, ckTensor(1, 0), 1); empty.Len() != 0 || got == nil {
+		t.Fatal("zero-budget store must pass through")
+	}
+}
+
+func TestCheckpointStoreRecyclesBuffers(t *testing.T) {
+	s := NewCheckpointStore(32) // one 8-float snapshot at a time
+	first := s.Put(1, 1, ckTensor(8, 0), 1)
+	buf := &first.Data()[0]
+	s.Put(2, 1, ckTensor(8, 50), 2) // evicts (1,1), should reuse its buffer
+	got, _, ok := s.Get(2, 1)
+	if !ok {
+		t.Fatal("(2,1) must be stored")
+	}
+	if &got.Data()[0] != buf {
+		t.Fatal("evicted buffer was not recycled for the same-size snapshot")
+	}
+	if got.Data()[3] != 53 {
+		t.Fatalf("recycled snapshot data %v, want 53", got.Data()[3])
+	}
+}

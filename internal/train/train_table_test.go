@@ -1,0 +1,188 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+// TestSoftmaxCrossEntropyTable drives the loss over a table of logit
+// patterns with hand-computable expectations.
+func TestSoftmaxCrossEntropyTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		logits   []float32
+		shape    []int
+		labels   []int
+		wantLoss float64
+		tol      float64
+	}{
+		{
+			name:   "uniform-two-class",
+			logits: []float32{0, 0}, shape: []int{1, 2}, labels: []int{0},
+			wantLoss: math.Log(2), tol: 1e-6,
+		},
+		{
+			name:   "uniform-four-class",
+			logits: []float32{1, 1, 1, 1}, shape: []int{1, 4}, labels: []int{2},
+			wantLoss: math.Log(4), tol: 1e-6,
+		},
+		{
+			name:   "confident-correct",
+			logits: []float32{30, 0, 0}, shape: []int{1, 3}, labels: []int{0},
+			wantLoss: 0, tol: 1e-6,
+		},
+		{
+			name:   "batch-mean",
+			logits: []float32{0, 0, 0, 0}, shape: []int{2, 2}, labels: []int{0, 1},
+			wantLoss: math.Log(2), tol: 1e-6,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			loss, grad := SoftmaxCrossEntropy(tensor.FromSlice(tc.logits, tc.shape...), tc.labels)
+			if math.Abs(loss-tc.wantLoss) > tc.tol {
+				t.Fatalf("loss = %g, want %g", loss, tc.wantLoss)
+			}
+			// The gradient rows of a softmax cross-entropy always sum to 0:
+			// sum(softmax) - 1 = 0, scaled by 1/N.
+			n, c := tc.shape[0], tc.shape[1]
+			for r := 0; r < n; r++ {
+				var sum float64
+				for j := 0; j < c; j++ {
+					sum += float64(grad.At(r, j))
+				}
+				if math.Abs(sum) > 1e-6 {
+					t.Fatalf("grad row %d sums to %g, want 0", r, sum)
+				}
+			}
+		})
+	}
+}
+
+// TestSGDStepTable pins single-parameter updates for every optimizer
+// configuration: plain, momentum, weight decay, and both combined.
+func TestSGDStepTable(t *testing.T) {
+	cases := []struct {
+		name         string
+		lr, mom, wd  float32
+		w0, g        float32
+		want1, want2 float32 // weight after step 1 and step 2 (same grad)
+	}{
+		{"plain", 0.1, 0, 0, 1, 1, 0.9, 0.8},
+		// v1=1, w=1-0.1=0.9; v2=0.5+1=1.5, w=0.9-0.15=0.75
+		{"momentum", 0.1, 0.5, 0, 1, 1, 0.9, 0.75},
+		// upd1=1+0.1*1=1.1, w=0.89; upd2=1+0.089, w=0.89-0.10890=0.7811
+		{"weight-decay", 0.1, 0, 0.1, 1, 1, 0.89, 0.7811},
+		{"zero-grad", 0.1, 0.9, 0, 2, 0, 2, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &nn.Param{
+				Data: tensor.FromSlice([]float32{tc.w0}, 1),
+				Grad: tensor.FromSlice([]float32{tc.g}, 1),
+			}
+			opt := NewSGD(tc.lr, tc.mom, tc.wd)
+			opt.Step([]*nn.Param{p})
+			if got := p.Data.Data()[0]; math.Abs(float64(got-tc.want1)) > 1e-5 {
+				t.Fatalf("after step 1: w = %g, want %g", got, tc.want1)
+			}
+			opt.Step([]*nn.Param{p})
+			if got := p.Data.Data()[0]; math.Abs(float64(got-tc.want2)) > 1e-5 {
+				t.Fatalf("after step 2: w = %g, want %g", got, tc.want2)
+			}
+		})
+	}
+}
+
+// tableSource is a fixed in-memory BatchSource with two linearly separable
+// 1×2×2 "images" per class.
+type tableSource struct{}
+
+func (tableSource) Batch(lo, n int) (*tensor.Tensor, []int) {
+	x := tensor.New(n, 1, 2, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := (lo + i) % 2
+		labels[i] = cls
+		v := float32(1)
+		if cls == 1 {
+			v = -1
+		}
+		for j := 0; j < 4; j++ {
+			x.Data()[i*4+j] = v
+		}
+	}
+	return x, labels
+}
+
+// TestLoopConfigTable drives Loop's validation and success paths through
+// one table.
+func TestLoopConfigTable(t *testing.T) {
+	model := func() nn.Layer {
+		return nn.NewSequential("m",
+			nn.NewFlatten("fl"),
+			nn.NewLinear("fc", rand.New(rand.NewSource(9)), 4, 2, true),
+		)
+	}
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+		steps   int
+	}{
+		{"zero-epochs", Config{BatchSize: 2, TrainSize: 4}, true, 0},
+		{"zero-batch", Config{Epochs: 1, TrainSize: 4}, true, 0},
+		{"zero-train-size", Config{Epochs: 1, BatchSize: 2}, true, 0},
+		{"batch-exceeds-train", Config{Epochs: 1, BatchSize: 8, TrainSize: 4}, true, 0},
+		{"one-epoch", Config{Epochs: 1, BatchSize: 2, TrainSize: 4, LR: 0.1}, false, 2},
+		{"three-epochs", Config{Epochs: 3, BatchSize: 2, TrainSize: 6, LR: 0.1}, false, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Loop(model(), tableSource{}, tc.cfg)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want config error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Steps != tc.steps {
+				t.Fatalf("steps = %d, want %d", res.Steps, tc.steps)
+			}
+			if len(res.LossByEpoch) != tc.cfg.Epochs {
+				t.Fatalf("per-epoch losses = %d, want %d", len(res.LossByEpoch), tc.cfg.Epochs)
+			}
+		})
+	}
+}
+
+// TestAccuracyAndCorrectIndicesAgree cross-checks the two evaluation APIs
+// on a model trained to separate the toy source: the accuracy over a range
+// must equal len(CorrectIndices)/n for every batch size.
+func TestAccuracyAndCorrectIndicesAgree(t *testing.T) {
+	model := nn.NewSequential("m",
+		nn.NewFlatten("fl"),
+		nn.NewLinear("fc", rand.New(rand.NewSource(9)), 4, 2, true),
+	)
+	if _, err := Loop(model, tableSource{}, Config{Epochs: 20, BatchSize: 4, TrainSize: 16, LR: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 3, 7, 16} {
+		acc := Accuracy(model, tableSource{}, 0, 16, bs)
+		idx := CorrectIndices(model, tableSource{}, 0, 16, bs)
+		if got := float64(len(idx)) / 16; math.Abs(acc-got) > 1e-12 {
+			t.Fatalf("batch %d: Accuracy %g != CorrectIndices fraction %g", bs, acc, got)
+		}
+	}
+	// The separable toy problem must actually be learned.
+	if acc := Accuracy(model, tableSource{}, 0, 16, 4); acc != 1 {
+		t.Fatalf("accuracy %g, want 1.0 on separable data", acc)
+	}
+}

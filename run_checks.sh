@@ -26,8 +26,23 @@ go test -race -short -timeout 20m ./...
 go test -cpu 1,4 ./internal/tensor ./internal/nn ./internal/campaign
 go test -run='^$' -bench . -benchtime 1x ./internal/tensor
 
+# Per-package statement-coverage floors for the thin support packages.
+# Their public APIs are small and fully table-testable, so coverage that
+# drops below the floor means new code landed without tests.
+check_cover() {
+	pct=$(go test -cover "$1" | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')
+	awk -v p="$pct" -v f="$2" 'BEGIN { exit !(p >= f) }' || {
+		echo "FAIL: coverage ${pct}% of $1 below floor $2%" >&2
+		exit 1
+	}
+}
+check_cover ./internal/train 95
+check_cover ./internal/quant 95
+check_cover ./internal/ibp 90
+
 go test -run='^$' -fuzz='^FuzzFP16RoundTrip$' -fuzztime=10s ./internal/fpbits
 go test -run='^$' -fuzz='^FuzzFlipBitFP32$' -fuzztime=10s ./internal/fpbits
 go test -run='^$' -fuzz='^FuzzLoadCorrupt$' -fuzztime=10s ./internal/serialize
 go test -run='^$' -fuzz='^FuzzSaveLoadRoundTrip$' -fuzztime=10s ./internal/serialize
 go test -run='^$' -fuzz='^FuzzTrialRecordJSONLRoundTrip$' -fuzztime=10s ./internal/report
+go test -run='^$' -fuzz='^FuzzForwardFrom$' -fuzztime=10s ./internal/nn
