@@ -492,3 +492,79 @@ func benchCampaignPrefix(b *testing.B, reuse bool) {
 
 func BenchmarkCampaignPrefixFull(b *testing.B)  { benchCampaignPrefix(b, false) }
 func BenchmarkCampaignPrefixReuse(b *testing.B) { benchCampaignPrefix(b, true) }
+
+// --- Batched trial packing ------------------------------------------------
+//
+// Same DenseNet single-site campaign as the prefix benchmark, but running
+// K compatible trials per forward pass: the pack shares one clean batch-1
+// prefix down to the pack's chain cut and runs the suffix once at batch K,
+// so per-trial cost approaches (prefix + suffix·K)/K. On a single CPU
+// the win is pure FLOP sharing — no parallelism is involved. Aggregates
+// are byte-identical to the sequential rows (golden_test.go pins this);
+// BENCH_batch.json records the measured ratios.
+func benchCampaignBatch(b *testing.B, trialBatch int, reuse bool) {
+	b.Helper()
+	s := &prefixBench
+	s.once.Do(func() {
+		s.ds, s.err = data.NewClassification(data.ClassificationConfig{
+			Classes: 4, Channels: 3, Size: 32, Noise: 0.2, Seed: 51,
+		})
+		if s.err != nil {
+			return
+		}
+		s.model, s.err = models.Build("densenet", rand.New(rand.NewSource(51)), 4, 32)
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	// Fewer samples than the prefix benchmark: ~24 trials per sample give
+	// the packer enough same-sample trials that each pack's members have
+	// adjacent cuts (the pack resumes from the min member cut, so packing
+	// a deep trial with a shallow one wastes the deep one's prefix).
+	eligible := make([]int, 4)
+	for i := range eligible {
+		eligible[i] = i
+	}
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	const trials = 96
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := campaign.Run(context.Background(), campaign.Config{
+			Workers:     1,
+			Trials:      trials,
+			Seed:        52,
+			Source:      prefixBench.ds,
+			Eligible:    eligible,
+			PrefixReuse: reuse,
+			TrialBatch:  trialBatch,
+			NewReplica: func(worker int) (*core.Injector, error) {
+				replica, err := models.Build("densenet", rand.New(rand.NewSource(51)), 4, 32)
+				if err != nil {
+					return nil, err
+				}
+				if err := nn.ShareParams(replica, prefixBench.model); err != nil {
+					return nil, err
+				}
+				return core.New(replica, core.Config{Batch: 8, Height: 32, Width: 32, Seed: int64(worker)})
+			},
+			Arm: func(inj *core.Injector, rng *rand.Rand) error {
+				_, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue())
+				return err
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Trials != trials {
+			b.Fatalf("trials = %d, want %d", agg.Trials, trials)
+		}
+	}
+	b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkCampaignBatchSeq(b *testing.B)      { benchCampaignBatch(b, 1, false) }
+func BenchmarkCampaignBatchSeqReuse(b *testing.B) { benchCampaignBatch(b, 1, true) }
+func BenchmarkCampaignBatchK4(b *testing.B)       { benchCampaignBatch(b, 4, false) }
+func BenchmarkCampaignBatchK8(b *testing.B)       { benchCampaignBatch(b, 8, false) }
+func BenchmarkCampaignBatchK8Reuse(b *testing.B)  { benchCampaignBatch(b, 8, true) }

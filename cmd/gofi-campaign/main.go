@@ -67,6 +67,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	jsonl := fs.String("jsonl", "", "stream one JSON record per trial to this file")
 	skipErrors := fs.Bool("skip-errors", false, "count failing trials and continue instead of aborting the campaign")
 	prefixReuse := fs.Bool("prefix-reuse", true, "resume trial forwards from checkpointed clean-prefix activations (throughput only; results are byte-identical)")
+	trialBatch := fs.Int("trial-batch", 0, "pack up to K compatible trials into one forward pass; 0 = auto (throughput only; results are byte-identical)")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -135,6 +136,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		OnError:        policy,
 		Metrics:        metrics,
 		PrefixReuse:    *prefixReuse,
+		TrialBatch:     *trialBatch,
 	})
 	if *progress {
 		fmt.Fprintln(os.Stderr)

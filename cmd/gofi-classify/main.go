@@ -39,6 +39,7 @@ func run(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "experiment seed")
 	size := fs.Int("size", 32, "input image size")
 	prefixReuse := fs.Bool("prefix-reuse", true, "resume trial forwards from checkpointed clean-prefix activations (throughput only; results are byte-identical)")
+	trialBatch := fs.Int("trial-batch", 0, "pack up to K compatible trials into one forward pass; 0 = auto (throughput only; results are byte-identical)")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -58,6 +59,7 @@ func run(ctx context.Context, args []string) error {
 		Seed:           *seed,
 		Metrics:        metrics,
 		PrefixReuse:    *prefixReuse,
+		TrialBatch:     *trialBatch,
 	}
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")

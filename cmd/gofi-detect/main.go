@@ -37,6 +37,7 @@ func run(ctx context.Context, args []string) error {
 	epochs := fs.Int("epochs", 12, "detector training epochs")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	prefixReuse := fs.Bool("prefix-reuse", true, "route injected forwards through the clean-prefix checkpoint runner (per-layer injections always fall back to the full forward, so this is a no-op for throughput here)")
+	trialBatch := fs.Int("trial-batch", 1, "pack a scene's injected runs into K-lane forwards (1 = the study's legacy sequential stream)")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +57,7 @@ func run(ctx context.Context, args []string) error {
 		Seed:               *seed,
 		Metrics:            metrics,
 		PrefixReuse:        *prefixReuse,
+		TrialBatch:         *trialBatch,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,227 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"gofi/internal/core"
+	"gofi/internal/nn"
+	"gofi/internal/obs"
+	"gofi/internal/tensor"
+)
+
+// Batched trial execution (the TrialBatch path). The engine probes every
+// trial's fault declaration once to learn its sample, lane safety and
+// clean-prefix cut, packs compatible trials with PackTrials, and then
+// runs each pack as ONE forward pass: the clean boundary at the pack's
+// cut is computed (or fetched from the checkpoint store) at batch 1,
+// tiled across the pack's lanes, and the suffix runs once for all of
+// them. Per-lane logits come back through zero-copy Lane views and are
+// classified exactly like sequential trials.
+//
+// Bit-identity argument, lane by lane: (1) every layer of the substrate
+// is per-sample/per-element in eval mode and the GEMM contract (DESIGN
+// §10) fixes each output element's reduction chain independent of the
+// batch partition, so lane l of a packed forward computes bitwise what a
+// batch-1 forward of that trial computes; (2) each lane's sites are
+// armed from the trial's private RNG stream with perturb-time draws
+// bound to that stream (core.BeginLane), so stochastic error models draw
+// the same values they would draw alone; (3) the tiled boundary is a
+// bitwise copy of the batch-1 clean prefix, which is itself bitwise
+// equal to what the full pass would compute (the PrefixRunner contract).
+// The cross-lane isolation test wall in batch_test.go pins all three.
+
+// batchMetrics resolves the batched path's observability handles; nil
+// when no registry is attached.
+type batchMetrics struct {
+	packed    *obs.Counter
+	fill      *obs.Histogram
+	fallbacks *obs.Counter
+	packTimer obs.Timer
+}
+
+func newBatchMetrics(reg *obs.Registry, k int) *batchMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.Gauge(MetricBatchK).Set(float64(k))
+	return &batchMetrics{
+		packed:    reg.Counter(MetricBatchTrialsPacked),
+		fill:      reg.Histogram(MetricBatchFill),
+		fallbacks: reg.Counter(MetricBatchSeqFallbacks),
+		packTimer: reg.Timer(MetricBatchPackTime),
+	}
+}
+
+// probeTrial dry-arms trial t on a replica to discover what the packer
+// needs: whether the trial is lane-safe and, if so, its clean-prefix
+// cut. Arming is cheap (RNG draws and site validation, no inference) and
+// deterministic in the trial stream, so re-arming at pack execution time
+// reproduces the same sites. The injector is left Reset. Trials whose
+// probe fails in any way — lane-unsafe declarations, arm errors, panics
+// — are simply marked unpackable; the sequential path reproduces their
+// outcome (or their error) authoritatively.
+func probeTrial(cfg Config, inj *core.Injector, plan *core.PrefixPlan, t, sample int) TrialSpec {
+	spec := TrialSpec{Trial: t, Sample: sample}
+	rng := trialRNG(cfg.Seed, t)
+	rng.Intn(len(cfg.Eligible)) // consume the sample draw
+	inj.Reset()
+	armed := func() (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		if err := inj.BeginLane(0, t, rng); err != nil {
+			return false
+		}
+		defer inj.EndLane()
+		return cfg.Arm(inj, rng) == nil
+	}()
+	if armed {
+		spec.Packable = true
+		if minLayer, ok := inj.MinArmedLayer(); ok && plan != nil {
+			spec.Cut = plan.CutFor(minLayer)
+		}
+	}
+	inj.Reset()
+	return spec
+}
+
+// runPack executes one multi-trial pack on a worker's replica and
+// returns one (record, error) pair per trial, in pack order. Trials that
+// cannot be lane-armed, and every lane of a pack whose batched forward
+// fails, are re-run on the sequential path — the sequential trial is
+// always the authoritative outcome, so a pack can degrade but never
+// drop, duplicate or alter a trial.
+func runPack(cfg Config, inj *core.Injector, runner *core.PrefixRunner, plan *core.PrefixPlan, worker int, pk Pack, cp cleanPrediction, bm *batchMetrics) ([]TrialRecord, []error) {
+	recs := make([]TrialRecord, len(pk.Trials))
+	errs := make([]error, len(pk.Trials))
+	laneOf := make([]int, len(pk.Trials))
+	var seq []int // indices into pk.Trials that run sequentially
+
+	inj.Reset()
+	lanes := 0
+	for i, t := range pk.Trials {
+		rng := trialRNG(cfg.Seed, t)
+		rng.Intn(len(cfg.Eligible)) // consume the sample draw
+		armErr := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("arm panic: %v", r)
+				}
+			}()
+			if err := inj.BeginLane(lanes, t, rng); err != nil {
+				return err
+			}
+			defer inj.EndLane()
+			return cfg.Arm(inj, rng)
+		}()
+		if armErr != nil {
+			// The lane may be partially armed (a multi-declare Arm that
+			// failed midway); clear it and let the sequential path produce
+			// the trial's authoritative outcome or error.
+			inj.ClearLane(lanes)
+			laneOf[i] = -1
+			seq = append(seq, i)
+			continue
+		}
+		laneOf[i] = lanes
+		lanes++
+	}
+
+	if lanes > 0 {
+		logits, err := packForward(cfg, inj, runner, plan, pk.Sample, lanes)
+		if err != nil {
+			// Batched execution failed; fall every lane back to the
+			// sequential path rather than guessing which lane is at fault.
+			for i := range pk.Trials {
+				if laneOf[i] >= 0 {
+					laneOf[i] = -1
+					seq = append(seq, i)
+				}
+			}
+		} else {
+			for i, t := range pk.Trials {
+				if laneOf[i] < 0 {
+					continue
+				}
+				rec := TrialRecord{Trial: t, Worker: worker, Sample: pk.Sample}
+				rec.Outcome = classify(logits.Lane(laneOf[i]), cp)
+				rec.Site = siteStringFromRecords(inj.TraceForTrial(t))
+				recs[i] = rec
+			}
+			if bm != nil {
+				bm.packed.Add(int64(lanes))
+				bm.fill.Observe(int64(lanes))
+			}
+		}
+	}
+	inj.Reset()
+
+	for _, i := range seq {
+		if bm != nil {
+			bm.fallbacks.Inc()
+		}
+		recs[i], errs[i] = runTrial(cfg, inj, runner, worker, pk.Trials[i], pk.Sample, cp)
+	}
+	return recs, errs
+}
+
+// packForward runs the pack's single batched inference: clean boundary
+// at the deepest cut sound for every armed lane (batch 1, via the
+// checkpoint store when prefix reuse is on), tiled across the lanes,
+// suffix once for all of them. Panics anywhere (geometry bugs in error
+// models) are recovered into errors; the caller falls the pack back to
+// the sequential path.
+func packForward(cfg Config, inj *core.Injector, runner *core.PrefixRunner, plan *core.PrefixPlan, sample, lanes int) (logits *tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pack forward panic: %v", r)
+			logits = nil
+		}
+	}()
+	img, _ := cfg.Source.Sample(sample)
+	shape := img.Shape()
+	x := img.Reshape(1, shape[0], shape[1], shape[2])
+
+	cut := 0
+	if plan != nil {
+		if minLayer, ok := inj.MinArmedLayer(); ok {
+			cut = plan.CutFor(minLayer)
+		}
+	}
+	boundary := x
+	if cut > 0 {
+		if runner != nil {
+			boundary, err = runner.Boundary(sample, cut, x)
+		} else {
+			// No checkpoint store (PrefixReuse off): compute the clean
+			// prefix once per pack. Armed hooks below the cut have no
+			// sites to apply, so this walk is clean by the same argument
+			// as PrefixRunner.Boundary.
+			boundary, err = plan.Chain().ForwardTo(cut, x)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	tiled := boundary.TileBatch(lanes)
+	if plan != nil {
+		return plan.Chain().ForwardFrom(cut, tiled)
+	}
+	return nn.Run(inj.Model(), tiled), nil
+}
+
+// siteStringFromRecords summarizes applied perturbations, mirroring
+// siteString but over an explicit record slice (a lane-filtered trace).
+func siteStringFromRecords(recs []core.InjectionRecord) string {
+	if len(recs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(recs))
+	for i, r := range recs {
+		parts[i] = fmt.Sprintf("%s L%d %s %s", r.Kind, r.Layer, r.Site, r.Model)
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,445 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gofi/internal/core"
+	"gofi/internal/data"
+	"gofi/internal/nn"
+	"gofi/internal/obs"
+	"gofi/internal/tensor"
+)
+
+// logitBits snapshots a logits tensor as exact bit patterns, so lane
+// comparisons are Float32bits-identical, not approximately equal.
+func logitBits(t *tensor.Tensor) []uint32 {
+	data := t.Data()
+	bits := make([]uint32, len(data))
+	for i, v := range data {
+		bits[i] = math.Float32bits(v)
+	}
+	return bits
+}
+
+// TestCrossLaneIsolation is the batched path's isolation wall: for every
+// lane of a packed K-lane forward, the lane's logits must be bitwise
+// identical to the logits of the same trial run alone in a batch-1
+// forward. Checked on a pure chain (with batch norm in eval mode) and on
+// a residual topology, through both the full packed forward and the
+// shared-prefix (cut + tile + suffix) route the engine actually uses.
+func TestCrossLaneIsolation(t *testing.T) {
+	topologies := []struct {
+		name  string
+		build func() nn.Layer
+	}{
+		{
+			name: "chain",
+			build: func() nn.Layer {
+				rng := rand.New(rand.NewSource(3))
+				return nn.NewSequential("m",
+					nn.NewConv2d("c1", rng, 3, 8, 3, nn.Conv2dConfig{Pad: 1}),
+					nn.NewBatchNorm2d("bn1", 8),
+					nn.NewReLU("r1"),
+					nn.NewMaxPool2d("p1", 2, 0, 0),
+					nn.NewConv2d("c2", rng, 8, 16, 3, nn.Conv2dConfig{Pad: 1}),
+					nn.NewReLU("r2"),
+					nn.NewGlobalAvgPool2d("gap"),
+					nn.NewFlatten("fl"),
+					nn.NewLinear("fc", rng, 16, 4, true),
+				)
+			},
+		},
+		{
+			name: "residual",
+			build: func() nn.Layer {
+				rng := rand.New(rand.NewSource(4))
+				return nn.NewSequential("rm",
+					nn.NewConv2d("stem", rng, 3, 8, 3, nn.Conv2dConfig{Pad: 1}),
+					nn.NewReLU("r0"),
+					nn.NewResidual("block",
+						nn.NewSequential("body",
+							nn.NewConv2d("b1", rng, 8, 8, 3, nn.Conv2dConfig{Pad: 1}),
+							nn.NewReLU("br"),
+							nn.NewConv2d("b2", rng, 8, 8, 3, nn.Conv2dConfig{Pad: 1}),
+						),
+						nil,
+						nn.NewReLU("post"),
+					),
+					nn.NewGlobalAvgPool2d("gap"),
+					nn.NewFlatten("fl"),
+					nn.NewLinear("fc", rng, 8, 4, true),
+				)
+			},
+		},
+	}
+	const K = 6
+	for _, topo := range topologies {
+		t.Run(topo.name, func(t *testing.T) {
+			model := topo.build()
+			nn.SetTraining(model, false)
+			inj, err := core.New(model, core.Config{Batch: 8, Height: 16, Width: 16, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := inj.BuildPrefixPlan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := tensor.RandUniform(rand.New(rand.NewSource(6)), -1, 1, 1, 3, 16, 16)
+
+			// Stochastic models draw from the trial stream at every forward
+			// pass, so each execution — solo or packed — re-arms from a
+			// fresh derivation of the trial's stream: one arming, one
+			// forward, exactly like the engine.
+			soloRun := func(arm func(*core.Injector, *rand.Rand) error, trial int) []uint32 {
+				rng := trialRNG(99, trial)
+				inj.Reset()
+				inj.SetRand(rng)
+				if err := arm(inj, rng); err != nil {
+					t.Fatal(err)
+				}
+				return logitBits(nn.Run(model, x))
+			}
+			armLanes := func(arm func(*core.Injector, *rand.Rand) error) {
+				inj.Reset()
+				for i := 0; i < K; i++ {
+					rng := trialRNG(99, i)
+					if err := inj.BeginLane(i, i, rng); err != nil {
+						t.Fatal(err)
+					}
+					if err := arm(inj, rng); err != nil {
+						t.Fatal(err)
+					}
+					inj.EndLane()
+				}
+			}
+
+			// Phase 1 — random sites, full packed forward.
+			randomArm := func(inj *core.Injector, rng *rand.Rand) error {
+				_, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue())
+				return err
+			}
+			solo := make([][]uint32, K)
+			for i := 0; i < K; i++ {
+				solo[i] = soloRun(randomArm, i)
+			}
+			armLanes(randomArm)
+			packed := nn.Run(model, x.TileBatch(K))
+			for i := 0; i < K; i++ {
+				lane := logitBits(packed.Lane(i))
+				if fmt.Sprint(lane) != fmt.Sprint(solo[i]) {
+					t.Fatalf("full packed forward: lane %d logits %v != solo %v", i, lane, solo[i])
+				}
+			}
+
+			// Phase 2 — sites pinned to the last hooked layer, so the
+			// shared-prefix route (clean batch-1 prefix to a non-trivial
+			// cut, tiled boundary, batch-K suffix) is exercised — the
+			// execution shape runPack actually uses.
+			last := len(inj.Layers()) - 1
+			deepArm := func(inj *core.Injector, rng *rand.Rand) error {
+				site := core.NeuronSite{Layer: last, Batch: 0, C: rng.Intn(inj.Layers()[last].OutShape[1])}
+				return inj.DeclareNeuronFI(core.DefaultRandomValue(), site)
+			}
+			for i := 0; i < K; i++ {
+				solo[i] = soloRun(deepArm, i)
+			}
+			armLanes(deepArm)
+			minLayer, ok := inj.MinArmedLayer()
+			if !ok {
+				t.Fatal("MinArmedLayer not ok with only neuron faults armed")
+			}
+			cut := plan.CutFor(minLayer)
+			if cut == 0 {
+				t.Fatalf("deep sites on layer %d yielded cut 0 — prefix route untested", last)
+			}
+			boundary, err := plan.Chain().ForwardTo(cut, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := plan.Chain().ForwardFrom(cut, boundary.TileBatch(K))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < K; i++ {
+				lane := logitBits(resumed.Lane(i))
+				if fmt.Sprint(lane) != fmt.Sprint(solo[i]) {
+					t.Fatalf("cut-%d packed forward: lane %d logits %v != solo %v", cut, i, lane, solo[i])
+				}
+			}
+			inj.Reset()
+		})
+	}
+}
+
+func specString(s TrialSpec) string {
+	return fmt.Sprintf("t%d s%d c%d p%v", s.Trial, s.Sample, s.Cut, s.Packable)
+}
+
+// TestTrialPacker pins the packer's scheduling rules: sample grouping,
+// deepest-cut-first ordering, min-cut packs, sequential singletons, and
+// determinism.
+func TestTrialPacker(t *testing.T) {
+	specs := []TrialSpec{
+		{Trial: 0, Sample: 7, Cut: 2, Packable: true},
+		{Trial: 1, Sample: 7, Cut: 5, Packable: true},
+		{Trial: 2, Sample: 3, Cut: 1, Packable: true},
+		{Trial: 3, Sample: 7, Cut: 5, Packable: false}, // weight fault
+		{Trial: 4, Sample: 7, Cut: 4, Packable: true},
+		{Trial: 5, Sample: 3, Cut: 9, Packable: true},
+	}
+	packs := PackTrials(specs, 2)
+	want := []Pack{
+		{Trials: []int{1, 4}, Sample: 7, Cut: 4},
+		{Trials: []int{0}, Sample: 7, Cut: 2},
+		{Trials: []int{5, 2}, Sample: 3, Cut: 1},
+		{Trials: []int{3}, Sample: 7, Cut: 0, Seq: true},
+	}
+	if fmt.Sprint(packs) != fmt.Sprint(want) {
+		t.Fatalf("PackTrials(k=2):\n got %v\nwant %v", packs, want)
+	}
+	// k < 2 and k < 1 degrade to singletons, never panic.
+	for _, k := range []int{1, 0, -3} {
+		got := PackTrials(specs, k)
+		if len(got) != len(specs) {
+			t.Fatalf("PackTrials(k=%d) produced %d packs, want %d singletons", k, len(got), len(specs))
+		}
+		for _, p := range got {
+			if len(p.Trials) != 1 {
+				t.Fatalf("PackTrials(k=%d) produced multi-trial pack %v", k, p)
+			}
+		}
+	}
+	// Determinism: same inputs, same pack list.
+	again := PackTrials(specs, 2)
+	if fmt.Sprint(again) != fmt.Sprint(packs) {
+		t.Fatalf("PackTrials is nondeterministic:\n%v\n%v", packs, again)
+	}
+}
+
+// untrainedCampaign builds a small campaign fixture without the cost of
+// training: clean predictions of an untrained model are still a
+// deterministic reference, which is all the batched-vs-sequential
+// equality checks need.
+func untrainedCampaign(t *testing.T, arm func(*core.Injector, *rand.Rand) error) Config {
+	t.Helper()
+	ds, err := data.NewClassification(data.ClassificationConfig{
+		Classes: 4, Channels: 3, Size: 16, Noise: 0.1, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() nn.Layer {
+		rng := rand.New(rand.NewSource(8))
+		return nn.NewSequential("m",
+			nn.NewConv2d("c1", rng, 3, 8, 3, nn.Conv2dConfig{Pad: 1}),
+			nn.NewReLU("r1"),
+			nn.NewConv2d("c2", rng, 8, 8, 3, nn.Conv2dConfig{Pad: 1}),
+			nn.NewReLU("r2"),
+			nn.NewGlobalAvgPool2d("gap"),
+			nn.NewFlatten("fl"),
+			nn.NewLinear("fc", rng, 8, 4, true),
+		)
+	}
+	trained := build()
+	return Config{
+		Trials: 64,
+		Seed:   17,
+		NewReplica: func(worker int) (*core.Injector, error) {
+			replica := build()
+			if err := nn.ShareParams(replica, trained); err != nil {
+				return nil, err
+			}
+			return core.New(replica, core.Config{Batch: 8, Height: 16, Width: 16, Seed: int64(worker) + 7})
+		},
+		Source:   ds,
+		Eligible: []int{0, 1, 2, 3, 4, 5},
+		Arm:      arm,
+	}
+}
+
+// TestBatchedRunPacksAndMatchesSequential asserts the batched path both
+// engages (trials actually run packed, not silently falling back) and
+// leaves the aggregate byte-identical to the sequential run.
+func TestBatchedRunPacksAndMatchesSequential(t *testing.T) {
+	neuronArm := func(inj *core.Injector, rng *rand.Rand) error {
+		_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit})
+		return err
+	}
+	seqCfg := untrainedCampaign(t, neuronArm)
+	seq, err := Run(context.Background(), seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		cfg := untrainedCampaign(t, neuronArm)
+		cfg.Workers = workers
+		cfg.TrialBatch = 8
+		cfg.Metrics = obs.NewRegistry()
+		agg, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg != seq {
+			t.Fatalf("workers=%d trial-batch=8 aggregate %+v != sequential %+v", workers, agg, seq)
+		}
+		snap := cfg.Metrics.Snapshot()
+		if packed := snap.Counters[MetricBatchTrialsPacked]; packed < int64(cfg.Trials)/2 {
+			t.Fatalf("workers=%d: only %d/%d trials ran packed — batched path not engaging", workers, packed, cfg.Trials)
+		}
+		if k := snap.Gauges[MetricBatchK]; k != 8 {
+			t.Fatalf("workers=%d: batch K gauge = %v, want 8", workers, k)
+		}
+	}
+}
+
+// TestBatchedRunWeightFaultsFallBack asserts lane-unsafe trials (weight
+// faults) are never packed: they run on the sequential path, are counted
+// as fallbacks, and the aggregate still matches the sequential run.
+func TestBatchedRunWeightFaultsFallBack(t *testing.T) {
+	mixedArm := func(inj *core.Injector, rng *rand.Rand) error {
+		if rng.Intn(2) == 0 {
+			_, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue())
+			return err
+		}
+		_, err := inj.InjectRandomWeight(rng, core.DefaultRandomValue())
+		return err
+	}
+	seq, err := Run(context.Background(), untrainedCampaign(t, mixedArm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := untrainedCampaign(t, mixedArm)
+	cfg.TrialBatch = 4
+	cfg.Metrics = obs.NewRegistry()
+	agg, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg != seq {
+		t.Fatalf("mixed-fault batched aggregate %+v != sequential %+v", agg, seq)
+	}
+	snap := cfg.Metrics.Snapshot()
+	if snap.Counters[MetricBatchSeqFallbacks] == 0 {
+		t.Fatal("weight-fault trials produced no sequential fallbacks")
+	}
+	if snap.Counters[MetricBatchTrialsPacked] == 0 {
+		t.Fatal("neuron-fault trials of the mix never ran packed")
+	}
+}
+
+// TestBatchedRunClampsToProfiledBatch: TrialBatch beyond the replicas'
+// profiled batch must clamp, not fail or misindex lanes.
+func TestBatchedRunClampsToProfiledBatch(t *testing.T) {
+	neuronArm := func(inj *core.Injector, rng *rand.Rand) error {
+		_, err := inj.InjectRandomNeuron(rng, core.DefaultRandomValue())
+		return err
+	}
+	seq, err := Run(context.Background(), untrainedCampaign(t, neuronArm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := untrainedCampaign(t, neuronArm)
+	cfg.TrialBatch = 64 // profiled batch is 8
+	cfg.Metrics = obs.NewRegistry()
+	agg, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg != seq {
+		t.Fatalf("clamped batched aggregate %+v != sequential %+v", agg, seq)
+	}
+	if k := cfg.Metrics.Snapshot().Gauges[MetricBatchK]; k != 8 {
+		t.Fatalf("batch K gauge = %v, want clamp to profiled batch 8", k)
+	}
+}
+
+// FuzzTrialPacker feeds arbitrary trial mixes through the packer and
+// checks its invariants: no panic, every trial scheduled exactly once,
+// no pack exceeds K or mixes samples, every pack's cut is the minimum of
+// its members' cuts, and unpackable trials become sequential singletons.
+func FuzzTrialPacker(f *testing.F) {
+	f.Add(int64(1), 6, 4)
+	f.Add(int64(2), 0, 1)
+	f.Add(int64(3), 33, 8)
+	f.Add(int64(4), 17, -2)
+	f.Fuzz(func(t *testing.T, seed int64, n, k int) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 257
+		rng := rand.New(rand.NewSource(seed))
+		specs := make([]TrialSpec, n)
+		cutOf := make(map[int]int, n)
+		packable := make(map[int]bool, n)
+		for i := range specs {
+			specs[i] = TrialSpec{
+				Trial:    i,
+				Sample:   rng.Intn(5),
+				Cut:      rng.Intn(12),
+				Packable: rng.Intn(4) != 0,
+			}
+			cutOf[i] = specs[i].Cut
+			packable[i] = specs[i].Packable
+		}
+		packs := PackTrials(specs, k)
+		maxLen := k
+		if maxLen < 1 {
+			maxLen = 1
+		}
+		seen := make(map[int]int, n)
+		for _, p := range packs {
+			if len(p.Trials) == 0 {
+				t.Fatal("empty pack")
+			}
+			if len(p.Trials) > maxLen {
+				t.Fatalf("pack %v exceeds k=%d", p, k)
+			}
+			minCut := -1
+			for _, trial := range p.Trials {
+				seen[trial]++
+				if !packable[trial] && !p.Seq {
+					t.Fatalf("unpackable trial %d scheduled in non-Seq pack %v", trial, p)
+				}
+				if c := cutOf[trial]; minCut == -1 || c < minCut {
+					minCut = c
+				}
+			}
+			if p.Seq {
+				if len(p.Trials) != 1 {
+					t.Fatalf("Seq pack with %d trials: %v", len(p.Trials), p)
+				}
+				continue
+			}
+			if p.Cut != minCut {
+				t.Fatalf("pack %v cut %d != member min cut %d", p, p.Cut, minCut)
+			}
+			for _, trial := range p.Trials[1:] {
+				if specs[trial].Sample != p.Sample {
+					t.Fatalf("pack %v mixes samples", p)
+				}
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("packer scheduled %d distinct trials, want %d", len(seen), n)
+		}
+		var trials []int
+		for trial, count := range seen {
+			if count != 1 {
+				t.Fatalf("trial %d scheduled %d times", trial, count)
+			}
+			trials = append(trials, trial)
+		}
+		sort.Ints(trials)
+		for i, trial := range trials {
+			if i != trial {
+				t.Fatalf("trial %d missing from schedule", i)
+			}
+		}
+	})
+}

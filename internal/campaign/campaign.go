@@ -66,6 +66,24 @@ const (
 	// MetricPrefixSaved is a histogram of nanoseconds saved per cache
 	// hit: the recorded cost of the prefix computation the hit avoided.
 	MetricPrefixSaved = "campaign.prefix_reuse_ns_saved"
+	// MetricBatchK is the effective trial-batch width after clamping to
+	// the replicas' profiled batch (recorded only when batching is on).
+	MetricBatchK = "campaign.batch.k"
+	// MetricBatchTrialsPacked counts trials that executed inside a
+	// multi-trial batched forward (lane-armed, not fallen back).
+	MetricBatchTrialsPacked = "campaign.batch.trials_packed"
+	// MetricBatchFill is a histogram of executed pack sizes (lanes per
+	// batched forward) — low fill means the packer found few compatible
+	// trials per (sample, cut) group.
+	MetricBatchFill = "campaign.batch.fill"
+	// MetricBatchSeqFallbacks counts trials routed to the sequential
+	// path while batching was on: weight faults, explicit multi-batch
+	// sites, arm errors, and lanes re-run after a batched-forward error.
+	MetricBatchSeqFallbacks = "campaign.batch.seq_fallbacks"
+	// MetricBatchPackTime is the per-pack latency histogram
+	// (nanoseconds) for multi-trial batched forwards; sequential-path
+	// trials record into MetricTrialTime as before.
+	MetricBatchPackTime = "campaign.batch.pack_ns"
 )
 
 // Outcome classifies a single injection trial, using the corruption
@@ -227,6 +245,20 @@ type Config struct {
 	// chain node) fall back to the full forward automatically, as do
 	// models whose structure defeats chain planning.
 	PrefixReuse bool
+	// TrialBatch packs up to this many compatible trials (same sample,
+	// lane-safe neuron faults only) into one forward pass over an input
+	// tiled across that many batch lanes — the batched counterpart of
+	// PyTorchFI's per-batch-element fault sites. 0 or 1 runs every trial
+	// alone (the sequential path). The effective width is clamped to the
+	// replicas' profiled batch (core.Config.Batch), since a lane must be
+	// a legal batch element of the profiled geometry. Like PrefixReuse
+	// this is a throughput knob only: per-trial RNG streams and per-lane
+	// arming keep every trial's logits bit-identical to running it alone,
+	// so the Aggregate is byte-identical for any (Workers, TrialBatch).
+	// Trials that cannot be lane-packed (weight faults, explicit
+	// multi-batch sites, arm errors) fall back to the sequential path
+	// automatically and are counted in MetricBatchSeqFallbacks.
+	TrialBatch int
 	// Metrics, when non-nil, receives the engine's counters, trial
 	// latency histogram and sink gauges (see the Metric* constants), and
 	// is attached to every replica injector for perturbation accounting.
@@ -246,6 +278,9 @@ func (c Config) validate() error {
 	}
 	if len(c.Eligible) == 0 {
 		return fmt.Errorf("campaign: no eligible samples (did the model classify nothing correctly?)")
+	}
+	if c.TrialBatch < 0 {
+		return fmt.Errorf("campaign: negative trial batch %d", c.TrialBatch)
 	}
 	return nil
 }

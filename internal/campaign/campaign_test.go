@@ -114,7 +114,10 @@ func replicaFactory(t *testing.T, trained nn.Layer) func(int) (*core.Injector, e
 		if err := nn.ShareParams(replica, trained); err != nil {
 			return nil, err
 		}
-		return core.New(replica, core.Config{Height: 16, Width: 16, Seed: int64(worker) + 77})
+		// Batch 8 profiles headroom for the batched trial-packing path;
+		// sequential trials still run batch-1 forwards (site draws never
+		// depend on the profiled batch, so outcomes are unchanged).
+		return core.New(replica, core.Config{Batch: 8, Height: 16, Width: 16, Seed: int64(worker) + 77})
 	}
 }
 

@@ -252,6 +252,56 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		clean[idx] = cleanVals[i]
 	}
 
+	// Trial batching: clamp the requested batch to the profiled geometry
+	// (a lane must be a batch element the replicas were profiled for),
+	// then probe every trial once to learn its lane safety and prefix cut
+	// and pack compatible trials into K-lane forwards. K == 1 leaves the
+	// sequential path untouched.
+	K := cfg.TrialBatch
+	if K < 1 {
+		K = 1
+	}
+	if pb := replicas[0].Config().Batch; K > pb {
+		K = pb
+	}
+	plans := make([]*core.PrefixPlan, workers)
+	var packs []Pack
+	var bm *batchMetrics
+	if K > 1 {
+		for w := range replicas {
+			if runners[w] != nil {
+				plans[w] = runners[w].Plan()
+			} else if p, err := replicas[w].BuildPrefixPlan(); err == nil {
+				// No checkpoint store, but the chain decomposition still
+				// lets a pack share its clean prefix across lanes.
+				plans[w] = p
+			}
+		}
+		bm = newBatchMetrics(cfg.Metrics, K)
+		packStart := time.Now()
+		specs := make([]TrialSpec, cfg.Trials)
+		var probeNext atomic.Int64
+		var probeWG sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			probeWG.Add(1)
+			go func(w int) {
+				defer probeWG.Done()
+				for runCtx.Err() == nil {
+					t := int(probeNext.Add(1)) - 1
+					if t >= cfg.Trials {
+						return
+					}
+					specs[t] = probeTrial(cfg, replicas[w], plans[w], t, sampleOf[t])
+				}
+			}(w)
+		}
+		probeWG.Wait()
+		packs = PackTrials(specs, K)
+		if bm != nil {
+			bm.packTimer.Since(packStart)
+		}
+	}
+
 	// Trial phase: work-stealing over trial indices. Each worker owns the
 	// slots of the trials it claims, so outcomes/state need no locks; the
 	// fold after the barrier reads them in trial order.
@@ -304,6 +354,22 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		}
 	}()
 
+	// finish folds one completed trial into the worker-owned slots and the
+	// collector stream. The caller's goroutine owns trial t's slots.
+	finish := func(w, t int, rec TrialRecord, err error) {
+		if err != nil {
+			if cfg.OnError == SkipAndCount {
+				state[t] = trialSkipped
+			} else {
+				fail(fmt.Errorf("campaign: worker %d trial %d: %w", w, t, err))
+			}
+		} else {
+			outcomes[t] = rec.Outcome
+			state[t] = trialDone
+		}
+		records <- rec
+	}
+
 	var next atomic.Int64
 	var trialWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -311,6 +377,40 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		go func(w int) {
 			defer trialWG.Done()
 			inj := replicas[w]
+			if K > 1 {
+				// Batched path: steal pack indices. A worker owns every
+				// trial of a pack it claims, so the slot writes stay
+				// race-free; trial outcomes land in trial-indexed slots
+				// either way, so the fold below is oblivious to packing.
+				for runCtx.Err() == nil {
+					pi := int(next.Add(1)) - 1
+					if pi >= len(packs) {
+						return
+					}
+					pk := packs[pi]
+					if pk.Seq && bm != nil {
+						bm.fallbacks.Inc()
+					}
+					if pk.Seq || len(pk.Trials) == 1 {
+						t := pk.Trials[0]
+						var trialStart time.Time
+						if met != nil {
+							trialStart = time.Now()
+						}
+						rec, err := runTrial(cfg, inj, runners[w], w, t, pk.Sample, clean[pk.Sample])
+						if met != nil {
+							met.trialTimer.Since(trialStart)
+						}
+						finish(w, t, rec, err)
+						continue
+					}
+					recs, errs := runPack(cfg, inj, runners[w], plans[w], w, pk, clean[pk.Sample], bm)
+					for i, t := range pk.Trials {
+						finish(w, t, recs[i], errs[i])
+					}
+				}
+				return
+			}
 			for runCtx.Err() == nil {
 				t := int(next.Add(1)) - 1
 				if t >= cfg.Trials {
@@ -324,17 +424,7 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 				if met != nil {
 					met.trialTimer.Since(trialStart)
 				}
-				if err != nil {
-					if cfg.OnError == SkipAndCount {
-						state[t] = trialSkipped
-					} else {
-						fail(fmt.Errorf("campaign: worker %d trial %d: %w", w, t, err))
-					}
-				} else {
-					outcomes[t] = rec.Outcome
-					state[t] = trialDone
-				}
-				records <- rec
+				finish(w, t, rec, err)
 			}
 		}(w)
 	}

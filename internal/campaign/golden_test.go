@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"math"
 	"math/rand"
 	"os"
@@ -89,7 +90,8 @@ func residualSetup(t *testing.T) (*data.Classification, nn.Layer, []int, func(in
 		if err := nn.ShareParams(replica, model); err != nil {
 			return nil, err
 		}
-		return core.New(replica, core.Config{Height: 16, Width: 16, Seed: int64(worker) + 177})
+		// Batch 8 gives the batched trial-packing corners below real lanes.
+		return core.New(replica, core.Config{Batch: 8, Height: 16, Width: 16, Seed: int64(worker) + 177})
 	}
 	return ds, model, eligible, factory
 }
@@ -143,9 +145,10 @@ func TestGoldenCampaignAggregates(t *testing.T) {
 		t.Run(fx.name, func(t *testing.T) {
 			base := fx.cfg(t)
 			path := filepath.Join("testdata", "golden_campaign_"+fx.name+".json")
-			run := func(workers int, reuse bool) Aggregate {
+			run := func(workers, trialBatch int, reuse bool) Aggregate {
 				cfg := base
 				cfg.Workers = workers
+				cfg.TrialBatch = trialBatch
 				cfg.PrefixReuse = reuse
 				agg, err := Run(context.Background(), cfg)
 				if err != nil {
@@ -153,18 +156,28 @@ func TestGoldenCampaignAggregates(t *testing.T) {
 				}
 				return agg
 			}
-			// The aggregate must not depend on workers or the reuse path;
-			// check all four corners against one golden.
-			aggs := map[string]Aggregate{
-				"w1/full":  run(1, false),
-				"w1/reuse": run(1, true),
-				"w8/full":  run(8, false),
-				"w8/reuse": run(8, true),
+			// The aggregate must not depend on workers, the reuse path, or
+			// trial batching; check every corner against one golden. The
+			// goldens predate the batched path, so K > 1 matching them is
+			// the byte-identity proof, not a re-baseline.
+			aggs := make(map[string]Aggregate)
+			for _, w := range []int{1, 8} {
+				for _, k := range []int{1, 4, 8} {
+					for _, reuse := range []bool{false, true} {
+						mode := fmt.Sprintf("w%d/k%d/", w, k)
+						if reuse {
+							mode += "reuse"
+						} else {
+							mode += "full"
+						}
+						aggs[mode] = run(w, k, reuse)
+					}
+				}
 			}
-			ref := aggs["w1/full"]
+			ref := aggs["w1/k1/full"]
 			for mode, agg := range aggs {
 				if agg != ref {
-					t.Fatalf("%s aggregate %+v != w1/full %+v", mode, agg, ref)
+					t.Fatalf("%s aggregate %+v != w1/k1/full %+v", mode, agg, ref)
 				}
 			}
 			got := goldenFromAggregate(ref)

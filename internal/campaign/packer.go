@@ -1,0 +1,102 @@
+package campaign
+
+import "sort"
+
+// Trial packing. The batched engine path runs K compatible trials in one
+// forward pass over an input tiled across K batch lanes. Two trials are
+// compatible when they share the model (always true within a campaign —
+// replicas share weights), share the input sample, and carry only
+// lane-safe faults (neuron faults on AllBatches/element-0 sites; see
+// core.ErrLaneUnsafe). The packer additionally groups by the trials'
+// clean-prefix cut: a pack resumes every lane from the single cut that is
+// sound for all of them (the minimum), so packing trials with similar
+// cuts keeps the shared-prefix savings close to what each trial would get
+// alone.
+//
+// Packing is a scheduling decision only — per-trial RNG streams and lane
+// isolation make every trial's outcome independent of which pack (and
+// lane) it lands in — but the pack list itself is still a deterministic
+// function of its inputs, so two runs of the same campaign batch
+// identically.
+
+// TrialSpec describes one pending trial to the packer, as discovered by
+// the engine's probe pass.
+type TrialSpec struct {
+	// Trial is the campaign trial index.
+	Trial int
+	// Sample is the input sample the trial draws (trials in one pack
+	// share it, so one tiled input serves every lane).
+	Sample int
+	// Cut is the trial's clean-prefix chain cut (0 = no reusable prefix).
+	Cut int
+	// Packable is false for trials that must run on the sequential path:
+	// weight faults, explicit multi-batch sites, arm errors.
+	Packable bool
+}
+
+// Pack is one unit of batched work: up to K trials sharing a sample,
+// resumed together from the pack's chain cut. Seq marks a singleton pack
+// that must run on the sequential path.
+type Pack struct {
+	Trials []int
+	Sample int
+	// Cut is the deepest chain cut sound for every trial in the pack:
+	// the minimum of the members' cuts.
+	Cut int
+	Seq bool
+}
+
+// PackTrials groups the specs into packs of at most k trials. Every
+// input trial appears in exactly one pack: unpackable trials become
+// sequential singletons, packable trials are grouped by sample and — to
+// keep each pack's shared cut close to its members' own cuts — sorted by
+// cut (deepest first, trial index as the tiebreak) before being chunked.
+// k < 2 makes every trial a singleton. The result is deterministic in
+// (specs, k): insertion-ordered grouping and a total sort order, no map
+// iteration.
+func PackTrials(specs []TrialSpec, k int) []Pack {
+	if k < 1 {
+		k = 1
+	}
+	var packs []Pack
+	var order []int // distinct samples of packable trials, first-seen order
+	group := make(map[int][]TrialSpec)
+	var seq []TrialSpec
+	for _, s := range specs {
+		if !s.Packable || k < 2 {
+			seq = append(seq, s)
+			continue
+		}
+		if _, ok := group[s.Sample]; !ok {
+			order = append(order, s.Sample)
+		}
+		group[s.Sample] = append(group[s.Sample], s)
+	}
+	for _, sample := range order {
+		g := group[sample]
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].Cut != g[j].Cut {
+				return g[i].Cut > g[j].Cut
+			}
+			return g[i].Trial < g[j].Trial
+		})
+		for start := 0; start < len(g); start += k {
+			end := start + k
+			if end > len(g) {
+				end = len(g)
+			}
+			p := Pack{Sample: sample, Cut: g[start].Cut}
+			for _, s := range g[start:end] {
+				p.Trials = append(p.Trials, s.Trial)
+				if s.Cut < p.Cut {
+					p.Cut = s.Cut
+				}
+			}
+			packs = append(packs, p)
+		}
+	}
+	for _, s := range seq {
+		packs = append(packs, Pack{Trials: []int{s.Trial}, Sample: s.Sample, Cut: 0, Seq: true})
+	}
+	return packs
+}

@@ -113,6 +113,9 @@ type Injector struct {
 	// Armed neuron faults, grouped by layer index.
 	neuronSites map[int][]armedNeuron
 
+	// Open multi-trial arming lane (see lanes.go).
+	laneArm laneState
+
 	// Offline weight perturbations and their undo log.
 	weightUndo []weightUndo
 
@@ -141,6 +144,13 @@ type armedNeuron struct {
 	// tally is the per-error-model applied counter, resolved at
 	// declaration time (nil when no registry was attached).
 	tally *obs.Counter
+	// lane marks a site armed through a BeginLane window; site.Batch is
+	// then the assigned batch lane, trial tags its records, and rng (the
+	// trial's private stream) overrides the injector RNG for perturb-time
+	// draws so packed trials draw exactly what they would draw alone.
+	lane  bool
+	trial int
+	rng   *rand.Rand
 }
 
 type weightUndo struct {
@@ -279,13 +289,17 @@ func (inj *Injector) applyNeuron(out *tensor.Tensor, shape []int, layer int, a a
 		c, h, w = shape[1], 1, 1
 	}
 	apply := func(b int) {
+		rng := inj.rng
+		if a.rng != nil {
+			rng = a.rng
+		}
 		off := ((b*c+a.site.C)*h+a.site.H)*w + a.site.W
 		old := out.AtFlat(off)
 		nv := a.model.Perturb(old, PerturbContext{
 			Layer: layer,
 			Scale: inj.scales[layer],
 			DType: inj.cfg.DType,
-			Rand:  inj.rng,
+			Rand:  rng,
 		})
 		out.SetFlat(off, nv)
 		inj.Injections++
@@ -296,9 +310,13 @@ func (inj *Injector) applyNeuron(out *tensor.Tensor, shape []int, layer int, a a
 			}
 		}
 		if inj.traceOn {
+			trial := -1
+			if a.lane {
+				trial = a.trial
+			}
 			inj.record(InjectionRecord{
 				Kind: "neuron", Layer: layer, LayerPath: inj.layers[layer].Path,
-				Batch: b, Site: a.site.String(), Old: old, New: nv, Model: a.model.Name(),
+				Batch: b, Trial: trial, Site: a.site.String(), Old: old, New: nv, Model: a.model.Name(),
 			})
 		}
 	}
@@ -308,9 +326,18 @@ func (inj *Injector) applyNeuron(out *tensor.Tensor, shape []int, layer int, a a
 		}
 		return
 	}
-	if a.site.Batch < shape[0] {
-		apply(a.site.Batch)
+	// Declaration-time validation checks the site against the profiled
+	// geometry, but a forward pass may run with a smaller batch than the
+	// injector was profiled for (campaign trials feed batch-1 inputs to a
+	// batch-K profile). Silently skipping the site here would void the
+	// trial without anyone noticing; hooks cannot return errors, so
+	// surface the mismatch as a panic naming the layer — campaign trial
+	// recovery turns it into a per-trial error.
+	if a.site.Batch >= shape[0] {
+		panic(fmt.Sprintf("core: armed site %v of layer %s: batch element %d outside runtime batch %d (forward input smaller than profiled batch %d)",
+			a.site, inj.layers[layer].Path, a.site.Batch, shape[0], inj.cfg.Batch))
 	}
+	apply(a.site.Batch)
 }
 
 // Layers returns the profiled hookable layers.

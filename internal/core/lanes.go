@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Multi-trial ("lane") arming. A batched campaign packs K independent
+// trials into one forward pass over an input tiled across K batch lanes:
+// lane l carries trial l's fault(s) and nothing else. While a lane is
+// open (BeginLane .. EndLane), neuron declarations are remapped onto the
+// lane's batch element, tagged with the lane's trial ID, and bound to the
+// lane's private RNG so stochastic error models draw exactly the values
+// the trial would draw running alone — the bit-identity contract the
+// campaign engine's batched path is built on.
+//
+// Lane soundness rules (everything else is ErrLaneUnsafe, reported
+// before any state changes so the caller can fall back to the sequential
+// path with the injector intact):
+//
+//   - Neuron sites must target AllBatches or batch element 0 — "this
+//     trial's (only) sample" under either spelling. An explicit batch
+//     index ≥ 1 names a different lane of a multi-sample trial, which a
+//     packed forward cannot represent.
+//   - Weight declarations are never lane-safe: weights are shared by
+//     every lane of the packed forward (and, via nn.ShareParams, by
+//     every worker replica), so a weight fault cannot be confined to one
+//     trial.
+
+// ErrLaneUnsafe reports a declaration that cannot be confined to one
+// batch lane. Callers detect it with errors.Is and re-run the trial on
+// the sequential path; the injector is unchanged.
+var ErrLaneUnsafe = errors.New("core: declaration cannot be confined to a batch lane")
+
+// laneState tracks the currently open arming lane.
+type laneState struct {
+	active bool
+	lane   int
+	trial  int
+	rng    *rand.Rand
+}
+
+// BeginLane opens arming lane `lane` for trial `trial`: until EndLane,
+// neuron declarations are remapped onto batch element `lane`, tagged
+// with the trial ID, and bound to rng (the trial's private stream) for
+// perturb-time draws. The lane must fit the profiled batch geometry and
+// no other lane may be open.
+func (inj *Injector) BeginLane(lane, trial int, rng *rand.Rand) error {
+	if inj.laneArm.active {
+		return fmt.Errorf("core: BeginLane(%d) while lane %d is open", lane, inj.laneArm.lane)
+	}
+	if lane < 0 || lane >= inj.cfg.Batch {
+		return fmt.Errorf("%w: lane %d outside profiled batch [0,%d)", ErrLaneUnsafe, lane, inj.cfg.Batch)
+	}
+	if rng == nil {
+		return fmt.Errorf("core: BeginLane(%d) with nil rng", lane)
+	}
+	inj.laneArm = laneState{active: true, lane: lane, trial: trial, rng: rng}
+	return nil
+}
+
+// EndLane closes the open arming lane. Declarations made outside a lane
+// revert to the injector-global semantics (shared RNG, no trial tag, no
+// batch remap).
+func (inj *Injector) EndLane() {
+	inj.laneArm = laneState{}
+}
+
+// ClearLane disarms every neuron site armed for batch lane `lane`,
+// leaving other lanes untouched. Used when one trial of a pack must fall
+// back to the sequential path after its lane was partially armed.
+func (inj *Injector) ClearLane(lane int) {
+	for l, sites := range inj.neuronSites {
+		kept := sites[:0]
+		for _, a := range sites {
+			if !(a.lane && a.site.Batch == lane) {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 {
+			delete(inj.neuronSites, l)
+		} else {
+			inj.neuronSites[l] = kept
+		}
+	}
+}
+
+// laneRemap validates sites against the lane soundness rules and returns
+// the remapped copies. It is called after geometric validation, before
+// any site is armed, so a failure leaves the injector unchanged.
+func (inj *Injector) laneRemap(sites []NeuronSite) ([]NeuronSite, error) {
+	remapped := make([]NeuronSite, len(sites))
+	for i, s := range sites {
+		if s.Batch != AllBatches && s.Batch != 0 {
+			return nil, fmt.Errorf("%w: site %v targets explicit batch element %d", ErrLaneUnsafe, s, s.Batch)
+		}
+		s.Batch = inj.laneArm.lane
+		remapped[i] = s
+	}
+	return remapped, nil
+}

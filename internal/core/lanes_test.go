@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gofi/internal/nn"
+	"gofi/internal/tensor"
+)
+
+func TestBeginLaneRejectsBadLanes(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Batch: 4, Height: 16, Width: 16})
+	rng := rand.New(rand.NewSource(2))
+	if err := inj.BeginLane(4, 0, rng); !errors.Is(err, ErrLaneUnsafe) {
+		t.Fatalf("lane beyond profiled batch: got %v, want ErrLaneUnsafe", err)
+	}
+	if err := inj.BeginLane(-1, 0, rng); !errors.Is(err, ErrLaneUnsafe) {
+		t.Fatalf("negative lane: got %v, want ErrLaneUnsafe", err)
+	}
+	if err := inj.BeginLane(1, 0, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if err := inj.BeginLane(1, 0, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.BeginLane(2, 1, rng); err == nil {
+		t.Fatal("second BeginLane while a lane is open succeeded")
+	}
+	inj.EndLane()
+	if err := inj.BeginLane(2, 1, rng); err != nil {
+		t.Fatalf("BeginLane after EndLane: %v", err)
+	}
+	inj.EndLane()
+}
+
+func TestLaneArmRemapsAndIsolates(t *testing.T) {
+	inj, _ := newTestInjector(t, Config{Batch: 4, Height: 16, Width: 16})
+	rng := rand.New(rand.NewSource(3))
+	// Arm trial 7 on lane 2: sites declared for AllBatches or element 0
+	// both land on batch element 2.
+	if err := inj.BeginLane(2, 7, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.DeclareNeuronFI(SetValue{V: 9}, NeuronSite{Layer: 1, Batch: AllBatches, C: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.DeclareNeuronFI(SetValue{V: 9}, NeuronSite{Layer: 1, Batch: 0, C: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit batch elements ≥ 1 name a different sample; never lane-safe.
+	if err := inj.DeclareNeuronFI(SetValue{V: 9}, NeuronSite{Layer: 1, Batch: 1, C: 0}); !errors.Is(err, ErrLaneUnsafe) {
+		t.Fatalf("explicit batch site: got %v, want ErrLaneUnsafe", err)
+	}
+	// Weight faults mutate state shared by every lane; never lane-safe,
+	// and rejected before any weight is touched.
+	if err := inj.DeclareWeightFI(SetValue{V: 9}, WeightSite{Layer: 0, Idx: []int{0, 0, 0, 0}}); !errors.Is(err, ErrLaneUnsafe) {
+		t.Fatalf("weight fault in lane: got %v, want ErrLaneUnsafe", err)
+	}
+	inj.EndLane()
+
+	inj.EnableTrace(true)
+	x := tensor.RandUniform(rand.New(rand.NewSource(4)), -1, 1, 4, 3, 16, 16)
+	out := nn.Run(inj.Model(), x)
+	if out == nil {
+		t.Fatal("nil output")
+	}
+	recs := inj.TraceForTrial(7)
+	if len(recs) != 2 {
+		t.Fatalf("trial 7 trace has %d records, want 2: %v", len(recs), recs)
+	}
+	for _, r := range recs {
+		if r.Batch != 2 {
+			t.Fatalf("lane-armed record applied to batch %d, want lane 2: %+v", r.Batch, r)
+		}
+		if r.Trial != 7 {
+			t.Fatalf("lane-armed record tagged trial %d, want 7: %+v", r.Trial, r)
+		}
+	}
+
+	// ClearLane removes exactly one lane's sites.
+	if err := inj.BeginLane(1, 8, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.DeclareNeuronFI(SetValue{V: 9}, NeuronSite{Layer: 0, Batch: 0, C: 0}); err != nil {
+		t.Fatal(err)
+	}
+	inj.EndLane()
+	if got := inj.ArmedNeuronCount(); got != 3 {
+		t.Fatalf("armed %d sites, want 3", got)
+	}
+	inj.ClearLane(1)
+	if got := inj.ArmedNeuronCount(); got != 2 {
+		t.Fatalf("after ClearLane(1): %d sites, want lane 2's 2", got)
+	}
+	inj.ClearLane(2)
+	if got := inj.ArmedNeuronCount(); got != 0 {
+		t.Fatalf("after ClearLane(2): %d sites, want 0", got)
+	}
+	inj.Reset()
+}
+
+// TestArmedSiteBeyondRuntimeBatchErrors is the regression test for the
+// silent-skip bug: a site validated against the profiled batch but armed
+// past the runtime batch used to be skipped without a trace, making a
+// "successful" trial that injected nothing. It must now fail loudly,
+// naming the layer.
+func TestArmedSiteBeyondRuntimeBatchErrors(t *testing.T) {
+	inj, model := newTestInjector(t, Config{Batch: 4, Height: 16, Width: 16})
+	// Batch 2 is in-profile, so declaration succeeds...
+	if err := inj.DeclareNeuronFI(SetValue{V: 9}, NeuronSite{Layer: 0, Batch: 2, C: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// ...but the forward pass runs batch 1, which cannot carry element 2.
+	x := tensor.RandUniform(rand.New(rand.NewSource(5)), -1, 1, 1, 3, 16, 16)
+	msg := func() (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+		}()
+		nn.Run(model, x)
+		return ""
+	}()
+	if msg == "" {
+		t.Fatal("armed site beyond the runtime batch was silently skipped")
+	}
+	if !strings.Contains(msg, "net.conv1") || !strings.Contains(msg, "batch element 2") {
+		t.Fatalf("panic does not name the layer and element: %q", msg)
+	}
+	inj.Reset()
+	// In-range batch elements still work after the fix.
+	if err := inj.DeclareNeuronFI(SetValue{V: 9}, NeuronSite{Layer: 0, Batch: 0, C: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if out := nn.Run(model, x); out == nil {
+		t.Fatal("nil output")
+	}
+	if inj.Injections == 0 {
+		t.Fatal("in-range site did not inject")
+	}
+}

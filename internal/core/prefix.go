@@ -170,43 +170,9 @@ func (r *PrefixRunner) Forward(item int, x *tensor.Tensor) (*tensor.Tensor, erro
 	minLayer, ok := r.inj.MinArmedLayer()
 	if ok {
 		if cut := r.plan.CutFor(minLayer); cut > 0 {
-			boundary, savedNs, hit := r.store.Get(item, cut)
-			if hit {
-				if r.met.Hits != nil {
-					r.met.Hits.Inc()
-				}
-				if r.met.SavedNS != nil {
-					r.met.SavedNS.Observe(savedNs)
-				}
-			} else {
-				// Miss. Cuts vary trial to trial (the fault site moves), so a
-				// store keyed only on the exact cut would miss almost always.
-				// Instead, resume from the deepest earlier checkpoint of this
-				// item and snapshot every node boundary walked on the way to
-				// the cut: after one deep prefix, any future cut for the item
-				// is a direct hit. Each boundary's recorded cost accumulates
-				// the walk below it, approximating the full [0, node) prefix
-				// cost a later hit avoids.
-				start, cur, elapsed := 0, x, int64(0)
-				for j := cut - 1; j > 0; j-- {
-					if b, ns, ok := r.store.Get(item, j); ok {
-						start, cur, elapsed = j, b, ns
-						break
-					}
-				}
-				for n := start; n < cut; n++ {
-					t0 := time.Now()
-					next, err := r.plan.chain.Step(n, cur)
-					if err != nil {
-						return nil, err
-					}
-					elapsed += time.Since(t0).Nanoseconds()
-					cur = r.store.Put(item, n+1, next, elapsed)
-				}
-				boundary = cur
-				if r.met.Misses != nil {
-					r.met.Misses.Inc()
-				}
+			boundary, err := r.Boundary(item, cut, x)
+			if err != nil {
+				return nil, err
 			}
 			return r.plan.chain.ForwardFrom(cut, boundary)
 		}
@@ -215,4 +181,63 @@ func (r *PrefixRunner) Forward(item int, x *tensor.Tensor) (*tensor.Tensor, erro
 		r.met.Fallbacks.Inc()
 	}
 	return nn.Run(r.inj.Model(), x), nil
+}
+
+// Boundary returns the clean activation at chain node cut for model
+// input x (item keys the checkpoint store): the tensor that
+// ForwardFrom(cut, ...) resumes from. On a store hit it is the
+// checkpointed snapshot; on a miss the prefix is recomputed from the
+// deepest earlier checkpoint of the item, snapshotting every boundary
+// walked along the way (see the miss strategy below). cut == 0 returns x
+// itself — no reusable prefix. Boundary never executes layers at or
+// after cut, so it is sound on an armed injector whenever every armed
+// site lies at or after the cut (the MinArmedLayer/CutFor contract): the
+// prefix layers' hooks fire, but carry no armed sites to apply. The
+// batched campaign path calls this directly and tiles the result across
+// K trial lanes before running the suffix once for a whole pack.
+func (r *PrefixRunner) Boundary(item, cut int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if cut <= 0 {
+		return x, nil
+	}
+	if cut > r.plan.chain.Len() {
+		return nil, fmt.Errorf("core: boundary cut %d outside chain [0,%d]", cut, r.plan.chain.Len())
+	}
+	boundary, savedNs, hit := r.store.Get(item, cut)
+	if hit {
+		if r.met.Hits != nil {
+			r.met.Hits.Inc()
+		}
+		if r.met.SavedNS != nil {
+			r.met.SavedNS.Observe(savedNs)
+		}
+		return boundary, nil
+	}
+	// Miss. Cuts vary trial to trial (the fault site moves), so a
+	// store keyed only on the exact cut would miss almost always.
+	// Instead, resume from the deepest earlier checkpoint of this
+	// item and snapshot every node boundary walked on the way to
+	// the cut: after one deep prefix, any future cut for the item
+	// is a direct hit. Each boundary's recorded cost accumulates
+	// the walk below it, approximating the full [0, node) prefix
+	// cost a later hit avoids.
+	start, cur, elapsed := 0, x, int64(0)
+	for j := cut - 1; j > 0; j-- {
+		if b, ns, ok := r.store.Get(item, j); ok {
+			start, cur, elapsed = j, b, ns
+			break
+		}
+	}
+	for n := start; n < cut; n++ {
+		t0 := time.Now()
+		next, err := r.plan.chain.Step(n, cur)
+		if err != nil {
+			return nil, err
+		}
+		elapsed += time.Since(t0).Nanoseconds()
+		cur = r.store.Put(item, n+1, next, elapsed)
+	}
+	if r.met.Misses != nil {
+		r.met.Misses.Inc()
+	}
+	return cur, nil
 }

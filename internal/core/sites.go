@@ -96,12 +96,24 @@ func (inj *Injector) DeclareNeuronFI(model ErrorModel, sites ...NeuronSite) erro
 			return err
 		}
 	}
+	armed := sites
+	if inj.laneArm.active {
+		remapped, err := inj.laneRemap(sites)
+		if err != nil {
+			return err
+		}
+		armed = remapped
+	}
 	var tally *obs.Counter
 	if inj.met != nil {
 		tally = inj.met.modelCounter(model.Name())
 	}
-	for _, s := range sites {
-		inj.neuronSites[s.Layer] = append(inj.neuronSites[s.Layer], armedNeuron{site: s, model: model, tally: tally})
+	for _, s := range armed {
+		a := armedNeuron{site: s, model: model, tally: tally}
+		if inj.laneArm.active {
+			a.lane, a.trial, a.rng = true, inj.laneArm.trial, inj.laneArm.rng
+		}
+		inj.neuronSites[s.Layer] = append(inj.neuronSites[s.Layer], a)
 	}
 	return nil
 }
@@ -119,6 +131,12 @@ func (inj *Injector) DeclareWeightFI(model ErrorModel, sites ...WeightSite) erro
 	}
 	if err := inj.checkDType(model); err != nil {
 		return err
+	}
+	if inj.laneArm.active {
+		// Weights are shared by every lane of a packed forward (and by
+		// every worker replica), so a weight fault can never be confined
+		// to one trial's lane. Reported before any mutation.
+		return fmt.Errorf("%w: weight fault %v", ErrLaneUnsafe, sites[0])
 	}
 	type resolved struct {
 		t      *tensor.Tensor
@@ -163,7 +181,7 @@ func (inj *Injector) DeclareWeightFI(model ErrorModel, sites ...WeightSite) erro
 		if inj.traceOn {
 			inj.record(InjectionRecord{
 				Kind: "weight", Layer: r.layer, LayerPath: inj.layers[r.layer].Path,
-				Batch: -1, Site: sites[i].String(), Old: old, New: nv, Model: model.Name(),
+				Batch: -1, Trial: -1, Site: sites[i].String(), Old: old, New: nv, Model: model.Name(),
 			})
 		}
 	}
@@ -214,6 +232,7 @@ func (inj *Injector) Reset() {
 	inj.RestoreWeights()
 	inj.Injections = 0
 	inj.trace = nil
+	inj.laneArm = laneState{}
 }
 
 // ArmedNeuronCount reports how many neuron sites are currently armed.

@@ -20,9 +20,13 @@ type InjectionRecord struct {
 	Layer     int
 	LayerPath string
 	Batch     int // neuron faults only; -1 for weight faults
-	Site      string
-	Old, New  float32
-	Model     string // error-model name
+	// Trial tags perturbations applied by a lane-armed site (see
+	// BeginLane) with the owning trial's ID; -1 for faults armed outside
+	// a lane (the whole forward belongs to one trial).
+	Trial    int
+	Site     string
+	Old, New float32
+	Model    string // error-model name
 }
 
 // EnableTrace turns injection recording on or off. Recording every
@@ -39,6 +43,20 @@ func (inj *Injector) Trace() []InjectionRecord {
 	return append([]InjectionRecord(nil), inj.trace...)
 }
 
+// TraceForTrial returns the captured records tagged with the given trial
+// ID, in application order. After a packed forward (lane arming) this is
+// one trial's slice of the shared trace; records from faults armed
+// outside a lane carry trial -1.
+func (inj *Injector) TraceForTrial(trial int) []InjectionRecord {
+	var out []InjectionRecord
+	for _, r := range inj.trace {
+		if r.Trial == trial {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 func (inj *Injector) record(r InjectionRecord) {
 	r.Seq = len(inj.trace)
 	inj.trace = append(inj.trace, r)
@@ -47,7 +65,7 @@ func (inj *Injector) record(r InjectionRecord) {
 // WriteTraceCSV dumps the trace as CSV with a header row.
 func (inj *Injector) WriteTraceCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"seq", "kind", "layer", "path", "batch", "site", "old", "new", "model"}); err != nil {
+	if err := cw.Write([]string{"seq", "kind", "layer", "path", "batch", "site", "old", "new", "model", "trial"}); err != nil {
 		return fmt.Errorf("core: write trace header: %w", err)
 	}
 	for _, r := range inj.trace {
@@ -57,6 +75,7 @@ func (inj *Injector) WriteTraceCSV(w io.Writer) error {
 			strconv.FormatFloat(float64(r.Old), 'g', -1, 32),
 			strconv.FormatFloat(float64(r.New), 'g', -1, 32),
 			r.Model,
+			strconv.Itoa(r.Trial),
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("core: write trace row %d: %w", r.Seq, err)

@@ -40,6 +40,10 @@ type Fig4Config struct {
 	// activations (see campaign.Config.PrefixReuse). Throughput only;
 	// results are byte-identical either way.
 	PrefixReuse bool
+	// TrialBatch packs up to K trials into one forward pass (see
+	// campaign.Config.TrialBatch); 0 defaults to 8 lanes. Throughput
+	// only; results are byte-identical either way.
+	TrialBatch int
 }
 
 func (c Fig4Config) canon() Fig4Config {
@@ -63,6 +67,9 @@ func (c Fig4Config) canon() Fig4Config {
 	}
 	if c.Noise == 0 {
 		c.Noise = 0.6
+	}
+	if c.TrialBatch == 0 {
+		c.TrialBatch = defaultTrialBatch
 	}
 	return c
 }
@@ -109,7 +116,7 @@ func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, er
 	}
 
 	base := replicaFactory(name, cfg.Classes, cfg.InSize, cfg.Seed, trained, core.Config{
-		Height: cfg.InSize, Width: cfg.InSize, DType: core.INT8, Seed: cfg.Seed,
+		Batch: cfg.TrialBatch, Height: cfg.InSize, Width: cfg.InSize, DType: core.INT8, Seed: cfg.Seed,
 	})
 	calib, _ := ds.Batch(0, 8)
 	newReplica := func(worker int) (*core.Injector, error) {
@@ -139,6 +146,7 @@ func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, er
 		},
 		Metrics:     cfg.Metrics,
 		PrefixReuse: cfg.PrefixReuse,
+		TrialBatch:  cfg.TrialBatch,
 	})
 	if err != nil {
 		return Fig4Row{}, err

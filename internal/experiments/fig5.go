@@ -37,6 +37,13 @@ type Fig5Config struct {
 	// throughput here; it exists so the CLI surface matches the campaign
 	// tools.
 	PrefixReuse bool
+	// TrialBatch packs a scene's injected runs into K-lane forwards, each
+	// lane carrying one run's per-layer faults. K == 1 (the default)
+	// reproduces the study's legacy sequential numbers exactly; K > 1 is
+	// deterministic too but draws each run's sites from a private derived
+	// stream instead of one shared stream, so its numbers form their own
+	// (equally valid) sample of the same distributions.
+	TrialBatch int
 }
 
 func (c Fig5Config) canon() Fig5Config {
@@ -58,7 +65,20 @@ func (c Fig5Config) canon() Fig5Config {
 	if c.ValueRange <= 0 {
 		c.ValueRange = 1e4
 	}
+	if c.TrialBatch < 1 {
+		c.TrialBatch = 1
+	}
 	return c
+}
+
+// fig5RunRNG derives injected run r's private site/value stream from the
+// study seed (splitmix64 finalizer), so batched runs are deterministic
+// and independent of how runs are grouped into lanes.
+func fig5RunRNG(seed int64, run int) *rand.Rand {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(run+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
 }
 
 // Fig5Result aggregates the detection study.
@@ -100,7 +120,7 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 		return Fig5Result{}, fmt.Errorf("fig5 detector training: %w", err)
 	}
 	inj, err := core.New(det.Model(), core.Config{
-		Height: cfg.SceneSize, Width: cfg.SceneSize, Seed: cfg.Seed + 2,
+		Batch: cfg.TrialBatch, Height: cfg.SceneSize, Width: cfg.SceneSize, Seed: cfg.Seed + 2,
 	})
 	if err != nil {
 		return Fig5Result{}, err
@@ -132,6 +152,49 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 		res.CleanMissed += cm.Missed
 		res.CleanMisclass += cm.Misclassified
 
+		record := func(run int, faulty []detect.Detection) {
+			fm := detect.Match(faulty, gts)
+			res.FITP += fm.TruePositives
+			res.FIPhantoms += fm.Phantoms
+			res.FIMissed += fm.Missed
+			res.FIMisclass += fm.Misclassified
+			res.InjectedRuns++
+			if s == 0 && run == 0 {
+				res.ExampleClean = clean
+				res.ExampleFI = faulty
+				res.ExampleGT = gts
+			}
+		}
+		if cfg.TrialBatch > 1 {
+			// Batched: pack the scene's runs into K-lane forwards, lane l
+			// carrying run (base+l)'s per-layer faults from its private
+			// derived stream.
+			model := core.RandomValue{Lo: -cfg.ValueRange, Hi: cfg.ValueRange}
+			for base := 0; base < cfg.InjectionsPerScene; base += cfg.TrialBatch {
+				lanes := cfg.InjectionsPerScene - base
+				if lanes > cfg.TrialBatch {
+					lanes = cfg.TrialBatch
+				}
+				inj.Reset()
+				for l := 0; l < lanes; l++ {
+					run := s*cfg.InjectionsPerScene + base + l
+					runRng := fig5RunRNG(cfg.Seed+3, run)
+					if err := inj.BeginLane(l, run, runRng); err != nil {
+						return Fig5Result{}, err
+					}
+					if _, err := inj.InjectRandomNeuronPerLayer(runRng, model); err != nil {
+						return Fig5Result{}, err
+					}
+					inj.EndLane()
+				}
+				perLane := det.Detect(x.TileBatch(lanes))
+				for l := 0; l < lanes; l++ {
+					record(base+l, perLane[l])
+				}
+			}
+			res.Scenes++
+			continue
+		}
 		for i := 0; i < cfg.InjectionsPerScene; i++ {
 			inj.Reset()
 			if _, err := inj.InjectRandomNeuronPerLayer(siteRng, core.RandomValue{Lo: -cfg.ValueRange, Hi: cfg.ValueRange}); err != nil {
@@ -147,17 +210,7 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 			} else {
 				faulty = det.Detect(x)[0]
 			}
-			fm := detect.Match(faulty, gts)
-			res.FITP += fm.TruePositives
-			res.FIPhantoms += fm.Phantoms
-			res.FIMissed += fm.Missed
-			res.FIMisclass += fm.Misclassified
-			res.InjectedRuns++
-			if s == 0 && i == 0 {
-				res.ExampleClean = clean
-				res.ExampleFI = faulty
-				res.ExampleGT = gts
-			}
+			record(i, faulty)
 		}
 		res.Scenes++
 	}

@@ -44,7 +44,16 @@ type GenericCampaignConfig struct {
 	// activations (see campaign.Config.PrefixReuse). Throughput only;
 	// results are byte-identical either way.
 	PrefixReuse bool
+	// TrialBatch packs up to K compatible neuron-fault trials into one
+	// forward pass (see campaign.Config.TrialBatch). 0 picks a default:
+	// 8 lanes, or 1 (off) for weight campaigns, whose trials are never
+	// lane-safe. Throughput only; results are byte-identical either way.
+	TrialBatch int
 }
+
+// defaultTrialBatch is the lane count the generic campaigns profile for
+// (and default to) when the caller asks for automatic trial batching.
+const defaultTrialBatch = 8
 
 // GenericCampaignResult bundles the campaign aggregate with the trained
 // model's quality.
@@ -102,12 +111,20 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 		return GenericCampaignResult{}, fmt.Errorf("campaign: model classifies nothing correctly after training")
 	}
 
+	if cfg.TrialBatch == 0 {
+		cfg.TrialBatch = defaultTrialBatch
+		if cfg.IsolateWeights {
+			// Weight trials always fall back to the sequential path, so
+			// batching would only add a useless probe pass.
+			cfg.TrialBatch = 1
+		}
+	}
 	factory := replicaFactory
 	if cfg.IsolateWeights {
 		factory = copyReplicaFactory
 	}
 	base := factory(cfg.Model, cfg.Classes, cfg.InSize, cfg.Seed, trained, core.Config{
-		Height: cfg.InSize, Width: cfg.InSize, DType: cfg.DType, Seed: cfg.Seed,
+		Batch: cfg.TrialBatch, Height: cfg.InSize, Width: cfg.InSize, DType: cfg.DType, Seed: cfg.Seed,
 	})
 	calib, _ := ds.Batch(0, 8)
 	newReplica := func(worker int) (*core.Injector, error) {
@@ -132,18 +149,19 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 	}
 
 	agg, err := campaign.Run(ctx, campaign.Config{
-		Workers:    cfg.Workers,
-		Trials:     cfg.Trials,
-		Seed:       cfg.Seed + 101,
-		NewReplica: newReplica,
-		Source:     ds,
-		Eligible:   eligible,
-		Arm:        cfg.Arm,
+		Workers:     cfg.Workers,
+		Trials:      cfg.Trials,
+		Seed:        cfg.Seed + 101,
+		NewReplica:  newReplica,
+		Source:      ds,
+		Eligible:    eligible,
+		Arm:         cfg.Arm,
 		Sinks:       cfg.Sinks,
 		Progress:    cfg.Progress,
 		OnError:     cfg.OnError,
 		Metrics:     cfg.Metrics,
 		PrefixReuse: cfg.PrefixReuse,
+		TrialBatch:  cfg.TrialBatch,
 	})
 	// On abort the engine still hands back the partial aggregate; pass it
 	// through so callers can report what completed.

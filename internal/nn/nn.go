@@ -107,9 +107,13 @@ type Base struct {
 	hooks    []registeredHook
 	nextID   int
 
-	// Output-buffer reuse (see SetOutputReuse).
+	// Output-buffer reuse (see SetOutputReuse). Up to two cached buffers
+	// are kept, most recently used first: batched fault-injection
+	// campaigns alternate each layer between a batch-1 clean-prefix shape
+	// and a batch-K packed-suffix shape, and a single slot would
+	// reallocate on every flip.
 	reuseOutput bool
-	outBuf      *tensor.Tensor
+	outBufs     [2]*tensor.Tensor
 }
 
 // NewBase returns a Base with the given name.
@@ -141,26 +145,33 @@ func (b *Base) Training() bool { return b.training }
 func (b *Base) SetOutputReuse(on bool) {
 	b.reuseOutput = on
 	if !on {
-		b.outBuf = nil
+		b.outBufs = [2]*tensor.Tensor{}
 	}
 }
 
 // OutputReuse reports whether output-buffer reuse is enabled.
 func (b *Base) OutputReuse() bool { return b.reuseOutput }
 
-// output returns the buffer a forward pass should write into: the cached
-// one when reuse is on and the shape still matches, a fresh tensor
+// output returns the buffer a forward pass should write into: a cached
+// one when reuse is on and a cached shape matches, a fresh tensor
 // otherwise. With reuse on the contents are stale — callers must fully
-// overwrite every element (Conv2d, Linear and ReLU forwards do).
+// overwrite every element (Conv2d, Linear and ReLU forwards do). The
+// matched buffer is promoted to slot 0 so the cache keeps the two most
+// recently used shapes.
 func (b *Base) output(shape ...int) *tensor.Tensor {
-	if b.reuseOutput {
-		if b.outBuf != nil && shapeEq(b.outBuf.Shape(), shape) {
-			return b.outBuf
-		}
-		b.outBuf = tensor.New(shape...)
-		return b.outBuf
+	if !b.reuseOutput {
+		return tensor.New(shape...)
 	}
-	return tensor.New(shape...)
+	if t := b.outBufs[0]; t != nil && shapeEq(t.Shape(), shape) {
+		return t
+	}
+	if t := b.outBufs[1]; t != nil && shapeEq(t.Shape(), shape) {
+		b.outBufs[0], b.outBufs[1] = t, b.outBufs[0]
+		return t
+	}
+	t := tensor.New(shape...)
+	b.outBufs[0], b.outBufs[1] = t, b.outBufs[0]
+	return t
 }
 
 func shapeEq(a, b []int) bool {

@@ -1,0 +1,55 @@
+package tensor
+
+import "fmt"
+
+// Batched-trial helpers. Fault-injection campaigns pack K independent
+// trials that share one clean input into a single batched forward pass:
+// the input is tiled across K batch lanes once, and after inference each
+// lane's logits are viewed individually. Both directions preserve bit
+// patterns exactly — tiling is a memcpy per lane and Lane is a zero-copy
+// view — which is what lets the campaign engine promise byte-identical
+// aggregates between the sequential and batched paths.
+
+// TileBatch replicates a batch-1 tensor across n batch lanes: the result
+// has shape [n, rest...] and every lane is a bitwise copy of t. It panics
+// if t has no batch dimension, if its batch is not 1, or if n < 1 — a
+// tiling request for a tensor that already carries a batch is a
+// programming error in the calling engine, not a runtime condition.
+func (t *Tensor) TileBatch(n int) *Tensor {
+	if len(t.shape) == 0 {
+		panic("tensor: TileBatch of a scalar tensor")
+	}
+	if t.shape[0] != 1 {
+		panic(fmt.Sprintf("tensor: TileBatch of shape %v (batch must be 1)", t.shape))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("tensor: TileBatch with %d lanes", n))
+	}
+	shape := append([]int(nil), t.shape...)
+	shape[0] = n
+	out := New(shape...)
+	stride := len(t.data)
+	for lane := 0; lane < n; lane++ {
+		copy(out.data[lane*stride:(lane+1)*stride], t.data)
+	}
+	return out
+}
+
+// Lane returns a zero-copy batch-1 view of lane i: shape [1, rest...]
+// over the same backing storage, so reading the view reads the batched
+// tensor's lane bits directly. Mutating the view mutates the parent. It
+// panics when i is outside the batch dimension.
+func (t *Tensor) Lane(i int) *Tensor {
+	if len(t.shape) == 0 {
+		panic("tensor: Lane of a scalar tensor")
+	}
+	if i < 0 || i >= t.shape[0] {
+		panic(fmt.Sprintf("tensor: lane %d outside batch %d", i, t.shape[0]))
+	}
+	stride := 1
+	for _, d := range t.shape[1:] {
+		stride *= d
+	}
+	shape := append([]int{1}, t.shape[1:]...)
+	return FromSlice(t.data[i*stride:(i+1)*stride:(i+1)*stride], shape...)
+}

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTileBatchCopiesBits(t *testing.T) {
+	src := New(1, 2, 3)
+	for i := range src.Data() {
+		// Include a NaN payload and a denormal so the check is bitwise,
+		// not arithmetic.
+		switch i {
+		case 0:
+			src.Data()[i] = math.Float32frombits(0x7FC00001)
+		case 1:
+			src.Data()[i] = math.Float32frombits(0x00000001)
+		default:
+			src.Data()[i] = float32(i) * 0.37
+		}
+	}
+	tiled := src.TileBatch(4)
+	if got := tiled.Shape(); got[0] != 4 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("tiled shape %v", got)
+	}
+	for lane := 0; lane < 4; lane++ {
+		for i, v := range src.Data() {
+			if math.Float32bits(tiled.Data()[lane*6+i]) != math.Float32bits(v) {
+				t.Fatalf("lane %d elem %d: bits differ", lane, i)
+			}
+		}
+	}
+	// The tile is a copy: mutating it must not touch the source.
+	tiled.SetFlat(2, 99)
+	if src.AtFlat(2) == 99 {
+		t.Fatal("TileBatch aliased the source")
+	}
+}
+
+func TestTileBatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"batch2":   func() { New(2, 3).TileBatch(2) },
+		"scalar":   func() { New().TileBatch(2) },
+		"lanes0":   func() { New(1, 3).TileBatch(0) },
+		"lanesNeg": func() { New(1, 3).TileBatch(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLaneViewsShareStorage(t *testing.T) {
+	b := New(3, 2, 2)
+	for i := range b.Data() {
+		b.Data()[i] = float32(i)
+	}
+	for lane := 0; lane < 3; lane++ {
+		v := b.Lane(lane)
+		if got := v.Shape(); got[0] != 1 || got[1] != 2 || got[2] != 2 {
+			t.Fatalf("lane %d shape %v", lane, got)
+		}
+		for i := 0; i < 4; i++ {
+			if v.AtFlat(i) != float32(lane*4+i) {
+				t.Fatalf("lane %d elem %d = %g", lane, i, v.AtFlat(i))
+			}
+		}
+	}
+	// Views alias the parent in both directions.
+	b.Lane(1).SetFlat(0, -5)
+	if b.AtFlat(4) != -5 {
+		t.Fatal("Lane view does not alias parent")
+	}
+	// A view's capacity is clamped to its lane, so appends through the
+	// backing slice cannot silently bleed into the next lane.
+	if cap(b.Lane(0).Data()) != 4 {
+		t.Fatalf("lane cap %d", cap(b.Lane(0).Data()))
+	}
+}
+
+func TestLanePanicsOutOfRange(t *testing.T) {
+	for _, i := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("lane %d: expected panic", i)
+				}
+			}()
+			New(3, 2).Lane(i)
+		}()
+	}
+}
+
+func TestTileBatchLaneRoundTrip(t *testing.T) {
+	src := RandUniform(rand.New(rand.NewSource(9)), -2, 2, 1, 3, 4, 4)
+	tiled := src.TileBatch(5)
+	for lane := 0; lane < 5; lane++ {
+		if !tiled.Lane(lane).Equal(src) {
+			t.Fatalf("lane %d round trip mismatch", lane)
+		}
+	}
+}

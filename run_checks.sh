@@ -26,6 +26,13 @@ go test -race -short -timeout 20m ./...
 go test -cpu 1,4 ./internal/tensor ./internal/nn ./internal/campaign
 go test -run='^$' -bench . -benchtime 1x ./internal/tensor
 
+# The trial-batching path promises cross-lane isolation (each lane's
+# logits bit-identical to a solo run) and a packer that never drops or
+# duplicates a trial. Run that wall under the race detector at both
+# GOMAXPROCS settings: lane arming is serialized per replica, and this
+# is the line that proves it.
+go test -race -cpu 1,4 -run 'TestCrossLaneIsolation|TestTrialPacker|TestBatchedRun' ./internal/campaign
+
 # Per-package statement-coverage floors for the thin support packages.
 # Their public APIs are small and fully table-testable, so coverage that
 # drops below the floor means new code landed without tests.
@@ -39,6 +46,9 @@ check_cover() {
 check_cover ./internal/train 95
 check_cover ./internal/quant 95
 check_cover ./internal/ibp 90
+# The campaign engine now carries the probe/pack/fallback machinery;
+# the floor keeps the batched path from growing untested branches.
+check_cover ./internal/campaign 88
 
 go test -run='^$' -fuzz='^FuzzFP16RoundTrip$' -fuzztime=10s ./internal/fpbits
 go test -run='^$' -fuzz='^FuzzFlipBitFP32$' -fuzztime=10s ./internal/fpbits
@@ -46,3 +56,4 @@ go test -run='^$' -fuzz='^FuzzLoadCorrupt$' -fuzztime=10s ./internal/serialize
 go test -run='^$' -fuzz='^FuzzSaveLoadRoundTrip$' -fuzztime=10s ./internal/serialize
 go test -run='^$' -fuzz='^FuzzTrialRecordJSONLRoundTrip$' -fuzztime=10s ./internal/report
 go test -run='^$' -fuzz='^FuzzForwardFrom$' -fuzztime=10s ./internal/nn
+go test -run='^$' -fuzz='^FuzzTrialPacker$' -fuzztime=10s ./internal/campaign
