@@ -502,7 +502,7 @@ func BenchmarkCampaignPrefixReuse(b *testing.B) { benchCampaignPrefix(b, true) }
 // the win is pure FLOP sharing — no parallelism is involved. Aggregates
 // are byte-identical to the sequential rows (golden_test.go pins this);
 // BENCH_batch.json records the measured ratios.
-func benchCampaignBatch(b *testing.B, trialBatch int, reuse bool) {
+func benchCampaignBatch(b *testing.B, trialBatch int, reuse bool, sch campaign.Schedule) {
 	b.Helper()
 	s := &prefixBench
 	s.once.Do(func() {
@@ -538,6 +538,7 @@ func benchCampaignBatch(b *testing.B, trialBatch int, reuse bool) {
 			Eligible:    eligible,
 			PrefixReuse: reuse,
 			TrialBatch:  trialBatch,
+			Schedule:    sch,
 			NewReplica: func(worker int) (*core.Injector, error) {
 				replica, err := models.Build("densenet", rand.New(rand.NewSource(51)), 4, 32)
 				if err != nil {
@@ -563,8 +564,29 @@ func benchCampaignBatch(b *testing.B, trialBatch int, reuse bool) {
 	b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
 }
 
-func BenchmarkCampaignBatchSeq(b *testing.B)      { benchCampaignBatch(b, 1, false) }
-func BenchmarkCampaignBatchSeqReuse(b *testing.B) { benchCampaignBatch(b, 1, true) }
-func BenchmarkCampaignBatchK4(b *testing.B)       { benchCampaignBatch(b, 4, false) }
-func BenchmarkCampaignBatchK8(b *testing.B)       { benchCampaignBatch(b, 8, false) }
-func BenchmarkCampaignBatchK8Reuse(b *testing.B)  { benchCampaignBatch(b, 8, true) }
+// The Batch rows pin SchedulePack so they keep measuring the legacy
+// fill-every-lane grouping that BENCH_batch.json documents, independent
+// of what the default schedule decides.
+func BenchmarkCampaignBatchSeq(b *testing.B) { benchCampaignBatch(b, 1, false, campaign.SchedulePack) }
+func BenchmarkCampaignBatchSeqReuse(b *testing.B) {
+	benchCampaignBatch(b, 1, true, campaign.SchedulePack)
+}
+func BenchmarkCampaignBatchK4(b *testing.B) { benchCampaignBatch(b, 4, false, campaign.SchedulePack) }
+func BenchmarkCampaignBatchK8(b *testing.B) { benchCampaignBatch(b, 8, false, campaign.SchedulePack) }
+func BenchmarkCampaignBatchK8Reuse(b *testing.B) {
+	benchCampaignBatch(b, 8, true, campaign.SchedulePack)
+}
+
+// --- Cut-aware schedule ---------------------------------------------------
+//
+// Same campaign with ScheduleAuto and an 8-lane budget: the cost model
+// (calibrated per chain node during the clean pass) prices each group's
+// packing against sequential execution. With prefix reuse on, warmed
+// checkpoints make every sequential trial resume at its own deepest cut,
+// so auto declines to pack and must match BenchmarkCampaignBatchSeqReuse;
+// with reuse off, shared prefixes make cut-similar packs win, so auto must
+// match BenchmarkCampaignBatchK8. BENCH_sched.json records both bars.
+func BenchmarkCampaignSchedAuto(b *testing.B) { benchCampaignBatch(b, 8, false, campaign.ScheduleAuto) }
+func BenchmarkCampaignSchedAutoReuse(b *testing.B) {
+	benchCampaignBatch(b, 8, true, campaign.ScheduleAuto)
+}

@@ -67,7 +67,8 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	jsonl := fs.String("jsonl", "", "stream one JSON record per trial to this file")
 	skipErrors := fs.Bool("skip-errors", false, "count failing trials and continue instead of aborting the campaign")
 	prefixReuse := fs.Bool("prefix-reuse", true, "resume trial forwards from checkpointed clean-prefix activations (throughput only; results are byte-identical)")
-	trialBatch := fs.Int("trial-batch", 0, "pack up to K compatible trials into one forward pass; 0 = auto (throughput only; results are byte-identical)")
+	trialBatch := fs.Int("trial-batch", 0, "lane budget: up to K compatible trials may share one forward pass; 0 = default 8 lanes (1 for -scope weight, which is never lane-safe); whether lanes are actually used is -schedule's call (throughput only; results are byte-identical)")
+	schedule := fs.String("schedule", "auto", "trial execution planner: auto prices packing vs sequential per trial group with a calibrated cost model, pack always fills the -trial-batch lanes, seq ignores them (throughput only; results are byte-identical)")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +89,10 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		return usageError(fs, "%v", err)
 	}
 	arm, err := parseScope(*scope, em)
+	if err != nil {
+		return usageError(fs, "%v", err)
+	}
+	sched, err := campaign.ParseSchedule(*schedule)
 	if err != nil {
 		return usageError(fs, "%v", err)
 	}
@@ -137,6 +142,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		Metrics:        metrics,
 		PrefixReuse:    *prefixReuse,
 		TrialBatch:     *trialBatch,
+		Schedule:       sched,
 	})
 	if *progress {
 		fmt.Fprintln(os.Stderr)

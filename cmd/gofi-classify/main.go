@@ -39,7 +39,8 @@ func run(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "experiment seed")
 	size := fs.Int("size", 32, "input image size")
 	prefixReuse := fs.Bool("prefix-reuse", true, "resume trial forwards from checkpointed clean-prefix activations (throughput only; results are byte-identical)")
-	trialBatch := fs.Int("trial-batch", 0, "pack up to K compatible trials into one forward pass; 0 = auto (throughput only; results are byte-identical)")
+	trialBatch := fs.Int("trial-batch", 0, "lane budget: up to K compatible trials may share one forward pass; 0 = default 8 lanes; whether lanes are actually used is -schedule's call (throughput only; results are byte-identical)")
+	schedule := fs.String("schedule", "auto", "trial execution planner: auto prices packing vs sequential per trial group with a calibrated cost model, pack always fills the -trial-batch lanes, seq ignores them (throughput only; results are byte-identical)")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +52,10 @@ func run(ctx context.Context, args []string) error {
 	}
 	defer mcli.Finish()
 
+	sched, err := experiments.ParseSchedule(*schedule)
+	if err != nil {
+		return err
+	}
 	cfg := experiments.Fig4Config{
 		TrialsPerModel: *trials,
 		Workers:        *workers,
@@ -60,6 +65,7 @@ func run(ctx context.Context, args []string) error {
 		Metrics:        metrics,
 		PrefixReuse:    *prefixReuse,
 		TrialBatch:     *trialBatch,
+		Schedule:       sched,
 	}
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")

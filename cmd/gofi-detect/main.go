@@ -37,7 +37,8 @@ func run(ctx context.Context, args []string) error {
 	epochs := fs.Int("epochs", 12, "detector training epochs")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	prefixReuse := fs.Bool("prefix-reuse", true, "route injected forwards through the clean-prefix checkpoint runner (per-layer injections always fall back to the full forward, so this is a no-op for throughput here)")
-	trialBatch := fs.Int("trial-batch", 1, "pack a scene's injected runs into K-lane forwards (1 = the study's legacy sequential stream)")
+	trialBatch := fs.Int("trial-batch", 1, "pack a scene's injected runs into K-lane forwards; defaults to 1 — unlike the campaign tools' default of 8, because only K=1 reproduces the study's legacy shared site stream exactly (K>1 derives per-run streams: equally valid numbers, but a different sample)")
+	schedule := fs.String("schedule", "auto", "lane grouping planner (auto, pack, seq); runs carry no prefix cuts here, so auto and pack group identically and seq forces the K=1 legacy stream")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -49,6 +50,10 @@ func run(ctx context.Context, args []string) error {
 	}
 	defer mcli.Finish()
 
+	sched, err := experiments.ParseSchedule(*schedule)
+	if err != nil {
+		return err
+	}
 	res, err := experiments.RunFig5(ctx, experiments.Fig5Config{
 		Scenes:             *scenes,
 		InjectionsPerScene: *injections,
@@ -58,6 +63,7 @@ func run(ctx context.Context, args []string) error {
 		Metrics:            metrics,
 		PrefixReuse:        *prefixReuse,
 		TrialBatch:         *trialBatch,
+		Schedule:           sched,
 	})
 	if err != nil {
 		return err

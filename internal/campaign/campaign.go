@@ -22,10 +22,32 @@ import (
 	"math"
 	"math/rand"
 
+	"gofi/internal/campaign/sched"
 	"gofi/internal/core"
 	"gofi/internal/obs"
 	"gofi/internal/tensor"
 )
+
+// Schedule selects how the engine plans trial execution — re-exported
+// from internal/campaign/sched so callers configure campaigns without
+// importing the scheduler.
+type Schedule = sched.Mode
+
+const (
+	// ScheduleAuto (the zero value, and the default) prices batched
+	// packing against sequential execution per trial group with the
+	// calibrated cost model and runs whichever is cheaper.
+	ScheduleAuto = sched.ModeAuto
+	// SchedulePack packs unconditionally: every compatible trial group
+	// chunks into TrialBatch-sized packs, cost model or no.
+	SchedulePack = sched.ModePack
+	// ScheduleSeq runs every trial on the sequential path, as if
+	// TrialBatch were 1.
+	ScheduleSeq = sched.ModeSeq
+)
+
+// ParseSchedule parses the -schedule flag spelling (auto, pack, seq).
+func ParseSchedule(s string) (Schedule, error) { return sched.ParseMode(s) }
 
 // Metric names recorded by the engine when Config.Metrics is set. The
 // counters and histogram counts are exact and — like the Aggregate —
@@ -84,6 +106,25 @@ const (
 	// (nanoseconds) for multi-trial batched forwards; sequential-path
 	// trials record into MetricTrialTime as before.
 	MetricBatchPackTime = "campaign.batch.pack_ns"
+	// MetricSchedMode is the schedule mode the plan was built under
+	// (0 auto, 1 pack, 2 seq — sched.Mode values), recorded only when
+	// the scheduler runs (TrialBatch > 1).
+	MetricSchedMode = "campaign.sched.mode"
+	// MetricSchedModeled is 1 when the cost model ranked the plan and 0
+	// when the scheduler fell back to unconditional chunking (no usable
+	// cost table).
+	MetricSchedModeled = "campaign.sched.modeled"
+	// MetricSchedCostSource reports where the cost table came from:
+	// 0 none, 1 static FLOP estimates, 2 timed clean-pass calibration.
+	MetricSchedCostSource = "campaign.sched.cost_source"
+	// MetricSchedPacked / MetricSchedSolo / MetricSchedSeq partition
+	// the planned trials: placed in multi-trial packs, packable but
+	// priced cheaper alone, and forced onto the sequential path
+	// (weight faults, multi-batch sites, arm errors). These describe
+	// the plan; MetricBatchTrialsPacked still counts what executed.
+	MetricSchedPacked = "campaign.sched.packed_trials"
+	MetricSchedSolo   = "campaign.sched.solo_trials"
+	MetricSchedSeq    = "campaign.sched.seq_trials"
 )
 
 // Outcome classifies a single injection trial, using the corruption
@@ -259,6 +300,18 @@ type Config struct {
 	// multi-batch sites, arm errors) fall back to the sequential path
 	// automatically and are counted in MetricBatchSeqFallbacks.
 	TrialBatch int
+	// Schedule selects how the TrialBatch lanes are actually used. The
+	// zero value, ScheduleAuto, calibrates a per-chain-node cost table
+	// from the clean pass (or static FLOP estimates) and packs a trial
+	// group only when the model prices the pack below running its
+	// trials sequentially — under PrefixReuse that usually means NOT
+	// packing, since each sequential trial resumes from a warmed
+	// checkpoint at its own cut while a pack must resume at its
+	// shallowest member's. SchedulePack forces the unconditional
+	// chunking (the pre-scheduler behavior); ScheduleSeq ignores
+	// TrialBatch entirely. Like TrialBatch this is a throughput knob
+	// only: the Aggregate is byte-identical under every Schedule.
+	Schedule Schedule
 	// Metrics, when non-nil, receives the engine's counters, trial
 	// latency histogram and sink gauges (see the Metric* constants), and
 	// is attached to every replica injector for perturbation accounting.

@@ -9,10 +9,23 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gofi/internal/campaign/sched"
 	"gofi/internal/core"
 	"gofi/internal/nn"
 	"gofi/internal/obs"
 	"gofi/internal/tensor"
+)
+
+// Cost-table provenance, recorded in MetricSchedCostSource.
+const (
+	costSourceNone = iota
+	// costSourceStatic: analytic FLOP estimates from the chain geometry
+	// (nn.StaticChainCosts) — no timed walk was available.
+	costSourceStatic
+	// costSourceTimed: per-node nanoseconds calibrated from the clean
+	// prediction pass (checkpoint walks when PrefixReuse is on, timed
+	// chain walks otherwise).
+	costSourceTimed
 )
 
 // engineMetrics pre-resolves the engine's metric handles so the trial
@@ -204,6 +217,31 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		}
 	}()
 
+	// Effective lane width: clamp the requested batch to the profiled
+	// geometry (a lane must be a batch element the replicas were
+	// profiled for). ScheduleSeq ignores the lanes entirely. Resolved
+	// before the clean pre-pass so the pass knows whether to time its
+	// walks for scheduler calibration.
+	K := cfg.TrialBatch
+	if K < 1 || cfg.Schedule == ScheduleSeq {
+		K = 1
+	}
+	if pb := replicas[0].Config().Batch; K > pb {
+		K = pb
+	}
+	plans := make([]*core.PrefixPlan, workers)
+	if K > 1 {
+		for w := range replicas {
+			if runners[w] != nil {
+				plans[w] = runners[w].Plan()
+			} else if p, err := replicas[w].BuildPrefixPlan(); err == nil {
+				// No checkpoint store, but the chain decomposition still
+				// lets a pack share its clean prefix across lanes.
+				plans[w] = p
+			}
+		}
+	}
+
 	// Pre-pass: derive every trial's sample choice, then compute each
 	// distinct sample's clean prediction exactly once, in parallel,
 	// before fan-out. Workers previously re-ran clean inference into
@@ -220,6 +258,7 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		}
 	}
 	cleanVals := make([]cleanPrediction, len(order))
+	workerCosts := make([][]int64, workers)
 	var cleanNext atomic.Int64
 	var cleanWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -231,12 +270,13 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 				if i >= len(order) {
 					return
 				}
-				cp, err := cleanPredict(replicas[w], runners[w], cfg.Source, order[i])
+				cp, nodeNS, err := cleanPredict(replicas[w], runners[w], plans[w], cfg.Source, order[i])
 				if err != nil {
 					fail(err)
 					return
 				}
 				cleanVals[i] = cp
+				workerCosts[w] = mergeNodeCosts(workerCosts[w], nodeNS)
 			}
 		}(w)
 	}
@@ -252,31 +292,13 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		clean[idx] = cleanVals[i]
 	}
 
-	// Trial batching: clamp the requested batch to the profiled geometry
-	// (a lane must be a batch element the replicas were profiled for),
-	// then probe every trial once to learn its lane safety and prefix cut
-	// and pack compatible trials into K-lane forwards. K == 1 leaves the
-	// sequential path untouched.
-	K := cfg.TrialBatch
-	if K < 1 {
-		K = 1
-	}
-	if pb := replicas[0].Config().Batch; K > pb {
-		K = pb
-	}
-	plans := make([]*core.PrefixPlan, workers)
+	// Trial scheduling: probe every trial once to learn its lane safety
+	// and prefix cut, calibrate the cost table, and let the scheduler
+	// decide which trials run in K-lane forwards and which run alone.
+	// K == 1 leaves the sequential path untouched.
 	var packs []Pack
 	var bm *batchMetrics
 	if K > 1 {
-		for w := range replicas {
-			if runners[w] != nil {
-				plans[w] = runners[w].Plan()
-			} else if p, err := replicas[w].BuildPrefixPlan(); err == nil {
-				// No checkpoint store, but the chain decomposition still
-				// lets a pack share its clean prefix across lanes.
-				plans[w] = p
-			}
-		}
 		bm = newBatchMetrics(cfg.Metrics, K)
 		packStart := time.Now()
 		specs := make([]TrialSpec, cfg.Trials)
@@ -296,9 +318,28 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 			}(w)
 		}
 		probeWG.Wait()
-		packs = PackTrials(specs, K)
+		costs, costSource := buildCostTable(cfg, runners, plans, workerCosts, order[0])
+		splan := sched.Build(specs, sched.Config{
+			K:     K,
+			Mode:  cfg.Schedule,
+			Reuse: runners[0] != nil,
+			Costs: costs,
+		})
+		packs = splan.Entries
 		if bm != nil {
 			bm.packTimer.Since(packStart)
+		}
+		if reg := cfg.Metrics; reg != nil {
+			reg.Gauge(MetricSchedMode).Set(float64(cfg.Schedule))
+			modeled := 0.0
+			if splan.Modeled {
+				modeled = 1
+			}
+			reg.Gauge(MetricSchedModeled).Set(modeled)
+			reg.Gauge(MetricSchedCostSource).Set(float64(costSource))
+			reg.Gauge(MetricSchedPacked).Set(float64(splan.Packed))
+			reg.Gauge(MetricSchedSolo).Set(float64(splan.Solo))
+			reg.Gauge(MetricSchedSeq).Set(float64(splan.Unpackable))
 		}
 	}
 
@@ -457,8 +498,14 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 // Top-1/Top-5/confidence reference for a sample. When a prefix runner is
 // attached, the clean pass doubles as the checkpoint walk: it snapshots
 // every chain-node boundary for the sample, so the armed trials that
-// follow resume from direct hits instead of paying a first-miss prefix.
-func cleanPredict(inj *core.Injector, runner *core.PrefixRunner, src SampleSource, idx int) (cp cleanPrediction, err error) {
+// follow resume from direct hits instead of paying a first-miss prefix
+// (the runner also times each node for the scheduler — see
+// core.PrefixRunner.NodeCostsNS, collected by buildCostTable). With no
+// runner but a chain plan (batching on, reuse off), the pass walks the
+// chain node by node instead of calling nn.Run — bit-identical output,
+// since Step composition IS the forward pass — and returns the per-node
+// nanoseconds so the scheduler can still calibrate.
+func cleanPredict(inj *core.Injector, runner *core.PrefixRunner, plan *core.PrefixPlan, src SampleSource, idx int) (cp cleanPrediction, nodeNS []int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("campaign: clean inference for sample %d: panic: %v", idx, r)
@@ -469,11 +516,26 @@ func cleanPredict(inj *core.Injector, runner *core.PrefixRunner, src SampleSourc
 	x := img.Reshape(1, shape[0], shape[1], shape[2])
 	inj.Reset()
 	var logits *tensor.Tensor
-	if runner != nil {
+	switch {
+	case runner != nil:
 		if logits, err = runner.Warm(idx, x); err != nil {
-			return cp, err
+			return cp, nil, err
 		}
-	} else {
+	case plan != nil:
+		chain := plan.Chain()
+		nodeNS = make([]int64, chain.Len())
+		cur := x
+		for n := 0; n < chain.Len(); n++ {
+			t0 := time.Now()
+			if cur, err = chain.Step(n, cur); err != nil {
+				return cp, nil, err
+			}
+			if nodeNS[n] = time.Since(t0).Nanoseconds(); nodeNS[n] <= 0 {
+				nodeNS[n] = 1
+			}
+		}
+		logits = cur
+	default:
 		logits = nn.Run(inj.Model(), x)
 	}
 	probs := tensor.SoftmaxRows(logits)
@@ -482,7 +544,55 @@ func cleanPredict(inj *core.Injector, runner *core.PrefixRunner, src SampleSourc
 		top5: tensor.TopK(logits, 5)[0],
 	}
 	cp.conf = float64(probs.At(0, cp.top1))
-	return cp, nil
+	return cp, nodeNS, nil
+}
+
+// mergeNodeCosts folds one timed walk into a worker's per-node minimums
+// (the minimum across walks is the robust per-node estimate; first
+// executions pay allocation and cache warmup).
+func mergeNodeCosts(acc, nodeNS []int64) []int64 {
+	if len(nodeNS) == 0 {
+		return acc
+	}
+	if len(acc) != len(nodeNS) {
+		return append([]int64(nil), nodeNS...)
+	}
+	for i, v := range nodeNS {
+		if v > 0 && (acc[i] == 0 || v < acc[i]) {
+			acc[i] = v
+		}
+	}
+	return acc
+}
+
+// buildCostTable assembles the scheduler's per-chain-node cost table:
+// timed calibration first (per-node minimums across every worker's
+// checkpoint and clean-pass walks), static FLOP estimates from the chain
+// geometry when no walk was timed, nil when neither is available (the
+// scheduler then falls back to unconditional chunking).
+func buildCostTable(cfg Config, runners []*core.PrefixRunner, plans []*core.PrefixPlan, workerCosts [][]int64, sampleIdx int) (*sched.CostTable, int) {
+	var merged []int64
+	for w := range runners {
+		if runners[w] != nil {
+			merged = mergeNodeCosts(merged, runners[w].NodeCostsNS())
+		}
+		merged = mergeNodeCosts(merged, workerCosts[w])
+	}
+	if t := sched.NewCostTableNS(merged); t.Usable() {
+		return t, costSourceTimed
+	}
+	for w := range plans {
+		if plans[w] == nil {
+			continue
+		}
+		img, _ := cfg.Source.Sample(sampleIdx)
+		shape := img.Shape()
+		if costs, ok := nn.StaticChainCosts(plans[w].Chain(), []int{1, shape[0], shape[1], shape[2]}); ok {
+			return sched.NewCostTable(costs), costSourceStatic
+		}
+		break
+	}
+	return nil, costSourceNone
 }
 
 // runTrial executes one trial on a worker's replica: re-derive the trial

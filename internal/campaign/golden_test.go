@@ -145,10 +145,11 @@ func TestGoldenCampaignAggregates(t *testing.T) {
 		t.Run(fx.name, func(t *testing.T) {
 			base := fx.cfg(t)
 			path := filepath.Join("testdata", "golden_campaign_"+fx.name+".json")
-			run := func(workers, trialBatch int, reuse bool) Aggregate {
+			run := func(workers, trialBatch int, sch Schedule, reuse bool) Aggregate {
 				cfg := base
 				cfg.Workers = workers
 				cfg.TrialBatch = trialBatch
+				cfg.Schedule = sch
 				cfg.PrefixReuse = reuse
 				agg, err := Run(context.Background(), cfg)
 				if err != nil {
@@ -156,28 +157,31 @@ func TestGoldenCampaignAggregates(t *testing.T) {
 				}
 				return agg
 			}
-			// The aggregate must not depend on workers, the reuse path, or
-			// trial batching; check every corner against one golden. The
-			// goldens predate the batched path, so K > 1 matching them is
-			// the byte-identity proof, not a re-baseline.
+			// The aggregate must not depend on workers, the reuse path,
+			// trial batching, or the schedule mode; check every corner
+			// against one golden. The goldens predate both the batched
+			// path and the scheduler, so K > 1 and every schedule
+			// matching them is the byte-identity proof, not a re-baseline.
 			aggs := make(map[string]Aggregate)
 			for _, w := range []int{1, 8} {
-				for _, k := range []int{1, 4, 8} {
-					for _, reuse := range []bool{false, true} {
-						mode := fmt.Sprintf("w%d/k%d/", w, k)
-						if reuse {
-							mode += "reuse"
-						} else {
-							mode += "full"
-						}
-						aggs[mode] = run(w, k, reuse)
+				for _, reuse := range []bool{false, true} {
+					suffix := "/full"
+					if reuse {
+						suffix = "/reuse"
 					}
+					// ScheduleAuto across lane widths (the default path).
+					for _, k := range []int{1, 4, 8} {
+						aggs[fmt.Sprintf("w%d/k%d/auto%s", w, k, suffix)] = run(w, k, ScheduleAuto, reuse)
+					}
+					// Forced packing and forced sequential at full width.
+					aggs[fmt.Sprintf("w%d/k8/pack%s", w, suffix)] = run(w, 8, SchedulePack, reuse)
+					aggs[fmt.Sprintf("w%d/k8/seq%s", w, suffix)] = run(w, 8, ScheduleSeq, reuse)
 				}
 			}
-			ref := aggs["w1/k1/full"]
+			ref := aggs["w1/k1/auto/full"]
 			for mode, agg := range aggs {
 				if agg != ref {
-					t.Fatalf("%s aggregate %+v != w1/k1/full %+v", mode, agg, ref)
+					t.Fatalf("%s aggregate %+v != w1/k1/auto/full %+v", mode, agg, ref)
 				}
 			}
 			got := goldenFromAggregate(ref)

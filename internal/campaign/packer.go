@@ -1,17 +1,17 @@
 package campaign
 
-import "sort"
+import "gofi/internal/campaign/sched"
 
 // Trial packing. The batched engine path runs K compatible trials in one
 // forward pass over an input tiled across K batch lanes. Two trials are
 // compatible when they share the model (always true within a campaign —
 // replicas share weights), share the input sample, and carry only
 // lane-safe faults (neuron faults on AllBatches/element-0 sites; see
-// core.ErrLaneUnsafe). The packer additionally groups by the trials'
-// clean-prefix cut: a pack resumes every lane from the single cut that is
-// sound for all of them (the minimum), so packing trials with similar
-// cuts keeps the shared-prefix savings close to what each trial would get
-// alone.
+// core.ErrLaneUnsafe). How compatible trials are grouped — and whether a
+// trial is cheaper packed or alone — is the scheduler's call
+// (internal/campaign/sched): the engine hands it the probed trial specs,
+// the lane width, and a per-chain-node cost table, and executes whatever
+// plan comes back.
 //
 // Packing is a scheduling decision only — per-trial RNG streams and lane
 // isolation make every trial's outcome independent of which pack (and
@@ -19,84 +19,22 @@ import "sort"
 // function of its inputs, so two runs of the same campaign batch
 // identically.
 
-// TrialSpec describes one pending trial to the packer, as discovered by
-// the engine's probe pass.
-type TrialSpec struct {
-	// Trial is the campaign trial index.
-	Trial int
-	// Sample is the input sample the trial draws (trials in one pack
-	// share it, so one tiled input serves every lane).
-	Sample int
-	// Cut is the trial's clean-prefix chain cut (0 = no reusable prefix).
-	Cut int
-	// Packable is false for trials that must run on the sequential path:
-	// weight faults, explicit multi-batch sites, arm errors.
-	Packable bool
-}
+// TrialSpec describes one pending trial to the scheduler, as discovered
+// by the engine's probe pass.
+type TrialSpec = sched.Trial
 
-// Pack is one unit of batched work: up to K trials sharing a sample,
+// Pack is one unit of scheduled work: up to K trials sharing a sample,
 // resumed together from the pack's chain cut. Seq marks a singleton pack
 // that must run on the sequential path.
-type Pack struct {
-	Trials []int
-	Sample int
-	// Cut is the deepest chain cut sound for every trial in the pack:
-	// the minimum of the members' cuts.
-	Cut int
-	Seq bool
-}
+type Pack = sched.Entry
 
-// PackTrials groups the specs into packs of at most k trials. Every
-// input trial appears in exactly one pack: unpackable trials become
-// sequential singletons, packable trials are grouped by sample and — to
-// keep each pack's shared cut close to its members' own cuts — sorted by
-// cut (deepest first, trial index as the tiebreak) before being chunked.
-// k < 2 makes every trial a singleton. The result is deterministic in
-// (specs, k): insertion-ordered grouping and a total sort order, no map
-// iteration.
+// PackTrials groups the specs into packs of at most k trials with the
+// unconditional chunking strategy (sched.ModePack): packable trials
+// group by sample, sort by cut (deepest first), and chunk into K-sized
+// packs; unpackable trials become sequential singletons. Kept as the
+// pre-scheduler behavior — the engine itself schedules through
+// sched.Build, which can also price packs against sequential execution
+// with a cost model.
 func PackTrials(specs []TrialSpec, k int) []Pack {
-	if k < 1 {
-		k = 1
-	}
-	var packs []Pack
-	var order []int // distinct samples of packable trials, first-seen order
-	group := make(map[int][]TrialSpec)
-	var seq []TrialSpec
-	for _, s := range specs {
-		if !s.Packable || k < 2 {
-			seq = append(seq, s)
-			continue
-		}
-		if _, ok := group[s.Sample]; !ok {
-			order = append(order, s.Sample)
-		}
-		group[s.Sample] = append(group[s.Sample], s)
-	}
-	for _, sample := range order {
-		g := group[sample]
-		sort.Slice(g, func(i, j int) bool {
-			if g[i].Cut != g[j].Cut {
-				return g[i].Cut > g[j].Cut
-			}
-			return g[i].Trial < g[j].Trial
-		})
-		for start := 0; start < len(g); start += k {
-			end := start + k
-			if end > len(g) {
-				end = len(g)
-			}
-			p := Pack{Sample: sample, Cut: g[start].Cut}
-			for _, s := range g[start:end] {
-				p.Trials = append(p.Trials, s.Trial)
-				if s.Cut < p.Cut {
-					p.Cut = s.Cut
-				}
-			}
-			packs = append(packs, p)
-		}
-	}
-	for _, s := range seq {
-		packs = append(packs, Pack{Trials: []int{s.Trial}, Sample: s.Sample, Cut: 0, Seq: true})
-	}
-	return packs
+	return sched.Build(specs, sched.Config{K: k, Mode: sched.ModePack}).Entries
 }

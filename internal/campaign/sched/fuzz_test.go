@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzBuildPlan feeds arbitrary trial mixes and configurations through
+// the scheduler and checks its invariants: no panic, every trial appears
+// in exactly one plan entry, no entry exceeds K or mixes samples, every
+// non-Seq entry's cut is the minimum of its members' cuts, Seq entries
+// are singletons, and the bookkeeping counters sum to the trial count.
+func FuzzBuildPlan(f *testing.F) {
+	f.Add(int64(1), 6, 4, 0, true)
+	f.Add(int64(2), 0, 1, 1, false)
+	f.Add(int64(3), 33, 8, 2, true)
+	f.Add(int64(4), 17, -2, 0, false)
+	f.Add(int64(5), 64, 8, 0, false)
+	f.Fuzz(func(t *testing.T, seed int64, n, k, mode int, reuse bool) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 257
+		rng := rand.New(rand.NewSource(seed))
+		trials := make([]Trial, n)
+		for i := range trials {
+			trials[i] = Trial{
+				Trial:    i,
+				Sample:   rng.Intn(5),
+				Cut:      rng.Intn(12),
+				Packable: rng.Intn(4) != 0,
+			}
+		}
+		var costs *CostTable
+		switch rng.Intn(3) {
+		case 0: // usable table covering the cut range
+			node := make([]float64, 12)
+			for i := range node {
+				node[i] = rng.Float64() * 10
+			}
+			costs = NewCostTable(node)
+		case 1: // short table: cuts beyond it must clamp, not panic
+			costs = NewCostTable([]float64{rng.Float64(), rng.Float64()})
+		}
+		cfg := Config{
+			K:            k,
+			Mode:         Mode(((mode % 3) + 3) % 3),
+			Reuse:        reuse,
+			Costs:        costs,
+			LaneOverhead: (rng.Float64() - 0.3) / 2,
+		}
+		plan := Build(trials, cfg)
+		maxLen := k
+		if maxLen < 1 {
+			maxLen = 1
+		}
+		seen := make(map[int]int, n)
+		for _, e := range plan.Entries {
+			if len(e.Trials) == 0 {
+				t.Fatal("empty entry")
+			}
+			if len(e.Trials) > maxLen {
+				t.Fatalf("entry %+v exceeds k=%d", e, k)
+			}
+			minCut := -1
+			for _, trial := range e.Trials {
+				seen[trial]++
+				if trial < 0 || trial >= n {
+					t.Fatalf("entry %+v holds unknown trial %d", e, trial)
+				}
+				if !trials[trial].Packable && !e.Seq {
+					t.Fatalf("unpackable trial %d scheduled in non-Seq entry %+v", trial, e)
+				}
+				if trials[trial].Sample != e.Sample {
+					t.Fatalf("entry %+v mixes samples", e)
+				}
+				if c := trials[trial].Cut; minCut == -1 || c < minCut {
+					minCut = c
+				}
+			}
+			if e.Seq {
+				if len(e.Trials) != 1 {
+					t.Fatalf("Seq entry with %d trials: %+v", len(e.Trials), e)
+				}
+				continue
+			}
+			if e.Cut != minCut {
+				t.Fatalf("entry %+v cut %d != member min cut %d", e, e.Cut, minCut)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if seen[i] != 1 {
+				t.Fatalf("trial %d scheduled %d times", i, seen[i])
+			}
+		}
+		if plan.Packed+plan.Solo+plan.Unpackable != n {
+			t.Fatalf("counters %d+%d+%d != %d trials", plan.Packed, plan.Solo, plan.Unpackable, n)
+		}
+	})
+}

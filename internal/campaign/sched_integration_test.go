@@ -1,0 +1,171 @@
+package campaign
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gofi/internal/campaign/sched"
+	"gofi/internal/core"
+	"gofi/internal/obs"
+)
+
+// probeAll reproduces the engine's probe pass over an explicit
+// worker-assignment function: trial t is probed on replica assign(t), in
+// the iteration order given by perm. The engine's contract is that the
+// resulting specs — and therefore the plan — depend on neither.
+func probeAll(t *testing.T, cfg Config, replicas []*core.Injector, plans []*core.PrefixPlan, assign func(int) int, perm []int) []TrialSpec {
+	t.Helper()
+	specs := make([]TrialSpec, cfg.Trials)
+	for _, trial := range perm {
+		w := assign(trial)
+		specs[trial] = probeTrial(cfg, replicas[w], plans[w], trial, trialSample(cfg, trial))
+	}
+	return specs
+}
+
+// TestSchedulePlanDeterministicAcrossWorkers is the plan-determinism
+// property test: the emitted plan is a pure function of (Seed, Trials,
+// cost table). Probing on 1 replica in trial order and on 8 replicas in
+// reverse order with interleaved assignment must yield byte-identical
+// specs, and sched.Build over them (with a fixed cost table) identical
+// plans at every mode.
+func TestSchedulePlanDeterministicAcrossWorkers(t *testing.T) {
+	cfg := untrainedCampaign(t, func(inj *core.Injector, rng *rand.Rand) error {
+		_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit})
+		return err
+	})
+	mkReplicas := func(n int) ([]*core.Injector, []*core.PrefixPlan) {
+		replicas := make([]*core.Injector, n)
+		plans := make([]*core.PrefixPlan, n)
+		for w := range replicas {
+			inj, err := cfg.NewReplica(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replicas[w] = inj
+			if p, err := inj.BuildPrefixPlan(); err == nil {
+				plans[w] = p
+			}
+		}
+		return replicas, plans
+	}
+	r1, p1 := mkReplicas(1)
+	forward := make([]int, cfg.Trials)
+	for i := range forward {
+		forward[i] = i
+	}
+	specs1 := probeAll(t, cfg, r1, p1, func(int) int { return 0 }, forward)
+
+	r8, p8 := mkReplicas(8)
+	reverse := make([]int, cfg.Trials)
+	for i := range reverse {
+		reverse[i] = cfg.Trials - 1 - i
+	}
+	specs8 := probeAll(t, cfg, r8, p8, func(trial int) int { return trial % 8 }, reverse)
+
+	if !reflect.DeepEqual(specs1, specs8) {
+		t.Fatalf("probed specs depend on worker assignment:\n w1 %+v\n w8 %+v", specs1, specs8)
+	}
+	costs := sched.NewCostTable([]float64{7, 1, 6, 1, 2, 0, 1})
+	for _, mode := range []Schedule{ScheduleAuto, SchedulePack, ScheduleSeq} {
+		for _, reuse := range []bool{false, true} {
+			c := sched.Config{K: 8, Mode: mode, Reuse: reuse, Costs: costs}
+			plan1 := sched.Build(specs1, c)
+			plan8 := sched.Build(specs8, c)
+			if !reflect.DeepEqual(plan1, plan8) {
+				t.Fatalf("%v/reuse=%v plan differs across worker counts:\n %+v\n %+v", mode, reuse, plan1, plan8)
+			}
+		}
+	}
+}
+
+// TestScheduleAutoRespectsCostModel runs the engine end to end at
+// TrialBatch 8 and checks the auto scheduler's decisions through the
+// metrics: with PrefixReuse on, packing always loses under the model
+// (each sequential trial resumes from a warmed checkpoint at its own
+// cut) so nothing packs; with reuse off, shared prefixes make packs win
+// for most trials. Both runs must still reproduce the sequential
+// aggregate byte-identically.
+func TestScheduleAutoRespectsCostModel(t *testing.T) {
+	arm := func(inj *core.Injector, rng *rand.Rand) error {
+		_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit})
+		return err
+	}
+	ref, err := Run(context.Background(), untrainedCampaign(t, arm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(reuse bool) (Aggregate, *obs.Registry) {
+		cfg := untrainedCampaign(t, arm)
+		cfg.Workers = 2
+		cfg.TrialBatch = 8
+		cfg.PrefixReuse = reuse
+		cfg.Metrics = obs.NewRegistry()
+		agg, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg, cfg.Metrics
+	}
+
+	agg, reg := run(true)
+	if agg != ref {
+		t.Fatalf("auto/reuse aggregate %+v != sequential %+v", agg, ref)
+	}
+	if v := reg.Gauge(MetricSchedModeled).Value(); v != 1 {
+		t.Fatalf("reuse-on plan not cost-modeled (modeled=%v) — calibration missing?", v)
+	}
+	if v := reg.Gauge(MetricSchedCostSource).Value(); v != costSourceTimed {
+		t.Fatalf("reuse-on cost source = %v, want timed (%d)", v, costSourceTimed)
+	}
+	if packed := reg.Gauge(MetricSchedPacked).Value(); packed != 0 {
+		t.Fatalf("auto scheduler packed %v trials under reuse; the model prices packing above sequential there", packed)
+	}
+	if solo := reg.Gauge(MetricSchedSolo).Value(); solo == 0 {
+		t.Fatal("no solo trials under reuse — scheduler did not run?")
+	}
+
+	agg, reg = run(false)
+	if agg != ref {
+		t.Fatalf("auto/full aggregate %+v != sequential %+v", agg, ref)
+	}
+	if v := reg.Gauge(MetricSchedCostSource).Value(); v != costSourceTimed {
+		t.Fatalf("reuse-off cost source = %v, want timed (%d) — clean-pass chain walks not timed?", v, costSourceTimed)
+	}
+	if packed := reg.Gauge(MetricSchedPacked).Value(); packed == 0 {
+		t.Fatal("auto scheduler packed nothing without reuse; shared prefixes should make packs win")
+	}
+}
+
+// TestScheduleSeqIgnoresTrialBatch: ScheduleSeq at TrialBatch 8 must run
+// the pure sequential path — no scheduler, no batch metrics — and still
+// reproduce the aggregate.
+func TestScheduleSeqIgnoresTrialBatch(t *testing.T) {
+	arm := func(inj *core.Injector, rng *rand.Rand) error {
+		_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit})
+		return err
+	}
+	ref, err := Run(context.Background(), untrainedCampaign(t, arm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := untrainedCampaign(t, arm)
+	cfg.TrialBatch = 8
+	cfg.Schedule = ScheduleSeq
+	cfg.Metrics = obs.NewRegistry()
+	agg, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg != ref {
+		t.Fatalf("seq-schedule aggregate %+v != sequential %+v", agg, ref)
+	}
+	if v := cfg.Metrics.Gauge(MetricBatchK).Value(); v != 0 {
+		t.Fatalf("ScheduleSeq still initialized the batched path (k=%v)", v)
+	}
+	if v := cfg.Metrics.Gauge(MetricSchedPacked).Value(); v != 0 {
+		t.Fatalf("ScheduleSeq packed %v trials", v)
+	}
+}

@@ -111,6 +111,11 @@ type PrefixRunner struct {
 	plan  *PrefixPlan
 	store *tensor.CheckpointStore
 	met   PrefixMetrics
+	// nodeNS holds the minimum observed clean forward cost of each chain
+	// node across every checkpoint walk (Warm and Boundary misses). The
+	// minimum is the robust estimate: a node's first execution may pay
+	// allocation and cache warmup that later walks do not.
+	nodeNS []int64
 }
 
 // NewPrefixRunner builds a runner over inj with a checkpoint store of
@@ -129,6 +134,48 @@ func (r *PrefixRunner) SetMetrics(m PrefixMetrics) { r.met = m }
 
 // Plan returns the runner's prefix plan.
 func (r *PrefixRunner) Plan() *PrefixPlan { return r.plan }
+
+// noteNodeCost folds one timed chain-node execution into the runner's
+// per-node cost estimates (minimum across walks; see nodeNS).
+func (r *PrefixRunner) noteNodeCost(node int, ns int64) {
+	if r.nodeNS == nil {
+		r.nodeNS = make([]int64, r.plan.chain.Len())
+	}
+	if ns <= 0 {
+		ns = 1 // a degenerate clock read still marks the node observed
+	}
+	if cur := r.nodeNS[node]; cur == 0 || ns < cur {
+		r.nodeNS[node] = ns
+	}
+}
+
+// NodeCostsNS reports the per-chain-node clean forward costs observed so
+// far (minimum nanoseconds across checkpoint walks), or nil if no walk
+// has executed. A zero entry means that node has not been walked yet.
+// The campaign scheduler prices candidate trial plans with this table.
+func (r *PrefixRunner) NodeCostsNS() []int64 {
+	if r.nodeNS == nil {
+		return nil
+	}
+	return append([]int64(nil), r.nodeNS...)
+}
+
+// HitDepth reports the deepest checkpoint at or below cut currently
+// stored for item, and that checkpoint's recorded prefix cost in
+// nanoseconds — what a Boundary(item, cut, ...) call would resume from
+// right now. depth == 0 (cost 0) means no stored prefix: Boundary would
+// recompute from the model input.
+func (r *PrefixRunner) HitDepth(item, cut int) (depth int, costNS int64) {
+	if cut > r.plan.chain.Len() {
+		cut = r.plan.chain.Len()
+	}
+	for j := cut; j > 0; j-- {
+		if _, ns, ok := r.store.Get(item, j); ok {
+			return j, ns
+		}
+	}
+	return 0, 0
+}
 
 // Store returns the runner's checkpoint store (diagnostics and tests).
 func (r *PrefixRunner) Store() *tensor.CheckpointStore { return r.store }
@@ -152,7 +199,9 @@ func (r *PrefixRunner) Warm(item int, x *tensor.Tensor) (*tensor.Tensor, error) 
 		if err != nil {
 			return nil, err
 		}
-		elapsed += time.Since(t0).Nanoseconds()
+		stepNS := time.Since(t0).Nanoseconds()
+		r.noteNodeCost(n, stepNS)
+		elapsed += stepNS
 		cur = r.store.Put(item, n+1, next, elapsed)
 	}
 	return cur, nil
@@ -233,7 +282,9 @@ func (r *PrefixRunner) Boundary(item, cut int, x *tensor.Tensor) (*tensor.Tensor
 		if err != nil {
 			return nil, err
 		}
-		elapsed += time.Since(t0).Nanoseconds()
+		stepNS := time.Since(t0).Nanoseconds()
+		r.noteNodeCost(n, stepNS)
+		elapsed += stepNS
 		cur = r.store.Put(item, n+1, next, elapsed)
 	}
 	if r.met.Misses != nil {

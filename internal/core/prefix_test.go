@@ -236,3 +236,61 @@ func TestPrefixPlanCuts(t *testing.T) {
 		t.Fatalf("CutFor(-1) = %d, want 0", got)
 	}
 }
+
+// TestNodeCostsAndHitDepth: after a Warm pass every chain node has an
+// observed cost and HitDepth reports direct hits at every cut; before
+// any walk both report "nothing observed / no prefix".
+func TestNodeCostsAndHitDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	model := testModel(rng)
+	inj, err := New(model, Config{Height: 16, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewPrefixRunner(inj, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runner.NodeCostsNS(); got != nil {
+		t.Fatalf("NodeCostsNS before any walk = %v, want nil", got)
+	}
+	if d, ns := runner.HitDepth(0, runner.Plan().Chain().Len()); d != 0 || ns != 0 {
+		t.Fatalf("HitDepth on empty store = (%d,%d), want (0,0)", d, ns)
+	}
+	x := tensor.RandUniform(rng, -1, 1, 1, 3, 16, 16)
+	inj.Reset()
+	if _, err := runner.Warm(0, x); err != nil {
+		t.Fatal(err)
+	}
+	costs := runner.NodeCostsNS()
+	chainLen := runner.Plan().Chain().Len()
+	if len(costs) != chainLen {
+		t.Fatalf("NodeCostsNS len %d, want chain len %d", len(costs), chainLen)
+	}
+	for n, c := range costs {
+		if c <= 0 {
+			t.Fatalf("node %d cost = %d after Warm, want > 0", n, c)
+		}
+	}
+	// Every cut is a direct hit after a full Warm, with monotone
+	// recorded prefix cost.
+	prev := int64(0)
+	for cut := 1; cut <= chainLen; cut++ {
+		d, ns := runner.HitDepth(0, cut)
+		if d != cut {
+			t.Fatalf("HitDepth(0,%d) = %d, want direct hit", cut, d)
+		}
+		if ns < prev {
+			t.Fatalf("prefix cost at cut %d = %d, below cut %d's %d", cut, ns, cut-1, prev)
+		}
+		prev = ns
+	}
+	// A cut beyond the chain clamps rather than panicking.
+	if d, _ := runner.HitDepth(0, chainLen+5); d != chainLen {
+		t.Fatalf("clamped HitDepth = %d, want %d", d, chainLen)
+	}
+	// An unknown item has no prefix.
+	if d, _ := runner.HitDepth(7, chainLen); d != 0 {
+		t.Fatalf("HitDepth of unwarmed item = %d, want 0", d)
+	}
+}

@@ -44,6 +44,11 @@ type Fig4Config struct {
 	// campaign.Config.TrialBatch); 0 defaults to 8 lanes. Throughput
 	// only; results are byte-identical either way.
 	TrialBatch int
+	// Schedule selects how the engine uses the TrialBatch lanes (see
+	// campaign.Config.Schedule); the zero value is the cost-modeled
+	// campaign.ScheduleAuto. Throughput only; results are
+	// byte-identical under every schedule.
+	Schedule campaign.Schedule
 }
 
 func (c Fig4Config) canon() Fig4Config {
@@ -147,6 +152,7 @@ func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, er
 		Metrics:     cfg.Metrics,
 		PrefixReuse: cfg.PrefixReuse,
 		TrialBatch:  cfg.TrialBatch,
+		Schedule:    cfg.Schedule,
 	})
 	if err != nil {
 		return Fig4Row{}, err

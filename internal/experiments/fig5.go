@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"gofi/internal/campaign"
+	"gofi/internal/campaign/sched"
 	"gofi/internal/core"
 	"gofi/internal/data"
 	"gofi/internal/detect"
@@ -44,6 +46,12 @@ type Fig5Config struct {
 	// stream instead of one shared stream, so its numbers form their own
 	// (equally valid) sample of the same distributions.
 	TrialBatch int
+	// Schedule selects how the TrialBatch lanes are grouped, through the
+	// same scheduler as the campaign engine (campaign.Schedule). The
+	// study has no per-run prefix cuts or calibrated costs, so auto and
+	// pack group identically (chunks of K in run order, exactly the
+	// legacy grouping); ScheduleSeq forces the K == 1 legacy stream.
+	Schedule campaign.Schedule
 }
 
 func (c Fig5Config) canon() Fig5Config {
@@ -65,7 +73,7 @@ func (c Fig5Config) canon() Fig5Config {
 	if c.ValueRange <= 0 {
 		c.ValueRange = 1e4
 	}
-	if c.TrialBatch < 1 {
+	if c.TrialBatch < 1 || c.Schedule == campaign.ScheduleSeq {
 		c.TrialBatch = 1
 	}
 	return c
@@ -166,18 +174,24 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 			}
 		}
 		if cfg.TrialBatch > 1 {
-			// Batched: pack the scene's runs into K-lane forwards, lane l
-			// carrying run (base+l)'s per-layer faults from its private
-			// derived stream.
+			// Batched: group the scene's runs into K-lane forwards through
+			// the campaign scheduler. The runs carry no prefix cuts or cost
+			// table, so the scheduler emits the legacy chunking — runs
+			// [0,K), [K,2K), ... in order — and the numbers stay
+			// byte-identical to the pre-scheduler grouping. Lane l of an
+			// entry carries its run's per-layer faults from the run's
+			// private derived stream.
 			model := core.RandomValue{Lo: -cfg.ValueRange, Hi: cfg.ValueRange}
-			for base := 0; base < cfg.InjectionsPerScene; base += cfg.TrialBatch {
-				lanes := cfg.InjectionsPerScene - base
-				if lanes > cfg.TrialBatch {
-					lanes = cfg.TrialBatch
-				}
+			specs := make([]campaign.TrialSpec, cfg.InjectionsPerScene)
+			for i := range specs {
+				specs[i] = campaign.TrialSpec{Trial: i, Sample: s, Packable: true}
+			}
+			plan := sched.Build(specs, sched.Config{K: cfg.TrialBatch, Mode: cfg.Schedule})
+			for _, entry := range plan.Entries {
+				lanes := len(entry.Trials)
 				inj.Reset()
-				for l := 0; l < lanes; l++ {
-					run := s*cfg.InjectionsPerScene + base + l
+				for l, i := range entry.Trials {
+					run := s*cfg.InjectionsPerScene + i
 					runRng := fig5RunRNG(cfg.Seed+3, run)
 					if err := inj.BeginLane(l, run, runRng); err != nil {
 						return Fig5Result{}, err
@@ -188,8 +202,8 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 					inj.EndLane()
 				}
 				perLane := det.Detect(x.TileBatch(lanes))
-				for l := 0; l < lanes; l++ {
-					record(base+l, perLane[l])
+				for l, i := range entry.Trials {
+					record(i, perLane[l])
 				}
 			}
 			res.Scenes++

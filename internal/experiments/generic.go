@@ -13,6 +13,11 @@ import (
 // ArmFunc arms one trial's fault(s) on a freshly Reset injector.
 type ArmFunc func(inj *core.Injector, rng *rand.Rand) error
 
+// ParseSchedule parses the -schedule flag spelling (auto, pack, seq) —
+// re-exported so the CLIs need not import the campaign package for one
+// flag.
+func ParseSchedule(s string) (campaign.Schedule, error) { return campaign.ParseSchedule(s) }
+
 // GenericCampaignConfig drives RunGenericCampaign, the configurable
 // campaign behind cmd/gofi-campaign.
 type GenericCampaignConfig struct {
@@ -49,6 +54,12 @@ type GenericCampaignConfig struct {
 	// 8 lanes, or 1 (off) for weight campaigns, whose trials are never
 	// lane-safe. Throughput only; results are byte-identical either way.
 	TrialBatch int
+	// Schedule selects how the engine uses the TrialBatch lanes (see
+	// campaign.Config.Schedule). The zero value, campaign.ScheduleAuto,
+	// prices packing against sequential execution with the calibrated
+	// cost model per trial group. Throughput only; results are
+	// byte-identical under every schedule.
+	Schedule campaign.Schedule
 }
 
 // defaultTrialBatch is the lane count the generic campaigns profile for
@@ -162,6 +173,7 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 		Metrics:     cfg.Metrics,
 		PrefixReuse: cfg.PrefixReuse,
 		TrialBatch:  cfg.TrialBatch,
+		Schedule:    cfg.Schedule,
 	})
 	// On abort the engine still hands back the partial aggregate; pass it
 	// through so callers can report what completed.

@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"fmt"
+
+	"gofi/internal/tensor"
+)
+
+// Static chain-node cost metadata. The campaign scheduler prices
+// candidate trial plans — "resume at cut c, batch k" — against
+// per-chain-node forward costs. Those costs are normally calibrated from
+// the timed clean-prediction pass; the estimators here provide the
+// static fallback, deriving analytic FLOP counts from layer geometry
+// alone (tensor.ConvFLOPs and friends) with input shapes propagated
+// symbolically through the chain.
+
+// CostEstimator is optionally implemented by layers that can estimate
+// their forward cost without executing. EstimateCost returns the
+// estimated forward FLOPs for an input of shape inShape and the shape of
+// the layer's output (which becomes the next chain node's input).
+type CostEstimator interface {
+	EstimateCost(inShape []int) (flops float64, outShape []int)
+}
+
+// estimateLayerCost prices one layer. Layers that do not implement
+// CostEstimator are priced as an element-wise pass over their input with
+// the shape unchanged — the honest default for glue layers, and the
+// reason StaticChainCosts stays total on custom layers.
+func estimateLayerCost(l Layer, inShape []int) (float64, []int) {
+	if ce, ok := l.(CostEstimator); ok {
+		return ce.EstimateCost(inShape)
+	}
+	return tensor.NumElems(inShape), inShape
+}
+
+// StaticChainCosts estimates each chain node's forward FLOPs for a model
+// input of shape inShape ([N,C,H,W]). Shape propagation mistakes on
+// exotic topologies surface as panics inside a layer's estimator; they
+// are recovered into ok == false so a scheduler can fall back to an
+// uncosted plan instead of dying.
+func StaticChainCosts(c *Chain, inShape []int) (costs []float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			costs, ok = nil, false
+		}
+	}()
+	if c == nil || len(inShape) == 0 {
+		return nil, false
+	}
+	costs = make([]float64, c.Len())
+	shape := inShape
+	for i := 0; i < c.Len(); i++ {
+		costs[i], shape = estimateLayerCost(c.Node(i), shape)
+		if len(shape) == 0 {
+			return nil, false
+		}
+	}
+	return costs, true
+}
+
+// checkRank4 guards the spatial estimators: a conv/pool estimator fed a
+// flattened shape means propagation already went wrong upstream.
+func checkRank4(l Layer, inShape []int) {
+	if len(inShape) != 4 {
+		panic(fmt.Sprintf("nn: cost estimate of %q needs [N,C,H,W], got %v", l.Name(), inShape))
+	}
+}
+
+// EstimateCost implements CostEstimator: one flatten is free and the
+// output collapses every non-batch dimension.
+func (l *Flatten) EstimateCost(inShape []int) (float64, []int) {
+	rest := 1
+	for _, d := range inShape[1:] {
+		rest *= d
+	}
+	return 0, []int{inShape[0], rest}
+}
+
+// EstimateCost implements CostEstimator.
+func (l *Identity) EstimateCost(inShape []int) (float64, []int) {
+	return 0, inShape
+}
+
+// EstimateCost implements CostEstimator: eval-mode dropout is a scaled
+// copy.
+func (l *Dropout) EstimateCost(inShape []int) (float64, []int) {
+	return tensor.NumElems(inShape), inShape
+}
+
+// EstimateCost implements CostEstimator: a permuted copy.
+func (l *ChannelShuffle) EstimateCost(inShape []int) (float64, []int) {
+	return tensor.NumElems(inShape), inShape
+}
+
+// EstimateCost implements CostEstimator: disarmed pass-through.
+func (l *PerturbLayer) EstimateCost(inShape []int) (float64, []int) {
+	return tensor.NumElems(inShape), inShape
+}
+
+// EstimateCost implements CostEstimator.
+func (l *ReLU) EstimateCost(inShape []int) (float64, []int) {
+	return tensor.NumElems(inShape), inShape
+}
+
+// EstimateCost implements CostEstimator: exp, sum and divide per element.
+func (l *Softmax) EstimateCost(inShape []int) (float64, []int) {
+	return 3 * tensor.NumElems(inShape), inShape
+}
+
+// EstimateCost implements CostEstimator.
+func (l *Sigmoid) EstimateCost(inShape []int) (float64, []int) {
+	return 2 * tensor.NumElems(inShape), inShape
+}
+
+// EstimateCost implements CostEstimator.
+func (l *Tanh) EstimateCost(inShape []int) (float64, []int) {
+	return 2 * tensor.NumElems(inShape), inShape
+}
+
+// EstimateCost implements CostEstimator: eval-mode batch norm is one
+// fused multiply-add per element.
+func (l *BatchNorm2d) EstimateCost(inShape []int) (float64, []int) {
+	return 2 * tensor.NumElems(inShape), inShape
+}
+
+// EstimateCost implements CostEstimator.
+func (l *Conv2d) EstimateCost(inShape []int) (float64, []int) {
+	checkRank4(l, inShape)
+	return tensor.ConvFLOPs(inShape, l.weight.Data.Shape(), l.Spec), l.OutShape(inShape)
+}
+
+// EstimateCost implements CostEstimator.
+func (l *Linear) EstimateCost(inShape []int) (float64, []int) {
+	if len(inShape) != 2 {
+		panic(fmt.Sprintf("nn: cost estimate of Linear %q needs [N,in], got %v", l.Name(), inShape))
+	}
+	n := inShape[0]
+	flops := tensor.GEMMFLOPs(n, l.Out, l.In) + float64(n*l.Out)
+	return flops, []int{n, l.Out}
+}
+
+// EstimateCost implements CostEstimator.
+func (l *MaxPool2d) EstimateCost(inShape []int) (float64, []int) {
+	checkRank4(l, inShape)
+	return tensor.PoolFLOPs(inShape, l.Spec), tensor.PoolOutShape(inShape, l.Spec)
+}
+
+// EstimateCost implements CostEstimator.
+func (l *AvgPool2d) EstimateCost(inShape []int) (float64, []int) {
+	checkRank4(l, inShape)
+	return tensor.PoolFLOPs(inShape, l.Spec), tensor.PoolOutShape(inShape, l.Spec)
+}
+
+// EstimateCost implements CostEstimator.
+func (l *GlobalAvgPool2d) EstimateCost(inShape []int) (float64, []int) {
+	checkRank4(l, inShape)
+	return tensor.NumElems(inShape), []int{inShape[0], inShape[1], 1, 1}
+}
+
+// EstimateCost implements CostEstimator: the sum of the children, with
+// shapes threaded through.
+func (s *Sequential) EstimateCost(inShape []int) (float64, []int) {
+	total := 0.0
+	shape := inShape
+	var f float64
+	for _, child := range s.layers {
+		f, shape = estimateLayerCost(child, shape)
+		total += f
+	}
+	return total, shape
+}
+
+// EstimateCost implements CostEstimator: body plus shortcut plus the
+// element-wise sum (and post-activation when present). The body's output
+// shape is the block's — the Forward contract requires the shortcut to
+// match it.
+func (r *Residual) EstimateCost(inShape []int) (float64, []int) {
+	bodyF, outShape := estimateLayerCost(r.BodyLayer, inShape)
+	shortF, _ := estimateLayerCost(r.ShortcutLayer, inShape)
+	total := bodyF + shortF + tensor.NumElems(outShape)
+	if r.PostAct != nil {
+		f, post := estimateLayerCost(r.PostAct, outShape)
+		total += f
+		outShape = post
+	}
+	return total, outShape
+}
+
+// EstimateCost implements CostEstimator: every branch runs on the same
+// input; outputs concatenate along channels.
+func (c *Concat) EstimateCost(inShape []int) (float64, []int) {
+	checkRank4(c, inShape)
+	total, channels := 0.0, 0
+	out := inShape
+	for _, b := range c.Branches {
+		f, bo := estimateLayerCost(b, inShape)
+		if len(bo) != 4 {
+			panic(fmt.Sprintf("nn: cost estimate of Concat %q branch produced non-[N,C,H,W] shape %v", c.Name(), bo))
+		}
+		total += f
+		channels += bo[1]
+		out = bo
+	}
+	return total, []int{out[0], channels, out[2], out[3]}
+}

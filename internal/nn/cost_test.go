@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"gofi/internal/tensor"
+)
+
+// TestStaticChainCosts checks exact per-node estimates and shape
+// propagation on a conv→relu→pool→flatten→linear chain.
+func TestStaticChainCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewSequential("m",
+		NewConv2d("c", rng, 3, 8, 3, Conv2dConfig{Pad: 1}), // 1x3x8x8 → 1x8x8x8
+		NewReLU("r"),
+		NewMaxPool2d("p", 2, 0, 0), // → 1x8x4x4
+		NewFlatten("f"),            // → [1,128]
+		NewLinear("fc", rng, 128, 4, true),
+	)
+	chain := PlanChain(m)
+	costs, ok := StaticChainCosts(chain, []int{1, 3, 8, 8})
+	if !ok {
+		t.Fatal("StaticChainCosts failed on a plain chain")
+	}
+	if len(costs) != chain.Len() {
+		t.Fatalf("got %d costs for %d nodes", len(costs), chain.Len())
+	}
+	want := []float64{
+		2 * (8 * 8 * 8) * (3 * 3 * 3), // conv
+		8 * 8 * 8,                     // relu
+		8 * 4 * 4 * 4,                 // pool: out elems * window
+		0,                             // flatten
+		2*128*4 + 4,                   // linear + bias
+	}
+	for i, w := range want {
+		if costs[i] != w {
+			t.Fatalf("node %d cost = %v, want %v (all %v)", i, costs[i], w, costs)
+		}
+	}
+}
+
+// TestStaticChainCostsContainers covers the atomic-node containers:
+// Residual (body + shortcut + add) and Concat (branch sum, channel
+// concat), plus the unknown-layer fallback.
+func TestStaticChainCostsContainers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	res := NewResidual("res",
+		NewConv2d("b", rng, 4, 4, 3, Conv2dConfig{Pad: 1}),
+		nil,
+		NewReLU("post"),
+	)
+	cat := NewConcat("cat",
+		NewConv2d("b1", rng, 4, 2, 1, Conv2dConfig{}),
+		NewConv2d("b2", rng, 4, 3, 1, Conv2dConfig{}),
+	)
+	m := NewSequential("m", res, cat, NewGlobalAvgPool2d("gap"))
+	chain := PlanChain(m)
+	costs, ok := StaticChainCosts(chain, []int{1, 4, 6, 6})
+	if !ok {
+		t.Fatal("StaticChainCosts failed on containers")
+	}
+	convB := 2.0 * (4 * 6 * 6) * (4 * 3 * 3)
+	elems := 4.0 * 6 * 6
+	wantRes := convB + 0 + elems + elems // body + identity shortcut + add + relu
+	if costs[0] != wantRes {
+		t.Fatalf("residual cost = %v, want %v", costs[0], wantRes)
+	}
+	wantCat := 2.0*(2*6*6)*4 + 2.0*(3*6*6)*4
+	if costs[1] != wantCat {
+		t.Fatalf("concat cost = %v, want %v", costs[1], wantCat)
+	}
+	// GlobalAvgPool sees the concatenated [1,5,6,6].
+	if costs[2] != 5*6*6 {
+		t.Fatalf("gap cost = %v, want %v", costs[2], 5*6*6)
+	}
+}
+
+// oddLayer is a layer type the estimator has never heard of.
+type oddLayer struct{ Base }
+
+func (l *oddLayer) Params() []*Param                         { return nil }
+func (l *oddLayer) Forward(x *tensor.Tensor) *tensor.Tensor  { return x }
+func (l *oddLayer) Backward(g *tensor.Tensor) *tensor.Tensor { return g }
+
+// TestStaticChainCostsUnknownLayer: layers without a CostEstimator are
+// priced as an element-wise pass and never sink the whole estimate.
+func TestStaticChainCostsUnknownLayer(t *testing.T) {
+	m := NewSequential("m", &oddLayer{Base: NewBase("odd")}, NewReLU("r"))
+	costs, ok := StaticChainCosts(PlanChain(m), []int{1, 2, 3, 3})
+	if !ok {
+		t.Fatal("StaticChainCosts gave up on an unknown layer")
+	}
+	if costs[0] != 2*3*3 || costs[1] != 2*3*3 {
+		t.Fatalf("unknown-layer costs = %v, want [18 18]", costs)
+	}
+}
+
+// TestStaticChainCostsBadShape: a geometry mismatch must return ok ==
+// false, not panic.
+func TestStaticChainCostsBadShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewSequential("m", NewLinear("fc", rng, 8, 4, false))
+	if _, ok := StaticChainCosts(PlanChain(m), []int{1, 3, 8, 8}); ok {
+		t.Fatal("StaticChainCosts accepted a rank-4 input into Linear")
+	}
+	if _, ok := StaticChainCosts(nil, []int{1}); ok {
+		t.Fatal("StaticChainCosts accepted a nil chain")
+	}
+}

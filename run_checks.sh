@@ -36,8 +36,23 @@ go test -race -cpu 1,4 -run 'TestCrossLaneIsolation|TestTrialPacker|TestBatchedR
 # Per-package statement-coverage floors for the thin support packages.
 # Their public APIs are small and fully table-testable, so coverage that
 # drops below the floor means new code landed without tests.
+#
+# The go-test run and the percentage extraction are checked separately:
+# a failing test, a package with no tests, or a changed -cover output
+# format must each FAIL loudly, not slide through as an empty $pct that
+# some awk comparison happens to accept.
 check_cover() {
-	pct=$(go test -cover "$1" | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')
+	if ! out=$(go test -cover "$1"); then
+		echo "FAIL: go test -cover $1 failed" >&2
+		echo "$out" >&2
+		exit 1
+	fi
+	pct=$(echo "$out" | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*') || true
+	if [ -z "$pct" ]; then
+		echo "FAIL: no coverage figure in 'go test -cover $1' output (package untested or output format changed)" >&2
+		echo "$out" >&2
+		exit 1
+	fi
 	awk -v p="$pct" -v f="$2" 'BEGIN { exit !(p >= f) }' || {
 		echo "FAIL: coverage ${pct}% of $1 below floor $2%" >&2
 		exit 1
@@ -49,6 +64,17 @@ check_cover ./internal/ibp 90
 # The campaign engine now carries the probe/pack/fallback machinery;
 # the floor keeps the batched path from growing untested branches.
 check_cover ./internal/campaign 88
+# The scheduler decides how every batched campaign executes; its cost
+# model and DP partition are pure functions with table-driven tests, so
+# the floor is high.
+check_cover ./internal/campaign/sched 90
+
+# The cut-aware scheduler's two promises on the DenseNet campaign: with
+# prefix reuse, auto must decline to pack (sequential warmed-store hits
+# win); without it, auto must pack cut-similar trials. One iteration each
+# keeps the planner's engine integration from rotting between full bench
+# runs (BENCH_sched.json records the measured numbers).
+go test -run='^$' -bench 'BenchmarkCampaignSched' -benchtime 1x .
 
 go test -run='^$' -fuzz='^FuzzFP16RoundTrip$' -fuzztime=10s ./internal/fpbits
 go test -run='^$' -fuzz='^FuzzFlipBitFP32$' -fuzztime=10s ./internal/fpbits
@@ -57,3 +83,4 @@ go test -run='^$' -fuzz='^FuzzSaveLoadRoundTrip$' -fuzztime=10s ./internal/seria
 go test -run='^$' -fuzz='^FuzzTrialRecordJSONLRoundTrip$' -fuzztime=10s ./internal/report
 go test -run='^$' -fuzz='^FuzzForwardFrom$' -fuzztime=10s ./internal/nn
 go test -run='^$' -fuzz='^FuzzTrialPacker$' -fuzztime=10s ./internal/campaign
+go test -run='^$' -fuzz='^FuzzBuildPlan$' -fuzztime=10s ./internal/campaign/sched
