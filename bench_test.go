@@ -7,11 +7,13 @@ package gofi_bench
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"gofi/internal/campaign"
+	"gofi/internal/campaign/stats"
 	"gofi/internal/core"
 	"gofi/internal/data"
 	"gofi/internal/experiments"
@@ -562,6 +564,84 @@ func benchCampaignBatch(b *testing.B, trialBatch int, reuse bool, sch campaign.S
 		}
 	}
 	b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// --- Sequential early stopping --------------------------------------------
+//
+// The statistical campaign layer's efficiency claim (Gräfe et al.'s
+// extension): a fixed-count campaign must size its budget before seeing
+// any data, and without knowing the SDC rate the ±0.5% @ 95% design is
+// the worst-case n = z²/(4·hw²) = 38,416 trials. The sequential watcher
+// reaches the same interval target adaptively — it stops as soon as the
+// OBSERVED rate's Wilson interval is tight enough, which for the low SDC
+// rates single-bit upsets actually produce is several times earlier.
+// The bench runs the early-stopped campaign on the DenseNet single-site
+// fixture and reports trials-to-target plus the savings ratio against
+// the fixed design; BENCH_stats.json records the measured numbers. The
+// stop index is deterministic in (Seed, Trials) — golden-pinned in
+// internal/campaign — so the ratio is a property of the fixture, not of
+// this machine.
+func BenchmarkCampaignStopToTarget(b *testing.B) {
+	s := &prefixBench
+	s.once.Do(func() {
+		s.ds, s.err = data.NewClassification(data.ClassificationConfig{
+			Classes: 4, Channels: 3, Size: 32, Noise: 0.2, Seed: 51,
+		})
+		if s.err != nil {
+			return
+		}
+		s.model, s.err = models.Build("densenet", rand.New(rand.NewSource(51)), 4, 32)
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	eligible := make([]int, 8)
+	for i := range eligible {
+		eligible[i] = i
+	}
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	// The fixed-count design at the same target, sized before any data.
+	rule := stats.StopRule{HalfWidth: 0.005, Confidence: 0.95}
+	z := stats.ZQuantile(rule.Confidence)
+	fixed := int(math.Ceil(z * z / (4 * rule.HalfWidth * rule.HalfWidth)))
+	stopped := -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		watcher := stats.NewSequential(rule)
+		_, err := campaign.Run(context.Background(), campaign.Config{
+			Workers:     1,
+			Trials:      fixed,
+			Seed:        52,
+			Source:      prefixBench.ds,
+			Eligible:    eligible,
+			PrefixReuse: true,
+			Stop:        watcher,
+			NewReplica: func(worker int) (*core.Injector, error) {
+				replica, err := models.Build("densenet", rand.New(rand.NewSource(51)), 4, 32)
+				if err != nil {
+					return nil, err
+				}
+				if err := nn.ShareParams(replica, prefixBench.model); err != nil {
+					return nil, err
+				}
+				return core.New(replica, core.Config{Height: 32, Width: 32, Seed: int64(worker)})
+			},
+			Arm: func(inj *core.Injector, rng *rand.Rand) error {
+				_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit})
+				return err
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stopped = watcher.StopTrial()
+		if stopped < 0 {
+			b.Fatalf("stop rule never fired inside the fixed design budget %d", fixed)
+		}
+	}
+	b.ReportMetric(float64(stopped+1), "trials_to_target")
+	b.ReportMetric(float64(fixed)/float64(stopped+1), "savings_x")
 }
 
 // The Batch rows pin SchedulePack so they keep measuring the legacy

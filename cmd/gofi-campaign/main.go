@@ -69,6 +69,11 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	prefixReuse := fs.Bool("prefix-reuse", true, "resume trial forwards from checkpointed clean-prefix activations (throughput only; results are byte-identical)")
 	trialBatch := fs.Int("trial-batch", 0, "lane budget: up to K compatible trials may share one forward pass; 0 = default 8 lanes (1 for -scope weight, which is never lane-safe); whether lanes are actually used is -schedule's call (throughput only; results are byte-identical)")
 	schedule := fs.String("schedule", "auto", "trial execution planner: auto prices packing vs sequential per trial group with a calibrated cost model, pack always fills the -trial-batch lanes, seq ignores them (throughput only; results are byte-identical)")
+	stopCI := fs.Float64("stop-ci", 0, "halt once the SDC-rate confidence interval's half-width is at most this (rate units; 0.005 = ±0.5 percentage points); -trials then caps the budget instead of fixing it; 0 disables early stopping")
+	stopConf := fs.Float64("stop-conf", 0.95, "confidence level for -stop-ci, in (0,1)")
+	stopMin := fs.Int("stop-min", 0, "observed trials required before -stop-ci may halt the campaign; 0 = default 100")
+	stratify := fs.Bool("stratify", false, "stratified sampling over (layer, bit-position) strata with fixed-bit flips, merged by fault-space weight; requires -scope neuron (ignores -error: the strata fix the bits)")
+	dedup := fs.Bool("dedup", false, "fault-space dedup: trials arming an identical (sample, site, bit) fault are computed once and multiplied in the aggregate; requires -scope neuron")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +107,24 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	if *workers < 0 {
 		return usageError(fs, "-workers must be non-negative, got %d", *workers)
 	}
+	if *trialBatch < 0 {
+		return usageError(fs, "-trial-batch must be >= 0 (0 picks the default), got %d", *trialBatch)
+	}
+	if *stopCI < 0 || *stopCI >= 0.5 {
+		return usageError(fs, "-stop-ci must be in [0, 0.5) (0 disables), got %g", *stopCI)
+	}
+	if *stopConf <= 0 || *stopConf >= 1 {
+		return usageError(fs, "-stop-conf must be in (0,1), got %g", *stopConf)
+	}
+	if *stopMin < 0 {
+		return usageError(fs, "-stop-min must be non-negative, got %d", *stopMin)
+	}
+	if (*stratify || *dedup) && *scope != "neuron" {
+		return usageError(fs, "-stratify/-dedup cover single-neuron faults only; use -scope neuron, not %q", *scope)
+	}
+	if *stratify && *errModel != "bitflip" {
+		return usageError(fs, "-stratify arms fixed-bit flips by stratum and so requires -error bitflip, not %q", *errModel)
+	}
 
 	var sinks []campaign.TrialSink
 	if *jsonl != "" {
@@ -124,7 +147,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		policy = campaign.SkipAndCount
 	}
 
-	res, err := experiments.RunGenericCampaign(ctx, experiments.GenericCampaignConfig{
+	gcfg := experiments.GenericCampaignConfig{
 		Model:          *model,
 		Classes:        *classes,
 		InSize:         *size,
@@ -143,7 +166,19 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		PrefixReuse:    *prefixReuse,
 		TrialBatch:     *trialBatch,
 		Schedule:       sched,
-	})
+		StopCI:         *stopCI,
+		StopConf:       *stopConf,
+		StopMin:        *stopMin,
+		Stratify:       *stratify,
+		Dedup:          *dedup,
+	}
+	if *stratify || *dedup {
+		// The generator owns fault declaration; hand it the error model
+		// instead of the Arm closure.
+		gcfg.Arm = nil
+		gcfg.ErrorModel = em
+	}
+	res, err := experiments.RunGenericCampaign(ctx, gcfg)
 	if *progress {
 		fmt.Fprintln(os.Stderr)
 	}
@@ -170,6 +205,20 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	tb.AddRow("Non-finite outputs", agg.NonFinite)
 	if agg.Skipped > 0 {
 		tb.AddRow("Skipped (trial errors)", agg.Skipped)
+	}
+	if s := res.Stop; s != nil {
+		if s.Trial >= 0 {
+			tb.AddRow("Early stop at trial", s.Trial)
+			tb.AddRow("Trials saved", *trials-s.Trial-1)
+		} else {
+			tb.AddRow("Early stop", "not reached (budget exhausted)")
+		}
+		tb.AddRow(fmt.Sprintf("Estimator %.0f%% CI (%%)", 100**stopConf),
+			fmt.Sprintf("[%.3f, %.3f]", 100*s.Lo, 100*s.Hi))
+		if s.Strata > 0 {
+			tb.AddRow("Strata (layer x bit)", s.Strata)
+			tb.AddRow("Min trials per stratum", s.MinStratum)
+		}
 	}
 	tb.Render(out)
 	if aborted {

@@ -52,6 +52,16 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-trials", "-5"},
 		{"-workers", "-1"},
 		{"-definitely-not-a-flag"},
+		{"-schedule", "nope"},
+		{"-trial-batch", "-1"},
+		{"-stop-ci", "-0.1"},
+		{"-stop-ci", "0.5"},
+		{"-stop-ci", "0.005", "-stop-conf", "0"},
+		{"-stop-ci", "0.005", "-stop-conf", "1.5"},
+		{"-stop-ci", "0.005", "-stop-min", "-1"},
+		{"-stratify", "-scope", "weight"},
+		{"-stratify", "-error", "zero"},
+		{"-dedup", "-scope", "fmap"},
 	} {
 		if err := run(ctx, args, os.Stdout); err == nil {
 			t.Fatalf("run(%v) must fail", args)

@@ -30,6 +30,15 @@ func main() {
 	}
 }
 
+// usageError wraps an invalid flag combination so run can print the flag
+// set's usage before failing with a non-zero exit code.
+func usageError(fs *flag.FlagSet, format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	fmt.Fprintln(os.Stderr, "gofi-classify:", err)
+	fs.Usage()
+	return err
+}
+
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gofi-classify", flag.ContinueOnError)
 	trials := fs.Int("trials", 2000, "injection trials per network")
@@ -41,6 +50,9 @@ func run(ctx context.Context, args []string) error {
 	prefixReuse := fs.Bool("prefix-reuse", true, "resume trial forwards from checkpointed clean-prefix activations (throughput only; results are byte-identical)")
 	trialBatch := fs.Int("trial-batch", 0, "lane budget: up to K compatible trials may share one forward pass; 0 = default 8 lanes; whether lanes are actually used is -schedule's call (throughput only; results are byte-identical)")
 	schedule := fs.String("schedule", "auto", "trial execution planner: auto prices packing vs sequential per trial group with a calibrated cost model, pack always fills the -trial-batch lanes, seq ignores them (throughput only; results are byte-identical)")
+	stopCI := fs.Float64("stop-ci", 0, "halt each per-model campaign once the SDC-rate confidence interval's half-width is at most this (rate units; 0.005 = ±0.5 percentage points); -trials then caps the budget; 0 disables early stopping")
+	stopConf := fs.Float64("stop-conf", 0.95, "confidence level for -stop-ci, in (0,1)")
+	stopMin := fs.Int("stop-min", 0, "observed trials required before -stop-ci may halt a campaign; 0 = default 100")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -54,7 +66,22 @@ func run(ctx context.Context, args []string) error {
 
 	sched, err := experiments.ParseSchedule(*schedule)
 	if err != nil {
-		return err
+		return usageError(fs, "%v", err)
+	}
+	if *trials <= 0 {
+		return usageError(fs, "-trials must be positive, got %d", *trials)
+	}
+	if *trialBatch < 0 {
+		return usageError(fs, "-trial-batch must be >= 0 (0 picks the default), got %d", *trialBatch)
+	}
+	if *stopCI < 0 || *stopCI >= 0.5 {
+		return usageError(fs, "-stop-ci must be in [0, 0.5) (0 disables), got %g", *stopCI)
+	}
+	if *stopConf <= 0 || *stopConf >= 1 {
+		return usageError(fs, "-stop-conf must be in (0,1), got %g", *stopConf)
+	}
+	if *stopMin < 0 {
+		return usageError(fs, "-stop-min must be non-negative, got %d", *stopMin)
 	}
 	cfg := experiments.Fig4Config{
 		TrialsPerModel: *trials,
@@ -66,6 +93,9 @@ func run(ctx context.Context, args []string) error {
 		PrefixReuse:    *prefixReuse,
 		TrialBatch:     *trialBatch,
 		Schedule:       sched,
+		StopCI:         *stopCI,
+		StopConf:       *stopConf,
+		StopMin:        *stopMin,
 	}
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")
@@ -78,11 +108,23 @@ func run(ctx context.Context, args []string) error {
 	fmt.Println("Figure 4 — Top-1 misclassification probability under single INT8 bit flips")
 	fmt.Println("(synthetic 10-class dataset stands in for ImageNet; each network trained to")
 	fmt.Println(" high accuracy first; injections only on correctly-classified inputs)")
-	tb := report.NewTable("Network", "CleanAcc", "Trials", "Top1-Mis", "Rate (%)", "99% CI (%)", "OutOfTop5", "NonFinite")
+	cols := []string{"Network", "CleanAcc", "Trials", "Top1-Mis", "Rate (%)", "99% CI (%)", "OutOfTop5", "NonFinite"}
+	if *stopCI > 0 {
+		cols = append(cols, "Stop@")
+	}
+	tb := report.NewTable(cols...)
 	for _, r := range rows {
-		tb.AddRow(r.Model, r.CleanAcc, r.Trials, r.Top1Mis,
-			100*r.Rate, fmt.Sprintf("[%.3f, %.3f]", 100*r.CILo, 100*r.CIHi),
-			r.OutOfTop5, r.NonFinite)
+		vals := []any{r.Model, r.CleanAcc, r.Trials, r.Top1Mis,
+			100 * r.Rate, fmt.Sprintf("[%.3f, %.3f]", 100*r.CILo, 100*r.CIHi),
+			r.OutOfTop5, r.NonFinite}
+		if *stopCI > 0 {
+			stop := "budget"
+			if r.StopTrial >= 0 {
+				stop = fmt.Sprintf("%d", r.StopTrial)
+			}
+			vals = append(vals, stop)
+		}
+		tb.AddRow(vals...)
 	}
 	tb.Render(os.Stdout)
 

@@ -29,6 +29,15 @@ func main() {
 	}
 }
 
+// usageError wraps an invalid flag combination so run can print the flag
+// set's usage before failing with a non-zero exit code.
+func usageError(fs *flag.FlagSet, format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	fmt.Fprintln(os.Stderr, "gofi-detect:", err)
+	fs.Usage()
+	return err
+}
+
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gofi-detect", flag.ContinueOnError)
 	scenes := fs.Int("scenes", 20, "held-out scenes to evaluate")
@@ -39,6 +48,9 @@ func run(ctx context.Context, args []string) error {
 	prefixReuse := fs.Bool("prefix-reuse", true, "route injected forwards through the clean-prefix checkpoint runner (per-layer injections always fall back to the full forward, so this is a no-op for throughput here)")
 	trialBatch := fs.Int("trial-batch", 1, "pack a scene's injected runs into K-lane forwards; defaults to 1 — unlike the campaign tools' default of 8, because only K=1 reproduces the study's legacy shared site stream exactly (K>1 derives per-run streams: equally valid numbers, but a different sample)")
 	schedule := fs.String("schedule", "auto", "lane grouping planner (auto, pack, seq); runs carry no prefix cuts here, so auto and pack group identically and seq forces the K=1 legacy stream")
+	stopCI := fs.Float64("stop-ci", 0, "halt the study once the phantom-producing-run rate's confidence interval half-width is at most this (rate units); -scenes × -injections then caps the budget; 0 disables early stopping")
+	stopConf := fs.Float64("stop-conf", 0.95, "confidence level for -stop-ci, in (0,1)")
+	stopMin := fs.Int("stop-min", 0, "observed runs required before -stop-ci may halt the study; 0 = default 100")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -52,7 +64,19 @@ func run(ctx context.Context, args []string) error {
 
 	sched, err := experiments.ParseSchedule(*schedule)
 	if err != nil {
-		return err
+		return usageError(fs, "%v", err)
+	}
+	if *trialBatch < 1 {
+		return usageError(fs, "-trial-batch must be >= 1, got %d", *trialBatch)
+	}
+	if *stopCI < 0 || *stopCI >= 0.5 {
+		return usageError(fs, "-stop-ci must be in [0, 0.5) (0 disables), got %g", *stopCI)
+	}
+	if *stopConf <= 0 || *stopConf >= 1 {
+		return usageError(fs, "-stop-conf must be in (0,1), got %g", *stopConf)
+	}
+	if *stopMin < 0 {
+		return usageError(fs, "-stop-min must be non-negative, got %d", *stopMin)
 	}
 	res, err := experiments.RunFig5(ctx, experiments.Fig5Config{
 		Scenes:             *scenes,
@@ -64,6 +88,9 @@ func run(ctx context.Context, args []string) error {
 		PrefixReuse:        *prefixReuse,
 		TrialBatch:         *trialBatch,
 		Schedule:           sched,
+		StopCI:             *stopCI,
+		StopConf:           *stopConf,
+		StopMin:            *stopMin,
 	})
 	if err != nil {
 		return err
@@ -77,6 +104,15 @@ func run(ctx context.Context, args []string) error {
 	tb.AddRow("injected", res.InjectedRuns, res.FITP, res.FIPhantoms, res.FIMisclass, res.FIMissed,
 		float64(res.FIPhantoms)/float64(res.InjectedRuns))
 	tb.Render(os.Stdout)
+	if *stopCI > 0 {
+		if res.StopTrial >= 0 {
+			fmt.Printf("\nearly stop: CI target ±%g reached at run %d (%d of %d budgeted runs saved)\n",
+				*stopCI, res.StopTrial, *scenes**injections-res.StopTrial-1, *scenes**injections)
+		} else {
+			fmt.Printf("\nearly stop: CI target ±%g not reached within the %d-run budget\n",
+				*stopCI, *scenes**injections)
+		}
+	}
 
 	fmt.Println("\nExample scene (stand-in for Figure 5a/5b):")
 	fmt.Printf("ground truth: %d object(s)\n", len(res.ExampleGT))

@@ -5,8 +5,21 @@ import (
 	"testing"
 )
 
-func TestRunRejectsUnknownFlag(t *testing.T) {
-	if err := run(context.Background(), []string{"-definitely-not-a-flag"}); err == nil {
-		t.Fatal("unknown flag must error")
+func TestRunRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	for _, args := range [][]string{
+		{"-definitely-not-a-flag"},
+		{"-schedule", "nope"},
+		{"-trial-batch", "0"},
+		{"-trial-batch", "-3"},
+		{"-stop-ci", "-0.1"},
+		{"-stop-ci", "0.5"},
+		{"-stop-ci", "0.005", "-stop-conf", "0"},
+		{"-stop-ci", "0.005", "-stop-conf", "1"},
+		{"-stop-ci", "0.005", "-stop-min", "-1"},
+	} {
+		if err := run(ctx, args); err == nil {
+			t.Fatalf("run(%v) must fail", args)
+		}
 	}
 }

@@ -76,7 +76,7 @@ func probeTrial(cfg Config, inj *core.Injector, plan *core.PrefixPlan, t, sample
 			return false
 		}
 		defer inj.EndLane()
-		return cfg.Arm(inj, rng) == nil
+		return cfg.arm(inj, rng, t) == nil
 	}()
 	if armed {
 		spec.Packable = true
@@ -115,7 +115,7 @@ func runPack(cfg Config, inj *core.Injector, runner *core.PrefixRunner, plan *co
 				return err
 			}
 			defer inj.EndLane()
-			return cfg.Arm(inj, rng)
+			return cfg.arm(inj, rng, t)
 		}()
 		if armErr != nil {
 			// The lane may be partially armed (a multi-declare Arm that

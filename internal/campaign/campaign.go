@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"gofi/internal/campaign/sched"
+	"gofi/internal/campaign/stats"
 	"gofi/internal/core"
 	"gofi/internal/obs"
 	"gofi/internal/tensor"
@@ -125,6 +126,30 @@ const (
 	MetricSchedPacked = "campaign.sched.packed_trials"
 	MetricSchedSolo   = "campaign.sched.solo_trials"
 	MetricSchedSeq    = "campaign.sched.seq_trials"
+	// MetricStopTrial is the trial index the sequential stopping rule
+	// fired on (-1 when the rule never fired; recorded only when
+	// Config.Stop is set). Like the Aggregate it is deterministic in
+	// (Seed, Trials): the rule folds the record stream in strict trial
+	// order, so the stop index never depends on Workers or scheduling.
+	MetricStopTrial = "campaign.stop.trial"
+	// MetricStopSaved counts the planned trials the early stop made
+	// unnecessary (Trials - stop_index - 1).
+	MetricStopSaved = "campaign.stop.trials_saved"
+	// MetricCIWidth is the final confidence-interval half-width reported
+	// by the stopping watcher.
+	MetricCIWidth = "campaign.stop.ci_width"
+	// MetricDedupSaved counts trials answered from a fault-space
+	// duplicate's canonical computation instead of their own forward.
+	MetricDedupSaved = "campaign.dedup.trials_saved"
+	// MetricDedupKeys is the number of distinct fault-space keys the
+	// dedup pre-pass saw (keyable trials only).
+	MetricDedupKeys = "campaign.dedup.unique_keys"
+	// MetricStrataCount / MetricStrataMinTrials describe a stratified
+	// stopping watcher: the stratum count and the smallest per-stratum
+	// observation count at the end of the run (the campaign's coverage
+	// floor across the fault space).
+	MetricStrataCount     = "campaign.strata.count"
+	MetricStrataMinTrials = "campaign.strata.min_trials"
 )
 
 // Outcome classifies a single injection trial, using the corruption
@@ -265,6 +290,34 @@ type Config struct {
 	// Arm arms this trial's fault(s) on a freshly Reset injector. The rng
 	// is the trial's private stream.
 	Arm func(inj *core.Injector, rng *rand.Rand) error
+	// ArmTrial, when set, supersedes Arm and additionally receives the
+	// trial index — the hook stratified generators need, since a trial's
+	// stratum is a function of its index (stats.Strata.Assign), not of
+	// its RNG stream. Exactly one of Arm and ArmTrial must be set.
+	ArmTrial func(inj *core.Injector, rng *rand.Rand, trial int) error
+	// Stop, when non-nil, attaches a sequential early-stopping watcher
+	// (stats.NewSequential or stats.NewStratified): the engine folds
+	// every finished trial's SDC verdict (Outcome.Top1Changed) into the
+	// watcher in strict trial-index order — buffering out-of-order
+	// completions on a contiguous frontier — and halts the campaign at
+	// the first trial whose fold satisfies the rule. The stop index is
+	// therefore a pure function of (Seed, Trials), independent of
+	// Workers, Schedule, TrialBatch and PrefixReuse, and the returned
+	// Aggregate folds exactly trials [0, stop]. Run returns a nil error
+	// on an early stop. With Stop set, sinks also receive their records
+	// in trial-index order (byte-identical streams across schedules)
+	// rather than completion order.
+	Stop stats.Watcher
+	// Key, when non-nil, enables fault-space dedup: before execution the
+	// engine replays every trial's fault-deciding draws through Key (the
+	// rng is positioned after the sample draw) and trials sharing a key
+	// with an earlier one are never executed — their records, aggregate
+	// contributions and stopping-rule observations are filled from the
+	// canonical (lowest-index) trial's outcome, preserving multiplicity.
+	// Sound only when equal keys imply bit-identical outcomes, which is
+	// the generator's contract (stats.Gen.Key); trials Key declines
+	// (ok == false) always execute themselves.
+	Key func(rng *rand.Rand, trial, sample int) (key string, ok bool)
 	// Sinks receive one TrialRecord per finished trial, in completion
 	// order, from a single collector goroutine (sinks need no locking).
 	Sinks []TrialSink
@@ -326,8 +379,11 @@ func (c Config) validate() error {
 	if c.Trials <= 0 {
 		return fmt.Errorf("campaign: trials must be positive, got %d", c.Trials)
 	}
-	if c.NewReplica == nil || c.Source == nil || c.Arm == nil {
-		return fmt.Errorf("campaign: NewReplica, Source and Arm are required")
+	if c.NewReplica == nil || c.Source == nil || (c.Arm == nil && c.ArmTrial == nil) {
+		return fmt.Errorf("campaign: NewReplica, Source and Arm (or ArmTrial) are required")
+	}
+	if c.Arm != nil && c.ArmTrial != nil {
+		return fmt.Errorf("campaign: Arm and ArmTrial are mutually exclusive")
 	}
 	if len(c.Eligible) == 0 {
 		return fmt.Errorf("campaign: no eligible samples (did the model classify nothing correctly?)")
@@ -336,6 +392,23 @@ func (c Config) validate() error {
 		return fmt.Errorf("campaign: negative trial batch %d", c.TrialBatch)
 	}
 	return nil
+}
+
+// arm dispatches a trial's fault declaration to ArmTrial when set, Arm
+// otherwise. Every arm site in the engine (sequential trials, probes,
+// pack lanes) goes through here so the two hooks are interchangeable.
+func (c Config) arm(inj *core.Injector, rng *rand.Rand, trial int) error {
+	if c.ArmTrial != nil {
+		return c.ArmTrial(inj, rng, trial)
+	}
+	return c.Arm(inj, rng)
+}
+
+// strataInfo is the optional interface a stratified stopping watcher
+// exposes; the engine exports it as gauges when present.
+type strataInfo interface {
+	NumStrata() int
+	MinStratumTrials() int
 }
 
 type cleanPrediction struct {

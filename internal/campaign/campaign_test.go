@@ -43,6 +43,20 @@ func TestWilsonShrinksWithN(t *testing.T) {
 	}
 }
 
+func TestParseSchedule(t *testing.T) {
+	for spelling, want := range map[string]Schedule{
+		"auto": ScheduleAuto, "pack": SchedulePack, "seq": ScheduleSeq,
+	} {
+		got, err := ParseSchedule(spelling)
+		if err != nil || got != want {
+			t.Fatalf("ParseSchedule(%q) = %v, %v", spelling, got, err)
+		}
+	}
+	if _, err := ParseSchedule("nope"); err == nil {
+		t.Fatal("unknown schedule must error")
+	}
+}
+
 func TestAggregate(t *testing.T) {
 	var a Aggregate
 	a.Add(Outcome{Top1Changed: true, ConfidenceDrop: 0.5})
@@ -219,6 +233,10 @@ func TestRunValidation(t *testing.T) {
 		"no-arm":      func(c *Config) { c.Arm = nil },
 		"no-eligible": func(c *Config) { c.Eligible = nil },
 		"neg-workers": func(c *Config) { c.Workers = -1 },
+		"neg-batch":   func(c *Config) { c.TrialBatch = -1 },
+		"both-arms": func(c *Config) {
+			c.ArmTrial = func(*core.Injector, *rand.Rand, int) error { return nil }
+		},
 	} {
 		cfg := ok
 		mut(&cfg)

@@ -292,6 +292,40 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		clean[idx] = cleanVals[i]
 	}
 
+	// Fault-space dedup pre-pass: replay every trial's fault-deciding
+	// draws through Config.Key and map later trials onto the earliest
+	// trial with the same key. The pass is serial — canonical means
+	// LOWEST index, and a handful of RNG draws per trial is cheap next to
+	// a forward pass — and a pure function of (Seed, Trials), so dedup
+	// never perturbs the determinism contract: duplicates are filled from
+	// a canonical outcome that is bit-identical to what they would have
+	// computed (the Key soundness contract).
+	var dupOf []int          // trial -> canonical index, -1 when it runs itself
+	var dupsOf map[int][]int // canonical -> its duplicates, ascending
+	dupCount, keyCount := 0, 0
+	if cfg.Key != nil {
+		dupOf = make([]int, cfg.Trials)
+		dupsOf = make(map[int][]int)
+		canon := make(map[string]int, cfg.Trials)
+		for t := 0; t < cfg.Trials; t++ {
+			dupOf[t] = -1
+			rng := trialRNG(cfg.Seed, t)
+			rng.Intn(len(cfg.Eligible)) // consume the sample draw
+			key, ok := cfg.Key(rng, t, sampleOf[t])
+			if !ok {
+				continue
+			}
+			if c, seen := canon[key]; seen {
+				dupOf[t] = c
+				dupsOf[c] = append(dupsOf[c], t)
+				dupCount++
+			} else {
+				canon[key] = t
+			}
+		}
+		keyCount = len(canon)
+	}
+
 	// Trial scheduling: probe every trial once to learn its lane safety
 	// and prefix cut, calibrate the cost table, and let the scheduler
 	// decide which trials run in K-lane forwards and which run alone.
@@ -313,11 +347,26 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 					if t >= cfg.Trials {
 						return
 					}
+					if dupOf != nil && dupOf[t] >= 0 {
+						// Duplicates are never scheduled; their records come
+						// from the canonical trial's finish.
+						specs[t] = TrialSpec{Trial: t}
+						continue
+					}
 					specs[t] = probeTrial(cfg, replicas[w], plans[w], t, sampleOf[t])
 				}
 			}(w)
 		}
 		probeWG.Wait()
+		if dupOf != nil {
+			live := make([]TrialSpec, 0, len(specs)-dupCount)
+			for t := range specs {
+				if dupOf[t] < 0 {
+					live = append(live, specs[t])
+				}
+			}
+			specs = live
+		}
 		costs, costSource := buildCostTable(cfg, runners, plans, workerCosts, order[0])
 		splan := sched.Build(specs, sched.Config{
 			K:     K,
@@ -351,6 +400,10 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 	records := make(chan TrialRecord, workers*4)
 	met := newEngineMetrics(cfg.Metrics, workers)
 
+	// stopAt is the trial index the stopping rule fired on (-1: never).
+	// Written only by the collector goroutine, read by the main goroutine
+	// after collectorWG.Wait (the WaitGroup orders the accesses).
+	stopAt := -1
 	var collectorWG sync.WaitGroup
 	collectorWG.Add(1)
 	go func() {
@@ -365,8 +418,7 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		done, skipped := 0, 0
 		sinksOK := true
 		start := time.Now()
-		for rec := range records {
-			backlog := len(records)
+		deliver := func(rec TrialRecord, backlog int) {
 			if sinksOK {
 				for _, s := range cfg.Sinks {
 					if err := s.Record(rec); err != nil {
@@ -393,22 +445,75 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 				cfg.Progress(p)
 			}
 		}
+		if cfg.Stop == nil {
+			// Legacy mode: records reach sinks in completion order.
+			for rec := range records {
+				deliver(rec, len(records))
+			}
+			return
+		}
+		// Stopping mode: buffer out-of-order completions and advance a
+		// contiguous frontier over trial indices, folding each trial into
+		// the watcher in strict index order. The stop decision is thereby
+		// a pure function of the index-ordered stream — the watcher never
+		// sees worker interleaving — and sinks receive records in trial
+		// order, making their streams byte-identical across schedules.
+		// Records arriving after the rule fires are computed-but-discarded
+		// (their trials are beyond the stop index by construction: the
+		// frontier had already consumed every earlier index).
+		buffered := make(map[int]TrialRecord, workers*4)
+		frontier := 0
+		for rec := range records {
+			if stopAt >= 0 {
+				continue // drain
+			}
+			buffered[rec.Trial] = rec
+			for {
+				r, ok := buffered[frontier]
+				if !ok {
+					break
+				}
+				delete(buffered, frontier)
+				deliver(r, len(records))
+				cfg.Stop.Observe(frontier, r.Err == "" && r.Outcome.Top1Changed, r.Err != "")
+				if cfg.Stop.ShouldStop() {
+					stopAt = frontier
+					cancel() // halt the leg; not an error (failErr untouched)
+					break
+				}
+				frontier++
+			}
+		}
 	}()
 
 	// finish folds one completed trial into the worker-owned slots and the
-	// collector stream. The caller's goroutine owns trial t's slots.
+	// collector stream, then fans the outcome out to the trial's
+	// fault-space duplicates: a worker that claims a canonical trial owns
+	// its duplicates' slots too (no other worker ever touches them), so
+	// the writes stay race-free. Duplicate records carry their own trial
+	// index over the canonical outcome — downstream (sinks, watcher
+	// frontier, fold) cannot tell a filled duplicate from an executed
+	// trial, which is exactly the dedup contract.
 	finish := func(w, t int, rec TrialRecord, err error) {
-		if err != nil {
-			if cfg.OnError == SkipAndCount {
-				state[t] = trialSkipped
+		emit := func(t int, rec TrialRecord, err error) {
+			if err != nil {
+				if cfg.OnError == SkipAndCount {
+					state[t] = trialSkipped
+				} else {
+					fail(fmt.Errorf("campaign: worker %d trial %d: %w", w, t, err))
+				}
 			} else {
-				fail(fmt.Errorf("campaign: worker %d trial %d: %w", w, t, err))
+				outcomes[t] = rec.Outcome
+				state[t] = trialDone
 			}
-		} else {
-			outcomes[t] = rec.Outcome
-			state[t] = trialDone
+			records <- rec
 		}
-		records <- rec
+		emit(t, rec, err)
+		for _, d := range dupsOf[t] {
+			drec := rec
+			drec.Trial = d
+			emit(d, drec, err)
+		}
 	}
 
 	var next atomic.Int64
@@ -457,6 +562,9 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 				if t >= cfg.Trials {
 					return
 				}
+				if dupOf != nil && dupOf[t] >= 0 {
+					continue // filled by the canonical trial's finish
+				}
 				var trialStart time.Time
 				if met != nil {
 					trialStart = time.Now()
@@ -475,14 +583,39 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 
 	// Deterministic fold: trial order, completed trials only. Summing the
 	// float fields in index order makes the Aggregate byte-identical for
-	// any worker count.
+	// any worker count. An early stop caps the fold at the stop index —
+	// trials beyond it may have been computed before the cancel landed,
+	// but folding them would make the partial aggregate depend on worker
+	// timing; discarding them keeps it a pure function of (Seed, Trials).
+	limit := cfg.Trials
+	if stopAt >= 0 {
+		limit = stopAt + 1
+	}
 	var total Aggregate
-	for t := range state {
+	for t := 0; t < limit; t++ {
 		switch state[t] {
 		case trialDone:
 			total.Add(outcomes[t])
 		case trialSkipped:
 			total.Skipped++
+		}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		if cfg.Stop != nil {
+			reg.Gauge(MetricStopTrial).Set(float64(stopAt))
+			_, lo, hi := cfg.Stop.Interval()
+			reg.Gauge(MetricCIWidth).Set((hi - lo) / 2)
+			if stopAt >= 0 {
+				reg.Counter(MetricStopSaved).Add(int64(cfg.Trials - limit))
+			}
+			if sw, ok := cfg.Stop.(strataInfo); ok {
+				reg.Gauge(MetricStrataCount).Set(float64(sw.NumStrata()))
+				reg.Gauge(MetricStrataMinTrials).Set(float64(sw.MinStratumTrials()))
+			}
+		}
+		if cfg.Key != nil {
+			reg.Counter(MetricDedupSaved).Add(int64(dupCount))
+			reg.Gauge(MetricDedupKeys).Set(float64(keyCount))
 		}
 	}
 	if failErr != nil {
@@ -629,7 +762,7 @@ func runTrial(cfg Config, inj *core.Injector, runner *core.PrefixRunner, worker,
 	// perturb time; point it at the trial stream so those draws are also
 	// worker-independent.
 	inj.SetRand(rng)
-	if armErr := cfg.Arm(inj, rng); armErr != nil {
+	if armErr := cfg.arm(inj, rng, t); armErr != nil {
 		return rec, fmt.Errorf("arm: %w", armErr)
 	}
 	var logits *tensor.Tensor

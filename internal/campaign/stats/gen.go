@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/core"
+)
+
+// Trial generators. A generator owns the full mapping from a trial's
+// private RNG stream to the fault it arms, which buys two things the
+// plain Arm closure cannot offer:
+//
+//   - Stratification: the (layer, bit) stratum is chosen from the trial
+//     INDEX (round-robin), not the RNG, so the allocation is balanced
+//     and remains a pure function of the index.
+//   - Dedup keys: because the generator knows exactly which draws decide
+//     the fault, it can replay them into a canonical key string without
+//     touching a model. Two trials with equal keys arm identical faults
+//     on identical samples and therefore produce identical outcomes —
+//     the engine computes one and multiplies it.
+//
+// The Arm and Key methods of one generator MUST consume identical RNG
+// draws (they share the drawing helpers below); the dedup-vs-brute-force
+// equality test in internal/campaign pins this.
+
+// Gen is the generator contract the campaign engine consumes via
+// Config.ArmTrial / Config.Key.
+type Gen interface {
+	// Arm declares trial's fault(s) on a freshly Reset injector. rng is
+	// the trial's private stream, already past the sample draw.
+	Arm(inj *core.Injector, rng *rand.Rand, trial int) error
+	// Key returns a canonical fault-space key for the trial, replaying
+	// the same draws Arm would make, or ok == false when the trial's
+	// outcome is not a pure function of (sample, key) — stochastic
+	// perturb-time draws the generator cannot replay.
+	Key(rng *rand.Rand, trial, sample int) (key string, ok bool)
+}
+
+// SiteCounts returns per-layer neuron-site counts (C·H·W of each hooked
+// layer's output at batch 1) from profiled geometry — the stratum
+// weights of a (layer, bit) stratification.
+func SiteCounts(layers []core.LayerInfo) []int64 {
+	counts := make([]int64, len(layers))
+	for i, li := range layers {
+		n := int64(1)
+		for _, d := range li.OutShape[1:] {
+			n *= int64(d)
+		}
+		counts[i] = n
+	}
+	return counts
+}
+
+// siteDims extracts the (C, H, W) extent of a layer output shape
+// ([N,C,H,W] for conv, [N,C] for linear) — the same convention as
+// core.Injector.randomSiteInLayer.
+func siteDims(shape []int) (c, h, w int) {
+	if len(shape) == 4 {
+		return shape[1], shape[2], shape[3]
+	}
+	return shape[1], 1, 1
+}
+
+// drawSiteInLayer draws a uniform site within one layer, consuming
+// exactly the draws (C, then H, then W) the injector's own
+// randomSiteInLayer consumes for an AllBatches site.
+func drawSiteInLayer(shape []int, layer int, rng *rand.Rand) core.NeuronSite {
+	c, h, w := siteDims(shape)
+	return core.NeuronSite{
+		Layer: layer, Batch: core.AllBatches,
+		C: rng.Intn(c), H: rng.Intn(h), W: rng.Intn(w),
+	}
+}
+
+// BitFlipStratified arms one fixed-bit flip per trial with the stratum
+// choosing (layer, bit) by round-robin over the trial index and the RNG
+// choosing the site within the layer. Fixing the bit per stratum makes
+// every trial arm-deterministic, so Key always succeeds: stratification
+// and dedup compose.
+type BitFlipStratified struct {
+	strata *Strata
+	shapes [][]int
+}
+
+// NewBitFlipStratified builds the stratified generator over the profiled
+// layers at the data type's bit width.
+func NewBitFlipStratified(layers []core.LayerInfo, dtype core.DType) (*BitFlipStratified, error) {
+	strata, err := NewLayerBitStrata(SiteCounts(layers), dtype.Bits())
+	if err != nil {
+		return nil, err
+	}
+	shapes := make([][]int, len(layers))
+	for i, li := range layers {
+		shapes[i] = li.OutShape
+	}
+	return &BitFlipStratified{strata: strata, shapes: shapes}, nil
+}
+
+// Strata exposes the stratification for building a Stratified watcher
+// over the same assignment.
+func (g *BitFlipStratified) Strata() *Strata { return g.strata }
+
+// Arm implements Gen.
+func (g *BitFlipStratified) Arm(inj *core.Injector, rng *rand.Rand, trial int) error {
+	layer, bit := g.strata.LayerBit(g.strata.Assign(trial))
+	site := drawSiteInLayer(g.shapes[layer], layer, rng)
+	return inj.DeclareNeuronFI(core.BitFlip{Bit: bit}, site)
+}
+
+// Key implements Gen. Always ok: the stratum fixes the bit, so the
+// armed fault is a pure function of (trial index, rng draws).
+func (g *BitFlipStratified) Key(rng *rand.Rand, trial, sample int) (string, bool) {
+	layer, bit := g.strata.LayerBit(g.strata.Assign(trial))
+	site := drawSiteInLayer(g.shapes[layer], layer, rng)
+	return fmt.Sprintf("s%d|L%d|b%d|%d,%d,%d", sample, layer, bit, site.C, site.H, site.W), true
+}
+
+// Uniform mirrors the legacy uniform single-neuron arm
+// (core.Injector.InjectRandomNeuron) draw for draw — layer, then C, H, W
+// — so switching a campaign from the Arm closure to this generator
+// changes nothing about the trial stream; it only adds dedup keys. The
+// key includes the error model's perturb-time draws where the model is
+// replayable (fixed-bit flips and the deterministic models carry no
+// draws; a single random-bit flip draws Intn(bits) exactly once per
+// forward), and reports ok == false otherwise.
+type Uniform struct {
+	shapes [][]int
+	model  core.ErrorModel
+	bits   int
+}
+
+// NewUniform builds the uniform generator over the profiled layers for
+// one error model at the injector's data type.
+func NewUniform(layers []core.LayerInfo, model core.ErrorModel, dtype core.DType) (*Uniform, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("stats: no layers to draw sites from")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("stats: nil error model")
+	}
+	shapes := make([][]int, len(layers))
+	for i, li := range layers {
+		shapes[i] = li.OutShape
+	}
+	return &Uniform{shapes: shapes, model: model, bits: dtype.Bits()}, nil
+}
+
+// Arm implements Gen.
+func (g *Uniform) Arm(inj *core.Injector, rng *rand.Rand, trial int) error {
+	site := g.drawSite(rng)
+	return inj.DeclareNeuronFI(g.model, site)
+}
+
+func (g *Uniform) drawSite(rng *rand.Rand) core.NeuronSite {
+	l := rng.Intn(len(g.shapes))
+	return drawSiteInLayer(g.shapes[l], l, rng)
+}
+
+// Key implements Gen.
+func (g *Uniform) Key(rng *rand.Rand, trial, sample int) (string, bool) {
+	site := g.drawSite(rng)
+	suffix, ok := modelKey(g.model, rng, g.bits)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("s%d|L%d|%d,%d,%d|%s", sample, site.Layer, site.C, site.H, site.W, suffix), true
+}
+
+// modelKey canonicalizes an error model's contribution to the fault key,
+// replaying perturb-time draws for the models whose draw pattern is
+// known. Anything unrecognized disables dedup for the trial — returning
+// false is always sound; returning a wrong key never is.
+func modelKey(model core.ErrorModel, rng *rand.Rand, bits int) (string, bool) {
+	switch m := model.(type) {
+	case core.BitFlip:
+		bit := m.Bit
+		if bit == core.RandomBit {
+			// BitFlip.Perturb draws the position exactly once per armed
+			// site per forward; a single-site arm makes that one Intn.
+			bit = rng.Intn(bits)
+		}
+		return fmt.Sprintf("flip%d", bit), true
+	case core.Zero:
+		return "zero", true
+	case core.SetValue:
+		return fmt.Sprintf("set%g", m.V), true
+	case core.Gain:
+		return fmt.Sprintf("gain%g", m.Factor), true
+	}
+	return "", false
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gofi/internal/core"
+)
+
+func fakeLayers() []core.LayerInfo {
+	return []core.LayerInfo{
+		{Index: 0, Kind: "conv", OutShape: []int{1, 8, 4, 4}},
+		{Index: 1, Kind: "linear", OutShape: []int{1, 16}},
+	}
+}
+
+func TestSiteCounts(t *testing.T) {
+	counts := SiteCounts(fakeLayers())
+	if len(counts) != 2 || counts[0] != 128 || counts[1] != 16 {
+		t.Fatalf("SiteCounts = %v, want [128 16]", counts)
+	}
+}
+
+func TestDrawSiteInLayerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		s := drawSiteInLayer([]int{1, 8, 4, 4}, 0, rng)
+		if s.Batch != core.AllBatches || s.C < 0 || s.C >= 8 || s.H < 0 || s.H >= 4 || s.W < 0 || s.W >= 4 {
+			t.Fatalf("site out of bounds: %+v", s)
+		}
+		lin := drawSiteInLayer([]int{1, 16}, 1, rng)
+		if lin.C < 0 || lin.C >= 16 || lin.H != 0 || lin.W != 0 {
+			t.Fatalf("linear site out of bounds: %+v", lin)
+		}
+	}
+}
+
+// TestBitFlipStratifiedKeyReplaysAssignAndDraws: the key must encode
+// exactly the stratum the trial index assigns plus the site the shared
+// drawing helper produces from the same RNG stream.
+func TestBitFlipStratifiedKeyReplaysAssignAndDraws(t *testing.T) {
+	g, err := NewBitFlipStratified(fakeLayers(), core.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Strata().Num() != 2*32 {
+		t.Fatalf("strata = %d, want 64", g.Strata().Num())
+	}
+	for trial := 0; trial < 130; trial++ {
+		seed := int64(trial * 31)
+		key, ok := g.Key(rand.New(rand.NewSource(seed)), trial, 7)
+		if !ok {
+			t.Fatalf("trial %d: stratified key must always be replayable", trial)
+		}
+		layer, bit := g.Strata().LayerBit(g.Strata().Assign(trial))
+		site := drawSiteInLayer(fakeLayers()[layer].OutShape, layer, rand.New(rand.NewSource(seed)))
+		want := fmt.Sprintf("s7|L%d|b%d|%d,%d,%d", layer, bit, site.C, site.H, site.W)
+		if key != want {
+			t.Fatalf("trial %d: key %q, want %q", trial, key, want)
+		}
+	}
+}
+
+func TestUniformKeyModelSuffixes(t *testing.T) {
+	layers := fakeLayers()
+	for _, tc := range []struct {
+		model  core.ErrorModel
+		suffix string
+	}{
+		{core.BitFlip{Bit: 3}, "flip3"},
+		{core.Zero{}, "zero"},
+		{core.SetValue{V: 2.5}, "set2.5"},
+		{core.Gain{Factor: 0.5}, "gain0.5"},
+	} {
+		g, err := NewUniform(layers, tc.model, core.FP32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := int64(99)
+		key, ok := g.Key(rand.New(rand.NewSource(seed)), 0, 2)
+		if !ok {
+			t.Fatalf("%T: key must be replayable", tc.model)
+		}
+		site := g.drawSite(rand.New(rand.NewSource(seed)))
+		want := fmt.Sprintf("s2|L%d|%d,%d,%d|%s", site.Layer, site.C, site.H, site.W, tc.suffix)
+		if key != want {
+			t.Fatalf("%T: key %q, want %q", tc.model, key, want)
+		}
+	}
+}
+
+func TestUniformKeyRandomBitReplaysPerturbDraw(t *testing.T) {
+	g, err := NewUniform(fakeLayers(), core.BitFlip{Bit: core.RandomBit}, core.INT8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(41)
+	key, ok := g.Key(rand.New(rand.NewSource(seed)), 0, 0)
+	if !ok {
+		t.Fatal("random-bit key must be replayable")
+	}
+	// Replay: the bit is the first Intn(bits) after the site draws.
+	rng := rand.New(rand.NewSource(seed))
+	g.drawSite(rng)
+	bit := rng.Intn(8)
+	want := fmt.Sprintf("flip%d", bit)
+	if got := key[len(key)-len(want):]; got != want {
+		t.Fatalf("key %q does not end in %q", key, want)
+	}
+}
+
+func TestUniformKeyDeclinesStochasticModels(t *testing.T) {
+	for _, model := range []core.ErrorModel{
+		core.GaussianNoise{Std: 0.1},
+		core.RandomValue{Lo: -1, Hi: 1},
+	} {
+		g, err := NewUniform(fakeLayers(), model, core.FP32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key, ok := g.Key(rand.New(rand.NewSource(1)), 0, 0); ok {
+			t.Fatalf("%T: must decline a dedup key, got %q", model, key)
+		}
+	}
+}
+
+func TestGenConstructorErrors(t *testing.T) {
+	if _, err := NewUniform(nil, core.Zero{}, core.FP32); err == nil {
+		t.Fatal("no layers must error")
+	}
+	if _, err := NewUniform(fakeLayers(), nil, core.FP32); err == nil {
+		t.Fatal("nil model must error")
+	}
+	if _, err := NewBitFlipStratified(nil, core.FP32); err == nil {
+		t.Fatal("no layers must error")
+	}
+}

@@ -1,0 +1,268 @@
+// Package stats is the campaign engine's statistical layer: streaming
+// SDC-rate estimation with binomial confidence intervals, a sequential
+// early-stopping rule that halts a campaign leg once the interval is
+// tight enough, stratified sampling over (layer, bit-position) strata
+// with per-stratum estimates merged by fault-space weight, and
+// deterministic trial generators whose fault choices can be keyed for
+// fault-space dedup.
+//
+// Everything here is a pure function of the trial-index-ordered outcome
+// stream. That is the package's one load-bearing contract: the engine
+// folds trials into a Watcher in strict index order, so the stopping
+// decision — like the Aggregate itself — depends only on (Seed, Trials),
+// never on worker count, schedule mode, lane width or prefix reuse. The
+// statistical test wall in this package and the golden matrix in
+// internal/campaign pin that contract.
+//
+// The design follows the Intel PyTorchFI extension (Gräfe et al., arXiv
+// 2310.19449): billion-site fault spaces are tractable when a campaign
+// runs until the SDC-rate confidence interval reaches a target half-width
+// rather than until a fixed trial count is exhausted, and MRFI (arXiv
+// 2306.11758) motivates the per-layer stratification.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Method selects the binomial interval construction.
+type Method int
+
+const (
+	// MethodWilson is the Wilson score interval — the default. Its
+	// empirical coverage tracks the nominal level closely at every p,
+	// including the small-p regime SDC campaigns live in.
+	MethodWilson Method = iota
+	// MethodClopperPearson is the exact (beta-quantile) interval. Its
+	// coverage is guaranteed >= nominal at the price of wider intervals,
+	// so stopping rules built on it are strictly more conservative.
+	MethodClopperPearson
+)
+
+// String returns the flag spelling of the method.
+func (m Method) String() string {
+	switch m {
+	case MethodWilson:
+		return "wilson"
+	case MethodClopperPearson:
+		return "clopper-pearson"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Interval is a two-sided confidence interval on a rate in [0, 1].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// HalfWidth is the interval's half-width, the quantity stopping rules
+// compare against their target.
+func (i Interval) HalfWidth() float64 { return (i.Hi - i.Lo) / 2 }
+
+// Contains reports whether p lies inside the interval (inclusive).
+func (i Interval) Contains(p float64) bool { return p >= i.Lo && p <= i.Hi }
+
+// ZQuantile returns the two-sided normal quantile for a confidence level
+// in (0, 1): the z with P(|N(0,1)| <= z) = conf (conf 0.95 -> 1.959964).
+func ZQuantile(conf float64) float64 {
+	return math.Sqrt2 * math.Erfinv(conf)
+}
+
+// Wilson returns the Wilson score interval for k successes in n trials
+// at the given confidence level. n == 0 returns the vacuous [0, 1].
+func Wilson(k, n int, conf float64) Interval {
+	if n <= 0 {
+		return Interval{0, 1}
+	}
+	z := ZQuantile(conf)
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	ci := clampInterval(center-half, center+half)
+	// At the boundary counts the score bound touches the boundary exactly;
+	// snap away the floating-point residue so callers see clean endpoints.
+	if k == 0 {
+		ci.Lo = 0
+	}
+	if k == n {
+		ci.Hi = 1
+	}
+	return ci
+}
+
+// ClopperPearson returns the exact binomial interval for k successes in
+// n trials: lo is the Beta(k, n-k+1) lower quantile, hi the
+// Beta(k+1, n-k) upper quantile, with the conventional closed endpoints
+// lo = 0 at k == 0 and hi = 1 at k == n. n == 0 returns [0, 1].
+func ClopperPearson(k, n int, conf float64) Interval {
+	if n <= 0 {
+		return Interval{0, 1}
+	}
+	alpha := 1 - conf
+	lo, hi := 0.0, 1.0
+	if k > 0 {
+		lo = betaQuantile(alpha/2, float64(k), float64(n-k+1))
+	}
+	if k < n {
+		hi = betaQuantile(1-alpha/2, float64(k+1), float64(n-k))
+	}
+	return clampInterval(lo, hi)
+}
+
+func clampInterval(lo, hi float64) Interval {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{lo, hi}
+}
+
+// Estimator is a streaming Bernoulli estimator over the SDC fold: each
+// non-skipped trial contributes one observation (did the fault flip
+// Top-1?). The fold is pure accumulation, so two estimators fed the same
+// ordered stream are identical field-for-field.
+type Estimator struct {
+	// N counts observed (non-skipped) trials; SDC counts those whose
+	// outcome was a silent data corruption.
+	N, SDC int
+	// Skipped counts voided trials; they carry no information about the
+	// rate and are excluded from every interval.
+	Skipped int
+	// Method selects the interval construction (zero value: Wilson).
+	Method Method
+}
+
+// Observe folds one trial outcome.
+func (e *Estimator) Observe(sdc bool) {
+	e.N++
+	if sdc {
+		e.SDC++
+	}
+}
+
+// Skip folds one voided trial.
+func (e *Estimator) Skip() { e.Skipped++ }
+
+// Rate is the point estimate (0 with no observations).
+func (e *Estimator) Rate() float64 {
+	if e.N == 0 {
+		return 0
+	}
+	return float64(e.SDC) / float64(e.N)
+}
+
+// CI returns the estimator's confidence interval at the given level.
+func (e *Estimator) CI(conf float64) Interval {
+	if e.Method == MethodClopperPearson {
+		return ClopperPearson(e.SDC, e.N, conf)
+	}
+	return Wilson(e.SDC, e.N, conf)
+}
+
+// --- regularized incomplete beta + quantile ------------------------------
+//
+// Self-contained (math-only) so the package carries no dependencies: the
+// container bakes in nothing beyond the standard library, and the exact
+// interval needs only I_x(a,b) and its inverse.
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// via the standard continued-fraction expansion (Lentz's method), valid
+// for a, b > 0 and x in [0, 1].
+func regIncBeta(x, a, b float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	// Continued fraction converges fastest for x <= (a+1)/(a+b+2); use the
+	// symmetry I_x(a,b) = 1 - I_{1-x}(b,a) otherwise. The comparison must
+	// be strict: after one flip the argument lands strictly below the
+	// mirrored threshold, so a non-strict test could recurse forever when
+	// x sits exactly on it (a == b, x == 1/2).
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncBeta(1-x, b, a)
+	}
+	// Prefactor x^a (1-x)^b / (a B(a,b)), computed in log space.
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+	const (
+		maxIter = 300
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	c, d := 1.0, 1-(a+b)*x/(a+1)
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	f := d
+	for i := 1; i <= maxIter; i++ {
+		m := float64(i)
+		// Even step.
+		num := m * (b - m) * x / ((a + 2*m - 1) * (a + 2*m))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		f *= d * c
+		// Odd step.
+		num = -(a + m) * (a + b + m) * x / ((a + 2*m) * (a + 2*m + 1))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		delta := d * c
+		f *= delta
+		if math.Abs(delta-1) < eps {
+			break
+		}
+	}
+	return front * f
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaQuantile inverts the regularized incomplete beta by bisection:
+// the x with I_x(a, b) = p. Bisection over [0,1] is slower than Newton
+// but monotone and unconditionally convergent — this runs once per
+// stopping-rule evaluation, not per trial, so robustness wins.
+func betaQuantile(p, a, b float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if regIncBeta(mid, a, b) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}

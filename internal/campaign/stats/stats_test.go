@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZQuantile(t *testing.T) {
+	for _, tc := range []struct{ conf, want float64 }{
+		{0.95, 1.9599639845400545},
+		{0.99, 2.5758293035489004},
+		{0.90, 1.6448536269514722},
+	} {
+		if got := ZQuantile(tc.conf); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("ZQuantile(%g) = %.12f, want %.12f", tc.conf, got, tc.want)
+		}
+	}
+}
+
+func TestWilsonKnownShapes(t *testing.T) {
+	if ci := Wilson(0, 0, 0.95); ci.Lo != 0 || ci.Hi != 1 {
+		t.Fatalf("vacuous interval = %+v", ci)
+	}
+	ci := Wilson(0, 100, 0.95)
+	if ci.Lo != 0 || ci.Hi < 0.01 || ci.Hi > 0.1 {
+		t.Fatalf("Wilson(0,100) = %+v", ci)
+	}
+	ci = Wilson(50, 100, 0.95)
+	if math.Abs((ci.Lo+ci.Hi)/2-0.5) > 0.01 {
+		t.Fatalf("Wilson(50,100) center = %g", (ci.Lo+ci.Hi)/2)
+	}
+	wide := Wilson(10, 100, 0.95)
+	narrow := Wilson(100, 1000, 0.95)
+	if narrow.HalfWidth() >= wide.HalfWidth() {
+		t.Fatal("interval must shrink with n at fixed rate")
+	}
+}
+
+func TestClopperPearsonClosedForms(t *testing.T) {
+	// k == 0: hi = 1 - (alpha/2)^(1/n), the exact one-sided bound behind
+	// the rule of three; k == n mirrors it.
+	for _, n := range []int{10, 50, 500} {
+		ci := ClopperPearson(0, n, 0.95)
+		want := 1 - math.Pow(0.025, 1/float64(n))
+		if ci.Lo != 0 || math.Abs(ci.Hi-want) > 1e-9 {
+			t.Fatalf("CP(0,%d) = %+v, want hi %.12f", n, ci, want)
+		}
+		ci = ClopperPearson(n, n, 0.95)
+		want = math.Pow(0.025, 1/float64(n))
+		if ci.Hi != 1 || math.Abs(ci.Lo-want) > 1e-9 {
+			t.Fatalf("CP(%d,%d) = %+v, want lo %.12f", n, n, ci, want)
+		}
+	}
+}
+
+func TestIntervalsContainMLE(t *testing.T) {
+	// Both constructions always contain the point estimate k/n, and both
+	// agree with Wilson's asymptotics: comparable widths at interior
+	// counts (CP is conservative in coverage, not uniformly wider).
+	for _, tc := range []struct{ k, n int }{{0, 50}, {1, 50}, {5, 100}, {50, 100}, {99, 100}, {100, 100}} {
+		p := float64(tc.k) / float64(tc.n)
+		cp := ClopperPearson(tc.k, tc.n, 0.95)
+		wl := Wilson(tc.k, tc.n, 0.95)
+		if !cp.Contains(p) {
+			t.Fatalf("CP(%d,%d) %+v excludes MLE %g", tc.k, tc.n, cp, p)
+		}
+		if !wl.Contains(p) {
+			t.Fatalf("Wilson(%d,%d) %+v excludes MLE %g", tc.k, tc.n, wl, p)
+		}
+		if r := cp.HalfWidth() / wl.HalfWidth(); r < 0.5 || r > 2 {
+			t.Fatalf("CP/Wilson width ratio %g at (%d,%d)", r, tc.k, tc.n)
+		}
+	}
+}
+
+func TestRegIncBetaIdentities(t *testing.T) {
+	// I_x(1,1) = x, and the symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.001, 0.1, 0.5, 0.9, 0.999} {
+		if got := regIncBeta(x, 1, 1); math.Abs(got-x) > 1e-12 {
+			t.Fatalf("I_%g(1,1) = %g", x, got)
+		}
+		a, b := 3.5, 7.25
+		if diff := regIncBeta(x, a, b) + regIncBeta(1-x, b, a) - 1; math.Abs(diff) > 1e-10 {
+			t.Fatalf("symmetry violated at x=%g: %g", x, diff)
+		}
+	}
+	// betaQuantile inverts regIncBeta.
+	for _, p := range []float64{0.025, 0.5, 0.975} {
+		x := betaQuantile(p, 4, 17)
+		if got := regIncBeta(x, 4, 17); math.Abs(got-p) > 1e-9 {
+			t.Fatalf("I_{Q(%g)}(4,17) = %g", p, got)
+		}
+	}
+}
+
+// TestIntervalCoverage is the coverage property test: over 1000 seeded
+// binomial experiments at each (p, n), the fraction of intervals
+// containing the true rate must not fall below the nominal level (minus
+// Monte-Carlo slack for Wilson, whose coverage oscillates around
+// nominal; Clopper-Pearson's is guaranteed >= nominal, so it gets only
+// the sampling-error allowance).
+func TestIntervalCoverage(t *testing.T) {
+	const (
+		seeds = 1000
+		conf  = 0.95
+	)
+	for _, method := range []Method{MethodWilson, MethodClopperPearson} {
+		slack := 0.005 // 3-sigma MC error at 1000 draws is ~0.7% of coverage
+		if method == MethodWilson {
+			slack = 0.02
+		}
+		for _, tc := range []struct {
+			p float64
+			n int
+		}{
+			{0.01, 200}, {0.05, 100}, {0.05, 500}, {0.2, 100}, {0.5, 50},
+		} {
+			covered := 0
+			for s := 0; s < seeds; s++ {
+				rng := rand.New(rand.NewSource(int64(1000*tc.n) + int64(s)))
+				e := Estimator{Method: method}
+				for i := 0; i < tc.n; i++ {
+					e.Observe(rng.Float64() < tc.p)
+				}
+				if e.CI(conf).Contains(tc.p) {
+					covered++
+				}
+			}
+			got := float64(covered) / seeds
+			if got < conf-slack {
+				t.Errorf("%v coverage at p=%g n=%d: %.3f < %.3f", method, tc.p, tc.n, got, conf-slack)
+			}
+		}
+	}
+}
+
+func TestEstimatorFold(t *testing.T) {
+	var e Estimator
+	e.Observe(true)
+	e.Observe(false)
+	e.Observe(false)
+	e.Skip()
+	if e.N != 3 || e.SDC != 1 || e.Skipped != 1 {
+		t.Fatalf("estimator %+v", e)
+	}
+	if math.Abs(e.Rate()-1.0/3) > 1e-15 {
+		t.Fatalf("rate %g", e.Rate())
+	}
+	var empty Estimator
+	if empty.Rate() != 0 {
+		t.Fatal("empty estimator rate")
+	}
+	if m := MethodWilson.String(); m != "wilson" {
+		t.Fatalf("method string %q", m)
+	}
+	if m := MethodClopperPearson.String(); m != "clopper-pearson" {
+		t.Fatalf("method string %q", m)
+	}
+}

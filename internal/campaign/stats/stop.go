@@ -1,0 +1,132 @@
+package stats
+
+import "fmt"
+
+// DefaultMinTrials is the floor below which no stopping rule fires: with
+// a handful of observations every binomial interval is accidentally
+// tight at k == 0, and stopping there would report "0% SDC ± 0.5%" off
+// five trials. The Gräfe et al. extension applies the same guard.
+const DefaultMinTrials = 100
+
+// DefaultConfidence is the stopping rule's confidence level when the
+// caller leaves it zero.
+const DefaultConfidence = 0.95
+
+// StopRule is a sequential early-stopping criterion: halt once the
+// SDC-rate confidence interval's half-width is at most HalfWidth at the
+// Confidence level, but never before MinTrials observed trials.
+type StopRule struct {
+	// HalfWidth is the target CI half-width in rate units (0.005 = ±0.5
+	// percentage points). Must be positive for the rule to ever fire.
+	HalfWidth float64
+	// Confidence is the interval's two-sided level in (0, 1); 0 means
+	// DefaultConfidence.
+	Confidence float64
+	// MinTrials is the minimum observed (non-skipped) trials before the
+	// rule may fire; 0 means DefaultMinTrials.
+	MinTrials int
+	// Method selects the interval construction (zero value: Wilson).
+	Method Method
+}
+
+// canon fills defaults.
+func (r StopRule) canon() StopRule {
+	if r.Confidence <= 0 || r.Confidence >= 1 {
+		r.Confidence = DefaultConfidence
+	}
+	if r.MinTrials <= 0 {
+		r.MinTrials = DefaultMinTrials
+	}
+	return r
+}
+
+// Validate rejects rules that can never fire sensibly.
+func (r StopRule) Validate() error {
+	if r.HalfWidth <= 0 {
+		return fmt.Errorf("stats: stop half-width must be positive, got %g", r.HalfWidth)
+	}
+	if r.HalfWidth >= 0.5 {
+		return fmt.Errorf("stats: stop half-width %g means an interval wider than [0,1] would satisfy it", r.HalfWidth)
+	}
+	if r.Confidence != 0 && (r.Confidence <= 0 || r.Confidence >= 1) {
+		return fmt.Errorf("stats: stop confidence must be in (0,1), got %g", r.Confidence)
+	}
+	if r.MinTrials < 0 {
+		return fmt.Errorf("stats: negative stop min-trials %d", r.MinTrials)
+	}
+	return nil
+}
+
+// met reports whether the estimator satisfies the (canonicalized) rule.
+func (r StopRule) met(e *Estimator) bool {
+	if e.N < r.MinTrials {
+		return false
+	}
+	return e.CI(r.Confidence).HalfWidth() <= r.HalfWidth
+}
+
+// Watcher is the engine-facing fold: the campaign engine feeds every
+// finished trial in strict trial-index order and halts the leg as soon
+// as ShouldStop reports true. Implementations must be pure functions of
+// the observed sequence — no clocks, no randomness — so the stop index
+// is deterministic in (Seed, Trials).
+type Watcher interface {
+	// Observe folds trial t. sdc is the trial's silent-data-corruption
+	// verdict (ignored when skipped is true).
+	Observe(trial int, sdc, skipped bool)
+	// ShouldStop reports whether the rule has fired. Once true it stays
+	// true (the fold latches), so the engine may poll it after every
+	// Observe.
+	ShouldStop() bool
+	// Interval returns the current point estimate and confidence bounds.
+	Interval() (rate, lo, hi float64)
+}
+
+// Sequential is the plain (unstratified) sequential watcher: one
+// Estimator over the whole stream plus a StopRule.
+type Sequential struct {
+	rule    StopRule
+	est     Estimator
+	stopped bool
+	stopAt  int
+}
+
+// NewSequential builds a watcher for the rule (defaults filled).
+func NewSequential(rule StopRule) *Sequential {
+	rule = rule.canon()
+	return &Sequential{rule: rule, est: Estimator{Method: rule.Method}, stopAt: -1}
+}
+
+// Observe implements Watcher.
+func (s *Sequential) Observe(trial int, sdc, skipped bool) {
+	if s.stopped {
+		return
+	}
+	if skipped {
+		s.est.Skip()
+	} else {
+		s.est.Observe(sdc)
+	}
+	if s.rule.met(&s.est) {
+		s.stopped = true
+		s.stopAt = trial
+	}
+}
+
+// ShouldStop implements Watcher.
+func (s *Sequential) ShouldStop() bool { return s.stopped }
+
+// StopTrial returns the trial index the rule fired on, or -1.
+func (s *Sequential) StopTrial() int { return s.stopAt }
+
+// Interval implements Watcher.
+func (s *Sequential) Interval() (rate, lo, hi float64) {
+	ci := s.est.CI(s.rule.Confidence)
+	return s.est.Rate(), ci.Lo, ci.Hi
+}
+
+// Estimate returns a copy of the underlying estimator.
+func (s *Sequential) Estimate() Estimator { return s.est }
+
+// Rule returns the canonicalized rule the watcher runs.
+func (s *Sequential) Rule() StopRule { return s.rule }

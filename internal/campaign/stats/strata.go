@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Strata partitions a (layer, bit-position) fault space. Stratum index
+// s = layer*bits + bit; its weight is the fraction of the total fault
+// space it covers: sites(layer) / (totalSites * bits). Trials are
+// allocated to strata round-robin by trial index — a pure function of
+// the index, so stratified campaigns keep the engine's determinism
+// contract for free — and per-stratum estimates are merged back by
+// weight, which is unbiased under ANY allocation (the satellite
+// unbiasedness test pins this against uniform sampling).
+//
+// Equal allocation deliberately over-samples small strata relative to
+// uniform draws: that is the point (MRFI's observation) — deep layers
+// and high-order bits with tiny populations dominate SDC variance, and
+// uniform sampling starves exactly those strata.
+type Strata struct {
+	weights    []float64
+	siteCounts []int64
+	bits       int
+}
+
+// NewLayerBitStrata builds layer × bit strata from per-layer neuron-site
+// counts and the bit width of the emulated data type.
+func NewLayerBitStrata(siteCounts []int64, bits int) (*Strata, error) {
+	if len(siteCounts) == 0 {
+		return nil, fmt.Errorf("stats: no layers to stratify")
+	}
+	if bits < 1 {
+		return nil, fmt.Errorf("stats: stratum bit width must be positive, got %d", bits)
+	}
+	var total int64
+	for l, n := range siteCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("stats: layer %d has non-positive site count %d", l, n)
+		}
+		total += n
+	}
+	s := &Strata{
+		weights:    make([]float64, len(siteCounts)*bits),
+		siteCounts: append([]int64(nil), siteCounts...),
+		bits:       bits,
+	}
+	for l, n := range siteCounts {
+		w := float64(n) / (float64(total) * float64(bits))
+		for b := 0; b < bits; b++ {
+			s.weights[l*bits+b] = w
+		}
+	}
+	return s, nil
+}
+
+// Num returns the stratum count (layers × bits).
+func (s *Strata) Num() int { return len(s.weights) }
+
+// Bits returns the bit-position dimension.
+func (s *Strata) Bits() int { return s.bits }
+
+// Assign maps a trial index to its stratum: deterministic round-robin.
+func (s *Strata) Assign(trial int) int {
+	if trial < 0 {
+		trial = -trial
+	}
+	return trial % len(s.weights)
+}
+
+// Weight returns stratum i's fault-space weight; weights sum to 1.
+func (s *Strata) Weight(i int) float64 { return s.weights[i] }
+
+// LayerBit decomposes a stratum index into its (layer, bit) pair.
+func (s *Strata) LayerBit(i int) (layer, bit int) {
+	return i / s.bits, i % s.bits
+}
+
+// Stratified is the stratified sequential watcher: one Estimator per
+// stratum, trials routed by Strata.Assign over their index, estimates
+// merged by fault-space weight. The merged point estimate is the
+// weighted mean of per-stratum rates; the merged interval is the normal
+// approximation over the weighted variance with a Wilson-style
+// per-stratum smoothing (p~ = (k + z²/2)/(n + z²)), which keeps a
+// stratum at k == 0 from claiming zero variance.
+type Stratified struct {
+	rule    StopRule
+	strata  *Strata
+	per     []Estimator
+	n       int // observed (non-skipped) trials across all strata
+	skipped int
+	stopped bool
+	stopAt  int
+}
+
+// NewStratified builds a stratified watcher for the rule.
+func NewStratified(rule StopRule, strata *Strata) *Stratified {
+	rule = rule.canon()
+	return &Stratified{
+		rule:   rule,
+		strata: strata,
+		per:    make([]Estimator, strata.Num()),
+		stopAt: -1,
+	}
+}
+
+// Observe implements Watcher.
+func (w *Stratified) Observe(trial int, sdc, skipped bool) {
+	if w.stopped {
+		return
+	}
+	s := w.strata.Assign(trial)
+	if skipped {
+		w.per[s].Skip()
+		w.skipped++
+	} else {
+		w.per[s].Observe(sdc)
+		w.n++
+	}
+	if w.met() {
+		w.stopped = true
+		w.stopAt = trial
+	}
+}
+
+func (w *Stratified) met() bool {
+	if w.n < w.rule.MinTrials {
+		return false
+	}
+	_, lo, hi := w.Interval()
+	if lo == 0 && hi == 1 {
+		return false // some stratum still unobserved
+	}
+	return (hi-lo)/2 <= w.rule.HalfWidth
+}
+
+// ShouldStop implements Watcher.
+func (w *Stratified) ShouldStop() bool { return w.stopped }
+
+// StopTrial returns the trial index the rule fired on, or -1.
+func (w *Stratified) StopTrial() int { return w.stopAt }
+
+// Rate returns the weight-merged point estimate. Strata with no
+// observations yet contribute their weight to a renormalization rather
+// than a fabricated rate, so the estimate stays a convex combination of
+// observed strata.
+func (w *Stratified) Rate() float64 {
+	var est, seen float64
+	for s := range w.per {
+		if w.per[s].N == 0 {
+			continue
+		}
+		wt := w.strata.Weight(s)
+		est += wt * w.per[s].Rate()
+		seen += wt
+	}
+	if seen == 0 {
+		return 0
+	}
+	return est / seen
+}
+
+// Interval implements Watcher: the merged estimate with a normal-
+// approximation interval over the weighted per-stratum variance. Until
+// every stratum has at least one observation the interval is the
+// vacuous [0, 1] — the merged variance is undefined with unobserved
+// strata, and the stopping rule must not fire on a partial picture.
+func (w *Stratified) Interval() (rate, lo, hi float64) {
+	rate = w.Rate()
+	z := ZQuantile(w.rule.Confidence)
+	var variance float64
+	for s := range w.per {
+		e := &w.per[s]
+		if e.N == 0 {
+			return rate, 0, 1
+		}
+		nf := float64(e.N)
+		// Wilson-style smoothing keeps k == 0 strata honest about their
+		// remaining uncertainty.
+		pt := (float64(e.SDC) + z*z/2) / (nf + z*z)
+		wt := w.strata.Weight(s)
+		variance += wt * wt * pt * (1 - pt) / (nf + z*z)
+	}
+	half := z * math.Sqrt(variance)
+	ci := clampInterval(rate-half, rate+half)
+	return rate, ci.Lo, ci.Hi
+}
+
+// NumStrata reports the stratum count (the engine exports it as a
+// gauge).
+func (w *Stratified) NumStrata() int { return w.strata.Num() }
+
+// MinStratumTrials returns the smallest per-stratum observation count —
+// the campaign's coverage floor across the fault space.
+func (w *Stratified) MinStratumTrials() int {
+	min := math.MaxInt
+	for s := range w.per {
+		if w.per[s].N < min {
+			min = w.per[s].N
+		}
+	}
+	return min
+}
+
+// StratumEstimates returns a copy of the per-stratum estimators.
+func (w *Stratified) StratumEstimates() []Estimator {
+	return append([]Estimator(nil), w.per...)
+}
+
+// Rule returns the canonicalized rule the watcher runs.
+func (w *Stratified) Rule() StopRule { return w.rule }

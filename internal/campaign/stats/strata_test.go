@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustStrata(t *testing.T, sites []int64, bits int) *Strata {
+	t.Helper()
+	s, err := NewLayerBitStrata(sites, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewLayerBitStrataRejectsBadInput(t *testing.T) {
+	if _, err := NewLayerBitStrata(nil, 8); err == nil {
+		t.Fatal("empty layer list must error")
+	}
+	if _, err := NewLayerBitStrata([]int64{4}, 0); err == nil {
+		t.Fatal("zero bit width must error")
+	}
+	if _, err := NewLayerBitStrata([]int64{4, 0}, 8); err == nil {
+		t.Fatal("zero site count must error")
+	}
+}
+
+func TestStrataWeightsSumToOneAndTrackSites(t *testing.T) {
+	s := mustStrata(t, []int64{100, 300, 600}, 4)
+	if s.Num() != 12 || s.Bits() != 4 {
+		t.Fatalf("num=%d bits=%d", s.Num(), s.Bits())
+	}
+	var sum float64
+	for i := 0; i < s.Num(); i++ {
+		sum += s.Weight(i)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %g", sum)
+	}
+	// Layer 2 holds 6x the sites of layer 0 — so do its strata weights.
+	if r := s.Weight(2*4) / s.Weight(0); math.Abs(r-6) > 1e-12 {
+		t.Fatalf("weight ratio %g, want 6", r)
+	}
+	for i := 0; i < s.Num(); i++ {
+		l, b := s.LayerBit(i)
+		if l*4+b != i || b < 0 || b >= 4 {
+			t.Fatalf("LayerBit(%d) = (%d,%d)", i, l, b)
+		}
+	}
+}
+
+func TestStrataAssignRoundRobinBalance(t *testing.T) {
+	s := mustStrata(t, []int64{2, 5}, 3)
+	counts := make([]int, s.Num())
+	const rounds = 17
+	for tr := 0; tr < rounds*s.Num(); tr++ {
+		counts[s.Assign(tr)]++
+	}
+	for i, c := range counts {
+		if c != rounds {
+			t.Fatalf("stratum %d saw %d trials, want %d", i, c, rounds)
+		}
+	}
+}
+
+// TestStratifiedUnbiased pins the satellite's stratified-vs-uniform
+// unbiasedness claim: with heterogeneous per-stratum rates, the weighted
+// stratified estimate and a plain uniform estimate (strata sampled in
+// proportion to their fault-space weight) converge to the same mixture
+// rate sum(w_s * p_s).
+func TestStratifiedUnbiased(t *testing.T) {
+	s := mustStrata(t, []int64{1, 3}, 2)
+	// weights: [1/8, 1/8, 3/8, 3/8]
+	pPer := []float64{0.8, 0.6, 0.1, 0.3}
+	truth := 0.0
+	for i, p := range pPer {
+		truth += s.Weight(i) * p
+	}
+
+	const trials = 20000
+	rule := StopRule{HalfWidth: 1e-9, Confidence: 0.95} // never fires
+	w := NewStratified(rule, s)
+	rng := rand.New(rand.NewSource(5))
+	for tr := 0; tr < trials; tr++ {
+		w.Observe(tr, rng.Float64() < pPer[s.Assign(tr)], false)
+	}
+	if got := w.Rate(); math.Abs(got-truth) > 0.015 {
+		t.Fatalf("stratified rate %g, truth %g", got, truth)
+	}
+
+	// Uniform draws: stratum chosen by weight, outcome by its rate.
+	var uni Estimator
+	rng = rand.New(rand.NewSource(6))
+	for tr := 0; tr < trials; tr++ {
+		u, cum, st := rng.Float64(), 0.0, 0
+		for i := 0; i < s.Num(); i++ {
+			cum += s.Weight(i)
+			if u < cum {
+				st = i
+				break
+			}
+		}
+		uni.Observe(rng.Float64() < pPer[st])
+	}
+	if math.Abs(uni.Rate()-truth) > 0.015 {
+		t.Fatalf("uniform rate %g, truth %g", uni.Rate(), truth)
+	}
+	if math.Abs(uni.Rate()-w.Rate()) > 0.03 {
+		t.Fatalf("estimates diverge: stratified %g vs uniform %g", w.Rate(), uni.Rate())
+	}
+}
+
+// TestStratifiedVacuousUntilAllObserved: with any stratum unobserved the
+// interval must be the vacuous [0,1] and the rule must not fire, no
+// matter how much data the other strata have.
+func TestStratifiedVacuousUntilAllObserved(t *testing.T) {
+	s := mustStrata(t, []int64{1, 1}, 2) // 4 strata
+	w := NewStratified(StopRule{HalfWidth: 0.49, Confidence: 0.9, MinTrials: 1}, s)
+	for tr := 0; tr < 4000; tr++ {
+		if tr%4 == 3 {
+			continue // starve stratum 3
+		}
+		w.Observe(tr, false, false)
+	}
+	if _, lo, hi := w.Interval(); lo != 0 || hi != 1 {
+		t.Fatalf("interval [%g,%g] with an unobserved stratum, want [0,1]", lo, hi)
+	}
+	if w.ShouldStop() {
+		t.Fatal("rule fired with an unobserved stratum")
+	}
+	if w.MinStratumTrials() != 0 {
+		t.Fatalf("min stratum trials %d, want 0", w.MinStratumTrials())
+	}
+	// One observation in the starved stratum un-vacuouses the interval.
+	w.Observe(3, false, false)
+	if _, lo, hi := w.Interval(); lo == 0 && hi == 1 {
+		t.Fatal("interval still vacuous after all strata observed")
+	}
+}
+
+func TestStratifiedStopsAndLatches(t *testing.T) {
+	s := mustStrata(t, []int64{4, 4}, 2)
+	rule := StopRule{HalfWidth: 0.05, Confidence: 0.95, MinTrials: 40}
+	run := func() (int, float64) {
+		w := NewStratified(rule, s)
+		rng := rand.New(rand.NewSource(11))
+		for tr := 0; tr < 5000; tr++ {
+			w.Observe(tr, rng.Float64() < 0.1, false)
+		}
+		return w.StopTrial(), w.Rate()
+	}
+	stop1, rate1 := run()
+	stop2, rate2 := run()
+	if stop1 < 0 {
+		t.Fatal("expected the stratified rule to fire within 5000 trials")
+	}
+	if stop1 != stop2 || rate1 != rate2 {
+		t.Fatalf("replay diverged: (%d,%g) vs (%d,%g)", stop1, rate1, stop2, rate2)
+	}
+	w := NewStratified(rule, s)
+	rng := rand.New(rand.NewSource(11))
+	for tr := 0; tr <= stop1; tr++ {
+		w.Observe(tr, rng.Float64() < 0.1, false)
+	}
+	if !w.ShouldStop() || w.StopTrial() != stop1 {
+		t.Fatalf("prefix replay: stop=%d want %d", w.StopTrial(), stop1)
+	}
+	if w.NumStrata() != 4 || w.MinStratumTrials() < rule.MinTrials/8 {
+		t.Fatalf("strata=%d min=%d", w.NumStrata(), w.MinStratumTrials())
+	}
+	ests := w.StratumEstimates()
+	if len(ests) != 4 {
+		t.Fatalf("%d stratum estimates", len(ests))
+	}
+	total := 0
+	for _, e := range ests {
+		total += e.N
+	}
+	if total != stop1+1 {
+		t.Fatalf("stratum estimators hold %d trials, want %d", total, stop1+1)
+	}
+	if w.Rule().MinTrials != 40 {
+		t.Fatalf("rule %+v", w.Rule())
+	}
+}

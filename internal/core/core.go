@@ -57,6 +57,12 @@ func (d DType) String() string {
 	}
 }
 
+// Bits returns the representation width bit-flip models draw positions
+// from — the same table BitFlip.Perturb uses, exported so fault-space
+// layers (stratification over bit positions, dedup keys) can mirror the
+// perturb-time draw exactly.
+func (d DType) Bits() int { return bitsFor(d) }
+
 // Config parametrizes Injector initialization, mirroring PyTorchFI's
 // fault_injection(model, h, w, batch_size, ...) signature.
 type Config struct {

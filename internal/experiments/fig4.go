@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"gofi/internal/campaign"
+	"gofi/internal/campaign/stats"
 	"gofi/internal/core"
 	"gofi/internal/models"
 	"gofi/internal/obs"
@@ -49,6 +50,14 @@ type Fig4Config struct {
 	// campaign.ScheduleAuto. Throughput only; results are
 	// byte-identical under every schedule.
 	Schedule campaign.Schedule
+	// StopCI, when positive, halts each per-model campaign once the
+	// SDC-rate CI half-width is at most this value at the StopConf level
+	// (TrialsPerModel then caps the budget); see
+	// campaign.Config.Stop. StopConf 0 means 0.95, StopMin 0 means
+	// stats.DefaultMinTrials.
+	StopCI   float64
+	StopConf float64
+	StopMin  int
 }
 
 func (c Fig4Config) canon() Fig4Config {
@@ -89,6 +98,9 @@ type Fig4Row struct {
 	CILo, CIHi float64 // Wilson 99% interval
 	OutOfTop5  int
 	NonFinite  int
+	// StopTrial is the index the early-stopping rule fired on (-1 when
+	// the rule never fired or StopCI was unset).
+	StopTrial int
 }
 
 // RunFig4 reproduces Figure 4: for each network, train on the synthetic
@@ -138,7 +150,15 @@ func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, er
 		return inj, nil
 	}
 
-	agg, err := campaign.Run(ctx, campaign.Config{
+	var watcher *stats.Sequential
+	if cfg.StopCI > 0 {
+		rule := stats.StopRule{HalfWidth: cfg.StopCI, Confidence: cfg.StopConf, MinTrials: cfg.StopMin}
+		if err := rule.Validate(); err != nil {
+			return Fig4Row{}, err
+		}
+		watcher = stats.NewSequential(rule)
+	}
+	ccfg := campaign.Config{
 		Workers:    cfg.Workers,
 		Trials:     cfg.TrialsPerModel,
 		Seed:       cfg.Seed + 17,
@@ -153,12 +173,16 @@ func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, er
 		PrefixReuse: cfg.PrefixReuse,
 		TrialBatch:  cfg.TrialBatch,
 		Schedule:    cfg.Schedule,
-	})
+	}
+	if watcher != nil {
+		ccfg.Stop = watcher
+	}
+	agg, err := campaign.Run(ctx, ccfg)
 	if err != nil {
 		return Fig4Row{}, err
 	}
 	lo, hi := agg.WilsonCI(campaign.Z99)
-	return Fig4Row{
+	row := Fig4Row{
 		Model:     name,
 		CleanAcc:  float64(len(eligible)) / 128,
 		Trials:    agg.Trials,
@@ -168,5 +192,10 @@ func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, er
 		CIHi:      hi,
 		OutOfTop5: agg.OutOfTop5,
 		NonFinite: agg.NonFinite,
-	}, nil
+		StopTrial: -1,
+	}
+	if watcher != nil {
+		row.StopTrial = watcher.StopTrial()
+	}
+	return row, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"gofi/internal/campaign"
 	"gofi/internal/campaign/sched"
+	"gofi/internal/campaign/stats"
 	"gofi/internal/core"
 	"gofi/internal/data"
 	"gofi/internal/detect"
@@ -52,6 +53,16 @@ type Fig5Config struct {
 	// pack group identically (chunks of K in run order, exactly the
 	// legacy grouping); ScheduleSeq forces the K == 1 legacy stream.
 	Schedule campaign.Schedule
+	// StopCI, when positive, halts the study early once the
+	// phantom-producing-run rate's CI half-width is at most this value
+	// at the StopConf level (a run counts as corrupted when its
+	// injections produce at least one phantom object). Runs fold into
+	// the rule in run order — the same order both the sequential and the
+	// batched paths record them — so the stop index is deterministic in
+	// the study seed. Scenes * InjectionsPerScene then caps the budget.
+	StopCI   float64
+	StopConf float64
+	StopMin  int
 }
 
 func (c Fig5Config) canon() Fig5Config {
@@ -97,6 +108,9 @@ type Fig5Result struct {
 	FITP, FIPhantoms, FIMissed, FIMisclass int
 	// Scenes and injected runs evaluated.
 	Scenes, InjectedRuns int
+	// StopTrial is the run index StopCI fired on (-1 when unset or the
+	// budget ran out first).
+	StopTrial int
 	// ExampleClean / ExampleFI are the detection lists of the first scene
 	// (the study's qualitative exhibit, standing in for Figure 5a/5b).
 	ExampleClean, ExampleFI []detect.Detection
@@ -143,9 +157,24 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 		runner, _ = core.NewPrefixRunner(inj, 64<<20)
 	}
 
+	var watcher *stats.Sequential
+	if cfg.StopCI > 0 {
+		rule := stats.StopRule{HalfWidth: cfg.StopCI, Confidence: cfg.StopConf, MinTrials: cfg.StopMin}
+		if err := rule.Validate(); err != nil {
+			return Fig5Result{}, err
+		}
+		watcher = stats.NewSequential(rule)
+	}
+
 	siteRng := rand.New(rand.NewSource(cfg.Seed + 3))
 	var res Fig5Result
-	for s := 0; s < cfg.Scenes; s++ {
+	res.StopTrial = -1
+	// stopped latches when the stopping rule fires; runs after the stop
+	// index — including later lanes of a half-recorded pack — are never
+	// folded, so the recorded stream is an exact prefix of run order and
+	// the stop index is the same under every TrialBatch/Schedule.
+	stopped := false
+	for s := 0; s < cfg.Scenes && !stopped; s++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
@@ -171,6 +200,14 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 				res.ExampleClean = clean
 				res.ExampleFI = faulty
 				res.ExampleGT = gts
+			}
+			if watcher != nil {
+				global := s*cfg.InjectionsPerScene + run
+				watcher.Observe(global, fm.Phantoms > 0, false)
+				if watcher.ShouldStop() {
+					stopped = true
+					res.StopTrial = watcher.StopTrial()
+				}
 			}
 		}
 		if cfg.TrialBatch > 1 {
@@ -203,13 +240,19 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 				}
 				perLane := det.Detect(x.TileBatch(lanes))
 				for l, i := range entry.Trials {
+					if stopped {
+						break
+					}
 					record(i, perLane[l])
+				}
+				if stopped {
+					break
 				}
 			}
 			res.Scenes++
 			continue
 		}
-		for i := 0; i < cfg.InjectionsPerScene; i++ {
+		for i := 0; i < cfg.InjectionsPerScene && !stopped; i++ {
 			inj.Reset()
 			if _, err := inj.InjectRandomNeuronPerLayer(siteRng, core.RandomValue{Lo: -cfg.ValueRange, Hi: cfg.ValueRange}); err != nil {
 				return Fig5Result{}, err

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"gofi/internal/campaign"
+	"gofi/internal/campaign/stats"
 	"gofi/internal/core"
 	"gofi/internal/obs"
 )
@@ -60,6 +61,48 @@ type GenericCampaignConfig struct {
 	// cost model per trial group. Throughput only; results are
 	// byte-identical under every schedule.
 	Schedule campaign.Schedule
+	// StopCI, when positive, attaches a sequential early-stopping rule:
+	// the campaign halts once the SDC-rate confidence interval's
+	// half-width is at most StopCI (rate units; 0.005 = ±0.5 percentage
+	// points) at the StopConf level, but never before StopMin observed
+	// trials. Trials then caps the budget instead of fixing it. The stop
+	// index is deterministic in (Seed, Trials) — see
+	// campaign.Config.Stop.
+	StopCI float64
+	// StopConf is the confidence level for StopCI (0 = 0.95).
+	StopConf float64
+	// StopMin is the observed-trial floor before StopCI may fire
+	// (0 = stats.DefaultMinTrials).
+	StopMin int
+	// Stratify replaces Arm with a stratified fixed-bit-flip generator
+	// over (layer, bit-position) strata: trials are allocated to strata
+	// round-robin by index and per-stratum estimates merge by
+	// fault-space weight (stats.NewBitFlipStratified). Requires neuron
+	// scope — the caller must leave Arm nil and IsolateWeights false.
+	Stratify bool
+	// Dedup enables fault-space dedup: trials arming an identical
+	// (sample, site, bit) fault are computed once and multiplied in the
+	// aggregate. Requires ErrorModel (the generator must own the fault
+	// draws); implies routing single-neuron arming through the
+	// stats.Uniform generator, which mirrors Arm's legacy draw order
+	// exactly.
+	Dedup bool
+	// ErrorModel is the error model the Stratify/Dedup generators arm;
+	// ignored when both are false (Arm then owns fault declaration).
+	ErrorModel core.ErrorModel
+}
+
+// StopSummary reports what an early-stopping watcher saw, for CLIs to
+// render next to the aggregate.
+type StopSummary struct {
+	// Trial is the index the rule fired on, -1 when the campaign
+	// exhausted its budget first.
+	Trial int
+	// Rate, Lo, Hi are the watcher's final estimate and CI bounds.
+	Rate, Lo, Hi float64
+	// Strata and MinStratum describe a stratified watcher (0/0 when the
+	// plain sequential rule ran).
+	Strata, MinStratum int
 }
 
 // defaultTrialBatch is the lane count the generic campaigns profile for
@@ -72,6 +115,8 @@ type GenericCampaignResult struct {
 	CleanAcc      float64
 	EligibleCount int
 	Aggregate     campaign.Aggregate
+	// Stop is non-nil when StopCI was configured.
+	Stop *StopSummary
 }
 
 // RunGenericCampaign trains the model on the synthetic dataset, prepares
@@ -83,8 +128,20 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Arm == nil {
+	useGen := cfg.Stratify || cfg.Dedup
+	if !useGen && cfg.Arm == nil {
 		return GenericCampaignResult{}, fmt.Errorf("campaign: Arm function required")
+	}
+	if useGen {
+		if cfg.Arm != nil {
+			return GenericCampaignResult{}, fmt.Errorf("campaign: Stratify/Dedup own fault declaration; leave Arm nil")
+		}
+		if cfg.IsolateWeights {
+			return GenericCampaignResult{}, fmt.Errorf("campaign: Stratify/Dedup cover neuron faults only, not weight campaigns")
+		}
+		if !cfg.Stratify && cfg.ErrorModel == nil {
+			return GenericCampaignResult{}, fmt.Errorf("campaign: Dedup needs ErrorModel so the generator owns the fault draws")
+		}
 	}
 	if cfg.Model == "" {
 		cfg.Model = "resnet18"
@@ -159,6 +216,52 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 		return inj, nil
 	}
 
+	// Generator + watcher wiring. The generator needs the profiled layer
+	// geometry, which only exists on a built replica, so probe one (the
+	// engine builds its own per worker; this one is discarded).
+	var armTrial func(*core.Injector, *rand.Rand, int) error
+	var key func(*rand.Rand, int, int) (string, bool)
+	var strata *stats.Strata
+	if useGen {
+		probe, err := newReplica(0)
+		if err != nil {
+			return GenericCampaignResult{}, err
+		}
+		layers := probe.Layers()
+		probe.Detach()
+		var gen stats.Gen
+		if cfg.Stratify {
+			g, err := stats.NewBitFlipStratified(layers, cfg.DType)
+			if err != nil {
+				return GenericCampaignResult{}, err
+			}
+			strata = g.Strata()
+			gen = g
+		} else {
+			g, err := stats.NewUniform(layers, cfg.ErrorModel, cfg.DType)
+			if err != nil {
+				return GenericCampaignResult{}, err
+			}
+			gen = g
+		}
+		armTrial = gen.Arm
+		if cfg.Dedup {
+			key = gen.Key
+		}
+	}
+	var watcher stats.Watcher
+	if cfg.StopCI > 0 {
+		rule := stats.StopRule{HalfWidth: cfg.StopCI, Confidence: cfg.StopConf, MinTrials: cfg.StopMin}
+		if err := rule.Validate(); err != nil {
+			return GenericCampaignResult{}, err
+		}
+		if strata != nil {
+			watcher = stats.NewStratified(rule, strata)
+		} else {
+			watcher = stats.NewSequential(rule)
+		}
+	}
+
 	agg, err := campaign.Run(ctx, campaign.Config{
 		Workers:     cfg.Workers,
 		Trials:      cfg.Trials,
@@ -167,6 +270,9 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 		Source:      ds,
 		Eligible:    eligible,
 		Arm:         cfg.Arm,
+		ArmTrial:    armTrial,
+		Stop:        watcher,
+		Key:         key,
 		Sinks:       cfg.Sinks,
 		Progress:    cfg.Progress,
 		OnError:     cfg.OnError,
@@ -177,9 +283,30 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 	})
 	// On abort the engine still hands back the partial aggregate; pass it
 	// through so callers can report what completed.
-	return GenericCampaignResult{
+	res := GenericCampaignResult{
 		CleanAcc:      float64(len(eligible)) / 128,
 		EligibleCount: len(eligible),
 		Aggregate:     agg,
-	}, err
+	}
+	if watcher != nil {
+		res.Stop = summarizeStop(watcher)
+	}
+	return res, err
+}
+
+// summarizeStop extracts a CLI-facing summary from a stopping watcher.
+func summarizeStop(w stats.Watcher) *StopSummary {
+	s := &StopSummary{Trial: -1}
+	s.Rate, s.Lo, s.Hi = w.Interval()
+	if st, ok := w.(interface{ StopTrial() int }); ok {
+		s.Trial = st.StopTrial()
+	}
+	if si, ok := w.(interface {
+		NumStrata() int
+		MinStratumTrials() int
+	}); ok {
+		s.Strata = si.NumStrata()
+		s.MinStratum = si.MinStratumTrials()
+	}
+	return s
 }

@@ -68,6 +68,21 @@ check_cover ./internal/campaign 88
 # model and DP partition are pure functions with table-driven tests, so
 # the floor is high.
 check_cover ./internal/campaign/sched 90
+# The statistical layer decides when campaigns STOP; an untested branch
+# here silently changes which trials a study runs. check_stats groups
+# its gates: the fixed-seed property suite (interval coverage over a
+# 1000-seed Monte Carlo matrix, stop monotonicity, stratified
+# unbiasedness — pure math + pure folds, so the floor is the highest in
+# the tree), the race-detected stop wall (stop-index determinism across
+# the execution matrix, dedup-vs-brute-force equality, the
+# cancellation-mid-stop shutdown ordering, the committed stop golden),
+# and a coverage-guided FuzzStopRule smoke.
+check_stats() {
+	check_cover ./internal/campaign/stats 90
+	go test -race -cpu 1,4 -run 'TestStopIndexDeterministic|TestStopUnchangedByDedup|TestDedupMatchesBruteForce|TestCancellationMidStopLeg|TestGoldenCampaignStop' ./internal/campaign
+	go test -run='^$' -fuzz='^FuzzStopRule$' -fuzztime=10s ./internal/campaign/stats
+}
+check_stats
 
 # The cut-aware scheduler's two promises on the DenseNet campaign: with
 # prefix reuse, auto must decline to pack (sequential warmed-store hits
