@@ -644,6 +644,122 @@ func BenchmarkCampaignStopToTarget(b *testing.B) {
 	b.ReportMetric(float64(fixed)/float64(stopped+1), "savings_x")
 }
 
+// --- Quantized INT8 campaign backend --------------------------------------
+//
+// The prefix benchmark's DenseNet single-site campaign, run end-to-end on
+// the int8 GEMM/conv backend: weights stored as int8 codes with
+// per-channel scales, activations requantized onto each layer's output
+// grid between layers, and neuron bit flips applied with stored-code
+// semantics. int32 accumulation is exact, so aggregates stay
+// bit-identical across workers and schedules (golden_test.go's int8
+// fixture pins it); this pair records the campaign-throughput ratio over
+// the float32 backend in BENCH_int8.json.
+
+var int8Bench struct {
+	once   sync.Once
+	qmodel nn.Layer
+	err    error
+}
+
+func benchCampaignBackend(b *testing.B, int8Backend bool) {
+	b.Helper()
+	s := &prefixBench
+	s.once.Do(func() {
+		s.ds, s.err = data.NewClassification(data.ClassificationConfig{
+			Classes: 4, Channels: 3, Size: 32, Noise: 0.2, Seed: 51,
+		})
+		if s.err != nil {
+			return
+		}
+		s.model, s.err = models.Build("densenet", rand.New(rand.NewSource(51)), 4, 32)
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	q := &int8Bench
+	if int8Backend {
+		// Quantize one master (plan is deterministic given weights + calib
+		// batch); replicas share its float params and quantization plan.
+		q.once.Do(func() {
+			q.qmodel, q.err = models.Build("densenet", rand.New(rand.NewSource(51)), 4, 32)
+			if q.err != nil {
+				return
+			}
+			if q.err = nn.ShareParams(q.qmodel, s.model); q.err != nil {
+				return
+			}
+			nn.SetTraining(q.qmodel, false)
+			calib, _ := s.ds.Batch(0, 8)
+			q.err = nn.QuantizeModel(q.qmodel, calib, nn.QuantizeOptions{})
+		})
+		if q.err != nil {
+			b.Fatal(q.err)
+		}
+	}
+	eligible := make([]int, 8)
+	for i := range eligible {
+		eligible[i] = i
+	}
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	const trials = 96
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := campaign.Run(context.Background(), campaign.Config{
+			Workers:  1,
+			Trials:   trials,
+			Seed:     52,
+			Source:   prefixBench.ds,
+			Eligible: eligible,
+			NewReplica: func(worker int) (*core.Injector, error) {
+				replica, err := models.Build("densenet", rand.New(rand.NewSource(51)), 4, 32)
+				if err != nil {
+					return nil, err
+				}
+				if err := nn.ShareParams(replica, prefixBench.model); err != nil {
+					return nil, err
+				}
+				cfg := core.Config{Height: 32, Width: 32, Seed: int64(worker)}
+				if int8Backend {
+					if err := nn.ShareQuant(replica, int8Bench.qmodel); err != nil {
+						return nil, err
+					}
+					nn.SetTraining(replica, false)
+					cfg.DType = core.INT8
+				}
+				inj, err := core.New(replica, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if int8Backend {
+					if err := inj.UseQuantizedModel(); err != nil {
+						inj.Detach()
+						return nil, err
+					}
+				}
+				return inj, nil
+			},
+			Arm: func(inj *core.Injector, rng *rand.Rand) error {
+				_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit})
+				return err
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Trials != trials {
+			b.Fatalf("trials = %d, want %d", agg.Trials, trials)
+		}
+	}
+	b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// BenchmarkCampaignF32 is the float32-backend baseline for the int8 row:
+// identical campaign, identical fault model, only the execution backend
+// differs (BENCH_int8.json records the ratio).
+func BenchmarkCampaignF32(b *testing.B)  { benchCampaignBackend(b, false) }
+func BenchmarkCampaignInt8(b *testing.B) { benchCampaignBackend(b, true) }
+
 // The Batch rows pin SchedulePack so they keep measuring the legacy
 // fill-every-lane grouping that BENCH_batch.json documents, independent
 // of what the default schedule decides.

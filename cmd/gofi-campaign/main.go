@@ -53,9 +53,11 @@ func usageError(fs *flag.FlagSet, format string, args ...any) error {
 func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("gofi-campaign", flag.ContinueOnError)
 	model := fs.String("model", "resnet18", "architecture (see gofi-info -list)")
-	errModel := fs.String("error", "bitflip", "error model: bitflip, bitflip2, random, zero, gauss, gain")
+	errModel := fs.String("error", "bitflip", "error model: bitflip, bitflip2, random, zero, gauss, gain, stuck0, stuck1")
 	scope := fs.String("scope", "neuron", "injection scope per trial: neuron, per-layer, fmap, weight")
 	dtype := fs.String("dtype", "int8", "emulated data type: fp32, fp16, int8")
+	backend := fs.String("backend", "f32", "tensor execution backend: f32 runs float32 kernels with emulated precision; int8 quantizes the trained model and runs the campaign on the int8 GEMM/conv backend (implies -dtype int8, stored-code fault semantics)")
+	actZP := fs.Bool("act-zp", false, "int8 backend: use asymmetric (zero-point) input quantizers for non-negative activations")
 	trials := fs.Int("trials", 1000, "injection trials")
 	workers := fs.Int("workers", 4, "parallel campaign workers (throughput only; results depend on -seed and -trials alone)")
 	classes := fs.Int("classes", 10, "dataset classes")
@@ -92,6 +94,13 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	dt, err := parseDType(*dtype)
 	if err != nil {
 		return usageError(fs, "%v", err)
+	}
+	be, err := experiments.ParseBackend(*backend)
+	if err != nil {
+		return usageError(fs, "%v", err)
+	}
+	if be == "int8" && dt != core.INT8 {
+		return usageError(fs, "-backend int8 implies -dtype int8, got %q", *dtype)
 	}
 	arm, err := parseScope(*scope, em)
 	if err != nil {
@@ -156,6 +165,8 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		Trials:         *trials,
 		Workers:        *workers,
 		DType:          dt,
+		Backend:        be,
+		ActZeroPoint:   *actZP,
 		Arm:            arm,
 		IsolateWeights: *scope == "weight",
 		Seed:           *seed,
@@ -187,7 +198,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "GoFI campaign — %s, %s error model, %s scope, %s\n", *model, em.Name(), *scope, dt)
+	fmt.Fprintf(out, "GoFI campaign — %s, %s error model, %s scope, %s (%s backend)\n", *model, em.Name(), *scope, dt, be)
 	if aborted {
 		fmt.Fprintf(out, "campaign aborted (%v) — partial statistics over %d completed trials\n",
 			err, res.Aggregate.Trials)
@@ -241,6 +252,10 @@ func parseErrorModel(name string) (core.ErrorModel, error) {
 		return core.GaussianNoise{Std: 1}, nil
 	case "gain":
 		return core.Gain{Factor: 2}, nil
+	case "stuck0":
+		return core.StuckAt{Bit: core.RandomBit}, nil
+	case "stuck1":
+		return core.StuckAt{Bit: core.RandomBit, One: true}, nil
 	default:
 		return nil, fmt.Errorf("unknown error model %q", name)
 	}

@@ -53,6 +53,7 @@ func run(ctx context.Context, args []string) error {
 	stopCI := fs.Float64("stop-ci", 0, "halt each per-model campaign once the SDC-rate confidence interval's half-width is at most this (rate units; 0.005 = ±0.5 percentage points); -trials then caps the budget; 0 disables early stopping")
 	stopConf := fs.Float64("stop-conf", 0.95, "confidence level for -stop-ci, in (0,1)")
 	stopMin := fs.Int("stop-min", 0, "observed trials required before -stop-ci may halt a campaign; 0 = default 100")
+	backend := fs.String("backend", "f32", "tensor execution backend: f32 emulates INT8 on float32 kernels; int8 quantizes each trained network and runs its campaign on the int8 GEMM/conv backend")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +66,10 @@ func run(ctx context.Context, args []string) error {
 	defer mcli.Finish()
 
 	sched, err := experiments.ParseSchedule(*schedule)
+	if err != nil {
+		return usageError(fs, "%v", err)
+	}
+	be, err := experiments.ParseBackend(*backend)
 	if err != nil {
 		return usageError(fs, "%v", err)
 	}
@@ -96,6 +101,7 @@ func run(ctx context.Context, args []string) error {
 		StopCI:         *stopCI,
 		StopConf:       *stopConf,
 		StopMin:        *stopMin,
+		Backend:        be,
 	}
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")
@@ -105,7 +111,7 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	fmt.Println("Figure 4 — Top-1 misclassification probability under single INT8 bit flips")
+	fmt.Printf("Figure 4 — Top-1 misclassification probability under single INT8 bit flips (%s backend)\n", be)
 	fmt.Println("(synthetic 10-class dataset stands in for ImageNet; each network trained to")
 	fmt.Println(" high accuracy first; injections only on correctly-classified inputs)")
 	cols := []string{"Network", "CleanAcc", "Trials", "Top1-Mis", "Rate (%)", "99% CI (%)", "OutOfTop5", "NonFinite"}

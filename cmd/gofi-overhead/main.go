@@ -104,6 +104,8 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("heap traffic per forward: bare %d B/op (%d allocs/op), FI %d B/op (%d allocs/op)\n",
 			res.BareAlloc.BytesPerOp, res.BareAlloc.AllocsPerOp,
 			res.FIAlloc.BytesPerOp, res.FIAlloc.AllocsPerOp)
+		fmt.Printf("int8 backend: bare forward p50 %.6fs (min %.6fs) — %.2fx f32 at p50\n",
+			res.Int8.P50Sec, res.Int8.MinSec, res.Int8SpeedupP50)
 		return writeBench(*jsonOut, benchOutput{Kind: "per-layer", Trials: *trials, Seed: *seed, PerLayer: &res})
 	}
 

@@ -80,17 +80,11 @@ func TestAggregate(t *testing.T) {
 	}
 }
 
-// trainedSetup builds a small trained model + dataset for campaign tests.
-func trainedSetup(t *testing.T) (*data.Classification, nn.Layer, []int) {
-	t.Helper()
-	ds, err := data.NewClassification(data.ClassificationConfig{
-		Classes: 4, Channels: 3, Size: 16, Noise: 0.1, Seed: 11,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+// buildConvNet constructs the test convnet architecture; every call uses
+// the same init seed so replicas are structurally identical.
+func buildConvNet() nn.Layer {
 	rng := rand.New(rand.NewSource(1))
-	model := nn.NewSequential("m",
+	return nn.NewSequential("m",
 		nn.NewConv2d("c1", rng, 3, 8, 3, nn.Conv2dConfig{Pad: 1}),
 		nn.NewReLU("r1"),
 		nn.NewMaxPool2d("p1", 2, 0, 0),
@@ -100,6 +94,18 @@ func trainedSetup(t *testing.T) (*data.Classification, nn.Layer, []int) {
 		nn.NewFlatten("fl"),
 		nn.NewLinear("fc", rng, 16, 4, true),
 	)
+}
+
+// trainedSetup builds a small trained model + dataset for campaign tests.
+func trainedSetup(t *testing.T) (*data.Classification, nn.Layer, []int) {
+	t.Helper()
+	ds, err := data.NewClassification(data.ClassificationConfig{
+		Classes: 4, Channels: 3, Size: 16, Noise: 0.1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := buildConvNet()
 	if _, err := train.Loop(model, ds, train.Config{Epochs: 3, BatchSize: 16, TrainSize: 256, LR: 0.05, Momentum: 0.9}); err != nil {
 		t.Fatal(err)
 	}
@@ -114,17 +120,7 @@ func trainedSetup(t *testing.T) (*data.Classification, nn.Layer, []int) {
 func replicaFactory(t *testing.T, trained nn.Layer) func(int) (*core.Injector, error) {
 	t.Helper()
 	return func(worker int) (*core.Injector, error) {
-		rng := rand.New(rand.NewSource(1)) // same architecture seed
-		replica := nn.NewSequential("m",
-			nn.NewConv2d("c1", rng, 3, 8, 3, nn.Conv2dConfig{Pad: 1}),
-			nn.NewReLU("r1"),
-			nn.NewMaxPool2d("p1", 2, 0, 0),
-			nn.NewConv2d("c2", rng, 8, 16, 3, nn.Conv2dConfig{Pad: 1}),
-			nn.NewReLU("r2"),
-			nn.NewGlobalAvgPool2d("gap"),
-			nn.NewFlatten("fl"),
-			nn.NewLinear("fc", rng, 16, 4, true),
-		)
+		replica := buildConvNet()
 		if err := nn.ShareParams(replica, trained); err != nil {
 			return nil, err
 		}
@@ -132,6 +128,39 @@ func replicaFactory(t *testing.T, trained nn.Layer) func(int) (*core.Injector, e
 		// sequential trials still run batch-1 forwards (site draws never
 		// depend on the profiled batch, so outcomes are unchanged).
 		return core.New(replica, core.Config{Batch: 8, Height: 16, Width: 16, Seed: int64(worker) + 77})
+	}
+}
+
+// int8ReplicaFactory quantizes the trained model once (the plan is
+// deterministic given weights + calibration batch) and builds per-worker
+// replicas sharing both the float parameters and the quantization plan,
+// so campaign forwards run on the int8 GEMM/conv backend with
+// stored-code fault semantics.
+func int8ReplicaFactory(t *testing.T, ds *data.Classification, trained nn.Layer) func(int) (*core.Injector, error) {
+	t.Helper()
+	calib, _ := ds.Batch(0, 16)
+	nn.SetTraining(trained, false)
+	if err := nn.QuantizeModel(trained, calib, nn.QuantizeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return func(worker int) (*core.Injector, error) {
+		replica := buildConvNet()
+		if err := nn.ShareParams(replica, trained); err != nil {
+			return nil, err
+		}
+		if err := nn.ShareQuant(replica, trained); err != nil {
+			return nil, err
+		}
+		nn.SetTraining(replica, false)
+		inj, err := core.New(replica, core.Config{Batch: 8, Height: 16, Width: 16, DType: core.INT8, Seed: int64(worker) + 277})
+		if err != nil {
+			return nil, err
+		}
+		if err := inj.UseQuantizedModel(); err != nil {
+			inj.Detach()
+			return nil, err
+		}
+		return inj, nil
 	}
 }
 

@@ -140,6 +140,38 @@ func TestGoldenCampaignAggregates(t *testing.T) {
 				}
 			},
 		},
+		{
+			// The int8 fixture runs the whole campaign on the quantized
+			// GEMM/conv backend: clean predictions, bit flips in stored
+			// int8 codes, and requantized activations. int32 accumulation
+			// is exact, so the same worker/schedule/reuse corners must be
+			// byte-identical here too.
+			name: "int8",
+			cfg: func(t *testing.T) Config {
+				ds, model, eligible := trainedSetup(t)
+				return Config{
+					Trials:     50,
+					Seed:       43,
+					NewReplica: int8ReplicaFactory(t, ds, model),
+					Source:     ds,
+					Eligible:   eligible,
+					Arm: func(inj *core.Injector, rng *rand.Rand) error {
+						// Half single-neuron MSB flips in stored int8 codes
+						// (almost always masked by pooling on this model —
+						// the int8 resilience story), half whole-fmap
+						// corruption so the golden's outcome counters stay
+						// non-trivial.
+						if rng.Intn(2) == 0 {
+							_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: 7})
+							return err
+						}
+						layers := inj.Layers()
+						li := layers[rng.Intn(len(layers))]
+						return inj.InjectFMap(li.Index, rng.Intn(li.OutShape[1]), core.DefaultRandomValue())
+					},
+				}
+			},
+		},
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.name, func(t *testing.T) {

@@ -131,6 +131,11 @@ type Injector struct {
 	quantizeActs bool
 	fp16Acts     bool
 
+	// quantized marks the injector as driving a model whose layers carry
+	// nn.QuantState plans (see UseQuantizedModel): activation scales come
+	// from the plans, and weight faults mutate stored int8 codes.
+	quantized bool
+
 	// Injection trace (see EnableTrace).
 	traceOn bool
 	trace   []InjectionRecord
@@ -163,6 +168,12 @@ type weightUndo struct {
 	tensor *tensor.Tensor
 	offset int
 	value  float32
+
+	// Quantized-domain entries (qs != nil) restore an int8 weight code
+	// and its channel's row sum instead of a float32 tensor element.
+	qs      *nn.QuantState
+	oldCode int8
+	oc      int
 }
 
 type hookable struct {

@@ -131,6 +131,65 @@ func bitsFor(d DType) int {
 	}
 }
 
+// StuckAt forces one bit of the value's representation to a constant —
+// stuck-at-0 or stuck-at-1, the classic permanent-fault model for memory
+// cells and datapath latches. Unlike BitFlip it is idempotent: a value
+// whose bit already has the forced polarity passes through unchanged.
+// Bit == RandomBit draws a fresh position each injection.
+type StuckAt struct {
+	Bit int
+	One bool
+}
+
+var _ ErrorModel = StuckAt{}
+
+// Name implements ErrorModel.
+func (m StuckAt) Name() string {
+	pol := "0"
+	if m.One {
+		pol = "1"
+	}
+	if m.Bit == RandomBit {
+		return "stuck" + pol + "(random)"
+	}
+	return fmt.Sprintf("stuck%s(%d)", pol, m.Bit)
+}
+
+// NeedsINT8 mirrors BitFlip's calibration requirement: mapping values to
+// INT8 codes needs a calibrated scale.
+func (m StuckAt) NeedsINT8() bool { return true }
+
+// Perturb implements ErrorModel.
+func (m StuckAt) Perturb(v float32, ctx PerturbContext) float32 {
+	bits := bitsFor(ctx.DType)
+	bit := m.Bit
+	if bit == RandomBit {
+		bit = ctx.Rand.Intn(bits)
+	} else if bit < 0 || bit >= bits {
+		bit = bits - 1
+	}
+	switch ctx.DType {
+	case FP16:
+		b := fpbits.FP32ToFP16Bits(v)
+		if m.One {
+			b |= 1 << bit
+		} else {
+			b &^= 1 << bit
+		}
+		return fpbits.FP16BitsToFP32(b)
+	case INT8:
+		return ctx.Scale.StuckAt(v, bit, m.One)
+	default:
+		b := fpbits.FP32Bits(v)
+		if m.One {
+			b |= 1 << bit
+		} else {
+			b &^= 1 << bit
+		}
+		return fpbits.FP32FromBits(b)
+	}
+}
+
 // GaussianNoise adds zero-mean Gaussian noise with the given standard
 // deviation — the additive-noise perturbation model used by robustness
 // studies.

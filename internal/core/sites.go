@@ -140,6 +140,7 @@ func (inj *Injector) DeclareWeightFI(model ErrorModel, sites ...WeightSite) erro
 	}
 	type resolved struct {
 		t      *tensor.Tensor
+		qs     *nn.QuantState
 		offset int
 		layer  int
 	}
@@ -158,22 +159,51 @@ func (inj *Injector) DeclareWeightFI(model ErrorModel, sites ...WeightSite) erro
 			}
 		}
 		wt := inj.weightTensor(s.Layer)
-		rs = append(rs, resolved{t: wt, offset: wt.Offset(s.Idx...), layer: s.Layer})
+		r := resolved{t: wt, offset: wt.Offset(s.Idx...), layer: s.Layer}
+		if inj.quantized {
+			r.qs = inj.quantState(s.Layer)
+			if r.qs == nil {
+				return &SiteError{Site: s, Reason: fmt.Sprintf("layer %s lost its QuantState after UseQuantizedModel", li.Path)}
+			}
+		}
+		rs = append(rs, r)
 	}
 	var tally *obs.Counter
 	if inj.met != nil {
 		tally = inj.met.modelCounter(model.Name())
 	}
 	for i, r := range rs {
-		old := r.t.AtFlat(r.offset)
-		inj.weightUndo = append(inj.weightUndo, weightUndo{tensor: r.t, offset: r.offset, value: old})
-		nv := model.Perturb(old, PerturbContext{
-			Layer: r.layer,
-			Scale: inj.scales[r.layer],
-			DType: inj.cfg.DType,
-			Rand:  inj.rng,
-		})
-		r.t.SetFlat(r.offset, nv)
+		var old, nv float32
+		if r.qs != nil {
+			// Quantized domain: the fault lives in the stored int8 code.
+			// Perturb the code's real value under the channel's weight
+			// scale, requantize, and patch code + row sum; the float32
+			// master weights stay untouched.
+			oc := r.offset / (len(r.qs.WCodes) / len(r.qs.WScales))
+			ws := r.qs.WScales[oc]
+			oldCode := r.qs.WCodes[r.offset]
+			old = ws.Dequantize(oldCode)
+			nv = model.Perturb(old, PerturbContext{
+				Layer: r.layer,
+				Scale: ws,
+				DType: inj.cfg.DType,
+				Rand:  inj.rng,
+			})
+			newCode := ws.Quantize(nv)
+			inj.weightUndo = append(inj.weightUndo, weightUndo{qs: r.qs, offset: r.offset, oldCode: oldCode, oc: oc})
+			r.qs.WCodes[r.offset] = newCode
+			r.qs.RowSums[oc] += int32(newCode) - int32(oldCode)
+		} else {
+			old = r.t.AtFlat(r.offset)
+			inj.weightUndo = append(inj.weightUndo, weightUndo{tensor: r.t, offset: r.offset, value: old})
+			nv = model.Perturb(old, PerturbContext{
+				Layer: r.layer,
+				Scale: inj.scales[r.layer],
+				DType: inj.cfg.DType,
+				Rand:  inj.rng,
+			})
+			r.t.SetFlat(r.offset, nv)
+		}
 		if inj.met != nil {
 			inj.met.weight.Inc()
 			tally.Inc()
@@ -201,6 +231,24 @@ func (inj *Injector) weightTensor(layer int) *tensor.Tensor {
 	return wt
 }
 
+// quantState returns hooked layer i's int8 execution plan, or nil.
+func (inj *Injector) quantState(layer int) *nn.QuantState {
+	idx := 0
+	var qs *nn.QuantState
+	walkHookables(inj.model, inj.cfg.IncludeLinear, func(h hookable) {
+		if idx == layer {
+			switch v := h.layer.(type) {
+			case *nn.Conv2d:
+				qs = v.Quant()
+			case *nn.Linear:
+				qs = v.Quant()
+			}
+		}
+		idx++
+	})
+	return qs
+}
+
 // checkDType rejects error models that require calibration state the
 // injector does not have yet: scale-dependent models (bit flips) on an
 // INT8 injector need CalibrateINT8 before they can map values to codes.
@@ -213,10 +261,17 @@ func (inj *Injector) checkDType(model ErrorModel) error {
 	return nil
 }
 
-// RestoreWeights undoes all weight perturbations in reverse order.
+// RestoreWeights undoes all weight perturbations in reverse order —
+// float32 tensor elements and quantized weight codes (with their row-sum
+// contributions) alike.
 func (inj *Injector) RestoreWeights() {
 	for i := len(inj.weightUndo) - 1; i >= 0; i-- {
 		u := inj.weightUndo[i]
+		if u.qs != nil {
+			u.qs.RowSums[u.oc] += int32(u.oldCode) - int32(u.qs.WCodes[u.offset])
+			u.qs.WCodes[u.offset] = u.oldCode
+			continue
+		}
 		u.tensor.SetFlat(u.offset, u.value)
 	}
 	inj.weightUndo = nil
@@ -271,6 +326,50 @@ func (inj *Injector) CalibrateINT8(x *tensor.Tensor) error {
 	inj.calibrated = true
 	return nil
 }
+
+// UseQuantizedModel binds an INT8 injector to a model quantized with
+// nn.QuantizeModel: every hooked layer must carry a QuantState, whose
+// calibrated output grid becomes the layer's injection scale. The int8
+// forward path already produces on-grid activations, so no activation
+// round-trip emulation is enabled — a BitFlip or StuckAt on a neuron is
+// exactly a fault in the stored int8 activation code, and weight faults
+// declared afterwards mutate stored int8 weight codes (undone by
+// RestoreWeights/Reset) instead of the float32 master weights.
+func (inj *Injector) UseQuantizedModel() error {
+	if inj.cfg.DType != INT8 {
+		return fmt.Errorf("core: UseQuantizedModel on %s injector (set Config.DType to INT8)", inj.cfg.DType)
+	}
+	idx := 0
+	var missing string
+	walkHookables(inj.model, inj.cfg.IncludeLinear, func(h hookable) {
+		i := idx
+		idx++
+		var qs *nn.QuantState
+		switch v := h.layer.(type) {
+		case *nn.Conv2d:
+			qs = v.Quant()
+		case *nn.Linear:
+			qs = v.Quant()
+		}
+		if qs == nil {
+			if missing == "" {
+				missing = h.path
+			}
+			return
+		}
+		inj.scales[i] = qs.Out
+	})
+	if missing != "" {
+		return fmt.Errorf("core: UseQuantizedModel: layer %s has no QuantState (run nn.QuantizeModel first)", missing)
+	}
+	inj.calibrated = true
+	inj.quantized = true
+	inj.quantizeActs = false
+	return nil
+}
+
+// Quantized reports whether the injector drives an int8-quantized model.
+func (inj *Injector) Quantized() bool { return inj.quantized }
 
 // EnableActQuant turns on INT8 activation emulation: every hooked layer's
 // output is round-tripped through INT8 on each forward pass.

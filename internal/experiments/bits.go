@@ -6,7 +6,9 @@ import (
 	"math/rand"
 
 	"gofi/internal/campaign"
+	"gofi/internal/campaign/stats"
 	"gofi/internal/core"
+	"gofi/internal/nn"
 	"gofi/internal/obs"
 )
 
@@ -25,6 +27,18 @@ type BitStudyConfig struct {
 	// Metrics, when non-nil, receives the engines' counters and
 	// histograms; all per-bit campaigns share the one registry.
 	Metrics *obs.Registry
+	// Backend selects the tensor execution path ("f32" default, "int8"
+	// for the quantized GEMM/conv backend; implies DType INT8 — see
+	// GenericCampaignConfig.Backend).
+	Backend string
+	// StopCI, when positive, attaches a per-bit sequential stopping rule:
+	// each bit's campaign halts once its SDC-rate CI half-width is at
+	// most StopCI at the StopConf level (0 = 0.95), never before StopMin
+	// observed trials (0 = stats.DefaultMinTrials). TrialsPerBit then
+	// caps the budget instead of fixing it.
+	StopCI   float64
+	StopConf float64
+	StopMin  int
 }
 
 func (c BitStudyConfig) canon() BitStudyConfig {
@@ -63,6 +77,9 @@ type BitStudyRow struct {
 	NonFinite  int
 	Rate       float64
 	CILo, CIHi float64
+	// StopTrial is the index this bit's early-stopping rule fired on
+	// (-1 when the rule never fired or StopCI was unset).
+	StopTrial int
 }
 
 // RunBitStudy trains the model once, then runs one single-bit-flip
@@ -80,45 +97,73 @@ func RunBitStudy(ctx context.Context, cfg BitStudyConfig) ([]BitStudyRow, error)
 		return nil, fmt.Errorf("bit study: model classifies nothing correctly")
 	}
 
-	base := replicaFactory(cfg.Model, cfg.Classes, cfg.InSize, cfg.Seed, trained, core.Config{
+	backend, err := ParseBackend(cfg.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("bit study: %w", err)
+	}
+	if backend == "int8" {
+		if cfg.DType != core.INT8 {
+			return nil, fmt.Errorf("bit study: int8 backend implies -dtype int8, got %s", cfg.DType)
+		}
+	}
+	injCfg := core.Config{
 		Height: cfg.InSize, Width: cfg.InSize, DType: cfg.DType, Seed: cfg.Seed,
-	})
+	}
 	calib, _ := ds.Batch(0, 8)
-	newReplica := func(worker int) (*core.Injector, error) {
-		inj, err := base(worker)
+	var newReplica func(int) (*core.Injector, error)
+	if backend == "int8" {
+		newReplica, err = quantReplicaFactory(cfg.Model, cfg.Classes, cfg.InSize, cfg.Seed, trained, calib,
+			nn.QuantizeOptions{}, injCfg, false)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bit study: %w", err)
 		}
-		switch cfg.DType {
-		case core.INT8:
-			if err := inj.CalibrateINT8(calib); err != nil {
+	} else {
+		base := replicaFactory(cfg.Model, cfg.Classes, cfg.InSize, cfg.Seed, trained, injCfg)
+		newReplica = func(worker int) (*core.Injector, error) {
+			inj, err := base(worker)
+			if err != nil {
 				return nil, err
 			}
-			if err := inj.EnableActQuant(true); err != nil {
-				return nil, err
+			switch cfg.DType {
+			case core.INT8:
+				if err := inj.CalibrateINT8(calib); err != nil {
+					return nil, err
+				}
+				if err := inj.EnableActQuant(true); err != nil {
+					return nil, err
+				}
+			case core.FP16:
+				if err := inj.EnableFP16Acts(true); err != nil {
+					return nil, err
+				}
 			}
-		case core.FP16:
-			if err := inj.EnableFP16Acts(true); err != nil {
-				return nil, err
-			}
+			return inj, nil
 		}
-		return inj, nil
 	}
 
-	bits := 32
-	switch cfg.DType {
-	case core.FP16:
-		bits = 16
-	case core.INT8:
-		bits = 8
+	var rule stats.StopRule
+	if cfg.StopCI > 0 {
+		rule = stats.StopRule{HalfWidth: cfg.StopCI, Confidence: cfg.StopConf, MinTrials: cfg.StopMin}
+		if err := rule.Validate(); err != nil {
+			return nil, fmt.Errorf("bit study: %w", err)
+		}
 	}
+
+	bits := cfg.DType.Bits()
 	rows := make([]BitStudyRow, 0, bits)
 	for b := 0; b < bits; b++ {
 		if err := ctx.Err(); err != nil {
 			return rows, err
 		}
 		bit := b
-		agg, err := campaign.Run(ctx, campaign.Config{
+		// Each bit position gets a fresh watcher: stopping decisions are
+		// per-stratum, so a quickly-converging low mantissa bit does not
+		// starve a noisy exponent bit of trials.
+		var watcher *stats.Sequential
+		if cfg.StopCI > 0 {
+			watcher = stats.NewSequential(rule)
+		}
+		ccfg := campaign.Config{
 			Workers:    cfg.Workers,
 			Trials:     cfg.TrialsPerBit,
 			Seed:       cfg.Seed + int64(b)*37,
@@ -130,15 +175,24 @@ func RunBitStudy(ctx context.Context, cfg BitStudyConfig) ([]BitStudyRow, error)
 				return err
 			},
 			Metrics: cfg.Metrics,
-		})
+		}
+		if watcher != nil {
+			ccfg.Stop = watcher
+		}
+		agg, err := campaign.Run(ctx, ccfg)
 		if err != nil {
 			return rows, fmt.Errorf("bit study bit %d: %w", b, err)
 		}
 		lo, hi := agg.WilsonCI(campaign.Z99)
-		rows = append(rows, BitStudyRow{
+		row := BitStudyRow{
 			Bit: b, Trials: agg.Trials, Top1Mis: agg.Top1Mis,
 			NonFinite: agg.NonFinite, Rate: agg.Rate(), CILo: lo, CIHi: hi,
-		})
+			StopTrial: -1,
+		}
+		if watcher != nil {
+			row.StopTrial = watcher.StopTrial()
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

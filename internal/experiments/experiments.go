@@ -12,8 +12,21 @@ import (
 	"gofi/internal/data"
 	"gofi/internal/models"
 	"gofi/internal/nn"
+	"gofi/internal/tensor"
 	"gofi/internal/train"
 )
+
+// ParseBackend canonicalizes a -backend flag spelling to "f32" or
+// "int8".
+func ParseBackend(s string) (string, error) {
+	switch s {
+	case "", "f32", "fp32", "float32":
+		return "f32", nil
+	case "int8", "i8":
+		return "int8", nil
+	}
+	return "", fmt.Errorf("unknown backend %q (want f32 or int8)", s)
+}
 
 // dataset returns the synthetic stand-in for a named benchmark dataset.
 // Higher noise thins the decision margins, which controls how often a
@@ -72,6 +85,53 @@ func replicaFactory(name string, classes, inSize int, seed int64, trained nn.Lay
 // for weight-injection campaigns where each worker mutates its own copy.
 func copyReplicaFactory(name string, classes, inSize int, seed int64, trained nn.Layer, injCfg core.Config) func(int) (*core.Injector, error) {
 	return newReplicaFactory(name, classes, inSize, seed, trained, injCfg, true)
+}
+
+// quantReplicaFactory wires the int8 tensor backend into a campaign: the
+// trained master is quantized once against calib (deterministic given
+// weights and calibration batch), then each worker replica shares the
+// float32 parameters and the quantized plan, and its injector adopts the
+// plan's activation grids via UseQuantizedModel. When isolate is true
+// each replica instead deep-copies the weights and re-quantizes — same
+// plan bit-for-bit, but private code arrays, so weight-code faults stay
+// confined to their worker.
+func quantReplicaFactory(name string, classes, inSize int, seed int64, trained nn.Layer, calib *tensor.Tensor, opts nn.QuantizeOptions, injCfg core.Config, isolate bool) (func(int) (*core.Injector, error), error) {
+	if err := nn.QuantizeModel(trained, calib, opts); err != nil {
+		return nil, err
+	}
+	return func(worker int) (*core.Injector, error) {
+		rng := rand.New(rand.NewSource(seed))
+		replica, err := models.Build(name, rng, classes, inSize)
+		if err != nil {
+			return nil, err
+		}
+		if isolate {
+			if err := nn.CopyParams(replica, trained); err != nil {
+				return nil, err
+			}
+			if err := nn.QuantizeModel(replica, calib, opts); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := nn.ShareParams(replica, trained); err != nil {
+				return nil, err
+			}
+			if err := nn.ShareQuant(replica, trained); err != nil {
+				return nil, err
+			}
+		}
+		cfg := injCfg
+		cfg.DType = core.INT8
+		cfg.Seed = injCfg.Seed + int64(worker)*7919
+		inj, err := core.New(replica, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := inj.UseQuantizedModel(); err != nil {
+			return nil, err
+		}
+		return inj, nil
+	}, nil
 }
 
 func newReplicaFactory(name string, classes, inSize int, seed int64, trained nn.Layer, injCfg core.Config, copyWeights bool) func(int) (*core.Injector, error) {

@@ -9,6 +9,7 @@ import (
 	"gofi/internal/campaign/stats"
 	"gofi/internal/core"
 	"gofi/internal/models"
+	"gofi/internal/nn"
 	"gofi/internal/obs"
 )
 
@@ -58,6 +59,10 @@ type Fig4Config struct {
 	StopCI   float64
 	StopConf float64
 	StopMin  int
+	// Backend selects the tensor execution path ("f32" default, "int8"
+	// for the quantized GEMM/conv backend — see
+	// GenericCampaignConfig.Backend).
+	Backend string
 }
 
 func (c Fig4Config) canon() Fig4Config {
@@ -132,22 +137,36 @@ func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, er
 		return Fig4Row{}, fmt.Errorf("model classifies nothing correctly after training")
 	}
 
-	base := replicaFactory(name, cfg.Classes, cfg.InSize, cfg.Seed, trained, core.Config{
+	backend, err := ParseBackend(cfg.Backend)
+	if err != nil {
+		return Fig4Row{}, err
+	}
+	injCfg := core.Config{
 		Batch: cfg.TrialBatch, Height: cfg.InSize, Width: cfg.InSize, DType: core.INT8, Seed: cfg.Seed,
-	})
+	}
 	calib, _ := ds.Batch(0, 8)
-	newReplica := func(worker int) (*core.Injector, error) {
-		inj, err := base(worker)
+	var newReplica func(int) (*core.Injector, error)
+	if backend == "int8" {
+		newReplica, err = quantReplicaFactory(name, cfg.Classes, cfg.InSize, cfg.Seed, trained, calib,
+			nn.QuantizeOptions{}, injCfg, false)
 		if err != nil {
-			return nil, err
+			return Fig4Row{}, err
 		}
-		if err := inj.CalibrateINT8(calib); err != nil {
-			return nil, err
+	} else {
+		base := replicaFactory(name, cfg.Classes, cfg.InSize, cfg.Seed, trained, injCfg)
+		newReplica = func(worker int) (*core.Injector, error) {
+			inj, err := base(worker)
+			if err != nil {
+				return nil, err
+			}
+			if err := inj.CalibrateINT8(calib); err != nil {
+				return nil, err
+			}
+			if err := inj.EnableActQuant(true); err != nil {
+				return nil, err
+			}
+			return inj, nil
 		}
-		if err := inj.EnableActQuant(true); err != nil {
-			return nil, err
-		}
-		return inj, nil
 	}
 
 	var watcher *stats.Sequential

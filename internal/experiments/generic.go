@@ -8,6 +8,7 @@ import (
 	"gofi/internal/campaign"
 	"gofi/internal/campaign/stats"
 	"gofi/internal/core"
+	"gofi/internal/nn"
 	"gofi/internal/obs"
 )
 
@@ -29,7 +30,17 @@ type GenericCampaignConfig struct {
 	Trials          int
 	Workers         int
 	DType           core.DType
-	Arm             ArmFunc
+	// Backend selects the tensor execution path: "f32" (default) runs
+	// float32 kernels with emulated reduced precision; "int8" quantizes
+	// the trained model (nn.QuantizeModel) and runs the whole campaign on
+	// the int8 GEMM/conv backend — stored-code fault semantics, and
+	// typically well above the float32 path's trial throughput. Implies
+	// DType INT8.
+	Backend string
+	// ActZeroPoint lets int8-backend calibration use asymmetric
+	// (zero-point) input quantizers for non-negative activations.
+	ActZeroPoint bool
+	Arm          ArmFunc
 	// IsolateWeights deep-copies the trained weights into every worker
 	// replica instead of sharing storage. Required for campaigns whose
 	// trials perturb weights (offline mutation would otherwise race
@@ -164,6 +175,16 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
+	backend, err := ParseBackend(cfg.Backend)
+	if err != nil {
+		return GenericCampaignResult{}, err
+	}
+	if backend == "int8" {
+		if cfg.DType != 0 && cfg.DType != core.INT8 {
+			return GenericCampaignResult{}, fmt.Errorf("campaign: int8 backend implies -dtype int8, got %s", cfg.DType)
+		}
+		cfg.DType = core.INT8
+	}
 	if cfg.DType == 0 {
 		cfg.DType = core.FP32
 	}
@@ -187,33 +208,43 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 			cfg.TrialBatch = 1
 		}
 	}
-	factory := replicaFactory
-	if cfg.IsolateWeights {
-		factory = copyReplicaFactory
-	}
-	base := factory(cfg.Model, cfg.Classes, cfg.InSize, cfg.Seed, trained, core.Config{
+	injCfg := core.Config{
 		Batch: cfg.TrialBatch, Height: cfg.InSize, Width: cfg.InSize, DType: cfg.DType, Seed: cfg.Seed,
-	})
+	}
 	calib, _ := ds.Batch(0, 8)
-	newReplica := func(worker int) (*core.Injector, error) {
-		inj, err := base(worker)
+	var newReplica func(int) (*core.Injector, error)
+	if backend == "int8" {
+		newReplica, err = quantReplicaFactory(cfg.Model, cfg.Classes, cfg.InSize, cfg.Seed, trained, calib,
+			nn.QuantizeOptions{ActZeroPoint: cfg.ActZeroPoint}, injCfg, cfg.IsolateWeights)
 		if err != nil {
-			return nil, err
+			return GenericCampaignResult{}, err
 		}
-		switch cfg.DType {
-		case core.INT8:
-			if err := inj.CalibrateINT8(calib); err != nil {
-				return nil, err
-			}
-			if err := inj.EnableActQuant(true); err != nil {
-				return nil, err
-			}
-		case core.FP16:
-			if err := inj.EnableFP16Acts(true); err != nil {
-				return nil, err
-			}
+	} else {
+		factory := replicaFactory
+		if cfg.IsolateWeights {
+			factory = copyReplicaFactory
 		}
-		return inj, nil
+		base := factory(cfg.Model, cfg.Classes, cfg.InSize, cfg.Seed, trained, injCfg)
+		newReplica = func(worker int) (*core.Injector, error) {
+			inj, err := base(worker)
+			if err != nil {
+				return nil, err
+			}
+			switch cfg.DType {
+			case core.INT8:
+				if err := inj.CalibrateINT8(calib); err != nil {
+					return nil, err
+				}
+				if err := inj.EnableActQuant(true); err != nil {
+					return nil, err
+				}
+			case core.FP16:
+				if err := inj.EnableFP16Acts(true); err != nil {
+					return nil, err
+				}
+			}
+			return inj, nil
+		}
 	}
 
 	// Generator + watcher wiring. The generator needs the profiled layer

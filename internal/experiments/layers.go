@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"gofi/internal/campaign"
+	"gofi/internal/campaign/stats"
 	"gofi/internal/core"
 	"gofi/internal/nn"
 	"gofi/internal/obs"
@@ -48,6 +49,14 @@ type LayerVulnConfig struct {
 	// Metrics, when non-nil, is attached to the study's injector so
 	// per-model perturbation tallies accumulate (see core.Metric*).
 	Metrics *obs.Registry
+	// StopCI, when positive, attaches a per-layer sequential stopping
+	// rule: a layer's trial loop halts once its misclassification-rate CI
+	// half-width is at most StopCI at the StopConf level (0 = 0.95),
+	// never before StopMin observed trials (0 = stats.DefaultMinTrials).
+	// TrialsPerLayer then caps the budget instead of fixing it.
+	StopCI   float64
+	StopConf float64
+	StopMin  int
 }
 
 func (c LayerVulnConfig) canon() LayerVulnConfig {
@@ -84,6 +93,9 @@ type LayerVulnRow struct {
 	Mis        int
 	Rate       float64
 	CILo, CIHi float64
+	// StopTrial is the index this layer's early-stopping rule fired on
+	// (-1 when the rule never fired or StopCI was unset).
+	StopTrial int
 }
 
 // RunLayerVuln trains a model and measures its Top-1 misclassification
@@ -106,10 +118,24 @@ func RunLayerVuln(ctx context.Context, cfg LayerVulnConfig) ([]LayerVulnRow, err
 	defer inj.Detach()
 	inj.SetMetrics(cfg.Metrics)
 
+	var rule stats.StopRule
+	if cfg.StopCI > 0 {
+		rule = stats.StopRule{HalfWidth: cfg.StopCI, Confidence: cfg.StopConf, MinTrials: cfg.StopMin}
+		if err := rule.Validate(); err != nil {
+			return nil, fmt.Errorf("layer-vuln: %w", err)
+		}
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed + 62))
 	rows := make([]LayerVulnRow, 0, len(inj.Layers()))
 	for _, li := range inj.Layers() {
-		mis := 0
+		// Each layer gets its own watcher so a robust layer stopping
+		// early never shortens a vulnerable layer's measurement.
+		var watcher *stats.Sequential
+		if cfg.StopCI > 0 {
+			watcher = stats.NewSequential(rule)
+		}
+		mis, trials := 0, 0
 		for t := 0; t < cfg.TrialsPerLayer; t++ {
 			if err := ctx.Err(); err != nil {
 				return rows, err
@@ -122,17 +148,30 @@ func RunLayerVuln(ctx context.Context, cfg LayerVulnConfig) ([]LayerVulnRow, err
 			if err := armLayer(inj, rng, li.Index, cfg.Granularity); err != nil {
 				return nil, err
 			}
-			if tensor.ArgMaxRows(nn.Run(model, x))[0] != clean {
+			hit := tensor.ArgMaxRows(nn.Run(model, x))[0] != clean
+			if hit {
 				mis++
 			}
+			trials++
+			if watcher != nil {
+				watcher.Observe(t, hit, false)
+				if watcher.ShouldStop() {
+					break
+				}
+			}
 		}
-		rate := float64(mis) / float64(cfg.TrialsPerLayer)
-		agg := campaign.Aggregate{Trials: cfg.TrialsPerLayer, Top1Mis: mis}
+		rate := float64(mis) / float64(trials)
+		agg := campaign.Aggregate{Trials: trials, Top1Mis: mis}
 		lo, hi := agg.WilsonCI(campaign.Z99)
-		rows = append(rows, LayerVulnRow{
+		row := LayerVulnRow{
 			Layer: li.Index, Path: li.Path, OutShape: li.OutShape,
-			Trials: cfg.TrialsPerLayer, Mis: mis, Rate: rate, CILo: lo, CIHi: hi,
-		})
+			Trials: trials, Mis: mis, Rate: rate, CILo: lo, CIHi: hi,
+			StopTrial: -1,
+		}
+		if watcher != nil {
+			row.StopTrial = watcher.StopTrial()
+		}
+		rows = append(rows, row)
 	}
 	inj.Reset()
 	return rows, nil

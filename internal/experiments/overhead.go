@@ -145,6 +145,12 @@ type LayerOverheadResult struct {
 	// OverheadP50Sec is the whole-network p50 delta (FI − bare); the
 	// paper's near-zero-overhead claim says this stays within noise.
 	OverheadP50Sec float64 `json:"overhead_p50_sec"`
+	// Int8 times the same bare forward on an int8-quantized copy of the
+	// model (identical timing hooks, no injector), and Int8SpeedupP50 is
+	// the bare-f32-over-int8 p50 ratio — the backend's raw inference
+	// speedup on this architecture.
+	Int8           DurStat `json:"int8"`
+	Int8SpeedupP50 float64 `json:"int8_speedup_p50"`
 }
 
 // RunLayerOverhead measures per-layer forward time with and without the
@@ -165,8 +171,8 @@ func RunLayerOverhead(ctx context.Context, cfg LayerOverheadConfig) (LayerOverhe
 	x := tensor.RandUniform(rand.New(rand.NewSource(cfg.Seed+2)), -1, 1, cfg.Batch, 3, cfg.InSize, cfg.InSize)
 	nn.Run(model, x) // warm-up, untimed and unhooked
 
-	timed := func(reg *obs.Registry, prefix string) ([]time.Duration, AllocStat, error) {
-		hs := core.TimeLayers(model, false, reg, prefix)
+	timed := func(m nn.Layer, reg *obs.Registry, prefix string) ([]time.Duration, AllocStat, error) {
+		hs := core.TimeLayers(m, false, reg, prefix)
 		defer hs.Remove()
 		samples := make([]time.Duration, cfg.Trials)
 		var loopErr error
@@ -177,7 +183,7 @@ func RunLayerOverhead(ctx context.Context, cfg LayerOverheadConfig) (LayerOverhe
 					return
 				}
 				start := time.Now()
-				nn.Run(model, x)
+				nn.Run(m, x)
 				samples[i] = time.Since(start)
 			}
 		})
@@ -188,7 +194,7 @@ func RunLayerOverhead(ctx context.Context, cfg LayerOverheadConfig) (LayerOverhe
 	}
 
 	bareReg := obs.NewRegistry()
-	bareSamples, bareAlloc, err := timed(bareReg, "bare.")
+	bareSamples, bareAlloc, err := timed(model, bareReg, "bare.")
 	if err != nil {
 		return res, err
 	}
@@ -204,11 +210,31 @@ func RunLayerOverhead(ctx context.Context, cfg LayerOverheadConfig) (LayerOverhe
 	if fiReg == nil {
 		fiReg = obs.NewRegistry()
 	}
-	fiSamples, fiAlloc, err := timed(fiReg, "fi.")
+	fiSamples, fiAlloc, err := timed(model, fiReg, "fi.")
 	if err != nil {
 		return res, err
 	}
 	res.BareAlloc, res.FIAlloc = bareAlloc, fiAlloc
+
+	// Int8 pass: a quantized private copy of the model with the same
+	// timing hooks but no injector — the bare-forward backend ratio.
+	qmodel, err := models.Build(cfg.Model, rand.New(rand.NewSource(cfg.Seed+1)), cfg.Classes, cfg.InSize)
+	if err != nil {
+		return res, err
+	}
+	if err := nn.CopyParams(qmodel, model); err != nil {
+		return res, err
+	}
+	nn.SetTraining(qmodel, false)
+	if err := nn.QuantizeModel(qmodel, x, nn.QuantizeOptions{}); err != nil {
+		return res, err
+	}
+	nn.Run(qmodel, x) // warm-up
+	int8Samples, _, err := timed(qmodel, obs.NewRegistry(), "int8.")
+	if err != nil {
+		return res, err
+	}
+	res.Int8 = durStat(int8Samples)
 
 	bareSnap, fiSnap := bareReg.Snapshot(), fiReg.Snapshot()
 	us := func(ns int64) float64 { return float64(ns) / 1e3 }
@@ -228,5 +254,8 @@ func RunLayerOverhead(ctx context.Context, cfg LayerOverheadConfig) (LayerOverhe
 	res.Bare = durStat(bareSamples)
 	res.FI = durStat(fiSamples)
 	res.OverheadP50Sec = res.FI.P50Sec - res.Bare.P50Sec
+	if res.Int8.P50Sec > 0 {
+		res.Int8SpeedupP50 = res.Bare.P50Sec / res.Int8.P50Sec
+	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package nn
 import (
 	"math/rand"
 
+	"gofi/internal/quant"
 	"gofi/internal/tensor"
 )
 
@@ -18,6 +19,10 @@ type Conv2d struct {
 
 	weight *Param
 	bias   *Param // nil when constructed without bias
+
+	// qstate, when non-nil, routes Forward through the int8 backend
+	// (see QuantizeModel). Inference-only; Backward ignores it.
+	qstate *QuantState
 
 	// Backward cache.
 	lastInput *tensor.Tensor
@@ -79,14 +84,29 @@ func (l *Conv2d) Params() []*Param {
 	return []*Param{l.weight, l.bias}
 }
 
+// Quant returns the layer's int8 execution plan, or nil when the layer
+// runs in float32.
+func (l *Conv2d) Quant() *QuantState { return l.qstate }
+
 // Forward implements Layer.
 func (l *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.lastInput = x
+	out := l.output(l.OutShape(x.Shape())...)
+	if qs := l.qstate; qs != nil {
+		var bias []float32
+		if l.bias != nil {
+			bias = l.bias.Data.Data()
+		}
+		tensor.Conv2dInt8Into(out, x, qs.WCodes, l.weight.Data.Shape(), qs.params(bias), l.Spec)
+		// Snap onto the calibrated activation grid so downstream layers
+		// and hooks see the codes an int8 device would hold.
+		quant.QuantizeTensor(out, qs.Out)
+		return out
+	}
 	var b *tensor.Tensor
 	if l.bias != nil {
 		b = l.bias.Data
 	}
-	out := l.output(l.OutShape(x.Shape())...)
 	tensor.Conv2dInto(out, x, l.weight.Data, b, l.Spec)
 	return out
 }

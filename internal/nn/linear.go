@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"gofi/internal/quant"
 	"gofi/internal/tensor"
 )
 
@@ -15,6 +16,10 @@ type Linear struct {
 
 	weight *Param // [out, in]
 	bias   *Param // [out], nil when bias-free
+
+	// qstate, when non-nil, routes Forward through the int8 backend
+	// (see QuantizeModel). Inference-only; Backward ignores it.
+	qstate *QuantState
 
 	lastInput *tensor.Tensor
 }
@@ -54,6 +59,10 @@ func (l *Linear) Params() []*Param {
 	return []*Param{l.weight, l.bias}
 }
 
+// Quant returns the layer's int8 execution plan, or nil when the layer
+// runs in float32.
+func (l *Linear) Quant() *QuantState { return l.qstate }
+
 // Forward implements Layer.
 func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != l.In {
@@ -62,6 +71,15 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.lastInput = x
 	n := x.Dim(0)
 	out := l.output(n, l.Out)
+	if qs := l.qstate; qs != nil {
+		var bias []float32
+		if l.bias != nil {
+			bias = l.bias.Data.Data()
+		}
+		tensor.LinearInt8Into(out, x, qs.WCodes, qs.params(bias))
+		quant.QuantizeTensor(out, qs.Out)
+		return out
+	}
 	// out = x [n,in] × Wᵀ [in,out] with W stored [out,in]; the GEMM
 	// overwrites out, so a stale reused buffer is fine.
 	tensor.MatMulTransB(out, x, l.weight.Data)

@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gofi/internal/tensor"
+)
+
+func quantTestModel(rng *rand.Rand) *Sequential {
+	return NewSequential("m",
+		NewConv2d("m.conv1", rng, 2, 4, 3, Conv2dConfig{Pad: 1}),
+		NewReLU("m.relu1"),
+		NewConv2d("m.conv2", rng, 4, 4, 3, Conv2dConfig{Pad: 1, NoBias: true}),
+		NewReLU("m.relu2"),
+		NewFlatten("m.flatten"),
+		NewLinear("m.fc", rng, 4*6*6, 3, true),
+	)
+}
+
+func TestQuantizeModelAccuracyAndGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := quantTestModel(rng)
+	calib := tensor.RandUniform(rng, -1, 1, 4, 2, 6, 6)
+
+	ref := Run(m, calib).Clone()
+	if err := QuantizeModel(m, calib, QuantizeOptions{ActZeroPoint: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !IsQuantized(m) {
+		t.Fatal("IsQuantized = false after QuantizeModel")
+	}
+	got := Run(m, calib)
+
+	// The quantized forward must track float32 closely on the calibration
+	// batch itself (all ranges were calibrated on exactly this input).
+	var worst float64
+	for i, v := range ref.Data() {
+		d := math.Abs(float64(v - got.Data()[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("int8 forward deviates from float32 by %g (max element)", worst)
+	}
+
+	// Every quantized layer's output must land exactly on its Out grid.
+	var checked int
+	Walk(m, func(path string, l Layer) {
+		var qs *QuantState
+		switch v := l.(type) {
+		case *Conv2d:
+			qs = v.Quant()
+		case *Linear:
+			qs = v.Quant()
+		default:
+			return
+		}
+		if qs == nil {
+			t.Fatalf("layer %q missing QuantState", path)
+		}
+		checked++
+		h := l.(interface {
+			RegisterForwardHook(ForwardHook) HookHandle
+		}).RegisterForwardHook(func(_ Layer, _, out *tensor.Tensor) {
+			for i, v := range out.Data() {
+				if rt := qs.Out.RoundTrip(v); rt != v {
+					t.Fatalf("layer %q output[%d]=%g not on grid (roundtrip %g)", path, i, v, rt)
+				}
+			}
+		})
+		defer h.Remove()
+	})
+	if checked != 3 {
+		t.Fatalf("expected 3 quantized layers, checked %d", checked)
+	}
+	Run(m, calib)
+}
+
+func TestQuantizeModelDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	m := quantTestModel(rng)
+	calib := tensor.RandUniform(rng, -1, 1, 4, 2, 6, 6)
+	if err := QuantizeModel(m, calib, QuantizeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	old := tensor.SetWorkers(1)
+	ref := Run(m, calib).Clone()
+	for _, w := range []int{2, 8} {
+		tensor.SetWorkers(w)
+		if !ref.Equal(Run(m, calib)) {
+			t.Fatalf("int8 forward differs at %d workers", w)
+		}
+	}
+	tensor.SetWorkers(old)
+}
+
+func TestShareQuantSharesPlanPointers(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	src := quantTestModel(rng)
+	dst := quantTestModel(rand.New(rand.NewSource(99)))
+	calib := tensor.RandUniform(rng, -1, 1, 2, 2, 6, 6)
+
+	if err := ShareQuant(dst, src); err == nil {
+		t.Fatal("ShareQuant before QuantizeModel should fail")
+	}
+	if err := QuantizeModel(src, calib, QuantizeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ShareParams(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := ShareQuant(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	var srcConv, dstConv *Conv2d
+	Walk(src, func(_ string, l Layer) {
+		if c, ok := l.(*Conv2d); ok && srcConv == nil {
+			srcConv = c
+		}
+	})
+	Walk(dst, func(_ string, l Layer) {
+		if c, ok := l.(*Conv2d); ok && dstConv == nil {
+			dstConv = c
+		}
+	})
+	if srcConv.Quant() != dstConv.Quant() {
+		t.Fatal("ShareQuant must share QuantState pointers")
+	}
+	if !Run(src, calib).Equal(Run(dst, calib)) {
+		t.Fatal("shared-plan replica disagrees with source")
+	}
+}
+
+func TestQuantizeModelNonFiniteWeightError(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	m := quantTestModel(rng)
+	var conv *Conv2d
+	Walk(m, func(_ string, l Layer) {
+		if c, ok := l.(*Conv2d); ok && conv == nil {
+			conv = c
+		}
+	})
+	conv.Weight().Data.Data()[0] = float32(math.NaN())
+	calib := tensor.RandUniform(rng, -1, 1, 2, 2, 6, 6)
+	err := QuantizeModel(m, calib, QuantizeOptions{})
+	if err == nil {
+		t.Fatal("expected calibration error for NaN weight")
+	}
+	if !strings.Contains(err.Error(), "conv1") {
+		t.Fatalf("error should name the offending layer, got: %v", err)
+	}
+}
+
+func TestDequantizeModelRestoresFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	m := quantTestModel(rng)
+	calib := tensor.RandUniform(rng, -1, 1, 2, 2, 6, 6)
+	ref := Run(m, calib).Clone()
+	if err := QuantizeModel(m, calib, QuantizeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	DequantizeModel(m)
+	if IsQuantized(m) {
+		t.Fatal("IsQuantized after DequantizeModel")
+	}
+	if !ref.Equal(Run(m, calib)) {
+		t.Fatal("float32 forward changed after quantize/dequantize cycle")
+	}
+}
+
+func TestRecomputeRowSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	m := quantTestModel(rng)
+	calib := tensor.RandUniform(rng, -1, 1, 2, 2, 6, 6)
+	if err := QuantizeModel(m, calib, QuantizeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var conv *Conv2d
+	Walk(m, func(_ string, l Layer) {
+		if c, ok := l.(*Conv2d); ok && conv == nil {
+			conv = c
+		}
+	})
+	qs := conv.Quant()
+	want := append([]int32{}, qs.RowSums...)
+	qs.WCodes[3] += 5
+	qs.RecomputeRowSum(0)
+	if qs.RowSums[0] != want[0]+5 {
+		t.Fatalf("RowSums[0] = %d, want %d", qs.RowSums[0], want[0]+5)
+	}
+}

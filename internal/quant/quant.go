@@ -1,12 +1,21 @@
-// Package quant implements the symmetric INT8 neuron quantization used by
-// the paper's Figure 4 study: activations are mapped to signed 8-bit
-// integers with a per-layer scale calibrated from observed dynamic range,
-// and the single-bit-flip error model operates in the INT8 domain before
-// dequantizing back to float32.
+// Package quant implements the symmetric INT8 quantization used by the
+// paper's Figure 4 study and by the int8 inference backend: tensors are
+// mapped to signed 8-bit integers with scales calibrated from observed
+// dynamic range (per-layer for activations, per-output-channel for
+// weights), and the bit-level error models (single-bit flip, stuck-at)
+// operate on the two's-complement INT8 codes before dequantizing back to
+// float32.
+//
+// Calibration is where degenerate ranges fail: every calibration API
+// returns an error for non-finite statistics, so a broken layer is
+// rejected at model-quantize time instead of corrupting a campaign
+// mid-run. Quantize itself is total — with a validated scale it never
+// panics.
 package quant
 
 import (
 	"fmt"
+	"math"
 
 	"gofi/internal/tensor"
 )
@@ -16,22 +25,162 @@ import (
 // common convention for accelerator inference).
 type Scale float32
 
-// CalibrateAbsMax returns the scale that maps the tensor's maximum
-// absolute value to code 127. A zero tensor calibrates to scale 1 so
-// quantization stays well-defined.
-func CalibrateAbsMax(t *tensor.Tensor) Scale {
-	m := t.AbsMax()
-	if m == 0 {
-		return 1
+// Validate reports whether s is a usable quantization scale: finite and
+// strictly positive. All calibration APIs in this package only produce
+// scales that pass Validate.
+func (s Scale) Validate() error {
+	f := float64(s)
+	if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+		return fmt.Errorf("quant: invalid scale %g (must be finite and > 0)", f)
 	}
-	return Scale(m / 127)
+	return nil
 }
 
+// CalibrateAbsMax returns the scale that maps the tensor's maximum
+// absolute value to code 127. A zero tensor calibrates to scale 1 so
+// quantization stays well-defined. A tensor with non-finite values (so
+// the dynamic range itself is undefined) returns an error — this is the
+// calibration-time failure that replaces the old mid-campaign Quantize
+// panic.
+func CalibrateAbsMax(t *tensor.Tensor) (Scale, error) {
+	m := absMaxNaN(t.Data())
+	if m == 0 {
+		return 1, nil
+	}
+	s := Scale(m / 127)
+	if err := s.Validate(); err != nil {
+		return 0, fmt.Errorf("quant: absmax calibration: %w", err)
+	}
+	return s, nil
+}
+
+// absMaxNaN is an absmax fold that propagates NaN (unlike
+// tensor.AbsMax, whose comparison-based max silently skips NaN), so
+// calibration sees a poisoned range and can reject it.
+func absMaxNaN(data []float32) float32 {
+	var m float32
+	for _, v := range data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m || v != v {
+			m = v
+		}
+	}
+	return m
+}
+
+// CalibratePerChannel calibrates one symmetric scale per output channel
+// of a weight tensor whose leading dimension indexes output channels
+// ([Cout, ...]). An all-zero channel calibrates to scale 1; a channel
+// with non-finite weights is an error naming the channel.
+func CalibratePerChannel(w *tensor.Tensor) ([]Scale, error) {
+	if w.Rank() < 1 {
+		return nil, fmt.Errorf("quant: per-channel calibration needs rank >= 1, got rank %d", w.Rank())
+	}
+	cout := w.Shape()[0]
+	if cout == 0 || w.Len()%cout != 0 {
+		return nil, fmt.Errorf("quant: per-channel calibration: bad leading dimension %d for %d elements", cout, w.Len())
+	}
+	per := w.Len() / cout
+	data := w.Data()
+	scales := make([]Scale, cout)
+	for oc := 0; oc < cout; oc++ {
+		var m float32
+		for _, v := range data[oc*per : (oc+1)*per] {
+			if v < 0 {
+				v = -v
+			}
+			if v > m || v != v { // NaN propagates via v != v
+				m = v
+			}
+		}
+		if m == 0 {
+			scales[oc] = 1
+			continue
+		}
+		scales[oc] = Scale(m / 127)
+		if err := scales[oc].Validate(); err != nil {
+			return nil, fmt.Errorf("quant: channel %d: %w", oc, err)
+		}
+	}
+	return scales, nil
+}
+
+// Affine is an asymmetric INT8 quantization: real = Scale * (q - ZP) with
+// q in [-127, 127]. ZP is the code representing real 0.0; a zero ZP makes
+// Affine exactly the symmetric scheme. The asymmetric form doubles the
+// effective resolution for non-negative (post-ReLU) activations.
+type Affine struct {
+	S  Scale
+	ZP int8
+}
+
+// CalibrateAffine calibrates an activation quantizer from observed
+// values. When useZP is set and the tensor is non-negative, the full
+// [-127, 127] code range is spent on [0, max] (ZP = -127); otherwise the
+// symmetric absmax scheme is used with ZP = 0. Non-finite statistics are
+// a calibration error.
+func CalibrateAffine(t *tensor.Tensor, useZP bool) (Affine, error) {
+	if useZP && t.Len() > 0 && t.Min() >= 0 {
+		// Min is comparison-based and NaN-blind; absMaxNaN re-scans with
+		// NaN propagation (equal to Max here since the tensor is
+		// non-negative) so a poisoned range still errors.
+		m := absMaxNaN(t.Data())
+		if m == 0 {
+			return Affine{S: 1, ZP: 0}, nil
+		}
+		s := Scale(m / 254)
+		if err := s.Validate(); err != nil {
+			return Affine{}, fmt.Errorf("quant: affine calibration: %w", err)
+		}
+		return Affine{S: s, ZP: -127}, nil
+	}
+	s, err := CalibrateAbsMax(t)
+	if err != nil {
+		return Affine{}, err
+	}
+	return Affine{S: s, ZP: 0}, nil
+}
+
+// Quantize maps a real value to its affine INT8 code with round-to-nearest
+// and saturation to [-127, 127].
+func (a Affine) Quantize(v float32) int8 {
+	if a.S <= 0 {
+		return a.ZP
+	}
+	q := v / float32(a.S)
+	var r int32
+	if q >= 0 {
+		r = int32(q + 0.5)
+	} else {
+		r = int32(q - 0.5)
+	}
+	r += int32(a.ZP)
+	if r > 127 {
+		r = 127
+	}
+	if r < -127 {
+		r = -127
+	}
+	return int8(r)
+}
+
+// Dequantize maps an affine INT8 code back to a real value.
+func (a Affine) Dequantize(q int8) float32 {
+	return float32(a.S) * float32(int32(q)-int32(a.ZP))
+}
+
+// RoundTrip quantizes and dequantizes v under the affine scheme.
+func (a Affine) RoundTrip(v float32) float32 { return a.Dequantize(a.Quantize(v)) }
+
 // Quantize maps a real value to its INT8 code with round-to-nearest and
-// saturation.
+// saturation. It is total: a non-positive scale (which the calibration
+// APIs never produce — they return errors instead) maps every value to
+// code 0 rather than panicking mid-campaign.
 func (s Scale) Quantize(v float32) int8 {
 	if s <= 0 {
-		panic(fmt.Sprintf("quant: non-positive scale %g", float32(s)))
+		return 0
 	}
 	q := v / float32(s)
 	// Round half away from zero, then saturate.
@@ -68,6 +217,26 @@ func (s Scale) FlipBit(v float32, bit int) float32 {
 	}
 	q := s.Quantize(v)
 	q = int8(uint8(q) ^ (1 << uint(bit)))
+	if q == -128 {
+		q = -127
+	}
+	return s.Dequantize(q)
+}
+
+// StuckAt emulates a stuck-at fault in an INT8 storage cell: v is
+// quantized, bit [0,7] of the code is forced to 1 (one=true) or 0, and
+// the result is dequantized. Like FlipBit, a forced -128 saturates to
+// -127 so results stay on the symmetric grid.
+func (s Scale) StuckAt(v float32, bit int, one bool) float32 {
+	if bit < 0 || bit > 7 {
+		panic(fmt.Sprintf("quant: INT8 bit %d out of range [0,7]", bit))
+	}
+	q := s.Quantize(v)
+	if one {
+		q = int8(uint8(q) | (1 << uint(bit)))
+	} else {
+		q = int8(uint8(q) &^ (1 << uint(bit)))
+	}
 	if q == -128 {
 		q = -127
 	}

@@ -88,7 +88,10 @@ func TestCalibrateAbsMaxTable(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := CalibrateAbsMax(tensor.FromSlice(tc.data, 1, len(tc.data)))
+			got, err := CalibrateAbsMax(tensor.FromSlice(tc.data, 1, len(tc.data)))
+			if err != nil {
+				t.Fatal(err)
+			}
 			if math.Abs(float64(got-tc.want)) > 1e-7 {
 				t.Fatalf("CalibrateAbsMax = %g, want %g", float32(got), float32(tc.want))
 			}

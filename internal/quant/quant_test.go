@@ -11,7 +11,10 @@ import (
 
 func TestCalibrateAbsMax(t *testing.T) {
 	x := tensor.FromSlice([]float32{-3, 1, 2}, 3)
-	s := CalibrateAbsMax(x)
+	s, err := CalibrateAbsMax(x)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(float64(s)-3.0/127) > 1e-7 {
 		t.Fatalf("scale = %g, want %g", float32(s), 3.0/127)
 	}
@@ -25,12 +28,27 @@ func TestCalibrateAbsMax(t *testing.T) {
 }
 
 func TestCalibrateZeroTensor(t *testing.T) {
-	s := CalibrateAbsMax(tensor.New(4))
+	s, err := CalibrateAbsMax(tensor.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s != 1 {
 		t.Fatalf("zero-tensor scale = %g, want 1", float32(s))
 	}
 	if s.Quantize(0) != 0 {
 		t.Fatal("Quantize(0) != 0")
+	}
+}
+
+func TestCalibrateNonFiniteErrors(t *testing.T) {
+	for _, bad := range []float32{float32(math.NaN()), float32(math.Inf(1))} {
+		x := tensor.FromSlice([]float32{1, bad, 2}, 3)
+		if _, err := CalibrateAbsMax(x); err == nil {
+			t.Fatalf("CalibrateAbsMax with %g: expected error", bad)
+		}
+		if _, err := CalibrateAffine(x, true); err == nil {
+			t.Fatalf("CalibrateAffine with %g: expected error", bad)
+		}
 	}
 }
 
@@ -55,13 +73,159 @@ func TestQuantizeKnownValues(t *testing.T) {
 	}
 }
 
-func TestQuantizeNonPositiveScalePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+// A non-positive scale no longer panics mid-campaign: Quantize is total
+// (everything maps to code 0) and the failure surface moved to the
+// calibration APIs, which reject degenerate ranges with an error.
+func TestQuantizeNonPositiveScaleTotal(t *testing.T) {
+	for _, s := range []Scale{0, -1} {
+		if got := s.Quantize(3); got != 0 {
+			t.Fatalf("Scale(%g).Quantize(3) = %d, want 0", float32(s), got)
 		}
-	}()
-	Scale(0).Quantize(1)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("Scale(%g).Validate() = nil, want error", float32(s))
+		}
+	}
+	if err := Scale(float32(math.NaN())).Validate(); err == nil {
+		t.Fatal("Validate(NaN) = nil, want error")
+	}
+	if err := Scale(0.5).Validate(); err != nil {
+		t.Fatalf("Validate(0.5) = %v, want nil", err)
+	}
+}
+
+func TestCalibratePerChannel(t *testing.T) {
+	// Two channels: absmax 4 and 0 (zero channel calibrates to 1).
+	w := tensor.FromSlice([]float32{1, -4, 2, 0, 0, 0}, 2, 3)
+	scales, err := CalibratePerChannel(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scales) != 2 {
+		t.Fatalf("got %d scales, want 2", len(scales))
+	}
+	if math.Abs(float64(scales[0])-4.0/127) > 1e-7 {
+		t.Fatalf("channel 0 scale = %g, want %g", float32(scales[0]), 4.0/127)
+	}
+	if scales[1] != 1 {
+		t.Fatalf("zero channel scale = %g, want 1", float32(scales[1]))
+	}
+
+	bad := tensor.FromSlice([]float32{1, 2, float32(math.NaN()), 3}, 2, 2)
+	if _, err := CalibratePerChannel(bad); err == nil {
+		t.Fatal("expected error for NaN channel")
+	}
+	if _, err := CalibratePerChannel(tensor.FromSlice([]float32{1}, 1)); err != nil {
+		t.Fatalf("rank-1 single channel: %v", err)
+	}
+}
+
+func TestCalibratePerChannelBadShape(t *testing.T) {
+	if _, err := CalibratePerChannel(tensor.New(0, 3)); err == nil {
+		t.Fatal("expected error for zero leading dimension")
+	}
+}
+
+func TestAffineQuantizeDegenerateAndSaturation(t *testing.T) {
+	// Degenerate scale: everything maps to the zero-point (total, no panic).
+	bad := Affine{S: 0, ZP: -127}
+	if got := bad.Quantize(3); got != -127 {
+		t.Fatalf("degenerate affine Quantize = %d, want ZP", got)
+	}
+	a := Affine{S: 0.5, ZP: -127}
+	if got := a.Quantize(1e6); got != 127 {
+		t.Fatalf("affine saturation high = %d, want 127", got)
+	}
+	if got := a.Quantize(-1e6); got != -127 {
+		t.Fatalf("affine saturation low = %d, want -127", got)
+	}
+	// Negative values round half away from zero before the ZP shift,
+	// then clamp to the symmetric floor.
+	if got := a.Quantize(-0.3); got != -127 {
+		t.Fatalf("affine negative = %d, want -127 (clamped)", got)
+	}
+}
+
+func TestCalibrateAffineNonFiniteSymmetricBranch(t *testing.T) {
+	x := tensor.FromSlice([]float32{-1, float32(math.NaN())}, 2)
+	if _, err := CalibrateAffine(x, true); err == nil {
+		t.Fatal("expected error: symmetric fallback sees NaN")
+	}
+}
+
+func TestCalibrateAffineZeroPoint(t *testing.T) {
+	// Non-negative tensor with useZP: full code range spent on [0, max].
+	x := tensor.FromSlice([]float32{0, 1, 2, 4}, 4)
+	a, err := CalibrateAffine(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ZP != -127 {
+		t.Fatalf("ZP = %d, want -127", a.ZP)
+	}
+	if q := a.Quantize(0); q != -127 {
+		t.Fatalf("Quantize(0) = %d, want -127 (the zero-point)", q)
+	}
+	if q := a.Quantize(4); q != 127 {
+		t.Fatalf("Quantize(max) = %d, want 127", q)
+	}
+	if got := a.Dequantize(a.ZP); got != 0 {
+		t.Fatalf("Dequantize(ZP) = %g, want 0", got)
+	}
+
+	// Signed tensor falls back to symmetric regardless of useZP.
+	signed := tensor.FromSlice([]float32{-2, 3}, 2)
+	a2, err := CalibrateAffine(signed, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.ZP != 0 {
+		t.Fatalf("signed ZP = %d, want 0", a2.ZP)
+	}
+	// useZP off: symmetric even for non-negative input.
+	a3, err := CalibrateAffine(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.ZP != 0 {
+		t.Fatalf("useZP=false ZP = %d, want 0", a3.ZP)
+	}
+	// All-zero non-negative tensor stays well-defined.
+	a4, err := CalibrateAffine(tensor.New(3), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a4.S != 1 || a4.ZP != 0 {
+		t.Fatalf("zero-tensor affine = %+v, want {1 0}", a4)
+	}
+}
+
+// Property: affine round-trip error is bounded by half a step for
+// in-range values, and round-trip is idempotent.
+func TestAffineRoundTrip_Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		max := rng.Float32()*4 + 0.01
+		n := 64
+		x := tensor.RandUniform(rng, 0, max, n)
+		a, err := CalibrateAffine(x, true)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			v := x.AtFlat(i)
+			r := a.RoundTrip(v)
+			if math.Abs(float64(r-v)) > float64(a.S)/2+1e-6 {
+				return false
+			}
+			if a.RoundTrip(r) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestFlipBitSign(t *testing.T) {
@@ -94,10 +258,63 @@ func TestFlipBitOutOfRangePanics(t *testing.T) {
 	}
 }
 
+func TestStuckAtKnownValues(t *testing.T) {
+	s := Scale(1)
+	// code 3 = 0b00000011: stuck-at-1 on bit 2 gives 7; stuck-at-0 on
+	// bit 0 gives 2; stuck-at-1 on the sign bit gives -125.
+	if got := s.StuckAt(3, 2, true); got != 7 {
+		t.Fatalf("stuck-at-1 bit2 = %g, want 7", got)
+	}
+	if got := s.StuckAt(3, 0, false); got != 2 {
+		t.Fatalf("stuck-at-0 bit0 = %g, want 2", got)
+	}
+	if got := s.StuckAt(3, 7, true); got != -125 {
+		t.Fatalf("stuck-at-1 sign = %g, want -125", got)
+	}
+	// Already-stuck bit is a no-op.
+	if got := s.StuckAt(3, 0, true); got != 3 {
+		t.Fatalf("stuck-at-1 of set bit = %g, want 3", got)
+	}
+	// Forcing code 0 (0b0) sign bit on would give -128; saturates to -127.
+	if got := s.StuckAt(0, 7, true); got != -127 {
+		t.Fatalf("stuck sign of 0 = %g, want -127", got)
+	}
+}
+
+func TestStuckAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Scale(1).StuckAt(1, 8, true)
+}
+
+// Property: StuckAt is idempotent and its output is on the grid.
+func TestStuckAtIdempotent_Property(t *testing.T) {
+	f := func(seed int64, bitSeed uint8, one bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := Scale(rng.Float32() + 0.001)
+		bit := int(bitSeed) % 8
+		v := (rng.Float32()*2 - 1) * 300
+		out := scale.StuckAt(v, bit, one)
+		if scale.RoundTrip(out) != out {
+			return false
+		}
+		return scale.StuckAt(out, bit, one) == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuantizeTensorBoundsError(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	x := tensor.RandUniform(rng, -5, 5, 1000)
-	s := CalibrateAbsMax(x)
+	s, err := CalibrateAbsMax(x)
+	if err != nil {
+		t.Fatal(err)
+	}
 	orig := x.Clone()
 	QuantizeTensor(x, s)
 	maxErr := float64(s.MaxError())
@@ -171,5 +388,31 @@ func TestFlipBitOnGrid_Property(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTensorQuantizeI8MatchesAffine pins the cross-package contract: the
+// tensor backend's QuantizeI8Into (which cannot import quant) must agree
+// bit-for-bit with Affine.Quantize for every input, including NaN, ±Inf,
+// saturating values, and degenerate scales.
+func TestTensorQuantizeI8MatchesAffine(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	specials := []float32{0, 1, -1, float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)), 1e30, -1e30, 0.5, -0.5, 1.5, -1.5}
+	for iter := 0; iter < 50; iter++ {
+		af := Affine{S: Scale(rng.Float64()*2 - 0.5), ZP: int8(rng.Intn(255) - 127)}
+		if iter == 0 {
+			af = Affine{S: 0, ZP: -7} // degenerate scale
+		}
+		vals := append([]float32{}, specials...)
+		for i := 0; i < 100; i++ {
+			vals = append(vals, float32(rng.NormFloat64()))
+		}
+		got := make([]int8, len(vals))
+		tensor.QuantizeI8Into(got, vals, float32(af.S), af.ZP)
+		for i, v := range vals {
+			if want := af.Quantize(v); got[i] != want {
+				t.Fatalf("iter %d scale=%g zp=%d v=%g: tensor=%d quant=%d", iter, af.S, af.ZP, v, got[i], want)
+			}
+		}
 	}
 }

@@ -1,0 +1,139 @@
+package tensor
+
+import "sync"
+
+// iarena is the integer sibling of arena: bump-allocated int8/int16/int32
+// scratch reused across int8-backend kernel calls via a sync.Pool. The
+// int8 section holds quantized inputs, im2col columns, and the GEMM B
+// pack panels (raw codes, widened at load by the kernel), the int16
+// section the sign-extended A pack panels, and the int32 section the
+// accumulator tiles. The ownership rules match arena exactly: one kernel
+// invocation on one goroutine, take returns UNINITIALIZED memory, taken
+// slices die at release/restore, and reserve sizes each section up front
+// so nested takes never reallocate mid-kernel.
+type iarena struct {
+	b8   []int8
+	off8 int
+	gen8 int // bumped when b8 is reallocated; guards restore8()
+
+	b16   []int16
+	off16 int
+	gen16 int // bumped when b16 is reallocated; guards restore16()
+
+	b32   []int32
+	off32 int
+}
+
+var iarenaPool = sync.Pool{New: func() any { return new(iarena) }}
+
+// getIArena returns an empty integer arena from the pool.
+func getIArena() *iarena {
+	a := iarenaPool.Get().(*iarena)
+	a.off8, a.off16, a.off32 = 0, 0, 0
+	return a
+}
+
+// release resets the arena and returns it to the pool, keeping the
+// backing buffers so steady-state kernels allocate nothing.
+func (a *iarena) release() {
+	a.off8, a.off16, a.off32 = 0, 0, 0
+	iarenaPool.Put(a)
+}
+
+// reserve8/reserve16/reserve32 ensure the respective section can serve at
+// least n elements of take without growing. Must be called before the
+// section's first take.
+func (a *iarena) reserve8(n int) {
+	if len(a.b8) < n {
+		a.b8 = make([]int8, n)
+		a.off8 = 0
+		a.gen8++
+	}
+}
+
+func (a *iarena) reserve16(n int) {
+	if len(a.b16) < n {
+		a.b16 = make([]int16, n)
+		a.off16 = 0
+		a.gen16++
+	}
+}
+
+func (a *iarena) reserve32(n int) {
+	if len(a.b32) < n {
+		a.b32 = make([]int32, n)
+		a.off32 = 0
+	}
+}
+
+// take8/take16/take32 return an uninitialized scratch slice of length n,
+// growing the section if exhausted (previously taken slices stay valid on
+// the old array).
+func (a *iarena) take8(n int) []int8 {
+	if len(a.b8)-a.off8 < n {
+		grown := 2 * len(a.b8)
+		if grown < a.off8+n {
+			grown = a.off8 + n
+		}
+		a.b8 = make([]int8, grown)
+		a.off8 = 0
+		a.gen8++
+	}
+	s := a.b8[a.off8 : a.off8+n : a.off8+n]
+	a.off8 += n
+	return s
+}
+
+func (a *iarena) take16(n int) []int16 {
+	if len(a.b16)-a.off16 < n {
+		grown := 2 * len(a.b16)
+		if grown < a.off16+n {
+			grown = a.off16 + n
+		}
+		a.b16 = make([]int16, grown)
+		a.off16 = 0
+		a.gen16++
+	}
+	s := a.b16[a.off16 : a.off16+n : a.off16+n]
+	a.off16 += n
+	return s
+}
+
+func (a *iarena) take32(n int) []int32 {
+	if len(a.b32)-a.off32 < n {
+		grown := 2 * len(a.b32)
+		if grown < a.off32+n {
+			grown = a.off32 + n
+		}
+		a.b32 = make([]int32, grown)
+		a.off32 = 0
+	}
+	s := a.b32[a.off32 : a.off32+n : a.off32+n]
+	a.off32 += n
+	return s
+}
+
+// iarenaMark is a position in the int8 or int16 section to roll back to.
+// The int32 section is taken once per unit and never rolled back; the
+// pack-panel takes (A in int16, B in int8) need marks because
+// gemmI8Serial is called in a loop and must return its panels. The gen
+// guard makes restore a no-op after a mid-call reallocation: rolling the
+// offset back onto a fresh buffer would hand out memory still referenced
+// through slices of the old one.
+type iarenaMark struct{ off, gen int }
+
+func (a *iarena) mark8() iarenaMark { return iarenaMark{off: a.off8, gen: a.gen8} }
+
+func (a *iarena) restore8(m iarenaMark) {
+	if a.gen8 == m.gen {
+		a.off8 = m.off
+	}
+}
+
+func (a *iarena) mark16() iarenaMark { return iarenaMark{off: a.off16, gen: a.gen16} }
+
+func (a *iarena) restore16(m iarenaMark) {
+	if a.gen16 == m.gen {
+		a.off16 = m.off
+	}
+}

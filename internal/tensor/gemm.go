@@ -338,11 +338,15 @@ func kern4x16scalar(c []float32, ldc int, ap, bp []float32, kb int, first bool) 
 				c00, c01, c02, c03 = d0[0], d0[1], d0[2], d0[3]
 				c10, c11, c12, c13 = d1[0], d1[1], d1[2], d1[3]
 			}
-			api := ap[r0:]
-			bpi := bp[j0:]
+			// Advance the panel bases and index with the sub-tile
+			// offsets: the final advance lands exactly on the empty
+			// tail, whereas advancing a pre-offset slice would
+			// over-slice it on the last iteration.
+			api := ap
+			bpi := bp
 			for p := 0; p < kb; p++ {
-				a0, a1 := api[0], api[1]
-				b0, b1, b2, b3 := bpi[0], bpi[1], bpi[2], bpi[3]
+				a0, a1 := api[r0], api[r0+1]
+				b0, b1, b2, b3 := bpi[j0], bpi[j0+1], bpi[j0+2], bpi[j0+3]
 				c00 += a0 * b0
 				c01 += a0 * b1
 				c02 += a0 * b2
@@ -371,14 +375,14 @@ func kern1x16scalar(c []float32, ap []float32, astride int, bp []float32, kb int
 			d := c[j0 : j0+4]
 			c0, c1, c2, c3 = d[0], d[1], d[2], d[3]
 		}
-		bpi := bp[j0:]
+		bpi := bp
 		ai := 0
 		for p := 0; p < kb; p++ {
 			a0 := ap[ai]
-			c0 += a0 * bpi[0]
-			c1 += a0 * bpi[1]
-			c2 += a0 * bpi[2]
-			c3 += a0 * bpi[3]
+			c0 += a0 * bpi[j0]
+			c1 += a0 * bpi[j0+1]
+			c2 += a0 * bpi[j0+2]
+			c3 += a0 * bpi[j0+3]
 			ai += astride
 			bpi = bpi[gemmNR:]
 		}

@@ -1,0 +1,264 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randI8(rng *rand.Rand, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		s[i] = int8(rng.Intn(255) - 127) // [-127, 127]
+	}
+	return s
+}
+
+// TestGemmI8BlockedMatchesNaive drives the blocked int8 path over
+// randomized shapes — including tile edges, odd k (pair padding), and
+// multi-chunk k — and requires exact equality with the naive reference.
+func TestGemmI8BlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{
+		{1, 1, 1},
+		{4, 16, 16},
+		{5, 17, 33},   // edge rows, odd k, edge cols
+		{12, 27, 100}, // conv-like: small m, odd k
+		{3, 9, 257},   // wide, crosses gemmNC? no, crosses nr tiles
+		{96, 256, 64},
+		{100, 300, 530}, // crosses MC, KC, NC
+		{8, 513, 48},    // two k-chunks + odd tail
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		for _, transB := range []bool{false, true} {
+			a := randI8(rng, m*k)
+			var b []int8
+			ldb := n
+			if transB {
+				b = randI8(rng, n*k)
+				ldb = k
+			} else {
+				b = randI8(rng, k*n)
+			}
+			want := make([]int32, m*n)
+			gemmI8Naive(want, n, a, k, b, ldb, transB, m, k, n)
+
+			got := make([]int32, m*n)
+			ia := getIArena()
+			gemmI8Reserve(ia, m, k, n)
+			gemmI8Serial(got, n, a, k, b, ldb, transB, m, k, n, ia)
+			ia.release()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("m=%d k=%d n=%d transB=%v: element %d = %d, want %d", m, k, n, transB, i, got[i], want[i])
+				}
+			}
+
+			// Parallel column split must be identical too.
+			old := SetWorkers(4)
+			gotPar := make([]int32, m*n)
+			gemmI8Parallel(gotPar, n, a, k, b, ldb, transB, m, k, n)
+			SetWorkers(old)
+			for i := range want {
+				if gotPar[i] != want[i] {
+					t.Fatalf("parallel m=%d k=%d n=%d transB=%v: element %d = %d, want %d", m, k, n, transB, i, gotPar[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGemmI8RandomizedShapes_Property fuzzes shapes more densely than the
+// table above: 200 random (m, k, n) triples, all exact-equal to naive.
+func TestGemmI8RandomizedShapes_Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		m := rng.Intn(40) + 1
+		k := rng.Intn(80) + 1
+		n := rng.Intn(120) + 1
+		transB := rng.Intn(2) == 1
+		a := randI8(rng, m*k)
+		ldb := n
+		var b []int8
+		if transB {
+			b = randI8(rng, n*k)
+			ldb = k
+		} else {
+			b = randI8(rng, k*n)
+		}
+		want := make([]int32, m*n)
+		gemmI8Naive(want, n, a, k, b, ldb, transB, m, k, n)
+		got := make([]int32, m*n)
+		ia := getIArena()
+		gemmI8Reserve(ia, m, k, n)
+		gemmI8Serial(got, n, a, k, b, ldb, transB, m, k, n, ia)
+		ia.release()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d m=%d k=%d n=%d transB=%v: element %d = %d, want %d", iter, m, k, n, transB, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGemmI8WorkerCountIdentity pins the cross-worker determinism
+// contract for the int8 backend: identical bits at 1, 2, 4, 8 workers.
+func TestGemmI8WorkerCountIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m, k, n := 24, 128, 600
+	a := randI8(rng, m*k)
+	b := randI8(rng, k*n)
+	ref := make([]int32, m*n)
+	old := SetWorkers(1)
+	gemmI8Parallel(ref, n, a, k, b, n, false, m, k, n)
+	for _, w := range []int{2, 4, 8} {
+		SetWorkers(w)
+		got := make([]int32, m*n)
+		gemmI8Parallel(got, n, a, k, b, n, false, m, k, n)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: element %d = %d, want %d", w, i, got[i], ref[i])
+			}
+		}
+	}
+	SetWorkers(old)
+}
+
+// TestKernI8EdgeMatchesFullTilePath checks the padded edge kernel
+// against naive on every (rows, cols) remainder combination.
+func TestKernI8EdgeMatchesFullTilePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for rows := 1; rows <= gemmMR; rows++ {
+		for cols := 1; cols <= gemmNR; cols++ {
+			for _, kb := range []int{1, 2, 7, 32} {
+				m, k, n := rows, kb, cols
+				a := randI8(rng, m*k)
+				b := randI8(rng, k*n)
+				want := make([]int32, m*n)
+				gemmI8Naive(want, n, a, k, b, n, false, m, k, n)
+
+				kp := (kb + 1) / 2
+				apack := make([]int16, kp*2*gemmMR)
+				bpack := make([]int8, kp*2*gemmNR)
+				packAI8(apack, a, k, 0, 0, m, kb)
+				packBI8(bpack, b, n, false, 0, 0, kb, n)
+				got := make([]int32, m*n)
+				kernI8Edge(got, n, apack, bpack, rows, cols, kp, true)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("rows=%d cols=%d kb=%d: element %d = %d, want %d", rows, cols, kb, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConv2dInt8WorkerCountIdentity: the quantized conv forward is
+// bit-identical at every worker count (batched input so the unit loop
+// actually fans out).
+func TestConv2dInt8WorkerCountIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n, c, h, w := 8, 6, 14, 14
+	cout, kh, kw := 10, 3, 3
+	spec := ConvSpec{PadH: 1, PadW: 1}.Canon()
+	x := RandUniform(rng, -1, 1, n, c, h, w)
+	wq := randI8(rng, cout*c*kh*kw)
+	qp := QuantParams{InScale: 1.0 / 64, InZP: -11, WScales: make([]float32, cout), RowSums: make([]int32, cout)}
+	for oc := 0; oc < cout; oc++ {
+		qp.WScales[oc] = float32(oc+1) / 300
+		var s int32
+		for _, v := range wq[oc*c*kh*kw : (oc+1)*c*kh*kw] {
+			s += int32(v)
+		}
+		qp.RowSums[oc] = s
+	}
+	outShape := ConvOutShape(x.Shape(), []int{cout, c, kh, kw}, spec)
+
+	ref := New(outShape...)
+	old := SetWorkers(1)
+	Conv2dInt8Into(ref, x, wq, []int{cout, c, kh, kw}, qp, spec)
+	for _, workers := range []int{2, 4, 8} {
+		SetWorkers(workers)
+		got := New(outShape...)
+		Conv2dInt8Into(got, x, wq, []int{cout, c, kh, kw}, qp, spec)
+		if !ref.Equal(got) {
+			t.Fatalf("workers=%d: conv int8 output differs from workers=1", workers)
+		}
+	}
+	SetWorkers(old)
+}
+
+// TestConv2dInt8ZeroPointPadding: with a nonzero input zero-point, padded
+// taps must contribute exactly nothing (the zp·rowSum correction), so a
+// padded conv over a constant-zero input equals pure bias.
+func TestConv2dInt8ZeroPointPadding(t *testing.T) {
+	n, c, h, w := 1, 2, 5, 5
+	cout, kh, kw := 3, 3, 3
+	spec := ConvSpec{PadH: 1, PadW: 1}.Canon()
+	x := New(n, c, h, w) // zeros
+	rng := rand.New(rand.NewSource(23))
+	wq := randI8(rng, cout*c*kh*kw)
+	qp := QuantParams{
+		InScale: 0.01, InZP: -127,
+		WScales: []float32{0.02, 0.03, 0.04},
+		RowSums: make([]int32, cout),
+		Bias:    []float32{1, -2, 3},
+	}
+	for oc := 0; oc < cout; oc++ {
+		var s int32
+		for _, v := range wq[oc*c*kh*kw : (oc+1)*c*kh*kw] {
+			s += int32(v)
+		}
+		qp.RowSums[oc] = s
+	}
+	out := New(ConvOutShape(x.Shape(), []int{cout, c, kh, kw}, spec)...)
+	Conv2dInt8Into(out, x, wq, []int{cout, c, kh, kw}, qp, spec)
+	l := out.Len() / cout
+	for oc := 0; oc < cout; oc++ {
+		for i := 0; i < l; i++ {
+			if got := out.Data()[oc*l+i]; got != qp.Bias[oc] {
+				t.Fatalf("channel %d pixel %d = %g, want bias %g (zero input must contribute nothing)", oc, i, got, qp.Bias[oc])
+			}
+		}
+	}
+}
+
+// TestLinearInt8MatchesManual computes a tiny quantized linear layer by
+// hand and checks the driver's fold.
+func TestLinearInt8MatchesManual(t *testing.T) {
+	x := FromSlice([]float32{0.5, -1, 0.25, 2}, 2, 2)
+	wq := []int8{10, -20, 30, 40} // [out=2, in=2]
+	qp := QuantParams{
+		InScale: 0.25, InZP: 0,
+		WScales: []float32{0.1, 0.2},
+		RowSums: []int32{-10, 70},
+		Bias:    []float32{0.5, -0.5},
+	}
+	dst := New(2, 2)
+	LinearInt8Into(dst, x, wq, qp)
+	// Quantized inputs: 0.5/0.25=2, -1/0.25=-4, 0.25/0.25=1, 2/0.25=8.
+	// Row 0: acc = [2*10 + -4*-20, 2*30 + -4*40] = [100, -100]
+	// out = acc*inScale*wScale + bias = [100*0.025+0.5, -100*0.05-0.5]
+	want := []float32{100*0.25*0.1 + 0.5, -100*0.25*0.2 - 0.5, 0, 0}
+	// Row 1: acc = [1*10 + 8*-20, 1*30 + 8*40] = [-150, 350]
+	want[2] = -150*0.25*0.1 + 0.5
+	want[3] = 350*0.25*0.2 - 0.5
+	for i, w := range want {
+		if got := dst.Data()[i]; got != w {
+			t.Fatalf("element %d = %g, want %g", i, got, w)
+		}
+	}
+}
+
+// TestQuantizeI8IntoDegenerateScale: a non-positive scale maps everything
+// to the zero-point (total, mirroring quant.Affine).
+func TestQuantizeI8IntoDegenerateScale(t *testing.T) {
+	dst := make([]int8, 3)
+	QuantizeI8Into(dst, []float32{1, -2, 0}, 0, -5)
+	for i, q := range dst {
+		if q != -5 {
+			t.Fatalf("element %d = %d, want zero-point -5", i, q)
+		}
+	}
+}

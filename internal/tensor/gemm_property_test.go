@@ -91,13 +91,13 @@ func TestGEMMMatchesNaiveExact(t *testing.T) {
 		{9, 300, 1},
 		{3, 5, 7},
 		{4, 16, 16},
-		{7, 23, 19},     // all remainders
-		{16, 27, 130},   // conv-like, n remainder
-		{31, 300, 65},   // k crosses gemmKC, m/n remainders
-		{100, 260, 40},  // m crosses gemmMC, k crosses gemmKC
-		{12, 520, 24},   // two full k chunks plus remainder
-		{64, 576, 256},  // the conv benchmark shape
-		{97, 64, 515},   // n crosses gemmNC
+		{7, 23, 19},    // all remainders
+		{16, 27, 130},  // conv-like, n remainder
+		{31, 300, 65},  // k crosses gemmKC, m/n remainders
+		{100, 260, 40}, // m crosses gemmMC, k crosses gemmKC
+		{12, 520, 24},  // two full k chunks plus remainder
+		{64, 576, 256}, // the conv benchmark shape
+		{97, 64, 515},  // n crosses gemmNC
 	}
 	for _, sh := range shapes {
 		m, k, n := sh[0], sh[1], sh[2]

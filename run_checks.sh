@@ -18,6 +18,13 @@ go build ./...
 go test ./...
 go test -race -short -timeout 20m ./...
 
+# The int8 GEMM ships an amd64 assembly kernel behind a build tag; the
+# arm64-crossed vet+build prove the portable (noasm) half of every
+# signature still compiles, so a kernel-signature change can't silently
+# break non-amd64 targets CI never executes.
+GOARCH=arm64 go vet ./...
+GOARCH=arm64 go build ./...
+
 # The kernel backend promises bit-identical results at every worker
 # count; -cpu varies GOMAXPROCS so the persistent pool actually runs
 # multi-threaded (the container may default to 1 CPU), and the bench
@@ -83,6 +90,21 @@ check_stats() {
 	go test -run='^$' -fuzz='^FuzzStopRule$' -fuzztime=10s ./internal/campaign/stats
 }
 check_stats
+
+# The quantized backend's gates: the int8 golden fixture re-run under
+# the race detector (the full worker x schedule x reuse matrix against
+# one committed aggregate — byte-identity is the backend's core promise,
+# and int32 accumulation makes it exact, not approximate), a coverage
+# floor over internal/tensor (where all new int8 kernels live), and a
+# one-iteration int8-vs-f32 campaign bench smoke so the quantized
+# pipeline in bench_test.go can't rot between full runs (BENCH_int8.json
+# records the measured ratio).
+check_int8() {
+	go test -race -cpu 1,4 -run 'TestGoldenCampaignAggregates/int8' ./internal/campaign
+	check_cover ./internal/tensor 90
+	go test -run='^$' -bench 'BenchmarkCampaign(F32|Int8)$' -benchtime 1x .
+}
+check_int8
 
 # The cut-aware scheduler's two promises on the DenseNet campaign: with
 # prefix reuse, auto must decline to pack (sequential warmed-store hits
