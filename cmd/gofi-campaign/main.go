@@ -19,7 +19,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +29,7 @@ import (
 	"gofi/internal/experiments"
 	"gofi/internal/obs"
 	"gofi/internal/report"
+	"gofi/internal/serve"
 )
 
 func main() {
@@ -74,6 +74,8 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	stopCI := fs.Float64("stop-ci", 0, "halt once the SDC-rate confidence interval's half-width is at most this (rate units; 0.005 = ±0.5 percentage points); -trials then caps the budget instead of fixing it; 0 disables early stopping")
 	stopConf := fs.Float64("stop-conf", 0.95, "confidence level for -stop-ci, in (0,1)")
 	stopMin := fs.Int("stop-min", 0, "observed trials required before -stop-ci may halt the campaign; 0 = default 100")
+	submit := fs.String("submit", "", "submit the campaign to a running gofi-serve at this base URL (e.g. http://127.0.0.1:8091) instead of executing locally; records stream back and the same summary is printed")
+	shards := fs.Int("shards", 1, "with -submit: split the campaign into this many contiguous trial-range shards on the server (throughput only; results are byte-identical at any shard count)")
 	stratify := fs.Bool("stratify", false, "stratified sampling over (layer, bit-position) strata with fixed-bit flips, merged by fault-space weight; requires -scope neuron (ignores -error: the strata fix the bits)")
 	dedup := fs.Bool("dedup", false, "fault-space dedup: trials arming an identical (sample, site, bit) fault are computed once and multiplied in the aggregate; requires -scope neuron")
 	var mcli obs.CLI
@@ -87,11 +89,11 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	}
 	defer mcli.Finish()
 
-	em, err := parseErrorModel(*errModel)
+	em, err := experiments.ParseErrorModel(*errModel)
 	if err != nil {
 		return usageError(fs, "%v", err)
 	}
-	dt, err := parseDType(*dtype)
+	dt, err := experiments.ParseDType(*dtype)
 	if err != nil {
 		return usageError(fs, "%v", err)
 	}
@@ -102,7 +104,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	if be == "int8" && dt != core.INT8 {
 		return usageError(fs, "-backend int8 implies -dtype int8, got %q", *dtype)
 	}
-	arm, err := parseScope(*scope, em)
+	arm, err := experiments.ParseScope(*scope, em)
 	if err != nil {
 		return usageError(fs, "%v", err)
 	}
@@ -133,6 +135,42 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	}
 	if *stratify && *errModel != "bitflip" {
 		return usageError(fs, "-stratify arms fixed-bit flips by stratum and so requires -error bitflip, not %q", *errModel)
+	}
+	if *shards < 1 {
+		return usageError(fs, "-shards must be >= 1, got %d", *shards)
+	}
+	if *shards > 1 && *submit == "" {
+		return usageError(fs, "-shards only applies to -submit mode; local runs already parallelize with -workers")
+	}
+	if *submit != "" {
+		if *stratify || *dedup {
+			return usageError(fs, "-stratify/-dedup are not in the service wire format yet; run them locally")
+		}
+		sp := serve.Spec{
+			V:             serve.WireVersion,
+			Model:         *model,
+			Classes:       *classes,
+			Size:          *size,
+			Epochs:        *epochs,
+			Noise:         *noise,
+			Seed:          *seed,
+			Trials:        *trials,
+			Error:         *errModel,
+			Scope:         *scope,
+			Backend:       *backend,
+			DType:         *dtype,
+			ActZeroPoint:  *actZP,
+			Schedule:      *schedule,
+			TrialBatch:    *trialBatch,
+			NoPrefixReuse: !*prefixReuse,
+			Shards:        *shards,
+			Workers:       *workers,
+			SkipErrors:    *skipErrors,
+			StopCI:        *stopCI,
+			StopConf:      *stopConf,
+			StopMin:       *stopMin,
+		}
+		return runSubmit(ctx, *submit, sp, *jsonl, *progress, out)
 	}
 
 	var sinks []campaign.TrialSink
@@ -238,65 +276,87 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	return nil
 }
 
-func parseErrorModel(name string) (core.ErrorModel, error) {
-	switch name {
-	case "bitflip":
-		return core.BitFlip{Bit: core.RandomBit}, nil
-	case "bitflip2":
-		return core.MultiBitFlip{N: 2}, nil
-	case "random":
-		return core.DefaultRandomValue(), nil
-	case "zero":
-		return core.Zero{}, nil
-	case "gauss":
-		return core.GaussianNoise{Std: 1}, nil
-	case "gain":
-		return core.Gain{Factor: 2}, nil
-	case "stuck0":
-		return core.StuckAt{Bit: core.RandomBit}, nil
-	case "stuck1":
-		return core.StuckAt{Bit: core.RandomBit, One: true}, nil
-	default:
-		return nil, fmt.Errorf("unknown error model %q", name)
+// runSubmit drives service mode: ship the spec to a gofi-serve instance,
+// stream the index-ordered records back (optionally into the -jsonl
+// file, byte-identical to a local run's), and print the same summary
+// table the local path prints. The campaign survives this client: Ctrl-C
+// here leaves it running server-side, resumable and streamable later.
+func runSubmit(ctx context.Context, base string, sp serve.Spec, jsonl string, progress bool, out *os.File) error {
+	cl := &serve.Client{Base: base}
+	st, err := cl.Submit(ctx, sp)
+	if err != nil {
+		return err
 	}
-}
+	canon := st.Spec
+	fmt.Fprintf(out, "submitted campaign %s to %s (%d shard(s) x %d workers)\n",
+		st.ID, base, canon.Shards, canon.Workers)
 
-func parseDType(name string) (core.DType, error) {
-	switch name {
-	case "fp32":
-		return core.FP32, nil
-	case "fp16":
-		return core.FP16, nil
-	case "int8":
-		return core.INT8, nil
-	default:
-		return 0, fmt.Errorf("unknown dtype %q", name)
+	var sink *report.TrialJSONL
+	if jsonl != "" {
+		f, err := os.Create(jsonl)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = report.NewTrialJSONL(f)
 	}
-}
+	var done *serve.Event
+	err = cl.Stream(ctx, st.ID, 0, func(ev serve.Event) error {
+		switch ev.Type {
+		case "trial":
+			if sink != nil && ev.Trial != nil {
+				return sink.Record(*ev.Trial)
+			}
+		case "agg":
+			if progress && ev.Agg != nil {
+				fmt.Fprintf(os.Stderr, "\r%d trials  SDC %.2f%% [%.2f, %.2f]   ",
+					ev.Agg.NextTrial, 100*ev.Agg.Rate, 100*ev.Agg.Lo, 100*ev.Agg.Hi)
+			}
+		case "done":
+			e := ev
+			done = &e
+		case "error":
+			return fmt.Errorf("campaign %s failed: %s", st.ID, ev.Err)
+		}
+		return nil
+	})
+	if progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	if done == nil || done.Agg == nil {
+		return fmt.Errorf("campaign %s: stream ended without a done event", st.ID)
+	}
+	fin, err := cl.Status(ctx, st.ID)
+	if err != nil {
+		return err
+	}
 
-func parseScope(name string, em core.ErrorModel) (experiments.ArmFunc, error) {
-	switch name {
-	case "neuron":
-		return func(inj *core.Injector, rng *rand.Rand) error {
-			_, err := inj.InjectRandomNeuron(rng, em)
-			return err
-		}, nil
-	case "per-layer":
-		return func(inj *core.Injector, rng *rand.Rand) error {
-			_, err := inj.InjectRandomNeuronPerLayer(rng, em)
-			return err
-		}, nil
-	case "fmap":
-		return func(inj *core.Injector, rng *rand.Rand) error {
-			_, _, err := inj.InjectRandomFMap(rng, em)
-			return err
-		}, nil
-	case "weight":
-		return func(inj *core.Injector, rng *rand.Rand) error {
-			_, err := inj.InjectRandomWeight(rng, em)
-			return err
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown scope %q", name)
+	agg := done.Agg
+	fmt.Fprintf(out, "GoFI campaign %s (%s) — %s, %s error model, %s scope, %s (%s backend)\n",
+		st.ID, done.State, canon.Model, canon.Error, canon.Scope, canon.DType, canon.Backend)
+	fmt.Fprintf(out, "clean accuracy: %.1f%% (%d eligible inputs)\n", 100*fin.CleanAcc, fin.Eligible)
+	tb := report.NewTable("Metric", "Value")
+	tb.AddRow("Trials", agg.Trials)
+	tb.AddRow("Top-1 misclassifications", agg.Top1Mis)
+	tb.AddRow("Rate (%)", 100*agg.Rate)
+	tb.AddRow("99% CI (%)", fmt.Sprintf("[%.3f, %.3f]", 100*agg.Lo, 100*agg.Hi))
+	tb.AddRow("Clean Top-1 out of faulty Top-5", agg.OutOfTop5)
+	tb.AddRow("Confidence drops > 0.2", agg.BigConfDrop)
+	tb.AddRow("Non-finite outputs", agg.NonFinite)
+	if agg.Skipped > 0 {
+		tb.AddRow("Skipped (trial errors)", agg.Skipped)
 	}
+	if canon.StopCI > 0 {
+		if agg.StopTrial >= 0 {
+			tb.AddRow("Early stop at trial", agg.StopTrial)
+			tb.AddRow("Trials saved", canon.Trials-agg.StopTrial-1)
+		} else {
+			tb.AddRow("Early stop", "not reached (budget exhausted)")
+		}
+	}
+	tb.Render(out)
+	return nil
 }

@@ -1,46 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"gofi/internal/serve"
 )
-
-func TestParseErrorModel(t *testing.T) {
-	for _, name := range []string{"bitflip", "bitflip2", "random", "zero", "gauss", "gain"} {
-		m, err := parseErrorModel(name)
-		if err != nil || m == nil {
-			t.Fatalf("parseErrorModel(%q) = %v, %v", name, m, err)
-		}
-	}
-	if _, err := parseErrorModel("nope"); err == nil {
-		t.Fatal("unknown error model must error")
-	}
-}
-
-func TestParseDType(t *testing.T) {
-	for _, name := range []string{"fp32", "fp16", "int8"} {
-		if _, err := parseDType(name); err != nil {
-			t.Fatalf("parseDType(%q): %v", name, err)
-		}
-	}
-	if _, err := parseDType("int4"); err == nil {
-		t.Fatal("unknown dtype must error")
-	}
-}
-
-func TestParseScope(t *testing.T) {
-	em, _ := parseErrorModel("zero")
-	for _, name := range []string{"neuron", "per-layer", "fmap", "weight"} {
-		arm, err := parseScope(name, em)
-		if err != nil || arm == nil {
-			t.Fatalf("parseScope(%q): %v", name, err)
-		}
-	}
-	if _, err := parseScope("galaxy", em); err == nil {
-		t.Fatal("unknown scope must error")
-	}
-}
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	ctx := context.Background()
@@ -62,9 +32,82 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-stratify", "-scope", "weight"},
 		{"-stratify", "-error", "zero"},
 		{"-dedup", "-scope", "fmap"},
+		{"-shards", "0"},
+		{"-shards", "4"}, // sharding is submit-mode only
+		{"-submit", "http://127.0.0.1:1", "-stratify"},
+		{"-submit", "http://127.0.0.1:1", "-dedup"},
 	} {
 		if err := run(ctx, args, os.Stdout); err == nil {
 			t.Fatalf("run(%v) must fail", args)
 		}
+	}
+}
+
+// TestSubmitMode drives the -submit client path against an in-process
+// campaign service: the CLI ships the spec, streams the records into the
+// -jsonl file, and renders the summary table from the service aggregate.
+func TestSubmitMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model fixture; skipped with -short")
+	}
+	srv, err := serve.New(serve.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "trials.jsonl")
+	outPath := filepath.Join(dir, "out.txt")
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	args := []string{
+		"-submit", hs.URL, "-shards", "2",
+		"-model", "alexnet", "-classes", "4", "-size", "16", "-epochs", "6",
+		"-noise", "0.2", "-seed", "42", "-trials", "20", "-workers", "2",
+		"-skip-errors", "-jsonl", jsonl,
+	}
+	if err := run(context.Background(), args, out); err != nil {
+		t.Fatalf("submit mode: %v", err)
+	}
+	buf, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(buf)
+	for _, want := range []string{"submitted campaign c000001", "(done)", "Trials", "99% CI"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The -jsonl file carries one index-ordered record per trial — the
+	// same stream a local run writes.
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if !strings.Contains(sc.Text(), `"trial":`) {
+			t.Fatalf("line %d is not a trial record: %s", lines, sc.Text())
+		}
+		lines++
+	}
+	if lines != 20 {
+		t.Fatalf("jsonl has %d records, want 20", lines)
+	}
+
+	// A dead server is a plain error, not a hang.
+	if err := run(context.Background(), []string{"-submit", "http://127.0.0.1:1", "-trials", "5"}, out); err == nil {
+		t.Fatal("submit to a dead server succeeded")
 	}
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gofi/internal/serve"
+)
+
+// syncBuffer is a mutex-guarded buffer: run writes to it from the server
+// goroutine while the test polls it for the announced address.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(context.Background(), nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+	if err := run(context.Background(), []string{"-dir", t.TempDir(), "-addr", "256.0.0.1:bad"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}
+
+// TestServeEndToEnd boots the real binary entrypoint on an ephemeral
+// port, drives the HTTP API through the serve client, and shuts the
+// server down the way a signal would (context cancellation).
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-dir", dir, "-slots", "2"}, &out)
+	}()
+
+	// The server announces its resolved address on stdout.
+	addrRe := regexp.MustCompile(`listening on (http://[^ ]+) `)
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; output: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Invalid specs bounce with 400 before any work starts.
+	resp, err = http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(`{"v":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec = %d", resp.StatusCode)
+	}
+
+	// A spec the model registry cannot satisfy settles failed — quickly,
+	// with no training — which exercises submit, wait and status.
+	cl := &serve.Client{Base: base}
+	st, err := cl.Submit(ctx, serve.Spec{Model: "no-such-model", Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := cl.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != serve.StateFailed || fin.Err == "" {
+		t.Fatalf("campaign settled %+v", fin)
+	}
+
+	// Context cancellation is the signal path: graceful shutdown, clean
+	// exit.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("no shutdown announcement in %q", out.String())
+	}
+}

@@ -63,7 +63,8 @@ func newBatchMetrics(reg *obs.Registry, k int) *batchMetrics {
 // outcome (or their error) authoritatively.
 func probeTrial(cfg Config, inj *core.Injector, plan *core.PrefixPlan, t, sample int) TrialSpec {
 	spec := TrialSpec{Trial: t, Sample: sample}
-	rng := trialRNG(cfg.Seed, t)
+	g := cfg.Offset + t // RNG streams always derive from the global index
+	rng := trialRNG(cfg.Seed, g)
 	rng.Intn(len(cfg.Eligible)) // consume the sample draw
 	inj.Reset()
 	armed := func() (ok bool) {
@@ -72,11 +73,11 @@ func probeTrial(cfg Config, inj *core.Injector, plan *core.PrefixPlan, t, sample
 				ok = false
 			}
 		}()
-		if err := inj.BeginLane(0, t, rng); err != nil {
+		if err := inj.BeginLane(0, g, rng); err != nil {
 			return false
 		}
 		defer inj.EndLane()
-		return cfg.arm(inj, rng, t) == nil
+		return cfg.arm(inj, rng, g) == nil
 	}()
 	if armed {
 		spec.Packable = true
@@ -103,7 +104,8 @@ func runPack(cfg Config, inj *core.Injector, runner *core.PrefixRunner, plan *co
 	inj.Reset()
 	lanes := 0
 	for i, t := range pk.Trials {
-		rng := trialRNG(cfg.Seed, t)
+		g := cfg.Offset + t
+		rng := trialRNG(cfg.Seed, g)
 		rng.Intn(len(cfg.Eligible)) // consume the sample draw
 		armErr := func() (err error) {
 			defer func() {
@@ -111,11 +113,11 @@ func runPack(cfg Config, inj *core.Injector, runner *core.PrefixRunner, plan *co
 					err = fmt.Errorf("arm panic: %v", r)
 				}
 			}()
-			if err := inj.BeginLane(lanes, t, rng); err != nil {
+			if err := inj.BeginLane(lanes, g, rng); err != nil {
 				return err
 			}
 			defer inj.EndLane()
-			return cfg.arm(inj, rng, t)
+			return cfg.arm(inj, rng, g)
 		}()
 		if armErr != nil {
 			// The lane may be partially armed (a multi-declare Arm that
@@ -146,9 +148,10 @@ func runPack(cfg Config, inj *core.Injector, runner *core.PrefixRunner, plan *co
 				if laneOf[i] < 0 {
 					continue
 				}
-				rec := TrialRecord{Trial: t, Worker: worker, Sample: pk.Sample}
+				g := cfg.Offset + t
+				rec := TrialRecord{Trial: g, Worker: worker, Sample: pk.Sample}
 				rec.Outcome = classify(logits.Lane(laneOf[i]), cp)
-				rec.Site = siteStringFromRecords(inj.TraceForTrial(t))
+				rec.Site = siteStringFromRecords(inj.TraceForTrial(g))
 				recs[i] = rec
 			}
 			if bm != nil {

@@ -199,6 +199,22 @@ func (a *Aggregate) Add(o Outcome) {
 	}
 }
 
+// AddRecord folds one finished trial's record into the aggregate,
+// mirroring the engine's own fold: a record carrying an error counts as
+// Skipped, anything else contributes its Outcome. Folding a campaign's
+// records in strict trial-index order therefore reproduces the engine's
+// Aggregate bit-for-bit (the float summation order is identical) — this
+// is the merge contract sharded execution builds on: a coordinator that
+// folds shard record streams in global index order is byte-identical to
+// a single-machine run, for any shard partition.
+func (a *Aggregate) AddRecord(rec TrialRecord) {
+	if rec.Err != "" {
+		a.Skipped++
+		return
+	}
+	a.Add(rec.Outcome)
+}
+
 // Merge folds another aggregate into a.
 func (a *Aggregate) Merge(b Aggregate) {
 	a.Trials += b.Trials
@@ -276,6 +292,19 @@ type Config struct {
 	Workers int
 	// Trials is the total number of injection trials.
 	Trials int
+	// Offset shifts the campaign's global trial indices: the engine
+	// executes trials [Offset, Offset+Trials) of the (Seed, ·) trial
+	// space. Trial t's randomness derives from its GLOBAL index, so a
+	// shard running [lo, hi) computes bit-for-bit the outcomes a
+	// single-machine run of [0, N) computes for those indices — this is
+	// the sharding contract behind gofi-serve: split a campaign into
+	// contiguous ranges (SplitTrials), run each range anywhere, and fold
+	// the records back together in global index order (AddRecord). Trial
+	// records, watcher observations and the stop-trial metric all carry
+	// global indices. Dedup (Key) canonicalizes within the shard's own
+	// range only; sharded campaigns that need global dedup must dedup at
+	// the coordinator. The default 0 is the whole-campaign case.
+	Offset int
 	// Seed is the campaign's single source of randomness; with Trials it
 	// fully determines the Aggregate.
 	Seed int64
@@ -378,6 +407,9 @@ func (c Config) validate() error {
 	}
 	if c.Trials <= 0 {
 		return fmt.Errorf("campaign: trials must be positive, got %d", c.Trials)
+	}
+	if c.Offset < 0 {
+		return fmt.Errorf("campaign: negative trial offset %d", c.Offset)
 	}
 	if c.NewReplica == nil || c.Source == nil || (c.Arm == nil && c.ArmTrial == nil) {
 		return fmt.Errorf("campaign: NewReplica, Source and Arm (or ArmTrial) are required")

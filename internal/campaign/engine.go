@@ -124,11 +124,13 @@ func trialRNG(seed int64, t int) *rand.Rand {
 	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
 }
 
-// trialSample returns trial t's sample index: the first draw of its
-// private stream. The engine pre-computes this for every trial to build
-// the clean-prediction cache before any fault runs.
+// trialSample returns local trial t's sample index: the first draw of
+// its private stream, derived from the trial's GLOBAL index so shards
+// see the same choices a whole-campaign run sees. The engine
+// pre-computes this for every trial to build the clean-prediction cache
+// before any fault runs.
 func trialSample(cfg Config, t int) int {
-	return cfg.Eligible[trialRNG(cfg.Seed, t).Intn(len(cfg.Eligible))]
+	return cfg.Eligible[trialRNG(cfg.Seed, cfg.Offset+t).Intn(len(cfg.Eligible))]
 }
 
 // Run executes the campaign and returns the aggregated outcomes.
@@ -309,9 +311,9 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		canon := make(map[string]int, cfg.Trials)
 		for t := 0; t < cfg.Trials; t++ {
 			dupOf[t] = -1
-			rng := trialRNG(cfg.Seed, t)
+			rng := trialRNG(cfg.Seed, cfg.Offset+t)
 			rng.Intn(len(cfg.Eligible)) // consume the sample draw
-			key, ok := cfg.Key(rng, t, sampleOf[t])
+			key, ok := cfg.Key(rng, cfg.Offset+t, sampleOf[t])
 			if !ok {
 				continue
 			}
@@ -400,9 +402,10 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 	records := make(chan TrialRecord, workers*4)
 	met := newEngineMetrics(cfg.Metrics, workers)
 
-	// stopAt is the trial index the stopping rule fired on (-1: never).
-	// Written only by the collector goroutine, read by the main goroutine
-	// after collectorWG.Wait (the WaitGroup orders the accesses).
+	// stopAt is the GLOBAL trial index the stopping rule fired on (-1:
+	// never). Written only by the collector goroutine, read by the main
+	// goroutine after collectorWG.Wait (the WaitGroup orders the
+	// accesses).
 	stopAt := -1
 	var collectorWG sync.WaitGroup
 	collectorWG.Add(1)
@@ -462,7 +465,7 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		// (their trials are beyond the stop index by construction: the
 		// frontier had already consumed every earlier index).
 		buffered := make(map[int]TrialRecord, workers*4)
-		frontier := 0
+		frontier := cfg.Offset // records carry global trial indices
 		for rec := range records {
 			if stopAt >= 0 {
 				continue // drain
@@ -511,7 +514,7 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 		emit(t, rec, err)
 		for _, d := range dupsOf[t] {
 			drec := rec
-			drec.Trial = d
+			drec.Trial = cfg.Offset + d // records carry global indices
 			emit(d, drec, err)
 		}
 	}
@@ -589,7 +592,7 @@ func Run(ctx context.Context, cfg Config) (Aggregate, error) {
 	// timing; discarding them keeps it a pure function of (Seed, Trials).
 	limit := cfg.Trials
 	if stopAt >= 0 {
-		limit = stopAt + 1
+		limit = stopAt - cfg.Offset + 1
 	}
 	var total Aggregate
 	for t := 0; t < limit; t++ {
@@ -739,7 +742,8 @@ func buildCostTable(cfg Config, runners []*core.PrefixRunner, plans []*core.Pref
 // differential suite in prefix_test.go asserts this per layer, per error
 // model), so the trial's Outcome never depends on PrefixReuse.
 func runTrial(cfg Config, inj *core.Injector, runner *core.PrefixRunner, worker, t, sample int, cp cleanPrediction) (rec TrialRecord, err error) {
-	rec = TrialRecord{Trial: t, Worker: worker, Sample: sample}
+	g := cfg.Offset + t // global trial index: RNG stream and record identity
+	rec = TrialRecord{Trial: g, Worker: worker, Sample: sample}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
@@ -750,7 +754,7 @@ func runTrial(cfg Config, inj *core.Injector, runner *core.PrefixRunner, worker,
 		}
 	}()
 
-	rng := trialRNG(cfg.Seed, t)
+	rng := trialRNG(cfg.Seed, g)
 	rng.Intn(len(cfg.Eligible)) // consume the sample draw made in the pre-pass
 
 	img, _ := cfg.Source.Sample(sample)
@@ -762,7 +766,7 @@ func runTrial(cfg Config, inj *core.Injector, runner *core.PrefixRunner, worker,
 	// perturb time; point it at the trial stream so those draws are also
 	// worker-independent.
 	inj.SetRand(rng)
-	if armErr := cfg.arm(inj, rng, t); armErr != nil {
+	if armErr := cfg.arm(inj, rng, g); armErr != nil {
 		return rec, fmt.Errorf("arm: %w", armErr)
 	}
 	var logits *tensor.Tensor

@@ -1,0 +1,52 @@
+package campaign
+
+// Sharded execution support. The engine's determinism contract — every
+// trial's randomness is a pure function of (Seed, global trial index) —
+// makes distributing a campaign nearly free: partition [0, Trials) into
+// contiguous index ranges, run each range as its own Config (same Seed,
+// Offset = range start), and fold the resulting records back together in
+// global index order. The fold (Aggregate.AddRecord in index order) then
+// performs exactly the float additions a single-machine run performs, so
+// the merged Aggregate is byte-identical at any shard count. The
+// shard-merge golden test in shard_test.go pins this against the
+// committed single-machine fixtures.
+
+// Range is a half-open interval of global trial indices.
+type Range struct {
+	// Lo is the first trial index of the shard; Hi is one past the last.
+	Lo, Hi int
+}
+
+// Len returns the number of trials in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// SplitTrials partitions the global trial indices [lo, hi) into at most
+// shards contiguous ranges of near-equal size (earlier ranges take the
+// remainder, so sizes differ by at most one). Empty ranges are never
+// returned: asking for more shards than trials yields one single-trial
+// range per trial. The partition is a pure function of its arguments, so
+// a re-sharded or resumed campaign re-derives the same ranges.
+func SplitTrials(lo, hi, shards int) []Range {
+	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	ranges := make([]Range, 0, shards)
+	size, rem := n/shards, n%shards
+	at := lo
+	for s := 0; s < shards; s++ {
+		step := size
+		if s < rem {
+			step++
+		}
+		ranges = append(ranges, Range{Lo: at, Hi: at + step})
+		at += step
+	}
+	return ranges
+}

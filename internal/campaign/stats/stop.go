@@ -130,3 +130,29 @@ func (s *Sequential) Estimate() Estimator { return s.est }
 
 // Rule returns the canonicalized rule the watcher runs.
 func (s *Sequential) Rule() StopRule { return s.rule }
+
+// SequentialState is the serializable snapshot of a Sequential watcher.
+// The watcher is a pure left fold over the index-ordered trial stream,
+// so its entire state is these four fields: restoring a snapshot taken
+// after trial k and folding trials k+1.. onward is indistinguishable —
+// stop index, estimate and interval alike — from one uninterrupted fold.
+// That property is what makes campaign checkpoints exact: gofi-serve
+// persists this state alongside the partial aggregate and resumes a
+// killed campaign without re-observing a single trial.
+type SequentialState struct {
+	Rule    StopRule  `json:"rule"`
+	Est     Estimator `json:"estimator"`
+	Stopped bool      `json:"stopped"`
+	StopAt  int       `json:"stop_at"`
+}
+
+// State snapshots the watcher. The embedded rule is the canonicalized
+// one, so NewSequentialFromState restores it verbatim.
+func (s *Sequential) State() SequentialState {
+	return SequentialState{Rule: s.rule, Est: s.est, Stopped: s.stopped, StopAt: s.stopAt}
+}
+
+// NewSequentialFromState rebuilds a watcher from a State snapshot.
+func NewSequentialFromState(st SequentialState) *Sequential {
+	return &Sequential{rule: st.Rule.canon(), est: st.Est, stopped: st.Stopped, stopAt: st.StopAt}
+}

@@ -164,3 +164,75 @@ func FuzzStopRule(f *testing.F) {
 		}
 	})
 }
+
+// TestSequentialSnapshotResume proves the watcher's checkpoint contract:
+// snapshotting after any prefix of the stream and folding the remainder
+// into a restored watcher reproduces the uninterrupted fold exactly —
+// same stop index, same estimator fields, same interval. This is the
+// property gofi-serve's durable campaign checkpoints rely on.
+func TestSequentialSnapshotResume(t *testing.T) {
+	for _, seed := range []int64{1, 7, 99} {
+		rule := StopRule{HalfWidth: 0.08, Confidence: 0.9, MinTrials: 20}
+		const n = 400
+		// Uninterrupted reference fold.
+		ref := NewSequential(rule)
+		rng := rand.New(rand.NewSource(seed))
+		verdicts := make([]bool, n)
+		skips := make([]bool, n)
+		for i := 0; i < n; i++ {
+			verdicts[i] = rng.Float64() < 0.3
+			skips[i] = rng.Float64() < 0.05
+			ref.Observe(i, verdicts[i], skips[i])
+		}
+		cutRNG := rand.New(rand.NewSource(seed * 31))
+		for trial := 0; trial < 20; trial++ {
+			cut := cutRNG.Intn(n + 1)
+			w := NewSequential(rule)
+			for i := 0; i < cut; i++ {
+				w.Observe(i, verdicts[i], skips[i])
+			}
+			resumed := NewSequentialFromState(w.State())
+			for i := cut; i < n; i++ {
+				resumed.Observe(i, verdicts[i], skips[i])
+			}
+			if resumed.StopTrial() != ref.StopTrial() {
+				t.Fatalf("seed %d cut %d: resumed stop %d != uninterrupted %d",
+					seed, cut, resumed.StopTrial(), ref.StopTrial())
+			}
+			if resumed.Estimate() != ref.Estimate() {
+				t.Fatalf("seed %d cut %d: resumed estimator %+v != %+v",
+					seed, cut, resumed.Estimate(), ref.Estimate())
+			}
+			r1, lo1, hi1 := resumed.Interval()
+			r2, lo2, hi2 := ref.Interval()
+			if r1 != r2 || lo1 != lo2 || hi1 != hi2 {
+				t.Fatalf("seed %d cut %d: resumed interval (%g,%g,%g) != (%g,%g,%g)",
+					seed, cut, r1, lo1, hi1, r2, lo2, hi2)
+			}
+			if resumed.State() != ref.State() {
+				t.Fatalf("seed %d cut %d: final states differ", seed, cut)
+			}
+		}
+	}
+}
+
+// TestSequentialStateRoundTrip pins the snapshot itself: a restored
+// watcher re-snapshots to the identical state, including the latched
+// stop and the canonicalized rule.
+func TestSequentialStateRoundTrip(t *testing.T) {
+	w := NewSequential(StopRule{HalfWidth: 0.1, MinTrials: 5})
+	for i := 0; i < 50; i++ {
+		w.Observe(i, i%4 == 0, false)
+	}
+	st := w.State()
+	if st.Rule.Confidence != DefaultConfidence {
+		t.Fatalf("state carries uncanonicalized rule: %+v", st.Rule)
+	}
+	got := NewSequentialFromState(st)
+	if got.State() != st {
+		t.Fatalf("state round trip drifted: %+v != %+v", got.State(), st)
+	}
+	if got.ShouldStop() != w.ShouldStop() || got.StopTrial() != w.StopTrial() {
+		t.Fatal("restored watcher disagrees with original")
+	}
+}

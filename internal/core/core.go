@@ -152,6 +152,13 @@ type Injector struct {
 type armedNeuron struct {
 	site  NeuronSite
 	model ErrorModel
+	// declared is the site as the caller spelled it, BEFORE any lane
+	// remap. Trace records render this one: a trial's site text must not
+	// depend on which batch lane a packed forward happened to assign it
+	// (lane placement varies with pack composition, which varies with
+	// shard boundaries — and record streams are part of the campaign
+	// byte-identity contract).
+	declared NeuronSite
 	// tally is the per-error-model applied counter, resolved at
 	// declaration time (nil when no registry was attached).
 	tally *obs.Counter
@@ -333,7 +340,7 @@ func (inj *Injector) applyNeuron(out *tensor.Tensor, shape []int, layer int, a a
 			}
 			inj.record(InjectionRecord{
 				Kind: "neuron", Layer: layer, LayerPath: inj.layers[layer].Path,
-				Batch: b, Trial: trial, Site: a.site.String(), Old: old, New: nv, Model: a.model.Name(),
+				Batch: b, Trial: trial, Site: a.declared.String(), Old: old, New: nv, Model: a.model.Name(),
 			})
 		}
 	}

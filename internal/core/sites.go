@@ -108,8 +108,8 @@ func (inj *Injector) DeclareNeuronFI(model ErrorModel, sites ...NeuronSite) erro
 	if inj.met != nil {
 		tally = inj.met.modelCounter(model.Name())
 	}
-	for _, s := range armed {
-		a := armedNeuron{site: s, model: model, tally: tally}
+	for i, s := range armed {
+		a := armedNeuron{site: s, declared: sites[i], model: model, tally: tally}
 		if inj.laneArm.active {
 			a.lane, a.trial, a.rng = true, inj.laneArm.trial, inj.laneArm.rng
 		}

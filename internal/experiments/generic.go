@@ -8,6 +8,7 @@ import (
 	"gofi/internal/campaign"
 	"gofi/internal/campaign/stats"
 	"gofi/internal/core"
+	"gofi/internal/data"
 	"gofi/internal/nn"
 	"gofi/internal/obs"
 )
@@ -130,28 +131,165 @@ type GenericCampaignResult struct {
 	Stop *StopSummary
 }
 
+// CampaignEnv is a prepared campaign: the trained model fixture wrapped
+// in a replica factory, the sample source and eligible indices, the
+// canonicalized config, and the generator/watcher wiring. Preparation
+// (training, calibration, generator profiling) happens once; the
+// environment then runs any number of engine legs over any contiguous
+// trial-index range via Run — the mechanism gofi-serve uses to shard one
+// campaign across a worker pool and to resume it from a checkpoint.
+// Environments are safe for concurrent Run calls: replicas are built per
+// worker and the trained weights are read-only during neuron campaigns
+// (IsolateWeights deep-copies them per replica otherwise).
+type CampaignEnv struct {
+	// Cfg is the canonicalized configuration (defaults filled, backend
+	// and dtype resolved, TrialBatch pinned).
+	Cfg GenericCampaignConfig
+	// Source and Eligible are the evaluation samples and the trained
+	// model's correctly-classified indices among them.
+	Source   *data.Classification
+	Eligible []int
+	// NewReplica builds worker replicas (campaign.Config.NewReplica).
+	NewReplica func(int) (*core.Injector, error)
+	// CleanAcc is the trained model's held-out accuracy.
+	CleanAcc float64
+	// CampaignSeed is the engine seed (derived from Cfg.Seed); every
+	// trial's randomness is a pure function of (CampaignSeed, global
+	// trial index), which is what makes shard ranges composable.
+	CampaignSeed int64
+
+	armTrial func(*core.Injector, *rand.Rand, int) error
+	key      func(*rand.Rand, int, int) (string, bool)
+	strata   *stats.Strata
+}
+
+// ShardRun describes one engine leg over the contiguous global
+// trial-index range [Offset, Offset+Trials) of a prepared campaign.
+type ShardRun struct {
+	// Offset is the leg's first global trial index; Trials its length.
+	Offset, Trials int
+	// Workers overrides the environment's worker count when positive.
+	Workers int
+	// Watcher, when non-nil, is the engine-side stopping fold. Leave nil
+	// for sharded runs — a watcher only sees its own leg's indices, so a
+	// cross-shard coordinator must fold the merged stream itself.
+	Watcher stats.Watcher
+	// Sinks, Progress and Metrics are per-leg observability taps (see
+	// the campaign.Config fields of the same names).
+	Sinks    []campaign.TrialSink
+	Progress func(campaign.Progress)
+	Metrics  *obs.Registry
+}
+
+// Run executes one engine leg. Results are deterministic in
+// (CampaignSeed, Offset, Trials): re-running a range, on any worker
+// count, reproduces its records bit-for-bit.
+func (env *CampaignEnv) Run(ctx context.Context, sr ShardRun) (campaign.Aggregate, error) {
+	workers := sr.Workers
+	if workers <= 0 {
+		workers = env.Cfg.Workers
+	}
+	return campaign.Run(ctx, campaign.Config{
+		Workers:     workers,
+		Trials:      sr.Trials,
+		Offset:      sr.Offset,
+		Seed:        env.CampaignSeed,
+		NewReplica:  env.NewReplica,
+		Source:      env.Source,
+		Eligible:    env.Eligible,
+		Arm:         env.Cfg.Arm,
+		ArmTrial:    env.armTrial,
+		Stop:        sr.Watcher,
+		Key:         env.key,
+		Sinks:       sr.Sinks,
+		Progress:    sr.Progress,
+		OnError:     env.Cfg.OnError,
+		Metrics:     sr.Metrics,
+		PrefixReuse: env.Cfg.PrefixReuse,
+		TrialBatch:  env.Cfg.TrialBatch,
+		Schedule:    env.Cfg.Schedule,
+	})
+}
+
+// StopRule returns the environment's validated early-stopping rule and
+// whether one is configured.
+func (env *CampaignEnv) StopRule() (stats.StopRule, bool) {
+	if env.Cfg.StopCI <= 0 {
+		return stats.StopRule{}, false
+	}
+	return stats.StopRule{
+		HalfWidth:  env.Cfg.StopCI,
+		Confidence: env.Cfg.StopConf,
+		MinTrials:  env.Cfg.StopMin,
+	}, true
+}
+
+// NewWatcher builds the environment's stopping watcher, or nil when no
+// rule is configured. Each call returns a fresh fold.
+func (env *CampaignEnv) NewWatcher() stats.Watcher {
+	rule, ok := env.StopRule()
+	if !ok {
+		return nil
+	}
+	if env.strata != nil {
+		return stats.NewStratified(rule, env.strata)
+	}
+	return stats.NewSequential(rule)
+}
+
 // RunGenericCampaign trains the model on the synthetic dataset, prepares
 // per-worker injector replicas at the requested emulated data type (with
 // INT8 calibration / FP16 rounding when applicable), and runs the
 // campaign. Cancelling ctx mid-campaign returns the partial result
 // alongside ctx's error.
 func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (GenericCampaignResult, error) {
+	env, err := PrepareGenericCampaign(ctx, cfg)
+	if err != nil {
+		return GenericCampaignResult{}, err
+	}
+	watcher := env.NewWatcher()
+	agg, err := env.Run(ctx, ShardRun{
+		Offset:   0,
+		Trials:   env.Cfg.Trials,
+		Watcher:  watcher,
+		Sinks:    env.Cfg.Sinks,
+		Progress: env.Cfg.Progress,
+		Metrics:  env.Cfg.Metrics,
+	})
+	// On abort the engine still hands back the partial aggregate; pass it
+	// through so callers can report what completed.
+	res := GenericCampaignResult{
+		CleanAcc:      env.CleanAcc,
+		EligibleCount: len(env.Eligible),
+		Aggregate:     agg,
+	}
+	if watcher != nil {
+		res.Stop = summarizeStop(watcher)
+	}
+	return res, err
+}
+
+// PrepareGenericCampaign validates and canonicalizes cfg, trains the
+// model fixture, builds the replica factory for the selected backend and
+// wires the Stratify/Dedup generators, returning an environment ready to
+// run engine legs. It performs no trials itself.
+func PrepareGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (*CampaignEnv, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	useGen := cfg.Stratify || cfg.Dedup
 	if !useGen && cfg.Arm == nil {
-		return GenericCampaignResult{}, fmt.Errorf("campaign: Arm function required")
+		return nil, fmt.Errorf("campaign: Arm function required")
 	}
 	if useGen {
 		if cfg.Arm != nil {
-			return GenericCampaignResult{}, fmt.Errorf("campaign: Stratify/Dedup own fault declaration; leave Arm nil")
+			return nil, fmt.Errorf("campaign: Stratify/Dedup own fault declaration; leave Arm nil")
 		}
 		if cfg.IsolateWeights {
-			return GenericCampaignResult{}, fmt.Errorf("campaign: Stratify/Dedup cover neuron faults only, not weight campaigns")
+			return nil, fmt.Errorf("campaign: Stratify/Dedup cover neuron faults only, not weight campaigns")
 		}
 		if !cfg.Stratify && cfg.ErrorModel == nil {
-			return GenericCampaignResult{}, fmt.Errorf("campaign: Dedup needs ErrorModel so the generator owns the fault draws")
+			return nil, fmt.Errorf("campaign: Dedup needs ErrorModel so the generator owns the fault draws")
 		}
 	}
 	if cfg.Model == "" {
@@ -177,11 +315,11 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 	}
 	backend, err := ParseBackend(cfg.Backend)
 	if err != nil {
-		return GenericCampaignResult{}, err
+		return nil, err
 	}
 	if backend == "int8" {
 		if cfg.DType != 0 && cfg.DType != core.INT8 {
-			return GenericCampaignResult{}, fmt.Errorf("campaign: int8 backend implies -dtype int8, got %s", cfg.DType)
+			return nil, fmt.Errorf("campaign: int8 backend implies -dtype int8, got %s", cfg.DType)
 		}
 		cfg.DType = core.INT8
 	}
@@ -190,14 +328,14 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 	}
 
 	if err := ctx.Err(); err != nil {
-		return GenericCampaignResult{}, err
+		return nil, err
 	}
 	trained, ds, eligible, err := trainedModel(cfg.Model, cfg.Classes, cfg.InSize, cfg.Noise, cfg.Seed, cfg.TrainEpochs)
 	if err != nil {
-		return GenericCampaignResult{}, err
+		return nil, err
 	}
 	if len(eligible) == 0 {
-		return GenericCampaignResult{}, fmt.Errorf("campaign: model classifies nothing correctly after training")
+		return nil, fmt.Errorf("campaign: model classifies nothing correctly after training")
 	}
 
 	if cfg.TrialBatch == 0 {
@@ -217,7 +355,7 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 		newReplica, err = quantReplicaFactory(cfg.Model, cfg.Classes, cfg.InSize, cfg.Seed, trained, calib,
 			nn.QuantizeOptions{ActZeroPoint: cfg.ActZeroPoint}, injCfg, cfg.IsolateWeights)
 		if err != nil {
-			return GenericCampaignResult{}, err
+			return nil, err
 		}
 	} else {
 		factory := replicaFactory
@@ -256,7 +394,7 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 	if useGen {
 		probe, err := newReplica(0)
 		if err != nil {
-			return GenericCampaignResult{}, err
+			return nil, err
 		}
 		layers := probe.Layers()
 		probe.Detach()
@@ -264,14 +402,14 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 		if cfg.Stratify {
 			g, err := stats.NewBitFlipStratified(layers, cfg.DType)
 			if err != nil {
-				return GenericCampaignResult{}, err
+				return nil, err
 			}
 			strata = g.Strata()
 			gen = g
 		} else {
 			g, err := stats.NewUniform(layers, cfg.ErrorModel, cfg.DType)
 			if err != nil {
-				return GenericCampaignResult{}, err
+				return nil, err
 			}
 			gen = g
 		}
@@ -280,49 +418,25 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 			key = gen.Key
 		}
 	}
-	var watcher stats.Watcher
 	if cfg.StopCI > 0 {
 		rule := stats.StopRule{HalfWidth: cfg.StopCI, Confidence: cfg.StopConf, MinTrials: cfg.StopMin}
 		if err := rule.Validate(); err != nil {
-			return GenericCampaignResult{}, err
-		}
-		if strata != nil {
-			watcher = stats.NewStratified(rule, strata)
-		} else {
-			watcher = stats.NewSequential(rule)
+			return nil, err
 		}
 	}
 
-	agg, err := campaign.Run(ctx, campaign.Config{
-		Workers:     cfg.Workers,
-		Trials:      cfg.Trials,
-		Seed:        cfg.Seed + 101,
-		NewReplica:  newReplica,
-		Source:      ds,
-		Eligible:    eligible,
-		Arm:         cfg.Arm,
-		ArmTrial:    armTrial,
-		Stop:        watcher,
-		Key:         key,
-		Sinks:       cfg.Sinks,
-		Progress:    cfg.Progress,
-		OnError:     cfg.OnError,
-		Metrics:     cfg.Metrics,
-		PrefixReuse: cfg.PrefixReuse,
-		TrialBatch:  cfg.TrialBatch,
-		Schedule:    cfg.Schedule,
-	})
-	// On abort the engine still hands back the partial aggregate; pass it
-	// through so callers can report what completed.
-	res := GenericCampaignResult{
-		CleanAcc:      float64(len(eligible)) / 128,
-		EligibleCount: len(eligible),
-		Aggregate:     agg,
-	}
-	if watcher != nil {
-		res.Stop = summarizeStop(watcher)
-	}
-	return res, err
+	cfg.Backend = backend
+	return &CampaignEnv{
+		Cfg:          cfg,
+		Source:       ds,
+		Eligible:     eligible,
+		NewReplica:   newReplica,
+		CleanAcc:     float64(len(eligible)) / 128,
+		CampaignSeed: cfg.Seed + 101,
+		armTrial:     armTrial,
+		key:          key,
+		strata:       strata,
+	}, nil
 }
 
 // summarizeStop extracts a CLI-facing summary from a stopping watcher.

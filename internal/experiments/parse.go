@@ -1,0 +1,80 @@
+package experiments
+
+// Flag-spelling parsers shared by the CLIs (gofi-campaign, gofi-serve)
+// and the serve wire format, so one table defines each vocabulary and a
+// campaign submitted over HTTP resolves to exactly the objects the local
+// CLI would build.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/core"
+)
+
+// ParseErrorModel resolves an -error flag spelling to its error model.
+func ParseErrorModel(name string) (core.ErrorModel, error) {
+	switch name {
+	case "bitflip":
+		return core.BitFlip{Bit: core.RandomBit}, nil
+	case "bitflip2":
+		return core.MultiBitFlip{N: 2}, nil
+	case "random":
+		return core.DefaultRandomValue(), nil
+	case "zero":
+		return core.Zero{}, nil
+	case "gauss":
+		return core.GaussianNoise{Std: 1}, nil
+	case "gain":
+		return core.Gain{Factor: 2}, nil
+	case "stuck0":
+		return core.StuckAt{Bit: core.RandomBit}, nil
+	case "stuck1":
+		return core.StuckAt{Bit: core.RandomBit, One: true}, nil
+	default:
+		return nil, fmt.Errorf("unknown error model %q", name)
+	}
+}
+
+// ParseDType resolves a -dtype flag spelling.
+func ParseDType(name string) (core.DType, error) {
+	switch name {
+	case "fp32":
+		return core.FP32, nil
+	case "fp16":
+		return core.FP16, nil
+	case "int8":
+		return core.INT8, nil
+	default:
+		return 0, fmt.Errorf("unknown dtype %q", name)
+	}
+}
+
+// ParseScope resolves a -scope flag spelling to the ArmFunc that declares
+// one trial's fault(s) under the given error model.
+func ParseScope(name string, em core.ErrorModel) (ArmFunc, error) {
+	switch name {
+	case "neuron":
+		return func(inj *core.Injector, rng *rand.Rand) error {
+			_, err := inj.InjectRandomNeuron(rng, em)
+			return err
+		}, nil
+	case "per-layer":
+		return func(inj *core.Injector, rng *rand.Rand) error {
+			_, err := inj.InjectRandomNeuronPerLayer(rng, em)
+			return err
+		}, nil
+	case "fmap":
+		return func(inj *core.Injector, rng *rand.Rand) error {
+			_, _, err := inj.InjectRandomFMap(rng, em)
+			return err
+		}, nil
+	case "weight":
+		return func(inj *core.Injector, rng *rand.Rand) error {
+			_, err := inj.InjectRandomWeight(rng, em)
+			return err
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown scope %q", name)
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+func TestParseErrorModel(t *testing.T) {
+	for _, name := range []string{"bitflip", "bitflip2", "random", "zero", "gauss", "gain", "stuck0", "stuck1"} {
+		m, err := ParseErrorModel(name)
+		if err != nil || m == nil {
+			t.Fatalf("ParseErrorModel(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ParseErrorModel("nope"); err == nil {
+		t.Fatal("unknown error model must error")
+	}
+}
+
+func TestParseDType(t *testing.T) {
+	for _, name := range []string{"fp32", "fp16", "int8"} {
+		if _, err := ParseDType(name); err != nil {
+			t.Fatalf("ParseDType(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseDType("int4"); err == nil {
+		t.Fatal("unknown dtype must error")
+	}
+}
+
+func TestParseScope(t *testing.T) {
+	em, _ := ParseErrorModel("zero")
+	for _, name := range []string{"neuron", "per-layer", "fmap", "weight"} {
+		arm, err := ParseScope(name, em)
+		if err != nil || arm == nil {
+			t.Fatalf("ParseScope(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseScope("galaxy", em); err == nil {
+		t.Fatal("unknown scope must error")
+	}
+}

@@ -40,6 +40,36 @@ func (j *JSONL) Lines() int {
 	return j.n
 }
 
+// Flusher is the subset of http.Flusher / bufio.Writer that StreamJSONL
+// pushes after every line.
+type Flusher interface{ Flush() }
+
+// StreamJSONL is a JSONL writer that flushes after every line, for live
+// consumers on the other end of a chunked HTTP response or a pipe: each
+// record becomes visible the moment it is written, not when a buffer
+// happens to fill.
+type StreamJSONL struct {
+	*JSONL
+	f Flusher
+}
+
+// NewStreamJSONL creates a flush-per-line JSONL writer on w. f may be
+// nil when w needs no flushing (then it behaves like NewJSONL).
+func NewStreamJSONL(w io.Writer, f Flusher) *StreamJSONL {
+	return &StreamJSONL{JSONL: NewJSONL(w), f: f}
+}
+
+// Write encodes one value as a single line and flushes it downstream.
+func (s *StreamJSONL) Write(v any) error {
+	if err := s.JSONL.Write(v); err != nil {
+		return err
+	}
+	if s.f != nil {
+		s.f.Flush()
+	}
+	return nil
+}
+
 // TrialJSONL adapts JSONL to campaign.TrialSink: one JSON line per
 // campaign trial, the streaming replacement for aggregate-only output.
 type TrialJSONL struct {

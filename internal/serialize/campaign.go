@@ -1,0 +1,167 @@
+package serialize
+
+// Campaign checkpoints: the durable state gofi-serve writes while a
+// campaign runs, so a paused, cancelled or killed node loses nothing.
+// A checkpoint is the campaign's entire fold state at a trial-index
+// frontier — the partial Aggregate (a left fold over trials [0, next)
+// in strict index order), the sequential stopping watcher's state, and
+// the next trial index. Because both folds are pure left folds of the
+// index-ordered record stream, resuming from a checkpoint and folding
+// trials [next, N) onward is byte-identical to an uninterrupted run:
+// same aggregate bits, same stop index, same record stream.
+//
+// The format is versioned JSON (one object), human-inspectable, with
+// the float64 confidence-drop sum carried as its exact bit pattern so a
+// round trip is bit-level, immune to decimal formatting.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"gofi/internal/campaign"
+	"gofi/internal/campaign/stats"
+)
+
+// CampaignCheckpointVersion is the checkpoint wire version this build
+// writes and reads.
+const CampaignCheckpointVersion = 1
+
+// ErrCheckpointVersion is wrapped by Load errors for checkpoints written
+// under an unknown wire version; callers gate on it with errors.Is.
+var ErrCheckpointVersion = errors.New("serialize: unsupported campaign checkpoint version")
+
+// AggregateState is the bit-exact serialized form of a
+// campaign.Aggregate: the float sum travels as its IEEE-754 bit pattern.
+type AggregateState struct {
+	Trials          int    `json:"trials"`
+	Top1Mis         int    `json:"top1_mis"`
+	OutOfTop5       int    `json:"out_of_top5"`
+	NonFinite       int    `json:"non_finite"`
+	BigConfDrop     int    `json:"big_conf_drop"`
+	Skipped         int    `json:"skipped"`
+	ConfDropSumBits uint64 `json:"conf_drop_sum_bits"`
+}
+
+// NewAggregateState captures an aggregate.
+func NewAggregateState(a campaign.Aggregate) AggregateState {
+	return AggregateState{
+		Trials:          a.Trials,
+		Top1Mis:         a.Top1Mis,
+		OutOfTop5:       a.OutOfTop5,
+		NonFinite:       a.NonFinite,
+		BigConfDrop:     a.BigConfDrop,
+		Skipped:         a.Skipped,
+		ConfDropSumBits: math.Float64bits(a.ConfDropSum),
+	}
+}
+
+// Aggregate restores the captured aggregate, bit-for-bit.
+func (s AggregateState) Aggregate() campaign.Aggregate {
+	return campaign.Aggregate{
+		Trials:      s.Trials,
+		Top1Mis:     s.Top1Mis,
+		OutOfTop5:   s.OutOfTop5,
+		NonFinite:   s.NonFinite,
+		BigConfDrop: s.BigConfDrop,
+		Skipped:     s.Skipped,
+		ConfDropSum: math.Float64frombits(s.ConfDropSumBits),
+	}
+}
+
+// CampaignCheckpoint is one campaign's durable state at a trial-index
+// frontier.
+type CampaignCheckpoint struct {
+	// Version is the checkpoint wire version (CampaignCheckpointVersion).
+	Version int `json:"v"`
+	// ID is the campaign's server-assigned identifier.
+	ID string `json:"id"`
+	// State is the campaign's lifecycle state at checkpoint time (the
+	// serve package's spelling: "running", "paused", "done", ...).
+	State string `json:"state"`
+	// Spec is the submitted campaign spec, verbatim — opaque here so the
+	// checkpoint format does not chase the spec schema.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// NextTrial is the fold frontier: trials [0, NextTrial) are folded
+	// into Agg, and a resume starts execution at this global index.
+	NextTrial int `json:"next_trial"`
+	// StopTrial is the global index the stopping rule fired on, -1 when
+	// it has not (or no rule is attached).
+	StopTrial int `json:"stop_trial"`
+	// Agg is the partial aggregate over trials [0, NextTrial).
+	Agg AggregateState `json:"aggregate"`
+	// Watcher is the sequential stopping watcher's fold state; nil when
+	// the campaign has no stop rule.
+	Watcher *stats.SequentialState `json:"watcher,omitempty"`
+}
+
+// EncodeCampaignCheckpoint writes ck to w as one JSON document, stamping
+// the current version.
+func EncodeCampaignCheckpoint(w io.Writer, ck CampaignCheckpoint) error {
+	ck.Version = CampaignCheckpointVersion
+	if err := json.NewEncoder(w).Encode(ck); err != nil {
+		return fmt.Errorf("serialize: encode campaign checkpoint: %w", err)
+	}
+	return nil
+}
+
+// DecodeCampaignCheckpoint reads one checkpoint from r. Corrupt input
+// returns an error (never panics); an unknown version returns an error
+// wrapping ErrCheckpointVersion.
+func DecodeCampaignCheckpoint(r io.Reader) (CampaignCheckpoint, error) {
+	var ck CampaignCheckpoint
+	if err := json.NewDecoder(r).Decode(&ck); err != nil {
+		return CampaignCheckpoint{}, fmt.Errorf("serialize: decode campaign checkpoint: %w", err)
+	}
+	if ck.Version != CampaignCheckpointVersion {
+		return CampaignCheckpoint{}, fmt.Errorf("%w: checkpoint version %d, this build reads %d",
+			ErrCheckpointVersion, ck.Version, CampaignCheckpointVersion)
+	}
+	if ck.NextTrial < 0 {
+		return CampaignCheckpoint{}, fmt.Errorf("serialize: campaign checkpoint: negative next trial %d", ck.NextTrial)
+	}
+	if ck.StopTrial < -1 {
+		return CampaignCheckpoint{}, fmt.Errorf("serialize: campaign checkpoint: stop trial %d below -1", ck.StopTrial)
+	}
+	return ck, nil
+}
+
+// SaveCampaignCheckpoint writes the checkpoint to path atomically (temp
+// file + rename), so a crash mid-write can never leave a torn
+// checkpoint behind — the previous one survives intact.
+func SaveCampaignCheckpoint(path string, ck CampaignCheckpoint) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serialize: campaign checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := EncodeCampaignCheckpoint(tmp, ck); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serialize: campaign checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serialize: campaign checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCampaignCheckpoint reads a checkpoint from path.
+func LoadCampaignCheckpoint(path string) (CampaignCheckpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return CampaignCheckpoint{}, fmt.Errorf("serialize: campaign checkpoint: %w", err)
+	}
+	defer f.Close()
+	return DecodeCampaignCheckpoint(f)
+}

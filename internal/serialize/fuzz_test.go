@@ -2,10 +2,13 @@ package serialize
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
+	"gofi/internal/campaign/stats"
 	"gofi/internal/nn"
 )
 
@@ -95,6 +98,98 @@ func FuzzSaveLoadRoundTrip(f *testing.F) {
 						sp[k].Name, j, math.Float32bits(want), math.Float32bits(got))
 				}
 			}
+		}
+	})
+}
+
+// FuzzCampaignCheckpointLoad feeds arbitrary bytes to the campaign
+// checkpoint decoder: corruption must always surface as an error, never a
+// panic, and anything that decodes must satisfy the format's invariants.
+func FuzzCampaignCheckpointLoad(f *testing.F) {
+	var good bytes.Buffer
+	st := stats.NewSequential(stats.StopRule{HalfWidth: 0.05}).State()
+	if err := EncodeCampaignCheckpoint(&good, CampaignCheckpoint{
+		ID: "fuzz", State: "running", NextTrial: 7, StopTrial: -1, Watcher: &st,
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:len(good.Bytes())/2])
+	f.Add([]byte(`{"v":2,"next_trial":0,"stop_trial":-1}`))
+	f.Add([]byte(`{"v":1,"next_trial":-1,"stop_trial":-1}`))
+	f.Add([]byte(`{"v":1,"next_trial":0,"stop_trial":-9}`))
+	f.Add([]byte("not json at all"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ck, err := DecodeCampaignCheckpoint(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if ck.Version != CampaignCheckpointVersion {
+			t.Fatalf("decode accepted version %d", ck.Version)
+		}
+		if ck.NextTrial < 0 || ck.StopTrial < -1 {
+			t.Fatalf("decode accepted invalid indices: next=%d stop=%d", ck.NextTrial, ck.StopTrial)
+		}
+	})
+}
+
+// FuzzCampaignCheckpointRoundTrip is the property test: any checkpoint
+// built from fuzzer-chosen fields — including an arbitrary bit pattern
+// for the float sum — encodes and decodes back to itself exactly.
+func FuzzCampaignCheckpointRoundTrip(f *testing.F) {
+	f.Add("c1", "running", 10, -1, uint64(0x3ff0000000000000), true)
+	f.Add("", "paused", 0, 0, uint64(0x7ff8000000000001), false)
+	f.Add("x\x00y", "done", 1 << 20, 42, uint64(0x8000000000000000), true)
+	f.Fuzz(func(t *testing.T, id, state string, next, stop int, sumBits uint64, withWatcher bool) {
+		// encoding/json coerces invalid UTF-8 to U+FFFD (documented, not a
+		// format property under test); compare in the coerced domain.
+		id = strings.ToValidUTF8(id, "�")
+		state = strings.ToValidUTF8(state, "�")
+		if next < 0 {
+			next = -next
+		}
+		if next < 0 { // math.MinInt negation overflow
+			next = 0
+		}
+		if stop < -1 {
+			stop = -1
+		}
+		ck := CampaignCheckpoint{
+			ID:        id,
+			State:     state,
+			Spec:      json.RawMessage(`{"trials":3}`),
+			NextTrial: next,
+			StopTrial: stop,
+			Agg:       AggregateState{Trials: next, ConfDropSumBits: sumBits},
+		}
+		if withWatcher {
+			w := stats.NewSequential(stats.StopRule{HalfWidth: 0.01, MinTrials: 5})
+			for i := 0; i < next%50; i++ {
+				w.Observe(i, i%3 == 0, false)
+			}
+			st := w.State()
+			ck.Watcher = &st
+		}
+		var buf bytes.Buffer
+		if err := EncodeCampaignCheckpoint(&buf, ck); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeCampaignCheckpoint(&buf)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if got.ID != ck.ID || got.State != ck.State || got.NextTrial != ck.NextTrial || got.StopTrial != ck.StopTrial {
+			t.Fatalf("header round trip: got %+v want %+v", got, ck)
+		}
+		if got.Agg != ck.Agg {
+			t.Fatalf("aggregate round trip: got %+v want %+v", got.Agg, ck.Agg)
+		}
+		if (got.Watcher == nil) != (ck.Watcher == nil) {
+			t.Fatal("watcher presence changed")
+		}
+		if ck.Watcher != nil && *got.Watcher != *ck.Watcher {
+			t.Fatalf("watcher round trip: got %+v want %+v", *got.Watcher, *ck.Watcher)
 		}
 	})
 }

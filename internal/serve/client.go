@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a thin wrapper over the server's HTTP API, used by the
+// gofi-campaign -submit mode and the gofi-serve smoke tooling.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(parts ...string) string {
+	return strings.TrimSuffix(c.Base, "/") + "/" + strings.Join(parts, "/")
+}
+
+// do issues one request and decodes the JSON response into out,
+// converting non-2xx responses into errors carrying the server's
+// message.
+func (c *Client) do(ctx context.Context, method, url string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("serve: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("serve: %s %s: %s", method, url, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a spec and returns the accepted campaign's status.
+func (c *Client) Submit(ctx context.Context, sp Spec) (Status, error) {
+	if sp.V == 0 {
+		sp.V = WireVersion
+	}
+	raw, err := json.Marshal(sp)
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	err = c.do(ctx, http.MethodPost, c.url("v1", "campaigns"), bytes.NewReader(raw), &st)
+	return st, err
+}
+
+// Status fetches one campaign's status.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, c.url("v1", "campaigns", id), nil, &st)
+	return st, err
+}
+
+// List fetches every campaign's status.
+func (c *Client) List(ctx context.Context) ([]Status, error) {
+	var out []Status
+	err := c.do(ctx, http.MethodGet, c.url("v1", "campaigns"), nil, &out)
+	return out, err
+}
+
+// Pause, Resume and Cancel drive the campaign lifecycle.
+func (c *Client) Pause(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, c.url("v1", "campaigns", id, "pause"), nil, &st)
+	return st, err
+}
+
+func (c *Client) Resume(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, c.url("v1", "campaigns", id, "resume"), nil, &st)
+	return st, err
+}
+
+func (c *Client) Cancel(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, c.url("v1", "campaigns", id, "cancel"), nil, &st)
+	return st, err
+}
+
+// Stream consumes a campaign's chunked-JSONL event stream from trial
+// index `from`, calling fn for each event until the stream ends (the
+// campaign settled) or fn returns an error.
+func (c *Client) Stream(ctx context.Context, id string, from int, fn func(Event) error) error {
+	url := c.url("v1", "campaigns", id, "stream") + fmt.Sprintf("?from=%d", from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("serve: stream %s: %s", id, resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		ev, err := DecodeEvent(sc.Bytes())
+		if err != nil {
+			return err
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Wait polls until the campaign reaches a terminal state (or paused,
+// which also stops progressing) and returns its final status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Status, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if terminalState(st.State) || st.State == StatePaused {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

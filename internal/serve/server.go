@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gofi/internal/campaign"
+	"gofi/internal/experiments"
+	"gofi/internal/obs"
+	"gofi/internal/report"
+)
+
+// Config configures a campaign server.
+type Config struct {
+	// Dir is the durable state directory (checkpoints + record logs).
+	// Required.
+	Dir string
+	// Slots bounds how many shard engine legs run concurrently across
+	// all campaigns; 0 means GOMAXPROCS.
+	Slots int
+	// CheckpointEvery is the fold-frontier checkpoint cadence in trials;
+	// 0 means 64, negative disables periodic checkpoints (terminal and
+	// pause checkpoints are always written).
+	CheckpointEvery int
+	// Metrics, when non-nil, is the server-level registry; nil builds a
+	// private one.
+	Metrics *obs.Registry
+}
+
+// Server coordinates campaigns: accepts specs over HTTP, runs their
+// shard legs under a global slot budget, owns their durable state, and
+// serves status, streams and lifecycle transitions.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	slots chan struct{}
+
+	mu        sync.Mutex
+	seq       int
+	campaigns map[string]*Campaign
+	envs      map[string]*envEntry
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+}
+
+// envEntry is one fixture-cache slot: the first campaign with a given
+// fixture key trains it; others wait on the same entry.
+type envEntry struct {
+	once sync.Once
+	env  *experiments.CampaignEnv
+	err  error
+}
+
+// New builds a server over the given state directory, loading any
+// checkpointed campaigns found there (interrupted ones come back
+// paused, resumable from exactly their checkpointed frontier).
+func New(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: state directory required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 64
+	}
+	slots := cfg.Slots
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		slots:      make(chan struct{}, slots),
+		campaigns:  make(map[string]*Campaign),
+		envs:       make(map[string]*envEntry),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+	}
+	paths, err := filepath.Glob(filepath.Join(cfg.Dir, "*.ckpt"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		c, err := loadCheckpoint(s, p)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading %s: %w", p, err)
+		}
+		s.campaigns[c.ID] = c
+		// Keep new IDs clear of restored ones (IDs are c<seq>).
+		if n, ok := parseID(c.ID); ok && n > s.seq {
+			s.seq = n
+		}
+	}
+	return s, nil
+}
+
+func parseID(id string) (int, bool) {
+	if !strings.HasPrefix(id, "c") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	return n, err == nil
+}
+
+// Metrics returns the server-level registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Submit accepts a validated spec and starts its campaign.
+func (s *Server) Submit(sp Spec) *Campaign {
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("c%06d", s.seq)
+	c := newCampaign(s, id, sp)
+	s.campaigns[id] = c
+	s.mu.Unlock()
+	s.reg.Counter(MetricCampaignsSubmitted).Inc()
+	c.start(s.baseCtx)
+	return c
+}
+
+// Get returns a campaign by ID.
+func (s *Server) Get(id string) (*Campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+// List returns all campaigns' statuses, ID-ordered.
+func (s *Server) List() []Status {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.campaigns))
+	for id := range s.campaigns {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if c, ok := s.Get(id); ok {
+			out = append(out, c.Status())
+		}
+	}
+	return out
+}
+
+// Close pauses every active campaign (each writes its checkpoint) and
+// releases the server. Campaigns resume from their frontiers when a new
+// server opens the same state directory.
+func (s *Server) Close() {
+	s.mu.Lock()
+	cs := make([]*Campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		cs = append(cs, c)
+	}
+	s.mu.Unlock()
+	for _, c := range cs {
+		c.Pause()
+	}
+	s.cancelBase()
+}
+
+// envFor resolves the campaign's prepared environment through the
+// fixture cache: campaigns with the same fixture key (model, training
+// and fault-model fields; not trial budget, sharding or stopping) share
+// one trained fixture, so submitting ten shardings of one experiment
+// trains once.
+func (s *Server) envFor(ctx context.Context, sp Spec) (*experiments.CampaignEnv, error) {
+	key := sp.envKey()
+	s.mu.Lock()
+	e, ok := s.envs[key]
+	if !ok {
+		e = &envEntry{}
+		s.envs[key] = e
+	}
+	s.mu.Unlock()
+	if ok {
+		s.reg.Counter(MetricEnvCacheHits).Inc()
+	}
+	e.once.Do(func() {
+		cfg, err := sp.Config()
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.env, e.err = experiments.PrepareGenericCampaign(ctx, cfg)
+	})
+	if e.err != nil {
+		// A cancelled training must not poison the cache for the next
+		// submission.
+		s.mu.Lock()
+		if s.envs[key] == e {
+			delete(s.envs, key)
+		}
+		s.mu.Unlock()
+	}
+	return e.env, e.err
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/campaigns              submit a Spec, returns Status (202)
+//	GET  /v1/campaigns              list statuses
+//	GET  /v1/campaigns/{id}         one status
+//	GET  /v1/campaigns/{id}/stream  chunked JSONL event stream (?from=N)
+//	GET  /v1/campaigns/{id}/metrics per-campaign engine metrics
+//	POST /v1/campaigns/{id}/pause   checkpoint and halt
+//	POST /v1/campaigns/{id}/resume  relaunch from the checkpoint
+//	POST /v1/campaigns/{id}/cancel  terminally stop
+//	GET  /v1/metrics                server metrics snapshot
+//	GET  /healthz                   liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.withCampaign(func(c *Campaign, w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Status())
+	}))
+	mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.withCampaign(s.handleStream))
+	mux.HandleFunc("GET /v1/campaigns/{id}/metrics", s.withCampaign(func(c *Campaign, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		c.Metrics().WriteJSON(w)
+	}))
+	mux.HandleFunc("POST /v1/campaigns/{id}/pause", s.withCampaign(func(c *Campaign, w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Pause())
+	}))
+	mux.HandleFunc("POST /v1/campaigns/{id}/resume", s.withCampaign(func(c *Campaign, w http.ResponseWriter, r *http.Request) {
+		st, err := c.Resume(s.baseCtx)
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}))
+	mux.HandleFunc("POST /v1/campaigns/{id}/cancel", s.withCampaign(func(c *Campaign, w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Cancel())
+	}))
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return s.countRequests(mux)
+}
+
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter(MetricHTTPRequests).Inc()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) withCampaign(fn func(*Campaign, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("serve: no campaign %q", r.PathValue("id")))
+			return
+		}
+		fn(c, w, r)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sp, err := DecodeSpec(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c := s.Submit(sp)
+	writeJSON(w, http.StatusAccepted, c.Status())
+}
+
+// handleStream writes the campaign's chunked-JSONL event stream: a hello
+// event, then every trial record from index `from` onward in strict
+// global order (replayed from the durable log, then live as the fold
+// advances), interleaved with live Wilson-interval aggregate events, and
+// finally a done (or error) event once the campaign settles. The trial
+// lines are part of the byte-identity contract: two runs of the same
+// spec produce identical sequences regardless of sharding, pausing or
+// crashes.
+func (s *Server) handleStream(c *Campaign, w http.ResponseWriter, r *http.Request) {
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad from=%q", q))
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	flusher, _ := w.(http.Flusher)
+	out := report.NewStreamJSONL(w, flusher)
+
+	clients := s.reg.Gauge(MetricStreamClients)
+	clients.Add(1)
+	defer clients.Add(-1)
+
+	st := c.Status()
+	hello := Event{Type: "hello", Campaign: c.ID, State: st.State, Agg: &st.Agg}
+	if out.Write(hello) != nil {
+		return
+	}
+
+	// The handler folds its own aggregate over the records it streams, so
+	// its agg events are consistent with its own cursor even when it
+	// started mid-stream.
+	const aggEvery = 64
+	var agg campaign.Aggregate
+	cursor := 0
+	err := c.streamRecords(r.Context(), from, func(rec campaign.TrialRecord) error {
+		agg.AddRecord(rec)
+		cursor = rec.Trial + 1
+		if err := out.Write(Event{Type: "trial", Trial: &rec}); err != nil {
+			return err
+		}
+		if (rec.Trial+1-from)%aggEvery == 0 {
+			v := viewOf(agg, cursor, -1)
+			return out.Write(Event{Type: "agg", Agg: &v})
+		}
+		return nil
+	})
+	if err != nil {
+		// Client went away or the log failed; nothing more to say on this
+		// connection.
+		return
+	}
+	st = c.Status()
+	if st.State == StateFailed {
+		out.Write(Event{Type: "error", State: st.State, Err: st.Err})
+		return
+	}
+	out.Write(Event{Type: "done", State: st.State, Agg: &st.Agg})
+}
+
+// streamRecords calls fn for every folded record with index >= from, in
+// strict global index order, blocking for live progress until the
+// campaign settles. Records are read back from the durable log — the
+// same bytes the fold wrote — so a streamer is oblivious to whether it
+// replays history or tails the live fold.
+func (c *Campaign) streamRecords(ctx context.Context, from int, fn func(campaign.TrialRecord) error) error {
+	next := from
+	for {
+		c.mu.Lock()
+		for c.next <= next && !terminalState(c.state) && c.state != StatePaused && ctx.Err() == nil {
+			// Wait for the fold to advance past our cursor. Wake on a
+			// context cancel too: a cond has no channel, so poke it from a
+			// watcher goroutine.
+			waitDone := make(chan struct{})
+			go func() {
+				select {
+				case <-ctx.Done():
+					c.mu.Lock()
+					c.cond.Broadcast()
+					c.mu.Unlock()
+				case <-waitDone:
+				}
+			}()
+			c.cond.Wait()
+			close(waitDone)
+		}
+		available := c.next
+		settled := terminalState(c.state) || c.state == StatePaused
+		c.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if available > next {
+			n, err := c.replayLog(next, available, fn)
+			if err != nil {
+				return err
+			}
+			next = n
+			continue
+		}
+		if settled {
+			return nil
+		}
+	}
+}
+
+// replayLog reads log records with indices [from, to) and feeds them to
+// fn, returning the next unread index.
+func (c *Campaign) replayLog(from, to int, fn func(campaign.TrialRecord) error) (int, error) {
+	f, err := os.Open(c.logPath())
+	if err != nil {
+		return from, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	idx := 0
+	for idx < to && sc.Scan() {
+		if idx >= from {
+			var rec campaign.TrialRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				return idx, fmt.Errorf("serve: campaign %s: log line %d: %v", c.ID, idx, err)
+			}
+			if err := fn(rec); err != nil {
+				return idx, err
+			}
+		}
+		idx++
+	}
+	if err := sc.Err(); err != nil {
+		return idx, err
+	}
+	return idx, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gofi/internal/campaign"
+	"gofi/internal/core"
+)
+
+func TestSpecCanonDefaults(t *testing.T) {
+	sp := Spec{V: WireVersion}.Canon()
+	want := Spec{
+		V: WireVersion, Model: "resnet18", Classes: 10, Size: 32, Epochs: 8,
+		Noise: 0.6, Seed: 1, Trials: 1000, Error: "bitflip", Scope: "neuron",
+		Backend: "f32", DType: "int8", Schedule: "auto", Shards: 1, Workers: 4,
+	}
+	if sp != want {
+		t.Fatalf("canon defaults drifted:\n got %+v\nwant %+v", sp, want)
+	}
+	// Canon is idempotent, and set fields survive it.
+	if again := sp.Canon(); again != sp {
+		t.Fatalf("canon not idempotent: %+v vs %+v", again, sp)
+	}
+	withStop := Spec{V: WireVersion, StopCI: 0.01}.Canon()
+	if withStop.StopConf != 0.95 {
+		t.Fatalf("stop_conf default = %g, want 0.95", withStop.StopConf)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := baseSpec().Canon()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("base spec invalid: %v", err)
+	}
+	mut := func(f func(*Spec)) Spec {
+		sp := baseSpec().Canon()
+		f(&sp)
+		return sp
+	}
+	bad := []struct {
+		name string
+		sp   Spec
+		want error
+	}{
+		{"version", mut(func(sp *Spec) { sp.V = 2 }), ErrWireVersion},
+		{"error model", mut(func(sp *Spec) { sp.Error = "martian" }), ErrSpec},
+		{"scope", mut(func(sp *Spec) { sp.Scope = "galaxy" }), ErrSpec},
+		{"dtype", mut(func(sp *Spec) { sp.DType = "fp64" }), ErrSpec},
+		{"backend", mut(func(sp *Spec) { sp.Backend = "tpu" }), ErrSpec},
+		{"int8 mismatch", mut(func(sp *Spec) { sp.Backend = "int8"; sp.DType = "fp16" }), ErrSpec},
+		{"schedule", mut(func(sp *Spec) { sp.Schedule = "chaotic" }), ErrSpec},
+		{"trial batch", mut(func(sp *Spec) { sp.TrialBatch = -1 }), ErrSpec},
+		{"stop ci", mut(func(sp *Spec) { sp.StopCI = 0.5 }), ErrSpec},
+		{"stop conf", mut(func(sp *Spec) { sp.StopCI = 0.01; sp.StopConf = 1.5 }), ErrSpec},
+		{"stop min", mut(func(sp *Spec) { sp.StopCI = 0.01; sp.StopMin = -3 }), ErrSpec},
+	}
+	for _, c := range bad {
+		if err := c.sp.Validate(); !errors.Is(err, c.want) {
+			t.Fatalf("%s: Validate() = %v, want errors.Is(%v)", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDecodeSpec(t *testing.T) {
+	// The minimal spec resolves to the CLI defaults.
+	sp, err := DecodeSpec(strings.NewReader(`{"v":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp != (Spec{V: WireVersion}).Canon() {
+		t.Fatalf("minimal spec = %+v", sp)
+	}
+	// Typos fail loudly instead of silently running defaults.
+	if _, err := DecodeSpec(strings.NewReader(`{"v":1,"modle":"vgg19"}`)); !errors.Is(err, ErrSpec) {
+		t.Fatalf("unknown field: %v", err)
+	}
+	if _, err := DecodeSpec(strings.NewReader(`{"v":7}`)); !errors.Is(err, ErrWireVersion) {
+		t.Fatalf("future version: %v", err)
+	}
+	if _, err := DecodeSpec(strings.NewReader(`{"v":`)); !errors.Is(err, ErrSpec) {
+		t.Fatalf("truncated: %v", err)
+	}
+	// A missing version is not silently treated as current.
+	if _, err := DecodeSpec(strings.NewReader(`{}`)); !errors.Is(err, ErrWireVersion) {
+		t.Fatalf("missing version: %v", err)
+	}
+}
+
+func TestSpecConfig(t *testing.T) {
+	sp := baseSpec()
+	sp.Scope = "weight"
+	sp.NoPrefixReuse = true
+	sp.StopCI = 0.02
+	cfg, err := sp.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.IsolateWeights {
+		t.Fatal("weight scope must isolate weights")
+	}
+	if cfg.PrefixReuse {
+		t.Fatal("no_prefix_reuse not honored")
+	}
+	if cfg.OnError != campaign.SkipAndCount {
+		t.Fatal("skip_errors not honored")
+	}
+	if cfg.DType != core.INT8 {
+		t.Fatalf("dtype = %v", cfg.DType)
+	}
+	if cfg.Model != "alexnet" || cfg.Trials != sp.Trials || cfg.Seed != sp.Seed {
+		t.Fatalf("fixture fields drifted: %+v", cfg)
+	}
+	if cfg.StopCI != 0.02 || cfg.StopConf != 0.95 {
+		t.Fatalf("stop fields drifted: ci=%g conf=%g", cfg.StopCI, cfg.StopConf)
+	}
+	if _, err := (Spec{V: 3}).Config(); !errors.Is(err, ErrWireVersion) {
+		t.Fatalf("Config on a bad version: %v", err)
+	}
+}
+
+func TestEnvKey(t *testing.T) {
+	base := baseSpec()
+	// Run-shape fields must not split the fixture cache.
+	same := []func(*Spec){
+		func(sp *Spec) { sp.Trials = 77777 },
+		func(sp *Spec) { sp.Shards = 9 },
+		func(sp *Spec) { sp.Workers = 13 },
+		func(sp *Spec) { sp.StopCI = 0.01; sp.StopConf = 0.9; sp.StopMin = 5 },
+	}
+	for i, f := range same {
+		sp := base
+		f(&sp)
+		if sp.envKey() != base.envKey() {
+			t.Fatalf("run-shape mutation %d changed the fixture key", i)
+		}
+	}
+	// Fixture fields must.
+	diff := []func(*Spec){
+		func(sp *Spec) { sp.Model = "squeezenet" },
+		func(sp *Spec) { sp.Seed = 7 },
+		func(sp *Spec) { sp.DType = "fp16" },
+		func(sp *Spec) { sp.Backend = "int8"; sp.DType = "int8" },
+		func(sp *Spec) { sp.Error = "zero" },
+		func(sp *Spec) { sp.Noise = 0.3 },
+	}
+	for i, f := range diff {
+		sp := base
+		f(&sp)
+		if sp.envKey() == base.envKey() {
+			t.Fatalf("fixture mutation %d did not change the fixture key", i)
+		}
+	}
+}
+
+func TestTerminalState(t *testing.T) {
+	for _, s := range []string{StateDone, StateCancelled, StateFailed} {
+		if !terminalState(s) {
+			t.Fatalf("%s should be terminal", s)
+		}
+	}
+	for _, s := range []string{StatePending, StateTraining, StateRunning, StatePaused} {
+		if terminalState(s) {
+			t.Fatalf("%s should not be terminal", s)
+		}
+	}
+}
+
+func TestViewOf(t *testing.T) {
+	var agg campaign.Aggregate
+	agg.Add(campaign.Outcome{Top1Changed: true, ConfidenceDrop: 0.5})
+	agg.Add(campaign.Outcome{})
+	v := viewOf(agg, 2, -1)
+	if v.Trials != 2 || v.Top1Mis != 1 || v.Rate != 0.5 || v.NextTrial != 2 || v.StopTrial != -1 {
+		t.Fatalf("view = %+v", v)
+	}
+	if !(v.Lo > 0 && v.Lo < v.Rate && v.Rate < v.Hi && v.Hi < 1) {
+		t.Fatalf("Wilson interval [%g, %g] does not bracket %g", v.Lo, v.Hi, v.Rate)
+	}
+}
+
+func TestDecodeEvent(t *testing.T) {
+	ev, err := DecodeEvent([]byte(`{"type":"agg","agg":{"trials":3,"rate":0.25,"next_trial":3,"stop_trial":-1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != "agg" || ev.Agg == nil || ev.Agg.Trials != 3 || ev.Agg.Rate != 0.25 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if _, err := DecodeEvent([]byte(`{"type":` + strings.Repeat("x", 200))); err == nil {
+		t.Fatal("corrupt line decoded")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("short", 80); got != "short" {
+		t.Fatalf("truncate(short) = %q", got)
+	}
+	long := strings.Repeat("é", 60) // 120 bytes of two-byte runes
+	got := truncate(long, 81)       // cuts mid-rune; the partial rune must be dropped
+	if !strings.HasSuffix(got, "...") || strings.ContainsRune(got, '�') {
+		t.Fatalf("truncate mangled runes: %q", got)
+	}
+}

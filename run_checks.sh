@@ -106,6 +106,23 @@ check_int8() {
 }
 check_int8
 
+# The campaign service's gates: the serve test wall under the race
+# detector (sharded byte-identity against the local single-machine run,
+# kill/resume determinism over durable checkpoints and truncated crash
+# logs, stop-index pinning, the HTTP surface), the engine-layer
+# shard-merge golden at both GOMAXPROCS settings (merged shard ranges
+# {1,2,4,7} re-folded in global index order must hit the committed
+# goldens across the worker x schedule x reuse corners), a coverage
+# floor over the wire/coordinator/HTTP code, and the CLI end-to-end
+# smokes (gofi-serve boot/shutdown, gofi-campaign -submit round trip).
+check_serve() {
+	go test -race -timeout 20m ./internal/serve
+	go test -race -cpu 1,4 -run 'TestSplitTrials|TestShardMergeMatchesGolden' ./internal/campaign
+	check_cover ./internal/serve 85
+	go test ./cmd/gofi-serve ./cmd/gofi-campaign
+}
+check_serve
+
 # The cut-aware scheduler's two promises on the DenseNet campaign: with
 # prefix reuse, auto must decline to pack (sequential warmed-store hits
 # win); without it, auto must pack cut-similar trials. One iteration each
@@ -117,6 +134,10 @@ go test -run='^$' -fuzz='^FuzzFP16RoundTrip$' -fuzztime=10s ./internal/fpbits
 go test -run='^$' -fuzz='^FuzzFlipBitFP32$' -fuzztime=10s ./internal/fpbits
 go test -run='^$' -fuzz='^FuzzLoadCorrupt$' -fuzztime=10s ./internal/serialize
 go test -run='^$' -fuzz='^FuzzSaveLoadRoundTrip$' -fuzztime=10s ./internal/serialize
+go test -run='^$' -fuzz='^FuzzCampaignCheckpointLoad$' -fuzztime=10s ./internal/serialize
+go test -run='^$' -fuzz='^FuzzCampaignCheckpointRoundTrip$' -fuzztime=10s ./internal/serialize
+go test -run='^$' -fuzz='^FuzzSpecDecode$' -fuzztime=10s ./internal/serve
+go test -run='^$' -fuzz='^FuzzEventDecode$' -fuzztime=10s ./internal/serve
 go test -run='^$' -fuzz='^FuzzTrialRecordJSONLRoundTrip$' -fuzztime=10s ./internal/report
 go test -run='^$' -fuzz='^FuzzForwardFrom$' -fuzztime=10s ./internal/nn
 go test -run='^$' -fuzz='^FuzzTrialPacker$' -fuzztime=10s ./internal/campaign
