@@ -29,6 +29,7 @@ import (
 	"gofi/internal/experiments"
 	"gofi/internal/obs"
 	"gofi/internal/report"
+	"gofi/internal/scenario"
 	"gofi/internal/serve"
 )
 
@@ -52,6 +53,7 @@ func usageError(fs *flag.FlagSet, format string, args ...any) error {
 
 func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("gofi-campaign", flag.ContinueOnError)
+	scenarioPath := fs.String("scenario", "", "run a declarative scenario file (YAML or JSON; see DESIGN.md §17 and examples/scenarios/): the file owns the model fixture and fault shape, so -model/-error/-scope/-dtype/-backend/-act-zp/-classes/-size/-epochs/-noise/-stratify/-dedup conflict with it; run knobs (-trials, -workers, -seed, ...) override the file's run block")
 	model := fs.String("model", "resnet18", "architecture (see gofi-info -list)")
 	errModel := fs.String("error", "bitflip", "error model: bitflip, bitflip2, random, zero, gauss, gain, stuck0, stuck1")
 	scope := fs.String("scope", "neuron", "injection scope per trial: neuron, per-layer, fmap, weight")
@@ -88,6 +90,22 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		return err
 	}
 	defer mcli.Finish()
+
+	visited := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+	var sc *scenario.Scenario
+	if *scenarioPath != "" {
+		for _, name := range []string{"model", "error", "scope", "dtype", "backend", "act-zp", "classes", "size", "epochs", "noise", "stratify", "dedup"} {
+			if visited[name] {
+				return usageError(fs, "-%s conflicts with -scenario: the scenario file owns the model fixture and fault shape", name)
+			}
+		}
+		loaded, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		sc = &loaded
+	}
 
 	em, err := experiments.ParseErrorModel(*errModel)
 	if err != nil {
@@ -144,7 +162,37 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	}
 	if *submit != "" {
 		if *stratify || *dedup {
-			return usageError(fs, "-stratify/-dedup are not in the service wire format yet; run them locally")
+			return usageError(fs, "-stratify/-dedup are not in the service wire format; run them locally")
+		}
+		if sc != nil {
+			sp := serve.Spec{V: serve.WireVersion, Scenario: sc, Shards: *shards}
+			// Only explicitly-set run knobs go on the wire; the server
+			// backfills the rest from the scenario's run block.
+			if visited["trials"] {
+				sp.Trials = *trials
+			}
+			if visited["workers"] {
+				sp.Workers = *workers
+			}
+			if visited["seed"] {
+				sp.Seed = *seed
+			}
+			if visited["schedule"] {
+				sp.Schedule = *schedule
+			}
+			if visited["trial-batch"] {
+				sp.TrialBatch = *trialBatch
+			}
+			if visited["prefix-reuse"] {
+				sp.NoPrefixReuse = !*prefixReuse
+			}
+			if visited["skip-errors"] {
+				sp.SkipErrors = *skipErrors
+			}
+			if visited["stop-ci"] {
+				sp.StopCI, sp.StopConf, sp.StopMin = *stopCI, *stopConf, *stopMin
+			}
+			return runSubmit(ctx, *submit, sp, *jsonl, *progress, out)
 		}
 		sp := serve.Spec{
 			V:             serve.WireVersion,
@@ -194,38 +242,73 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		policy = campaign.SkipAndCount
 	}
 
-	gcfg := experiments.GenericCampaignConfig{
-		Model:          *model,
-		Classes:        *classes,
-		InSize:         *size,
-		TrainEpochs:    *epochs,
-		Noise:          float32(*noise),
-		Trials:         *trials,
-		Workers:        *workers,
-		DType:          dt,
-		Backend:        be,
-		ActZeroPoint:   *actZP,
-		Arm:            arm,
-		IsolateWeights: *scope == "weight",
-		Seed:           *seed,
-		Sinks:          sinks,
-		Progress:       progressFn,
-		OnError:        policy,
-		Metrics:        metrics,
-		PrefixReuse:    *prefixReuse,
-		TrialBatch:     *trialBatch,
-		Schedule:       sched,
-		StopCI:         *stopCI,
-		StopConf:       *stopConf,
-		StopMin:        *stopMin,
-		Stratify:       *stratify,
-		Dedup:          *dedup,
-	}
-	if *stratify || *dedup {
-		// The generator owns fault declaration; hand it the error model
-		// instead of the Arm closure.
-		gcfg.Arm = nil
-		gcfg.ErrorModel = em
+	var gcfg experiments.GenericCampaignConfig
+	if sc != nil {
+		gcfg, err = experiments.ScenarioConfig(*sc)
+		if err != nil {
+			return err
+		}
+		// Explicit run-knob flags override the scenario's run block; none
+		// of them change which fault a trial index arms.
+		if visited["trials"] {
+			gcfg.Trials = *trials
+		}
+		if visited["workers"] {
+			gcfg.Workers = *workers
+		}
+		if visited["seed"] {
+			gcfg.Seed = *seed
+		}
+		if visited["schedule"] {
+			gcfg.Schedule = sched
+		}
+		if visited["trial-batch"] {
+			gcfg.TrialBatch = *trialBatch
+		}
+		if visited["prefix-reuse"] {
+			gcfg.PrefixReuse = *prefixReuse
+		}
+		if visited["skip-errors"] {
+			gcfg.OnError = policy
+		}
+		if visited["stop-ci"] || visited["stop-conf"] || visited["stop-min"] {
+			gcfg.StopCI, gcfg.StopConf, gcfg.StopMin = *stopCI, *stopConf, *stopMin
+		}
+		gcfg.Sinks, gcfg.Progress, gcfg.Metrics = sinks, progressFn, metrics
+	} else {
+		gcfg = experiments.GenericCampaignConfig{
+			Model:          *model,
+			Classes:        *classes,
+			InSize:         *size,
+			TrainEpochs:    *epochs,
+			Noise:          float32(*noise),
+			Trials:         *trials,
+			Workers:        *workers,
+			DType:          dt,
+			Backend:        be,
+			ActZeroPoint:   *actZP,
+			Arm:            arm,
+			IsolateWeights: *scope == "weight",
+			Seed:           *seed,
+			Sinks:          sinks,
+			Progress:       progressFn,
+			OnError:        policy,
+			Metrics:        metrics,
+			PrefixReuse:    *prefixReuse,
+			TrialBatch:     *trialBatch,
+			Schedule:       sched,
+			StopCI:         *stopCI,
+			StopConf:       *stopConf,
+			StopMin:        *stopMin,
+			Stratify:       *stratify,
+			Dedup:          *dedup,
+		}
+		if *stratify || *dedup {
+			// The generator owns fault declaration; hand it the error model
+			// instead of the Arm closure.
+			gcfg.Arm = nil
+			gcfg.ErrorModel = em
+		}
 	}
 	res, err := experiments.RunGenericCampaign(ctx, gcfg)
 	if *progress {
@@ -236,7 +319,16 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "GoFI campaign — %s, %s error model, %s scope, %s (%s backend)\n", *model, em.Name(), *scope, dt, be)
+	if s := gcfg.Scenario; s != nil {
+		label := s.Name
+		if label == "" {
+			label = *scenarioPath
+		}
+		fmt.Fprintf(out, "GoFI campaign — scenario %s: %s, %s error model, %s scope + %s selector, %s (%s backend)\n",
+			label, s.Model.Arch, s.Fault.Error.Kind, s.Fault.Scope, s.Selector.Kind, s.Fault.DType, s.Fault.Backend)
+	} else {
+		fmt.Fprintf(out, "GoFI campaign — %s, %s error model, %s scope, %s (%s backend)\n", *model, em.Name(), *scope, dt, be)
+	}
 	if aborted {
 		fmt.Fprintf(out, "campaign aborted (%v) — partial statistics over %d completed trials\n",
 			err, res.Aggregate.Trials)
@@ -270,6 +362,24 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		}
 	}
 	tb.Render(out)
+	if rep := res.Observers; rep != nil {
+		if len(rep.SDC) > 0 {
+			fmt.Fprintln(out, "\nPer-layer SDC (sdc observer)")
+			ob := report.NewTable("Layer", "Path", "Trials", "SDC", "Rate (%)")
+			for _, r := range rep.SDC {
+				ob.AddRow(r.Layer, r.Path, r.Trials, r.SDC, 100*r.Rate)
+			}
+			ob.Render(out)
+		}
+		if len(rep.MSE) > 0 {
+			fmt.Fprintln(out, "\nPer-layer activation MSE vs clean run (mse observer)")
+			ob := report.NewTable("Layer", "Path", "Trials", "MSE")
+			for _, r := range rep.MSE {
+				ob.AddRow(r.Layer, r.Path, r.Trials, r.MSE)
+			}
+			ob.Render(out)
+		}
+	}
 	if aborted {
 		return fmt.Errorf("aborted: %w", err)
 	}
@@ -335,8 +445,17 @@ func runSubmit(ctx context.Context, base string, sp serve.Spec, jsonl string, pr
 	}
 
 	agg := done.Agg
-	fmt.Fprintf(out, "GoFI campaign %s (%s) — %s, %s error model, %s scope, %s (%s backend)\n",
-		st.ID, done.State, canon.Model, canon.Error, canon.Scope, canon.DType, canon.Backend)
+	if s := canon.Scenario; s != nil {
+		label := s.Name
+		if label == "" {
+			label = "(unnamed)"
+		}
+		fmt.Fprintf(out, "GoFI campaign %s (%s) — scenario %s: %s, %s error model, %s scope, %s (%s backend)\n",
+			st.ID, done.State, label, s.Model.Arch, s.Fault.Error.Kind, s.Fault.Scope, s.Fault.DType, s.Fault.Backend)
+	} else {
+		fmt.Fprintf(out, "GoFI campaign %s (%s) — %s, %s error model, %s scope, %s (%s backend)\n",
+			st.ID, done.State, canon.Model, canon.Error, canon.Scope, canon.DType, canon.Backend)
+	}
 	fmt.Fprintf(out, "clean accuracy: %.1f%% (%d eligible inputs)\n", 100*fin.CleanAcc, fin.Eligible)
 	tb := report.NewTable("Metric", "Value")
 	tb.AddRow("Trials", agg.Trials)

@@ -111,3 +111,121 @@ func TestSubmitMode(t *testing.T) {
 		t.Fatal("submit to a dead server succeeded")
 	}
 }
+
+// TestScenarioFlagConflicts: -scenario owns the model fixture and fault
+// shape, so the corresponding flags must be rejected up front (and a
+// missing or malformed file is a plain error).
+func TestScenarioFlagConflicts(t *testing.T) {
+	ctx := context.Background()
+	bad := filepath.Join(t.TempDir(), "bad.yaml")
+	if err := os.WriteFile(bad, []byte("scenario_version: 99\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-scenario", "does-not-exist.yaml"},
+		{"-scenario", bad},
+		{"-scenario", "x.yaml", "-model", "alexnet"},
+		{"-scenario", "x.yaml", "-error", "zero"},
+		{"-scenario", "x.yaml", "-scope", "weight"},
+		{"-scenario", "x.yaml", "-dtype", "fp16"},
+		{"-scenario", "x.yaml", "-backend", "int8"},
+		{"-scenario", "x.yaml", "-act-zp"},
+		{"-scenario", "x.yaml", "-classes", "4"},
+		{"-scenario", "x.yaml", "-size", "16"},
+		{"-scenario", "x.yaml", "-epochs", "2"},
+		{"-scenario", "x.yaml", "-noise", "0.3"},
+		{"-scenario", "x.yaml", "-stratify"},
+		{"-scenario", "x.yaml", "-dedup"},
+	} {
+		if err := run(ctx, args, os.Stdout); err == nil {
+			t.Fatalf("run(%v) must fail", args)
+		}
+	}
+}
+
+// TestScenarioExamples executes every committed example scenario
+// end-to-end through the CLI against its own small fixture — including
+// the int8 stored-code example, which drives per-layer rules through
+// the quantized backend.
+func TestScenarioExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains one model fixture per example; skipped with -short")
+	}
+	dir := "../../examples/scenarios"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("want at least 3 committed example scenarios, found %d", len(entries))
+	}
+	for _, e := range entries {
+		path := filepath.Join(dir, e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			tmp := t.TempDir()
+			outPath := filepath.Join(tmp, "out.txt")
+			out, err := os.Create(outPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer out.Close()
+			jsonl := filepath.Join(tmp, "trials.jsonl")
+			if err := run(context.Background(), []string{"-scenario", path, "-jsonl", jsonl}, out); err != nil {
+				t.Fatalf("run(-scenario %s): %v", e.Name(), err)
+			}
+			buf, err := os.ReadFile(outPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := string(buf)
+			for _, want := range []string{"GoFI campaign — scenario", "clean accuracy", "Trials"} {
+				if !strings.Contains(text, want) {
+					t.Fatalf("output missing %q:\n%s", want, text)
+				}
+			}
+			if strings.Contains(e.Name(), "int8_stored_code") && !strings.Contains(text, "(int8 backend)") {
+				t.Fatalf("int8 stored-code run did not report the int8 backend:\n%s", text)
+			}
+			jb, err := os.ReadFile(jsonl)
+			if err != nil || len(jb) == 0 {
+				t.Fatalf("jsonl stream empty (err=%v)", err)
+			}
+		})
+	}
+}
+
+// TestScenarioRunKnobOverride: explicit run-knob flags override the
+// scenario file's run block (here, a smaller -trials budget shrinks the
+// record stream accordingly).
+func TestScenarioRunKnobOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model fixture; skipped with -short")
+	}
+	tmp := t.TempDir()
+	out, err := os.Create(filepath.Join(tmp, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	jsonl := filepath.Join(tmp, "trials.jsonl")
+	args := []string{
+		"-scenario", "../../examples/scenarios/per_layer_zero.json",
+		"-trials", "8", "-workers", "1", "-jsonl", jsonl,
+	}
+	if err := run(context.Background(), args, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 8 {
+		t.Fatalf("jsonl has %d records, want the -trials override of 8", lines)
+	}
+}

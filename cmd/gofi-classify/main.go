@@ -19,6 +19,7 @@ import (
 	"gofi/internal/experiments"
 	"gofi/internal/obs"
 	"gofi/internal/report"
+	"gofi/internal/scenario"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func run(ctx context.Context, args []string) error {
 	stopConf := fs.Float64("stop-conf", 0.95, "confidence level for -stop-ci, in (0,1)")
 	stopMin := fs.Int("stop-min", 0, "observed trials required before -stop-ci may halt a campaign; 0 = default 100")
 	backend := fs.String("backend", "f32", "tensor execution backend: f32 emulates INT8 on float32 kernels; int8 quantizes each trained network and runs its campaign on the int8 GEMM/conv backend")
+	scenarioPath := fs.String("scenario", "", "replace the hand-wired single-random-neuron bit-flip arming with a declarative scenario file (YAML or JSON, neuron scope, int8 dtype, no observers); the scenario's backend supersedes -backend and its model/run blocks are ignored — this study's own fixture flags and budgets apply")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +90,19 @@ func run(ctx context.Context, args []string) error {
 	if *stopMin < 0 {
 		return usageError(fs, "-stop-min must be non-negative, got %d", *stopMin)
 	}
+	var sc *scenario.Scenario
+	if *scenarioPath != "" {
+		backendSet := false
+		fs.Visit(func(f *flag.Flag) { backendSet = backendSet || f.Name == "backend" })
+		loaded, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		sc = &loaded
+		if !backendSet {
+			be = "" // let the scenario's backend apply unchallenged
+		}
+	}
 	cfg := experiments.Fig4Config{
 		TrialsPerModel: *trials,
 		Workers:        *workers,
@@ -102,6 +117,7 @@ func run(ctx context.Context, args []string) error {
 		StopConf:       *stopConf,
 		StopMin:        *stopMin,
 		Backend:        be,
+		Scenario:       sc,
 	}
 	if *modelsFlag != "" {
 		cfg.Models = strings.Split(*modelsFlag, ",")
@@ -111,7 +127,13 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	fmt.Printf("Figure 4 — Top-1 misclassification probability under single INT8 bit flips (%s backend)\n", be)
+	if sc != nil {
+		s := sc.Canon()
+		fmt.Printf("Figure 4 — Top-1 misclassification under scenario %s (%s error model, %s selector, %s backend)\n",
+			*scenarioPath, s.Fault.Error.Kind, s.Selector.Kind, s.Fault.Backend)
+	} else {
+		fmt.Printf("Figure 4 — Top-1 misclassification probability under single INT8 bit flips (%s backend)\n", be)
+	}
 	fmt.Println("(synthetic 10-class dataset stands in for ImageNet; each network trained to")
 	fmt.Println(" high accuracy first; injections only on correctly-classified inputs)")
 	cols := []string{"Network", "CleanAcc", "Trials", "Top1-Mis", "Rate (%)", "99% CI (%)", "OutOfTop5", "NonFinite"}

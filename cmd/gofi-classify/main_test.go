@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -18,6 +20,36 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-stop-ci", "0.005", "-stop-conf", "0"},
 		{"-stop-ci", "0.005", "-stop-conf", "1"},
 		{"-stop-ci", "0.005", "-stop-min", "-1"},
+	} {
+		if err := run(ctx, args); err == nil {
+			t.Fatalf("run(%v) must fail", args)
+		}
+	}
+}
+
+// TestScenarioFileErrors: a missing or malformed -scenario file is a
+// plain error before any training starts; so is a scenario that does
+// not fit the INT8 study (wrong dtype, observers, backend conflict).
+func TestScenarioFileErrors(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	bad := write("bad.yaml", "scenario_version: 99\n")
+	fp32 := write("fp32.yaml", "fault:\n  dtype: fp32\n")
+	obs := write("obs.yaml", "observers:\n  - kind: sdc\n")
+	conflict := write("int8.yaml", "fault:\n  backend: int8\n")
+	for _, args := range [][]string{
+		{"-scenario", "does-not-exist.yaml"},
+		{"-scenario", bad},
+		{"-scenario", fp32},
+		{"-scenario", obs},
+		{"-scenario", conflict, "-backend", "f32"},
 	} {
 		if err := run(ctx, args); err == nil {
 			t.Fatalf("run(%v) must fail", args)

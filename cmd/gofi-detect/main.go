@@ -18,6 +18,7 @@ import (
 	"gofi/internal/experiments"
 	"gofi/internal/obs"
 	"gofi/internal/report"
+	"gofi/internal/scenario"
 )
 
 func main() {
@@ -51,6 +52,7 @@ func run(ctx context.Context, args []string) error {
 	stopCI := fs.Float64("stop-ci", 0, "halt the study once the phantom-producing-run rate's confidence interval half-width is at most this (rate units); -scenes × -injections then caps the budget; 0 disables early stopping")
 	stopConf := fs.Float64("stop-conf", 0.95, "confidence level for -stop-ci, in (0,1)")
 	stopMin := fs.Int("stop-min", 0, "observed runs required before -stop-ci may halt the study; 0 = default 100")
+	scenarioPath := fs.String("scenario", "", "replace the hand-wired per-layer random-FP32 arming with a declarative scenario file (YAML or JSON; neuron scope, fp32 dtype, f32 backend, no observers); the scenario's model/run blocks are ignored — the detector fixture and this study's budgets apply")
 	var mcli obs.CLI
 	mcli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +80,14 @@ func run(ctx context.Context, args []string) error {
 	if *stopMin < 0 {
 		return usageError(fs, "-stop-min must be non-negative, got %d", *stopMin)
 	}
+	var sc *scenario.Scenario
+	if *scenarioPath != "" {
+		loaded, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		sc = &loaded
+	}
 	res, err := experiments.RunFig5(ctx, experiments.Fig5Config{
 		Scenes:             *scenes,
 		InjectionsPerScene: *injections,
@@ -91,6 +101,7 @@ func run(ctx context.Context, args []string) error {
 		StopCI:             *stopCI,
 		StopConf:           *stopConf,
 		StopMin:            *stopMin,
+		Scenario:           sc,
 	})
 	if err != nil {
 		return err
@@ -98,6 +109,11 @@ func run(ctx context.Context, args []string) error {
 
 	fmt.Println("Figure 5 — object detection under per-layer random-FP32 neuron injection")
 	fmt.Println("(YOLO-lite on synthetic scenes stands in for YOLOv3 on COCO)")
+	if sc != nil {
+		s := sc.Canon()
+		fmt.Printf("(injected runs armed by scenario %s: %s error model, %s selector)\n",
+			*scenarioPath, s.Fault.Error.Kind, s.Selector.Kind)
+	}
 	tb := report.NewTable("Mode", "Runs", "TP", "Phantoms", "Misclassified", "Missed", "Phantoms/run")
 	tb.AddRow("clean", res.Scenes, res.CleanTP, res.CleanPhantoms, res.CleanMisclass, res.CleanMissed,
 		float64(res.CleanPhantoms)/float64(res.Scenes))

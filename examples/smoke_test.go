@@ -54,6 +54,16 @@ func TestEveryExampleDirHasMain(t *testing.T) {
 			continue
 		}
 		dirs++
+		if e.Name() == "scenarios" {
+			// Data, not code: scenario files for -scenario. Decode
+			// coverage lives in internal/scenario and the CLI smokes; here
+			// just guard against the directory going empty.
+			files, err := filepath.Glob(filepath.Join(e.Name(), "*"))
+			if err != nil || len(files) == 0 {
+				t.Errorf("example %s has no scenario files: %v", e.Name(), err)
+			}
+			continue
+		}
 		if _, err := os.Stat(filepath.Join(e.Name(), "main.go")); err != nil {
 			t.Errorf("example %s has no main.go: %v", e.Name(), err)
 		}

@@ -118,6 +118,15 @@ const (
 // its fault site(s), and any stochastic error-model draws — is a pure
 // function of (Seed, t), never of the worker that executes it.
 func trialRNG(seed int64, t int) *rand.Rand {
+	return TrialStream(seed, t)
+}
+
+// TrialStream returns global trial t's private random stream — the same
+// stream the engine hands to Eligible sampling, arming and the error
+// model. Exported so observers and scenario replays can re-derive a
+// trial's draws without re-running it; consume the draws in engine order
+// (sample first, then arming) to stay aligned.
+func TrialStream(seed int64, t int) *rand.Rand {
 	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(t+1)
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB

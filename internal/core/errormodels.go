@@ -131,6 +131,46 @@ func bitsFor(d DType) int {
 	}
 }
 
+// RangedBitFlip flips one bit drawn uniformly from the inclusive position
+// range [Lo, Hi] of the value's representation in the emulated data type.
+// It generalises BitFlip for scenario bit-range overrides: [0, bits-1] is
+// equivalent to BitFlip{RandomBit}, Lo == Hi to a fixed BitFlip. The draw
+// happens at perturb time from the injector's per-trial stream, so results
+// stay deterministic under any worker count.
+type RangedBitFlip struct {
+	Lo, Hi int
+}
+
+var _ ErrorModel = RangedBitFlip{}
+
+// Name implements ErrorModel.
+func (m RangedBitFlip) Name() string { return fmt.Sprintf("bitflip[%d,%d]", m.Lo, m.Hi) }
+
+// NeedsINT8 mirrors BitFlip's calibration requirement.
+func (m RangedBitFlip) NeedsINT8() bool { return true }
+
+// Perturb implements ErrorModel.
+func (m RangedBitFlip) Perturb(v float32, ctx PerturbContext) float32 {
+	bits := bitsFor(ctx.DType)
+	lo, hi := m.Lo, m.Hi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= bits {
+		hi = bits - 1
+	}
+	if hi < lo {
+		// Degenerate range after clamping; saturate deterministically like
+		// BitFlip does for out-of-range fixed positions.
+		lo, hi = bits-1, bits-1
+	}
+	bit := lo
+	if hi > lo {
+		bit = lo + ctx.Rand.Intn(hi-lo+1)
+	}
+	return BitFlip{Bit: bit}.Perturb(v, ctx)
+}
+
 // StuckAt forces one bit of the value's representation to a constant —
 // stuck-at-0 or stuck-at-1, the classic permanent-fault model for memory
 // cells and datapath latches. Unlike BitFlip it is idempotent: a value

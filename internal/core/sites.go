@@ -412,6 +412,23 @@ func (inj *Injector) withProfilingHooks(fn func(i int, out *tensor.Tensor)) Hand
 	return hs
 }
 
+// ObserveForward runs one forward pass while calling fn with every hooked
+// layer's index and its output tensor. Observation hooks are registered
+// after the injection (and quantization) hooks installed at construction,
+// so fn sees exactly the activations downstream layers consume — including
+// any armed perturbations. The hooks are removed before returning. fn must
+// not retain out across calls; clone what it needs.
+func (inj *Injector) ObserveForward(x *tensor.Tensor, fn func(layer int, out *tensor.Tensor)) (logits *tensor.Tensor, err error) {
+	hs := inj.withProfilingHooks(fn)
+	defer hs.Remove()
+	defer func() {
+		if r := recover(); r != nil {
+			logits, err = nil, fmt.Errorf("core: observed inference failed: %v", r)
+		}
+	}()
+	return nn.Run(inj.model, x), nil
+}
+
 func (inj *Injector) safeRun(x *tensor.Tensor) (err error) {
 	defer func() {
 		if r := recover(); r != nil {

@@ -11,6 +11,7 @@ import (
 	"gofi/internal/models"
 	"gofi/internal/nn"
 	"gofi/internal/obs"
+	"gofi/internal/scenario"
 )
 
 // Fig4Config drives the classification-resiliency campaign.
@@ -63,6 +64,15 @@ type Fig4Config struct {
 	// for the quantized GEMM/conv backend — see
 	// GenericCampaignConfig.Backend).
 	Backend string
+	// Scenario, when non-nil, replaces the hand-wired single-random-
+	// neuron bit-flip arming with the scenario's compiled selector and
+	// per-layer error models, applied to every model in the study. The
+	// scenario must stay inside the Figure 4 shape: neuron scope, int8
+	// value domain, no observers (the study runs one campaign per
+	// model; per-layer observer reports belong to gofi-campaign). The
+	// scenario's backend supersedes Backend; its model/run blocks are
+	// ignored — the study's own fixture fields and budgets apply.
+	Scenario *scenario.Scenario
 }
 
 func (c Fig4Config) canon() Fig4Config {
@@ -129,6 +139,29 @@ func RunFig4(ctx context.Context, cfg Fig4Config) ([]Fig4Row, error) {
 }
 
 func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, error) {
+	// Validate the scenario before training: a rejected config should
+	// fail in milliseconds, not after the fixture trains.
+	if cfg.Scenario != nil {
+		s := cfg.Scenario.Canon()
+		if err := s.Validate(); err != nil {
+			return Fig4Row{}, err
+		}
+		if s.Fault.Scope != "neuron" {
+			return Fig4Row{}, fmt.Errorf("fig4 scenarios cover neuron faults only, got scope %q", s.Fault.Scope)
+		}
+		if s.Fault.DType != "int8" {
+			return Fig4Row{}, fmt.Errorf("fig4 is the INT8 resiliency study; scenario dtype must be int8, got %q", s.Fault.DType)
+		}
+		if len(s.Observers) != 0 {
+			return Fig4Row{}, fmt.Errorf("fig4 scenarios take no observers; run them through gofi-campaign")
+		}
+		if cfg.Backend != "" && cfg.Backend != s.Fault.Backend {
+			return Fig4Row{}, fmt.Errorf("-backend %s conflicts with the scenario's backend %s", cfg.Backend, s.Fault.Backend)
+		}
+		cfg.Backend = s.Fault.Backend
+		cfg.Scenario = &s
+	}
+
 	trained, ds, eligible, err := trainedModel(name, cfg.Classes, cfg.InSize, cfg.Noise, cfg.Seed, cfg.TrainEpochs)
 	if err != nil {
 		return Fig4Row{}, err
@@ -136,7 +169,6 @@ func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, er
 	if len(eligible) == 0 {
 		return Fig4Row{}, fmt.Errorf("model classifies nothing correctly after training")
 	}
-
 	backend, err := ParseBackend(cfg.Backend)
 	if err != nil {
 		return Fig4Row{}, err
@@ -192,6 +224,21 @@ func runFig4Model(ctx context.Context, name string, cfg Fig4Config) (Fig4Row, er
 		PrefixReuse: cfg.PrefixReuse,
 		TrialBatch:  cfg.TrialBatch,
 		Schedule:    cfg.Schedule,
+	}
+	if cfg.Scenario != nil {
+		// A compiled scenario supersedes the hand-wired arm: probe one
+		// replica for the layer geometry, then let the selector drive.
+		probe, err := newReplica(0)
+		if err != nil {
+			return Fig4Row{}, err
+		}
+		layers := probe.Layers()
+		probe.Detach()
+		compiled, err := scenario.Compile(*cfg.Scenario, layers)
+		if err != nil {
+			return Fig4Row{}, err
+		}
+		ccfg.Arm, ccfg.ArmTrial = nil, compiled.ArmTrial
 	}
 	if watcher != nil {
 		ccfg.Stop = watcher

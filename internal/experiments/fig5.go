@@ -12,6 +12,7 @@ import (
 	"gofi/internal/data"
 	"gofi/internal/detect"
 	"gofi/internal/obs"
+	"gofi/internal/scenario"
 )
 
 // Fig5Config drives the object-detection perturbation study.
@@ -63,6 +64,17 @@ type Fig5Config struct {
 	StopCI   float64
 	StopConf float64
 	StopMin  int
+	// Scenario, when non-nil, replaces the hand-wired per-layer
+	// random-FP32 arming with the scenario's compiled selector and
+	// per-layer error models. The scenario must stay inside the Figure 5
+	// shape: neuron scope, fp32 value domain, f32 backend, no observers
+	// (the study is not a campaign.Run; observer folds belong to
+	// gofi-campaign). Its model/run blocks are ignored — the detector
+	// fixture and the study's own budgets apply. Each injected run r
+	// consumes the scenario's draws from the same stream the hand-wired
+	// study would have used (the shared sequential stream for
+	// TrialBatch 1, run r's private derived stream otherwise).
+	Scenario *scenario.Scenario
 }
 
 func (c Fig5Config) canon() Fig5Config {
@@ -122,6 +134,22 @@ type Fig5Result struct {
 // produces phantom objects with arbitrary classes.
 func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 	cfg = cfg.canon()
+	if cfg.Scenario != nil {
+		s := cfg.Scenario.Canon()
+		if err := s.Validate(); err != nil {
+			return Fig5Result{}, err
+		}
+		if s.Fault.Scope != "neuron" {
+			return Fig5Result{}, fmt.Errorf("fig5 scenarios cover neuron faults only, got scope %q", s.Fault.Scope)
+		}
+		if s.Fault.Backend != "f32" || s.Fault.DType != "fp32" {
+			return Fig5Result{}, fmt.Errorf("fig5 is the FP32 detection study; scenario needs backend f32 and dtype fp32, got %s/%s", s.Fault.Backend, s.Fault.DType)
+		}
+		if len(s.Observers) != 0 {
+			return Fig5Result{}, fmt.Errorf("fig5 scenarios take no observers; run them through gofi-campaign")
+		}
+		cfg.Scenario = &s
+	}
 	scenes, err := data.NewScenes(data.SceneConfig{
 		Classes:    cfg.Classes,
 		Size:       cfg.SceneSize,
@@ -149,6 +177,14 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 	}
 	defer inj.Detach()
 	inj.SetMetrics(cfg.Metrics)
+
+	var compiled *scenario.Compiled
+	if cfg.Scenario != nil {
+		compiled, err = scenario.Compile(*cfg.Scenario, inj.Layers())
+		if err != nil {
+			return Fig5Result{}, err
+		}
+	}
 
 	var runner *core.PrefixRunner
 	if cfg.PrefixReuse {
@@ -233,7 +269,11 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 					if err := inj.BeginLane(l, run, runRng); err != nil {
 						return Fig5Result{}, err
 					}
-					if _, err := inj.InjectRandomNeuronPerLayer(runRng, model); err != nil {
+					if compiled != nil {
+						if err := compiled.ArmTrial(inj, runRng, run); err != nil {
+							return Fig5Result{}, err
+						}
+					} else if _, err := inj.InjectRandomNeuronPerLayer(runRng, model); err != nil {
 						return Fig5Result{}, err
 					}
 					inj.EndLane()
@@ -254,7 +294,11 @@ func RunFig5(ctx context.Context, cfg Fig5Config) (Fig5Result, error) {
 		}
 		for i := 0; i < cfg.InjectionsPerScene && !stopped; i++ {
 			inj.Reset()
-			if _, err := inj.InjectRandomNeuronPerLayer(siteRng, core.RandomValue{Lo: -cfg.ValueRange, Hi: cfg.ValueRange}); err != nil {
+			if compiled != nil {
+				if err := compiled.ArmTrial(inj, siteRng, s*cfg.InjectionsPerScene+i); err != nil {
+					return Fig5Result{}, err
+				}
+			} else if _, err := inj.InjectRandomNeuronPerLayer(siteRng, core.RandomValue{Lo: -cfg.ValueRange, Hi: cfg.ValueRange}); err != nil {
 				return Fig5Result{}, err
 			}
 			var faulty []detect.Detection

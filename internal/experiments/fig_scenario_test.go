@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gofi/internal/scenario"
+)
+
+// fig4Base is the small known-good Figure 4 fixture (one model, the
+// fast dataset, deterministic seed).
+func fig4Base() Fig4Config {
+	return Fig4Config{
+		Models:         []string{"alexnet"},
+		TrialsPerModel: 20,
+		Workers:        2,
+		Classes:        4,
+		InSize:         16,
+		TrainEpochs:    6,
+		Noise:          0.2,
+		Seed:           3,
+	}
+}
+
+// TestFig4ScenarioRejects pins the study-fit checks, which must fire
+// before any training happens (these cases finish in milliseconds).
+func TestFig4ScenarioRejects(t *testing.T) {
+	ctx := context.Background()
+	run := func(edit func(*scenario.Scenario), backend string) error {
+		sc := scenario.Scenario{Fault: scenario.FaultSpec{DType: "int8"}}
+		edit(&sc)
+		cfg := fig4Base()
+		cfg.Scenario = &sc
+		cfg.Backend = backend
+		_, err := RunFig4(ctx, cfg)
+		return err
+	}
+	cases := []struct {
+		name string
+		edit func(*scenario.Scenario)
+		be   string
+		want string
+	}{
+		{"weight scope", func(sc *scenario.Scenario) { sc.Fault.Scope = "weight" }, "", "neuron faults only"},
+		{"fp32 dtype", func(sc *scenario.Scenario) { sc.Fault.DType = "fp32" }, "", "dtype must be int8"},
+		{"observers", func(sc *scenario.Scenario) {
+			sc.Observers = []scenario.ObserverSpec{{Kind: scenario.ObsSDC}}
+		}, "", "no observers"},
+		{"backend conflict", func(sc *scenario.Scenario) { sc.Fault.Backend = "int8" }, "f32", "conflicts with the scenario's backend"},
+		{"invalid scenario", func(sc *scenario.Scenario) { sc.Selector.Kind = "martian" }, "", "selector"},
+	}
+	for _, c := range cases {
+		err := run(c.edit, c.be)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: RunFig4 = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestFig4ScenarioMatchesHandWired proves the committed neuron_bitflip
+// example reproduces Figure 4's hand-wired single-random-neuron bit-flip
+// campaign byte-for-byte: same draw stream, same aggregate, same row.
+func TestFig4ScenarioMatchesHandWired(t *testing.T) {
+	skipIfShort(t)
+	ctx := context.Background()
+	plain, err := RunFig4(ctx, fig4Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Load("../../examples/scenarios/neuron_bitflip.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fig4Base()
+	cfg.Scenario = &sc // fig4 keeps its own fixture flags; the scenario's model/run blocks are ignored
+	got, err := RunFig4(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != plain[0] {
+		t.Fatalf("scenario row diverged from the hand-wired run:\n got %+v\nwant %+v", got[0], plain[0])
+	}
+}
+
+// TestFig5ScenarioRejects pins the detection study's fit checks (again,
+// before any training).
+func TestFig5ScenarioRejects(t *testing.T) {
+	ctx := context.Background()
+	run := func(edit func(*scenario.Scenario)) error {
+		sc := scenario.Scenario{
+			Fault:    scenario.FaultSpec{DType: "fp32"},
+			Selector: scenario.SelectorSpec{Kind: scenario.SelPerLayer},
+		}
+		edit(&sc)
+		_, err := RunFig5(ctx, Fig5Config{Scenes: 2, InjectionsPerScene: 1, Scenario: &sc})
+		return err
+	}
+	cases := []struct {
+		name string
+		edit func(*scenario.Scenario)
+		want string
+	}{
+		{"weight scope", func(sc *scenario.Scenario) { sc.Fault.Scope = "weight" }, "neuron faults only"},
+		{"int8 dtype", func(sc *scenario.Scenario) { sc.Fault.DType = "int8" }, "backend f32 and dtype fp32"},
+		{"int8 backend", func(sc *scenario.Scenario) { sc.Fault.Backend = "int8" }, "backend f32 and dtype fp32"},
+		{"observers", func(sc *scenario.Scenario) {
+			sc.Observers = []scenario.ObserverSpec{{Kind: scenario.ObsMSE}}
+		}, "no observers"},
+		{"invalid scenario", func(sc *scenario.Scenario) { sc.Selector.Kind = "martian" }, "selector"},
+	}
+	for _, c := range cases {
+		err := run(c.edit)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: RunFig5 = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestFig5ScenarioMatchesHandWired proves a per-layer random-FP32
+// scenario shaped like the study's hand-wired arming reproduces the
+// whole Figure 5 result — counts AND the example detection lists —
+// byte-for-byte.
+func TestFig5ScenarioMatchesHandWired(t *testing.T) {
+	skipIfShort(t)
+	ctx := context.Background()
+	base := Fig5Config{Scenes: 4, InjectionsPerScene: 2, SceneSize: 32, TrainEpochs: 8, Seed: 4}
+	plain, err := RunFig5(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scenario.Scenario{
+		Name: "fig5-twin",
+		Fault: scenario.FaultSpec{
+			Backend: "f32",
+			DType:   "fp32",
+			Error:   &scenario.ErrorSpec{Kind: "random", Range: []float64{-1e4, 1e4}},
+		},
+		Selector: scenario.SelectorSpec{Kind: scenario.SelPerLayer},
+	}
+	withSc := base
+	withSc.Scenario = &sc
+	got, err := RunFig5(ctx, withSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, plain) {
+		t.Fatalf("scenario result diverged from the hand-wired run:\n got %+v\nwant %+v", got, plain)
+	}
+}

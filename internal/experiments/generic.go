@@ -11,6 +11,7 @@ import (
 	"gofi/internal/data"
 	"gofi/internal/nn"
 	"gofi/internal/obs"
+	"gofi/internal/scenario"
 )
 
 // ArmFunc arms one trial's fault(s) on a freshly Reset injector.
@@ -102,6 +103,17 @@ type GenericCampaignConfig struct {
 	// ErrorModel is the error model the Stratify/Dedup generators arm;
 	// ignored when both are false (Arm then owns fault declaration).
 	ErrorModel core.ErrorModel
+	// Scenario, when non-nil, is a declarative scenario
+	// (internal/scenario) that owns the campaign's fault shape:
+	// PrepareGenericCampaign derives Model/Classes/InSize/TrainEpochs/
+	// Noise/Backend/DType/ActZeroPoint/IsolateWeights from it
+	// (overwriting those fields), compiles it against the profiled
+	// layer geometry and arms trials through the compiled selector.
+	// Mutually exclusive with Arm, Stratify, Dedup and ErrorModel. The
+	// run knobs (Trials, Workers, Seed, Schedule, TrialBatch,
+	// PrefixReuse, Stop*, OnError) stay caller-controlled — start from
+	// ScenarioConfig and override freely.
+	Scenario *scenario.Scenario
 }
 
 // StopSummary reports what an early-stopping watcher saw, for CLIs to
@@ -129,6 +141,9 @@ type GenericCampaignResult struct {
 	Aggregate     campaign.Aggregate
 	// Stop is non-nil when StopCI was configured.
 	Stop *StopSummary
+	// Observers is the scenario's per-layer observer report, non-nil
+	// when a scenario with observers drove the campaign.
+	Observers *scenario.Report
 }
 
 // CampaignEnv is a prepared campaign: the trained model fixture wrapped
@@ -157,6 +172,11 @@ type CampaignEnv struct {
 	// trial's randomness is a pure function of (CampaignSeed, global
 	// trial index), which is what makes shard ranges composable.
 	CampaignSeed int64
+
+	// Compiled is the compiled scenario when Cfg.Scenario drives the
+	// campaign (nil for Arm- or generator-driven campaigns); observers
+	// and reports hang off it.
+	Compiled *scenario.Compiled
 
 	armTrial func(*core.Injector, *rand.Rand, int) error
 	key      func(*rand.Rand, int, int) (string, bool)
@@ -248,11 +268,19 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 		return GenericCampaignResult{}, err
 	}
 	watcher := env.NewWatcher()
+	observers, err := env.ScenarioObservers()
+	if err != nil {
+		return GenericCampaignResult{}, err
+	}
+	sinks := env.Cfg.Sinks
+	if observers != nil {
+		sinks = append(append([]campaign.TrialSink(nil), sinks...), observers)
+	}
 	agg, err := env.Run(ctx, ShardRun{
 		Offset:   0,
 		Trials:   env.Cfg.Trials,
 		Watcher:  watcher,
-		Sinks:    env.Cfg.Sinks,
+		Sinks:    sinks,
 		Progress: env.Cfg.Progress,
 		Metrics:  env.Cfg.Metrics,
 	})
@@ -266,6 +294,10 @@ func RunGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (Generic
 	if watcher != nil {
 		res.Stop = summarizeStop(watcher)
 	}
+	if observers != nil {
+		rep := observers.Report()
+		res.Observers = &rep
+	}
 	return res, err
 }
 
@@ -278,8 +310,31 @@ func PrepareGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (*Ca
 		ctx = context.Background()
 	}
 	useGen := cfg.Stratify || cfg.Dedup
-	if !useGen && cfg.Arm == nil {
+	if !useGen && cfg.Arm == nil && cfg.Scenario == nil {
 		return nil, fmt.Errorf("campaign: Arm function required")
+	}
+	if cfg.Scenario != nil {
+		if cfg.Arm != nil {
+			return nil, fmt.Errorf("campaign: a scenario owns fault declaration; leave Arm nil")
+		}
+		if useGen {
+			return nil, fmt.Errorf("campaign: scenarios do not compose with Stratify/Dedup (the observers replay trial draws, which dedup's canonical-outcome fills would break)")
+		}
+		if cfg.ErrorModel != nil {
+			return nil, fmt.Errorf("campaign: the scenario declares its error models; leave ErrorModel nil")
+		}
+		// The scenario owns the fault shape; derive the fixture and
+		// backend fields from it so they cannot drift apart.
+		s := cfg.Scenario.Canon()
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.Scenario = &s
+		cfg.Model, cfg.Classes, cfg.InSize = s.Model.Arch, s.Model.Classes, s.Model.InSize
+		cfg.TrainEpochs, cfg.Noise = s.Model.Epochs, float32(*s.Model.Noise)
+		cfg.Backend, cfg.DType = s.Fault.Backend, s.CoreDType()
+		cfg.ActZeroPoint = s.Fault.ActZeroPoint
+		cfg.IsolateWeights = s.Fault.Scope == "weight"
 	}
 	if useGen {
 		if cfg.Arm != nil {
@@ -307,7 +362,9 @@ func PrepareGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (*Ca
 	if cfg.Noise == 0 {
 		cfg.Noise = 0.6
 	}
-	if cfg.Trials <= 0 {
+	if cfg.Trials <= 0 && !(cfg.Scenario != nil && cfg.Scenario.Selector.Kind == scenario.SelSweep) {
+		// A sweep scenario's budget defaults to its enumeration size,
+		// known only after the layer geometry is profiled below.
 		cfg.Trials = 1000
 	}
 	if cfg.Workers <= 0 {
@@ -391,6 +448,26 @@ func PrepareGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (*Ca
 	var armTrial func(*core.Injector, *rand.Rand, int) error
 	var key func(*rand.Rand, int, int) (string, bool)
 	var strata *stats.Strata
+	var compiled *scenario.Compiled
+	if cfg.Scenario != nil {
+		probe, err := newReplica(0)
+		if err != nil {
+			return nil, err
+		}
+		layers := probe.Layers()
+		probe.Detach()
+		compiled, err = scenario.Compile(*cfg.Scenario, layers)
+		if err != nil {
+			return nil, err
+		}
+		armTrial = compiled.ArmTrial
+		if cfg.Trials <= 0 {
+			cfg.Trials = compiled.Trials()
+			if cfg.Trials <= 0 {
+				return nil, fmt.Errorf("campaign: scenario declares no trial budget")
+			}
+		}
+	}
 	if useGen {
 		probe, err := newReplica(0)
 		if err != nil {
@@ -433,6 +510,7 @@ func PrepareGenericCampaign(ctx context.Context, cfg GenericCampaignConfig) (*Ca
 		NewReplica:   newReplica,
 		CleanAcc:     float64(len(eligible)) / 128,
 		CampaignSeed: cfg.Seed + 101,
+		Compiled:     compiled,
 		armTrial:     armTrial,
 		key:          key,
 		strata:       strata,

@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gofi/internal/campaign"
+	"gofi/internal/core"
+	"gofi/internal/scenario"
+)
+
+var updateScenarioGolden = flag.Bool("update", false, "rewrite the scenario golden fixtures")
+
+func TestScenarioConfigMapsRunBlock(t *testing.T) {
+	reuse := false
+	sc := scenario.Scenario{
+		Fault: scenario.FaultSpec{DType: "int8"},
+		Run: scenario.RunSpec{
+			Trials:      40,
+			Seed:        7,
+			Workers:     3,
+			Schedule:    "pack",
+			TrialBatch:  4,
+			PrefixReuse: &reuse,
+			SkipErrors:  true,
+			Stop:        scenario.StopSpec{CI: 0.01, Conf: 0.9, Min: 5},
+		},
+	}
+	cfg, err := ScenarioConfig(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Trials != 40 || cfg.Seed != 7 || cfg.Workers != 3 || cfg.TrialBatch != 4 {
+		t.Errorf("run knobs wrong: %+v", cfg)
+	}
+	if cfg.PrefixReuse {
+		t.Error("prefix reuse must be off")
+	}
+	if cfg.OnError != campaign.SkipAndCount {
+		t.Error("skip_errors must select SkipAndCount")
+	}
+	if cfg.StopCI != 0.01 || cfg.StopConf != 0.9 || cfg.StopMin != 5 {
+		t.Errorf("stop rule wrong: %+v", cfg)
+	}
+	want, _ := campaign.ParseSchedule("pack")
+	if cfg.Schedule != want {
+		t.Errorf("schedule = %v", cfg.Schedule)
+	}
+	if cfg.Scenario == nil || cfg.Scenario.Fault.DType != "int8" {
+		t.Errorf("scenario must ride along canonicalized: %+v", cfg.Scenario)
+	}
+
+	if _, err := ScenarioConfig(scenario.Scenario{Run: scenario.RunSpec{Trials: -1}}); err == nil {
+		t.Error("invalid scenario must fail")
+	}
+}
+
+func TestPrepareGenericCampaignScenarioConflicts(t *testing.T) {
+	sc := scenario.Scenario{Run: scenario.RunSpec{Trials: 5}}.Canon()
+	arm := func(inj *core.Injector, rng *rand.Rand) error { return nil }
+	for name, cfg := range map[string]GenericCampaignConfig{
+		"arm":         {Scenario: &sc, Arm: arm},
+		"stratify":    {Scenario: &sc, Stratify: true},
+		"dedup":       {Scenario: &sc, Dedup: true, ErrorModel: core.Zero{}},
+		"error model": {Scenario: &sc, ErrorModel: core.Zero{}},
+	} {
+		if _, err := PrepareGenericCampaign(context.Background(), cfg); err == nil {
+			t.Errorf("%s alongside a scenario must be rejected", name)
+		}
+	}
+	if _, err := PrepareGenericCampaign(context.Background(), GenericCampaignConfig{}); err == nil {
+		t.Error("no Arm, no generator, no scenario must be rejected")
+	}
+}
+
+// handWired returns the imperative GenericCampaignConfig equivalent to a
+// committed example scenario — the configs a user would have written
+// before scenarios existed. Every file in examples/scenarios MUST have
+// an entry here: the differential suite fails on an example without a
+// hand-wired twin, so the byte-identity promise covers all of them.
+func handWired(t *testing.T) map[string]func(*testing.T, context.Context) *CampaignEnv {
+	base := GenericCampaignConfig{
+		Model:       "alexnet",
+		Classes:     4,
+		InSize:      16,
+		TrainEpochs: 6,
+		Noise:       0.2,
+		Trials:      20,
+		Workers:     2,
+		Seed:        11,
+	}
+	prepare := func(t *testing.T, ctx context.Context, cfg GenericCampaignConfig) *CampaignEnv {
+		t.Helper()
+		env, err := PrepareGenericCampaign(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	return map[string]func(*testing.T, context.Context) *CampaignEnv{
+		"neuron_bitflip.yaml": func(t *testing.T, ctx context.Context) *CampaignEnv {
+			cfg := base
+			cfg.DType = core.INT8
+			cfg.Arm = func(inj *core.Injector, rng *rand.Rand) error {
+				_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit})
+				return err
+			}
+			return prepare(t, ctx, cfg)
+		},
+		"per_layer_zero.json": func(t *testing.T, ctx context.Context) *CampaignEnv {
+			cfg := base
+			cfg.DType = core.FP32
+			cfg.Arm = func(inj *core.Injector, rng *rand.Rand) error {
+				_, err := inj.InjectRandomNeuronPerLayer(rng, core.Zero{})
+				return err
+			}
+			return prepare(t, ctx, cfg)
+		},
+		"int8_stored_code.yaml": func(t *testing.T, ctx context.Context) *CampaignEnv {
+			cfg := base
+			cfg.Backend = "int8"
+			cfg.Arm = func(inj *core.Injector, rng *rand.Rand) error {
+				_, err := inj.InjectRandomNeuron(rng, core.BitFlip{Bit: core.RandomBit})
+				return err
+			}
+			return prepare(t, ctx, cfg)
+		},
+		"layer_rules.yaml": func(t *testing.T, ctx context.Context) *CampaignEnv {
+			cfg := base
+			cfg.DType = core.INT8
+			// conv1 disabled; conv2-4 restricted to bits [6,7]; conv5 a
+			// stuck-at-1 on bit 7 — resolved by hand.
+			cfg.Arm = func(inj *core.Injector, rng *rand.Rand) error {
+				enabled := []int{1, 2, 3, 4}
+				li := enabled[rng.Intn(len(enabled))]
+				site, err := inj.SiteInLayer(rng, li, true)
+				if err != nil {
+					return err
+				}
+				var m core.ErrorModel = core.RangedBitFlip{Lo: 6, Hi: 7}
+				if li == 4 {
+					m = core.StuckAt{Bit: 7, One: true}
+				}
+				return inj.DeclareNeuronFI(m, site)
+			}
+			return prepare(t, ctx, cfg)
+		},
+		"sweep_conv5_bit0.yaml": func(t *testing.T, ctx context.Context) *CampaignEnv {
+			cfg := base
+			cfg.DType = core.INT8
+			cfg.Trials = 64
+			cfg.Arm = func(inj *core.Injector, rng *rand.Rand) error { return nil } // replaced below
+			env := prepare(t, ctx, cfg)
+			// The sweep needs the trial index, which Arm does not carry:
+			// enumerate conv5's 4x4x4 sub-volume by hand and arm site
+			// t mod 64 through the engine's ArmTrial hook.
+			probe, err := env.NewReplica(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			layers := probe.Layers()
+			probe.Detach()
+			if len(layers) != 5 {
+				t.Fatalf("alexnet fixture has %d hooked layers, want 5", len(layers))
+			}
+			var sites []core.NeuronSite
+			for c := 0; c <= 3; c++ {
+				for h := 0; h <= 3; h++ {
+					for w := 0; w <= 3; w++ {
+						sites = append(sites, core.NeuronSite{Layer: 4, Batch: core.AllBatches, C: c, H: h, W: w})
+					}
+				}
+			}
+			env.Cfg.Arm = nil
+			env.armTrial = func(inj *core.Injector, _ *rand.Rand, trial int) error {
+				return inj.DeclareNeuronFI(core.BitFlip{Bit: 0}, sites[trial%len(sites)])
+			}
+			return env
+		},
+	}
+}
+
+// runMatrix executes the prepared campaign across the full execution
+// matrix — Workers {1,8} x schedule {auto,pack,seq} x prefix reuse
+// on/off — and returns the per-cell aggregates.
+func runMatrix(t *testing.T, env *CampaignEnv) map[string]campaign.Aggregate {
+	t.Helper()
+	out := map[string]campaign.Aggregate{}
+	for _, w := range []int{1, 8} {
+		for _, sched := range []string{"auto", "pack", "seq"} {
+			for _, reuse := range []bool{true, false} {
+				s, err := campaign.ParseSchedule(sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				env.Cfg.Schedule = s
+				env.Cfg.PrefixReuse = reuse
+				agg, err := env.Run(context.Background(), ShardRun{Trials: env.Cfg.Trials, Workers: w})
+				if err != nil {
+					t.Fatalf("w=%d %s reuse=%v: %v", w, sched, reuse, err)
+				}
+				out[fmt.Sprintf("w%d/%s/reuse=%v", w, sched, reuse)] = agg
+			}
+		}
+	}
+	return out
+}
+
+// TestScenarioDifferentialByteIdentity is the tentpole's proof
+// obligation: every committed example scenario, compiled and run through
+// the campaign engine, must reproduce the aggregate of its hand-wired
+// imperative equivalent byte-for-byte — across the whole worker x
+// schedule x prefix-reuse matrix, since none of those knobs may change
+// which fault a trial index arms.
+func TestScenarioDifferentialByteIdentity(t *testing.T) {
+	skipIfShort(t)
+	ctx := context.Background()
+	twins := handWired(t)
+
+	dir := filepath.Join("..", "..", "examples", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			mk, ok := twins[name]
+			if !ok {
+				t.Fatalf("committed example %s has no hand-wired twin in handWired; add one so the byte-identity promise covers it", name)
+			}
+			sc, err := scenario.Load(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gcfg, err := ScenarioConfig(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			senv, err := PrepareGenericCampaign(ctx, gcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			henv := mk(t, ctx)
+
+			if senv.Cfg.Trials != henv.Cfg.Trials {
+				t.Fatalf("trial budgets differ: scenario %d, hand %d", senv.Cfg.Trials, henv.Cfg.Trials)
+			}
+			if senv.CampaignSeed != henv.CampaignSeed {
+				t.Fatalf("campaign seeds differ: %d vs %d", senv.CampaignSeed, henv.CampaignSeed)
+			}
+			if !reflect.DeepEqual(senv.Eligible, henv.Eligible) {
+				t.Fatal("eligible sample lists differ — the model fixtures diverged")
+			}
+
+			sAggs := runMatrix(t, senv)
+			hAggs := runMatrix(t, henv)
+			ref := hAggs["w1/auto/reuse=true"]
+			if ref.Trials != senv.Cfg.Trials {
+				t.Fatalf("reference aggregate ran %d trials, want %d", ref.Trials, senv.Cfg.Trials)
+			}
+			for cell, got := range sAggs {
+				if got != ref {
+					t.Errorf("scenario aggregate at %s = %+v != hand-wired %+v", cell, got, ref)
+				}
+			}
+			for cell, got := range hAggs {
+				if got != ref {
+					t.Errorf("hand-wired aggregate at %s = %+v drifted from its own reference %+v", cell, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// scenarioGoldenResult is the committed shape: the aggregate plus the
+// per-layer observer report, with float64s pinned by their bit patterns.
+type scenarioGoldenResult struct {
+	Aggregate campaign.Aggregate `json:"aggregate"`
+	Observers *scenario.Report   `json:"observers"`
+}
+
+// TestScenarioGolden locks two full scenario runs — one per backend,
+// both with observers — against committed fixtures. Any drift in the
+// decode → compile → engine → observer-fold pipeline fails byte-exactly.
+// Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestScenarioGolden -update
+func TestScenarioGolden(t *testing.T) {
+	skipIfShort(t)
+	cases := []struct {
+		name, scenarioFile, goldenFile string
+	}{
+		{"f32", filepath.Join("testdata", "scenario_f32_observers.yaml"), filepath.Join("testdata", "golden_scenario_f32.json")},
+		{"int8", filepath.Join("..", "..", "examples", "scenarios", "int8_stored_code.yaml"), filepath.Join("testdata", "golden_scenario_int8.json")},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sc, err := scenario.Load(c.scenarioFile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gcfg, err := ScenarioConfig(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunGenericCampaign(context.Background(), gcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Observers == nil {
+				t.Fatal("golden scenarios declare observers; report missing")
+			}
+			for _, lm := range res.Observers.MSE {
+				if lm.MSEBits == 0 && lm.Trials > 0 {
+					t.Errorf("layer %s observed %d trials but MSEBits is zero", lm.Path, lm.Trials)
+				}
+			}
+			got, err := json.MarshalIndent(scenarioGoldenResult{Aggregate: res.Aggregate, Observers: res.Observers}, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			if *updateScenarioGolden {
+				if err := os.WriteFile(c.goldenFile, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", c.goldenFile)
+				return
+			}
+			want, err := os.ReadFile(c.goldenFile)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("scenario run drifted from golden %s:\n got: %s\nwant: %s", c.goldenFile, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,424 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofi/internal/core"
+)
+
+// LayerRule is one layer's fully resolved configuration: the scenario
+// default overlaid with every matching override, in rule order.
+type LayerRule struct {
+	Layer   core.LayerInfo
+	Enabled bool
+	Model   core.ErrorModel
+	// Rate is the per-layer fault rate the per-layer selector uses.
+	Rate float64
+}
+
+// Site is one resolved injection site, in replay-friendly form.
+type Site struct {
+	Layer  int
+	Weight bool
+	// Neuron is the site when !Weight (Batch is always AllBatches).
+	Neuron core.NeuronSite
+	// Idx is the weight coordinate when Weight.
+	Idx []int
+}
+
+// Compiled is a scenario resolved against one model's profiled layer
+// geometry. Its ArmTrial plugs straight into campaign.Config.ArmTrial;
+// Draw replays a trial's site draws without an injector, which is how
+// observers attribute records to layers.
+type Compiled struct {
+	sc      Scenario
+	layers  []core.LayerInfo
+	rules   []LayerRule
+	enabled []int // indices of enabled layers, ascending
+	weight  bool
+	sel     selector
+}
+
+func cErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCompile, fmt.Sprintf(format, args...))
+}
+
+// Compile resolves a canonicalized, validated scenario against the
+// hooked-layer geometry of the model it will run on. Mismatches —
+// rules or sites that select no layer, coordinates outside the
+// profiled shapes — fail loudly with ErrCompile.
+func Compile(sc Scenario, layers []core.LayerInfo) (*Compiled, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(layers) == 0 {
+		return nil, cErrf("model has no hooked layers")
+	}
+	weight := sc.Fault.Scope == "weight"
+	bits := sc.DTypeBits()
+
+	defModel, err := buildModel(*sc.Fault.Error, sc.Fault.Bits, bits)
+	if err != nil {
+		return nil, err
+	}
+	rules := make([]LayerRule, len(layers))
+	for i, l := range layers {
+		rules[i] = LayerRule{Layer: l, Enabled: true, Model: defModel, Rate: sc.Selector.Rate}
+	}
+	for ri, r := range sc.Layers {
+		matched := 0
+		for i := range rules {
+			if !MatchLayer(r.Match, rules[i].Layer.Path) {
+				continue
+			}
+			matched++
+			if r.Enable != nil {
+				rules[i].Enabled = *r.Enable
+			}
+			if r.Error != nil || r.Bits != nil {
+				e := sc.Fault.Error
+				if r.Error != nil {
+					e = r.Error
+				}
+				b := sc.Fault.Bits
+				if r.Bits != nil {
+					b = r.Bits
+				}
+				m, err := buildModel(*e, b, bits)
+				if err != nil {
+					return nil, err
+				}
+				rules[i].Model = m
+			}
+			if r.Rate != nil {
+				rules[i].Rate = *r.Rate
+			}
+		}
+		if matched == 0 {
+			return nil, cErrf("layers[%d]: match %q selects no layer of this model", ri, r.Match)
+		}
+	}
+	var enabled []int
+	for i, r := range rules {
+		if r.Enabled {
+			enabled = append(enabled, i)
+		}
+	}
+	if len(enabled) == 0 {
+		return nil, cErrf("every layer is disabled")
+	}
+
+	c := &Compiled{sc: sc, layers: layers, rules: rules, enabled: enabled, weight: weight}
+	switch sc.Selector.Kind {
+	case SelRandom:
+		c.sel = randomSel{rate: sc.Selector.Rate}
+	case SelPerLayer:
+		c.sel = perLayerSel{}
+	case SelFixed:
+		sites, err := c.resolveFixedSites(sc.Selector.Sites)
+		if err != nil {
+			return nil, err
+		}
+		c.sel = fixedSel{sites: sites}
+	case SelSweep:
+		sites, err := c.enumerateSweep(sc.Selector.Sweep)
+		if err != nil {
+			return nil, err
+		}
+		c.sel = sweepSel{sites: sites}
+	default:
+		return nil, cErrf("unknown selector kind %q", sc.Selector.Kind)
+	}
+	return c, nil
+}
+
+// buildModel maps an ErrorSpec (plus an optional bit range) onto a
+// core.ErrorModel. Bit-range canonicalization keeps draw sequences
+// identical to the hand-wired models: the full range and no range both
+// become the classic random-position model, a single-position range a
+// fixed-position one, and only a strict sub-range needs RangedBitFlip.
+func buildModel(e ErrorSpec, bitRange []int, dtypeBits int) (core.ErrorModel, error) {
+	full := len(bitRange) == 0 || (bitRange[0] == 0 && bitRange[1] == dtypeBits-1)
+	switch e.Kind {
+	case "bitflip":
+		if e.N > 1 {
+			return core.MultiBitFlip{N: e.N}, nil
+		}
+		if e.Bit != nil {
+			return core.BitFlip{Bit: *e.Bit}, nil
+		}
+		if full {
+			return core.BitFlip{Bit: core.RandomBit}, nil
+		}
+		if bitRange[0] == bitRange[1] {
+			return core.BitFlip{Bit: bitRange[0]}, nil
+		}
+		return core.RangedBitFlip{Lo: bitRange[0], Hi: bitRange[1]}, nil
+	case "stuck0", "stuck1":
+		one := e.Kind == "stuck1"
+		if e.Bit != nil {
+			return core.StuckAt{Bit: *e.Bit, One: one}, nil
+		}
+		if full {
+			return core.StuckAt{Bit: core.RandomBit, One: one}, nil
+		}
+		// Validate restricted stuck ranges to single positions.
+		return core.StuckAt{Bit: bitRange[0], One: one}, nil
+	case "random":
+		return core.RandomValue{Lo: float32(e.Range[0]), Hi: float32(e.Range[1])}, nil
+	case "zero":
+		return core.Zero{}, nil
+	case "set":
+		return core.SetValue{V: float32(e.Value)}, nil
+	case "gauss":
+		return core.GaussianNoise{Std: float32(e.Std)}, nil
+	case "gain":
+		return core.Gain{Factor: float32(e.Factor)}, nil
+	}
+	return nil, cErrf("unknown error kind %q", e.Kind)
+}
+
+// Scenario returns the canonicalized scenario this was compiled from.
+func (c *Compiled) Scenario() Scenario { return c.sc }
+
+// Rules returns the per-layer resolved view (for reports and tests).
+func (c *Compiled) Rules() []LayerRule { return append([]LayerRule(nil), c.rules...) }
+
+// IsolateWeights reports whether trials perturb weights, which the
+// campaign must isolate per replica.
+func (c *Compiled) IsolateWeights() bool { return c.weight }
+
+// SweepSites returns the sweep selector's enumeration size (0 for
+// other selectors).
+func (c *Compiled) SweepSites() int {
+	if s, ok := c.sel.(sweepSel); ok {
+		return len(s.sites)
+	}
+	return 0
+}
+
+// Trials returns the campaign budget: run.trials, defaulting to one
+// trial per enumerated site under the sweep selector.
+func (c *Compiled) Trials() int {
+	if c.sc.Run.Trials > 0 {
+		return c.sc.Run.Trials
+	}
+	return c.SweepSites()
+}
+
+// ArmTrial arms one trial's site(s) on a freshly Reset injector — the
+// campaign.Config.ArmTrial hook. The rng must be the trial's private
+// stream, positioned after the engine's sample draw; the draw sequence
+// per selector mirrors the hand-wired Inject* helpers exactly, which
+// is what the differential suite pins.
+func (c *Compiled) ArmTrial(inj *core.Injector, rng *rand.Rand, trial int) error {
+	sites := c.sel.draw(c, rng, trial)
+	for _, s := range sites {
+		m := c.rules[s.Layer].Model
+		if s.Weight {
+			if err := inj.DeclareWeightFI(m, core.WeightSite{Layer: s.Layer, Idx: s.Idx}); err != nil {
+				return err
+			}
+		} else if err := inj.DeclareNeuronFI(m, s.Neuron); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Draw replays trial's site draws on the given stream (positioned after
+// the sample draw, exactly as ArmTrial sees it) without an injector.
+// It consumes the same stream prefix as ArmTrial.
+func (c *Compiled) Draw(rng *rand.Rand, trial int) []Site {
+	return c.sel.draw(c, rng, trial)
+}
+
+// Model returns the resolved error model of one layer.
+func (c *Compiled) Model(layer int) core.ErrorModel { return c.rules[layer].Model }
+
+type selector interface {
+	// draw returns trial's sites, consuming exactly the stream draws
+	// arming consumes (and nothing else — replayability contract).
+	draw(c *Compiled, rng *rand.Rand, trial int) []Site
+}
+
+// drawCount turns a fault rate into this trial's integer count:
+// floor(rate) guaranteed faults plus one Bernoulli draw for the
+// fractional remainder. Integer rates consume no randomness.
+func drawCount(rng *rand.Rand, rate float64) int {
+	k := int(rate)
+	if frac := rate - float64(k); frac > 0 && rng.Float64() < frac {
+		k++
+	}
+	return k
+}
+
+// randomSel arms rate faults per trial, uniform over the enabled
+// layers then uniform over the layer's sites — at rate 1 with all
+// layers enabled this consumes the identical draw sequence to
+// core.InjectRandomNeuron / InjectRandomWeight.
+type randomSel struct{ rate float64 }
+
+func (s randomSel) draw(c *Compiled, rng *rand.Rand, _ int) []Site {
+	k := drawCount(rng, s.rate)
+	sites := make([]Site, 0, k)
+	for j := 0; j < k; j++ {
+		li := c.enabled[rng.Intn(len(c.enabled))]
+		sites = append(sites, c.drawInLayer(rng, li))
+	}
+	return sites
+}
+
+// perLayerSel arms each enabled layer's rate faults, in layer-index
+// order — at rate 1 with all layers enabled this consumes the
+// identical draw sequence to core.InjectRandomNeuronPerLayer.
+type perLayerSel struct{}
+
+func (perLayerSel) draw(c *Compiled, rng *rand.Rand, _ int) []Site {
+	sites := make([]Site, 0, len(c.enabled))
+	for _, li := range c.enabled {
+		for j := drawCount(rng, c.rules[li].Rate); j > 0; j-- {
+			sites = append(sites, c.drawInLayer(rng, li))
+		}
+	}
+	return sites
+}
+
+// drawInLayer mirrors core.(*Injector).randomSiteInLayer's draw order
+// (C, then H, then W; batch = AllBatches) for neuron scope, and
+// core.RandomWeightSite's per-dimension order for weight scope.
+func (c *Compiled) drawInLayer(rng *rand.Rand, li int) Site {
+	if c.weight {
+		shape := c.layers[li].Weight
+		idx := make([]int, len(shape))
+		for d, n := range shape {
+			idx[d] = rng.Intn(n)
+		}
+		return Site{Layer: li, Weight: true, Idx: idx}
+	}
+	cc, hh, ww := neuronExtents(c.layers[li])
+	return Site{Layer: li, Neuron: core.NeuronSite{
+		Layer: li, Batch: core.AllBatches, C: rng.Intn(cc), H: rng.Intn(hh), W: rng.Intn(ww),
+	}}
+}
+
+func neuronExtents(l core.LayerInfo) (cc, hh, ww int) {
+	if len(l.OutShape) == 4 {
+		return l.OutShape[1], l.OutShape[2], l.OutShape[3]
+	}
+	return l.OutShape[1], 1, 1
+}
+
+// fixedSel arms the same declared sites every trial; no draws.
+type fixedSel struct{ sites []Site }
+
+func (s fixedSel) draw(*Compiled, *rand.Rand, int) []Site { return s.sites }
+
+// sweepSel enumerates a declared site range once; trial t (global
+// index, so shards compose) arms site t mod N. A budget of exactly N
+// trials covers every site exactly once — the exhaustiveness property
+// the selector test pins.
+type sweepSel struct{ sites []Site }
+
+func (s sweepSel) draw(_ *Compiled, _ *rand.Rand, trial int) []Site {
+	return s.sites[trial%len(s.sites) : trial%len(s.sites)+1]
+}
+
+func (c *Compiled) resolveFixedSites(specs []SiteSpec) ([]Site, error) {
+	var sites []Site
+	for i, s := range specs {
+		matched := 0
+		for _, li := range c.enabled {
+			l := c.layers[li]
+			if !MatchLayer(s.Layer, l.Path) {
+				continue
+			}
+			matched++
+			if c.weight {
+				if len(s.Idx) != len(l.Weight) {
+					return nil, cErrf("selector.sites[%d]: idx has %d coordinates, layer %s weight is %d-dimensional",
+						i, len(s.Idx), l.Path, len(l.Weight))
+				}
+				for d, v := range s.Idx {
+					if v >= l.Weight[d] {
+						return nil, cErrf("selector.sites[%d]: idx[%d]=%d outside layer %s weight shape %v",
+							i, d, v, l.Path, l.Weight)
+					}
+				}
+				sites = append(sites, Site{Layer: li, Weight: true, Idx: append([]int(nil), s.Idx...)})
+				continue
+			}
+			cc, hh, ww := neuronExtents(l)
+			if s.C >= cc || s.H >= hh || s.W >= ww {
+				return nil, cErrf("selector.sites[%d]: (c=%d,h=%d,w=%d) outside layer %s extent (c=%d,h=%d,w=%d)",
+					i, s.C, s.H, s.W, l.Path, cc, hh, ww)
+			}
+			sites = append(sites, Site{Layer: li, Neuron: core.NeuronSite{
+				Layer: li, Batch: core.AllBatches, C: s.C, H: s.H, W: s.W,
+			}})
+		}
+		if matched == 0 {
+			return nil, cErrf("selector.sites[%d]: layer %q selects no enabled layer", i, s.Layer)
+		}
+	}
+	return sites, nil
+}
+
+// maxSweepSites caps the sweep enumeration; a sweep this size is a
+// config mistake, not a campaign.
+const maxSweepSites = 1 << 22
+
+func (c *Compiled) enumerateSweep(sw *SweepSpec) ([]Site, error) {
+	if sw == nil {
+		sw = &SweepSpec{}
+	}
+	clamp := func(rng []int, extent int, name string, l core.LayerInfo) (lo, hi int, err error) {
+		if len(rng) == 0 {
+			return 0, extent - 1, nil
+		}
+		if rng[1] >= extent {
+			return 0, 0, cErrf("selector.sweep: %s range %v outside layer %s extent %d", name, rng, l.Path, extent)
+		}
+		return rng[0], rng[1], nil
+	}
+	var sites []Site
+	matched := 0
+	for _, li := range c.enabled {
+		l := c.layers[li]
+		if !MatchLayer(sw.Match, l.Path) {
+			continue
+		}
+		matched++
+		cc, hh, ww := neuronExtents(l)
+		cLo, cHi, err := clamp(sw.C, cc, "c", l)
+		if err != nil {
+			return nil, err
+		}
+		hLo, hHi, err := clamp(sw.H, hh, "h", l)
+		if err != nil {
+			return nil, err
+		}
+		wLo, wHi, err := clamp(sw.W, ww, "w", l)
+		if err != nil {
+			return nil, err
+		}
+		n := (cHi - cLo + 1) * (hHi - hLo + 1) * (wHi - wLo + 1)
+		if len(sites)+n > maxSweepSites {
+			return nil, cErrf("selector.sweep: enumeration exceeds %d sites; narrow the ranges", maxSweepSites)
+		}
+		for cv := cLo; cv <= cHi; cv++ {
+			for hv := hLo; hv <= hHi; hv++ {
+				for wv := wLo; wv <= wHi; wv++ {
+					sites = append(sites, Site{Layer: li, Neuron: core.NeuronSite{
+						Layer: li, Batch: core.AllBatches, C: cv, H: hv, W: wv,
+					}})
+				}
+			}
+		}
+	}
+	if matched == 0 {
+		return nil, cErrf("selector.sweep: match %q selects no enabled layer", sw.Match)
+	}
+	return sites, nil
+}

@@ -1,0 +1,465 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gofi/internal/core"
+)
+
+// synthLayers is a hand-built layer geometry (a real model is not needed
+// to test resolution: Compile only reads paths and shapes).
+func synthLayers() []core.LayerInfo {
+	return []core.LayerInfo{
+		{Index: 0, Path: "m.conv1", Kind: "conv", OutShape: []int{1, 4, 8, 8}, Weight: []int{4, 3, 3, 3}},
+		{Index: 1, Path: "m.conv2", Kind: "conv", OutShape: []int{1, 6, 4, 4}, Weight: []int{6, 4, 3, 3}},
+		{Index: 2, Path: "m.fc", Kind: "linear", OutShape: []int{1, 5}, Weight: []int{5, 96}},
+	}
+}
+
+func compileOK(t *testing.T, sc Scenario) *Compiled {
+	t.Helper()
+	c, err := Compile(sc.Canon(), synthLayers())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return c
+}
+
+func TestCompileRuleResolution(t *testing.T) {
+	off := false
+	rate := 2.5
+	sc := minimal()
+	sc.Layers = []Rule{
+		{Match: "m.conv1", Enable: &off},
+		{Match: "m.conv?", Bits: []int{6, 7}},
+		{Match: "m.conv2", Error: &ErrorSpec{Kind: "stuck1", Bit: intp(7)}},
+		{Match: "m.fc", Rate: &rate},
+	}
+	c := compileOK(t, sc)
+
+	rules := c.Rules()
+	if rules[0].Enabled {
+		t.Error("conv1 must be disabled")
+	}
+	if !rules[1].Enabled || !rules[2].Enabled {
+		t.Error("conv2 and fc must stay enabled")
+	}
+	// conv1 still got the bits override (rules apply to disabled layers
+	// too; enablement is separate).
+	if got := rules[0].Model; !reflect.DeepEqual(got, core.RangedBitFlip{Lo: 6, Hi: 7}) {
+		t.Errorf("conv1 model = %#v", got)
+	}
+	// Later rules win: conv2's stuck1 supersedes the bits-derived model.
+	if got := rules[1].Model; !reflect.DeepEqual(got, core.StuckAt{Bit: 7, One: true}) {
+		t.Errorf("conv2 model = %#v", got)
+	}
+	// fc keeps the scenario default model but takes the rate override.
+	if got := rules[2].Model; !reflect.DeepEqual(got, core.BitFlip{Bit: core.RandomBit}) {
+		t.Errorf("fc model = %#v", got)
+	}
+	if rules[2].Rate != 2.5 {
+		t.Errorf("fc rate = %g", rules[2].Rate)
+	}
+	if got := c.Model(1); !reflect.DeepEqual(got, core.StuckAt{Bit: 7, One: true}) {
+		t.Errorf("Model(1) = %#v", got)
+	}
+	// Rules returns a copy, not the internal slice.
+	rules[1].Enabled = false
+	if !c.Rules()[1].Enabled {
+		t.Error("Rules must return a copy")
+	}
+}
+
+func intp(v int) *int { return &v }
+
+func TestBuildModelCanonicalization(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   ErrorSpec
+		bits  []int
+		dtype int
+		want  core.ErrorModel
+	}{
+		{"bitflip full width", ErrorSpec{Kind: "bitflip"}, nil, 8, core.BitFlip{Bit: core.RandomBit}},
+		{"bitflip explicit full range", ErrorSpec{Kind: "bitflip"}, []int{0, 7}, 8, core.BitFlip{Bit: core.RandomBit}},
+		{"bitflip fixed bit", ErrorSpec{Kind: "bitflip", Bit: intp(3)}, nil, 8, core.BitFlip{Bit: 3}},
+		{"bitflip single-position range", ErrorSpec{Kind: "bitflip"}, []int{5, 5}, 8, core.BitFlip{Bit: 5}},
+		{"bitflip strict sub-range", ErrorSpec{Kind: "bitflip"}, []int{2, 5}, 8, core.RangedBitFlip{Lo: 2, Hi: 5}},
+		{"multi-bit", ErrorSpec{Kind: "bitflip", N: 2}, nil, 8, core.MultiBitFlip{N: 2}},
+		{"stuck0 random position", ErrorSpec{Kind: "stuck0"}, nil, 8, core.StuckAt{Bit: core.RandomBit}},
+		{"stuck1 fixed bit", ErrorSpec{Kind: "stuck1", Bit: intp(7)}, nil, 8, core.StuckAt{Bit: 7, One: true}},
+		{"stuck restricted to one position", ErrorSpec{Kind: "stuck0"}, []int{4, 4}, 8, core.StuckAt{Bit: 4}},
+		{"random value", ErrorSpec{Kind: "random", Range: []float64{-2, 2}}, nil, 32, core.RandomValue{Lo: -2, Hi: 2}},
+		{"zero", ErrorSpec{Kind: "zero"}, nil, 32, core.Zero{}},
+		{"set", ErrorSpec{Kind: "set", Value: 1.5}, nil, 32, core.SetValue{V: 1.5}},
+		{"gauss", ErrorSpec{Kind: "gauss", Std: 0.5}, nil, 32, core.GaussianNoise{Std: 0.5}},
+		{"gain", ErrorSpec{Kind: "gain", Factor: 3}, nil, 32, core.Gain{Factor: 3}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := buildModel(c.err, c.bits, c.dtype)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("buildModel = %#v, want %#v", got, c.want)
+			}
+		})
+	}
+	if _, err := buildModel(ErrorSpec{Kind: "nope"}, nil, 8); err == nil {
+		t.Error("unknown kind must fail")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	off := false
+	cases := []struct {
+		name string
+		edit func(*Scenario)
+		frag string
+	}{
+		{"rule matches nothing", func(s *Scenario) {
+			s.Layers = []Rule{{Match: "vgg.*"}}
+		}, "selects no layer"},
+		{"all layers disabled", func(s *Scenario) {
+			s.Layers = []Rule{{Match: "*", Enable: &off}}
+		}, "every layer is disabled"},
+		{"fixed site no layer", func(s *Scenario) {
+			s.Selector = SelectorSpec{Kind: SelFixed, Sites: []SiteSpec{{Layer: "vgg.conv1"}}}
+		}, "selects no enabled layer"},
+		{"fixed site disabled layer", func(s *Scenario) {
+			s.Layers = []Rule{{Match: "m.conv1", Enable: &off}}
+			s.Selector = SelectorSpec{Kind: SelFixed, Sites: []SiteSpec{{Layer: "m.conv1"}}}
+		}, "selects no enabled layer"},
+		{"fixed site out of range", func(s *Scenario) {
+			s.Selector = SelectorSpec{Kind: SelFixed, Sites: []SiteSpec{{Layer: "m.conv1", C: 4}}}
+		}, "outside layer m.conv1 extent"},
+		{"fixed linear site out of range", func(s *Scenario) {
+			s.Selector = SelectorSpec{Kind: SelFixed, Sites: []SiteSpec{{Layer: "m.fc", H: 1}}}
+		}, "outside layer m.fc extent"},
+		{"weight idx dim mismatch", func(s *Scenario) {
+			s.Fault.Scope = "weight"
+			s.Selector = SelectorSpec{Kind: SelFixed, Sites: []SiteSpec{{Layer: "m.conv1", Idx: []int{0, 0}}}}
+		}, "4-dimensional"},
+		{"weight idx out of range", func(s *Scenario) {
+			s.Fault.Scope = "weight"
+			s.Selector = SelectorSpec{Kind: SelFixed, Sites: []SiteSpec{{Layer: "m.fc", Idx: []int{5, 0}}}}
+		}, "outside layer m.fc weight shape"},
+		{"sweep range outside extent", func(s *Scenario) {
+			s.Selector = SelectorSpec{Kind: SelSweep, Sweep: &SweepSpec{Match: "m.conv1", C: []int{0, 4}}}
+		}, "outside layer m.conv1 extent"},
+		{"sweep matches nothing", func(s *Scenario) {
+			s.Selector = SelectorSpec{Kind: SelSweep, Sweep: &SweepSpec{Match: "vgg.*"}}
+		}, "selects no enabled layer"},
+		{"sweep matches only disabled", func(s *Scenario) {
+			s.Layers = []Rule{{Match: "m.conv1", Enable: &off}}
+			s.Selector = SelectorSpec{Kind: SelSweep, Sweep: &SweepSpec{Match: "m.conv1"}}
+		}, "selects no enabled layer"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sc := minimal()
+			c.edit(&sc)
+			_, err := Compile(sc.Canon(), synthLayers())
+			if err == nil {
+				t.Fatal("Compile must fail")
+			}
+			if !errors.Is(err, ErrCompile) {
+				t.Errorf("error %v does not wrap ErrCompile", err)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q does not mention %q", err, c.frag)
+			}
+		})
+	}
+
+	if _, err := Compile(minimal().Canon(), nil); err == nil || !errors.Is(err, ErrCompile) {
+		t.Errorf("empty layer list must fail with ErrCompile, got %v", err)
+	}
+	// Compile re-validates: a non-canonical scenario (version still 0)
+	// fails loudly instead of compiling garbage.
+	if _, err := Compile(Scenario{}, synthLayers()); err == nil || !errors.Is(err, ErrVersion) {
+		t.Errorf("un-canonicalized scenario must fail validation, got %v", err)
+	}
+}
+
+// TestRandomSelectorDrawOrder pins the byte-identity contract: at rate 1
+// with every layer enabled, the random selector consumes the exact draw
+// sequence of core.InjectRandomNeuron (layer, then C, H, W) — replayed
+// here by hand against an identically seeded stream.
+func TestRandomSelectorDrawOrder(t *testing.T) {
+	c := compileOK(t, minimal())
+	layers := synthLayers()
+	for trial := 0; trial < 50; trial++ {
+		a := rand.New(rand.NewSource(int64(trial + 1)))
+		b := rand.New(rand.NewSource(int64(trial + 1)))
+		sites := c.Draw(a, trial)
+		if len(sites) != 1 {
+			t.Fatalf("trial %d: %d sites, want 1", trial, len(sites))
+		}
+		li := b.Intn(len(layers))
+		cc, hh, ww := neuronExtents(layers[li])
+		want := core.NeuronSite{Layer: li, Batch: core.AllBatches, C: b.Intn(cc), H: b.Intn(hh), W: b.Intn(ww)}
+		if sites[0].Layer != li || sites[0].Neuron != want {
+			t.Fatalf("trial %d: site %+v, want %+v", trial, sites[0], want)
+		}
+		// Both streams must now be in the same position.
+		if a.Int63() != b.Int63() {
+			t.Fatalf("trial %d: selector consumed a different number of draws", trial)
+		}
+	}
+}
+
+// TestPerLayerSelectorDrawOrder pins the per-layer selector against
+// core.InjectRandomNeuronPerLayer's sequence: one site per enabled
+// layer, ascending layer index, C/H/W per layer.
+func TestPerLayerSelectorDrawOrder(t *testing.T) {
+	sc := minimal()
+	sc.Selector = SelectorSpec{Kind: SelPerLayer, Rate: 1}
+	c := compileOK(t, sc)
+	layers := synthLayers()
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	sites := c.Draw(a, 0)
+	if len(sites) != len(layers) {
+		t.Fatalf("%d sites, want %d", len(sites), len(layers))
+	}
+	for li, s := range sites {
+		cc, hh, ww := neuronExtents(layers[li])
+		want := core.NeuronSite{Layer: li, Batch: core.AllBatches, C: b.Intn(cc), H: b.Intn(hh), W: b.Intn(ww)}
+		if s.Neuron != want {
+			t.Fatalf("layer %d: site %+v, want %+v", li, s.Neuron, want)
+		}
+	}
+	if a.Int63() != b.Int63() {
+		t.Fatal("per-layer selector consumed a different number of draws")
+	}
+}
+
+func TestPerLayerRateOverrides(t *testing.T) {
+	zero, two := 0.0, 2.0
+	sc := minimal()
+	sc.Selector = SelectorSpec{Kind: SelPerLayer, Rate: 1}
+	sc.Layers = []Rule{
+		{Match: "m.conv1", Rate: &zero},
+		{Match: "m.fc", Rate: &two},
+	}
+	c := compileOK(t, sc)
+	sites := c.Draw(rand.New(rand.NewSource(1)), 0)
+	var perLayer [3]int
+	for _, s := range sites {
+		perLayer[s.Layer]++
+	}
+	if perLayer[0] != 0 || perLayer[1] != 1 || perLayer[2] != 2 {
+		t.Errorf("per-layer site counts = %v, want [0 1 2]", perLayer)
+	}
+}
+
+func TestDrawCount(t *testing.T) {
+	// Integer rates must consume no randomness at all.
+	a := rand.New(rand.NewSource(5))
+	b := rand.New(rand.NewSource(5))
+	if got := drawCount(a, 3); got != 3 {
+		t.Errorf("drawCount(3) = %d", got)
+	}
+	if a.Int63() != b.Int63() {
+		t.Error("integer rate consumed a draw")
+	}
+	// Fractional rates consume exactly one Float64.
+	a = rand.New(rand.NewSource(5))
+	b = rand.New(rand.NewSource(5))
+	got := drawCount(a, 1.5)
+	bern := b.Float64() < 0.5
+	want := 1
+	if bern {
+		want = 2
+	}
+	if got != want {
+		t.Errorf("drawCount(1.5) = %d, want %d", got, want)
+	}
+	if a.Int63() != b.Int63() {
+		t.Error("fractional rate consumed more than one draw")
+	}
+}
+
+func TestWeightScopeDraw(t *testing.T) {
+	sc := minimal()
+	sc.Fault.Scope = "weight"
+	c := compileOK(t, sc)
+	if !c.IsolateWeights() {
+		t.Error("weight scope must report IsolateWeights")
+	}
+	layers := synthLayers()
+	a := rand.New(rand.NewSource(9))
+	b := rand.New(rand.NewSource(9))
+	sites := c.Draw(a, 0)
+	if len(sites) != 1 || !sites[0].Weight {
+		t.Fatalf("sites = %+v", sites)
+	}
+	li := b.Intn(len(layers))
+	shape := layers[li].Weight
+	want := make([]int, len(shape))
+	for d, n := range shape {
+		want[d] = b.Intn(n)
+	}
+	if sites[0].Layer != li || !reflect.DeepEqual(sites[0].Idx, want) {
+		t.Fatalf("site %+v, want layer %d idx %v", sites[0], li, want)
+	}
+	if a.Int63() != b.Int63() {
+		t.Fatal("weight draw consumed a different number of draws")
+	}
+	if c.IsolateWeights() == false {
+		t.Error("IsolateWeights changed")
+	}
+}
+
+func TestFixedSelectorResolution(t *testing.T) {
+	sc := minimal()
+	sc.Selector = SelectorSpec{Kind: SelFixed, Sites: []SiteSpec{
+		{Layer: "m.conv?", C: 1, H: 2, W: 3},
+		{Layer: "m.fc", C: 4},
+	}}
+	c := compileOK(t, sc)
+	if c.IsolateWeights() {
+		t.Error("neuron scope must not isolate weights")
+	}
+	// The glob expands over both conv layers; the fixed site list is the
+	// same every trial and consumes no randomness (nil rng is fine).
+	sites := c.Draw(nil, 0)
+	want := []Site{
+		{Layer: 0, Neuron: core.NeuronSite{Layer: 0, Batch: core.AllBatches, C: 1, H: 2, W: 3}},
+		{Layer: 1, Neuron: core.NeuronSite{Layer: 1, Batch: core.AllBatches, C: 1, H: 2, W: 3}},
+		{Layer: 2, Neuron: core.NeuronSite{Layer: 2, Batch: core.AllBatches, C: 4}},
+	}
+	if !reflect.DeepEqual(sites, want) {
+		t.Errorf("fixed sites = %+v, want %+v", sites, want)
+	}
+	if !reflect.DeepEqual(c.Draw(nil, 17), want) {
+		t.Error("fixed sites must be identical across trials")
+	}
+	if c.SweepSites() != 0 {
+		t.Error("SweepSites must be 0 for non-sweep selectors")
+	}
+}
+
+func TestFixedWeightSites(t *testing.T) {
+	sc := minimal()
+	sc.Fault.Scope = "weight"
+	sc.Selector = SelectorSpec{Kind: SelFixed, Sites: []SiteSpec{
+		{Layer: "m.fc", Idx: []int{4, 95}},
+	}}
+	c := compileOK(t, sc)
+	sites := c.Draw(nil, 0)
+	if len(sites) != 1 || !sites[0].Weight || sites[0].Layer != 2 || !reflect.DeepEqual(sites[0].Idx, []int{4, 95}) {
+		t.Errorf("weight sites = %+v", sites)
+	}
+}
+
+// TestSweepExhaustive is the selector property test: with a trial budget
+// of exactly the enumeration size, every declared site is armed exactly
+// once, in layer-major C/H/W-ascending order, and the enumeration wraps
+// at N.
+func TestSweepExhaustive(t *testing.T) {
+	off := false
+	sc := minimal()
+	sc.Run.Trials = 0
+	sc.Layers = []Rule{{Match: "m.fc", Enable: &off}}
+	sc.Selector = SelectorSpec{Kind: SelSweep, Sweep: &SweepSpec{
+		Match: "m.conv?",
+		C:     []int{1, 2},
+		H:     []int{0, 3},
+		W:     []int{2, 3},
+	}}
+	c := compileOK(t, sc)
+
+	// Both conv layers are swept over 2*4*2 = 16 sites each.
+	wantN := 2 * (2 * 4 * 2)
+	if got := c.SweepSites(); got != wantN {
+		t.Fatalf("SweepSites = %d, want %d", got, wantN)
+	}
+	if got := c.Trials(); got != wantN {
+		t.Fatalf("Trials = %d, want the enumeration size %d", got, wantN)
+	}
+
+	seen := map[string]int{}
+	var order []string
+	for trial := 0; trial < wantN; trial++ {
+		sites := c.Draw(nil, trial)
+		if len(sites) != 1 {
+			t.Fatalf("trial %d: %d sites, want 1", trial, len(sites))
+		}
+		s := sites[0]
+		if s.Layer != 0 && s.Layer != 1 {
+			t.Fatalf("trial %d: site in disabled or unmatched layer %d", trial, s.Layer)
+		}
+		n := s.Neuron
+		if n.C < 1 || n.C > 2 || n.H < 0 || n.H > 3 || n.W < 2 || n.W > 3 {
+			t.Fatalf("trial %d: site %+v outside the declared ranges", trial, n)
+		}
+		key := fmt.Sprintf("%d/%d/%d/%d", s.Layer, n.C, n.H, n.W)
+		seen[key]++
+		order = append(order, key)
+	}
+	if len(seen) != wantN {
+		t.Fatalf("saw %d distinct sites, want %d", len(seen), wantN)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("site %s armed %d times, want exactly once", key, n)
+		}
+	}
+	// Layer-major, then C, H, W ascending: first site of each layer.
+	if order[0] != "0/1/0/2" || order[16] != "1/1/0/2" || order[1] != "0/1/0/3" {
+		t.Errorf("enumeration order wrong: order[0]=%s order[1]=%s order[16]=%s", order[0], order[1], order[16])
+	}
+	// Trial N wraps to site 0 — shards past one full sweep revisit.
+	if got := c.Draw(nil, wantN); !reflect.DeepEqual(got, c.Draw(nil, 0)) {
+		t.Error("trial N must wrap to site 0")
+	}
+}
+
+func TestSweepDefaultsToFullExtent(t *testing.T) {
+	sc := minimal()
+	sc.Run.Trials = 0
+	sc.Selector = SelectorSpec{Kind: SelSweep}
+	c := compileOK(t, sc)
+	want := 4*8*8 + 6*4*4 + 5 // conv1 + conv2 + fc full volumes
+	if got := c.SweepSites(); got != want {
+		t.Errorf("SweepSites = %d, want %d", got, want)
+	}
+	// An explicit run.trials overrides the enumeration-size default.
+	sc.Run.Trials = 7
+	c = compileOK(t, sc)
+	if got := c.Trials(); got != 7 {
+		t.Errorf("Trials = %d, want 7", got)
+	}
+}
+
+func TestSweepSizeCap(t *testing.T) {
+	huge := []core.LayerInfo{
+		{Index: 0, Path: "m.big", Kind: "conv", OutShape: []int{1, 1 << 8, 1 << 8, 1 << 8}, Weight: []int{1, 1, 1, 1}},
+	}
+	sc := minimal()
+	sc.Run.Trials = 0
+	sc.Selector = SelectorSpec{Kind: SelSweep}
+	_, err := Compile(sc.Canon(), huge)
+	if err == nil || !errors.Is(err, ErrCompile) || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized sweep must fail with the cap error, got %v", err)
+	}
+}
+
+func TestCompiledAccessors(t *testing.T) {
+	sc := minimal().Canon()
+	c := compileOK(t, sc)
+	if !reflect.DeepEqual(c.Scenario(), sc) {
+		t.Error("Scenario() must return the compiled scenario")
+	}
+	if got := c.Trials(); got != sc.Run.Trials {
+		t.Errorf("Trials = %d, want %d", got, sc.Run.Trials)
+	}
+}

@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Decode parses a scenario document — JSON or the YAML subset — then
+// canonicalizes and validates it. Both formats funnel through one
+// strict JSON decode, so unknown fields are rejected uniformly with
+// ErrScenario and unsupported versions with ErrVersion. The document
+// format is sniffed from the first non-blank byte ('{' means JSON).
+func Decode(data []byte) (Scenario, error) {
+	if isJSONDocument(data) {
+		return DecodeJSON(data)
+	}
+	j, err := yamlToJSON(data)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	return DecodeJSON(j)
+}
+
+// DecodeJSON parses a JSON scenario document, rejecting unknown fields
+// and trailing content, then canonicalizes and validates it.
+func DecodeJSON(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err == nil || len(trailing) > 0 {
+		return Scenario{}, fmt.Errorf("%w: trailing content after scenario document", ErrScenario)
+	}
+	sc = sc.Canon()
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// Load reads and decodes a scenario file.
+func Load(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	sc, err := Decode(data)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Encode renders the canonical JSON form of the scenario. Encode∘Decode
+// is the identity on canonicalized scenarios, which is what lets the
+// serve wire format embed one and the fuzz harness check idempotency.
+func (sc Scenario) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	return append(b, '\n'), nil
+}
+
+func isJSONDocument(data []byte) bool {
+	for _, c := range data {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		return c == '{'
+	}
+	return false
+}

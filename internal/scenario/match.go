@@ -1,0 +1,51 @@
+package scenario
+
+import "strings"
+
+// MatchLayer reports whether a match expression selects a layer's
+// dotted path (as reported by core.LayerInfo.Path). Two forms:
+//
+//   - A literal (no * or ?) matches the exact path or any dot-delimited
+//     prefix of it: "features" selects features, features.3 and
+//     features.3.conv — the MRFI-style subtree selection.
+//   - A glob matches the whole path, with * spanning any run of
+//     characters (dots included) and ? exactly one: "*.conv" selects
+//     every conv leaf, "features.?" the direct children.
+//
+// The empty pattern and "*" select everything.
+func MatchLayer(pattern, path string) bool {
+	if pattern == "" || pattern == "*" {
+		return true
+	}
+	if !strings.ContainsAny(pattern, "*?") {
+		return pattern == path || strings.HasPrefix(path, pattern+".")
+	}
+	return globMatch(pattern, path)
+}
+
+// globMatch is the classic linear-time backtracking glob: on a
+// mismatch, retry from the most recent * with it consuming one more
+// character.
+func globMatch(pattern, s string) bool {
+	p, i := 0, 0
+	star, mark := -1, 0
+	for i < len(s) {
+		switch {
+		case p < len(pattern) && (pattern[p] == '?' || pattern[p] == s[i]):
+			p++
+			i++
+		case p < len(pattern) && pattern[p] == '*':
+			star, mark = p, i
+			p++
+		case star >= 0:
+			mark++
+			p, i = star+1, mark
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}

@@ -1,0 +1,44 @@
+package scenario
+
+import "testing"
+
+func TestMatchLayer(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		// Empty and universal patterns.
+		{"", "alexnet.conv1", true},
+		{"*", "alexnet.conv1", true},
+		// Literal exact and dot-delimited subtree prefixes.
+		{"alexnet.conv1", "alexnet.conv1", true},
+		{"alexnet", "alexnet.conv1", true},
+		{"features", "features.3.conv", true},
+		{"features.3", "features.3.conv", true},
+		// A literal prefix must end on a dot boundary.
+		{"alexnet.conv", "alexnet.conv1", false},
+		{"features.3", "features.30", false},
+		{"alexnet.conv2", "alexnet.conv1", false},
+		// Globs span the whole path; * crosses dots, ? is one char.
+		{"*.conv1", "alexnet.conv1", true},
+		{"*conv*", "alexnet.conv1", true},
+		{"alexnet.conv?", "alexnet.conv1", true},
+		{"alexnet.conv?", "alexnet.conv12", false},
+		{"alexnet.*", "alexnet.conv1", true},
+		{"*.fc", "alexnet.conv1", false},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "aXbY", false},
+		// Backtracking: first * match must retry to let the suffix fit.
+		{"*.conv", "m.conv.sub.conv", true},
+		{"??", "ab", true},
+		{"??", "a", false},
+		// Trailing stars collapse.
+		{"alexnet**", "alexnet", true},
+		{"?*", "", false},
+	}
+	for _, c := range cases {
+		if got := MatchLayer(c.pattern, c.path); got != c.want {
+			t.Errorf("MatchLayer(%q, %q) = %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}

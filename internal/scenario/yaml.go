@@ -1,0 +1,319 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// yamlToJSON converts the strict YAML subset scenario files use into
+// the equivalent JSON document, which then goes through the same
+// unknown-field-rejecting decode as native JSON. The subset is plain
+// block YAML: nested mappings by two-or-more-space indentation, "- "
+// block sequences (including sequences of mappings), inline flow lists
+// of scalars ("[0, 7]"), quoted and plain scalars, and "#" comments.
+// Out of scope — and rejected loudly rather than misparsed: tab
+// indentation, flow mappings, anchors/aliases/tags, multi-document
+// streams, and block scalars (| and >).
+func yamlToJSON(src []byte) ([]byte, error) {
+	lines, err := yamlLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	v, next, err := parseYAMLValue(lines, 0, lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("yaml: line %d: unexpected de-indent to column %d", lines[next].num, lines[next].indent)
+	}
+	return marshalJSON(v)
+}
+
+const maxYAMLDepth = 64
+
+type yamlLine struct {
+	indent int
+	text   string
+	num    int
+}
+
+// yamlLines splits the source into significant lines: comments
+// stripped, blanks dropped, indentation measured (tabs rejected).
+func yamlLines(src []byte) ([]yamlLine, error) {
+	var out []yamlLine
+	for num, raw := range strings.Split(string(src), "\n") {
+		line := strings.TrimRight(raw, " \r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		text := line[indent:]
+		if text == "" {
+			continue
+		}
+		if strings.ContainsRune(line[:indent], '\t') || strings.HasPrefix(text, "\t") {
+			return nil, fmt.Errorf("yaml: line %d: tab indentation is not allowed", num+1)
+		}
+		if text == "---" && len(out) == 0 {
+			continue // leading document marker
+		}
+		text = stripComment(text)
+		if text == "" {
+			continue
+		}
+		out = append(out, yamlLine{indent: indent, text: text, num: num + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "#"-comment that is outside quotes
+// and preceded by whitespace (or starts the line), per YAML rules.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return strings.TrimRight(s[:i], " ")
+		}
+	}
+	return s
+}
+
+// parseYAMLValue parses the block value starting at lines[i], whose
+// items sit at exactly the given indent. It returns the value and the
+// index of the first unconsumed line.
+func parseYAMLValue(lines []yamlLine, i, indent, depth int) (any, int, error) {
+	if depth > maxYAMLDepth {
+		return nil, i, fmt.Errorf("yaml: line %d: nesting deeper than %d levels", lines[i].num, maxYAMLDepth)
+	}
+	if isSeqItem(lines[i].text) {
+		return parseYAMLSeq(lines, i, indent, depth)
+	}
+	return parseYAMLMap(lines, i, indent, depth)
+}
+
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func parseYAMLSeq(lines []yamlLine, i, indent, depth int) (any, int, error) {
+	seq := []any{}
+	for i < len(lines) && lines[i].indent == indent && isSeqItem(lines[i].text) {
+		ln := lines[i]
+		rest := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			// "-" alone: the item is the nested block on the following
+			// deeper-indented lines.
+			if i+1 >= len(lines) || lines[i+1].indent <= indent {
+				seq = append(seq, nil)
+				i++
+				continue
+			}
+			v, next, err := parseYAMLValue(lines, i+1, lines[i+1].indent, depth+1)
+			if err != nil {
+				return nil, i, err
+			}
+			seq = append(seq, v)
+			i = next
+			continue
+		}
+		if key, val, ok := splitKey(rest); ok {
+			// "- key: ..." starts an inline mapping whose further keys
+			// sit at the rest's column on the following lines.
+			col := ln.indent + (len(ln.text) - len(rest))
+			item, next, err := parseInlineMap(lines, i, col, key, val, depth+1)
+			if err != nil {
+				return nil, i, err
+			}
+			seq = append(seq, item)
+			i = next
+			continue
+		}
+		v, err := parseScalar(rest, ln.num)
+		if err != nil {
+			return nil, i, err
+		}
+		seq = append(seq, v)
+		i++
+	}
+	return seq, i, nil
+}
+
+// parseInlineMap parses a mapping whose first entry (key: val) appears
+// inline on lines[i] at the given column, with subsequent keys on the
+// following lines at that same column.
+func parseInlineMap(lines []yamlLine, i, col int, key, val string, depth int) (map[string]any, int, error) {
+	m := map[string]any{}
+	num := lines[i].num
+	v, next, err := parseMapEntry(lines, i, col, val, num, depth)
+	if err != nil {
+		return nil, i, err
+	}
+	m[key] = v
+	i = next
+	for i < len(lines) && lines[i].indent == col && !isSeqItem(lines[i].text) {
+		k, val, ok := splitKey(lines[i].text)
+		if !ok {
+			return nil, i, fmt.Errorf("yaml: line %d: expected \"key:\", got %q", lines[i].num, lines[i].text)
+		}
+		if _, dup := m[k]; dup {
+			return nil, i, fmt.Errorf("yaml: line %d: duplicate key %q", lines[i].num, k)
+		}
+		v, next, err := parseMapEntry(lines, i, col, val, lines[i].num, depth)
+		if err != nil {
+			return nil, i, err
+		}
+		m[k] = v
+		i = next
+	}
+	return m, i, nil
+}
+
+func parseYAMLMap(lines []yamlLine, i, indent, depth int) (any, int, error) {
+	m := map[string]any{}
+	for i < len(lines) && lines[i].indent == indent && !isSeqItem(lines[i].text) {
+		ln := lines[i]
+		key, val, ok := splitKey(ln.text)
+		if !ok {
+			return nil, i, fmt.Errorf("yaml: line %d: expected \"key:\", got %q", ln.num, ln.text)
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("yaml: line %d: duplicate key %q", ln.num, key)
+		}
+		v, next, err := parseMapEntry(lines, i, indent, val, ln.num, depth)
+		if err != nil {
+			return nil, i, err
+		}
+		m[key] = v
+		i = next
+	}
+	if len(m) == 0 {
+		return nil, i, fmt.Errorf("yaml: line %d: expected a mapping entry, got %q", lines[i].num, lines[i].text)
+	}
+	return m, i, nil
+}
+
+// parseMapEntry parses the value of "key: val" at lines[i] (indent =
+// the key's column). An empty val means the value is the nested block
+// below; a sequence may also sit at the key's own indent.
+func parseMapEntry(lines []yamlLine, i, indent int, val string, num, depth int) (any, int, error) {
+	if val != "" {
+		v, err := parseScalar(val, num)
+		return v, i + 1, err
+	}
+	if i+1 < len(lines) && lines[i+1].indent > indent {
+		return parseYAMLValue(lines, i+1, lines[i+1].indent, depth+1)
+	}
+	if i+1 < len(lines) && lines[i+1].indent == indent && isSeqItem(lines[i+1].text) {
+		return parseYAMLSeq(lines, i+1, indent, depth+1)
+	}
+	return nil, i + 1, nil
+}
+
+// splitKey splits "key: value" / "key:" at the first top-level colon.
+func splitKey(s string) (key, val string, ok bool) {
+	if len(s) == 0 || s[0] == '\'' || s[0] == '"' {
+		// Quoted keys are out of the subset; scenario keys are plain.
+		return "", "", false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			if i+1 == len(s) {
+				return s[:i], "", s[:i] != ""
+			}
+			if s[i+1] == ' ' {
+				return s[:i], strings.TrimLeft(s[i+1:], " "), s[:i] != ""
+			}
+		}
+	}
+	return "", "", false
+}
+
+func parseScalar(s string, num int) (any, error) {
+	switch {
+	case s == "" || s == "~" || s == "null":
+		return nil, nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s[0] == '"':
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("yaml: line %d: bad double-quoted scalar %s", num, s)
+		}
+		return v, nil
+	case s[0] == '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, fmt.Errorf("yaml: line %d: unterminated single-quoted scalar %s", num, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	case s[0] == '[':
+		return parseFlowList(s, num)
+	case s[0] == '{':
+		return nil, fmt.Errorf("yaml: line %d: flow mappings are not supported", num)
+	case s == "|" || s == ">" || strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">"):
+		return nil, fmt.Errorf("yaml: line %d: block scalars are not supported", num)
+	case s[0] == '&' || s[0] == '*' || s[0] == '!':
+		return nil, fmt.Errorf("yaml: line %d: anchors, aliases and tags are not supported", num)
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
+		return f, nil
+	}
+	return s, nil
+}
+
+// parseFlowList parses an inline "[a, b, c]" list of scalars.
+func parseFlowList(s string, num int) (any, error) {
+	if s[len(s)-1] != ']' {
+		return nil, fmt.Errorf("yaml: line %d: unterminated flow list %s", num, s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	out := []any{}
+	if inner == "" {
+		return out, nil
+	}
+	if strings.ContainsAny(inner, "[]{}") {
+		return nil, fmt.Errorf("yaml: line %d: nested flow collections are not supported", num)
+	}
+	for _, part := range strings.Split(inner, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("yaml: line %d: empty element in flow list %s", num, s)
+		}
+		v, err := parseScalar(part, num)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// marshalJSON is a thin wrapper so a marshal failure (impossible for
+// the value shapes the parser emits, but cheap to guard) surfaces as an
+// error instead of a panic.
+func marshalJSON(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("yaml: %v", err)
+	}
+	return b, nil
+}

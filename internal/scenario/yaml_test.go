@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// jsonOf converts or fails the test.
+func jsonOf(t *testing.T, src string) string {
+	t.Helper()
+	b, err := yamlToJSON([]byte(src))
+	if err != nil {
+		t.Fatalf("yamlToJSON(%q): %v", src, err)
+	}
+	return string(b)
+}
+
+func TestYAMLToJSON(t *testing.T) {
+	cases := []struct {
+		name, yaml, json string
+	}{
+		{
+			name: "nested mappings and scalar types",
+			yaml: "a: 1\nb:\n  c: -2.5\n  d: true\n  e: null\n  f: hello\n",
+			json: `{"a":1,"b":{"c":-2.5,"d":true,"e":null,"f":"hello"}}`,
+		},
+		{
+			name: "block sequence of scalars",
+			yaml: "xs:\n  - 1\n  - two\n  - false\n",
+			json: `{"xs":[1,"two",false]}`,
+		},
+		{
+			name: "sequence at the key's own indent",
+			yaml: "xs:\n- 1\n- 2\n",
+			json: `{"xs":[1,2]}`,
+		},
+		{
+			name: "sequence of mappings",
+			yaml: "rules:\n  - match: a\n    enable: false\n  - match: b\n",
+			json: `{"rules":[{"enable":false,"match":"a"},{"match":"b"}]}`,
+		},
+		{
+			name: "inline flow list",
+			yaml: "bits: [0, 7]\nempty: []\n",
+			json: `{"bits":[0,7],"empty":[]}`,
+		},
+		{
+			name: "quoted scalars and comments",
+			yaml: "# leading comment\na: \"x # not a comment\" # trailing\nb: 'it''s'\nc: '#lead'\n",
+			json: `{"a":"x # not a comment","b":"it's","c":"#lead"}`,
+		},
+		{
+			name: "document marker and blank lines",
+			yaml: "---\n\na: 1\n\n",
+			json: `{"a":1}`,
+		},
+		{
+			name: "dash alone nests a block item",
+			yaml: "xs:\n  -\n    k: 1\n  -\n",
+			json: `{"xs":[{"k":1},null]}`,
+		},
+		{
+			name: "tilde and null spellings",
+			yaml: "a: ~\nb: null\n",
+			json: `{"a":null,"b":null}`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := jsonOf(t, c.yaml); got != c.json {
+				t.Errorf("got %s, want %s", got, c.json)
+			}
+		})
+	}
+}
+
+func TestYAMLToJSONRejects(t *testing.T) {
+	cases := []struct {
+		name, yaml, frag string
+	}{
+		{"empty document", "", "empty"},
+		{"comment-only document", "# nothing\n", "empty"},
+		{"tab indentation", "a:\n\tb: 1\n", "tab"},
+		{"flow mapping", "a: {b: 1}\n", "flow mapping"},
+		{"block scalar", "a: |\n  text\n", "block scalar"},
+		{"anchor", "a: &x 1\n", "anchors"},
+		{"alias", "a: *x\n", "anchors"},
+		{"tag", "a: !!str x\n", "anchors"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"duplicate key inline map", "xs:\n  - a: 1\n    a: 2\n", "duplicate key"},
+		{"bare scalar at top level", "just a scalar\n", "expected"},
+		{"unterminated double quote", "a: \"x\n", "double-quoted"},
+		{"unterminated single quote", "a: 'x\n", "single-quoted"},
+		{"unterminated flow list", "a: [1, 2\n", "unterminated flow list"},
+		{"nested flow list", "a: [[1], 2]\n", "nested flow"},
+		{"empty flow element", "a: [1, , 2]\n", "empty element"},
+		{"quoted key", "\"a\": 1\n", "expected"},
+		{"stray de-indent", "a:\n    b: 1\n  c: 2\n", "de-indent"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := yamlToJSON([]byte(c.yaml))
+			if err == nil {
+				t.Fatalf("yamlToJSON(%q) must fail", c.yaml)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q does not mention %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestYAMLDepthLimit(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i <= maxYAMLDepth+1; i++ {
+		sb.WriteString(strings.Repeat("  ", i))
+		sb.WriteString("k:\n")
+	}
+	sb.WriteString(strings.Repeat("  ", maxYAMLDepth+2))
+	sb.WriteString("leaf: 1\n")
+	if _, err := yamlToJSON([]byte(sb.String())); err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("deep nesting must fail with a nesting error, got %v", err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"gofi/internal/campaign"
 	"gofi/internal/core"
 	"gofi/internal/experiments"
+	"gofi/internal/scenario"
 )
 
 // WireVersion is the campaign-spec wire version this build speaks.
@@ -38,12 +39,20 @@ var ErrWireVersion = errors.New("serve: unsupported wire version")
 // ErrSpec is wrapped by spec validation failures.
 var ErrSpec = errors.New("serve: invalid campaign spec")
 
+// ErrUnsupportedEstimator is wrapped by validation failures for specs
+// requesting the stratified-sampling or fault-space-dedup estimators.
+// Their estimates are not plain index-ordered folds, so sharded
+// execution cannot yet reproduce them byte-for-byte; the wire format
+// rejects them loudly rather than silently running the plain estimator.
+var ErrUnsupportedEstimator = errors.New("serve: estimator not supported on the wire")
+
 // Spec is the wire form of a campaign submission. The zero value of
 // every optional field means "the gofi-campaign default", so a spec
 // submitted with only {"v":1} runs exactly what a bare CLI invocation
 // runs. Stratified sampling and fault-space dedup are deliberately not
-// in the wire format: their estimators are not plain index-ordered
-// folds, so sharded execution cannot yet reproduce them byte-for-byte.
+// supported: their estimators are not plain index-ordered folds, so
+// sharded execution cannot yet reproduce them byte-for-byte — Validate
+// rejects the Stratify/Dedup fields with ErrUnsupportedEstimator.
 type Spec struct {
 	// V is the wire version; must equal WireVersion.
 	V int `json:"v"`
@@ -85,11 +94,65 @@ type Spec struct {
 	StopCI   float64 `json:"stop_ci,omitempty"`
 	StopConf float64 `json:"stop_conf,omitempty"`
 	StopMin  int     `json:"stop_min,omitempty"`
+	// Stratify and Dedup mirror the CLI's -stratify/-dedup estimator
+	// flags. The service does not support them (see ErrUnsupportedEstimator);
+	// they exist on the wire so a submission asking for them fails loudly
+	// instead of being silently decoded as an unknown-field error with no
+	// explanation.
+	Stratify bool `json:"stratify,omitempty"`
+	Dedup    bool `json:"dedup,omitempty"`
+	// Scenario embeds a declarative scenario (internal/scenario) as the
+	// campaign's fault shape. When set, the scenario's model and fault
+	// blocks own the fixture and fault model — the spec's
+	// model/classes/size/epochs/noise/error/scope/backend/dtype/act_zp
+	// fields must be left zero — and the scenario's run block provides
+	// defaults for any unset run knobs here (the spec's knobs win).
+	// Scenario observers are not in the wire format: the shard
+	// coordinator folds aggregates only.
+	Scenario *scenario.Scenario `json:"scenario,omitempty"`
 }
 
 // Canon fills defaults, returning the spec every zero-valued field
-// resolved to the value gofi-campaign would use.
+// resolved to the value gofi-campaign would use. With an embedded
+// scenario the fixture/fault fields stay untouched (the scenario owns
+// them; Validate rejects non-zero values) and the scenario's run block
+// backfills any unset run knobs.
 func (sp Spec) Canon() Spec {
+	if sp.Scenario != nil {
+		s := sp.Scenario.Canon()
+		sp.Scenario = &s
+		if sp.Seed == 0 {
+			sp.Seed = s.Run.Seed
+		}
+		if sp.Trials <= 0 {
+			sp.Trials = s.Run.Trials
+		}
+		if sp.Workers <= 0 {
+			sp.Workers = s.Run.Workers
+		}
+		if sp.Schedule == "" {
+			sp.Schedule = s.Run.Schedule
+		}
+		if sp.TrialBatch == 0 {
+			sp.TrialBatch = s.Run.TrialBatch
+		}
+		if s.Run.PrefixReuse != nil && !*s.Run.PrefixReuse {
+			sp.NoPrefixReuse = true
+		}
+		if s.Run.SkipErrors {
+			sp.SkipErrors = true
+		}
+		if sp.StopCI == 0 && s.Run.Stop.CI > 0 {
+			sp.StopCI, sp.StopConf, sp.StopMin = s.Run.Stop.CI, s.Run.Stop.Conf, s.Run.Stop.Min
+		}
+		if sp.Shards <= 0 {
+			sp.Shards = 1
+		}
+		if sp.StopCI > 0 && sp.StopConf == 0 {
+			sp.StopConf = 0.95
+		}
+		return sp
+	}
 	if sp.Model == "" {
 		sp.Model = "resnet18"
 	}
@@ -148,6 +211,15 @@ func (sp Spec) Validate() error {
 	if sp.V != WireVersion {
 		return fmt.Errorf("%w: got %d, this build speaks %d", ErrWireVersion, sp.V, WireVersion)
 	}
+	if sp.Stratify {
+		return fmt.Errorf("%w: stratified sampling's estimate is not an index-ordered fold; run -stratify locally", ErrUnsupportedEstimator)
+	}
+	if sp.Dedup {
+		return fmt.Errorf("%w: fault-space dedup's canonical-outcome fills are not an index-ordered fold; run -dedup locally", ErrUnsupportedEstimator)
+	}
+	if sp.Scenario != nil {
+		return sp.validateScenario()
+	}
 	em, err := experiments.ParseErrorModel(sp.Error)
 	if err != nil {
 		return bad("%v", err)
@@ -171,6 +243,43 @@ func (sp Spec) Validate() error {
 	}
 	if sp.Trials <= 0 {
 		return bad("trials must be positive, got %d", sp.Trials)
+	}
+	return sp.validateRunShape()
+}
+
+// validateScenario checks a spec whose fault shape is an embedded
+// scenario. Call on a Canon()ed spec.
+func (sp Spec) validateScenario() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrSpec, fmt.Sprintf(format, args...))
+	}
+	if sp.Model != "" || sp.Classes != 0 || sp.Size != 0 || sp.Epochs != 0 || sp.Noise != 0 ||
+		sp.Error != "" || sp.Scope != "" || sp.Backend != "" || sp.DType != "" || sp.ActZeroPoint {
+		return bad("a scenario owns the model fixture and fault shape; drop the spec's model/classes/size/epochs/noise/error/scope/backend/dtype/act_zp fields")
+	}
+	if err := sp.Scenario.Validate(); err != nil {
+		return bad("%v", err)
+	}
+	if len(sp.Scenario.Observers) != 0 {
+		return bad("scenario observers are not in the wire format: the shard coordinator folds aggregates only")
+	}
+	if _, err := campaign.ParseSchedule(sp.Schedule); err != nil {
+		return bad("%v", err)
+	}
+	if sp.Trials <= 0 {
+		// Only sweep scenarios canonicalize to a zero budget (it is filled
+		// at compile time); the coordinator shards by trial range up front,
+		// so the wire needs the count declared.
+		return bad("sweep scenarios must declare run.trials (or the spec's trials) for service submission")
+	}
+	return sp.validateRunShape()
+}
+
+// validateRunShape checks the run knobs shared by plain and scenario
+// specs.
+func (sp Spec) validateRunShape() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrSpec, fmt.Sprintf(format, args...))
 	}
 	if sp.TrialBatch < 0 {
 		return bad("trial_batch must be >= 0, got %d", sp.TrialBatch)
@@ -221,6 +330,27 @@ func (sp Spec) Config() (experiments.GenericCampaignConfig, error) {
 	if err := sp.Validate(); err != nil {
 		return experiments.GenericCampaignConfig{}, err
 	}
+	if sp.Scenario != nil {
+		cfg, err := experiments.ScenarioConfig(*sp.Scenario)
+		if err != nil {
+			return experiments.GenericCampaignConfig{}, err
+		}
+		// The spec's (Canon-resolved) run knobs win over the scenario's
+		// run block; neither changes which fault a trial index arms.
+		sched, _ := campaign.ParseSchedule(sp.Schedule)
+		cfg.Trials = sp.Trials
+		cfg.Workers = sp.Workers
+		cfg.Seed = sp.Seed
+		cfg.Schedule = sched
+		cfg.TrialBatch = sp.TrialBatch
+		cfg.PrefixReuse = !sp.NoPrefixReuse
+		cfg.OnError = campaign.FailFast
+		if sp.SkipErrors {
+			cfg.OnError = campaign.SkipAndCount
+		}
+		cfg.StopCI, cfg.StopConf, cfg.StopMin = sp.StopCI, sp.StopConf, sp.StopMin
+		return cfg, nil
+	}
 	em, _ := experiments.ParseErrorModel(sp.Error)
 	arm, _ := experiments.ParseScope(sp.Scope, em)
 	dt, _ := experiments.ParseDType(sp.DType)
@@ -262,6 +392,14 @@ func (sp Spec) envKey() string {
 	sp = sp.Canon()
 	sp.Trials, sp.Shards, sp.Workers = 0, 0, 0
 	sp.StopCI, sp.StopConf, sp.StopMin = 0, 0, 0
+	if sp.Scenario != nil {
+		// Mirror the zeroing inside the scenario's run block (its other
+		// run knobs were already copied to the top level by Canon).
+		s := *sp.Scenario
+		s.Run.Trials, s.Run.Workers = 0, 0
+		s.Run.Stop = scenario.StopSpec{}
+		sp.Scenario = &s
+	}
 	raw, _ := json.Marshal(sp)
 	return string(raw)
 }

@@ -123,6 +123,23 @@ check_serve() {
 }
 check_serve
 
+# The declarative scenario layer's gates: a statement-coverage floor
+# over internal/scenario (schema, YAML subset, compiler, selectors,
+# observers), the differential byte-identity suite (every committed
+# example scenario must reproduce its hand-wired imperative twin's
+# aggregate across the worker x schedule x reuse matrix), the committed
+# scenario goldens (f32 observers + int8 stored-code), the CLI smoke
+# executing each example end-to-end (including the quantized stored-code
+# path), and a coverage-guided decode fuzz smoke (never panics, named
+# errors, Canon-fixed-point).
+check_scenario() {
+	check_cover ./internal/scenario 90
+	go test -run 'TestScenarioDifferentialByteIdentity|TestScenarioGolden' ./internal/experiments
+	go test -run 'TestScenario' ./cmd/gofi-campaign
+	go test -run='^$' -fuzz='^FuzzScenarioDecode$' -fuzztime=10s ./internal/scenario
+}
+check_scenario
+
 # The cut-aware scheduler's two promises on the DenseNet campaign: with
 # prefix reuse, auto must decline to pack (sequential warmed-store hits
 # win); without it, auto must pack cut-similar trials. One iteration each
